@@ -1,0 +1,638 @@
+// Benchmarks regenerating the paper's evaluation (see EXPERIMENTS.md for
+// the experiment index and the paper-vs-measured record):
+//
+//	E1 / Fig.2  BenchmarkFig2RoamingMigration      roaming with live traffic
+//	E2          BenchmarkE2InstantiationContainerVsVM  attach latency
+//	E3          BenchmarkE3DensityFootprint        NFs per edge box
+//	E4          BenchmarkE4ChainThroughput         dataplane vs chain length
+//	E4          BenchmarkE4PerNFThroughput         per-NF-type forwarding
+//	E5          BenchmarkE5ControlPlaneScale       manager vs #agents
+//	E6          BenchmarkE6MigrationStrategies     cold vs stateful ablation
+//	E7          BenchmarkE7NotificationPipeline    NF->Agent->Manager alerts
+//	E8          BenchmarkE8OffloadAblation         GNFC edge vs cloud hosting
+//	E9          BenchmarkE9FailoverRecovery        station-crash recovery
+//
+// Custom metrics use b.ReportMetric: modeled costs (virtual-clock time) are
+// reported as *_ms metrics; counts as their own units.
+package gnf
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/baseline"
+	"gnf/internal/clock"
+	"gnf/internal/container"
+	"gnf/internal/core"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+	"gnf/internal/traffic"
+
+	"gnf/internal/netem"
+
+	_ "gnf/internal/nf/builtin"
+)
+
+// newBenchSwitch builds a minimal station switch with an unconnected
+// uplink, enough dataplane for a control-plane-only agent.
+func newBenchSwitch(name string) *netem.Switch {
+	sw := netem.NewSwitch(name)
+	up, _ := netem.NewVethPair(name+"-up", name+"-core")
+	sw.Attach(0, up)
+	return sw
+}
+
+var (
+	benchPhoneMAC  = packet.MAC{2, 0, 0, 0, 0, 0x10}
+	benchPhoneIP   = packet.IP{10, 0, 0, 10}
+	benchServerMAC = packet.MAC{2, 0, 0, 0, 0, 0x99}
+	benchServerIP  = packet.IP{10, 99, 0, 1}
+)
+
+func benchSystem(b *testing.B, strategy manager.Strategy, clk clock.Clock) *core.System {
+	b.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Clock:          clk,
+		Strategy:       strategy,
+		ReportInterval: time.Hour, // reports off the hot path
+		Stations: []core.StationConfig{
+			{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []core.CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	if err := sys.AddClient("phone", benchPhoneMAC, benchPhoneIP); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-a", 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// --- E1 / Fig. 2: roaming with live traffic -------------------------------
+
+// BenchmarkFig2RoamingMigration reproduces the demo: a client streaming CBR
+// roams between cells; its chain migrates. Reported metrics: measured
+// migration downtime and packets lost per handoff (wall clock, real TCP
+// control plane).
+func BenchmarkFig2RoamingMigration(b *testing.B) {
+	sys := benchSystem(b, manager.StrategyStateful, clock.System())
+	server := sys.AddServer("web", benchServerMAC, benchServerIP)
+	server.Learn(benchPhoneIP, benchPhoneMAC)
+	sink := traffic.NewSink(server, 7000, sys.Clock)
+	sys.ClientHost("phone").Learn(benchServerIP, benchServerMAC)
+
+	spec := manager.ChainSpec{
+		Name: "chain",
+		Functions: []agent.NFSpec{
+			{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+			{Kind: "counter", Name: "acct"},
+		},
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "chain", 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+
+	cells := []topology.CellID{"cell-b", "cell-a"}
+	stations := []topology.StationID{"st-b", "st-a"}
+	var seq uint64
+	const pps, perPhase = 200, 100
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Stream during the handoff.
+		done := make(chan struct{})
+		go func(start uint64) {
+			defer close(done)
+			traffic.CBRFrom(sys.ClientHost("phone"),
+				packet.Endpoint{Addr: benchServerIP, Port: 7000}, 6000, start, perPhase, 128, pps)
+		}(seq)
+		if err := sys.Topo.Attach("phone", cells[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.WaitClientAt("phone", stations[i%2], 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.WaitChainOn(stations[i%2], "chain", 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		sys.ClientHost("phone").Learn(benchServerIP, benchServerMAC)
+		<-done
+		seq += perPhase
+	}
+	b.StopTimer()
+	time.Sleep(100 * time.Millisecond) // drain in flight
+
+	migs := sys.Manager.Migrations()
+	var downtime time.Duration
+	for _, m := range migs {
+		downtime += m.Downtime
+	}
+	if len(migs) > 0 {
+		b.ReportMetric(float64(downtime.Milliseconds())/float64(len(migs)), "downtime_ms/roam")
+	}
+	rep := sink.Analyze(int(seq))
+	b.ReportMetric(float64(rep.Lost)/float64(b.N), "pkts_lost/roam")
+	b.ReportMetric(float64(rep.Received), "pkts_delivered")
+}
+
+// --- E2: instantiation latency, container vs VM ---------------------------
+
+// BenchmarkE2InstantiationContainerVsVM measures NF attach latency (create
+// + start, with cold or warm image cache) on the virtual clock: the
+// modeled latency is reported as attach_ms, the paper's container-vs-VM
+// agility gap.
+func BenchmarkE2InstantiationContainerVsVM(b *testing.B) {
+	img := container.Image{Name: "gnf/firewall:1.0", SizeBytes: 4 << 20, MemoryBytes: 6 << 20}
+	cases := []struct {
+		name string
+		vm   bool
+		warm bool
+	}{
+		{"container-cold", false, false},
+		{"container-warm", false, true},
+		{"vm-cold", true, false},
+		{"vm-warm", true, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			clk := clock.NewAutoVirtual()
+			repo := container.NewRepository(clk, 100_000_000, 5*time.Millisecond)
+			repo.Push(img)
+			vmRepo := baseline.NewVMRepository(clk, repo, 100_000_000, 0)
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var rt *container.Runtime
+				name := img.Name
+				if c.vm {
+					rt = baseline.NewVMRuntime("edge", clk, vmRepo)
+					name = "vm/" + img.Name
+				} else {
+					rt = container.NewRuntime("edge", clk, repo)
+				}
+				if c.warm {
+					if err := rt.PrefetchImage(name); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				start := clk.Now()
+				ctr, err := rt.Create(container.Config{Name: "nf", Image: name})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ctr.Start(); err != nil {
+					b.Fatal(err)
+				}
+				total += clk.Since(start)
+			}
+			b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "attach_ms")
+		})
+	}
+}
+
+// --- E3: density and footprint ---------------------------------------------
+
+// BenchmarkE3DensityFootprint packs a 1 GiB edge box with NFs until memory
+// exhausts, container vs VM. Reported metric: NFs packed.
+func BenchmarkE3DensityFootprint(b *testing.B) {
+	img := container.Image{Name: "gnf/firewall:1.0", SizeBytes: 4 << 20, MemoryBytes: 6 << 20}
+	const hostMem = 1 << 30
+	for _, vm := range []bool{false, true} {
+		name := "container"
+		if vm {
+			name = "vm"
+		}
+		b.Run(name, func(b *testing.B) {
+			var packed int
+			for i := 0; i < b.N; i++ {
+				clk := clock.NewAutoVirtual()
+				repo := container.NewRepository(clk, 0, 0)
+				repo.Push(img)
+				var rt *container.Runtime
+				image := img.Name
+				if vm {
+					rt = baseline.NewVMRuntime("edge", clk, baseline.NewVMRepository(clk, repo, 0, 0),
+						container.WithCapacity(hostMem))
+					image = "vm/" + img.Name
+				} else {
+					rt = container.NewRuntime("edge", clk, repo, container.WithCapacity(hostMem))
+				}
+				packed = 0
+				for {
+					if _, err := rt.Create(container.Config{Image: image}); err != nil {
+						break
+					}
+					packed++
+				}
+			}
+			b.ReportMetric(float64(packed), "nfs_packed")
+			b.ReportMetric(float64(hostMem)/float64(packed)/(1<<20), "MiB/nf")
+		})
+	}
+}
+
+// --- E4: dataplane throughput ----------------------------------------------
+
+func mkChain(b *testing.B, length int) *nf.Chain {
+	b.Helper()
+	fns := make([]nf.Function, 0, length)
+	for i := 0; i < length; i++ {
+		fn, err := nf.Default.New("firewall", fmt.Sprintf("fw%d", i),
+			nf.Params{"policy": "accept", "rules": "drop out tcp any any any 23"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fns = append(fns, fn)
+	}
+	return nf.NewChain("bench", fns...)
+}
+
+// BenchmarkE4ChainThroughput pushes frames through chains of 0..5 firewall
+// NFs at three frame sizes: the transparent-chaining cost curve.
+func BenchmarkE4ChainThroughput(b *testing.B) {
+	for _, chainLen := range []int{0, 1, 2, 3, 5} {
+		for _, size := range []int{64, 512, 1500} {
+			b.Run(fmt.Sprintf("len%d/%dB", chainLen, size), func(b *testing.B) {
+				chain := mkChain(b, chainLen)
+				payload := make([]byte, size-42) // 42B of Ethernet+IP+UDP headers
+				frame := packet.BuildUDP(benchPhoneMAC, benchServerMAC, benchPhoneIP, benchServerIP, 6000, 7000, payload)
+				b.SetBytes(int64(len(frame)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := chain.Process(nf.Outbound, frame)
+					if len(out.Forward) != 1 {
+						b.Fatal("frame lost in chain")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE4PerNFThroughput forwards a workload-appropriate frame through
+// each built-in NF type.
+func BenchmarkE4PerNFThroughput(b *testing.B) {
+	dnsWire, _ := packet.NewDNSQuery(1, "svc.gnf").Append(nil)
+	httpFrame := traffic.HTTPRequestFrame(benchPhoneMAC, benchServerMAC, benchPhoneIP, benchServerIP, 41000, "ok.example", "/")
+	udpFrame := packet.BuildUDP(benchPhoneMAC, benchServerMAC, benchPhoneIP, benchServerIP, 6000, 7000, make([]byte, 470))
+	dnsFrame := packet.BuildUDP(benchPhoneMAC, benchServerMAC, benchPhoneIP, benchServerIP, 6000, 53, dnsWire)
+
+	cases := []struct {
+		kind   string
+		params nf.Params
+		frame  []byte
+	}{
+		{"firewall", nf.Params{"policy": "accept", "rules": "drop out tcp any any any 23; drop in udp any any any 111"}, udpFrame},
+		{"httpfilter", nf.Params{"block_hosts": "ads.example"}, httpFrame},
+		{"httpcache", nf.Params{}, httpFrame},
+		{"dnslb", nf.Params{"service": "svc.gnf", "backends": "10.1.0.1,10.1.0.2"}, dnsFrame},
+		{"ratelimit", nf.Params{"rate_bps": "10000000000", "burst_bytes": "1000000000"}, udpFrame},
+		{"nat", nf.Params{"nat_ip": "192.168.100.1"}, udpFrame},
+		{"dnscache", nf.Params{}, dnsFrame},
+		{"counter", nf.Params{}, udpFrame},
+	}
+	for _, c := range cases {
+		b.Run(c.kind, func(b *testing.B) {
+			fn, err := nf.Default.New(c.kind, "bench", c.params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The working frame is refreshed from a master every
+			// iteration: rewriting NFs (NAT) mutate it in place, and
+			// re-processing the rewritten frame would mint a new flow
+			// mapping per iteration instead of measuring steady state.
+			frame := packet.Clone(c.frame)
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(frame, c.frame)
+				fn.Process(nf.Outbound, frame)
+			}
+		})
+	}
+}
+
+// --- E5: control-plane scalability -----------------------------------------
+
+// BenchmarkE5ControlPlaneScale connects N agents to one manager and
+// measures round-trip RPC latency (agent.ping fan-out) while health
+// reports stream in the background — the §3 monitoring plane under load.
+func BenchmarkE5ControlPlaneScale(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(strconv.Itoa(n)+"-agents", func(b *testing.B) {
+			mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			clk := clock.NewAutoVirtual()
+			repo := container.NewRepository(clk, 0, 0)
+			for _, kind := range []string{"firewall"} {
+				repo.Push(container.Image{Name: agent.ImageForKind(kind), SizeBytes: 1 << 20, MemoryBytes: 1 << 20})
+			}
+			handles := make([]*manager.AgentHandle, 0, n)
+			for i := 0; i < n; i++ {
+				st := fmt.Sprintf("st-%03d", i)
+				rt := container.NewRuntime(st, clk, repo)
+				sw := newBenchSwitch(st)
+				ag := agent.New(topology.StationID(st), clk, rt, sw, 0)
+				link, err := agent.Connect(ag, mgr.Addr(), 20*time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer link.Close()
+			}
+			deadline := time.After(10 * time.Second)
+			for len(mgr.Agents()) != n {
+				select {
+				case <-deadline:
+					b.Fatalf("agents = %d", len(mgr.Agents()))
+				case <-time.After(time.Millisecond):
+				}
+			}
+			for _, st := range mgr.Agents() {
+				h, _ := mgr.AgentHandleFor(st)
+				handles = append(handles, h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := handles[i%len(handles)]
+				if err := h.Ping(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: migration strategy ablation ---------------------------------------
+
+// BenchmarkE6MigrationStrategies migrates a stateful NAT chain between two
+// stations on the virtual clock, ablating cold vs stateful strategies and
+// state sizes. Reported metric: modeled downtime per migration.
+func BenchmarkE6MigrationStrategies(b *testing.B) {
+	for _, strat := range []manager.Strategy{manager.StrategyCold, manager.StrategyStateful} {
+		for _, flows := range []int{0, 1000, 16000} {
+			b.Run(fmt.Sprintf("%s/%dflows", strat, flows), func(b *testing.B) {
+				clk := clock.NewAutoVirtual()
+				sys := benchSystem(b, strat, clk)
+				spec := manager.ChainSpec{
+					Name: "nat-chain",
+					Functions: []agent.NFSpec{{
+						Kind: "nat", Name: "nat0",
+						Params: nf.Params{"nat_ip": "192.168.100.1", "ports": "30000-62000"},
+					}},
+				}
+				if err := sys.AttachChain("phone", spec); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.WaitChainOn("st-a", "nat-chain", 10*time.Second); err != nil {
+					b.Fatal(err)
+				}
+				// Seed NAT state by processing synthetic flows directly.
+				chainFn, err := sys.Agent("st-a").ChainFunction("nat-chain")
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < flows; i++ {
+					frame := packet.BuildUDP(benchPhoneMAC, benchServerMAC, benchPhoneIP, benchServerIP,
+						uint16(i%60000+1), 53, nil)
+					chainFn.Process(nf.Outbound, frame)
+				}
+				targets := []string{"st-b", "st-a"}
+				var downtime, total time.Duration
+				var stateBytes int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := sys.Manager.MigrateChain("phone", "nat-chain", targets[i%2])
+					if err != nil {
+						b.Fatal(err)
+					}
+					downtime += rep.Downtime
+					total += rep.Total
+					stateBytes = rep.StateBytes
+				}
+				b.ReportMetric(float64(downtime.Milliseconds())/float64(b.N), "downtime_ms")
+				b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "total_ms")
+				b.ReportMetric(float64(stateBytes)/1024, "state_KiB")
+			})
+		}
+	}
+}
+
+// --- E7: notification pipeline ----------------------------------------------
+
+// BenchmarkE7NotificationPipeline measures NF->Agent->Manager alert
+// delivery end to end over the live control plane.
+func BenchmarkE7NotificationPipeline(b *testing.B) {
+	sys := benchSystem(b, manager.StrategyStateful, clock.System())
+	server := sys.AddServer("web", benchServerMAC, benchServerIP)
+	server.Learn(benchPhoneIP, benchPhoneMAC)
+	sys.ClientHost("phone").Learn(benchServerIP, benchServerMAC)
+	spec := manager.ChainSpec{
+		Name: "ids",
+		Functions: []agent.NFSpec{{
+			Kind: "counter", Name: "ids0",
+			Params: nf.Params{"signatures": "sig-marker"},
+		}},
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "ids", 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	phone := sys.ClientHost("phone")
+	payload := []byte("sig-marker event payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phone.SendUDP(packet.Endpoint{Addr: benchServerIP, Port: 7100}, 6002, payload)
+	}
+	deadline := time.After(30 * time.Second)
+	for len(sys.Manager.Notifications()) < b.N {
+		select {
+		case <-deadline:
+			b.Fatalf("notifications = %d of %d", len(sys.Manager.Notifications()), b.N)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// benchCloudSystem is benchSystem plus a GNFC cloud site "nimbus" behind a
+// 5 ms WAN.
+func benchCloudSystem(b *testing.B, strategy manager.Strategy) *core.System {
+	b.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Clock:          clock.System(),
+		Strategy:       strategy,
+		ReportInterval: time.Hour,
+		Stations: []core.StationConfig{
+			{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []core.CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+		},
+		Clouds: []core.CloudConfig{{ID: "nimbus", WAN: netem.LinkParams{Delay: 5 * time.Millisecond}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	if err := sys.AddClient("phone", benchPhoneMAC, benchPhoneIP); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-a", 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkE8OffloadAblation — experiment E8 (GNFC, reference [2] of the
+// paper): edge-hosted vs cloud-offloaded chains. Roaming an offloaded
+// client is a steering update (no chain moves, ~0 downtime); the price is
+// a WAN round-trip on every packet. Four sub-benches report per-roam
+// downtime and per-request RTT for both placements.
+func BenchmarkE8OffloadAblation(b *testing.B) {
+	spec := manager.ChainSpec{
+		Name: "chain",
+		Functions: []agent.NFSpec{
+			{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+			{Kind: "counter", Name: "acct"},
+		},
+	}
+	roam := func(b *testing.B, sys *core.System, offloaded bool) {
+		cells := []topology.CellID{"cell-b", "cell-a"}
+		stations := []topology.StationID{"st-b", "st-a"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.Topo.Attach("phone", cells[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.WaitClientAt("phone", stations[i%2], 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+			if !offloaded {
+				if err := sys.WaitChainOn(stations[i%2], "chain", 10*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		var downtime time.Duration
+		n := 0
+		for _, m := range sys.Manager.Migrations() {
+			if m.Err == "" && (m.Strategy == manager.StrategySteer) == offloaded {
+				downtime += m.Downtime
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(float64(downtime.Microseconds())/float64(n)/1000, "downtime_ms/roam")
+		}
+	}
+	rtt := func(b *testing.B, sys *core.System) {
+		phone := sys.ClientHost("phone")
+		phone.Learn(benchServerIP, benchServerMAC)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ch, err := phone.Ping(benchServerIP, 7, uint16(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				b.Fatal("ping lost")
+			}
+		}
+	}
+	setup := func(b *testing.B, offload bool) *core.System {
+		sys := benchCloudSystem(b, manager.StrategyStateful)
+		server := sys.AddServer("web", benchServerMAC, benchServerIP)
+		server.Learn(benchPhoneIP, benchPhoneMAC)
+		if err := sys.AttachChain("phone", spec); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.WaitChainOn("st-a", "chain", 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if offload {
+			if err := sys.OffloadClient("phone", "nimbus"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return sys
+	}
+
+	b.Run("roam/edge", func(b *testing.B) { roam(b, setup(b, false), false) })
+	b.Run("roam/offloaded", func(b *testing.B) { roam(b, setup(b, true), true) })
+	b.Run("rtt/edge", func(b *testing.B) { rtt(b, setup(b, false)) })
+	b.Run("rtt/offloaded", func(b *testing.B) { rtt(b, setup(b, true)) })
+}
+
+// BenchmarkE9FailoverRecovery — station failure recovery: wall time from a
+// station crash until the Manager has revived every chain it hosted on a
+// survivor, as a function of the number of chains lost.
+func BenchmarkE9FailoverRecovery(b *testing.B) {
+	for _, chains := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			var recovered time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys := benchSystem(b, manager.StrategyStateful, clock.System())
+				sys.Manager.EnableFailover(0)
+				for c := 0; c < chains; c++ {
+					spec := manager.ChainSpec{
+						Name:      fmt.Sprintf("chain-%d", c),
+						Functions: []agent.NFSpec{{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}}},
+					}
+					if err := sys.AttachChain("phone", spec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				base := len(sys.Manager.Failovers())
+				b.StartTimer()
+				start := time.Now()
+				if err := sys.KillStation("st-a"); err != nil {
+					b.Fatal(err)
+				}
+				deadline := time.After(30 * time.Second)
+				for len(sys.Manager.Failovers())-base < chains {
+					select {
+					case <-deadline:
+						b.Fatalf("failovers = %d of %d", len(sys.Manager.Failovers())-base, chains)
+					case <-time.After(200 * time.Microsecond):
+					}
+				}
+				recovered += time.Since(start)
+				b.StopTimer()
+				for _, rep := range sys.Manager.Failovers() {
+					if rep.Err != "" {
+						b.Fatalf("failover error: %+v", rep)
+					}
+				}
+				sys.Close()
+			}
+			b.ReportMetric(float64(recovered.Microseconds())/float64(b.N)/1000, "recovery_ms")
+		})
+	}
+}

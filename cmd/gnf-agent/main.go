@@ -1,0 +1,62 @@
+// Command gnf-agent runs one GNF station daemon and registers it with a
+// manager. The station's dataplane (software switch, container runtime,
+// image cache) is node-local: deploys arriving from the manager instantiate
+// NF chains against this process's emulated switch, and health reports flow
+// back every -report interval.
+//
+//	gnf-agent -manager 127.0.0.1:7701 -station st-kelvin -memory 1024
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/container"
+	"gnf/internal/core"
+	"gnf/internal/netem"
+	"gnf/internal/topology"
+
+	_ "gnf/internal/nf/builtin"
+)
+
+func main() {
+	managerAddr := flag.String("manager", "127.0.0.1:7701", "manager address")
+	station := flag.String("station", "st-1", "station name")
+	memoryMB := flag.Uint64("memory", 0, "container memory capacity in MiB (0 = unlimited)")
+	report := flag.Duration("report", time.Second, "health report interval")
+	repoRate := flag.Int64("repo-rate", 100_000_000, "modeled image pull rate (bits/s)")
+	flag.Parse()
+
+	clk := clock.System()
+	repo := container.NewRepository(clk, *repoRate, 5*time.Millisecond)
+	for _, img := range core.DefaultImages() {
+		repo.Push(img)
+	}
+	var opts []container.RuntimeOption
+	if *memoryMB > 0 {
+		opts = append(opts, container.WithCapacity(*memoryMB<<20))
+	}
+	rt := container.NewRuntime(*station, clk, repo, opts...)
+
+	sw := netem.NewSwitch(*station)
+	up, _ := netem.NewVethPair(*station+"-up", *station+"-core", netem.WithClock(clk))
+	sw.Attach(0, up)
+
+	ag := agent.New(topology.StationID(*station), clk, rt, sw, 0)
+	link, err := agent.Connect(ag, *managerAddr, *report)
+	if err != nil {
+		log.Fatalf("connect to manager: %v", err)
+	}
+	defer link.Close()
+
+	log.Printf("gnf-agent: station %s registered with %s", *station, *managerAddr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("gnf-agent: shutting down")
+}

@@ -1,0 +1,589 @@
+// Command gnf-bench regenerates the paper's evaluation as human-readable
+// tables, one per experiment (see EXPERIMENTS.md for the experiment index
+// and DESIGN.md §3 for the mapping to modules). It is the standalone
+// counterpart of the testing.B benchmarks in bench_test.go: same
+// scenarios, same internal APIs, but it prints the rows/series the paper
+// reports instead of ns/op.
+//
+// Usage:
+//
+//	gnf-bench            # run every experiment
+//	gnf-bench -run E2,E6 # run a subset
+//	gnf-bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/baseline"
+	"gnf/internal/clock"
+	"gnf/internal/container"
+	"gnf/internal/core"
+	"gnf/internal/manager"
+	"gnf/internal/netem"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+	"gnf/internal/traffic"
+
+	_ "gnf/internal/nf/builtin"
+)
+
+var (
+	phoneMAC  = packet.MAC{2, 0, 0, 0, 0, 0x10}
+	phoneIP   = packet.IP{10, 0, 0, 10}
+	serverMAC = packet.MAC{2, 0, 0, 0, 0, 0x99}
+	serverIP  = packet.IP{10, 99, 0, 1}
+)
+
+type experiment struct {
+	id, title string
+	run       func() error
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"E1", "Fig. 2 roaming demo: migration with live traffic", runE1},
+		{"E2", "NF instantiation latency: container vs VM", runE2},
+		{"E3", "NF density on a 1 GiB edge box: container vs VM", runE3},
+		{"E4", "dataplane throughput vs chain length and per NF type", runE4},
+		{"E5", "control-plane RPC latency vs number of agents", runE5},
+		{"E6", "migration strategy ablation: cold vs stateful", runE6},
+		{"E7", "NF notification pipeline throughput", runE7},
+		{"E8", "GNFC offload ablation: edge vs cloud hosting", runE8},
+		{"E9", "station failover recovery time", runE9},
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-3s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runFlag, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s — %s\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// newEdgeSystem builds the canonical two-station deployment with a phone
+// and a traffic sink, optionally with a cloud site.
+func newEdgeSystem(strategy manager.Strategy, clk clock.Clock, cloud bool) (*core.System, *traffic.Sink, error) {
+	cfg := core.Config{
+		Clock:          clk,
+		Strategy:       strategy,
+		ReportInterval: 200 * time.Millisecond,
+		Stations: []core.StationConfig{
+			{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []core.CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+		},
+	}
+	if cloud {
+		cfg.Clouds = []core.CloudConfig{{ID: "nimbus", WAN: netem.LinkParams{Delay: 5 * time.Millisecond}}}
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sys.AddClient("phone", phoneMAC, phoneIP); err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	server := sys.AddServer("web", serverMAC, serverIP)
+	server.Learn(phoneIP, phoneMAC)
+	sink := traffic.NewSink(server, 7000, sys.Clock)
+	if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	if err := sys.WaitClientAt("phone", "st-a", 10*time.Second); err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	sys.ClientHost("phone").Learn(serverIP, serverMAC)
+	return sys, sink, nil
+}
+
+func fwChain(name string) manager.ChainSpec {
+	return manager.ChainSpec{
+		Name: name,
+		Functions: []agent.NFSpec{
+			{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+			{Kind: "counter", Name: "acct"},
+		},
+	}
+}
+
+// --- E1 ---------------------------------------------------------------------
+
+func runE1() error {
+	sys, sink, err := newEdgeSystem(manager.StrategyStateful, clock.System(), false)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if err := sys.AttachChain("phone", fwChain("chain")); err != nil {
+		return err
+	}
+	if err := sys.WaitChainOn("st-a", "chain", 10*time.Second); err != nil {
+		return err
+	}
+
+	const count, pps = 300, 200
+	done := make(chan int)
+	go func() {
+		done <- traffic.CBR(sys.ClientHost("phone"),
+			packet.Endpoint{Addr: serverIP, Port: 7000}, 6000, count, 128, pps)
+	}()
+	time.Sleep(300 * time.Millisecond) // roam mid-stream
+	if err := sys.Topo.Attach("phone", "cell-b"); err != nil {
+		return err
+	}
+	if err := sys.WaitClientAt("phone", "st-b", 10*time.Second); err != nil {
+		return err
+	}
+	if err := sys.WaitChainOn("st-b", "chain", 10*time.Second); err != nil {
+		return err
+	}
+	sys.ClientHost("phone").Learn(serverIP, serverMAC)
+	sent := <-done
+	time.Sleep(200 * time.Millisecond)
+
+	rep := sink.Analyze(sent)
+	migs := sys.Manager.Migrations()
+	fmt.Printf("  client roamed cell-a -> cell-b mid-stream (%d pkts at %d pps)\n", sent, pps)
+	for _, m := range migs {
+		fmt.Printf("  migration %s: %s -> %s  strategy=%s  downtime=%v  total=%v  state=%dB\n",
+			m.Chain, m.From, m.To, m.Strategy, m.Downtime.Round(time.Microsecond), m.Total.Round(time.Microsecond), m.StateBytes)
+	}
+	fmt.Printf("  traffic: received=%d/%d lost=%d longest-gap=%d gap-span=%v\n",
+		rep.Received, rep.Sent, rep.Lost, rep.LongestGap, rep.GapDuration.Round(time.Microsecond))
+	return nil
+}
+
+// --- E2 ---------------------------------------------------------------------
+
+func runE2() error {
+	img := container.Image{Name: "gnf/firewall:1.0", SizeBytes: 4 << 20, MemoryBytes: 6 << 20}
+	fmt.Printf("  %-10s %12s %12s\n", "runtime", "cold-pull", "warm-cache")
+	for _, vm := range []bool{false, true} {
+		row := make([]time.Duration, 0, 2)
+		for _, warm := range []bool{false, true} {
+			clk := clock.NewAutoVirtual()
+			repo := container.NewRepository(clk, 100_000_000, 5*time.Millisecond)
+			repo.Push(img)
+			var rt *container.Runtime
+			name := img.Name
+			if vm {
+				rt = baseline.NewVMRuntime("edge", clk, baseline.NewVMRepository(clk, repo, 100_000_000, 0))
+				name = "vm/" + img.Name
+			} else {
+				rt = container.NewRuntime("edge", clk, repo)
+			}
+			if warm {
+				if err := rt.PrefetchImage(name); err != nil {
+					return err
+				}
+			}
+			start := clk.Now()
+			ctr, err := rt.Create(container.Config{Name: "nf", Image: name})
+			if err != nil {
+				return err
+			}
+			if err := ctr.Start(); err != nil {
+				return err
+			}
+			row = append(row, clk.Since(start))
+		}
+		kind := "container"
+		if vm {
+			kind = "vm"
+		}
+		fmt.Printf("  %-10s %12v %12v\n", kind, row[0].Round(time.Millisecond), row[1].Round(time.Millisecond))
+	}
+	return nil
+}
+
+// --- E3 ---------------------------------------------------------------------
+
+func runE3() error {
+	img := container.Image{Name: "gnf/firewall:1.0", SizeBytes: 4 << 20, MemoryBytes: 6 << 20}
+	const hostMem = 1 << 30
+	fmt.Printf("  %-10s %10s %10s\n", "runtime", "NFs packed", "MiB/NF")
+	for _, vm := range []bool{false, true} {
+		clk := clock.NewAutoVirtual()
+		repo := container.NewRepository(clk, 0, 0)
+		repo.Push(img)
+		var rt *container.Runtime
+		image := img.Name
+		kind := "container"
+		if vm {
+			rt = baseline.NewVMRuntime("edge", clk, baseline.NewVMRepository(clk, repo, 0, 0),
+				container.WithCapacity(hostMem))
+			image, kind = "vm/"+img.Name, "vm"
+		} else {
+			rt = container.NewRuntime("edge", clk, repo, container.WithCapacity(hostMem))
+		}
+		packed := 0
+		for {
+			if _, err := rt.Create(container.Config{Image: image}); err != nil {
+				break
+			}
+			packed++
+		}
+		fmt.Printf("  %-10s %10d %10.1f\n", kind, packed, float64(hostMem)/float64(packed)/(1<<20))
+	}
+	return nil
+}
+
+// --- E4 ---------------------------------------------------------------------
+
+func runE4() error {
+	const frames = 200_000
+	fmt.Printf("  chain-length sweep (512B frames):\n")
+	fmt.Printf("  %-8s %12s %12s\n", "length", "Mfps", "Gbit/s")
+	for _, chainLen := range []int{0, 1, 2, 3, 5} {
+		fns := make([]nf.Function, 0, chainLen)
+		for i := 0; i < chainLen; i++ {
+			fn, err := nf.Default.New("firewall", fmt.Sprintf("fw%d", i),
+				nf.Params{"policy": "accept", "rules": "drop out tcp any any any 23"})
+			if err != nil {
+				return err
+			}
+			fns = append(fns, fn)
+		}
+		chain := nf.NewChain("bench", fns...)
+		frame := packet.BuildUDP(phoneMAC, serverMAC, phoneIP, serverIP, 6000, 7000, make([]byte, 470))
+		start := time.Now()
+		for i := 0; i < frames; i++ {
+			if out := chain.Process(nf.Outbound, frame); len(out.Forward) != 1 {
+				return fmt.Errorf("frame lost in chain")
+			}
+		}
+		el := time.Since(start)
+		fps := frames / el.Seconds()
+		fmt.Printf("  %-8d %12.2f %12.2f\n", chainLen, fps/1e6, fps*float64(len(frame))*8/1e9)
+	}
+
+	fmt.Printf("  per-NF forwarding (one NF, workload-matched frames):\n")
+	fmt.Printf("  %-10s %12s\n", "kind", "kfps")
+	dnsWire, _ := packet.NewDNSQuery(1, "svc.gnf").Append(nil)
+	httpFrame := traffic.HTTPRequestFrame(phoneMAC, serverMAC, phoneIP, serverIP, 41000, "ok.example", "/")
+	udpFrame := packet.BuildUDP(phoneMAC, serverMAC, phoneIP, serverIP, 6000, 7000, make([]byte, 470))
+	dnsFrame := packet.BuildUDP(phoneMAC, serverMAC, phoneIP, serverIP, 6000, 53, dnsWire)
+	cases := []struct {
+		kind   string
+		params nf.Params
+		frame  []byte
+	}{
+		{"firewall", nf.Params{"policy": "accept", "rules": "drop out tcp any any any 23"}, udpFrame},
+		{"httpfilter", nf.Params{"block_hosts": "ads.example"}, httpFrame},
+		{"httpcache", nf.Params{}, httpFrame},
+		{"dnslb", nf.Params{"service": "svc.gnf", "backends": "10.1.0.1,10.1.0.2"}, dnsFrame},
+		{"ratelimit", nf.Params{"rate_bps": "10000000000", "burst_bytes": "1000000000"}, udpFrame},
+		{"nat", nf.Params{"nat_ip": "192.168.100.1"}, udpFrame},
+		{"dnscache", nf.Params{}, dnsFrame},
+		{"counter", nf.Params{}, udpFrame},
+	}
+	for _, c := range cases {
+		fn, err := nf.Default.New(c.kind, "bench", c.params)
+		if err != nil {
+			return err
+		}
+		// Refresh the frame from the master each iteration: rewriting
+		// NFs (NAT) mutate it in place, and re-processing the rewritten
+		// frame would mint a new flow mapping per iteration.
+		const n = 100_000
+		frame := packet.Clone(c.frame)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			copy(frame, c.frame)
+			fn.Process(nf.Outbound, frame)
+		}
+		fmt.Printf("  %-10s %12.0f\n", c.kind, n/time.Since(start).Seconds()/1e3)
+	}
+	return nil
+}
+
+// --- E5 ---------------------------------------------------------------------
+
+func runE5() error {
+	fmt.Printf("  %-8s %14s\n", "agents", "ping RTT")
+	for _, n := range []int{1, 4, 16, 64} {
+		mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		clk := clock.NewAutoVirtual()
+		repo := container.NewRepository(clk, 0, 0)
+		repo.Push(container.Image{Name: agent.ImageForKind("firewall"), SizeBytes: 1 << 20, MemoryBytes: 1 << 20})
+		links := make([]*agent.Link, 0, n)
+		for i := 0; i < n; i++ {
+			st := fmt.Sprintf("st-%03d", i)
+			sw := netem.NewSwitch(st)
+			up, _ := netem.NewVethPair(st+"-up", st+"-core")
+			sw.Attach(0, up)
+			ag := agent.New(topology.StationID(st), clk, container.NewRuntime(st, clk, repo), sw, 0)
+			link, err := agent.Connect(ag, mgr.Addr(), 50*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			links = append(links, link)
+		}
+		for len(mgr.Agents()) != n {
+			time.Sleep(time.Millisecond)
+		}
+		const pings = 200
+		start := time.Now()
+		for i := 0; i < pings; i++ {
+			st := mgr.Agents()[i%n]
+			h, _ := mgr.AgentHandleFor(st)
+			if err := h.Ping(); err != nil {
+				return err
+			}
+		}
+		rtt := time.Since(start) / pings
+		fmt.Printf("  %-8d %14v\n", n, rtt.Round(time.Microsecond))
+		for _, l := range links {
+			l.Close()
+		}
+		mgr.Close()
+	}
+	return nil
+}
+
+// --- E6 ---------------------------------------------------------------------
+
+func runE6() error {
+	fmt.Printf("  %-10s %10s %14s %12s %12s\n", "strategy", "flows", "downtime", "total", "state")
+	for _, strat := range []manager.Strategy{manager.StrategyCold, manager.StrategyStateful} {
+		for _, flows := range []int{0, 1000, 16000} {
+			clk := clock.NewAutoVirtual()
+			sys, _, err := newEdgeSystem(strat, clk, false)
+			if err != nil {
+				return err
+			}
+			spec := manager.ChainSpec{
+				Name: "nat-chain",
+				Functions: []agent.NFSpec{{
+					Kind: "nat", Name: "nat0",
+					Params: nf.Params{"nat_ip": "192.168.100.1", "ports": "30000-62000"},
+				}},
+			}
+			if err := sys.AttachChain("phone", spec); err != nil {
+				sys.Close()
+				return err
+			}
+			if err := sys.WaitChainOn("st-a", "nat-chain", 10*time.Second); err != nil {
+				sys.Close()
+				return err
+			}
+			chainFn, err := sys.Agent("st-a").ChainFunction("nat-chain")
+			if err != nil {
+				sys.Close()
+				return err
+			}
+			for i := 0; i < flows; i++ {
+				frame := packet.BuildUDP(phoneMAC, serverMAC, phoneIP, serverIP, uint16(i%60000+1), 53, nil)
+				chainFn.Process(nf.Outbound, frame)
+			}
+			rep, err := sys.Manager.MigrateChain("phone", "nat-chain", "st-b")
+			if err != nil {
+				sys.Close()
+				return err
+			}
+			fmt.Printf("  %-10s %10d %14v %12v %9.1f KiB\n", strat, flows,
+				rep.Downtime.Round(time.Microsecond), rep.Total.Round(time.Microsecond),
+				float64(rep.StateBytes)/1024)
+			sys.Close()
+		}
+	}
+	return nil
+}
+
+// --- E7 ---------------------------------------------------------------------
+
+func runE7() error {
+	sys, _, err := newEdgeSystem(manager.StrategyStateful, clock.System(), false)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	spec := manager.ChainSpec{
+		Name: "ids",
+		Functions: []agent.NFSpec{{
+			Kind: "counter", Name: "ids0",
+			Params: nf.Params{"signatures": "sig-marker"},
+		}},
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		return err
+	}
+	if err := sys.WaitChainOn("st-a", "ids", 10*time.Second); err != nil {
+		return err
+	}
+	// Paced bursts: an unpaced multi-thousand-packet burst just overflows
+	// the emulated access-link queue (drops, as on real links).
+	const alerts = 2000
+	phone := sys.ClientHost("phone")
+	payload := []byte("sig-marker event payload")
+	start := time.Now()
+	for i := 0; i < alerts; i++ {
+		phone.SendUDP(packet.Endpoint{Addr: serverIP, Port: 7100}, 6002, payload)
+		if i%50 == 49 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(sys.Manager.Notifications()) < alerts {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("notifications stalled at %d of %d", len(sys.Manager.Notifications()), alerts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	el := time.Since(start)
+	fmt.Printf("  %d alerts NF->Agent->Manager in %v  (%.0f alerts/s sustained, zero loss)\n",
+		alerts, el.Round(time.Millisecond), alerts/el.Seconds())
+	return nil
+}
+
+// --- E8 ---------------------------------------------------------------------
+
+func runE8() error {
+	measure := func(offload bool) (roamDowntime time.Duration, rtt time.Duration, err error) {
+		sys, _, err := newEdgeSystem(manager.StrategyStateful, clock.System(), true)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer sys.Close()
+		if err := sys.AttachChain("phone", fwChain("chain")); err != nil {
+			return 0, 0, err
+		}
+		if err := sys.WaitChainOn("st-a", "chain", 10*time.Second); err != nil {
+			return 0, 0, err
+		}
+		if offload {
+			if err := sys.OffloadClient("phone", "nimbus"); err != nil {
+				return 0, 0, err
+			}
+		}
+		// RTT through the deployed path.
+		phone := sys.ClientHost("phone")
+		phone.Learn(serverIP, serverMAC)
+		const pings = 20
+		start := time.Now()
+		for i := 0; i < pings; i++ {
+			ch, err := phone.Ping(serverIP, 7, uint16(i))
+			if err != nil {
+				return 0, 0, err
+			}
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				return 0, 0, fmt.Errorf("ping lost")
+			}
+		}
+		rtt = time.Since(start) / pings
+
+		// One roam; read its report.
+		if err := sys.Topo.Attach("phone", "cell-b"); err != nil {
+			return 0, 0, err
+		}
+		if err := sys.WaitClientAt("phone", "st-b", 10*time.Second); err != nil {
+			return 0, 0, err
+		}
+		sys.Manager.WaitIdle()
+		if !offload {
+			if err := sys.WaitChainOn("st-b", "chain", 10*time.Second); err != nil {
+				return 0, 0, err
+			}
+		}
+		for _, m := range sys.Manager.Migrations() {
+			if m.Err == "" && (m.Strategy == manager.StrategySteer) == offload {
+				roamDowntime = m.Downtime
+			}
+		}
+		return roamDowntime, rtt, nil
+	}
+
+	fmt.Printf("  %-12s %18s %14s\n", "hosting", "roam downtime", "RTT")
+	for _, offload := range []bool{false, true} {
+		down, rtt, err := measure(offload)
+		if err != nil {
+			return err
+		}
+		kind := "edge"
+		if offload {
+			kind = "cloud (GNFC)"
+		}
+		fmt.Printf("  %-12s %18v %14v\n", kind,
+			down.Round(10*time.Microsecond), rtt.Round(10*time.Microsecond))
+	}
+	fmt.Println("  (cloud WAN emulated at 5 ms one-way; chains never move once offloaded)")
+	return nil
+}
+
+// --- E9 ---------------------------------------------------------------------
+
+func runE9() error {
+	fmt.Printf("  %-8s %14s\n", "chains", "recovery")
+	for _, chains := range []int{1, 4, 16} {
+		sys, _, err := newEdgeSystem(manager.StrategyStateful, clock.System(), false)
+		if err != nil {
+			return err
+		}
+		sys.Manager.EnableFailover(0)
+		for c := 0; c < chains; c++ {
+			spec := manager.ChainSpec{
+				Name:      fmt.Sprintf("chain-%d", c),
+				Functions: []agent.NFSpec{{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}}},
+			}
+			if err := sys.AttachChain("phone", spec); err != nil {
+				sys.Close()
+				return err
+			}
+		}
+		start := time.Now()
+		if err := sys.KillStation("st-a"); err != nil {
+			sys.Close()
+			return err
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for len(sys.Manager.Failovers()) < chains {
+			if time.Now().After(deadline) {
+				sys.Close()
+				return fmt.Errorf("failover stalled at %d of %d", len(sys.Manager.Failovers()), chains)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		fmt.Printf("  %-8d %14v\n", chains, time.Since(start).Round(time.Millisecond))
+		sys.Close()
+	}
+	return nil
+}

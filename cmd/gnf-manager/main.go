@@ -1,0 +1,55 @@
+// Command gnf-manager runs the GNF Manager: it listens for Agent
+// connections on -listen and serves the UI/REST dashboard on -ui.
+//
+//	gnf-manager -listen 127.0.0.1:7701 -ui 127.0.0.1:8080 -strategy stateful
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"gnf/internal/clock"
+	"gnf/internal/manager"
+	"gnf/internal/ui"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7701", "address for agent connections")
+	uiAddr := flag.String("ui", "127.0.0.1:8080", "address for the UI/REST dashboard")
+	strategy := flag.String("strategy", "stateful", "roaming migration strategy: cold|stateful")
+	hotspot := flag.Float64("hotspot-cpu", 80, "CPU%% threshold for hotspot detection")
+	flag.Parse()
+
+	var strat manager.Strategy
+	switch *strategy {
+	case "cold":
+		strat = manager.StrategyCold
+	case "stateful":
+		strat = manager.StrategyStateful
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	mgr, err := manager.New(clock.System(), *listen,
+		manager.WithStrategy(strat), manager.WithHotspotCPU(*hotspot))
+	if err != nil {
+		log.Fatalf("manager: %v", err)
+	}
+	defer mgr.Close()
+
+	dash := ui.New(mgr)
+	if err := dash.Start(*uiAddr); err != nil {
+		log.Fatalf("ui: %v", err)
+	}
+	defer dash.Close()
+
+	log.Printf("gnf-manager: agents on %s, dashboard on http://%s/", mgr.Addr(), dash.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("gnf-manager: shutting down")
+}

@@ -1,0 +1,173 @@
+// Command gnfctl is the operator CLI for a running gnf-manager, speaking
+// the UI's REST API.
+//
+//	gnfctl -api http://127.0.0.1:8080 overview
+//	gnfctl -api ... stations | notifications | migrations | hotspots
+//	gnfctl -api ... attach  <client> <chain> <kind[:k=v,k=v]> [more fns...]
+//	gnfctl -api ... detach  <client> <chain>
+//	gnfctl -api ... migrate <client> <chain> <station>
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/ui"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: gnfctl [-api URL] <command> [args]
+
+commands:
+  overview                         cluster summary
+  stations                         per-station health
+  notifications                    NF alerts collected by the manager
+  migrations                       completed chain migrations
+  attach <client> <chain> <fn>...  attach an NF chain; fn = kind[:k=v,k=v]
+  detach <client> <chain>          remove a chain
+  migrate <client> <chain> <to>    move a chain to another station
+  offload <client> <site>          move all of a client's chains to a cloud site
+  recall <client>                  return an offloaded client's chains to the edge
+  failovers                        failed stations and recovery reports
+  placement                        active policy + per-station capacity view
+`)
+	os.Exit(2)
+}
+
+func main() {
+	api := flag.String("api", "http://127.0.0.1:8080", "manager UI base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "overview":
+		err = getAndPrint(*api + "/api/overview")
+	case "stations":
+		err = getAndPrint(*api + "/api/stations")
+	case "notifications":
+		err = getAndPrint(*api + "/api/notifications")
+	case "migrations":
+		err = getAndPrint(*api + "/api/migrations")
+	case "attach":
+		if len(args) < 4 {
+			usage()
+		}
+		err = attach(*api, args[1], args[2], args[3:])
+	case "detach":
+		if len(args) != 3 {
+			usage()
+		}
+		err = post(*api+"/api/chains/detach", ui.DetachRequest{Client: args[1], Chain: args[2]})
+	case "migrate":
+		if len(args) != 4 {
+			usage()
+		}
+		err = post(*api+"/api/chains/migrate", ui.MigrateRequest{Client: args[1], Chain: args[2], To: args[3]})
+	case "offload":
+		if len(args) != 3 {
+			usage()
+		}
+		err = post(*api+"/api/clients/offload", ui.OffloadRequest{Client: args[1], Site: args[2]})
+	case "recall":
+		if len(args) != 2 {
+			usage()
+		}
+		err = post(*api+"/api/clients/recall", ui.RecallRequest{Client: args[1]})
+	case "failovers":
+		err = getAndPrint(*api + "/api/failovers")
+	case "placement":
+		err = getAndPrint(*api + "/api/placement")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnfctl:", err)
+		os.Exit(1)
+	}
+}
+
+// parseFn turns "firewall:policy=drop,rules=accept any udp" into an NFSpec.
+func parseFn(idx int, s string) (agent.NFSpec, error) {
+	kind, rest, hasParams := strings.Cut(s, ":")
+	if kind == "" {
+		return agent.NFSpec{}, fmt.Errorf("empty NF kind in %q", s)
+	}
+	spec := agent.NFSpec{Kind: kind, Name: fmt.Sprintf("%s-%d", kind, idx), Params: nf.Params{}}
+	if hasParams {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return agent.NFSpec{}, fmt.Errorf("bad parameter %q (want k=v)", kv)
+			}
+			spec.Params[k] = v
+		}
+	}
+	return spec, nil
+}
+
+func attach(api, client, chain string, fnArgs []string) error {
+	var fns []agent.NFSpec
+	for i, s := range fnArgs {
+		fn, err := parseFn(i, s)
+		if err != nil {
+			return err
+		}
+		fns = append(fns, fn)
+	}
+	return post(api+"/api/chains/attach", ui.AttachRequest{
+		Client: client,
+		Chain:  manager.ChainSpec{Name: chain, Functions: fns},
+	})
+}
+
+func getAndPrint(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printBody(resp)
+}
+
+func post(url string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printBody(resp)
+}
+
+func printBody(resp *http.Response) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		fmt.Println(pretty.String())
+	} else {
+		fmt.Println(strings.TrimSpace(string(raw)))
+	}
+	return nil
+}

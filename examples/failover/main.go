@@ -1,0 +1,97 @@
+// Failover: the Manager's health monitoring (§3) closing the loop. Three
+// stations serve a client whose chain runs at its station; the station
+// then crashes (its agent connection drops). With failover armed, the
+// Manager detects the loss, re-places the chain on a survivor and records
+// the recovery. The station later rejoins.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/core"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	sys, err := core.NewSystem(core.Config{
+		Strategy:       manager.StrategyStateful,
+		ReportInterval: 100 * time.Millisecond,
+		Stations: []core.StationConfig{
+			{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []core.CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+			{ID: "st-c", Cells: []core.CellConfig{{ID: "cell-c", Center: topology.Point{X: 200}, Radius: 60}}},
+		},
+	})
+	must(err)
+	defer sys.Close()
+
+	// Arm automatic failover: dropped connections recover immediately;
+	// silent stations after 500 ms of missed heartbeats.
+	sys.Manager.EnableFailover(500 * time.Millisecond)
+	sys.Manager.SetPlacement(manager.LeastLoadedPlacement{})
+
+	must(sys.AddClient("phone", packet.MAC{2, 0, 0, 0, 0, 0x10}, packet.IP{10, 0, 0, 10}))
+	must(sys.Topo.Attach("phone", "cell-a"))
+	must(sys.WaitClientAt("phone", "st-a", 5*time.Second))
+
+	must(sys.AttachChain("phone", manager.ChainSpec{
+		Name:      "fw-chain",
+		Functions: []agent.NFSpec{{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}}},
+	}))
+	must(sys.WaitChainOn("st-a", "fw-chain", 5*time.Second))
+	fmt.Println("chain deployed on st-a; stations:", sys.Manager.Agents())
+
+	// st-a dies.
+	fmt.Println("\nkilling st-a ...")
+	start := time.Now()
+	must(sys.KillStation("st-a"))
+	deadline := time.Now().Add(10 * time.Second)
+	for len(sys.Manager.Failovers()) == 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("no failover detected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sys.Manager.WaitIdle()
+	elapsed := time.Since(start)
+
+	for _, rep := range sys.Manager.Failovers() {
+		if rep.Err != "" {
+			log.Fatalf("failover failed: %+v", rep)
+		}
+		fmt.Printf("recovered %s/%s: %s -> %s in %v (wall %v)\n",
+			rep.Client, rep.Chain, rep.Station, rep.To,
+			rep.Recovered.Round(time.Millisecond), elapsed.Round(time.Millisecond))
+		if err := sys.WaitChainOn(topology.StationID(rep.To), rep.Chain, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("failed stations:", sys.Manager.FailedStations())
+	fmt.Println("surviving agents:", sys.Manager.Agents())
+
+	// The station comes back and is usable again.
+	fmt.Println("\nrestarting st-a ...")
+	must(sys.RestartStation("st-a"))
+	deadline = time.Now().Add(10 * time.Second)
+	for len(sys.Manager.Agents()) != 3 {
+		if time.Now().After(deadline) {
+			log.Fatal("st-a never rejoined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("st-a rejoined; failed stations:", sys.Manager.FailedStations())
+}

@@ -1,0 +1,501 @@
+// Package agent implements the GNF Agent of §3: "a lightweight daemon
+// running on the stations managed by the provider. It is responsible for
+// the instantiation of the NFs on the hosting platform, notifying the
+// Manager of clients' (dis)connection and reporting periodically the state
+// of the device."
+//
+// The Agent owns its station's dataplane: the software switch, the
+// container runtime, and — per deployed chain — the two veth pairs that
+// connect the chain's container(s) to the switch, plus the steering rules
+// that transparently divert the client's traffic through the chain.
+//
+// Design note on chains vs containers: GNF runs every NF of a chain in its
+// own container (that is what the density and footprint accounting model),
+// while the packet path hosts the whole chain in one ChainHost between a
+// single ingress/egress veth pair. This keeps resource accounting faithful
+// per NF without paying a synthetic per-hop veth cost that the in-process
+// chain would render meaningless.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/container"
+	"gnf/internal/netem"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// Errors returned by the agent.
+var (
+	ErrUnknownChain  = errors.New("agent: unknown chain")
+	ErrChainExists   = errors.New("agent: chain already deployed")
+	ErrUnknownClient = errors.New("agent: unknown client")
+	ErrNoTunnel      = errors.New("agent: no tunnel to station")
+	ErrNotRemote     = errors.New("agent: chain is not a remote deployment")
+)
+
+// Steering rule priorities: client redirection beats everything else the
+// station programs, and the offload detour beats local chain steering so
+// an offloaded client's traffic leaves for the cloud before any local
+// rule can claim it.
+const (
+	steerPriority  = 100
+	detourPriority = 200
+)
+
+// clientInfo tracks one associated client.
+type clientInfo struct {
+	id   topology.ClientID
+	mac  packet.MAC
+	ip   packet.IP
+	port netem.PortID
+}
+
+// deployment is one running chain.
+type deployment struct {
+	spec       DeploySpec
+	chain      *nf.Chain
+	host       *nf.ChainHost
+	containers []*container.Container
+	endpoints  []*netem.Endpoint // switch-side ends (close on remove)
+	ruleIDs    []int
+	ports      [2]netem.PortID
+}
+
+// Agent is the station daemon.
+type Agent struct {
+	station  topology.StationID
+	clk      clock.Clock
+	rt       *container.Runtime
+	sw       *netem.Switch
+	uplink   netem.PortID
+	registry *nf.Registry
+	cloud    bool
+
+	mu          sync.Mutex
+	clients     map[topology.ClientID]clientInfo
+	deployments map[string]*deployment
+	tunnels     map[topology.StationID]netem.PortID
+	steers      map[topology.ClientID]int // detour rule IDs
+	nextPort    netem.PortID
+	notifySink  func(Alert)
+	clientSink  func(ClientEvent)
+}
+
+// Option configures New.
+type Option func(*Agent)
+
+// WithRegistry overrides the NF factory registry (default nf.Default).
+func WithRegistry(r *nf.Registry) Option { return func(a *Agent) { a.registry = r } }
+
+// WithCloud marks this agent's station as a GNFC cloud site. Cloud sites
+// register with the Cloud flag, host offloaded chains with remote steering
+// and are skipped by edge placement policies.
+func WithCloud() Option { return func(a *Agent) { a.cloud = true } }
+
+// New creates an agent for station, owning switch sw (with the uplink to
+// the backhaul already attached at uplinkPort) and container runtime rt.
+func New(station topology.StationID, clk clock.Clock, rt *container.Runtime, sw *netem.Switch, uplinkPort netem.PortID, opts ...Option) *Agent {
+	a := &Agent{
+		station:     station,
+		clk:         clk,
+		rt:          rt,
+		sw:          sw,
+		uplink:      uplinkPort,
+		registry:    nf.Default,
+		clients:     make(map[topology.ClientID]clientInfo),
+		deployments: make(map[string]*deployment),
+		tunnels:     make(map[topology.StationID]netem.PortID),
+		steers:      make(map[topology.ClientID]int),
+		nextPort:    1000,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Station returns the agent's station ID.
+func (a *Agent) Station() topology.StationID { return a.station }
+
+// Cloud reports whether this station is a GNFC cloud site.
+func (a *Agent) Cloud() bool { return a.cloud }
+
+// Switch returns the station's software switch.
+func (a *Agent) Switch() *netem.Switch { return a.sw }
+
+// Runtime returns the station's container runtime.
+func (a *Agent) Runtime() *container.Runtime { return a.rt }
+
+// OnAlert installs the sink receiving NF notifications (the connected
+// manager link installs itself here).
+func (a *Agent) OnAlert(fn func(Alert)) {
+	a.mu.Lock()
+	a.notifySink = fn
+	a.mu.Unlock()
+}
+
+// OnClientEvent installs the sink receiving client (dis)connections.
+func (a *Agent) OnClientEvent(fn func(ClientEvent)) {
+	a.mu.Lock()
+	a.clientSink = fn
+	a.mu.Unlock()
+}
+
+// allocPort reserves a fresh switch port id. Called with mu held.
+func (a *Agent) allocPort() netem.PortID {
+	p := a.nextPort
+	a.nextPort++
+	return p
+}
+
+// AttachClient wires an associated client into the station switch at the
+// given port (the core wiring layer created the veth). It fires the
+// (dis)connection notification toward the manager.
+func (a *Agent) AttachClient(id topology.ClientID, mac packet.MAC, ip packet.IP, port netem.PortID) {
+	a.mu.Lock()
+	a.clients[id] = clientInfo{id: id, mac: mac, ip: ip, port: port}
+	sink := a.clientSink
+	a.mu.Unlock()
+	// Sticky FDB entry, as an AP installs for an associated station: the
+	// client's frames flooded back from the backhaul must never repoint
+	// local forwarding away from the access port.
+	a.sw.PinMAC(mac, port)
+	if sink != nil {
+		sink(ClientEvent{Station: string(a.station), Client: string(id), Connected: true, MAC: mac, IP: ip})
+	}
+}
+
+// DetachClient removes a client (cell disassociation). Any offload detour
+// dies with the association: the client's traffic now enters at its next
+// station, which installs its own detour.
+func (a *Agent) DetachClient(id topology.ClientID) {
+	a.mu.Lock()
+	ci, known := a.clients[id]
+	delete(a.clients, id)
+	steerID, steered := a.steers[id]
+	delete(a.steers, id)
+	sink := a.clientSink
+	a.mu.Unlock()
+	if known {
+		a.sw.UnpinMAC(ci.mac)
+	}
+	if steered {
+		a.sw.RemoveRule(steerID)
+	}
+	if known && sink != nil {
+		sink(ClientEvent{Station: string(a.station), Client: string(id), Connected: false})
+	}
+}
+
+// Client returns the attach record for a client.
+func (a *Agent) Client(id topology.ClientID) (mac packet.MAC, ip packet.IP, port netem.PortID, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ci, ok := a.clients[id]
+	if !ok {
+		return packet.MAC{}, packet.IP{}, 0, fmt.Errorf("%w: %s", ErrUnknownClient, id)
+	}
+	return ci.mac, ci.ip, ci.port, nil
+}
+
+// Deploy instantiates spec: containers are created and started, veths
+// wired, steering installed. It returns the modeled attach latency.
+func (a *Agent) Deploy(spec DeploySpec) (*DeployResult, error) {
+	a.mu.Lock()
+	if _, dup := a.deployments[spec.Chain]; dup {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrChainExists, spec.Chain)
+	}
+	ci, haveClient := a.clients[topology.ClientID(spec.Client)]
+	a.mu.Unlock()
+
+	started := a.clk.Now()
+
+	// Build the chain functions from the registry.
+	fns := make([]nf.Function, 0, len(spec.Functions))
+	for _, fs := range spec.Functions {
+		fn, err := a.registry.New(fs.Kind, fs.Name, fs.Params)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, fn)
+	}
+	chain := nf.NewChain(spec.Chain, fns...)
+	chain.SetClock(a.clk)
+	chain.SetNotifier(func(n nf.Notification) {
+		a.mu.Lock()
+		sink := a.notifySink
+		a.mu.Unlock()
+		if sink != nil {
+			sink(Alert{Station: string(a.station), Notification: n})
+		}
+	})
+
+	// One container per NF, as GNF packages functions individually.
+	var ctrs []*container.Container
+	cleanupCtrs := func() {
+		for _, c := range ctrs {
+			c.Stop()
+			c.Remove()
+		}
+	}
+	for i, fs := range spec.Functions {
+		c, err := a.rt.Create(container.Config{
+			Name:  fmt.Sprintf("%s-%d-%s", spec.Chain, i, fs.Kind),
+			Image: ImageForKind(fs.Kind),
+		})
+		if err != nil {
+			cleanupCtrs()
+			return nil, err
+		}
+		ctrs = append(ctrs, c)
+		if err := c.Start(); err != nil {
+			cleanupCtrs()
+			return nil, err
+		}
+	}
+	// The chain's aggregate state rides the first container's checkpoint.
+	if len(ctrs) > 0 {
+		ctrs[0].SetStateHandler(chain)
+	}
+
+	// Two veth pairs: switch <-> chain ingress, switch <-> chain egress.
+	swIn, chainIn := netem.NewVethPair(spec.Chain+"-in0", spec.Chain+"-in1", netem.WithClock(a.clk))
+	swOut, chainOut := netem.NewVethPair(spec.Chain+"-out0", spec.Chain+"-out1", netem.WithClock(a.clk))
+	host := nf.NewChainHost(chain, chainIn, chainOut)
+
+	a.mu.Lock()
+	inPort, outPort := a.allocPort(), a.allocPort()
+	a.mu.Unlock()
+	a.sw.AttachService(inPort, swIn)
+	a.sw.AttachService(outPort, swOut)
+
+	// Steering. Local chains divert the attached client's traffic: the
+	// client's outbound traffic enters the chain ingress; backhaul
+	// traffic addressed to the client enters the chain egress. Remote
+	// (offloaded) chains receive the client's traffic through a tunnel
+	// from the client's station instead, and frames the chain emits
+	// toward the client ride the same tunnel home.
+	var ruleIDs []int
+	switch {
+	case spec.Remote:
+		a.mu.Lock()
+		tp, ok := a.tunnels[topology.StationID(spec.Via)]
+		a.mu.Unlock()
+		if !ok {
+			cleanupCtrs()
+			for _, ep := range []*netem.Endpoint{swIn, swOut} {
+				ep.Close()
+			}
+			a.sw.Detach(inPort)
+			a.sw.Detach(outPort)
+			return nil, fmt.Errorf("%w: %s", ErrNoTunnel, spec.Via)
+		}
+		ruleIDs = a.installRemoteSteering(spec, tp, inPort, outPort)
+	case haveClient:
+		cp := ci.port
+		ruleIDs = append(ruleIDs, a.sw.AddRule(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &cp},
+			Action:   netem.ActionRedirect,
+			OutPort:  inPort,
+		}))
+		up := a.uplink
+		dstIP := ci.ip
+		ruleIDs = append(ruleIDs, a.sw.AddRule(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &up, DstIP: &dstIP},
+			Action:   netem.ActionRedirect,
+			OutPort:  outPort,
+		}))
+	}
+
+	dep := &deployment{
+		spec:       spec,
+		chain:      chain,
+		host:       host,
+		containers: ctrs,
+		endpoints:  []*netem.Endpoint{swIn, swOut},
+		ruleIDs:    ruleIDs,
+		ports:      [2]netem.PortID{inPort, outPort},
+	}
+	if spec.Enabled {
+		host.Enable()
+	}
+	a.mu.Lock()
+	a.deployments[spec.Chain] = dep
+	a.mu.Unlock()
+
+	res := &DeployResult{Chain: spec.Chain, AttachMillis: a.clk.Since(started).Milliseconds()}
+	for _, c := range ctrs {
+		res.Containers = append(res.Containers, c.Name())
+	}
+	return res, nil
+}
+
+// ImageForKind maps an NF kind to its repository image name.
+func ImageForKind(kind string) string { return "gnf/" + kind + ":1.0" }
+
+// get fetches a deployment.
+func (a *Agent) get(chain string) (*deployment, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.deployments[chain]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+	}
+	return d, nil
+}
+
+// Enable starts forwarding on a deployed chain.
+func (a *Agent) Enable(chain string) error {
+	d, err := a.get(chain)
+	if err != nil {
+		return err
+	}
+	d.host.Enable()
+	return nil
+}
+
+// Disable pauses forwarding (traffic drops while disabled).
+func (a *Agent) Disable(chain string) error {
+	d, err := a.get(chain)
+	if err != nil {
+		return err
+	}
+	d.host.Disable()
+	return nil
+}
+
+// Checkpoint exports the chain's aggregate NF state.
+func (a *Agent) Checkpoint(chain string) ([]byte, error) {
+	d, err := a.get(chain)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.containers) == 0 {
+		return d.chain.ExportState()
+	}
+	return d.containers[0].Checkpoint()
+}
+
+// Restore imports chain state exported by Checkpoint.
+func (a *Agent) Restore(chain string, state []byte) error {
+	d, err := a.get(chain)
+	if err != nil {
+		return err
+	}
+	if len(d.containers) == 0 {
+		return d.chain.ImportState(state)
+	}
+	return d.containers[0].Restore(state)
+}
+
+// Remove tears a deployment down: steering rules out first (traffic cuts
+// over to normal forwarding), then containers, ports and veths.
+func (a *Agent) Remove(chain string) error {
+	a.mu.Lock()
+	d, ok := a.deployments[chain]
+	if !ok {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+	}
+	delete(a.deployments, chain)
+	a.mu.Unlock()
+
+	for _, id := range d.ruleIDs {
+		a.sw.RemoveRule(id)
+	}
+	d.host.Disable()
+	a.sw.Detach(d.ports[0])
+	a.sw.Detach(d.ports[1])
+	for _, ep := range d.endpoints {
+		ep.Close()
+	}
+	var firstErr error
+	for _, c := range d.containers {
+		if err := c.Stop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := c.Remove(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Prefetch warms images on the local cache (migration pre-staging).
+func (a *Agent) Prefetch(images []string) error {
+	for _, img := range images {
+		if err := a.rt.PrefetchImage(img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chains lists deployment names.
+func (a *Agent) Chains() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.deployments))
+	for name := range a.deployments {
+		out = append(out, name)
+	}
+	return out
+}
+
+// ChainFunction exposes the live chain function (local callers only, e.g.
+// tests asserting NF state).
+func (a *Agent) ChainFunction(chain string) (*nf.Chain, error) {
+	d, err := a.get(chain)
+	if err != nil {
+		return nil, err
+	}
+	return d.chain, nil
+}
+
+// Report builds the periodic status report.
+func (a *Agent) Report() Report {
+	swst := a.sw.Stats()
+	rep := Report{
+		Station: string(a.station),
+		Usage:   a.rt.Usage(),
+		Switch: SwitchStats{
+			RxFrames:  swst.RxFrames,
+			Dropped:   swst.Dropped,
+			Flooded:   swst.Flooded,
+			Redirects: swst.Redirects,
+			Rules:     swst.Rules,
+		},
+		UnixNano: a.clk.Now().UnixNano(),
+	}
+	a.mu.Lock()
+	deps := make([]*deployment, 0, len(a.deployments))
+	for _, d := range a.deployments {
+		deps = append(deps, d)
+	}
+	a.mu.Unlock()
+	for _, d := range deps {
+		cs := ChainStatus{
+			Chain:     d.spec.Chain,
+			Client:    d.spec.Client,
+			Enabled:   d.host.Enabled(),
+			Processed: d.host.Processed(),
+			Dropped:   d.host.Dropped(),
+			NFStats:   d.chain.NFStats(),
+		}
+		rep.Chains = append(rep.Chains, cs)
+	}
+	return rep
+}
+
+// reportEvery is the default health reporting interval.
+const reportEvery = time.Second

@@ -1,0 +1,170 @@
+package agent
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"gnf/internal/topology"
+	"gnf/internal/wire"
+)
+
+// Link is the agent's connection to the Manager: it serves the agent.*
+// RPC methods and pushes registration, periodic reports, client events and
+// NF alerts upward.
+type Link struct {
+	agent *Agent
+	peer  *wire.Peer
+
+	mu      sync.Mutex
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// Connect dials the manager, registers this agent and starts the
+// reporting loop. interval <= 0 uses the 1s default.
+func Connect(a *Agent, managerAddr string, interval time.Duration) (*Link, error) {
+	peer, err := wire.Dial(managerAddr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{agent: a, peer: peer, stop: make(chan struct{}), done: make(chan struct{})}
+	l.installHandlers()
+	go peer.Run()
+
+	if err := peer.Call(MethodRegister, RegisterSpec{
+		Station:     string(a.Station()),
+		MemoryBytes: a.Runtime().Capacity(),
+		Cloud:       a.Cloud(),
+	}, nil); err != nil {
+		peer.Close()
+		return nil, err
+	}
+	// NF alerts and client events relay through the link.
+	a.OnAlert(func(al Alert) { peer.Notify(MethodNFAlert, al) })
+	a.OnClientEvent(func(ev ClientEvent) { peer.Notify(MethodClientEvent, ev) })
+
+	if interval <= 0 {
+		interval = reportEvery
+	}
+	go l.reportLoop(interval)
+	peer.OnClose(func(error) { l.Close() })
+	return l, nil
+}
+
+// Peer exposes the underlying wire peer (tests).
+func (l *Link) Peer() *wire.Peer { return l.peer }
+
+// Close stops reporting and closes the connection.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	close(l.stop)
+	l.mu.Unlock()
+	l.peer.Close()
+	<-l.done
+}
+
+func (l *Link) reportLoop(interval time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.peer.Notify(MethodReport, l.agent.Report())
+		}
+	}
+}
+
+// installHandlers exposes the agent's local API over the wire.
+func (l *Link) installHandlers() {
+	a := l.agent
+	l.peer.Handle(MethodPing, func(json.RawMessage) (any, error) {
+		return map[string]string{"station": string(a.Station())}, nil
+	})
+	l.peer.Handle(MethodDeploy, func(body json.RawMessage) (any, error) {
+		var spec DeploySpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return a.Deploy(spec)
+	})
+	l.peer.Handle(MethodRemove, func(body json.RawMessage) (any, error) {
+		var ref ChainRef
+		if err := json.Unmarshal(body, &ref); err != nil {
+			return nil, err
+		}
+		return nil, a.Remove(ref.Chain)
+	})
+	l.peer.Handle(MethodEnable, func(body json.RawMessage) (any, error) {
+		var ref ChainRef
+		if err := json.Unmarshal(body, &ref); err != nil {
+			return nil, err
+		}
+		return nil, a.Enable(ref.Chain)
+	})
+	l.peer.Handle(MethodDisable, func(body json.RawMessage) (any, error) {
+		var ref ChainRef
+		if err := json.Unmarshal(body, &ref); err != nil {
+			return nil, err
+		}
+		return nil, a.Disable(ref.Chain)
+	})
+	l.peer.Handle(MethodCheckpoint, func(body json.RawMessage) (any, error) {
+		var ref ChainRef
+		if err := json.Unmarshal(body, &ref); err != nil {
+			return nil, err
+		}
+		state, err := a.Checkpoint(ref.Chain)
+		if err != nil {
+			return nil, err
+		}
+		return CheckpointResult{Chain: ref.Chain, State: state}, nil
+	})
+	l.peer.Handle(MethodRestore, func(body json.RawMessage) (any, error) {
+		var spec RestoreSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return nil, a.Restore(spec.Chain, spec.State)
+	})
+	l.peer.Handle(MethodPrefetch, func(body json.RawMessage) (any, error) {
+		var spec PrefetchSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return nil, a.Prefetch(spec.Images)
+	})
+	l.peer.Handle(MethodStats, func(json.RawMessage) (any, error) {
+		return a.Report(), nil
+	})
+	l.peer.Handle(MethodSteer, func(body json.RawMessage) (any, error) {
+		var spec SteerSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return nil, a.Steer(topology.ClientID(spec.Client), topology.StationID(spec.Via))
+	})
+	l.peer.Handle(MethodUnsteer, func(body json.RawMessage) (any, error) {
+		var spec UnsteerSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return nil, a.ClearSteer(topology.ClientID(spec.Client))
+	})
+	l.peer.Handle(MethodRetarget, func(body json.RawMessage) (any, error) {
+		var spec RetargetSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return nil, a.Retarget(spec.Chain, topology.StationID(spec.Via))
+	})
+}

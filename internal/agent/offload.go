@@ -1,0 +1,172 @@
+// GNFC offload support (Cziva et al., "GNFC: Towards Network Function
+// Cloudification", IEEE NFV-SDN 2016 — reference [2] of the demo paper):
+// chains can run away from the client's station, typically on a cloud
+// site, with the client's traffic detoured through a provisioned tunnel.
+//
+// The agent's share of the mechanism is three-fold:
+//
+//   - Tunnels: the wiring layer provisions one WAN-emulated veth between
+//     every edge station and every cloud site, attached as *service* ports
+//     (no MAC learning, excluded from flooding) so the L2 topology stays
+//     loop-free, and registers each end here.
+//   - Detour steering (client's station): a high-priority rule redirects
+//     everything the client emits into the tunnel toward the hosting site.
+//   - Remote chain steering (hosting site): tunnel arrivals from the
+//     client enter the chain ingress; backhaul frames addressed to the
+//     client enter the chain egress; frames the chain emits toward the
+//     client are pushed back into the tunnel.
+package agent
+
+import (
+	"fmt"
+
+	"gnf/internal/netem"
+	"gnf/internal/topology"
+)
+
+// RegisterTunnel records the local switch port of a provisioned tunnel to
+// peer. The wiring layer calls this on both ends after attaching the
+// tunnel veth as service ports.
+func (a *Agent) RegisterTunnel(peer topology.StationID, port netem.PortID) {
+	a.mu.Lock()
+	a.tunnels[peer] = port
+	a.mu.Unlock()
+}
+
+// TunnelTo reports the local port of the tunnel to peer.
+func (a *Agent) TunnelTo(peer topology.StationID) (netem.PortID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.tunnels[peer]
+	return p, ok
+}
+
+// Tunnels lists registered tunnel peers.
+func (a *Agent) Tunnels() []topology.StationID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]topology.StationID, 0, len(a.tunnels))
+	for p := range a.tunnels {
+		out = append(out, p)
+	}
+	return out
+}
+
+// installRemoteSteering programs the hosting-site rules for a remote
+// deployment: tunnel ingress by client source MAC, backhaul egress by
+// client destination MAC (MAC, not IP, so unicast ARP replies detour
+// too), and the return leg from the chain's client side back into the
+// tunnel.
+func (a *Agent) installRemoteSteering(spec DeploySpec, tunnel netem.PortID, inPort, outPort netem.PortID) []int {
+	src, dst := spec.ClientMAC, spec.ClientMAC
+	up := a.uplink
+	tp := tunnel
+	cin := inPort
+	return []int{
+		a.sw.AddRule(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &tp, SrcMAC: &src},
+			Action:   netem.ActionRedirect,
+			OutPort:  inPort,
+		}),
+		a.sw.AddRule(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &up, DstMAC: &dst},
+			Action:   netem.ActionRedirect,
+			OutPort:  outPort,
+		}),
+		a.sw.AddRule(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &cin},
+			Action:   netem.ActionRedirect,
+			OutPort:  tp,
+		}),
+	}
+}
+
+// Steer detours everything the client emits into the tunnel toward via —
+// the client-station half of an offload. Re-steering an already steered
+// client atomically replaces the previous detour.
+func (a *Agent) Steer(client topology.ClientID, via topology.StationID) error {
+	a.mu.Lock()
+	ci, haveClient := a.clients[client]
+	tp, haveTunnel := a.tunnels[via]
+	oldRule, wasSteered := a.steers[client]
+	a.mu.Unlock()
+	if !haveClient {
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	if !haveTunnel {
+		return fmt.Errorf("%w: %s", ErrNoTunnel, via)
+	}
+	cp := ci.port
+	id := a.sw.AddRule(netem.Rule{
+		Priority: detourPriority,
+		Match:    netem.Match{InPort: &cp},
+		Action:   netem.ActionRedirect,
+		OutPort:  tp,
+	})
+	a.mu.Lock()
+	a.steers[client] = id
+	a.mu.Unlock()
+	if wasSteered {
+		a.sw.RemoveRule(oldRule)
+	}
+	return nil
+}
+
+// ClearSteer removes the client's detour; its traffic flows the normal
+// station path (and through any local chains) again.
+func (a *Agent) ClearSteer(client topology.ClientID) error {
+	a.mu.Lock()
+	id, ok := a.steers[client]
+	delete(a.steers, client)
+	a.mu.Unlock()
+	if !ok {
+		return nil // idempotent: recall after partial failures re-clears
+	}
+	a.sw.RemoveRule(id)
+	return nil
+}
+
+// Steered reports whether the client currently has a detour installed.
+func (a *Agent) Steered(client topology.ClientID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.steers[client]
+	return ok
+}
+
+// Retarget re-points a remote deployment at the tunnel to via — the
+// hosting-site half of roaming an offloaded client: the chain stays put,
+// only its tunnel rules move.
+func (a *Agent) Retarget(chain string, via topology.StationID) error {
+	a.mu.Lock()
+	dep, ok := a.deployments[chain]
+	if !ok {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+	}
+	if !dep.spec.Remote {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotRemote, chain)
+	}
+	tp, haveTunnel := a.tunnels[via]
+	a.mu.Unlock()
+	if !haveTunnel {
+		return fmt.Errorf("%w: %s", ErrNoTunnel, via)
+	}
+
+	spec := dep.spec
+	spec.Via = string(via)
+	newRules := a.installRemoteSteering(spec, tp, dep.ports[0], dep.ports[1])
+	a.mu.Lock()
+	old := dep.ruleIDs
+	dep.ruleIDs = newRules
+	dep.spec = spec
+	a.mu.Unlock()
+	for _, id := range old {
+		a.sw.RemoveRule(id)
+	}
+	return nil
+}

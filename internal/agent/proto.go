@@ -1,0 +1,165 @@
+package agent
+
+import (
+	"gnf/internal/metrics"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+// Wire method names spoken between Manager and Agent. Methods prefixed
+// "agent." are served by the Agent (Manager calls down); "manager." methods
+// are served by the Manager (Agent calls/notifies up).
+const (
+	// Agent-served methods.
+	MethodDeploy     = "agent.deploy"
+	MethodRemove     = "agent.remove"
+	MethodCheckpoint = "agent.checkpoint"
+	MethodRestore    = "agent.restore"
+	MethodEnable     = "agent.enable"
+	MethodDisable    = "agent.disable"
+	MethodPrefetch   = "agent.prefetch"
+	MethodStats      = "agent.stats"
+	MethodPing       = "agent.ping"
+	MethodSteer      = "agent.steer"
+	MethodUnsteer    = "agent.unsteer"
+	MethodRetarget   = "agent.retarget"
+
+	// Manager-served methods.
+	MethodRegister    = "manager.register"
+	MethodReport      = "manager.report"      // notify
+	MethodClientEvent = "manager.clientEvent" // notify
+	MethodNFAlert     = "manager.nfAlert"     // notify
+)
+
+// NFSpec describes one function of a chain to instantiate via the NF
+// registry.
+type NFSpec struct {
+	Kind   string    `json:"kind"`
+	Name   string    `json:"name"`
+	Params nf.Params `json:"params,omitempty"`
+}
+
+// DeploySpec asks an Agent to run a chain for one client's traffic.
+type DeploySpec struct {
+	Chain     string     `json:"chain"` // unique deployment name
+	Client    string     `json:"client"`
+	ClientMAC packet.MAC `json:"client_mac"`
+	ClientIP  packet.IP  `json:"client_ip"`
+	Functions []NFSpec   `json:"functions"`
+	// Enabled starts forwarding immediately (default for fresh deploys);
+	// migrations deploy disabled, restore state, then enable.
+	Enabled bool `json:"enabled"`
+	// Remote deploys the chain away from the client's station (GNFC
+	// offload): traffic arrives through the tunnel from Via, and
+	// ClientMAC/ClientIP must be set since the hosting agent has no
+	// local record of the client.
+	Remote bool `json:"remote,omitempty"`
+	// Via names the station whose tunnel delivers the client's traffic.
+	Via string `json:"via,omitempty"`
+}
+
+// DeployResult reports what the agent built.
+type DeployResult struct {
+	Chain        string   `json:"chain"`
+	Containers   []string `json:"containers"`
+	AttachMillis int64    `json:"attach_millis"` // modeled attach latency
+}
+
+// ChainRef names a deployment on an agent.
+type ChainRef struct {
+	Chain string `json:"chain"`
+}
+
+// CheckpointResult carries exported chain state.
+type CheckpointResult struct {
+	Chain string `json:"chain"`
+	State []byte `json:"state"` // base64 via JSON
+}
+
+// RestoreSpec imports chain state.
+type RestoreSpec struct {
+	Chain string `json:"chain"`
+	State []byte `json:"state"`
+}
+
+// PrefetchSpec warms an image on the agent's runtime.
+type PrefetchSpec struct {
+	Images []string `json:"images"`
+}
+
+// RegisterSpec announces an agent to the manager.
+type RegisterSpec struct {
+	Station     string `json:"station"`
+	MemoryBytes uint64 `json:"memory_bytes"`
+	// Cloud marks the station as a GNFC cloud site: high capacity behind
+	// a WAN link, eligible for offload placement but not client
+	// association.
+	Cloud bool `json:"cloud,omitempty"`
+}
+
+// Report is the periodic health/resource report of §3 ("reporting
+// periodically the state of the device").
+type Report struct {
+	Station  string                `json:"station"`
+	Usage    metrics.ResourceUsage `json:"usage"`
+	Switch   SwitchStats           `json:"switch"`
+	Chains   []ChainStatus         `json:"chains"`
+	UnixNano int64                 `json:"unix_nano"`
+}
+
+// SwitchStats mirrors netem.SwitchStats for the wire.
+type SwitchStats struct {
+	RxFrames  uint64 `json:"rx_frames"`
+	Dropped   uint64 `json:"dropped"`
+	Flooded   uint64 `json:"flooded"`
+	Redirects uint64 `json:"redirects"`
+	Rules     int    `json:"rules"`
+}
+
+// ChainStatus summarises one deployment for the UI.
+type ChainStatus struct {
+	Chain     string            `json:"chain"`
+	Client    string            `json:"client"`
+	Enabled   bool              `json:"enabled"`
+	Processed uint64            `json:"processed"`
+	Dropped   uint64            `json:"dropped"`
+	NFStats   map[string]uint64 `json:"nf_stats,omitempty"`
+}
+
+// ClientEvent reports client (dis)connection to the manager (§3: the Agent
+// is responsible for "notifying the Manager of clients' (dis)connection").
+type ClientEvent struct {
+	Station   string `json:"station"`
+	Client    string `json:"client"`
+	Connected bool   `json:"connected"`
+	// MAC and IP carry the client's addressing on connect events so the
+	// Manager can deploy remote (offloaded) chains, whose hosting agent
+	// has no local client table entry to resolve them from.
+	MAC packet.MAC `json:"mac,omitempty"`
+	IP  packet.IP  `json:"ip,omitempty"`
+}
+
+// SteerSpec asks a client's station to detour the client's traffic into
+// the tunnel toward Via (the GNFC offload detour).
+type SteerSpec struct {
+	Client string `json:"client"`
+	Via    string `json:"via"`
+}
+
+// UnsteerSpec removes a client's detour.
+type UnsteerSpec struct {
+	Client string `json:"client"`
+}
+
+// RetargetSpec re-points a remote deployment's tunnel rules at the tunnel
+// from Via (roaming an offloaded client).
+type RetargetSpec struct {
+	Chain string `json:"chain"`
+	Via   string `json:"via"`
+}
+
+// Alert relays an NF notification with its origin station.
+type Alert struct {
+	Station      string          `json:"station"`
+	Notification nf.Notification `json:"notification"`
+}

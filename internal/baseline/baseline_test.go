@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/container"
+)
+
+var ctrImage = container.Image{Name: "gnf/firewall:1.0", SizeBytes: 4 << 20, MemoryBytes: 6 << 20, CPUPercent: 2}
+
+func TestVMImageOverheads(t *testing.T) {
+	vm := VMImage(ctrImage)
+	if vm.Name != "vm/gnf/firewall:1.0" {
+		t.Fatalf("name = %q", vm.Name)
+	}
+	if vm.SizeBytes != ctrImage.SizeBytes*ImageOverheadFactor {
+		t.Fatalf("size = %d", vm.SizeBytes)
+	}
+	if vm.MemoryBytes != ctrImage.MemoryBytes+MemoryOverheadBytes {
+		t.Fatalf("memory = %d", vm.MemoryBytes)
+	}
+	if vm.CPUPercent != ctrImage.CPUPercent+CPUOverheadPercent {
+		t.Fatalf("cpu = %v", vm.CPUPercent)
+	}
+}
+
+func TestVMStartMuchSlowerThanContainer(t *testing.T) {
+	clk := clock.NewAutoVirtual()
+	src := container.NewRepository(clk, 0, 0)
+	src.Push(ctrImage)
+
+	ctrRT := container.NewRuntime("edge-1", clk, src)
+	vmRT := NewVMRuntime("edge-1", clk, NewVMRepository(clk, src, 0, 0))
+
+	measure := func(rt *container.Runtime, image string) time.Duration {
+		start := clk.Now()
+		c, err := rt.Create(container.Config{Name: "nf", Image: image})
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if err := c.Start(); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		return clk.Since(start)
+	}
+
+	ctrTime := measure(ctrRT, ctrImage.Name)
+	vmTime := measure(vmRT, "vm/"+ctrImage.Name)
+	if vmTime < 50*ctrTime {
+		t.Fatalf("VM/container attach ratio = %v/%v — expected >=50x gap", vmTime, ctrTime)
+	}
+}
+
+func TestVMDensityMuchLowerThanContainer(t *testing.T) {
+	clk := clock.NewAutoVirtual()
+	src := container.NewRepository(clk, 0, 0)
+	src.Push(ctrImage)
+	const hostMem = 4 << 30 // 4 GiB edge box
+
+	ctrRT := container.NewRuntime("edge", clk, src, container.WithCapacity(hostMem))
+	vmRT := NewVMRuntime("edge", clk, NewVMRepository(clk, src, 0, 0), container.WithCapacity(hostMem))
+
+	count := func(rt *container.Runtime, image string) int {
+		n := 0
+		for {
+			if _, err := rt.Create(container.Config{Image: image}); err != nil {
+				return n
+			}
+			n++
+			if n > 100000 {
+				t.Fatal("runaway density loop")
+			}
+		}
+	}
+	ctrN := count(ctrRT, ctrImage.Name)
+	vmN := count(vmRT, "vm/"+ctrImage.Name)
+	if ctrN < 100 {
+		t.Fatalf("container density = %d, want 'hundreds' per the paper", ctrN)
+	}
+	if vmN >= ctrN/10 {
+		t.Fatalf("vm density %d vs container %d — expected >=10x gap", vmN, ctrN)
+	}
+}
+
+func TestVMRepositoryMirrorsImages(t *testing.T) {
+	clk := clock.NewAutoVirtual()
+	src := container.NewRepository(clk, 0, 0)
+	src.Push(ctrImage)
+	src.Push(container.Image{Name: "gnf/dnslb:1.0", SizeBytes: 2 << 20, MemoryBytes: 3 << 20})
+	repo := NewVMRepository(clk, src, 0, 0)
+	if len(repo.Images()) != 2 {
+		t.Fatalf("mirrored %d images", len(repo.Images()))
+	}
+	if _, ok := repo.Lookup("vm/gnf/dnslb:1.0"); !ok {
+		t.Fatal("vm image missing")
+	}
+}

@@ -1,0 +1,215 @@
+// Package clock provides pluggable time sources so that every cost model in
+// GNF (container boot latency, link delays, migration downtime) can run
+// either against the wall clock (demos) or against a deterministic virtual
+// clock (tests and benchmarks).
+//
+// The zero-dependency design follows the usual "clock interface" idiom:
+// production code takes a Clock; tests inject a *Virtual and drive it with
+// Advance, or enable auto-advance so Sleep returns immediately after moving
+// simulated time forward.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout GNF.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d of this clock's time.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the elapsed clock time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// System returns the process wall clock.
+func System() Clock { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Virtual is a simulated clock. Time only moves when Advance is called, or —
+// when constructed with NewAutoVirtual — whenever a goroutine sleeps, in
+// which case Sleep advances time by the requested duration and returns
+// immediately. Auto mode is what the cost models use: a "boot takes 120ms"
+// sleep becomes a deterministic 120ms jump of simulated time with zero wall
+// delay.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	auto    bool
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// Epoch is the default start time for virtual clocks: an arbitrary, stable
+// instant so that test output is reproducible.
+var Epoch = time.Date(2016, 8, 22, 9, 0, 0, 0, time.UTC) // first day of SIGCOMM'16
+
+// NewVirtual returns a virtual clock starting at Epoch that only moves via
+// Advance.
+func NewVirtual() *Virtual { return &Virtual{now: Epoch} }
+
+// NewAutoVirtual returns a virtual clock in auto-advance mode: Sleep(d)
+// advances simulated time by d and returns without blocking.
+func NewAutoVirtual() *Virtual { return &Virtual{now: Epoch, auto: true} }
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Sleep implements Clock. In auto mode it advances the clock by d and
+// returns immediately; otherwise it blocks until Advance moves the clock
+// past the deadline.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	if v.auto {
+		v.advanceLocked(d)
+		v.mu.Unlock()
+		return
+	}
+	w := &waiter{deadline: v.now.Add(d), ch: make(chan time.Time, 1)}
+	v.waiters = append(v.waiters, w)
+	v.mu.Unlock()
+	<-w.ch
+}
+
+// After implements Clock. In auto mode the returned channel is immediately
+// ready (time has already advanced).
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	if v.auto {
+		v.advanceLocked(d)
+		ch <- v.now
+		return ch
+	}
+	v.waiters = append(v.waiters, &waiter{deadline: v.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves simulated time forward by d, waking any sleeper whose
+// deadline is reached. It is a no-op for d <= 0.
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.advanceLocked(d)
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves simulated time to t if t is later than now.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.advanceLocked(t.Sub(v.now))
+	}
+	v.mu.Unlock()
+}
+
+func (v *Virtual) advanceLocked(d time.Duration) {
+	v.now = v.now.Add(d)
+	kept := v.waiters[:0]
+	for _, w := range v.waiters {
+		if !w.deadline.After(v.now) {
+			w.ch <- v.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	v.waiters = kept
+}
+
+// Pending reports how many sleepers are waiting on this clock. Useful for
+// tests that drive Advance in lock-step with worker goroutines.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// NextDeadline returns the earliest sleeper deadline and true, or a zero
+// time and false when nobody is waiting.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.waiters) == 0 {
+		return time.Time{}, false
+	}
+	min := v.waiters[0].deadline
+	for _, w := range v.waiters[1:] {
+		if w.deadline.Before(min) {
+			min = w.deadline
+		}
+	}
+	return min, true
+}
+
+// RunUntilIdle repeatedly advances the clock to the next sleeper deadline
+// until no sleepers remain. It returns the number of advances performed.
+func (v *Virtual) RunUntilIdle() int {
+	n := 0
+	for {
+		dl, ok := v.NextDeadline()
+		if !ok {
+			return n
+		}
+		v.AdvanceTo(dl)
+		n++
+	}
+}
+
+// Stopwatch measures elapsed time on an arbitrary Clock.
+type Stopwatch struct {
+	c     Clock
+	start time.Time
+}
+
+// NewStopwatch starts a stopwatch on c.
+func NewStopwatch(c Clock) *Stopwatch { return &Stopwatch{c: c, start: c.Now()} }
+
+// Elapsed returns time since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration { return s.c.Since(s.start) }
+
+// Restart resets the start time to now and returns the previous elapsed
+// duration.
+func (s *Stopwatch) Restart() time.Duration {
+	e := s.Elapsed()
+	s.start = s.c.Now()
+	return e
+}

@@ -1,0 +1,221 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := System()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(a) <= 0 {
+		t.Fatalf("real clock did not advance")
+	}
+}
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), Epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(3 * time.Second)
+	if got := v.Since(Epoch); got != 3*time.Second {
+		t.Fatalf("Since(Epoch) = %v, want 3s", got)
+	}
+	v.Advance(-time.Second) // no-op
+	if got := v.Since(Epoch); got != 3*time.Second {
+		t.Fatalf("negative Advance moved time: %v", got)
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(100 * time.Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	v.Advance(99 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before deadline")
+	case <-time.After(5 * time.Millisecond):
+	}
+	v.Advance(time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not wake at deadline")
+	}
+}
+
+func TestVirtualZeroSleepReturns(t *testing.T) {
+	v := NewVirtual()
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if v.Pending() != 0 {
+		t.Fatalf("zero sleeps left %d waiters", v.Pending())
+	}
+}
+
+func TestAutoVirtualSleepAdvances(t *testing.T) {
+	v := NewAutoVirtual()
+	v.Sleep(250 * time.Millisecond)
+	if got := v.Since(Epoch); got != 250*time.Millisecond {
+		t.Fatalf("auto sleep advanced %v, want 250ms", got)
+	}
+	<-v.After(750 * time.Millisecond)
+	if got := v.Since(Epoch); got != time.Second {
+		t.Fatalf("after After: %v, want 1s", got)
+	}
+}
+
+func TestAfterNonAutoFiresOnAdvance(t *testing.T) {
+	v := NewVirtual()
+	ch := v.After(time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired early")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case tm := <-ch:
+		if !tm.Equal(Epoch.Add(time.Second)) {
+			t.Fatalf("After delivered %v", tm)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestAfterZeroImmediate(t *testing.T) {
+	v := NewVirtual()
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) not immediately ready")
+	}
+}
+
+func TestNextDeadlineAndRunUntilIdle(t *testing.T) {
+	v := NewVirtual()
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline on idle clock reported a waiter")
+	}
+	var wg sync.WaitGroup
+	durs := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	for _, d := range durs {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			v.Sleep(d)
+		}(d)
+	}
+	for v.Pending() != len(durs) {
+		time.Sleep(time.Millisecond)
+	}
+	dl, ok := v.NextDeadline()
+	if !ok || !dl.Equal(Epoch.Add(10*time.Millisecond)) {
+		t.Fatalf("NextDeadline = %v, %v", dl, ok)
+	}
+	if n := v.RunUntilIdle(); n == 0 {
+		t.Fatal("RunUntilIdle performed no advances")
+	}
+	wg.Wait()
+	if got := v.Since(Epoch); got != 30*time.Millisecond {
+		t.Fatalf("clock at %v after RunUntilIdle, want 30ms", got)
+	}
+}
+
+func TestManySleepersAllWake(t *testing.T) {
+	v := NewVirtual()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i+1) * time.Millisecond)
+		}(i)
+	}
+	for v.Pending() != n {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(n * time.Millisecond)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("not all sleepers woke; %d still pending", v.Pending())
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	v := NewAutoVirtual()
+	sw := NewStopwatch(v)
+	v.Sleep(5 * time.Second)
+	if e := sw.Elapsed(); e != 5*time.Second {
+		t.Fatalf("Elapsed = %v, want 5s", e)
+	}
+	if e := sw.Restart(); e != 5*time.Second {
+		t.Fatalf("Restart returned %v, want 5s", e)
+	}
+	if e := sw.Elapsed(); e != 0 {
+		t.Fatalf("Elapsed after Restart = %v, want 0", e)
+	}
+}
+
+// Property: on an auto clock, total advancement equals the sum of all slept
+// durations, for any sequence of sleeps.
+func TestAutoAdvanceAccumulatesProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		v := NewAutoVirtual()
+		var want time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Microsecond
+			want += d
+			v.Sleep(d)
+		}
+		return v.Since(Epoch) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AdvanceTo never moves time backwards.
+func TestAdvanceToMonotoneProperty(t *testing.T) {
+	f := func(offsets []int32) bool {
+		v := NewVirtual()
+		prev := v.Now()
+		for _, off := range offsets {
+			v.AdvanceTo(Epoch.Add(time.Duration(off) * time.Millisecond))
+			if v.Now().Before(prev) {
+				return false
+			}
+			prev = v.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package container
+
+import (
+	"strconv"
+	"testing"
+
+	"gnf/internal/clock"
+)
+
+func BenchmarkCreateStartStopRemove(b *testing.B) {
+	clk := clock.NewAutoVirtual()
+	repo := NewRepository(clk, 0, 0)
+	repo.Push(testImage)
+	rt := NewRuntime("bench", clk, repo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := rt.Create(Config{Name: "c" + strconv.Itoa(i), Image: testImage.Name})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Stop(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Remove(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpoint64KB(b *testing.B) {
+	clk := clock.NewAutoVirtual()
+	repo := NewRepository(clk, 0, 0)
+	repo.Push(testImage)
+	rt := NewRuntime("bench", clk, repo)
+	c, err := rt.Create(Config{Name: "ck", Image: testImage.Name})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	c.SetStateHandler(&mapState{data: make([]byte, 64<<10)})
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

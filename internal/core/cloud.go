@@ -1,0 +1,149 @@
+// GNFC cloud sites (reference [2] of the demo paper): a cloud site is a
+// high-capacity station attached to the backhaul over a WAN-emulated link,
+// with one tunnel (also WAN-emulated) to every edge station. Chains
+// offloaded there keep serving their client through the tunnel detour.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/container"
+	"gnf/internal/netem"
+	"gnf/internal/topology"
+)
+
+// CloudConfig describes one GNFC cloud site.
+type CloudConfig struct {
+	ID topology.StationID
+	// MemoryBytes caps the site's container memory (0 = unlimited; cloud
+	// sites usually stay unlimited — capacity is their selling point).
+	MemoryBytes uint64
+	// WAN shapes the site's backhaul uplink and every edge tunnel.
+	// Zero-value WAN defaults to 20 ms delay — an in-region cloud.
+	WAN netem.LinkParams
+}
+
+// DefaultWAN is the link shape used when CloudConfig.WAN is zero: an
+// in-region cloud at 20 ms one-way delay, 1 Gbit/s.
+func DefaultWAN() netem.LinkParams {
+	return netem.LinkParams{Delay: 20 * time.Millisecond, RateBps: 1_000_000_000}
+}
+
+// AddCloudSite attaches a cloud site to the deployment: switch, container
+// runtime, agent (registered with the Cloud flag), WAN uplink into the
+// backhaul, and tunnels to every existing edge station. Stations added
+// later are tunnelled automatically.
+func (s *System) AddCloudSite(cc CloudConfig) error {
+	wan := cc.WAN
+	if wan == (netem.LinkParams{}) {
+		wan = DefaultWAN()
+	}
+
+	s.mu.Lock()
+	if _, dup := s.stations[cc.ID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("core: station %s already exists", cc.ID)
+	}
+	s.mu.Unlock()
+
+	sw := netem.NewSwitch(string(cc.ID))
+	var opts []container.RuntimeOption
+	if cc.MemoryBytes > 0 {
+		opts = append(opts, container.WithCapacity(cc.MemoryBytes))
+	}
+	rt := container.NewRuntime(string(cc.ID), s.Clock, s.Repo, opts...)
+
+	// WAN uplink into the backhaul: port 0, as on edge stations.
+	siteSide, coreSide := netem.NewVethPair(
+		string(cc.ID)+"-up", string(cc.ID)+"-core",
+		netem.WithClock(s.Clock), netem.WithLink(wan),
+	)
+	const uplinkPort = netem.PortID(0)
+	sw.Attach(uplinkPort, siteSide)
+	s.mu.Lock()
+	corePort := s.nextCorePort
+	s.nextCorePort++
+	s.mu.Unlock()
+	s.backbone.Attach(corePort, coreSide)
+
+	ag := agent.New(cc.ID, s.Clock, rt, sw, uplinkPort, agent.WithCloud())
+	link, err := agent.Connect(ag, s.Manager.Addr(), s.cfg.ReportInterval)
+	if err != nil {
+		return err
+	}
+	node := &stationNode{
+		cfg:      StationConfig{ID: cc.ID, MemoryBytes: cc.MemoryBytes},
+		sw:       sw,
+		rt:       rt,
+		ag:       ag,
+		link:     link,
+		uplink:   siteSide,
+		cloud:    true,
+		wan:      wan,
+		nextPort: 1,
+	}
+	s.mu.Lock()
+	s.stations[cc.ID] = node
+	peers := make([]*stationNode, 0, len(s.stations))
+	for _, sn := range s.stations {
+		if !sn.cloud && sn != node {
+			peers = append(peers, sn)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, edge := range peers {
+		s.connectTunnel(edge, node)
+	}
+	return nil
+}
+
+// connectTunnel provisions the WAN tunnel between an edge station and a
+// cloud site: a shaped veth attached as *service* ports on both switches
+// (no MAC learning, excluded from flooding — the L2 topology stays
+// loop-free) and registered with both agents.
+func (s *System) connectTunnel(edge, cloud *stationNode) {
+	edgeSide, cloudSide := netem.NewVethPair(
+		fmt.Sprintf("%s-tun-%s", edge.cfg.ID, cloud.cfg.ID),
+		fmt.Sprintf("%s-tun-%s", cloud.cfg.ID, edge.cfg.ID),
+		netem.WithClock(s.Clock), netem.WithLink(cloud.wan),
+	)
+	ep, cp := edge.allocPort(), cloud.allocPort()
+	edge.sw.AttachService(ep, edgeSide)
+	cloud.sw.AttachService(cp, cloudSide)
+	edge.ag.RegisterTunnel(cloud.cfg.ID, ep)
+	cloud.ag.RegisterTunnel(edge.cfg.ID, cp)
+	edge.mu.Lock()
+	edge.tunnels = append(edge.tunnels, edgeSide)
+	edge.mu.Unlock()
+	cloud.mu.Lock()
+	cloud.tunnels = append(cloud.tunnels, cloudSide)
+	cloud.mu.Unlock()
+}
+
+// CloudSites lists attached cloud site IDs.
+func (s *System) CloudSites() []topology.StationID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []topology.StationID
+	for id, sn := range s.stations {
+		if sn.cloud {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// OffloadClient moves a client's chains to a cloud site via the Manager.
+func (s *System) OffloadClient(client topology.ClientID, site topology.StationID) error {
+	_, err := s.Manager.OffloadClient(string(client), string(site))
+	return err
+}
+
+// RecallClient returns an offloaded client's chains to its edge station.
+func (s *System) RecallClient(client topology.ClientID) error {
+	_, err := s.Manager.RecallClient(string(client))
+	return err
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+	"gnf/internal/mobility"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// TestMultiClientWaypointRoaming runs the Fig. 1 scenario at small scale:
+// three stations in a corridor, four clients walking random waypoints,
+// each with an attached chain. Every handoff must end with the client's
+// chain deployed (enabled) on its current station and no chain leaked on
+// other stations.
+func TestMultiClientWaypointRoaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-client roaming is slow")
+	}
+	stations := []StationConfig{
+		{ID: "st-0", Cells: []CellConfig{{ID: "cell-0", Center: topology.Point{X: 0}, Radius: 80}}},
+		{ID: "st-1", Cells: []CellConfig{{ID: "cell-1", Center: topology.Point{X: 120}, Radius: 80}}},
+		{ID: "st-2", Cells: []CellConfig{{ID: "cell-2", Center: topology.Point{X: 240}, Radius: 80}}},
+	}
+	sys, err := NewSystem(Config{
+		Strategy:       manager.StrategyStateful,
+		ReportInterval: time.Hour,
+		Stations:       stations,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	const nClients = 4
+	for i := 0; i < nClients; i++ {
+		id := topology.ClientID(fmt.Sprintf("c%d", i))
+		if err := sys.AddClient(id, packet.MAC{2, 0, 0, 0, 1, byte(i)}, packet.IP{10, 0, 1, byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		// Start everyone in cell-0's coverage.
+		if err := sys.Topo.MoveClient(id, topology.Point{X: float64(i * 10)}, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WaitClientAt(id, "st-0", 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AttachChain(id, manager.ChainSpec{
+			Name:      fmt.Sprintf("chain-%d", i),
+			Functions: []agent.NFSpec{{Kind: "counter", Name: "acct"}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wp := mobility.NewWaypoint(sys.Topo, 240, 40, 40 /* m/s */, 99)
+	handoffs := 0
+	for round := 0; round < 40; round++ {
+		handoffs += wp.Step(time.Second)
+	}
+	if handoffs == 0 {
+		t.Fatal("no handoffs over 40 simulated seconds at 40 m/s")
+	}
+
+	// Let all in-flight migrations settle, then audit placement.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		sys.Manager.WaitIdle()
+		ok := true
+		for i := 0; i < nClients; i++ {
+			id := fmt.Sprintf("c%d", i)
+			chain := fmt.Sprintf("chain-%d", i)
+			st, attached := sys.Manager.ClientStation(id)
+			if !attached {
+				continue // client momentarily out of coverage
+			}
+			found := false
+			for _, name := range sys.Agent(topology.StationID(st)).Chains() {
+				if name == chain {
+					found = true
+				}
+			}
+			if !found {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("chains did not converge to their clients' stations")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// No duplicate deployments anywhere.
+	total := 0
+	for _, sc := range stations {
+		total += len(sys.Agent(sc.ID).Chains())
+	}
+	attached := 0
+	for i := 0; i < nClients; i++ {
+		if _, ok := sys.Manager.ClientStation(fmt.Sprintf("c%d", i)); ok {
+			attached++
+		}
+	}
+	if total > nClients {
+		t.Fatalf("%d chain deployments for %d clients (leak)", total, nClients)
+	}
+	if total < attached {
+		t.Fatalf("%d deployments for %d attached clients", total, attached)
+	}
+	if len(sys.Manager.Migrations()) == 0 {
+		t.Fatal("no migrations recorded despite handoffs")
+	}
+	for _, m := range sys.Manager.Migrations() {
+		if m.Err != "" {
+			t.Fatalf("failed migration: %+v", m)
+		}
+	}
+}

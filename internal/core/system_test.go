@@ -1,0 +1,414 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+	"gnf/internal/traffic"
+)
+
+var (
+	phoneMAC  = packet.MAC{2, 0, 0, 0, 0, 0x10}
+	phoneIP   = packet.IP{10, 0, 0, 10}
+	serverMAC = packet.MAC{2, 0, 0, 0, 0, 0x99}
+	serverIP  = packet.IP{10, 99, 0, 1}
+)
+
+// twoStationConfig is the Fig. 2 demo layout: two stations, one cell each.
+func twoStationConfig(strategy manager.Strategy) Config {
+	return Config{
+		Strategy:       strategy,
+		ReportInterval: 50 * time.Millisecond,
+		Stations: []StationConfig{
+			{ID: "st-a", Cells: []CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+		},
+	}
+}
+
+// demoSystem brings up the two-station system with a phone and a server.
+func demoSystem(t *testing.T, strategy manager.Strategy) (*System, *traffic.Sink) {
+	t.Helper()
+	sys, err := NewSystem(twoStationConfig(strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.AddClient("phone", phoneMAC, phoneIP); err != nil {
+		t.Fatal(err)
+	}
+	server := sys.AddServer("web", serverMAC, serverIP)
+	sink := traffic.NewSink(server, 7000, sys.Clock)
+	server.Learn(phoneIP, phoneMAC)
+	if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-a", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sys.ClientHost("phone").Learn(serverIP, serverMAC)
+	return sys, sink
+}
+
+func firewallChain(name string) manager.ChainSpec {
+	return manager.ChainSpec{
+		Name: name,
+		Functions: []agent.NFSpec{{
+			Kind: "firewall", Name: "fw0",
+			Params: nf.Params{"policy": "accept", "rules": "drop out udp any any any 9999"},
+		}},
+	}
+}
+
+func TestSystemBringupAndChainTraffic(t *testing.T) {
+	sys, sink := demoSystem(t, manager.StrategyStateful)
+	if err := sys.AttachChain("phone", firewallChain("fw-chain")); err != nil {
+		t.Fatalf("AttachChain: %v", err)
+	}
+	if err := sys.WaitChainOn("st-a", "fw-chain", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	phone := sys.ClientHost("phone")
+	sent := traffic.CBR(phone, packet.Endpoint{Addr: serverIP, Port: 7000}, 6000, 20, 64, 500)
+	deadline := time.After(5 * time.Second)
+	for sink.Count() < sent {
+		select {
+		case <-deadline:
+			t.Fatalf("received %d of %d", sink.Count(), sent)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Blocked port drops inside the chain.
+	phone.SendUDP(packet.Endpoint{Addr: serverIP, Port: 9999}, 6001, []byte{0, 0, 0, 0, 0, 0, 0, 99})
+	time.Sleep(50 * time.Millisecond)
+	ag := sys.Agent("st-a")
+	chainFn, err := ag.ChainFunction("fw-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chainFn.NFStats()["fw0.dropped"] != 1 {
+		t.Fatalf("stats = %v", chainFn.NFStats())
+	}
+}
+
+func TestRoamingMigratesChainStateful(t *testing.T) {
+	sys, sink := demoSystem(t, manager.StrategyStateful)
+	spec := manager.ChainSpec{
+		Name: "acct",
+		Functions: []agent.NFSpec{{
+			Kind: "counter", Name: "acct0", Params: nf.Params{},
+		}},
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "acct", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	phone := sys.ClientHost("phone")
+	traffic.CBR(phone, packet.Endpoint{Addr: serverIP, Port: 7000}, 6000, 10, 64, 0)
+	deadline := time.After(5 * time.Second)
+	for sink.Count() < 10 {
+		select {
+		case <-deadline:
+			t.Fatalf("pre-roam: received %d of 10", sink.Count())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// Roam to cell B: the chain must follow with its counters.
+	if err := sys.Topo.Attach("phone", "cell-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-b", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-b", "acct", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	migs := sys.Manager.Migrations()
+	if len(migs) != 1 {
+		t.Fatalf("migrations = %+v", migs)
+	}
+	m := migs[0]
+	if m.From != "st-a" || m.To != "st-b" || m.Strategy != manager.StrategyStateful || m.Err != "" {
+		t.Fatalf("migration = %+v", m)
+	}
+	if m.StateBytes == 0 {
+		t.Fatal("stateful migration moved zero state")
+	}
+	if m.Downtime <= 0 || m.Total < m.Downtime {
+		t.Fatalf("timing: downtime=%v total=%v", m.Downtime, m.Total)
+	}
+	// Old station cleaned up.
+	if chains := sys.Agent("st-a").Chains(); len(chains) != 0 {
+		t.Fatalf("stale chains on st-a: %v", chains)
+	}
+	// Migrated counters continue from their pre-roam values.
+	chainFn, err := sys.Agent("st-b").ChainFunction("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chainFn.NFStats()["acct0.total_frames"]; got < 10 {
+		t.Fatalf("migrated total_frames = %d, want >= 10", got)
+	}
+
+	// Traffic continues at the new station.
+	before := sink.Count()
+	sys.ClientHost("phone").Learn(serverIP, serverMAC)
+	traffic.CBRFrom(phone, packet.Endpoint{Addr: serverIP, Port: 7000}, 6000, 1000, 10, 64, 0)
+	deadline = time.After(5 * time.Second)
+	for sink.Count() < before+10 {
+		select {
+		case <-deadline:
+			t.Fatalf("post-roam: received %d, want %d", sink.Count(), before+10)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestRoamingColdLosesState(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyCold)
+	spec := manager.ChainSpec{
+		Name:      "acct",
+		Functions: []agent.NFSpec{{Kind: "counter", Name: "acct0"}},
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "acct", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	phone := sys.ClientHost("phone")
+	traffic.CBR(phone, packet.Endpoint{Addr: serverIP, Port: 7000}, 6000, 5, 64, 0)
+	time.Sleep(100 * time.Millisecond)
+
+	if err := sys.Topo.Attach("phone", "cell-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-b", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-b", "acct", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	migs := sys.Manager.Migrations()
+	if len(migs) != 1 || migs[0].Strategy != manager.StrategyCold {
+		t.Fatalf("migrations = %+v", migs)
+	}
+	if migs[0].StateBytes != 0 {
+		t.Fatal("cold migration carried state")
+	}
+	chainFn, err := sys.Agent("st-b").ChainFunction("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chainFn.NFStats()["acct0.total_frames"]; got != 0 {
+		t.Fatalf("cold-migrated chain has %d frames of history", got)
+	}
+}
+
+func TestNotificationPipelineToManager(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	spec := manager.ChainSpec{
+		Name: "ids",
+		Functions: []agent.NFSpec{{
+			Kind: "counter", Name: "ids0",
+			Params: nf.Params{"signatures": "malware-beacon"},
+		}},
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "ids", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	phone := sys.ClientHost("phone")
+	phone.SendUDP(packet.Endpoint{Addr: serverIP, Port: 1}, 2, []byte("malware-beacon ping"))
+	deadline := time.After(5 * time.Second)
+	for len(sys.Manager.Notifications()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("notification never reached the manager")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	al := sys.Manager.Notifications()[0]
+	if al.Station != "st-a" || al.Notification.Severity != nf.SevWarning {
+		t.Fatalf("alert = %+v", al)
+	}
+	if !strings.Contains(al.Notification.Message, "malware-beacon") {
+		t.Fatalf("message = %q", al.Notification.Message)
+	}
+}
+
+func TestHealthReportsReachManager(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	if got := sys.Manager.Agents(); len(got) != 2 {
+		t.Fatalf("agents = %v", got)
+	}
+	h, ok := sys.Manager.AgentHandleFor("st-a")
+	if !ok {
+		t.Fatal("no handle for st-a")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		rep, seen := h.LastReport()
+		if !seen.IsZero() && rep.Station == "st-a" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no report arrived")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestAttachChainErrors(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	if err := sys.Manager.AttachChain("ghost", firewallChain("x")); !errors.Is(err, manager.ErrUnknownClient) {
+		t.Fatalf("unknown client: %v", err)
+	}
+	if err := sys.AttachChain("phone", firewallChain("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachChain("phone", firewallChain("dup")); !errors.Is(err, manager.ErrChainExists) {
+		t.Fatalf("dup chain: %v", err)
+	}
+	// Unattached client.
+	if err := sys.AddClient("tablet", packet.MAC{2, 1, 1, 1, 1, 1}, packet.IP{10, 0, 0, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachChain("tablet", firewallChain("t")); !errors.Is(err, manager.ErrNotAttached) {
+		t.Fatalf("unattached: %v", err)
+	}
+	// Unknown NF kind propagates the agent's error over the wire.
+	err := sys.AttachChain("phone", manager.ChainSpec{
+		Name:      "badkind",
+		Functions: []agent.NFSpec{{Kind: "warp", Name: "w"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown function kind") {
+		t.Fatalf("bad kind: %v", err)
+	}
+}
+
+func TestDetachChainRemovesDeployment(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	if err := sys.AttachChain("phone", firewallChain("fw")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "fw", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Manager.DetachChain("phone", "fw"); err != nil {
+		t.Fatal(err)
+	}
+	if chains := sys.Agent("st-a").Chains(); len(chains) != 0 {
+		t.Fatalf("chains = %v", chains)
+	}
+	if err := sys.Manager.DetachChain("phone", "fw"); !errors.Is(err, manager.ErrUnknownChain) {
+		t.Fatalf("double detach: %v", err)
+	}
+	if got := sys.Manager.Chains("phone"); len(got) != 0 {
+		t.Fatalf("manager chains = %v", got)
+	}
+}
+
+func TestRepoOutageFailsAttach(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	boom := errors.New("repository unreachable")
+	sys.Repo.SetFailure(boom)
+	err := sys.AttachChain("phone", firewallChain("fw"))
+	if err == nil || !strings.Contains(err.Error(), "repository unreachable") {
+		t.Fatalf("attach during outage: %v", err)
+	}
+	sys.Repo.SetFailure(nil)
+	if err := sys.AttachChain("phone", firewallChain("fw")); err != nil {
+		t.Fatalf("attach after recovery: %v", err)
+	}
+}
+
+func TestManualMigration(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	if err := sys.AttachChain("phone", firewallChain("fw")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "fw", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Manager.MigrateChain("phone", "fw", "st-b")
+	if err != nil {
+		t.Fatalf("MigrateChain: %v", err)
+	}
+	if rep.To != "st-b" || rep.Err != "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := sys.WaitChainOn("st-b", "fw", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Manager.MigrateChain("phone", "ghost", "st-b"); !errors.Is(err, manager.ErrUnknownChain) {
+		t.Fatalf("unknown chain: %v", err)
+	}
+	if _, err := sys.Manager.MigrateChain("ghost", "fw", "st-b"); !errors.Is(err, manager.ErrUnknownClient) {
+		t.Fatalf("unknown client: %v", err)
+	}
+}
+
+func TestRoamingPreservesDNSCache(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	resolver := sys.AddServer("dns", packet.MAC{2, 0, 0, 0, 0, 0x53}, packet.IP{10, 99, 0, 53})
+	traffic.DNSServer(resolver, map[string]packet.IP{"cdn.example": {1, 2, 3, 4}})
+	resolver.Learn(phoneIP, phoneMAC)
+
+	spec := manager.ChainSpec{
+		Name:      "cache",
+		Functions: []agent.NFSpec{{Kind: "dnscache", Name: "dc0", Params: nf.Params{"max_ttl": "300"}}},
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", "cache", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	phone := sys.ClientHost("phone")
+	phone.Learn(packet.IP{10, 99, 0, 53}, packet.MAC{2, 0, 0, 0, 0, 0x53})
+	res := traffic.DNSQuery(phone, packet.Endpoint{Addr: packet.IP{10, 99, 0, 53}, Port: 53}, 30000, 1, "cdn.example", 2*time.Second)
+	if res == nil || len(res.Answers) == 0 {
+		t.Fatalf("first query failed: %+v", res)
+	}
+
+	// Roam; the cache state must follow.
+	if err := sys.Topo.Attach("phone", "cell-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-b", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-b", "cache", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	chainFn, err := sys.Agent("st-b").ChainFunction("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chainFn.NFStats()["dc0.entries"] != 1 {
+		t.Fatalf("cache entries after migration = %v", chainFn.NFStats())
+	}
+	// Second query is answered at the edge (hit counter increments).
+	phone.Learn(packet.IP{10, 99, 0, 53}, packet.MAC{2, 0, 0, 0, 0, 0x53})
+	res = traffic.DNSQuery(phone, packet.Endpoint{Addr: packet.IP{10, 99, 0, 53}, Port: 53}, 30001, 2, "cdn.example", 2*time.Second)
+	if res == nil || len(res.Answers) == 0 || res.Answers[0].A != (packet.IP{1, 2, 3, 4}) {
+		t.Fatalf("cached query failed: %+v", res)
+	}
+	if chainFn.NFStats()["dc0.hits"] != 1 {
+		t.Fatalf("stats = %v", chainFn.NFStats())
+	}
+}

@@ -1,0 +1,243 @@
+// Station failover: the Manager's health monitoring (§3) exists so the
+// provider can react when part of the infrastructure misbehaves. This file
+// closes that loop — when a station's agent connection drops or its
+// heartbeats go silent, the Manager declares the station failed and
+// re-places every chain it hosted, preferring each client's current
+// station and falling back to the placement policy. Recovery is a cold
+// deploy: the failed station's NF state is gone by definition.
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+)
+
+// FailoverReport records the recovery of one chain from a failed station.
+type FailoverReport struct {
+	Station   string        `json:"station"` // the failed station
+	Client    string        `json:"client"`
+	Chain     string        `json:"chain"`
+	To        string        `json:"to"` // where the chain was revived
+	Recovered time.Duration `json:"recovered"`
+	Err       string        `json:"err,omitempty"`
+}
+
+// WithFailover arms automatic failover at construction: heartbeats older
+// than timeout mark a station failed, and dropped agent connections
+// trigger immediate re-placement. timeout <= 0 leaves only the
+// connection-drop trigger.
+func WithFailover(timeout time.Duration) Option {
+	return func(m *Manager) {
+		m.failoverTimeout = timeout
+		m.failoverAuto = true
+	}
+}
+
+// EnableFailover arms automatic failover at runtime.
+func (m *Manager) EnableFailover(timeout time.Duration) {
+	m.mu.Lock()
+	m.failoverTimeout = timeout
+	m.failoverAuto = true
+	m.mu.Unlock()
+}
+
+// Failovers returns a copy of completed failover reports.
+func (m *Manager) Failovers() []FailoverReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]FailoverReport{}, m.failovers...)
+}
+
+// FailedStations lists stations currently declared dead, sorted.
+func (m *Manager) FailedStations() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.failed))
+	for s := range m.failed {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckFailures scans for failed stations and re-places every chain they
+// hosted. A station is failed when chains are recorded on it but no agent
+// connection exists, or when its last heartbeat is older than the failover
+// timeout (in which case its connection is also torn down). It returns the
+// reports for this invocation.
+func (m *Manager) CheckFailures() []FailoverReport {
+	now := m.clk.Now()
+
+	m.mu.Lock()
+	timeout := m.failoverTimeout
+	// Stations hosting at least one chain.
+	hosting := make(map[string]bool)
+	for _, rec := range m.clients {
+		for _, at := range rec.deployedOn {
+			hosting[at] = true
+		}
+	}
+	var silent []*AgentHandle
+	if timeout > 0 {
+		for _, h := range m.agents {
+			h.mu.Lock()
+			seen := h.lastSeen
+			h.mu.Unlock()
+			if !seen.IsZero() && now.Sub(seen) > timeout {
+				silent = append(silent, h)
+			}
+		}
+	}
+	var dead []string
+	for st := range hosting {
+		if _, alive := m.agents[st]; !alive && !m.failed[st] {
+			dead = append(dead, st)
+			m.failed[st] = true
+		}
+	}
+	m.mu.Unlock()
+
+	// Silent agents: cut the connection (OnClose removes them from the
+	// registry) and treat them as dead below.
+	for _, h := range silent {
+		h.peer.Close()
+		m.mu.Lock()
+		if cur, ok := m.agents[h.Station]; ok && cur == h {
+			delete(m.agents, h.Station)
+		}
+		already := m.failed[h.Station]
+		if !already && hosting[h.Station] {
+			dead = append(dead, h.Station)
+			m.failed[h.Station] = true
+		}
+		m.mu.Unlock()
+	}
+
+	var reports []FailoverReport
+	for _, st := range dead {
+		reports = append(reports, m.failStation(st)...)
+	}
+	return reports
+}
+
+// failStation re-places every chain deployed on the dead station.
+func (m *Manager) failStation(station string) []FailoverReport {
+	type job struct {
+		client string
+		rec    *clientRec
+		spec   ChainSpec
+	}
+	type detour struct {
+		client, at string
+	}
+	m.mu.Lock()
+	var jobs []job
+	var stale []detour
+	for client, rec := range m.clients {
+		// A dead cloud site ends the offload: chains return to the edge
+		// (below) and the detour toward the dead site must go.
+		if rec.offload == station {
+			rec.offload = ""
+			if rec.steerOn != "" {
+				stale = append(stale, detour{client: client, at: rec.steerOn})
+				rec.steerOn = ""
+			}
+		}
+		for name, at := range rec.deployedOn {
+			if at == station {
+				jobs = append(jobs, job{client: client, rec: rec, spec: rec.chains[name]})
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	for _, d := range stale {
+		if h, err := m.agentFor(d.at); err == nil {
+			h.call(agent.MethodUnsteer, agent.UnsteerSpec{Client: d.client}, nil)
+		}
+	}
+
+	var reports []FailoverReport
+	for _, j := range jobs {
+		rep := m.reviveChain(station, j.client, j.rec, j.spec)
+		m.mu.Lock()
+		m.failovers = append(m.failovers, rep)
+		m.mu.Unlock()
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// reviveChain cold-deploys one chain lost with its station.
+func (m *Manager) reviveChain(failed, client string, rec *clientRec, spec ChainSpec) FailoverReport {
+	rep := FailoverReport{Station: failed, Client: client, Chain: spec.Name}
+	watch := clock.NewStopwatch(m.clk)
+
+	m.mu.Lock()
+	prefer := rec.station
+	m.mu.Unlock()
+	if prefer == failed {
+		prefer = ""
+	}
+	to, ok := m.place(PlacementHint{Client: client, Chain: spec.Name, Prefer: prefer}, failed)
+	if !ok {
+		rep.Err = fmt.Sprintf("no surviving station for %s/%s", client, spec.Name)
+		return rep
+	}
+	rep.To = to
+
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+	// The client may have been reconciled meanwhile; never double-deploy.
+	m.mu.Lock()
+	if at := rec.deployedOn[spec.Name]; at != failed {
+		m.mu.Unlock()
+		rep.To, rep.Recovered = at, watch.Elapsed()
+		return rep
+	}
+	m.mu.Unlock()
+
+	h, err := m.agentFor(to)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	err = h.call(agent.MethodDeploy, agent.DeploySpec{
+		Chain:     spec.Name,
+		Client:    client,
+		Functions: spec.Functions,
+		Enabled:   true,
+	}, nil)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	m.mu.Lock()
+	rec.deployedOn[spec.Name] = to
+	m.mu.Unlock()
+	rep.Recovered = watch.Elapsed()
+	return rep
+}
+
+// RunFailureDetector periodically invokes CheckFailures until stop closes.
+// Pair it with WithFailover to also catch silent (non-crashed but
+// unreachable) stations.
+func (m *Manager) RunFailureDetector(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.CheckFailures()
+		}
+	}
+}

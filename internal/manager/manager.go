@@ -1,0 +1,371 @@
+// Package manager implements the GNF Manager of §3: it exposes APIs to
+// associate single NFs or chains with a subset of a client's traffic,
+// keeps a connection to every Agent, continuously monitors station health
+// and resource utilisation (flagging hotspots), collects NF notifications,
+// and — the paper's headline feature — orchestrates function roaming: when
+// a client moves between cells, its NFs seamlessly migrate to the new
+// station.
+package manager
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/packet"
+	"gnf/internal/wire"
+)
+
+// Errors returned by the manager API.
+var (
+	ErrUnknownStation = errors.New("manager: no agent for station")
+	ErrUnknownClient  = errors.New("manager: unknown client")
+	ErrUnknownChain   = errors.New("manager: unknown chain")
+	ErrChainExists    = errors.New("manager: chain already attached")
+	ErrNotAttached    = errors.New("manager: client not attached to any station")
+)
+
+// Strategy selects how chains move when a client roams.
+type Strategy string
+
+// Migration strategies (ablated in experiment E6).
+const (
+	// StrategyCold starts an equivalent function on the new cell and
+	// removes the old one — §2's baseline mechanism. NF state is lost.
+	StrategyCold Strategy = "cold"
+	// StrategyStateful additionally checkpoints NF state on the source
+	// and restores it on the target before enabling.
+	StrategyStateful Strategy = "stateful"
+	// StrategySteer appears in reports when an offloaded client roams:
+	// the chains stay on their cloud site and only the traffic detour
+	// moves to the client's new station.
+	StrategySteer Strategy = "steer"
+)
+
+// ChainSpec is a named NF chain attached to a client.
+type ChainSpec struct {
+	Name      string         `json:"name"`
+	Functions []agent.NFSpec `json:"functions"`
+}
+
+// MigrationReport records one chain migration.
+type MigrationReport struct {
+	Client     string        `json:"client"`
+	Chain      string        `json:"chain"`
+	From       string        `json:"from"`
+	To         string        `json:"to"`
+	Strategy   Strategy      `json:"strategy"`
+	Downtime   time.Duration `json:"downtime"`
+	Total      time.Duration `json:"total"`
+	StateBytes int           `json:"state_bytes"`
+	Err        string        `json:"err,omitempty"`
+}
+
+// AgentHandle is the manager-side view of one connected agent.
+type AgentHandle struct {
+	Station string
+	// Cloud marks GNFC cloud sites (set at registration).
+	Cloud bool
+	peer  *wire.Peer
+
+	mu         sync.Mutex
+	lastReport agent.Report
+	lastSeen   time.Time
+	capacity   uint64
+}
+
+// LastReport returns the agent's most recent health report and when it
+// arrived.
+func (h *AgentHandle) LastReport() (agent.Report, time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastReport, h.lastSeen
+}
+
+// call forwards an RPC to the agent.
+func (h *AgentHandle) call(method string, in, out any) error {
+	return h.peer.Call(method, in, out)
+}
+
+// Ping round-trips a no-op RPC to the agent — liveness probing and
+// control-plane latency measurement.
+func (h *AgentHandle) Ping() error {
+	return h.call(agent.MethodPing, nil, nil)
+}
+
+// clientRec tracks one client's placement and attached chains.
+type clientRec struct {
+	station string // current station ("" = disconnected)
+	mac     packet.MAC
+	ip      packet.IP
+	chains  map[string]ChainSpec
+	// deployedOn tracks where each chain currently runs (it may lag
+	// station while a migration is in flight).
+	deployedOn map[string]string
+	// offload names the GNFC cloud site hosting this client's chains
+	// ("" = chains live at the edge and roam with the client).
+	offload string
+	// steerOn is the station whose switch currently detours the client's
+	// traffic toward the offload site ("" = no detour installed).
+	steerOn string
+	// migMu serialises migrations for this client: rapid successive
+	// handoffs must not race two migrations of the same chain.
+	migMu sync.Mutex
+}
+
+// Manager is the central controller.
+type Manager struct {
+	clk clock.Clock
+	srv *wire.Server
+
+	mu            sync.Mutex
+	agents        map[string]*AgentHandle
+	clients       map[string]*clientRec
+	strategy      Strategy
+	placement     Placement
+	notifications []agent.Alert
+	migrations    []MigrationReport
+	schedules     []*schedule
+	hotspotCPU    float64 // CPU percent threshold
+	migrationWG   sync.WaitGroup
+
+	// Failover state (see failover.go).
+	failoverTimeout time.Duration
+	failoverAuto    bool
+	failovers       []FailoverReport
+	failed          map[string]bool // stations declared dead
+}
+
+// Option configures New.
+type Option func(*Manager)
+
+// WithStrategy sets the roaming migration strategy (default stateful).
+func WithStrategy(s Strategy) Option { return func(m *Manager) { m.strategy = s } }
+
+// WithHotspotCPU sets the CPU%% threshold for hotspot detection.
+func WithHotspotCPU(v float64) Option { return func(m *Manager) { m.hotspotCPU = v } }
+
+// New starts a manager listening for agents on addr ("127.0.0.1:0" picks
+// an ephemeral port).
+func New(clk clock.Clock, addr string, opts ...Option) (*Manager, error) {
+	m := &Manager{
+		clk:        clk,
+		agents:     make(map[string]*AgentHandle),
+		clients:    make(map[string]*clientRec),
+		strategy:   StrategyStateful,
+		placement:  ClientLocalPlacement{},
+		hotspotCPU: 80,
+		failed:     make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	srv, err := wire.NewServer(addr, m.acceptAgent)
+	if err != nil {
+		return nil, err
+	}
+	m.srv = srv
+	return m, nil
+}
+
+// Addr returns the manager's listen address for agents.
+func (m *Manager) Addr() string { return m.srv.Addr() }
+
+// Close disconnects all agents and stops the server.
+func (m *Manager) Close() error {
+	err := m.srv.Close()
+	m.migrationWG.Wait()
+	return err
+}
+
+// Strategy returns the active migration strategy.
+func (m *Manager) Strategy() Strategy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.strategy
+}
+
+// SetStrategy switches the migration strategy at runtime.
+func (m *Manager) SetStrategy(s Strategy) {
+	m.mu.Lock()
+	m.strategy = s
+	m.mu.Unlock()
+}
+
+// acceptAgent wires handlers for a new agent connection.
+func (m *Manager) acceptAgent(p *wire.Peer) {
+	var station string // set on register; captured by the close handler
+	p.Handle(agent.MethodRegister, func(body json.RawMessage) (any, error) {
+		var spec agent.RegisterSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		h := &AgentHandle{Station: spec.Station, Cloud: spec.Cloud, peer: p, capacity: spec.MemoryBytes}
+		m.mu.Lock()
+		m.agents[spec.Station] = h
+		delete(m.failed, spec.Station) // a station may rejoin after failure
+		m.mu.Unlock()
+		station = spec.Station
+		return map[string]string{"status": "registered"}, nil
+	})
+	p.HandleNotify(agent.MethodReport, func(body json.RawMessage) {
+		var rep agent.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			return
+		}
+		m.mu.Lock()
+		h := m.agents[rep.Station]
+		m.mu.Unlock()
+		if h != nil {
+			h.mu.Lock()
+			h.lastReport = rep
+			h.lastSeen = m.clk.Now()
+			h.mu.Unlock()
+		}
+	})
+	p.HandleNotify(agent.MethodClientEvent, func(body json.RawMessage) {
+		var ev agent.ClientEvent
+		if err := json.Unmarshal(body, &ev); err != nil {
+			return
+		}
+		// Handled on a fresh goroutine: migration issues calls back over
+		// this same peer, which would deadlock the read loop.
+		m.migrationWG.Add(1)
+		go func() {
+			defer m.migrationWG.Done()
+			m.handleClientEvent(ev)
+		}()
+	})
+	p.HandleNotify(agent.MethodNFAlert, func(body json.RawMessage) {
+		var al agent.Alert
+		if err := json.Unmarshal(body, &al); err != nil {
+			return
+		}
+		m.mu.Lock()
+		m.notifications = append(m.notifications, al)
+		if len(m.notifications) > 4096 {
+			m.notifications = m.notifications[len(m.notifications)-4096:]
+		}
+		m.mu.Unlock()
+	})
+	p.OnClose(func(error) {
+		if station == "" {
+			return
+		}
+		m.mu.Lock()
+		lost := false
+		if h, ok := m.agents[station]; ok && h.peer == p {
+			delete(m.agents, station)
+			lost = true
+		}
+		auto := m.failoverAuto
+		m.mu.Unlock()
+		// With automatic failover armed, a dropped agent connection
+		// immediately triggers re-placement of the chains it hosted.
+		if lost && auto {
+			m.migrationWG.Add(1)
+			go func() {
+				defer m.migrationWG.Done()
+				m.CheckFailures()
+			}()
+		}
+	})
+}
+
+// agentFor resolves a station's handle.
+func (m *Manager) agentFor(station string) (*AgentHandle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.agents[station]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownStation, station)
+	}
+	return h, nil
+}
+
+// Agents lists connected stations, sorted.
+func (m *Manager) Agents() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.agents))
+	for s := range m.agents {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AgentHandleFor returns the handle for a station (UI access to reports).
+func (m *Manager) AgentHandleFor(station string) (*AgentHandle, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.agents[station]
+	return h, ok
+}
+
+// ClientStation reports where a client is currently attached.
+func (m *Manager) ClientStation(client string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.clients[client]
+	if !ok || rec.station == "" {
+		return "", false
+	}
+	return rec.station, true
+}
+
+// Notifications returns a copy of collected NF alerts.
+func (m *Manager) Notifications() []agent.Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]agent.Alert{}, m.notifications...)
+}
+
+// Migrations returns a copy of completed migration reports.
+func (m *Manager) Migrations() []MigrationReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MigrationReport{}, m.migrations...)
+}
+
+// SetHotspotCPU adjusts the hotspot CPU threshold at runtime.
+func (m *Manager) SetHotspotCPU(v float64) {
+	m.mu.Lock()
+	m.hotspotCPU = v
+	m.mu.Unlock()
+}
+
+// Hotspots returns stations whose last report exceeds the CPU threshold —
+// §3: "allowing the provider to detect resource-hotspots".
+func (m *Manager) Hotspots() []string {
+	m.mu.Lock()
+	handles := make([]*AgentHandle, 0, len(m.agents))
+	for _, h := range m.agents {
+		handles = append(handles, h)
+	}
+	threshold := m.hotspotCPU
+	m.mu.Unlock()
+	var out []string
+	for _, h := range handles {
+		rep, seen := h.LastReport()
+		if !seen.IsZero() && rep.Usage.CPUPercent >= threshold {
+			out = append(out, h.Station)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nfImagesFor lists the repository images a chain needs.
+func nfImagesFor(spec ChainSpec) []string {
+	imgs := make([]string, 0, len(spec.Functions))
+	for _, f := range spec.Functions {
+		imgs = append(imgs, agent.ImageForKind(f.Kind))
+	}
+	return imgs
+}

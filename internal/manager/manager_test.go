@@ -1,0 +1,145 @@
+package manager_test
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/container"
+	"gnf/internal/manager"
+	"gnf/internal/metrics"
+	"gnf/internal/netem"
+	"gnf/internal/topology"
+	"gnf/internal/wire"
+
+	_ "gnf/internal/nf/builtin"
+)
+
+// fakeStation connects a real agent (with a minimal dataplane) to a
+// manager for control-plane-focused tests.
+func fakeStation(t *testing.T, mgr *manager.Manager, name string) (*agent.Agent, *agent.Link) {
+	t.Helper()
+	clk := clock.NewAutoVirtual()
+	repo := container.NewRepository(clk, 0, 0)
+	for _, kind := range []string{"firewall", "counter"} {
+		repo.Push(container.Image{Name: agent.ImageForKind(kind), SizeBytes: 1 << 20, MemoryBytes: 1 << 20})
+	}
+	rt := container.NewRuntime(name, clk, repo)
+	sw := netem.NewSwitch(name)
+	up, _ := netem.NewVethPair(name+"-up", name+"-core")
+	sw.Attach(0, up)
+	ag := agent.New(topology.StationID(name), clk, rt, sw, 0)
+	link, err := agent.Connect(ag, mgr.Addr(), 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(link.Close)
+	return ag, link
+}
+
+func TestManagerTracksAgentsAndDisconnects(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	_, linkA := fakeStation(t, mgr, "st-a")
+	fakeStation(t, mgr, "st-b")
+
+	deadline := time.After(2 * time.Second)
+	for len(mgr.Agents()) != 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("agents = %v", mgr.Agents())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	linkA.Close()
+	deadline = time.After(2 * time.Second)
+	for len(mgr.Agents()) != 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("after disconnect: %v", mgr.Agents())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if mgr.Agents()[0] != "st-b" {
+		t.Fatalf("remaining agent = %v", mgr.Agents())
+	}
+}
+
+func TestHotspotDetection(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0", manager.WithHotspotCPU(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	// Hand-feed a report through a raw wire peer pretending to be a hot
+	// station.
+	peer, err := wire.Dial(mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go peer.Run()
+	defer peer.Close()
+	if err := peer.Call(agent.MethodRegister, agent.RegisterSpec{Station: "hot"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Notify(agent.MethodReport, agent.Report{
+		Station: "hot",
+		Usage:   metrics.ResourceUsage{CPUPercent: 93},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		hs := mgr.Hotspots()
+		if len(hs) == 1 && hs[0] == "hot" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("hotspots = %v", hs)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// A cool report clears it.
+	peer.Notify(agent.MethodReport, agent.Report{Station: "hot", Usage: metrics.ResourceUsage{CPUPercent: 3}})
+	deadline = time.After(2 * time.Second)
+	for len(mgr.Hotspots()) != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("hotspots = %v", mgr.Hotspots())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestStrategySwitching(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0", manager.WithStrategy(manager.StrategyCold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if mgr.Strategy() != manager.StrategyCold {
+		t.Fatalf("strategy = %v", mgr.Strategy())
+	}
+	mgr.SetStrategy(manager.StrategyStateful)
+	if mgr.Strategy() != manager.StrategyStateful {
+		t.Fatalf("strategy = %v", mgr.Strategy())
+	}
+}
+
+func TestMigrateToUnknownStationFails(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.RegisterClient("phone")
+	if _, err := mgr.MigrateChain("phone", "nope", "ghost-station"); err == nil {
+		t.Fatal("migrating unknown chain succeeded")
+	}
+}

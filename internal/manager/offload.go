@@ -1,0 +1,402 @@
+// GNFC offload orchestration (reference [2] of the demo paper): the
+// Manager can move a client's entire chain set from its edge station to a
+// cloud site. Traffic then detours edge→cloud→backhaul through a
+// provisioned tunnel. The payoff, quantified in experiment E8: once
+// offloaded, roaming costs only a steering update — the chains never move
+// again — at the price of a WAN round-trip on every packet.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+)
+
+// Offload errors.
+var (
+	ErrNotCloud     = errors.New("manager: offload target is not a cloud site")
+	ErrOffloaded    = errors.New("manager: client already offloaded")
+	ErrNotOffloaded = errors.New("manager: client is not offloaded")
+)
+
+// OffloadReport records one client offload or recall.
+type OffloadReport struct {
+	Client string            `json:"client"`
+	Site   string            `json:"site"`
+	Chains []MigrationReport `json:"chains"`
+	// Recall is true when this reports a cloud→edge move.
+	Recall bool `json:"recall,omitempty"`
+}
+
+// Offloaded reports the cloud site hosting the client's chains ("" when
+// the client is served at the edge).
+func (m *Manager) Offloaded(client string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec, ok := m.clients[client]; ok {
+		return rec.offload
+	}
+	return ""
+}
+
+// OffloadClient moves every chain of the client to the cloud site and
+// detours the client's traffic through the tunnel. Chains move
+// make-before-break with state transfer: each is deployed (disabled) on
+// the site, frozen at the edge, checkpointed, restored and enabled; the
+// detour flips once every chain is ready, and only then are the edge
+// copies removed.
+func (m *Manager) OffloadClient(client, site string) (OffloadReport, error) {
+	rep := OffloadReport{Client: client, Site: site}
+
+	m.mu.Lock()
+	rec, ok := m.clients[client]
+	m.mu.Unlock()
+	if !ok {
+		return rep, fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+
+	m.mu.Lock()
+	station := rec.station
+	if rec.offload != "" {
+		m.mu.Unlock()
+		return rep, fmt.Errorf("%w: %s on %s", ErrOffloaded, client, rec.offload)
+	}
+	specs := sortedChains(rec)
+	m.mu.Unlock()
+	if station == "" {
+		return rep, fmt.Errorf("%w: %s", ErrNotAttached, client)
+	}
+
+	cloud, err := m.agentFor(site)
+	if err != nil {
+		return rep, err
+	}
+	if !cloud.Cloud {
+		return rep, fmt.Errorf("%w: %s", ErrNotCloud, site)
+	}
+	edge, err := m.agentFor(station)
+	if err != nil {
+		return rep, err
+	}
+
+	// Phase 1: stand every chain up on the cloud site.
+	for _, spec := range specs {
+		mig := m.moveChainRemote(rec, edge, cloud, client, spec, station, site)
+		rep.Chains = append(rep.Chains, mig)
+		if mig.Err != "" {
+			// Roll back what this chain did and stop; earlier chains
+			// stay usable on the cloud only after the steer flips, so
+			// re-enable their edge copies and drop the cloud copies.
+			for _, done := range rep.Chains[:len(rep.Chains)-1] {
+				cloud.call(agent.MethodRemove, agent.ChainRef{Chain: done.Chain}, nil)
+				edge.call(agent.MethodEnable, agent.ChainRef{Chain: done.Chain}, nil)
+			}
+			return rep, fmt.Errorf("manager: offload %s/%s: %s", client, spec.Name, mig.Err)
+		}
+	}
+
+	// Phase 2: flip the detour, then tear the edge copies down.
+	if err := edge.call(agent.MethodSteer, agent.SteerSpec{Client: client, Via: site}, nil); err != nil {
+		for _, done := range rep.Chains {
+			cloud.call(agent.MethodRemove, agent.ChainRef{Chain: done.Chain}, nil)
+			edge.call(agent.MethodEnable, agent.ChainRef{Chain: done.Chain}, nil)
+		}
+		return rep, err
+	}
+	for _, spec := range specs {
+		edge.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+	}
+
+	m.mu.Lock()
+	rec.offload = site
+	rec.steerOn = station
+	for _, spec := range specs {
+		rec.deployedOn[spec.Name] = site
+	}
+	m.migrations = append(m.migrations, rep.Chains...)
+	m.mu.Unlock()
+	return rep, nil
+}
+
+// moveChainRemote stands one chain up on the cloud site with state carried
+// over from the edge copy. The edge copy is left disabled (stateful) or
+// running (cold) for the caller to remove after the detour flips.
+func (m *Manager) moveChainRemote(rec *clientRec, edge, cloud *AgentHandle, client string, spec ChainSpec, station, site string) MigrationReport {
+	m.mu.Lock()
+	strategy := m.strategy
+	mac, ip := rec.mac, rec.ip
+	m.mu.Unlock()
+	mig := MigrationReport{
+		Client: client, Chain: spec.Name,
+		From: station, To: site, Strategy: strategy,
+	}
+	fail := func(err error) MigrationReport {
+		mig.Err = err.Error()
+		return mig
+	}
+	total := clock.NewStopwatch(m.clk)
+
+	cloud.call(agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+	deploy := agent.DeploySpec{
+		Chain:     spec.Name,
+		Client:    client,
+		ClientMAC: mac,
+		ClientIP:  ip,
+		Functions: spec.Functions,
+		Remote:    true,
+		Via:       station,
+	}
+
+	if strategy == StrategyStateful {
+		if err := cloud.call(agent.MethodDeploy, deploy, nil); err != nil {
+			return fail(err)
+		}
+		down := clock.NewStopwatch(m.clk)
+		if err := edge.call(agent.MethodDisable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+			cloud.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			return fail(err)
+		}
+		var ckpt agent.CheckpointResult
+		if err := edge.call(agent.MethodCheckpoint, agent.ChainRef{Chain: spec.Name}, &ckpt); err != nil {
+			edge.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			cloud.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			return fail(err)
+		}
+		mig.StateBytes = len(ckpt.State)
+		if err := cloud.call(agent.MethodRestore, agent.RestoreSpec{Chain: spec.Name, State: ckpt.State}, nil); err != nil {
+			edge.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			cloud.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			return fail(err)
+		}
+		if err := cloud.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+			return fail(err)
+		}
+		mig.Downtime = down.Elapsed()
+	} else {
+		deploy.Enabled = true
+		down := clock.NewStopwatch(m.clk)
+		if err := cloud.call(agent.MethodDeploy, deploy, nil); err != nil {
+			return fail(err)
+		}
+		mig.Downtime = down.Elapsed()
+	}
+	mig.Total = total.Elapsed()
+	return mig
+}
+
+// RecallClient moves an offloaded client's chains back to its current
+// edge station, make-before-break: deploy and restore at the edge, clear
+// the detour (traffic snaps back through the fresh local chains), then
+// remove the cloud copies.
+func (m *Manager) RecallClient(client string) (OffloadReport, error) {
+	rep := OffloadReport{Client: client, Recall: true}
+
+	m.mu.Lock()
+	rec, ok := m.clients[client]
+	m.mu.Unlock()
+	if !ok {
+		return rep, fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+
+	m.mu.Lock()
+	site := rec.offload
+	station := rec.station
+	strategy := m.strategy
+	specs := sortedChains(rec)
+	m.mu.Unlock()
+	rep.Site = site
+	if site == "" {
+		return rep, fmt.Errorf("%w: %s", ErrNotOffloaded, client)
+	}
+	if station == "" {
+		return rep, fmt.Errorf("%w: %s", ErrNotAttached, client)
+	}
+	cloud, err := m.agentFor(site)
+	if err != nil {
+		return rep, err
+	}
+	edge, err := m.agentFor(station)
+	if err != nil {
+		return rep, err
+	}
+
+	for _, spec := range specs {
+		mig := MigrationReport{
+			Client: client, Chain: spec.Name,
+			From: site, To: station, Strategy: strategy,
+		}
+		total := clock.NewStopwatch(m.clk)
+		edge.call(agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+		deploy := agent.DeploySpec{Chain: spec.Name, Client: client, Functions: spec.Functions}
+		if strategy == StrategyStateful {
+			err = edge.call(agent.MethodDeploy, deploy, nil)
+			down := clock.NewStopwatch(m.clk)
+			if err == nil {
+				err = cloud.call(agent.MethodDisable, agent.ChainRef{Chain: spec.Name}, nil)
+			}
+			var ckpt agent.CheckpointResult
+			if err == nil {
+				err = cloud.call(agent.MethodCheckpoint, agent.ChainRef{Chain: spec.Name}, &ckpt)
+			}
+			mig.StateBytes = len(ckpt.State)
+			if err == nil {
+				err = edge.call(agent.MethodRestore, agent.RestoreSpec{Chain: spec.Name, State: ckpt.State}, nil)
+			}
+			if err == nil {
+				err = edge.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			}
+			mig.Downtime = down.Elapsed()
+		} else {
+			deploy.Enabled = true
+			down := clock.NewStopwatch(m.clk)
+			err = edge.call(agent.MethodDeploy, deploy, nil)
+			mig.Downtime = down.Elapsed()
+		}
+		mig.Total = total.Elapsed()
+		if err != nil {
+			mig.Err = err.Error()
+			rep.Chains = append(rep.Chains, mig)
+			return rep, fmt.Errorf("manager: recall %s/%s: %w", client, spec.Name, err)
+		}
+		rep.Chains = append(rep.Chains, mig)
+	}
+
+	edge.call(agent.MethodUnsteer, agent.UnsteerSpec{Client: client}, nil)
+	for _, spec := range specs {
+		cloud.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+	}
+
+	m.mu.Lock()
+	rec.offload, rec.steerOn = "", ""
+	for _, spec := range specs {
+		rec.deployedOn[spec.Name] = station
+	}
+	m.migrations = append(m.migrations, rep.Chains...)
+	m.mu.Unlock()
+	return rep, nil
+}
+
+// reconcileOffloaded handles roaming for an offloaded client: chains stay
+// on the cloud site; the cloud agent re-points their tunnel rules at the
+// client's new station, which then installs the detour. Converges on the
+// latest station like reconcileClient does.
+func (m *Manager) reconcileOffloaded(client string, rec *clientRec) {
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+	for {
+		m.mu.Lock()
+		target := rec.station
+		site := rec.offload
+		steerOn := rec.steerOn
+		done := target == "" || site == "" || steerOn == target
+		specs := sortedChains(rec)
+		m.mu.Unlock()
+		if done {
+			return
+		}
+		rep := MigrationReport{
+			Client: client, From: steerOn, To: target, Strategy: StrategySteer,
+		}
+		watch := clock.NewStopwatch(m.clk)
+		err := m.steerTo(client, site, target, specs)
+		rep.Downtime = watch.Elapsed()
+		rep.Total = rep.Downtime
+		if err != nil {
+			rep.Err = err.Error()
+		}
+		m.mu.Lock()
+		if err == nil {
+			rec.steerOn = target
+		}
+		m.migrations = append(m.migrations, rep)
+		m.mu.Unlock()
+		if err != nil {
+			return // avoid a hot loop on persistent failure
+		}
+	}
+}
+
+// steerTo re-points the cloud chains' tunnels at station and installs the
+// detour there.
+func (m *Manager) steerTo(client, site, station string, specs []ChainSpec) error {
+	cloud, err := m.agentFor(site)
+	if err != nil {
+		return err
+	}
+	edge, err := m.agentFor(station)
+	if err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		if err := cloud.call(agent.MethodRetarget, agent.RetargetSpec{Chain: spec.Name, Via: station}, nil); err != nil {
+			return err
+		}
+	}
+	return edge.call(agent.MethodSteer, agent.SteerSpec{Client: client, Via: site}, nil)
+}
+
+// AutoOffload scans for resource hotspots (§3: the Manager detects
+// "resource-hotspots") and offloads every chain-bearing client of each hot
+// edge station to the site chosen by the placement policy (CloudFirst
+// recommended). It returns one report per offloaded client.
+func (m *Manager) AutoOffload() ([]OffloadReport, error) {
+	hot := m.Hotspots()
+	var reports []OffloadReport
+	for _, station := range hot {
+		m.mu.Lock()
+		if h, ok := m.agents[station]; !ok || h.Cloud {
+			m.mu.Unlock()
+			continue // cloud sites don't offload further
+		}
+		var clients []string
+		for client, rec := range m.clients {
+			if rec.station == station && rec.offload == "" && len(rec.chains) > 0 {
+				clients = append(clients, client)
+			}
+		}
+		m.mu.Unlock()
+		sort.Strings(clients)
+
+		for _, client := range clients {
+			site, ok := m.place(PlacementHint{Client: client, AllowCloud: true}, station)
+			if !ok {
+				return reports, fmt.Errorf("%w: no offload target for %s", ErrUnknownStation, client)
+			}
+			m.mu.Lock()
+			isCloud := false
+			if h, ok := m.agents[site]; ok {
+				isCloud = h.Cloud
+			}
+			m.mu.Unlock()
+			if !isCloud {
+				continue // policy picked an edge station; AutoOffload only bursts to cloud
+			}
+			rep, err := m.OffloadClient(client, site)
+			reports = append(reports, rep)
+			if err != nil {
+				return reports, err
+			}
+		}
+	}
+	return reports, nil
+}
+
+// sortedChains snapshots a client's chain specs in name order. Callers
+// must hold m.mu.
+func sortedChains(rec *clientRec) []ChainSpec {
+	specs := make([]ChainSpec, 0, len(rec.chains))
+	for _, s := range rec.chains {
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}

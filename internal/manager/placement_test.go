@@ -1,0 +1,162 @@
+package manager_test
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/manager"
+	"gnf/internal/metrics"
+	"gnf/internal/wire"
+)
+
+func infos() []manager.StationInfo {
+	return []manager.StationInfo{
+		{Station: "st-a", CPUPercent: 40, Capacity: 100, MemUsed: 10, Chains: 3},
+		{Station: "st-b", CPUPercent: 10, Capacity: 100, MemUsed: 90, Chains: 1},
+		{Station: "st-c", CPUPercent: 10, Capacity: 100, MemUsed: 20, Chains: 2},
+		{Station: "cloud", Cloud: true, CPUPercent: 1, Capacity: 0, Chains: 0},
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	p := manager.LeastLoadedPlacement{}
+	got, ok := p.Pick(infos(), manager.PlacementHint{})
+	if !ok || got != "st-c" {
+		t.Fatalf("pick = %q (lowest CPU, then lowest memory pressure)", got)
+	}
+	// Clouds only join when allowed.
+	got, _ = p.Pick(infos(), manager.PlacementHint{AllowCloud: true})
+	if got != "cloud" {
+		t.Fatalf("with AllowCloud pick = %q", got)
+	}
+	// Stale stations lose to reporting ones.
+	cands := []manager.StationInfo{
+		{Station: "st-x", Stale: true},
+		{Station: "st-y", CPUPercent: 99},
+	}
+	if got, _ = p.Pick(cands, manager.PlacementHint{}); got != "st-y" {
+		t.Fatalf("stale pick = %q", got)
+	}
+	if _, ok = p.Pick(nil, manager.PlacementHint{}); ok {
+		t.Fatal("empty candidate list must not pick")
+	}
+}
+
+func TestSpreadPlacement(t *testing.T) {
+	got, ok := manager.SpreadPlacement{}.Pick(infos(), manager.PlacementHint{})
+	if !ok || got != "st-b" {
+		t.Fatalf("pick = %q (fewest chains among edge)", got)
+	}
+	got, _ = manager.SpreadPlacement{}.Pick(infos(), manager.PlacementHint{AllowCloud: true})
+	if got != "cloud" {
+		t.Fatalf("with AllowCloud pick = %q", got)
+	}
+}
+
+func TestRoundRobinPlacementCycles(t *testing.T) {
+	var p manager.RoundRobinPlacement
+	seen := make(map[string]int)
+	for i := 0; i < 6; i++ {
+		got, ok := p.Pick(infos(), manager.PlacementHint{})
+		if !ok {
+			t.Fatal("no pick")
+		}
+		seen[got]++
+	}
+	// Three edge candidates, six picks: each exactly twice.
+	for _, st := range []string{"st-a", "st-b", "st-c"} {
+		if seen[st] != 2 {
+			t.Fatalf("distribution = %v", seen)
+		}
+	}
+}
+
+func TestClientLocalPlacement(t *testing.T) {
+	p := manager.ClientLocalPlacement{}
+	got, ok := p.Pick(infos(), manager.PlacementHint{Prefer: "st-a"})
+	if !ok || got != "st-a" {
+		t.Fatalf("pick = %q (client's station)", got)
+	}
+	// Preferred station not a candidate: fall back to least-loaded.
+	got, _ = p.Pick(infos(), manager.PlacementHint{Prefer: "st-dead"})
+	if got != "st-c" {
+		t.Fatalf("fallback pick = %q", got)
+	}
+}
+
+func TestCloudFirstPlacement(t *testing.T) {
+	p := manager.CloudFirstPlacement{}
+	got, ok := p.Pick(infos(), manager.PlacementHint{})
+	if !ok || got != "cloud" {
+		t.Fatalf("pick = %q", got)
+	}
+	// No cloud connected: degrade to edge least-loaded.
+	edge := infos()[:3]
+	if got, _ = p.Pick(edge, manager.PlacementHint{}); got != "st-c" {
+		t.Fatalf("edge fallback = %q", got)
+	}
+}
+
+func TestStationInfosSnapshotsReports(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	dial := func(station string, cloud bool, cpu float64) *wire.Peer {
+		peer, err := wire.Dial(mgr.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go peer.Run()
+		t.Cleanup(func() { peer.Close() })
+		spec := agent.RegisterSpec{Station: station, MemoryBytes: 1 << 30, Cloud: cloud}
+		if err := peer.Call(agent.MethodRegister, spec, nil); err != nil {
+			t.Fatal(err)
+		}
+		peer.Notify(agent.MethodReport, agent.Report{
+			Station: station,
+			Usage:   metrics.ResourceUsage{CPUPercent: cpu, MemoryBytes: 512},
+		})
+		return peer
+	}
+	dial("st-a", false, 30)
+	dial("nimbus", true, 2)
+
+	waitFor(t, 2*time.Second, func() bool {
+		inf := mgr.StationInfos()
+		if len(inf) != 2 {
+			return false
+		}
+		return !inf[0].Stale && !inf[1].Stale
+	}, "both stations reported")
+
+	inf := mgr.StationInfos()
+	if inf[0].Station != "nimbus" || !inf[0].Cloud || inf[0].CPUPercent != 2 {
+		t.Fatalf("info[0] = %+v", inf[0])
+	}
+	if inf[1].Station != "st-a" || inf[1].Cloud || inf[1].MemUsed != 512 || inf[1].Capacity != 1<<30 {
+		t.Fatalf("info[1] = %+v", inf[1])
+	}
+	if got := mgr.StationInfos("nimbus"); len(got) != 1 || got[0].Station != "st-a" {
+		t.Fatalf("exclusion failed: %+v", got)
+	}
+}
+
+func TestSetPlacementIsUsedByEvacuation(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if mgr.Placement().Name() != "client-local" {
+		t.Fatalf("default placement = %q", mgr.Placement().Name())
+	}
+	mgr.SetPlacement(manager.SpreadPlacement{})
+	if mgr.Placement().Name() != "spread" {
+		t.Fatalf("placement = %q", mgr.Placement().Name())
+	}
+}

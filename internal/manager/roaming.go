@@ -1,0 +1,335 @@
+package manager
+
+import (
+	"fmt"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+)
+
+// RegisterClient makes a client known to the manager before any agent
+// reports it; the core layer calls this with addressing so deploys can
+// install steering (the agent also needs AttachClient locally).
+func (m *Manager) RegisterClient(client string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.clients[client]; !ok {
+		m.clients[client] = &clientRec{
+			chains:     make(map[string]ChainSpec),
+			deployedOn: make(map[string]string),
+		}
+	}
+}
+
+// AttachChain deploys an NF chain for a client on its current station and
+// remembers it for future roaming (the Manager API of §3: "allows single
+// or chain of NFs to be associated with a subset of a selected client's
+// traffic").
+func (m *Manager) AttachChain(client string, spec ChainSpec) error {
+	m.mu.Lock()
+	rec, ok := m.clients[client]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	if _, dup := rec.chains[spec.Name]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrChainExists, spec.Name)
+	}
+	station := rec.station
+	site := rec.offload
+	mac, ip := rec.mac, rec.ip
+	m.mu.Unlock()
+	if station == "" {
+		return fmt.Errorf("%w: %s", ErrNotAttached, client)
+	}
+
+	// Offloaded clients get new chains on their cloud site directly.
+	target := station
+	deploy := agent.DeploySpec{
+		Chain:     spec.Name,
+		Client:    client,
+		Functions: spec.Functions,
+		Enabled:   true,
+	}
+	if site != "" {
+		target = site
+		deploy.Remote = true
+		deploy.Via = station
+		deploy.ClientMAC, deploy.ClientIP = mac, ip
+	}
+	h, err := m.agentFor(target)
+	if err != nil {
+		return err
+	}
+	// For local deploys, client MAC/IP addressing is filled in by the
+	// agent from its own client table (learned at association time).
+	var res agent.DeployResult
+	if err := h.call(agent.MethodDeploy, deploy, &res); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	rec.chains[spec.Name] = spec
+	rec.deployedOn[spec.Name] = target
+	needSteer := site != "" && rec.steerOn != station
+	if needSteer {
+		rec.steerOn = station
+	}
+	m.mu.Unlock()
+	// The first chain after a full detach re-arms the offload detour.
+	if needSteer {
+		edge, err := m.agentFor(station)
+		if err != nil {
+			return err
+		}
+		return edge.call(agent.MethodSteer, agent.SteerSpec{Client: client, Via: site}, nil)
+	}
+	return nil
+}
+
+// DetachChain removes a chain from a client everywhere it runs.
+func (m *Manager) DetachChain(client, chainName string) error {
+	m.mu.Lock()
+	rec, ok := m.clients[client]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	_, exists := rec.chains[chainName]
+	station := rec.deployedOn[chainName]
+	delete(rec.chains, chainName)
+	delete(rec.deployedOn, chainName)
+	lastOffloaded := rec.offload != "" && len(rec.chains) == 0
+	steerOn := rec.steerOn
+	if lastOffloaded {
+		rec.steerOn = ""
+	}
+	m.mu.Unlock()
+	if !exists {
+		return fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
+	}
+	if station == "" {
+		return nil
+	}
+	// A chain-less offloaded client must not keep its detour: a cloud
+	// switch with no chain rules blackholes the return path.
+	if lastOffloaded && steerOn != "" {
+		if edge, err := m.agentFor(steerOn); err == nil {
+			edge.call(agent.MethodUnsteer, agent.UnsteerSpec{Client: client}, nil)
+		}
+	}
+	h, err := m.agentFor(station)
+	if err != nil {
+		return err
+	}
+	return h.call(agent.MethodRemove, agent.ChainRef{Chain: chainName}, nil)
+}
+
+// Chains lists a client's attached chain specs.
+func (m *Manager) Chains(client string) []ChainSpec {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.clients[client]
+	if !ok {
+		return nil
+	}
+	out := make([]ChainSpec, 0, len(rec.chains))
+	for _, s := range rec.chains {
+		out = append(out, s)
+	}
+	return out
+}
+
+// handleClientEvent reacts to client (dis)connections pushed by agents:
+// this is the roaming trigger. When a client appears on a new station and
+// has chains deployed elsewhere, every chain migrates.
+func (m *Manager) handleClientEvent(ev agent.ClientEvent) {
+	m.mu.Lock()
+	rec, ok := m.clients[ev.Client]
+	if !ok {
+		rec = &clientRec{chains: make(map[string]ChainSpec), deployedOn: make(map[string]string)}
+		m.clients[ev.Client] = rec
+	}
+	if !ev.Connected {
+		if rec.station == ev.Station {
+			rec.station = ""
+		}
+		if rec.steerOn == ev.Station {
+			rec.steerOn = "" // the detour rule died with the association
+		}
+		m.mu.Unlock()
+		return
+	}
+	rec.station = ev.Station
+	if !ev.MAC.IsZero() {
+		rec.mac, rec.ip = ev.MAC, ev.IP
+	}
+	offloaded := rec.offload != ""
+	m.mu.Unlock()
+	if offloaded {
+		m.reconcileOffloaded(ev.Client, rec)
+		return
+	}
+	m.reconcileClient(ev.Client, rec)
+}
+
+// reconcileClient migrates the client's chains until every one of them
+// runs on the client's current station. Migrations for one client are
+// serialised on rec.migMu, and the target station is re-read after every
+// migration — rapid successive handoffs therefore converge on the latest
+// station instead of racing duplicate deployments.
+func (m *Manager) reconcileClient(client string, rec *clientRec) {
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+	for {
+		m.mu.Lock()
+		target := rec.station
+		var spec ChainSpec
+		from := ""
+		found := false
+		if target != "" {
+			for name, s := range rec.chains {
+				if at := rec.deployedOn[name]; at != "" && at != target {
+					spec, from, found = s, at, true
+					break
+				}
+			}
+		}
+		strategy := m.strategy
+		m.mu.Unlock()
+		if !found {
+			return
+		}
+		rep := m.migrateChain(client, spec, from, target, strategy)
+		m.mu.Lock()
+		if rep.Err == "" {
+			rec.deployedOn[spec.Name] = target
+		}
+		m.migrations = append(m.migrations, rep)
+		m.mu.Unlock()
+		if rep.Err != "" {
+			return // avoid a hot loop on persistent failure
+		}
+	}
+}
+
+// MigrateChain moves one chain between stations on demand (the UI's manual
+// migration button); roaming uses the same path.
+func (m *Manager) MigrateChain(client, chainName, to string) (MigrationReport, error) {
+	m.mu.Lock()
+	rec, ok := m.clients[client]
+	if !ok {
+		m.mu.Unlock()
+		return MigrationReport{}, fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	spec, ok := rec.chains[chainName]
+	strategy := m.strategy
+	m.mu.Unlock()
+	if !ok {
+		return MigrationReport{}, fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
+	}
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+	m.mu.Lock()
+	from := rec.deployedOn[chainName]
+	m.mu.Unlock()
+	rep := m.migrateChain(client, spec, from, to, strategy)
+	m.mu.Lock()
+	if rep.Err == "" {
+		rec.deployedOn[chainName] = to
+	}
+	m.migrations = append(m.migrations, rep)
+	m.mu.Unlock()
+	if rep.Err != "" {
+		return rep, fmt.Errorf("manager: migration failed: %s", rep.Err)
+	}
+	return rep, nil
+}
+
+// migrateChain implements §2's function roaming: "an equivalent function
+// can be started on the newly assigned cell and removed from the previous
+// cell" — plus optional state transfer. Downtime is measured on the
+// manager clock from the instant the source stops serving (or, for cold
+// migration, from the start of target deployment) until the target
+// forwards traffic.
+func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, strategy Strategy) MigrationReport {
+	rep := MigrationReport{
+		Client:   client,
+		Chain:    spec.Name,
+		From:     from,
+		To:       to,
+		Strategy: strategy,
+	}
+	fail := func(err error) MigrationReport {
+		rep.Err = err.Error()
+		return rep
+	}
+	target, err := m.agentFor(to)
+	if err != nil {
+		return fail(err)
+	}
+	var source *AgentHandle
+	if from != "" {
+		if source, err = m.agentFor(from); err != nil {
+			source = nil // source station gone: degrade to cold deploy
+			rep.Err = ""
+		}
+	}
+	totalWatch := clock.NewStopwatch(m.clk)
+
+	// Pre-stage images on the target while the source still serves.
+	target.call(agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+
+	deploy := agent.DeploySpec{
+		Chain:     spec.Name,
+		Client:    client,
+		Functions: spec.Functions,
+	}
+
+	switch {
+	case strategy == StrategyStateful && source != nil:
+		// Deploy disabled, freeze source, move state, enable target.
+		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+			return fail(err)
+		}
+		downWatch := clock.NewStopwatch(m.clk)
+		if err := source.call(agent.MethodDisable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+			return fail(err)
+		}
+		var ckpt agent.CheckpointResult
+		if err := source.call(agent.MethodCheckpoint, agent.ChainRef{Chain: spec.Name}, &ckpt); err != nil {
+			// Roll back: re-enable the source so the client is not left dark.
+			source.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			return fail(err)
+		}
+		rep.StateBytes = len(ckpt.State)
+		if err := target.call(agent.MethodRestore, agent.RestoreSpec{Chain: spec.Name, State: ckpt.State}, nil); err != nil {
+			source.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			return fail(err)
+		}
+		if err := target.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+			return fail(err)
+		}
+		rep.Downtime = downWatch.Elapsed()
+		source.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+
+	default:
+		// Cold: equivalent function on the new cell, remove the old.
+		deploy.Enabled = true
+		downWatch := clock.NewStopwatch(m.clk)
+		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+			return fail(err)
+		}
+		rep.Downtime = downWatch.Elapsed()
+		if source != nil {
+			source.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+		}
+	}
+	rep.Total = totalWatch.Elapsed()
+	return rep
+}
+
+// WaitIdle blocks until in-flight roaming handlers complete (tests).
+func (m *Manager) WaitIdle() { m.migrationWG.Wait() }

@@ -1,0 +1,231 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gnf/internal/agent"
+)
+
+// This file implements two operational features of §3:
+//
+//   - scheduled NFs: "New NFs can be attached in seconds or removed from
+//     clients as well as scheduled to be enabled only during specific time
+//     periods" — Schedule/EvaluateSchedules below;
+//   - hotspot response: the Manager detects resource hotspots "and
+//     therefore the part of the infrastructure that should be upgraded" —
+//     EvacuateStation moves every chain off a station for maintenance.
+
+// Window is an absolute [EnableAt, DisableAt) activation period for a
+// chain. A zero DisableAt means "enabled forever after EnableAt".
+type Window struct {
+	EnableAt  time.Time `json:"enable_at"`
+	DisableAt time.Time `json:"disable_at"`
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	if t.Before(w.EnableAt) {
+		return false
+	}
+	return w.DisableAt.IsZero() || t.Before(w.DisableAt)
+}
+
+// schedule tracks one chain's activation window and last applied state.
+type schedule struct {
+	client  string
+	chain   string
+	window  Window
+	enabled *bool // last state pushed to the agent (nil = unknown)
+}
+
+// Schedule registers an activation window for an attached chain. The
+// window takes effect on the next EvaluateSchedules pass (the ticker in
+// RunScheduler, or a manual call from tests/virtual-clock sims).
+func (m *Manager) Schedule(client, chainName string, w Window) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.clients[client]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	if _, ok := rec.chains[chainName]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
+	}
+	m.schedules = append(m.schedules, &schedule{client: client, chain: chainName, window: w})
+	return nil
+}
+
+// Schedules lists registered windows as (client, chain, window) triples,
+// sorted for stable output.
+func (m *Manager) Schedules() []struct {
+	Client, Chain string
+	Window        Window
+} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]struct {
+		Client, Chain string
+		Window        Window
+	}, 0, len(m.schedules))
+	for _, s := range m.schedules {
+		out = append(out, struct {
+			Client, Chain string
+			Window        Window
+		}{s.client, s.chain, s.window})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].Chain < out[j].Chain
+	})
+	return out
+}
+
+// EvaluateSchedules applies every window against the manager clock's
+// current time, enabling or disabling chains whose desired state changed.
+// It returns the number of state transitions performed.
+func (m *Manager) EvaluateSchedules() int {
+	now := m.clk.Now()
+	type action struct {
+		sched  *schedule
+		target string
+		chain  string
+		enable bool
+	}
+	m.mu.Lock()
+	var actions []action
+	for _, s := range m.schedules {
+		want := s.window.Contains(now)
+		if s.enabled != nil && *s.enabled == want {
+			continue
+		}
+		rec, ok := m.clients[s.client]
+		if !ok {
+			continue
+		}
+		station := rec.deployedOn[s.chain]
+		if station == "" {
+			continue
+		}
+		actions = append(actions, action{sched: s, target: station, chain: s.chain, enable: want})
+	}
+	m.mu.Unlock()
+
+	applied := 0
+	for _, a := range actions {
+		h, err := m.agentFor(a.target)
+		if err != nil {
+			continue
+		}
+		method := agent.MethodDisable
+		if a.enable {
+			method = agent.MethodEnable
+		}
+		if err := h.call(method, agent.ChainRef{Chain: a.chain}, nil); err != nil {
+			continue
+		}
+		want := a.enable
+		m.mu.Lock()
+		a.sched.enabled = &want
+		m.mu.Unlock()
+		applied++
+	}
+	return applied
+}
+
+// RunScheduler evaluates schedules every interval on the wall clock until
+// stop is closed. Virtual-clock simulations call EvaluateSchedules
+// directly after advancing time instead.
+func (m *Manager) RunScheduler(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.EvaluateSchedules()
+		}
+	}
+}
+
+// LeastLoadedStation picks the connected station with the lowest reported
+// CPU load, excluding the given one; ok is false when no candidate exists.
+// This is the placement policy EvacuateStation uses.
+func (m *Manager) LeastLoadedStation(exclude string) (string, bool) {
+	m.mu.Lock()
+	handles := make([]*AgentHandle, 0, len(m.agents))
+	for st, h := range m.agents {
+		if st != exclude {
+			handles = append(handles, h)
+		}
+	}
+	m.mu.Unlock()
+	best, ok := "", false
+	bestCPU := 0.0
+	// Sort for deterministic tie-break.
+	sort.Slice(handles, func(i, j int) bool { return handles[i].Station < handles[j].Station })
+	for _, h := range handles {
+		rep, _ := h.LastReport()
+		if !ok || rep.Usage.CPUPercent < bestCPU {
+			best, bestCPU, ok = h.Station, rep.Usage.CPUPercent, true
+		}
+	}
+	return best, ok
+}
+
+// EvacuateStation migrates every chain deployed on station elsewhere:
+// chains whose client is attached to another station follow their client;
+// orphaned chains go to the least-loaded surviving station. It returns the
+// migration reports (one per chain).
+func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
+	m.mu.Lock()
+	type job struct {
+		client string
+		rec    *clientRec
+		spec   ChainSpec
+		to     string
+	}
+	var jobs []job
+	for client, rec := range m.clients {
+		for name, at := range rec.deployedOn {
+			if at != station {
+				continue
+			}
+			to := rec.station
+			if to == station || to == "" {
+				to = "" // resolved below, outside the lock
+			}
+			jobs = append(jobs, job{client: client, rec: rec, spec: rec.chains[name], to: to})
+		}
+	}
+	strategy := m.strategy
+	m.mu.Unlock()
+
+	var reports []MigrationReport
+	for _, j := range jobs {
+		to := j.to
+		if to == "" {
+			fallback, ok := m.place(PlacementHint{Client: j.client, Chain: j.spec.Name}, station)
+			if !ok {
+				return reports, fmt.Errorf("%w: no station to evacuate %s/%s to",
+					ErrUnknownStation, j.client, j.spec.Name)
+			}
+			to = fallback
+		}
+		j.rec.migMu.Lock()
+		rep := m.migrateChain(j.client, j.spec, station, to, strategy)
+		m.mu.Lock()
+		if rep.Err == "" {
+			j.rec.deployedOn[j.spec.Name] = to
+		}
+		m.migrations = append(m.migrations, rep)
+		m.mu.Unlock()
+		j.rec.migMu.Unlock()
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

@@ -1,0 +1,292 @@
+// Package metrics implements the lightweight monitoring substrate that the
+// GNF Manager uses to track per-station health and resource utilisation
+// (§3 of the paper: "continuously monitoring the health and resource
+// utilization from the GNF stations"), and that the UI renders.
+//
+// It provides atomic counters and gauges, fixed-window rolling time series,
+// and a named registry with stable snapshot export. Everything is safe for
+// concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Series is a fixed-capacity ring of timestamped float64 samples, e.g. a
+// station's CPU load over the last N reporting intervals.
+type Series struct {
+	mu   sync.Mutex
+	cap  int
+	data []Sample
+	head int // index of oldest sample
+	n    int
+}
+
+// Sample is one timestamped observation.
+type Sample struct {
+	At    time.Time `json:"at"`
+	Value float64   `json:"value"`
+}
+
+// NewSeries returns a rolling series holding at most capacity samples.
+// Capacity below 1 is raised to 1.
+func NewSeries(capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{cap: capacity, data: make([]Sample, capacity)}
+}
+
+// Record appends a sample, evicting the oldest when full.
+func (s *Series) Record(at time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := (s.head + s.n) % s.cap
+	if s.n == s.cap {
+		s.data[s.head] = Sample{at, v}
+		s.head = (s.head + 1) % s.cap
+		return
+	}
+	s.data[idx] = Sample{at, v}
+	s.n++
+}
+
+// Len returns the number of stored samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Samples returns stored samples oldest-first.
+func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.data[(s.head+i)%s.cap]
+	}
+	return out
+}
+
+// Last returns the most recent sample and true, or false when empty.
+func (s *Series) Last() (Sample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.data[(s.head+s.n-1)%s.cap], true
+}
+
+// Stats summarises a series.
+type Stats struct {
+	Count          int
+	Min, Max, Mean float64
+}
+
+// Stats computes min/max/mean over the stored samples.
+func (s *Series) Stats() Stats {
+	samples := s.Samples()
+	st := Stats{Count: len(samples)}
+	if st.Count == 0 {
+		return st
+	}
+	st.Min = math.Inf(1)
+	st.Max = math.Inf(-1)
+	var sum float64
+	for _, sm := range samples {
+		if sm.Value < st.Min {
+			st.Min = sm.Value
+		}
+		if sm.Value > st.Max {
+			st.Max = sm.Value
+		}
+		sum += sm.Value
+	}
+	st.Mean = sum / float64(st.Count)
+	return st
+}
+
+// Registry is a flat namespace of counters, gauges and series. Metric names
+// follow "subsystem.metric" convention, e.g. "switch.rx_frames".
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	series   map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Series returns (creating if needed) the named series with the given
+// capacity; an existing series keeps its original capacity.
+func (r *Registry) Series(name string, capacity int) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(capacity)
+		r.series[name] = s
+	}
+	return s
+}
+
+// Snapshot is a stable, JSON-friendly export of a registry.
+type Snapshot struct {
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]int64   `json:"gauges,omitempty"`
+	Series   map[string]float64 `json:"series,omitempty"` // last value per series
+}
+
+// Snapshot exports current values. Series report their latest sample.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := Snapshot{
+		Counters: make(map[string]uint64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+		Series:   make(map[string]float64, len(r.series)),
+	}
+	for n, c := range r.counters {
+		snap.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		snap.Gauges[n] = g.Value()
+	}
+	for n, s := range r.series {
+		if last, ok := s.Last(); ok {
+			snap.Series[n] = last.Value
+		}
+	}
+	return snap
+}
+
+// Names returns all registered metric names, sorted, prefixed by kind
+// ("counter:", "gauge:", "series:"). Primarily for debugging and the UI.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.series))
+	for n := range r.counters {
+		out = append(out, "counter:"+n)
+	}
+	for n := range r.gauges {
+		out = append(out, "gauge:"+n)
+	}
+	for n := range r.series {
+		out = append(out, "series:"+n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResourceUsage models the utilisation vector a GNF station reports: the
+// paper's UI shows "network traffic, CPU load, memory usage" per station.
+type ResourceUsage struct {
+	CPUPercent  float64 `json:"cpu_percent"`  // 0..100 * cores
+	MemoryBytes uint64  `json:"memory_bytes"` // resident bytes in use
+	RxBytes     uint64  `json:"rx_bytes"`     // cumulative
+	TxBytes     uint64  `json:"tx_bytes"`     // cumulative
+	Containers  int     `json:"containers"`   // running NF containers
+}
+
+// Add returns the element-wise sum of u and v (cumulative fields add;
+// instantaneous fields add too, since they are per-entity loads).
+func (u ResourceUsage) Add(v ResourceUsage) ResourceUsage {
+	return ResourceUsage{
+		CPUPercent:  u.CPUPercent + v.CPUPercent,
+		MemoryBytes: u.MemoryBytes + v.MemoryBytes,
+		RxBytes:     u.RxBytes + v.RxBytes,
+		TxBytes:     u.TxBytes + v.TxBytes,
+		Containers:  u.Containers + v.Containers,
+	}
+}
+
+// String implements fmt.Stringer for log lines.
+func (u ResourceUsage) String() string {
+	return fmt.Sprintf("cpu=%.1f%% mem=%dB rx=%dB tx=%dB nfs=%d",
+		u.CPUPercent, u.MemoryBytes, u.RxBytes, u.TxBytes, u.Containers)
+}
+
+// Percentile returns the p-th percentile (0..100) of ds using nearest-rank,
+// or 0 for an empty slice. Used by benches to report latency distributions.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+}
+
+func TestGaugeAddSet(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestSeriesRollover(t *testing.T) {
+	s := NewSeries(3)
+	base := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		s.Record(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	got := s.Samples()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if got[i].Value != want {
+			t.Fatalf("sample[%d] = %v, want %v", i, got[i].Value, want)
+		}
+	}
+	last, ok := s.Last()
+	if !ok || last.Value != 4 {
+		t.Fatalf("Last = %v, %v", last, ok)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(0) // capacity raised to 1
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series returned ok")
+	}
+	if st := s.Stats(); st.Count != 0 {
+		t.Fatalf("Stats on empty = %+v", st)
+	}
+	s.Record(time.Now(), 1)
+	s.Record(time.Now(), 2)
+	if s.Len() != 1 {
+		t.Fatalf("capacity-1 series holds %d", s.Len())
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries(10)
+	for _, v := range []float64{4, 2, 6} {
+		s.Record(time.Now(), v)
+	}
+	st := s.Stats()
+	if st.Count != 3 || st.Min != 2 || st.Max != 6 || st.Mean != 4 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestRegistryIdempotentLookups(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Fatal("Gauge not idempotent")
+	}
+	if r.Series("c", 4) != r.Series("c", 99) {
+		t.Fatal("Series not idempotent")
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rx").Add(5)
+	r.Gauge("load").Set(-2)
+	r.Series("cpu", 4).Record(time.Now(), 55.5)
+	snap := r.Snapshot()
+	if snap.Counters["rx"] != 5 || snap.Gauges["load"] != -2 || snap.Series["cpu"] != 55.5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	names := r.Names()
+	want := []string{"counter:rx", "gauge:load", "series:cpu"}
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestResourceUsageAdd(t *testing.T) {
+	a := ResourceUsage{CPUPercent: 10, MemoryBytes: 100, RxBytes: 1, TxBytes: 2, Containers: 1}
+	b := ResourceUsage{CPUPercent: 5, MemoryBytes: 50, RxBytes: 3, TxBytes: 4, Containers: 2}
+	sum := a.Add(b)
+	if sum.CPUPercent != 15 || sum.MemoryBytes != 150 || sum.RxBytes != 4 || sum.TxBytes != 6 || sum.Containers != 3 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {90, 5}, {20, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(ds, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+}
+
+// Property: series never stores more than capacity and always returns the
+// most recent values in order.
+func TestSeriesBoundedProperty(t *testing.T) {
+	f := func(vals []float64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		s := NewSeries(capacity)
+		for i, v := range vals {
+			s.Record(time.Unix(int64(i), 0), v)
+		}
+		got := s.Samples()
+		if len(got) > capacity {
+			return false
+		}
+		// Tail of vals must equal got.
+		start := len(vals) - len(got)
+		for i := range got {
+			if got[i].Value != vals[start+i] && !(got[i].Value != got[i].Value && vals[start+i] != vals[start+i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		ds := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			ds[i] = time.Duration(r)
+		}
+		lo, hi := float64(p1%101), float64(p2%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Percentile(ds, lo) <= Percentile(ds, hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

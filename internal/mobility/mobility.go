@@ -1,0 +1,170 @@
+// Package mobility drives client movement for the paper's §4 use-case:
+// "the migration of multiple lightweight NFs attached to mobile clients
+// (smartphones) roaming between wireless networks". Two models are
+// provided: deterministic handoff scripts (what the demo stages) and a
+// random-waypoint walker (for scale experiments), plus trace replay.
+// All models run against a clock.Clock, so simulations are reproducible.
+package mobility
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/topology"
+)
+
+// Step is one scripted handoff: after Delay, move Client to Cell.
+type Step struct {
+	Delay  time.Duration
+	Client topology.ClientID
+	Cell   topology.CellID
+}
+
+// Script replays deterministic handoffs — the staged demo of Fig. 2.
+type Script struct {
+	clk   clock.Clock
+	topo  *topology.Topology
+	steps []Step
+}
+
+// NewScript builds a script over topo.
+func NewScript(clk clock.Clock, topo *topology.Topology, steps ...Step) *Script {
+	return &Script{clk: clk, topo: topo, steps: steps}
+}
+
+// Run executes every step in order, sleeping each Delay on the clock. It
+// returns the first attachment error, if any.
+func (s *Script) Run() error {
+	for _, st := range s.steps {
+		if st.Delay > 0 {
+			s.clk.Sleep(st.Delay)
+		}
+		if err := s.topo.Attach(st.Client, st.Cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of steps.
+func (s *Script) Len() int { return len(s.steps) }
+
+// Waypoint is the classic random-waypoint model on the topology plane:
+// each client picks a random destination inside the arena, walks toward it
+// at its speed, pauses, and repeats. Association changes fall out of
+// Topology.MoveClient.
+type Waypoint struct {
+	topo       *topology.Topology
+	rng        *rand.Rand
+	arenaW     float64
+	arenaH     float64
+	speed      float64 // metres/second
+	hysteresis float64
+
+	mu      sync.Mutex
+	targets map[topology.ClientID]topology.Point
+}
+
+// NewWaypoint creates a walker with a deterministic seed. Arena is
+// [0,w]x[0,h]; speed is in m/s.
+func NewWaypoint(topo *topology.Topology, w, h, speed float64, seed int64) *Waypoint {
+	return &Waypoint{
+		topo:       topo,
+		rng:        rand.New(rand.NewSource(seed)),
+		arenaW:     w,
+		arenaH:     h,
+		speed:      speed,
+		hysteresis: 5,
+		targets:    make(map[topology.ClientID]topology.Point),
+	}
+}
+
+// Step advances every client by dt, re-associating as needed. It returns
+// the number of clients that changed cells (observable via topology
+// listeners too).
+func (wp *Waypoint) Step(dt time.Duration) int {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	changed := 0
+	for _, c := range wp.topo.Clients() {
+		target, ok := wp.targets[c.ID]
+		if !ok || c.Position.Distance(target) < 1 {
+			target = topology.Point{X: wp.rng.Float64() * wp.arenaW, Y: wp.rng.Float64() * wp.arenaH}
+			wp.targets[c.ID] = target
+		}
+		dist := c.Position.Distance(target)
+		stride := wp.speed * dt.Seconds()
+		var next topology.Point
+		if stride >= dist {
+			next = target
+		} else {
+			frac := stride / dist
+			next = topology.Point{
+				X: c.Position.X + (target.X-c.Position.X)*frac,
+				Y: c.Position.Y + (target.Y-c.Position.Y)*frac,
+			}
+		}
+		before := c.Attached
+		if err := wp.topo.MoveClient(c.ID, next, wp.hysteresis); err != nil {
+			continue
+		}
+		after, err := wp.topo.Client(c.ID)
+		if err == nil && after.Attached != before {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Run steps the model every interval for rounds iterations, sleeping on
+// clk between steps. It returns the total number of handoffs.
+func (wp *Waypoint) Run(clk clock.Clock, interval time.Duration, rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		clk.Sleep(interval)
+		total += wp.Step(interval)
+	}
+	return total
+}
+
+// Trace is a recorded handoff sequence (client, from, to, at) that can be
+// replayed; useful for regression tests that need identical mobility.
+type Trace struct {
+	mu     sync.Mutex
+	events []topology.AssociationEvent
+}
+
+// Recorder returns a listener that appends events to the trace; register
+// it with Topology.OnAssociation.
+func (tr *Trace) Recorder() func(topology.AssociationEvent) {
+	return func(ev topology.AssociationEvent) {
+		tr.mu.Lock()
+		tr.events = append(tr.events, ev)
+		tr.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the recorded events.
+func (tr *Trace) Events() []topology.AssociationEvent {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]topology.AssociationEvent(nil), tr.events...)
+}
+
+// Replay re-applies the recorded handoffs onto topo (ignoring detaches).
+func (tr *Trace) Replay(topo *topology.Topology) error {
+	for _, ev := range tr.Events() {
+		if ev.To == "" {
+			if err := topo.Detach(ev.Client); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := topo.Attach(ev.Client, ev.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+func corridor(t *testing.T, nClients int) *topology.Topology {
+	t.Helper()
+	topo := topology.New()
+	for i, x := range []float64{0, 100, 200} {
+		sid := topology.StationID([]string{"st-a", "st-b", "st-c"}[i])
+		if err := topo.AddStation(topology.Station{ID: sid, Position: topology.Point{X: x}}); err != nil {
+			t.Fatal(err)
+		}
+		cid := topology.CellID([]string{"cell-a", "cell-b", "cell-c"}[i])
+		if err := topo.AddCell(topology.Cell{ID: cid, Station: sid, Center: topology.Point{X: x}, Radius: 70}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nClients; i++ {
+		id := topology.ClientID("c" + string(rune('0'+i)))
+		if err := topo.AddClient(topology.Client{ID: id, MAC: packet.MAC{2, 0, 0, 0, 0, byte(i)}, IP: packet.IP{10, 0, 0, byte(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+func TestScriptRunsHandoffsInOrder(t *testing.T) {
+	topo := corridor(t, 1)
+	clk := clock.NewAutoVirtual()
+	var events []topology.AssociationEvent
+	topo.OnAssociation(func(ev topology.AssociationEvent) { events = append(events, ev) })
+
+	script := NewScript(clk, topo,
+		Step{Delay: time.Second, Client: "c0", Cell: "cell-a"},
+		Step{Delay: 2 * time.Second, Client: "c0", Cell: "cell-b"},
+		Step{Delay: time.Second, Client: "c0", Cell: "cell-c"},
+	)
+	if script.Len() != 3 {
+		t.Fatalf("len = %d", script.Len())
+	}
+	start := clk.Now()
+	if err := script.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if el := clk.Since(start); el != 4*time.Second {
+		t.Fatalf("script took %v of simulated time, want 4s", el)
+	}
+	if len(events) != 3 || events[1].From != "cell-a" || events[1].To != "cell-b" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestScriptUnknownClientFails(t *testing.T) {
+	topo := corridor(t, 1)
+	script := NewScript(clock.NewAutoVirtual(), topo, Step{Client: "ghost", Cell: "cell-a"})
+	if err := script.Run(); err == nil {
+		t.Fatal("script accepted unknown client")
+	}
+}
+
+func TestWaypointWalksAndAssociates(t *testing.T) {
+	topo := corridor(t, 3)
+	wp := NewWaypoint(topo, 200, 50, 20 /* m/s */, 42)
+	// Step for a simulated minute; every client must end up attached to
+	// some cell at least once (cells cover most of the arena).
+	attached := make(map[topology.ClientID]bool)
+	topo.OnAssociation(func(ev topology.AssociationEvent) {
+		if ev.To != "" {
+			attached[ev.Client] = true
+		}
+	})
+	for i := 0; i < 60; i++ {
+		wp.Step(time.Second)
+	}
+	if len(attached) != 3 {
+		t.Fatalf("only %d of 3 clients ever associated", len(attached))
+	}
+	// Positions stay inside the arena.
+	for _, c := range topo.Clients() {
+		if c.Position.X < -1 || c.Position.X > 201 || c.Position.Y < -1 || c.Position.Y > 51 {
+			t.Fatalf("client %s escaped arena: %+v", c.ID, c.Position)
+		}
+	}
+}
+
+func TestWaypointDeterministicWithSeed(t *testing.T) {
+	run := func() []topology.Point {
+		topo := corridor(t, 2)
+		wp := NewWaypoint(topo, 200, 50, 10, 7)
+		for i := 0; i < 30; i++ {
+			wp.Step(time.Second)
+		}
+		var pts []topology.Point
+		for _, c := range topo.Clients() {
+			pts = append(pts, c.Position)
+		}
+		return pts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestWaypointRunCountsHandoffs(t *testing.T) {
+	topo := corridor(t, 4)
+	clk := clock.NewAutoVirtual()
+	wp := NewWaypoint(topo, 200, 50, 30, 11)
+	start := clk.Now()
+	handoffs := wp.Run(clk, time.Second, 120)
+	if clk.Since(start) != 120*time.Second {
+		t.Fatal("Run did not sleep on the clock")
+	}
+	if handoffs == 0 {
+		t.Fatal("no handoffs in 2 simulated minutes at 30 m/s")
+	}
+}
+
+func TestTraceRecordAndReplay(t *testing.T) {
+	topo := corridor(t, 1)
+	var tr Trace
+	topo.OnAssociation(tr.Recorder())
+	topo.Attach("c0", "cell-a")
+	topo.Attach("c0", "cell-b")
+	topo.Detach("c0")
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events", len(events))
+	}
+
+	// Replay onto a fresh topology reproduces the final state.
+	topo2 := corridor(t, 1)
+	var tr2 Trace
+	topo2.OnAssociation(tr2.Recorder())
+	if err := tr.Replay(topo2); err != nil {
+		t.Fatal(err)
+	}
+	got := tr2.Events()
+	if len(got) != len(events) {
+		t.Fatalf("replay produced %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("replay event[%d] = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+	c, _ := topo2.Client("c0")
+	if c.Attached != "" {
+		t.Fatal("replayed final state wrong")
+	}
+}
+
+func TestTraceReplayUnknownClient(t *testing.T) {
+	topo := corridor(t, 1)
+	var tr Trace
+	topo.OnAssociation(tr.Recorder())
+	topo.Attach("c0", "cell-a")
+	empty := topology.New()
+	if err := tr.Replay(empty); err == nil {
+		t.Fatal("replay on empty topology succeeded")
+	}
+}

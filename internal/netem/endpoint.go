@@ -1,0 +1,249 @@
+// Package netem emulates the GNF dataplane substrate: virtual Ethernet
+// pairs (the two-veth container wiring of §3), links with delay/rate/loss
+// models, an L2 learning switch with a match-action steering table (the
+// "transparent traffic handling" hook the Agents program), and a minimal
+// L3 host for traffic endpoints.
+//
+// Frames are ordinary []byte Ethernet frames; everything that carries cost
+// (propagation delay, serialization at a link rate) is expressed against a
+// clock.Clock so simulations run deterministically on virtual time.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"gnf/internal/clock"
+	"time"
+)
+
+// Errors returned by endpoints.
+var (
+	ErrClosed      = errors.New("netem: endpoint closed")
+	ErrNoPeer      = errors.New("netem: endpoint has no peer")
+	ErrFrameTooBig = errors.New("netem: frame exceeds MTU")
+)
+
+// DefaultMTU bounds frame size including the Ethernet header.
+const DefaultMTU = 1514
+
+// defaultQueueLen is the per-direction transmit queue depth (frames).
+const defaultQueueLen = 512
+
+// LinkParams model one direction of a link.
+type LinkParams struct {
+	Delay    time.Duration // propagation delay
+	RateBps  int64         // serialization rate in bits/s; 0 = infinite
+	LossProb float64       // independent drop probability in [0,1)
+	MTU      int           // 0 = DefaultMTU
+	QueueLen int           // 0 = defaultQueueLen
+}
+
+// Endpoint is one end of a virtual Ethernet pair. Frames sent on an
+// endpoint are delivered — subject to the link model — to the peer's
+// receiver function.
+type Endpoint struct {
+	name string
+	clk  clock.Clock
+	link LinkParams
+	rng  *rand.Rand
+	rngM sync.Mutex
+
+	peer *Endpoint
+
+	mu     sync.Mutex
+	recv   func(frame []byte)
+	queue  chan []byte
+	closed bool
+	done   chan struct{}
+
+	txFrames, rxFrames atomic.Uint64
+	txBytes, rxBytes   atomic.Uint64
+	drops              atomic.Uint64
+}
+
+// PairOption adjusts veth construction.
+type PairOption func(*pairConfig)
+
+type pairConfig struct {
+	clk  clock.Clock
+	a2b  LinkParams
+	b2a  LinkParams
+	seed int64
+}
+
+// WithClock selects the time source for link delays (default: system).
+func WithClock(c clock.Clock) PairOption { return func(pc *pairConfig) { pc.clk = c } }
+
+// WithLink sets symmetric link parameters for both directions.
+func WithLink(p LinkParams) PairOption {
+	return func(pc *pairConfig) { pc.a2b, pc.b2a = p, p }
+}
+
+// WithAsymLink sets per-direction link parameters.
+func WithAsymLink(aToB, bToA LinkParams) PairOption {
+	return func(pc *pairConfig) { pc.a2b, pc.b2a = aToB, bToA }
+}
+
+// WithSeed fixes the loss-model PRNG seed for reproducible tests.
+func WithSeed(seed int64) PairOption { return func(pc *pairConfig) { pc.seed = seed } }
+
+// NewVethPair creates a connected pair of endpoints, the emulation of `ip
+// link add ... type veth peer ...`. Each direction runs its own delivery
+// goroutine; Close either end to stop both.
+func NewVethPair(nameA, nameB string, opts ...PairOption) (*Endpoint, *Endpoint) {
+	cfg := pairConfig{clk: clock.System(), seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	a := newEndpoint(nameA, cfg.clk, cfg.a2b, cfg.seed)
+	b := newEndpoint(nameB, cfg.clk, cfg.b2a, cfg.seed+1)
+	a.peer, b.peer = b, a
+	go a.deliverLoop()
+	go b.deliverLoop()
+	return a, b
+}
+
+func newEndpoint(name string, clk clock.Clock, link LinkParams, seed int64) *Endpoint {
+	if link.MTU == 0 {
+		link.MTU = DefaultMTU
+	}
+	if link.QueueLen == 0 {
+		link.QueueLen = defaultQueueLen
+	}
+	return &Endpoint{
+		name:  name,
+		clk:   clk,
+		link:  link,
+		rng:   rand.New(rand.NewSource(seed)),
+		queue: make(chan []byte, link.QueueLen),
+		done:  make(chan struct{}),
+	}
+}
+
+// Name returns the endpoint's interface name.
+func (e *Endpoint) Name() string { return e.name }
+
+// SetReceiver installs the function invoked for each frame arriving at this
+// endpoint. The frame slice is owned by the receiver.
+func (e *Endpoint) SetReceiver(fn func(frame []byte)) {
+	e.mu.Lock()
+	e.recv = fn
+	e.mu.Unlock()
+}
+
+// Send transmits a frame toward the peer. It never blocks: when the
+// transmit queue is full the frame is dropped (tail-drop), as a real qdisc
+// would.
+func (e *Endpoint) Send(frame []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if e.peer == nil {
+		return ErrNoPeer
+	}
+	if len(frame) > e.link.MTU {
+		e.drops.Add(1)
+		return ErrFrameTooBig
+	}
+	if p := e.link.LossProb; p > 0 {
+		e.rngM.Lock()
+		lost := e.rng.Float64() < p
+		e.rngM.Unlock()
+		if lost {
+			e.drops.Add(1)
+			return nil // silently lost on the wire
+		}
+	}
+	select {
+	case e.queue <- frame:
+		e.txFrames.Add(1)
+		e.txBytes.Add(uint64(len(frame)))
+		return nil
+	default:
+		e.drops.Add(1)
+		return nil
+	}
+}
+
+// deliverLoop applies serialization and propagation delay, then hands the
+// frame to the peer's receiver.
+func (e *Endpoint) deliverLoop() {
+	for {
+		select {
+		case <-e.done:
+			return
+		case frame := <-e.queue:
+			if e.link.RateBps > 0 {
+				ser := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / e.link.RateBps)
+				e.clk.Sleep(ser)
+			}
+			if e.link.Delay > 0 {
+				e.clk.Sleep(e.link.Delay)
+			}
+			peer := e.peer
+			peer.mu.Lock()
+			fn := peer.recv
+			closed := peer.closed
+			peer.mu.Unlock()
+			if closed {
+				continue
+			}
+			peer.rxFrames.Add(1)
+			peer.rxBytes.Add(uint64(len(frame)))
+			if fn != nil {
+				fn(frame)
+			}
+		}
+	}
+}
+
+// Close stops delivery on both directions of the pair.
+func (e *Endpoint) Close() {
+	for _, ep := range []*Endpoint{e, e.peer} {
+		if ep == nil {
+			continue
+		}
+		ep.mu.Lock()
+		if !ep.closed {
+			ep.closed = true
+			close(ep.done)
+		}
+		ep.mu.Unlock()
+	}
+}
+
+// Stats is a snapshot of endpoint counters.
+type Stats struct {
+	Name               string
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	Drops              uint64
+}
+
+// Stats returns the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		Name:     e.name,
+		TxFrames: e.txFrames.Load(),
+		RxFrames: e.rxFrames.Load(),
+		TxBytes:  e.txBytes.Load(),
+		RxBytes:  e.rxBytes.Load(),
+		Drops:    e.drops.Load(),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: tx=%d/%dB rx=%d/%dB drop=%d",
+		s.Name, s.TxFrames, s.TxBytes, s.RxFrames, s.RxBytes, s.Drops)
+}
+
+// Peer returns the other end of the pair.
+func (e *Endpoint) Peer() *Endpoint { return e.peer }

@@ -1,0 +1,214 @@
+package netem
+
+import (
+	"sync"
+
+	"gnf/internal/packet"
+)
+
+// Host is a minimal L3 endpoint behind a veth: it answers ARP for its own
+// address, replies to ICMP echo, and dispatches UDP datagrams to registered
+// handlers. Traffic generators and example services are built on it; it
+// plays the role of the paper's wireless clients and upstream servers.
+type Host struct {
+	MACAddr packet.MAC
+	IPAddr  packet.IP
+
+	ep *Endpoint
+
+	mu       sync.RWMutex
+	arpTable map[packet.IP]packet.MAC
+	udp      map[uint16]UDPHandler
+	anyUDP   UDPHandler
+	rawTap   func(frame []byte)
+
+	pingMu    sync.Mutex
+	pingWaits map[uint32]chan struct{}
+}
+
+// UDPHandler receives a datagram payload plus its addressing. Returning a
+// non-nil reply sends it back to the source.
+type UDPHandler func(src packet.Endpoint, dst packet.Endpoint, payload []byte) (reply []byte)
+
+// NewHost attaches a host to ep with the given addresses.
+func NewHost(mac packet.MAC, ip packet.IP, ep *Endpoint) *Host {
+	h := &Host{
+		MACAddr:   mac,
+		IPAddr:    ip,
+		ep:        ep,
+		arpTable:  make(map[packet.IP]packet.MAC),
+		udp:       make(map[uint16]UDPHandler),
+		pingWaits: make(map[uint32]chan struct{}),
+	}
+	ep.SetReceiver(h.input)
+	return h
+}
+
+// Endpoint returns the host's attachment point.
+func (h *Host) Endpoint() *Endpoint {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.ep
+}
+
+// Rebind moves the host onto a new attachment point — the dataplane half
+// of a roaming handoff (the client associates with a different cell). The
+// caller is responsible for closing the previous endpoint.
+func (h *Host) Rebind(ep *Endpoint) {
+	h.mu.Lock()
+	old := h.ep
+	h.ep = ep
+	h.mu.Unlock()
+	if old != nil {
+		old.SetReceiver(nil)
+	}
+	ep.SetReceiver(h.input)
+}
+
+// HandleUDP registers a handler for a local UDP port.
+func (h *Host) HandleUDP(port uint16, fn UDPHandler) {
+	h.mu.Lock()
+	h.udp[port] = fn
+	h.mu.Unlock()
+}
+
+// HandleAnyUDP registers a catch-all UDP handler used when no per-port
+// handler matches.
+func (h *Host) HandleAnyUDP(fn UDPHandler) {
+	h.mu.Lock()
+	h.anyUDP = fn
+	h.mu.Unlock()
+}
+
+// Tap installs a raw frame observer called for every received frame before
+// protocol processing (nil to remove). Tests use it to assert on traffic.
+func (h *Host) Tap(fn func(frame []byte)) {
+	h.mu.Lock()
+	h.rawTap = fn
+	h.mu.Unlock()
+}
+
+// Learn seeds the host's ARP table (used instead of broadcasting in tests).
+func (h *Host) Learn(ip packet.IP, mac packet.MAC) {
+	h.mu.Lock()
+	h.arpTable[ip] = mac
+	h.mu.Unlock()
+}
+
+// Resolve returns the MAC for ip from the ARP table, or broadcast when
+// unknown (upper layers may also issue ARP requests with SendARPRequest).
+func (h *Host) Resolve(ip packet.IP) packet.MAC {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if mac, ok := h.arpTable[ip]; ok {
+		return mac
+	}
+	return packet.BroadcastMAC
+}
+
+// SendARPRequest broadcasts a who-has for ip.
+func (h *Host) SendARPRequest(ip packet.IP) error {
+	return h.Endpoint().Send(packet.BuildARP(packet.ARPRequest, h.MACAddr, h.IPAddr, packet.MAC{}, ip))
+}
+
+// SendUDP sends a datagram to dst; the destination MAC comes from the ARP
+// table (broadcast if unknown, which the switch floods — fine for tests).
+func (h *Host) SendUDP(dst packet.Endpoint, srcPort uint16, payload []byte) error {
+	frame := packet.BuildUDP(h.MACAddr, h.Resolve(dst.Addr), h.IPAddr, dst.Addr, srcPort, dst.Port, payload)
+	return h.Endpoint().Send(frame)
+}
+
+// Ping sends an ICMP echo request; the returned channel closes when the
+// matching reply arrives.
+func (h *Host) Ping(dst packet.IP, id, seq uint16) (<-chan struct{}, error) {
+	key := uint32(id)<<16 | uint32(seq)
+	ch := make(chan struct{})
+	h.pingMu.Lock()
+	h.pingWaits[key] = ch
+	h.pingMu.Unlock()
+	frame := packet.BuildICMPEcho(h.MACAddr, h.Resolve(dst), h.IPAddr, dst, packet.ICMPEchoRequest, id, seq, []byte("gnf-ping"))
+	if err := h.Endpoint().Send(frame); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// input is the host's receive path.
+func (h *Host) input(frame []byte) {
+	h.mu.RLock()
+	tap := h.rawTap
+	h.mu.RUnlock()
+	if tap != nil {
+		tap(frame)
+	}
+	var p packet.Parser
+	if err := p.Parse(frame); err != nil {
+		return
+	}
+	// Frames not addressed to us (or broadcast) are ignored.
+	if p.Eth.Dst != h.MACAddr && !p.Eth.Dst.IsBroadcast() {
+		return
+	}
+	switch {
+	case p.Has(packet.LayerARP):
+		h.handleARP(&p.ARP)
+	case p.Has(packet.LayerICMP):
+		h.handleICMP(&p)
+	case p.Has(packet.LayerUDP):
+		h.handleUDP(&p)
+	}
+}
+
+func (h *Host) handleARP(a *packet.ARP) {
+	h.mu.Lock()
+	h.arpTable[a.SenderIP] = a.SenderHW
+	h.mu.Unlock()
+	if a.Op == packet.ARPRequest && a.TargetIP == h.IPAddr {
+		h.Endpoint().Send(packet.BuildARP(packet.ARPReply, h.MACAddr, h.IPAddr, a.SenderHW, a.SenderIP))
+	}
+}
+
+func (h *Host) handleICMP(p *packet.Parser) {
+	ic := p.ICMP
+	switch ic.Type {
+	case packet.ICMPEchoRequest:
+		if p.IP.Dst != h.IPAddr {
+			return
+		}
+		h.Learn(p.IP.Src, p.Eth.Src)
+		reply := packet.BuildICMPEcho(h.MACAddr, p.Eth.Src, h.IPAddr, p.IP.Src,
+			packet.ICMPEchoReply, ic.ID, ic.Seq, ic.Payload())
+		h.Endpoint().Send(reply)
+	case packet.ICMPEchoReply:
+		key := uint32(ic.ID)<<16 | uint32(ic.Seq)
+		h.pingMu.Lock()
+		if ch, ok := h.pingWaits[key]; ok {
+			delete(h.pingWaits, key)
+			close(ch)
+		}
+		h.pingMu.Unlock()
+	}
+}
+
+func (h *Host) handleUDP(p *packet.Parser) {
+	if p.IP.Dst != h.IPAddr && !p.Eth.Dst.IsBroadcast() {
+		return
+	}
+	h.Learn(p.IP.Src, p.Eth.Src)
+	h.mu.RLock()
+	fn, ok := h.udp[p.UDP.DstPort]
+	if !ok {
+		fn = h.anyUDP
+	}
+	h.mu.RUnlock()
+	if fn == nil {
+		return
+	}
+	src := packet.Endpoint{Addr: p.IP.Src, Port: p.UDP.SrcPort}
+	dst := packet.Endpoint{Addr: p.IP.Dst, Port: p.UDP.DstPort}
+	payload := packet.Clone(p.UDP.Payload())
+	if reply := fn(src, dst, payload); reply != nil {
+		frame := packet.BuildUDP(h.MACAddr, h.Resolve(src.Addr), h.IPAddr, src.Addr, dst.Port, src.Port, reply)
+		h.Endpoint().Send(frame)
+	}
+}

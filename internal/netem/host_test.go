@@ -1,0 +1,128 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/packet"
+)
+
+// twoHosts builds hostA <-> switch <-> hostB.
+func twoHosts(t *testing.T) (*Host, *Host, *Switch) {
+	t.Helper()
+	sw := NewSwitch("sw")
+	a1, a2 := NewVethPair("ha", "sw-a")
+	b1, b2 := NewVethPair("hb", "sw-b")
+	sw.Attach(1, a2)
+	sw.Attach(2, b2)
+	ha := NewHost(mac(1), ip(1), a1)
+	hb := NewHost(mac(2), ip(2), b1)
+	t.Cleanup(func() { a1.Close(); b1.Close() })
+	return ha, hb, sw
+}
+
+func TestHostARPResolution(t *testing.T) {
+	ha, hb, _ := twoHosts(t)
+	if ha.Resolve(ip(2)) != packet.BroadcastMAC {
+		t.Fatal("unknown IP should resolve to broadcast")
+	}
+	if err := ha.SendARPRequest(ip(2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for ha.Resolve(ip(2)) != hb.MACAddr {
+		select {
+		case <-deadline:
+			t.Fatal("ARP reply never learned")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// The replying host learned the requester too.
+	if hb.Resolve(ip(1)) != ha.MACAddr {
+		t.Fatal("responder did not learn requester")
+	}
+}
+
+func TestHostPing(t *testing.T) {
+	ha, _, _ := twoHosts(t)
+	done, err := ha.Ping(ip(2), 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ping reply never arrived")
+	}
+}
+
+func TestHostUDPEcho(t *testing.T) {
+	ha, hb, _ := twoHosts(t)
+	hb.HandleUDP(7, func(src, dst packet.Endpoint, payload []byte) []byte {
+		return append([]byte("echo:"), payload...)
+	})
+	got := make(chan []byte, 1)
+	ha.HandleUDP(5555, func(src, dst packet.Endpoint, payload []byte) []byte {
+		got <- payload
+		return nil
+	})
+	if err := ha.SendUDP(packet.Endpoint{Addr: ip(2), Port: 7}, 5555, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "echo:hi" {
+			t.Fatalf("reply = %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no echo reply")
+	}
+}
+
+func TestHostCatchAllUDP(t *testing.T) {
+	ha, hb, _ := twoHosts(t)
+	got := make(chan uint16, 1)
+	hb.HandleAnyUDP(func(src, dst packet.Endpoint, payload []byte) []byte {
+		got <- dst.Port
+		return nil
+	})
+	ha.SendUDP(packet.Endpoint{Addr: ip(2), Port: 4321}, 1, []byte("x"))
+	select {
+	case port := <-got:
+		if port != 4321 {
+			t.Fatalf("port = %d", port)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("catch-all never fired")
+	}
+}
+
+func TestHostIgnoresForeignUnicast(t *testing.T) {
+	ha, hb, _ := twoHosts(t)
+	seen := make(chan struct{}, 1)
+	hb.HandleAnyUDP(func(src, dst packet.Endpoint, payload []byte) []byte {
+		seen <- struct{}{}
+		return nil
+	})
+	// Frame addressed to hb's IP but a different MAC: must be ignored at L2.
+	frame := packet.BuildUDP(ha.MACAddr, mac(9), ip(1), ip(2), 1, 2, []byte("x"))
+	ha.Endpoint().Send(frame)
+	select {
+	case <-seen:
+		t.Fatal("host accepted frame for foreign MAC")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestHostTap(t *testing.T) {
+	ha, hb, _ := twoHosts(t)
+	frames := make(chan []byte, 8)
+	hb.Tap(func(f []byte) { frames <- f })
+	ha.SendUDP(packet.Endpoint{Addr: ip(2), Port: 1}, 2, []byte("tapped"))
+	select {
+	case <-frames:
+	case <-time.After(2 * time.Second):
+		t.Fatal("tap saw nothing")
+	}
+	hb.Tap(nil) // removable
+}

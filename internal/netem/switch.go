@@ -1,0 +1,366 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gnf/internal/packet"
+)
+
+// PortID identifies a switch port.
+type PortID int
+
+// Action is the verdict of a steering rule.
+type Action uint8
+
+// Steering actions.
+const (
+	// ActionNormal forwards by MAC learning (explicitly bypassing
+	// lower-priority rules).
+	ActionNormal Action = iota
+	// ActionRedirect emits the frame on Rule.OutPort. It is how client
+	// traffic is steered into an NF chain's ingress veth.
+	ActionRedirect
+	// ActionDrop discards the frame.
+	ActionDrop
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionRedirect:
+		return "redirect"
+	case ActionDrop:
+		return "drop"
+	default:
+		return "normal"
+	}
+}
+
+// Match selects frames for a steering rule. Nil fields are wildcards. The
+// shape mirrors what GNF programs into the station's software switch: match
+// a client's traffic subset, leave everything else untouched.
+type Match struct {
+	InPort    *PortID
+	SrcMAC    *packet.MAC
+	DstMAC    *packet.MAC
+	EtherType *uint16 // inner EtherType (802.1Q tags are looked through)
+	// VID matches the outermost 802.1Q VLAN ID; untagged frames never
+	// match a VID rule.
+	VID     *uint16
+	SrcIP   *packet.IP
+	DstIP   *packet.IP
+	Proto   *uint8
+	SrcPort *uint16
+	DstPort *uint16
+}
+
+// Matches evaluates the match against a parsed frame.
+func (m *Match) Matches(in PortID, p *packet.Parser) bool {
+	if m.InPort != nil && *m.InPort != in {
+		return false
+	}
+	if m.SrcMAC != nil && *m.SrcMAC != p.Eth.Src {
+		return false
+	}
+	if m.DstMAC != nil && *m.DstMAC != p.Eth.Dst {
+		return false
+	}
+	if m.EtherType != nil && *m.EtherType != p.Eth.EtherType {
+		return false
+	}
+	if m.VID != nil && (!p.Eth.Tagged || *m.VID != p.Eth.VID) {
+		return false
+	}
+	needIP := m.SrcIP != nil || m.DstIP != nil || m.Proto != nil || m.SrcPort != nil || m.DstPort != nil
+	if !needIP {
+		return true
+	}
+	if !p.Has(packet.LayerIPv4) {
+		return false
+	}
+	if m.SrcIP != nil && *m.SrcIP != p.IP.Src {
+		return false
+	}
+	if m.DstIP != nil && *m.DstIP != p.IP.Dst {
+		return false
+	}
+	if m.Proto != nil && *m.Proto != p.IP.Proto {
+		return false
+	}
+	if m.SrcPort != nil || m.DstPort != nil {
+		ft, ok := p.FiveTuple()
+		if !ok {
+			return false
+		}
+		if m.SrcPort != nil && *m.SrcPort != ft.Src.Port {
+			return false
+		}
+		if m.DstPort != nil && *m.DstPort != ft.Dst.Port {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule is one steering entry. Higher Priority wins; ties break by lower ID
+// (insertion order).
+type Rule struct {
+	ID       int
+	Priority int
+	Match    Match
+	Action   Action
+	OutPort  PortID // for ActionRedirect
+}
+
+// Switch is an L2 learning switch with a priority steering table, the
+// emulation of the OVS instance on every GNF station.
+type Switch struct {
+	name string
+
+	mu     sync.RWMutex
+	ports  map[PortID]*swPort
+	fdb    map[packet.MAC]PortID
+	pinned map[packet.MAC]PortID
+	rules  []Rule
+	nextID int
+
+	rxFrames  atomic.Uint64
+	dropped   atomic.Uint64
+	flooded   atomic.Uint64
+	redirects atomic.Uint64
+}
+
+type swPort struct {
+	id      PortID
+	ep      *Endpoint
+	service bool
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(name string) *Switch {
+	return &Switch{
+		name:   name,
+		ports:  make(map[PortID]*swPort),
+		fdb:    make(map[packet.MAC]PortID),
+		pinned: make(map[packet.MAC]PortID),
+	}
+}
+
+// PinMAC installs a sticky FDB entry that dynamic learning cannot
+// override — what an access point does for an associated station. Without
+// it, a client's own frames flooded back from the backhaul would repoint
+// the FDB at the uplink (MAC flapping), which turns into a forwarding
+// loop once offload tunnels put cycles in the physical topology.
+func (s *Switch) PinMAC(mac packet.MAC, port PortID) {
+	s.mu.Lock()
+	s.pinned[mac] = port
+	s.fdb[mac] = port
+	s.mu.Unlock()
+}
+
+// UnpinMAC removes a sticky entry (the dynamic entry goes with it).
+func (s *Switch) UnpinMAC(mac packet.MAC) {
+	s.mu.Lock()
+	delete(s.pinned, mac)
+	delete(s.fdb, mac)
+	s.mu.Unlock()
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// Attach connects an endpoint to the switch as port id; frames arriving on
+// the endpoint enter the pipeline. Attaching to an existing id replaces the
+// port.
+func (s *Switch) Attach(id PortID, ep *Endpoint) {
+	s.attach(id, ep, false)
+}
+
+// AttachService connects a service port: the attachment point of an NF
+// chain. Service ports are excluded from MAC learning and from flooding —
+// the OVS no-flood discipline GNF applies to its NF ports — so frames
+// re-entering the switch from a chain can never loop back into it; only
+// explicit steering rules direct traffic into service ports.
+func (s *Switch) AttachService(id PortID, ep *Endpoint) {
+	s.attach(id, ep, true)
+}
+
+func (s *Switch) attach(id PortID, ep *Endpoint, service bool) {
+	s.mu.Lock()
+	s.ports[id] = &swPort{id: id, ep: ep, service: service}
+	s.mu.Unlock()
+	ep.SetReceiver(func(frame []byte) { s.input(id, frame) })
+}
+
+// Detach removes a port and flushes FDB entries pointing at it.
+func (s *Switch) Detach(id PortID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.ports[id]; ok {
+		p.ep.SetReceiver(nil)
+		delete(s.ports, id)
+	}
+	for mac, port := range s.fdb {
+		if port == id {
+			delete(s.fdb, mac)
+		}
+	}
+}
+
+// AddRule installs a steering rule and returns its ID.
+func (s *Switch) AddRule(r Rule) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	r.ID = s.nextID
+	s.rules = append(s.rules, r)
+	sort.SliceStable(s.rules, func(i, j int) bool {
+		if s.rules[i].Priority != s.rules[j].Priority {
+			return s.rules[i].Priority > s.rules[j].Priority
+		}
+		return s.rules[i].ID < s.rules[j].ID
+	})
+	return r.ID
+}
+
+// RemoveRule deletes a rule by ID; it reports whether the rule existed.
+func (s *Switch) RemoveRule(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.rules {
+		if r.ID == id {
+			s.rules = append(s.rules[:i], s.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns a copy of the steering table in evaluation order.
+func (s *Switch) Rules() []Rule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Rule(nil), s.rules...)
+}
+
+// input runs the forwarding pipeline for one frame.
+func (s *Switch) input(in PortID, frame []byte) {
+	s.rxFrames.Add(1)
+	var p packet.Parser
+	if err := p.Parse(frame); err != nil {
+		s.dropped.Add(1)
+		return
+	}
+
+	s.mu.Lock()
+	inService := false
+	if sp, ok := s.ports[in]; ok {
+		inService = sp.service
+	}
+	// Learn source MAC (unicast sources only); frames emerging from
+	// service ports carry end-host MACs and must not repoint the FDB,
+	// and pinned (associated-client) entries never move.
+	if !inService && !p.Eth.Src.IsMulticast() && !p.Eth.Src.IsZero() {
+		if _, pin := s.pinned[p.Eth.Src]; !pin {
+			s.fdb[p.Eth.Src] = in
+		}
+	}
+	// Steering table lookup, first match wins (rules are pre-sorted).
+	action, out := ActionNormal, PortID(0)
+	for i := range s.rules {
+		if s.rules[i].Match.Matches(in, &p) {
+			action, out = s.rules[i].Action, s.rules[i].OutPort
+			break
+		}
+	}
+	var dst *swPort
+	var flood []*swPort
+	switch action {
+	case ActionDrop:
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	case ActionRedirect:
+		dst = s.ports[out]
+		s.mu.Unlock()
+		s.redirects.Add(1)
+		if dst != nil {
+			dst.ep.Send(frame)
+		} else {
+			s.dropped.Add(1)
+		}
+		return
+	default:
+		if port, ok := s.fdb[p.Eth.Dst]; ok && !p.Eth.Dst.IsMulticast() {
+			dst = s.ports[port]
+		}
+		if dst == nil {
+			flood = make([]*swPort, 0, len(s.ports))
+			for _, sp := range s.ports {
+				if sp.id != in && !sp.service {
+					flood = append(flood, sp)
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+
+	if dst != nil {
+		if dst.id == in {
+			// Hairpin suppressed: host already has the frame.
+			s.dropped.Add(1)
+			return
+		}
+		dst.ep.Send(frame)
+		return
+	}
+	s.flooded.Add(1)
+	for _, sp := range flood {
+		sp.ep.Send(packet.Clone(frame))
+	}
+}
+
+// SwitchStats is a snapshot of switch counters.
+type SwitchStats struct {
+	RxFrames  uint64
+	Dropped   uint64
+	Flooded   uint64
+	Redirects uint64
+	Ports     int
+	Rules     int
+	FDBSize   int
+}
+
+// Stats returns current counters.
+func (s *Switch) Stats() SwitchStats {
+	s.mu.RLock()
+	ports, rules, fdb := len(s.ports), len(s.rules), len(s.fdb)
+	s.mu.RUnlock()
+	return SwitchStats{
+		RxFrames:  s.rxFrames.Load(),
+		Dropped:   s.dropped.Load(),
+		Flooded:   s.flooded.Load(),
+		Redirects: s.redirects.Load(),
+		Ports:     ports,
+		Rules:     rules,
+		FDBSize:   fdb,
+	}
+}
+
+// LookupFDB reports the learned port for a MAC.
+func (s *Switch) LookupFDB(mac packet.MAC) (PortID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.fdb[mac]
+	return id, ok
+}
+
+// String implements fmt.Stringer.
+func (s *Switch) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("switch %s: ports=%d rules=%d fdb=%d rx=%d drop=%d flood=%d redirect=%d",
+		s.name, st.Ports, st.Rules, st.FDBSize, st.RxFrames, st.Dropped, st.Flooded, st.Redirects)
+}

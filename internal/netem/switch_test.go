@@ -1,0 +1,287 @@
+package netem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gnf/internal/packet"
+)
+
+// testNet wires n hosts to a switch and returns them with receive taps.
+type testNet struct {
+	sw    *Switch
+	eps   []*Endpoint // host-side endpoints
+	taps  []chan []byte
+	pairs []*Endpoint
+}
+
+func newTestNet(t *testing.T, n int) *testNet {
+	t.Helper()
+	tn := &testNet{sw: NewSwitch("sw0")}
+	for i := 0; i < n; i++ {
+		host, swSide := NewVethPair("h", "sw")
+		tap := make(chan []byte, 64)
+		host.SetReceiver(func(f []byte) { tap <- f })
+		tn.sw.Attach(PortID(i+1), swSide)
+		tn.eps = append(tn.eps, host)
+		tn.taps = append(tn.taps, tap)
+		tn.pairs = append(tn.pairs, swSide)
+	}
+	t.Cleanup(func() {
+		for _, e := range tn.eps {
+			e.Close()
+		}
+	})
+	return tn
+}
+
+func mac(i byte) packet.MAC { return packet.MAC{2, 0, 0, 0, 0, i} }
+func ip(i byte) packet.IP   { return packet.IP{10, 0, 0, i} }
+
+func udpFrame(srcH, dstH byte, srcPort, dstPort uint16) []byte {
+	return packet.BuildUDP(mac(srcH), mac(dstH), ip(srcH), ip(dstH), srcPort, dstPort, []byte("x"))
+}
+
+func expectFrame(t *testing.T, ch <-chan []byte) []byte {
+	t.Helper()
+	select {
+	case f := <-ch:
+		return f
+	case <-time.After(2 * time.Second):
+		t.Fatal("no frame arrived")
+		return nil
+	}
+}
+
+func expectSilence(t *testing.T, ch <-chan []byte, d time.Duration) {
+	t.Helper()
+	select {
+	case <-ch:
+		t.Fatal("unexpected frame")
+	case <-time.After(d):
+	}
+}
+
+func TestSwitchFloodsUnknownThenLearns(t *testing.T) {
+	tn := newTestNet(t, 3)
+	// Host 1 -> host 2, dst unknown: flood to 2 and 3, not back to 1.
+	tn.eps[0].Send(udpFrame(1, 2, 100, 200))
+	expectFrame(t, tn.taps[1])
+	expectFrame(t, tn.taps[2])
+	expectSilence(t, tn.taps[0], 50*time.Millisecond)
+
+	// Host 2 replies; switch has learned 1's port, so no flood to 3.
+	tn.eps[1].Send(udpFrame(2, 1, 200, 100))
+	expectFrame(t, tn.taps[0])
+	expectSilence(t, tn.taps[2], 50*time.Millisecond)
+
+	// Now 1->2 is unicast: 3 must stay silent.
+	tn.eps[0].Send(udpFrame(1, 2, 100, 200))
+	expectFrame(t, tn.taps[1])
+	expectSilence(t, tn.taps[2], 50*time.Millisecond)
+
+	if port, ok := tn.sw.LookupFDB(mac(1)); !ok || port != 1 {
+		t.Fatalf("FDB for mac(1) = %v, %v", port, ok)
+	}
+	st := tn.sw.Stats()
+	if st.Flooded != 1 || st.Ports != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSwitchBroadcast(t *testing.T) {
+	tn := newTestNet(t, 3)
+	arp := packet.BuildARP(packet.ARPRequest, mac(1), ip(1), packet.MAC{}, ip(2))
+	tn.eps[0].Send(arp)
+	expectFrame(t, tn.taps[1])
+	expectFrame(t, tn.taps[2])
+	expectSilence(t, tn.taps[0], 50*time.Millisecond)
+}
+
+func TestSwitchRedirectRule(t *testing.T) {
+	tn := newTestNet(t, 3)
+	// Teach the switch where everyone is.
+	tn.eps[1].Send(udpFrame(2, 9, 1, 1))
+	tn.eps[2].Send(udpFrame(3, 9, 1, 1))
+	time.Sleep(20 * time.Millisecond)
+	for _, tap := range tn.taps { // drain frames flooded while learning
+		for {
+			select {
+			case <-tap:
+				continue
+			default:
+			}
+			break
+		}
+	}
+
+	// Steer all UDP traffic from host 1 into port 3 (the "NF ingress").
+	inPort := PortID(1)
+	proto := uint8(packet.ProtoUDP)
+	tn.sw.AddRule(Rule{
+		Priority: 10,
+		Match:    Match{InPort: &inPort, Proto: &proto},
+		Action:   ActionRedirect,
+		OutPort:  3,
+	})
+	tn.eps[0].Send(udpFrame(1, 2, 5, 6))
+	expectFrame(t, tn.taps[2]) // redirected to port 3
+	expectSilence(t, tn.taps[1], 50*time.Millisecond)
+
+	if tn.sw.Stats().Redirects != 1 {
+		t.Fatalf("redirects = %d", tn.sw.Stats().Redirects)
+	}
+	// Non-UDP traffic from host 1 still follows normal forwarding.
+	icmp := packet.BuildICMPEcho(mac(1), mac(2), ip(1), ip(2), packet.ICMPEchoRequest, 1, 1, nil)
+	tn.eps[0].Send(icmp)
+	expectFrame(t, tn.taps[1])
+}
+
+func TestSwitchDropRule(t *testing.T) {
+	tn := newTestNet(t, 2)
+	srcIP := ip(1)
+	tn.sw.AddRule(Rule{Priority: 5, Match: Match{SrcIP: &srcIP}, Action: ActionDrop})
+	tn.eps[0].Send(udpFrame(1, 2, 1, 2))
+	expectSilence(t, tn.taps[1], 50*time.Millisecond)
+	if tn.sw.Stats().Dropped == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestSwitchRulePriorityAndRemoval(t *testing.T) {
+	tn := newTestNet(t, 3)
+	proto := uint8(packet.ProtoUDP)
+	dropID := tn.sw.AddRule(Rule{Priority: 1, Match: Match{Proto: &proto}, Action: ActionDrop})
+	tn.sw.AddRule(Rule{Priority: 10, Match: Match{Proto: &proto}, Action: ActionRedirect, OutPort: 3})
+
+	tn.eps[0].Send(udpFrame(1, 2, 1, 2))
+	expectFrame(t, tn.taps[2]) // high-priority redirect wins over drop
+
+	rules := tn.sw.Rules()
+	if len(rules) != 2 || rules[0].Priority != 10 {
+		t.Fatalf("rules order = %+v", rules)
+	}
+	if !tn.sw.RemoveRule(dropID) {
+		t.Fatal("RemoveRule failed")
+	}
+	if tn.sw.RemoveRule(dropID) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestSwitchNormalActionOverridesLowerRules(t *testing.T) {
+	tn := newTestNet(t, 3)
+	proto := uint8(packet.ProtoUDP)
+	sport := uint16(9999)
+	// Low priority: drop all UDP. High priority: src port 9999 -> normal.
+	tn.sw.AddRule(Rule{Priority: 1, Match: Match{Proto: &proto}, Action: ActionDrop})
+	tn.sw.AddRule(Rule{Priority: 10, Match: Match{Proto: &proto, SrcPort: &sport}, Action: ActionNormal})
+
+	tn.eps[0].Send(udpFrame(1, 2, 9999, 53))
+	expectFrame(t, tn.taps[1]) // flooded (unknown dst) despite drop rule
+	tn.eps[0].Send(udpFrame(1, 2, 1234, 53))
+	expectSilence(t, tn.taps[1], 50*time.Millisecond)
+}
+
+func TestSwitchDetachFlushesFDB(t *testing.T) {
+	tn := newTestNet(t, 2)
+	tn.eps[0].Send(udpFrame(1, 2, 1, 2))
+	expectFrame(t, tn.taps[1])
+	if _, ok := tn.sw.LookupFDB(mac(1)); !ok {
+		t.Fatal("mac(1) not learned")
+	}
+	tn.sw.Detach(1)
+	if _, ok := tn.sw.LookupFDB(mac(1)); ok {
+		t.Fatal("FDB entry survived Detach")
+	}
+	if tn.sw.Stats().Ports != 1 {
+		t.Fatalf("ports = %d", tn.sw.Stats().Ports)
+	}
+}
+
+func TestSwitchRedirectToMissingPortDrops(t *testing.T) {
+	tn := newTestNet(t, 2)
+	proto := uint8(packet.ProtoUDP)
+	tn.sw.AddRule(Rule{Priority: 1, Match: Match{Proto: &proto}, Action: ActionRedirect, OutPort: 99})
+	tn.eps[0].Send(udpFrame(1, 2, 1, 2))
+	expectSilence(t, tn.taps[1], 50*time.Millisecond)
+	if tn.sw.Stats().Dropped == 0 {
+		t.Fatal("redirect to void not counted as drop")
+	}
+}
+
+func TestSwitchMalformedFrameDropped(t *testing.T) {
+	tn := newTestNet(t, 2)
+	tn.eps[0].Send([]byte{1, 2, 3}) // not even an Ethernet header
+	time.Sleep(20 * time.Millisecond)
+	if tn.sw.Stats().Dropped == 0 {
+		t.Fatal("malformed frame not dropped")
+	}
+}
+
+func TestMatchFieldCombinations(t *testing.T) {
+	var p packet.Parser
+	if err := p.Parse(udpFrame(1, 2, 1000, 53)); err != nil {
+		t.Fatal(err)
+	}
+	et := packet.EtherTypeIPv4
+	src, dst := ip(1), ip(2)
+	sm, dm := mac(1), mac(2)
+	proto := uint8(packet.ProtoUDP)
+	sp, dp := uint16(1000), uint16(53)
+	inP := PortID(7)
+	m := Match{InPort: &inP, SrcMAC: &sm, DstMAC: &dm, EtherType: &et,
+		SrcIP: &src, DstIP: &dst, Proto: &proto, SrcPort: &sp, DstPort: &dp}
+	if !m.Matches(7, &p) {
+		t.Fatal("full match failed")
+	}
+	if m.Matches(8, &p) {
+		t.Fatal("wrong in-port matched")
+	}
+	wrongPort := uint16(54)
+	m4 := Match{DstPort: &wrongPort}
+	if m4.Matches(7, &p) {
+		t.Fatal("wrong dst port matched")
+	}
+	// IP match against an ARP frame must fail.
+	var arpP packet.Parser
+	if err := arpP.Parse(packet.BuildARP(packet.ARPRequest, sm, src, packet.MAC{}, dst)); err != nil {
+		t.Fatal(err)
+	}
+	m2 := Match{SrcIP: &src}
+	if m2.Matches(1, &arpP) {
+		t.Fatal("IP match succeeded on ARP frame")
+	}
+	m3 := Match{}
+	if !m3.Matches(1, &arpP) {
+		t.Fatal("wildcard match failed")
+	}
+}
+
+func TestSwitchConcurrentTraffic(t *testing.T) {
+	tn := newTestNet(t, 4)
+	var wg sync.WaitGroup
+	const per = 50
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				tn.eps[i].Send(udpFrame(byte(i+1), byte((i+1)%4+1), uint16(j), 53))
+			}
+		}(i)
+	}
+	wg.Wait()
+	deadline := time.After(2 * time.Second)
+	for tn.sw.Stats().RxFrames < 4*per {
+		select {
+		case <-deadline:
+			t.Fatalf("switch saw %d frames, want %d", tn.sw.Stats().RxFrames, 4*per)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if tn.sw.String() == "" {
+		t.Fatal("empty switch string")
+	}
+}

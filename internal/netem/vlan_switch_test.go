@@ -1,0 +1,125 @@
+package netem_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gnf/internal/netem"
+	"gnf/internal/packet"
+)
+
+// collector attaches a counting receiver to an endpoint.
+func collector(ep *netem.Endpoint) *atomic.Int64 {
+	var n atomic.Int64
+	ep.SetReceiver(func([]byte) { n.Add(1) })
+	return &n
+}
+
+// waitCount polls until the counter reaches want.
+func waitCount(t *testing.T, n *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for n.Load() < want {
+		select {
+		case <-deadline:
+			t.Fatalf("count = %d, want %d", n.Load(), want)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestSwitchVIDSteering(t *testing.T) {
+	sw := netem.NewSwitch("vlansw")
+	aSw, aHost := netem.NewVethPair("a0", "a1")
+	bSw, bHost := netem.NewVethPair("b0", "b1")
+	qSw, qHost := netem.NewVethPair("q0", "q1") // quarantine port
+	sw.Attach(1, aSw)
+	sw.Attach(2, bSw)
+	sw.Attach(3, qSw)
+	bGot := collector(bHost)
+	qGot := collector(qHost)
+
+	// Steer VLAN 99 to the quarantine port; other traffic forwards
+	// normally.
+	vid := uint16(99)
+	sw.AddRule(netem.Rule{
+		Priority: 10,
+		Match:    netem.Match{VID: &vid},
+		Action:   netem.ActionRedirect,
+		OutPort:  3,
+	})
+
+	src := packet.MAC{2, 0, 0, 0, 0, 1}
+	dst := packet.MAC{2, 0, 0, 0, 0, 2}
+	plain := packet.BuildUDP(src, dst, packet.IP{10, 0, 0, 1}, packet.IP{10, 0, 0, 2}, 1, 2, nil)
+
+	// Teach the switch where dst lives.
+	back := packet.BuildUDP(dst, src, packet.IP{10, 0, 0, 2}, packet.IP{10, 0, 0, 1}, 2, 1, nil)
+	if err := bHost.Send(back); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	// Untagged and VLAN-7 frames go to b; VLAN-99 frames are quarantined.
+	if err := aHost.Send(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := aHost.Send(packet.TagVLAN(plain, 0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, bGot, 2)
+	if err := aHost.Send(packet.TagVLAN(plain, 0, 99)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, qGot, 1)
+	if bGot.Load() != 2 {
+		t.Fatalf("b received %d frames, want 2", bGot.Load())
+	}
+}
+
+func TestSwitchPinnedMACNeverMoves(t *testing.T) {
+	sw := netem.NewSwitch("pinsw")
+	aSw, aHost := netem.NewVethPair("a0", "a1")
+	upSw, upHost := netem.NewVethPair("u0", "u1")
+	sw.Attach(1, aSw)
+	sw.Attach(0, upSw)
+	aGot := collector(aHost)
+	collector(upHost)
+
+	client := packet.MAC{2, 0, 0, 0, 0, 0xAA}
+	remote := packet.MAC{2, 0, 0, 0, 0, 0xBB}
+	sw.PinMAC(client, 1)
+
+	// A copy of the client's own frame arrives from the uplink (as a
+	// backhaul flood would deliver it). Learning must NOT repoint the
+	// client's FDB entry at port 0.
+	spoof := packet.BuildUDP(client, remote, packet.IP{10, 0, 0, 1}, packet.IP{10, 9, 0, 1}, 1, 2, nil)
+	if err := upHost.Send(spoof); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if port, ok := sw.LookupFDB(client); !ok || port != 1 {
+		t.Fatalf("pinned entry moved: port=%v ok=%v", port, ok)
+	}
+
+	// Traffic to the client still lands on its access port.
+	toClient := packet.BuildUDP(remote, client, packet.IP{10, 9, 0, 1}, packet.IP{10, 0, 0, 1}, 2, 1, nil)
+	if err := upHost.Send(toClient); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, aGot, 2) // the flooded spoof copy + the directed frame
+
+	// Unpinning restores normal learning.
+	sw.UnpinMAC(client)
+	if _, ok := sw.LookupFDB(client); ok {
+		t.Fatal("unpin left a dynamic entry")
+	}
+	if err := upHost.Send(spoof); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if port, ok := sw.LookupFDB(client); !ok || port != 0 {
+		t.Fatalf("after unpin, learning broken: port=%v ok=%v", port, ok)
+	}
+}

@@ -1,0 +1,20 @@
+// Package builtin links every built-in NF implementation into the binary,
+// populating nf.Default via their init functions. Import it (blank) from
+// any main or test that instantiates NFs by kind name.
+package builtin
+
+import (
+	_ "gnf/internal/nf/counter"
+	_ "gnf/internal/nf/dnscache"
+	_ "gnf/internal/nf/dnslb"
+	_ "gnf/internal/nf/firewall"
+	_ "gnf/internal/nf/httpcache"
+	_ "gnf/internal/nf/httpfilter"
+	_ "gnf/internal/nf/nat"
+	_ "gnf/internal/nf/ratelimit"
+)
+
+// Kinds lists the NF kinds this package registers.
+func Kinds() []string {
+	return []string{"counter", "dnscache", "dnslb", "firewall", "httpcache", "httpfilter", "nat", "ratelimit"}
+}

@@ -1,0 +1,287 @@
+// Package counter implements a per-flow accounting and lightweight
+// intrusion-detection NF — the notification source of §3: "expected but
+// anomalous events such as an intrusion attempt or detected malware". It
+// counts packets and bytes per five-tuple, raises a critical notification
+// when a flow exceeds a packets-per-second threshold (DoS heuristic), and
+// a warning when a payload matches a configured signature. Flow counters
+// are migration state.
+package counter
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+// FlowStats accumulates per-flow counters.
+type FlowStats struct {
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	// window tracking for the pps heuristic
+	WindowStart time.Time `json:"window_start"`
+	WindowCount uint64    `json:"window_count"`
+	Alerted     bool      `json:"alerted"`
+}
+
+// Monitor is the NF instance.
+type Monitor struct {
+	name       string
+	ppsAlert   uint64 // 0 disables the heuristic
+	signatures [][]byte
+
+	mu      sync.Mutex
+	clk     clock.Clock
+	flows   map[packet.FiveTuple]*FlowStats
+	notify  nf.NotifyFunc
+	parser  packet.Parser
+	total   uint64
+	alerts  uint64
+	sigHits uint64
+}
+
+// New creates a monitor alerting when any flow exceeds ppsAlert packets in
+// a one-second window (0 disables), matching the given payload signatures.
+func New(name string, ppsAlert uint64, signatures ...string) *Monitor {
+	m := &Monitor{
+		name:     name,
+		ppsAlert: ppsAlert,
+		clk:      clock.System(),
+		flows:    make(map[packet.FiveTuple]*FlowStats),
+	}
+	for _, s := range signatures {
+		if s != "" {
+			m.signatures = append(m.signatures, []byte(s))
+		}
+	}
+	return m
+}
+
+// SetClock implements nf.ClockSetter.
+func (m *Monitor) SetClock(c clock.Clock) {
+	m.mu.Lock()
+	m.clk = c
+	m.mu.Unlock()
+}
+
+// SetNotifier implements nf.NotifierSetter.
+func (m *Monitor) SetNotifier(fn nf.NotifyFunc) {
+	m.mu.Lock()
+	m.notify = fn
+	m.mu.Unlock()
+}
+
+// Name implements nf.Function.
+func (m *Monitor) Name() string { return m.name }
+
+// Kind implements nf.Function.
+func (m *Monitor) Kind() string { return "counter" }
+
+// Flows returns the number of tracked flows.
+func (m *Monitor) Flows() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.flows)
+}
+
+// Flow returns a copy of one flow's counters.
+func (m *Monitor) Flow(ft packet.FiveTuple) (FlowStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs, ok := m.flows[ft.Canonical()]
+	if !ok {
+		return FlowStats{}, false
+	}
+	return *fs, true
+}
+
+// Process implements nf.Function.
+func (m *Monitor) Process(dir nf.Direction, frame []byte) nf.Output {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total++
+	if err := m.parser.Parse(frame); err != nil {
+		return nf.Forward(frame)
+	}
+	ft, ok := m.parser.FiveTuple()
+	if !ok {
+		return nf.Forward(frame)
+	}
+	key := ft.Canonical()
+	fs := m.flows[key]
+	if fs == nil {
+		fs = &FlowStats{WindowStart: m.clk.Now()}
+		m.flows[key] = fs
+	}
+	fs.Packets++
+	fs.Bytes += uint64(len(frame))
+
+	if m.ppsAlert > 0 {
+		now := m.clk.Now()
+		if now.Sub(fs.WindowStart) >= time.Second {
+			fs.WindowStart = now
+			fs.WindowCount = 0
+			fs.Alerted = false
+		}
+		fs.WindowCount++
+		if fs.WindowCount > m.ppsAlert && !fs.Alerted {
+			fs.Alerted = true
+			m.alerts++
+			m.emit(nf.Notification{
+				Severity: nf.SevCritical,
+				NF:       m.name,
+				Kind:     "counter",
+				Message:  "flow " + ft.String() + " exceeded " + strconv.FormatUint(m.ppsAlert, 10) + " pps",
+			})
+		}
+	}
+	if len(m.signatures) > 0 {
+		if payload := m.parser.TransportPayload(); len(payload) > 0 {
+			for _, sig := range m.signatures {
+				if bytes.Contains(payload, sig) {
+					m.sigHits++
+					m.emit(nf.Notification{
+						Severity: nf.SevWarning,
+						NF:       m.name,
+						Kind:     "counter",
+						Message:  "signature " + strconv.Quote(string(sig)) + " in flow " + ft.String(),
+					})
+					break
+				}
+			}
+		}
+	}
+	return nf.Forward(frame)
+}
+
+// emit delivers a notification. Called with mu held; the notifier runs
+// without the lock to avoid deadlocks with agent callbacks.
+func (m *Monitor) emit(n nf.Notification) {
+	n.At = m.clk.Now()
+	fn := m.notify
+	if fn == nil {
+		return
+	}
+	m.mu.Unlock()
+	fn(n)
+	m.mu.Lock()
+}
+
+// NFStats implements nf.StatsReporter.
+func (m *Monitor) NFStats() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return map[string]uint64{
+		"total_frames":   m.total,
+		"tracked_flows":  uint64(len(m.flows)),
+		"pps_alerts":     m.alerts,
+		"signature_hits": m.sigHits,
+	}
+}
+
+type monState struct {
+	Flows   map[string]FlowStats `json:"flows"`
+	Total   uint64               `json:"total"`
+	Alerts  uint64               `json:"alerts"`
+	SigHits uint64               `json:"sig_hits"`
+}
+
+func flowKey(ft packet.FiveTuple) string {
+	return ft.String()
+}
+
+// ExportState implements container.StateHandler. Flow keys serialize via
+// their string form; import restores counters keyed by the same strings,
+// so accounting continuity survives migration.
+func (m *Monitor) ExportState() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := monState{Flows: make(map[string]FlowStats, len(m.flows)), Total: m.total, Alerts: m.alerts, SigHits: m.sigHits}
+	for ft, fs := range m.flows {
+		st.Flows[flowKey(ft)] = *fs
+	}
+	return json.Marshal(st)
+}
+
+// ImportState implements container.StateHandler. Because map keys round-
+// trip through strings, restored flows are tracked under parsed tuples
+// reconstructed on the next matching packet; totals restore exactly.
+func (m *Monitor) ImportState(data []byte) error {
+	var st monState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total, m.alerts, m.sigHits = st.Total, st.Alerts, st.SigHits
+	m.flows = make(map[packet.FiveTuple]*FlowStats, len(st.Flows))
+	for key, fs := range st.Flows {
+		if ft, ok := parseFlowKey(key); ok {
+			copyFS := fs
+			m.flows[ft] = &copyFS
+		}
+	}
+	return nil
+}
+
+// parseFlowKey reverses FiveTuple.String: "proto a:b->c:d".
+func parseFlowKey(s string) (packet.FiveTuple, bool) {
+	var ft packet.FiveTuple
+	protoStr, rest, ok := strings.Cut(s, " ")
+	if !ok {
+		return ft, false
+	}
+	switch protoStr {
+	case "tcp":
+		ft.Proto = packet.ProtoTCP
+	case "udp":
+		ft.Proto = packet.ProtoUDP
+	case "icmp":
+		ft.Proto = packet.ProtoICMP
+	default:
+		return ft, false
+	}
+	srcStr, dstStr, ok := strings.Cut(rest, "->")
+	if !ok {
+		return ft, false
+	}
+	parse := func(ep string) (packet.Endpoint, bool) {
+		ipStr, portStr, ok := strings.Cut(ep, ":")
+		if !ok {
+			return packet.Endpoint{}, false
+		}
+		ip, ok := packet.ParseIP(ipStr)
+		if !ok {
+			return packet.Endpoint{}, false
+		}
+		port, err := strconv.ParseUint(portStr, 10, 16)
+		if err != nil {
+			return packet.Endpoint{}, false
+		}
+		return packet.Endpoint{Addr: ip, Port: uint16(port)}, true
+	}
+	var okS, okD bool
+	ft.Src, okS = parse(srcStr)
+	ft.Dst, okD = parse(dstStr)
+	return ft, okS && okD
+}
+
+func init() {
+	nf.Default.Register("counter", func(name string, params nf.Params) (nf.Function, error) {
+		pps, err := strconv.ParseUint(params.Get("alert_pps", "0"), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		var sigs []string
+		if s := params.Get("signatures", ""); s != "" {
+			sigs = strings.Split(s, ",")
+		}
+		return New(name, pps, sigs...), nil
+	})
+}

@@ -1,0 +1,221 @@
+// Package dnscache implements an edge DNS cache NF. Inbound responses are
+// cached by question name; subsequent outbound queries hit the cache and
+// are answered directly at the edge with a TTL-decayed copy — the classic
+// latency win of edge computing that §1 of the paper motivates. The cache
+// contents are migration state: a roaming client keeps its warm cache.
+package dnscache
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+// entry is one cached answer set.
+type entry struct {
+	Answers []packet.DNSRecord `json:"answers"`
+	Expires time.Time          `json:"expires"`
+}
+
+// Cache is the NF instance.
+type Cache struct {
+	name    string
+	maxTTL  uint32
+	maxSize int
+
+	mu      sync.Mutex
+	clk     clock.Clock
+	entries map[string]entry
+	hits    uint64
+	misses  uint64
+	stores  uint64
+	parser  packet.Parser
+	msg     packet.DNSMessage
+}
+
+// New creates a cache bounded to maxSize entries (0 = unbounded) capping
+// stored TTLs at maxTTL seconds.
+func New(name string, maxSize int, maxTTL uint32) *Cache {
+	if maxTTL == 0 {
+		maxTTL = 300
+	}
+	return &Cache{
+		name:    name,
+		maxTTL:  maxTTL,
+		maxSize: maxSize,
+		clk:     clock.System(),
+		entries: make(map[string]entry),
+	}
+}
+
+// SetClock implements nf.ClockSetter.
+func (c *Cache) SetClock(k clock.Clock) {
+	c.mu.Lock()
+	c.clk = k
+	c.mu.Unlock()
+}
+
+// Name implements nf.Function.
+func (c *Cache) Name() string { return c.name }
+
+// Kind implements nf.Function.
+func (c *Cache) Kind() string { return "dnscache" }
+
+// Len returns the number of live cache entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Process implements nf.Function.
+func (c *Cache) Process(dir nf.Direction, frame []byte) nf.Output {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.parser.Parse(frame); err != nil || !c.parser.Has(packet.LayerUDP) {
+		return nf.Forward(frame)
+	}
+	p := &c.parser
+	switch {
+	case dir == nf.Outbound && p.UDP.DstPort == 53:
+		if err := c.msg.Decode(p.UDP.Payload()); err != nil || c.msg.Response || len(c.msg.Questions) == 0 {
+			return nf.Forward(frame)
+		}
+		q := c.msg.Questions[0]
+		if q.Type != packet.DNSTypeA {
+			return nf.Forward(frame)
+		}
+		e, ok := c.entries[q.Name]
+		now := c.clk.Now()
+		if !ok || !e.Expires.After(now) {
+			if ok {
+				delete(c.entries, q.Name)
+			}
+			c.misses++
+			return nf.Forward(frame)
+		}
+		c.hits++
+		remaining := uint32(e.Expires.Sub(now).Seconds())
+		if remaining == 0 {
+			remaining = 1
+		}
+		resp := packet.DNSMessage{
+			ID:        c.msg.ID,
+			Response:  true,
+			Recursion: c.msg.Recursion,
+			Questions: append([]packet.DNSQuestion(nil), c.msg.Questions...),
+		}
+		for _, a := range e.Answers {
+			a.TTL = remaining
+			resp.Answers = append(resp.Answers, a)
+		}
+		wire, err := resp.Append(nil)
+		if err != nil {
+			return nf.Forward(frame)
+		}
+		reply := packet.BuildUDP(p.Eth.Dst, p.Eth.Src, p.IP.Dst, p.IP.Src,
+			p.UDP.DstPort, p.UDP.SrcPort, wire)
+		return nf.Reply(reply)
+
+	case dir == nf.Inbound && p.UDP.SrcPort == 53:
+		if err := c.msg.Decode(p.UDP.Payload()); err != nil || !c.msg.Response ||
+			len(c.msg.Questions) == 0 || len(c.msg.Answers) == 0 || c.msg.Rcode != packet.DNSRcodeOK {
+			return nf.Forward(frame)
+		}
+		name := c.msg.Questions[0].Name
+		ttl := c.msg.Answers[0].TTL
+		if ttl > c.maxTTL {
+			ttl = c.maxTTL
+		}
+		if ttl == 0 {
+			return nf.Forward(frame)
+		}
+		if c.maxSize > 0 && len(c.entries) >= c.maxSize {
+			if _, exists := c.entries[name]; !exists {
+				c.evictOne()
+			}
+		}
+		ans := make([]packet.DNSRecord, len(c.msg.Answers))
+		copy(ans, c.msg.Answers)
+		c.entries[name] = entry{Answers: ans, Expires: c.clk.Now().Add(time.Duration(ttl) * time.Second)}
+		c.stores++
+		return nf.Forward(frame)
+	}
+	return nf.Forward(frame)
+}
+
+// evictOne removes the entry expiring soonest. Called with mu held.
+func (c *Cache) evictOne() {
+	var victim string
+	var soonest time.Time
+	first := true
+	for name, e := range c.entries {
+		if first || e.Expires.Before(soonest) {
+			victim, soonest, first = name, e.Expires, false
+		}
+	}
+	if victim != "" {
+		delete(c.entries, victim)
+	}
+}
+
+// NFStats implements nf.StatsReporter.
+func (c *Cache) NFStats() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return map[string]uint64{
+		"hits":    c.hits,
+		"misses":  c.misses,
+		"stores":  c.stores,
+		"entries": uint64(len(c.entries)),
+	}
+}
+
+type cacheState struct {
+	Entries map[string]entry `json:"entries"`
+	Hits    uint64           `json:"hits"`
+	Misses  uint64           `json:"misses"`
+	Stores  uint64           `json:"stores"`
+}
+
+// ExportState implements container.StateHandler.
+func (c *Cache) ExportState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(cacheState{Entries: c.entries, Hits: c.hits, Misses: c.misses, Stores: c.stores})
+}
+
+// ImportState implements container.StateHandler.
+func (c *Cache) ImportState(data []byte) error {
+	var st cacheState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = st.Entries
+	if c.entries == nil {
+		c.entries = make(map[string]entry)
+	}
+	c.hits, c.misses, c.stores = st.Hits, st.Misses, st.Stores
+	return nil
+}
+
+func init() {
+	nf.Default.Register("dnscache", func(name string, params nf.Params) (nf.Function, error) {
+		size, err := strconv.Atoi(params.Get("max_entries", "1024"))
+		if err != nil || size < 0 {
+			return nil, err
+		}
+		ttl, err := strconv.ParseUint(params.Get("max_ttl", "300"), 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return New(name, size, uint32(ttl)), nil
+	})
+}

@@ -1,0 +1,206 @@
+// Package dnslb implements GNF's DNS load balancer NF — the third of the
+// paper's demo functions. For configured service names it either answers
+// client queries directly at the edge (respond mode, round-robin over the
+// backend pool) or rewrites upstream responses' A records (rewrite mode).
+// The round-robin cursor and per-backend counts are migration state, so a
+// roaming client keeps its balancing continuity.
+package dnslb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+// Mode selects how the balancer intervenes.
+type Mode uint8
+
+// Balancer modes.
+const (
+	// Respond answers matching queries authoritatively at the edge.
+	Respond Mode = iota
+	// RewriteResponses lets queries through and rewrites the upstream
+	// answers.
+	RewriteResponses
+)
+
+// Balancer is the NF instance.
+type Balancer struct {
+	name    string
+	service string // lowercase FQDN handled by this balancer
+	mode    Mode
+	ttl     uint32
+
+	mu       sync.Mutex
+	backends []packet.IP
+	next     int
+	served   map[string]uint64 // backend IP -> answers handed out
+	queries  uint64
+	rewrites uint64
+	parser   packet.Parser
+	msg      packet.DNSMessage
+}
+
+// New creates a balancer for service with the given backend pool.
+func New(name, service string, mode Mode, backends ...packet.IP) (*Balancer, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("dnslb: empty backend pool")
+	}
+	return &Balancer{
+		name:     name,
+		service:  strings.ToLower(strings.TrimSuffix(service, ".")),
+		mode:     mode,
+		ttl:      30,
+		backends: append([]packet.IP(nil), backends...),
+		served:   make(map[string]uint64),
+	}, nil
+}
+
+// Name implements nf.Function.
+func (b *Balancer) Name() string { return b.name }
+
+// Kind implements nf.Function.
+func (b *Balancer) Kind() string { return "dnslb" }
+
+// Service returns the balanced FQDN.
+func (b *Balancer) Service() string { return b.service }
+
+// pick advances the round-robin cursor. Called with mu held.
+func (b *Balancer) pick() packet.IP {
+	ip := b.backends[b.next%len(b.backends)]
+	b.next++
+	b.served[ip.String()]++
+	return ip
+}
+
+// Process implements nf.Function.
+func (b *Balancer) Process(dir nf.Direction, frame []byte) nf.Output {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.parser.Parse(frame); err != nil || !b.parser.Has(packet.LayerUDP) {
+		return nf.Forward(frame)
+	}
+	isQuery := dir == nf.Outbound && b.parser.UDP.DstPort == 53
+	isResponse := dir == nf.Inbound && b.parser.UDP.SrcPort == 53
+	if !isQuery && !isResponse {
+		return nf.Forward(frame)
+	}
+	if err := b.msg.Decode(b.parser.UDP.Payload()); err != nil {
+		return nf.Forward(frame)
+	}
+	if len(b.msg.Questions) == 0 || b.msg.Questions[0].Name != b.service {
+		return nf.Forward(frame)
+	}
+
+	switch {
+	case isQuery && b.mode == Respond && !b.msg.Response:
+		b.queries++
+		resp := packet.AnswerA(&b.msg, b.ttl, b.pick())
+		wire, err := resp.Append(nil)
+		if err != nil {
+			return nf.Forward(frame)
+		}
+		p := &b.parser
+		reply := packet.BuildUDP(p.Eth.Dst, p.Eth.Src, p.IP.Dst, p.IP.Src,
+			p.UDP.DstPort, p.UDP.SrcPort, wire)
+		return nf.Reply(reply)
+
+	case isResponse && b.mode == RewriteResponses && b.msg.Response:
+		changed := false
+		for i := range b.msg.Answers {
+			if b.msg.Answers[i].Type == packet.DNSTypeA {
+				b.msg.Answers[i].A = b.pick()
+				b.msg.Answers[i].TTL = b.ttl
+				changed = true
+			}
+		}
+		if !changed {
+			return nf.Forward(frame)
+		}
+		b.rewrites++
+		wire, err := b.msg.Append(nil)
+		if err != nil {
+			return nf.Forward(frame)
+		}
+		out, err := packet.ReplaceUDPPayload(frame, wire)
+		if err != nil {
+			return nf.Forward(frame)
+		}
+		return nf.Forward(out)
+	}
+	return nf.Forward(frame)
+}
+
+// NFStats implements nf.StatsReporter.
+func (b *Balancer) NFStats() map[string]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := map[string]uint64{"queries_answered": b.queries, "responses_rewritten": b.rewrites}
+	for ip, n := range b.served {
+		out["backend_"+ip] = n
+	}
+	return out
+}
+
+type lbState struct {
+	Next     int               `json:"next"`
+	Served   map[string]uint64 `json:"served"`
+	Queries  uint64            `json:"queries"`
+	Rewrites uint64            `json:"rewrites"`
+}
+
+// ExportState implements container.StateHandler.
+func (b *Balancer) ExportState() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return json.Marshal(lbState{Next: b.next, Served: b.served, Queries: b.queries, Rewrites: b.rewrites})
+}
+
+// ImportState implements container.StateHandler.
+func (b *Balancer) ImportState(data []byte) error {
+	var st lbState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.next = st.Next
+	b.queries = st.Queries
+	b.rewrites = st.Rewrites
+	b.served = st.Served
+	if b.served == nil {
+		b.served = make(map[string]uint64)
+	}
+	return nil
+}
+
+func init() {
+	nf.Default.Register("dnslb", func(name string, params nf.Params) (nf.Function, error) {
+		var backends []packet.IP
+		for _, s := range strings.Split(params.Get("backends", ""), ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			ip, ok := packet.ParseIP(s)
+			if !ok {
+				return nil, fmt.Errorf("dnslb: bad backend %q", s)
+			}
+			backends = append(backends, ip)
+		}
+		mode := Respond
+		switch params.Get("mode", "respond") {
+		case "respond":
+		case "rewrite":
+			mode = RewriteResponses
+		default:
+			return nil, fmt.Errorf("dnslb: bad mode %q", params["mode"])
+		}
+		return New(name, params.Get("service", "svc.gnf"), mode, backends...)
+	})
+}

@@ -1,0 +1,36 @@
+package firewall
+
+import (
+	"fmt"
+	"testing"
+
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+// BenchmarkRuleTableScaling measures verdict latency as the rule table
+// grows — the iptables-style linear-scan cost curve.
+func BenchmarkRuleTableScaling(b *testing.B) {
+	frame := packet.BuildUDP(macA, macB, ipA, ipB, 40000, 53, make([]byte, 470))
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("%drules", n), func(b *testing.B) {
+			rules := make([]Rule, 0, n)
+			for i := 0; i < n; i++ {
+				// Non-matching drop rules followed by a terminal accept.
+				r, err := ParseRule(fmt.Sprintf("drop out tcp any any any %d", (i%60000)+2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rules = append(rules, r)
+			}
+			fw := New("bench", Accept, rules...)
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := fw.Process(nf.Outbound, frame); len(out.Forward) != 1 {
+					b.Fatal("frame dropped")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package nf
+
+import (
+	"sync/atomic"
+
+	"gnf/internal/netem"
+)
+
+// ChainHost wires a Function (usually a Chain) between the two virtual
+// Ethernet interfaces of its container, exactly the §3 layout: "All
+// containers are connected to the local software switch by two virtual
+// Ethernet pairs (for ingress/egress traffic, respectively)".
+//
+// Frames arriving on the ingress endpoint are processed Outbound and
+// emitted on egress; frames arriving on egress are processed Inbound and
+// emitted on ingress. While the host is disabled (container stopped,
+// migration in flight) traffic is dropped and counted — that window is the
+// measured migration downtime.
+type ChainHost struct {
+	fn      Function
+	ingress *netem.Endpoint
+	egress  *netem.Endpoint
+
+	enabled   atomic.Bool
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewChainHost binds fn between the container-side endpoints ingress and
+// egress. The host starts disabled; call Enable once the container runs.
+func NewChainHost(fn Function, ingress, egress *netem.Endpoint) *ChainHost {
+	h := &ChainHost{fn: fn, ingress: ingress, egress: egress}
+	ingress.SetReceiver(func(frame []byte) { h.handle(Outbound, frame) })
+	egress.SetReceiver(func(frame []byte) { h.handle(Inbound, frame) })
+	return h
+}
+
+// Function returns the hosted function.
+func (h *ChainHost) Function() Function { return h.fn }
+
+// Enable starts forwarding.
+func (h *ChainHost) Enable() { h.enabled.Store(true) }
+
+// Disable stops forwarding; in-flight frames are dropped.
+func (h *ChainHost) Disable() { h.enabled.Store(false) }
+
+// Enabled reports whether the host forwards traffic.
+func (h *ChainHost) Enabled() bool { return h.enabled.Load() }
+
+// Processed returns the count of frames handled while enabled.
+func (h *ChainHost) Processed() uint64 { return h.processed.Load() }
+
+// Dropped returns the count of frames discarded while disabled.
+func (h *ChainHost) Dropped() uint64 { return h.dropped.Load() }
+
+func (h *ChainHost) handle(dir Direction, frame []byte) {
+	if !h.enabled.Load() {
+		h.dropped.Add(1)
+		return
+	}
+	h.processed.Add(1)
+	out := h.fn.Process(dir, frame)
+	fwd, rev := h.egress, h.ingress
+	if dir == Inbound {
+		fwd, rev = h.ingress, h.egress
+	}
+	for _, f := range out.Forward {
+		fwd.Send(f)
+	}
+	for _, f := range out.Reverse {
+		rev.Send(f)
+	}
+}

@@ -1,0 +1,305 @@
+// Package httpcache implements an edge HTTP cache NF — one of the edge
+// services the paper's introduction motivates ("dynamically allocating
+// network services such as firewalls, caches, rate limiters"). It is a
+// transparent forward cache: outbound GET requests whose response is
+// cached and fresh are answered directly at the edge (the reply never
+// leaves the station), everything else is forwarded and the returning
+// response is stored.
+//
+// The cache operates on single-segment HTTP exchanges, the granularity
+// every middlebox NF in this repository inspects. Entries are keyed by
+// host+target and expire after a configurable TTL; "Cache-Control:
+// no-store" on either side bypasses the cache. The whole cache is
+// exported/imported as chain state, so it migrates with its client and a
+// roaming user keeps a warm edge cache.
+package httpcache
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+// DefaultTTL is the freshness lifetime used when no "ttl" param is given.
+const DefaultTTL = 60 * time.Second
+
+// Cache is the NF instance.
+type Cache struct {
+	name string
+	port uint16 // 0 = inspect every TCP port
+	ttl  time.Duration
+	max  int // entry cap; oldest-expiry entry evicted when full
+
+	mu      sync.Mutex
+	clk     clock.Clock
+	parser  packet.Parser
+	entries map[string]*entry
+	pending map[packet.FiveTuple]string // in-flight request key per flow
+
+	hits, misses, stores, evictions uint64
+	bytesSaved                      uint64
+}
+
+// entry is one cached response.
+type entry struct {
+	Response []byte    `json:"response"` // raw response bytes (head+body)
+	Expires  time.Time `json:"expires"`
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithTTL sets the freshness lifetime.
+func WithTTL(ttl time.Duration) Option { return func(c *Cache) { c.ttl = ttl } }
+
+// WithPort restricts inspection to one TCP destination port (0 = all).
+func WithPort(port uint16) Option { return func(c *Cache) { c.port = port } }
+
+// WithMaxEntries caps the cache size (default 1024).
+func WithMaxEntries(n int) Option { return func(c *Cache) { c.max = n } }
+
+// New creates a cache NF.
+func New(name string, opts ...Option) *Cache {
+	c := &Cache{
+		name:    name,
+		ttl:     DefaultTTL,
+		max:     1024,
+		clk:     clock.System(),
+		entries: make(map[string]*entry),
+		pending: make(map[packet.FiveTuple]string),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func init() {
+	nf.Default.Register("httpcache", Factory)
+}
+
+// Factory builds a cache from params: "ttl" (Go duration), "port", "max".
+func Factory(name string, params nf.Params) (nf.Function, error) {
+	var opts []Option
+	if v := params.Get("ttl", ""); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithTTL(d))
+	}
+	if v := params.Get("port", ""); v != "" {
+		p, err := strconv.ParseUint(v, 10, 16)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithPort(uint16(p)))
+	}
+	if v := params.Get("max", ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithMaxEntries(n))
+	}
+	return New(name, opts...), nil
+}
+
+// Name implements nf.Function.
+func (c *Cache) Name() string { return c.name }
+
+// Kind implements nf.Function.
+func (c *Cache) Kind() string { return "httpcache" }
+
+// SetClock implements nf.ClockSetter.
+func (c *Cache) SetClock(clk clock.Clock) {
+	c.mu.Lock()
+	c.clk = clk
+	c.mu.Unlock()
+}
+
+// Process implements nf.Function.
+func (c *Cache) Process(dir nf.Direction, frame []byte) nf.Output {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.parser.Parse(frame); err != nil || !c.parser.Has(packet.LayerTCP) {
+		return nf.Forward(frame)
+	}
+	p := &c.parser
+	if c.port != 0 {
+		if dir == nf.Outbound && p.TCP.DstPort != c.port {
+			return nf.Forward(frame)
+		}
+		if dir == nf.Inbound && p.TCP.SrcPort != c.port {
+			return nf.Forward(frame)
+		}
+	}
+	payload := p.TCP.Payload()
+	if len(payload) == 0 {
+		return nf.Forward(frame) // bare ACKs, SYNs etc.
+	}
+	if dir == nf.Outbound {
+		return c.processRequest(p, frame, payload)
+	}
+	return c.processResponse(p, frame, payload)
+}
+
+// processRequest serves cache hits and tracks misses.
+func (c *Cache) processRequest(p *packet.Parser, frame, payload []byte) nf.Output {
+	if !packet.LooksLikeHTTPRequest(payload) {
+		return nf.Forward(frame)
+	}
+	req, err := packet.ParseHTTPRequest(payload)
+	if err != nil || req.Method != "GET" {
+		return nf.Forward(frame)
+	}
+	if cc, ok := req.Header("Cache-Control"); ok && strings.Contains(cc, "no-store") {
+		return nf.Forward(frame)
+	}
+	key := req.Host + " " + req.Target
+	now := c.clk.Now()
+	if e, ok := c.entries[key]; ok && now.Before(e.Expires) {
+		c.hits++
+		c.bytesSaved += uint64(len(e.Response))
+		// Answer at the edge: swap L2/L3/L4 directions, ack the request
+		// segment, replay the stored response.
+		tcpPayloadLen := uint32(len(payload))
+		reply := packet.BuildTCP(
+			p.Eth.Dst, p.Eth.Src, p.IP.Dst, p.IP.Src,
+			p.TCP.DstPort, p.TCP.SrcPort,
+			packet.TCPOptions{
+				Seq:   p.TCP.Ack,
+				Ack:   p.TCP.Seq + tcpPayloadLen,
+				Flags: packet.TCPAck | packet.TCPPsh,
+			},
+			e.Response,
+		)
+		return nf.Reply(reply)
+	}
+	if e, ok := c.entries[key]; ok && !now.Before(e.Expires) {
+		delete(c.entries, key) // expired
+	}
+	c.misses++
+	ft, ok := p.FiveTuple()
+	if ok {
+		c.pending[ft] = key
+	}
+	return nf.Forward(frame)
+}
+
+// processResponse stores responses for pending requests.
+func (c *Cache) processResponse(p *packet.Parser, frame, payload []byte) nf.Output {
+	ft, ok := p.FiveTuple()
+	if !ok {
+		return nf.Forward(frame)
+	}
+	// The response flow is the reverse of the request flow.
+	key, ok := c.pending[ft.Reverse()]
+	if !ok {
+		return nf.Forward(frame)
+	}
+	if !packet.LooksLikeHTTPResponse(payload) {
+		return nf.Forward(frame)
+	}
+	resp, err := packet.ParseHTTPResponse(payload)
+	if err != nil {
+		return nf.Forward(frame)
+	}
+	delete(c.pending, ft.Reverse())
+	if resp.StatusCode != 200 {
+		return nf.Forward(frame)
+	}
+	if cc, ok := resp.Header("Cache-Control"); ok &&
+		(strings.Contains(cc, "no-store") || strings.Contains(cc, "private")) {
+		return nf.Forward(frame)
+	}
+	c.store(key, payload)
+	return nf.Forward(frame)
+}
+
+// store inserts an entry, evicting the entry closest to expiry when full.
+// Callers hold c.mu.
+func (c *Cache) store(key string, response []byte) {
+	if len(c.entries) >= c.max {
+		victim, oldest := "", time.Time{}
+		for k, e := range c.entries {
+			if victim == "" || e.Expires.Before(oldest) {
+				victim, oldest = k, e.Expires
+			}
+		}
+		if victim != "" {
+			delete(c.entries, victim)
+			c.evictions++
+		}
+	}
+	c.entries[key] = &entry{
+		Response: append([]byte(nil), response...),
+		Expires:  c.clk.Now().Add(c.ttl),
+	}
+	c.stores++
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// NFStats implements nf.StatsReporter.
+func (c *Cache) NFStats() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return map[string]uint64{
+		"hits":        c.hits,
+		"misses":      c.misses,
+		"stores":      c.stores,
+		"evictions":   c.evictions,
+		"bytes_saved": c.bytesSaved,
+		"entries":     uint64(len(c.entries)),
+	}
+}
+
+// cacheState is the serialized form moved by checkpoint/restore.
+type cacheState struct {
+	Entries map[string]*entry `json:"entries"`
+}
+
+// ExportState implements container.StateHandler: the cache content roams
+// with the client, so the new station starts warm.
+func (c *Cache) ExportState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(cacheState{Entries: c.entries})
+}
+
+// ImportState implements container.StateHandler. Entries already expired
+// at import time are dropped.
+func (c *Cache) ImportState(data []byte) error {
+	var st cacheState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clk.Now()
+	c.entries = make(map[string]*entry, len(st.Entries))
+	for k, e := range st.Entries {
+		if e != nil && now.Before(e.Expires) {
+			c.entries[k] = e
+		}
+	}
+	return nil
+}
+
+var (
+	_ nf.Function      = (*Cache)(nil)
+	_ nf.StatsReporter = (*Cache)(nil)
+	_ nf.ClockSetter   = (*Cache)(nil)
+)

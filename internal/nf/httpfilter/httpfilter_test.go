@@ -1,0 +1,130 @@
+package httpfilter
+
+import (
+	"testing"
+
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+var (
+	macC = packet.MAC{2, 0, 0, 0, 0, 1}
+	macS = packet.MAC{2, 0, 0, 0, 0, 2}
+	ipC  = packet.IP{10, 0, 0, 1}
+	ipS  = packet.IP{93, 184, 216, 34}
+)
+
+func httpFrame(host, path string, dstPort uint16) []byte {
+	payload := packet.BuildHTTPRequest("GET", host, path, nil, nil)
+	return packet.BuildTCP(macC, macS, ipC, ipS, 40000, dstPort,
+		packet.TCPOptions{Seq: 100, Ack: 7, Flags: packet.TCPAck | packet.TCPPsh}, payload)
+}
+
+func forwarded(out nf.Output) bool { return len(out.Forward) == 1 && len(out.Reverse) == 0 }
+
+func TestBlockByHost(t *testing.T) {
+	f := New("hf", WithBlockedHosts("evil.example"))
+	if forwarded(f.Process(nf.Outbound, httpFrame("evil.example", "/", 80))) {
+		t.Fatal("blocked host forwarded")
+	}
+	if forwarded(f.Process(nf.Outbound, httpFrame("sub.evil.example", "/", 80))) {
+		t.Fatal("subdomain of blocked host forwarded")
+	}
+	if !forwarded(f.Process(nf.Outbound, httpFrame("good.example", "/", 80))) {
+		t.Fatal("clean host dropped")
+	}
+	// Exact-suffix check: "notevil.example" must NOT match "evil.example".
+	if !forwarded(f.Process(nf.Outbound, httpFrame("notevil.example", "/", 80))) {
+		t.Fatal("suffix over-match: notevil.example blocked")
+	}
+	stats := f.NFStats()
+	if stats["blocked"] != 2 || stats["passed"] != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestBlockByPathAndKeyword(t *testing.T) {
+	f := New("hf", WithBlockedPaths("/admin"), WithBlockedKeywords("malware-c2"))
+	if forwarded(f.Process(nf.Outbound, httpFrame("x.example", "/admin/panel", 80))) {
+		t.Fatal("blocked path forwarded")
+	}
+	payload := packet.BuildHTTPRequest("GET", "x.example", "/ok", map[string]string{"X-Tag": "MALWARE-C2"}, nil)
+	frame := packet.BuildTCP(macC, macS, ipC, ipS, 40000, 80, packet.TCPOptions{Flags: packet.TCPAck}, payload)
+	if forwarded(f.Process(nf.Outbound, frame)) {
+		t.Fatal("keyword (case-insensitive) not blocked")
+	}
+	if !forwarded(f.Process(nf.Outbound, httpFrame("x.example", "/public", 80))) {
+		t.Fatal("clean path dropped")
+	}
+}
+
+func TestInboundAndNonHTTPPass(t *testing.T) {
+	f := New("hf", WithBlockedHosts("evil.example"))
+	if !forwarded(f.Process(nf.Inbound, httpFrame("evil.example", "/", 80))) {
+		t.Fatal("inbound traffic inspected")
+	}
+	udp := packet.BuildUDP(macC, macS, ipC, ipS, 1, 80, []byte("GET / HTTP/1.1\r\n\r\n"))
+	if !forwarded(f.Process(nf.Outbound, udp)) {
+		t.Fatal("UDP dropped by TCP filter")
+	}
+	tls := packet.BuildTCP(macC, macS, ipC, ipS, 40000, 80, packet.TCPOptions{Flags: packet.TCPAck}, []byte{0x16, 0x03, 0x01})
+	if !forwarded(f.Process(nf.Outbound, tls)) {
+		t.Fatal("non-HTTP payload dropped")
+	}
+}
+
+func TestPortScoping(t *testing.T) {
+	f := New("hf", WithBlockedHosts("evil.example")) // default port 80
+	if !forwarded(f.Process(nf.Outbound, httpFrame("evil.example", "/", 8080))) {
+		t.Fatal("non-80 port inspected with default scope")
+	}
+	all := New("hf", WithBlockedHosts("evil.example"), WithPort(0))
+	if forwarded(all.Process(nf.Outbound, httpFrame("evil.example", "/", 8080))) {
+		t.Fatal("port 0 scope did not inspect 8080")
+	}
+}
+
+func TestResetMode(t *testing.T) {
+	f := New("hf", WithBlockedHosts("evil.example"), WithReset(true))
+	out := f.Process(nf.Outbound, httpFrame("evil.example", "/", 80))
+	if len(out.Forward) != 0 || len(out.Reverse) != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+	var p packet.Parser
+	if err := p.Parse(out.Reverse[0]); err != nil {
+		t.Fatalf("parse RST: %v", err)
+	}
+	if !p.TCP.HasFlag(packet.TCPRst) {
+		t.Fatal("reply is not a RST")
+	}
+	if p.IP.Dst != ipC || p.TCP.DstPort != 40000 {
+		t.Fatal("RST not addressed to client")
+	}
+}
+
+func TestNotification(t *testing.T) {
+	f := New("hf", WithBlockedHosts("evil.example"))
+	var got []nf.Notification
+	f.SetNotifier(func(n nf.Notification) { got = append(got, n) })
+	f.Process(nf.Outbound, httpFrame("evil.example", "/x", 80))
+	if len(got) != 1 || got[0].Severity != nf.SevWarning || got[0].NF != "hf" {
+		t.Fatalf("notifications = %+v", got)
+	}
+}
+
+func TestFactory(t *testing.T) {
+	fn, err := nf.Default.New("httpfilter", "h", nf.Params{
+		"block_hosts": "a.example,b.example",
+		"port":        "8080",
+		"rst":         "true",
+	})
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	if fn.Kind() != "httpfilter" {
+		t.Fatal("wrong kind")
+	}
+	if _, err := nf.Default.New("httpfilter", "h", nf.Params{"port": "banana"}); err == nil {
+		t.Fatal("bad port accepted")
+	}
+}

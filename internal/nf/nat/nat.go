@@ -1,0 +1,236 @@
+// Package nat implements a source-NAT NF. Outbound flows are rewritten to
+// a NAT address with a port allocated from a pool; inbound traffic to the
+// NAT address is translated back. The NF proxy-ARPs for its NAT address
+// with a stable virtual MAC, so return traffic is attracted through the
+// container without extra steering rules. The translation table is
+// exported as migration state — the paper's function-roaming mechanism must
+// move exactly this kind of per-client middlebox state to keep flows alive.
+package nat
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+// Errors returned by the translator.
+var (
+	ErrPortsExhausted = errors.New("nat: port pool exhausted")
+)
+
+// mapKey identifies an outbound flow pre-translation.
+type mapKey struct {
+	Proto   uint8
+	SrcIP   packet.IP
+	SrcPort uint16
+}
+
+// mapping records one translation.
+type mapping struct {
+	Key     mapKey     `json:"key"`
+	NATPort uint16     `json:"nat_port"`
+	HostMAC packet.MAC `json:"host_mac"` // client's MAC for de-translation
+}
+
+// NAT is the NF instance.
+type NAT struct {
+	name   string
+	natIP  packet.IP
+	vmac   packet.MAC
+	lo, hi uint16
+
+	mu                                   sync.Mutex
+	byKey                                map[mapKey]*mapping
+	byPort                               map[uint16]*mapping
+	nextPort                             uint16
+	translated, detranslated, arpReplies uint64
+	parser                               packet.Parser
+}
+
+// VirtualMAC derives the stable proxy-ARP MAC for a NAT address.
+func VirtualMAC(ip packet.IP) packet.MAC {
+	return packet.MAC{0x02, 0x4e, 0x41, 0x54, ip[2], ip[3]} // 02:"NAT":x:y
+}
+
+// New creates a NAT translating to natIP using ports [lo,hi].
+func New(name string, natIP packet.IP, lo, hi uint16) (*NAT, error) {
+	if lo == 0 || hi < lo {
+		return nil, fmt.Errorf("nat: bad port range %d-%d", lo, hi)
+	}
+	return &NAT{
+		name:     name,
+		natIP:    natIP,
+		vmac:     VirtualMAC(natIP),
+		lo:       lo,
+		hi:       hi,
+		nextPort: lo,
+		byKey:    make(map[mapKey]*mapping),
+		byPort:   make(map[uint16]*mapping),
+	}, nil
+}
+
+// Name implements nf.Function.
+func (n *NAT) Name() string { return n.name }
+
+// Kind implements nf.Function.
+func (n *NAT) Kind() string { return "nat" }
+
+// NATIP returns the public-side address.
+func (n *NAT) NATIP() packet.IP { return n.natIP }
+
+// Mappings returns the number of active translations.
+func (n *NAT) Mappings() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.byKey)
+}
+
+// allocatePort finds a free NAT port. Called with mu held.
+func (n *NAT) allocatePort() (uint16, error) {
+	span := int(n.hi-n.lo) + 1
+	for i := 0; i < span; i++ {
+		p := n.nextPort
+		n.nextPort++
+		if n.nextPort > n.hi || n.nextPort < n.lo {
+			n.nextPort = n.lo
+		}
+		if _, used := n.byPort[p]; !used {
+			return p, nil
+		}
+	}
+	return 0, ErrPortsExhausted
+}
+
+// Process implements nf.Function.
+func (n *NAT) Process(dir nf.Direction, frame []byte) nf.Output {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.parser.Parse(frame); err != nil {
+		return nf.Forward(frame)
+	}
+	p := &n.parser
+	// Proxy-ARP: answer who-has for the NAT address.
+	if p.Has(packet.LayerARP) {
+		if dir == nf.Inbound && p.ARP.Op == packet.ARPRequest && p.ARP.TargetIP == n.natIP {
+			n.arpReplies++
+			reply := packet.BuildARP(packet.ARPReply, n.vmac, n.natIP, p.ARP.SenderHW, p.ARP.SenderIP)
+			return nf.Reply(reply)
+		}
+		return nf.Forward(frame)
+	}
+	if !p.Has(packet.LayerIPv4) {
+		return nf.Forward(frame)
+	}
+	ft, ok := p.FiveTuple()
+	if !ok || (p.IP.Proto != packet.ProtoTCP && p.IP.Proto != packet.ProtoUDP) {
+		return nf.Forward(frame)
+	}
+
+	switch dir {
+	case nf.Outbound:
+		key := mapKey{Proto: p.IP.Proto, SrcIP: p.IP.Src, SrcPort: ft.Src.Port}
+		m, exists := n.byKey[key]
+		if !exists {
+			port, err := n.allocatePort()
+			if err != nil {
+				return nf.Drop() // no capacity: policed like a full conntrack table
+			}
+			m = &mapping{Key: key, NATPort: port, HostMAC: p.Eth.Src}
+			n.byKey[key] = m
+			n.byPort[port] = m
+		}
+		rw := packet.Rewrite{SrcIP: &n.natIP, SrcPort: &m.NATPort, SrcMAC: &n.vmac}
+		if err := rw.Apply(frame); err != nil {
+			return nf.Drop()
+		}
+		n.translated++
+		return nf.Forward(frame)
+
+	default: // Inbound
+		if p.IP.Dst != n.natIP {
+			return nf.Forward(frame)
+		}
+		m, exists := n.byPort[ft.Dst.Port]
+		if !exists {
+			return nf.Drop() // unsolicited inbound to NAT address
+		}
+		rw := packet.Rewrite{
+			DstIP:   &m.Key.SrcIP,
+			DstPort: &m.Key.SrcPort,
+			DstMAC:  &m.HostMAC,
+			SrcMAC:  &n.vmac,
+		}
+		if err := rw.Apply(frame); err != nil {
+			return nf.Drop()
+		}
+		n.detranslated++
+		return nf.Forward(frame)
+	}
+}
+
+// NFStats implements nf.StatsReporter.
+func (n *NAT) NFStats() map[string]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return map[string]uint64{
+		"translated":   n.translated,
+		"detranslated": n.detranslated,
+		"arp_replies":  n.arpReplies,
+		"mappings":     uint64(len(n.byKey)),
+	}
+}
+
+type natState struct {
+	Mappings []mapping `json:"mappings"`
+	NextPort uint16    `json:"next_port"`
+}
+
+// ExportState implements container.StateHandler.
+func (n *NAT) ExportState() ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := natState{NextPort: n.nextPort, Mappings: make([]mapping, 0, len(n.byKey))}
+	for _, m := range n.byKey {
+		st.Mappings = append(st.Mappings, *m)
+	}
+	return json.Marshal(st)
+}
+
+// ImportState implements container.StateHandler.
+func (n *NAT) ImportState(data []byte) error {
+	var st natState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.byKey = make(map[mapKey]*mapping, len(st.Mappings))
+	n.byPort = make(map[uint16]*mapping, len(st.Mappings))
+	for i := range st.Mappings {
+		m := st.Mappings[i]
+		n.byKey[m.Key] = &m
+		n.byPort[m.NATPort] = &m
+	}
+	if st.NextPort >= n.lo && st.NextPort <= n.hi {
+		n.nextPort = st.NextPort
+	}
+	return nil
+}
+
+func init() {
+	nf.Default.Register("nat", func(name string, params nf.Params) (nf.Function, error) {
+		ip, ok := packet.ParseIP(params.Get("nat_ip", ""))
+		if !ok {
+			return nil, fmt.Errorf("nat: bad or missing nat_ip %q", params["nat_ip"])
+		}
+		var lo, hi uint16 = 40000, 50000
+		if _, err := fmt.Sscanf(params.Get("ports", "40000-50000"), "%d-%d", &lo, &hi); err != nil {
+			return nil, fmt.Errorf("nat: bad ports %q", params["ports"])
+		}
+		return New(name, ip, lo, hi)
+	})
+}

@@ -1,0 +1,296 @@
+// Package nf defines the GNF network-function framework: the Function
+// interface every vNF implements, service chains, the factory registry the
+// Agents instantiate functions from, and the notification types NFs relay
+// to the Manager (§3: "individual NFs can relay notifications through their
+// local Agent to the Manager").
+//
+// Functions are inline middleboxes: they receive raw Ethernet frames with a
+// direction (outbound = from the client toward the network) and return an
+// Output. Output.Forward frames continue in the frame's direction;
+// Output.Reverse frames are sent back the way the frame came — that is how
+// a DNS load balancer or cache answers a query directly at the edge.
+// Returning the zero Output drops the packet. Stateful functions
+// additionally implement container.StateHandler (ExportState/ImportState)
+// so checkpoint/restore migration can move their state between stations.
+package nf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+)
+
+// Direction tells a function which side a frame entered from.
+type Direction uint8
+
+// Frame directions through a function.
+const (
+	// Outbound frames travel client -> network (chain ingress -> egress).
+	Outbound Direction = iota
+	// Inbound frames travel network -> client (chain egress -> ingress).
+	Inbound
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Inbound {
+		return "in"
+	}
+	return "out"
+}
+
+// Opposite returns the reversed direction.
+func (d Direction) Opposite() Direction {
+	if d == Inbound {
+		return Outbound
+	}
+	return Inbound
+}
+
+// Output is the result of processing one frame.
+type Output struct {
+	// Forward frames continue in the input frame's direction.
+	Forward [][]byte
+	// Reverse frames are emitted back toward the input frame's origin.
+	Reverse [][]byte
+}
+
+// Forward wraps frames continuing in the input direction.
+func Forward(frames ...[]byte) Output { return Output{Forward: frames} }
+
+// Reply wraps frames answered back toward the origin.
+func Reply(frames ...[]byte) Output { return Output{Reverse: frames} }
+
+// Drop returns the empty Output (packet consumed).
+func Drop() Output { return Output{} }
+
+// Function is one virtual network function.
+type Function interface {
+	// Name returns the instance name (unique within a chain).
+	Name() string
+	// Kind returns the function type, e.g. "firewall".
+	Kind() string
+	// Process handles one frame. Implementations may mutate frame in
+	// place and return it in the Output.
+	Process(dir Direction, frame []byte) Output
+}
+
+// StatsReporter is implemented by functions exposing counters to the UI.
+type StatsReporter interface {
+	NFStats() map[string]uint64
+}
+
+// ClockSetter is implemented by functions that model time (rate limiters,
+// caches); the hosting agent injects its clock after construction.
+type ClockSetter interface {
+	SetClock(clock.Clock)
+}
+
+// Severity grades a notification.
+type Severity string
+
+// Notification severities.
+const (
+	SevInfo     Severity = "info"
+	SevWarning  Severity = "warning"
+	SevCritical Severity = "critical"
+)
+
+// Notification is an event an NF reports up through Agent and Manager
+// (e.g. "an intrusion attempt or detected malware").
+type Notification struct {
+	Severity Severity  `json:"severity"`
+	NF       string    `json:"nf"`
+	Kind     string    `json:"kind"`
+	Message  string    `json:"message"`
+	At       time.Time `json:"at"`
+}
+
+// NotifyFunc receives notifications from a function.
+type NotifyFunc func(Notification)
+
+// NotifierSetter is implemented by functions that emit notifications.
+type NotifierSetter interface {
+	SetNotifier(NotifyFunc)
+}
+
+// Params carries string configuration from the Manager to a factory.
+type Params map[string]string
+
+// Get returns the named parameter or def when absent.
+func (p Params) Get(key, def string) string {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Factory builds a function instance from parameters.
+type Factory func(name string, params Params) (Function, error)
+
+// ErrUnknownKind is returned when instantiating an unregistered NF type.
+var ErrUnknownKind = errors.New("nf: unknown function kind")
+
+// Registry maps function kinds to factories. The package-level Default
+// registry is populated by the built-in NF packages' init functions.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Default is the process-wide registry that built-in NFs register into.
+var Default = NewRegistry()
+
+// Register adds a factory for kind, replacing any previous registration.
+func (r *Registry) Register(kind string, f Factory) {
+	r.mu.Lock()
+	r.factories[kind] = f
+	r.mu.Unlock()
+}
+
+// Kinds lists registered function kinds, sorted.
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New instantiates a function of the given kind.
+func (r *Registry) New(kind, name string, params Params) (Function, error) {
+	r.mu.RLock()
+	f, ok := r.factories[kind]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
+	}
+	return f(name, params)
+}
+
+// Chain composes functions into a service chain. Outbound frames traverse
+// functions first-to-last; inbound frames last-to-first. Reverse frames
+// emitted by a member propagate back through the members the frame already
+// passed, in the opposite direction — full middlebox semantics, so an edge
+// cache's reply still traverses the firewall in front of it.
+type Chain struct {
+	name string
+	fns  []Function
+}
+
+// NewChain builds a chain. An empty chain forwards everything untouched.
+func NewChain(name string, fns ...Function) *Chain {
+	return &Chain{name: name, fns: fns}
+}
+
+// Name returns the chain name.
+func (c *Chain) Name() string { return c.name }
+
+// Kind implements Function.
+func (c *Chain) Kind() string { return "chain" }
+
+// Functions returns the chain members in outbound order.
+func (c *Chain) Functions() []Function { return append([]Function(nil), c.fns...) }
+
+// Len returns the number of functions in the chain.
+func (c *Chain) Len() int { return len(c.fns) }
+
+// Process implements Function by threading the frame through the chain.
+func (c *Chain) Process(dir Direction, frame []byte) Output {
+	var egressOut, ingressOut [][]byte
+	start := 0
+	if dir == Inbound {
+		start = len(c.fns) - 1
+	}
+	c.walk(dir, start, frame, &egressOut, &ingressOut)
+	if dir == Outbound {
+		return Output{Forward: egressOut, Reverse: ingressOut}
+	}
+	return Output{Forward: ingressOut, Reverse: egressOut}
+}
+
+// walk advances frame through position i travelling dir; egressOut and
+// ingressOut collect frames leaving the chain on the network and client
+// side respectively.
+func (c *Chain) walk(dir Direction, i int, frame []byte, egressOut, ingressOut *[][]byte) {
+	if dir == Outbound && i >= len(c.fns) {
+		*egressOut = append(*egressOut, frame)
+		return
+	}
+	if dir == Inbound && i < 0 {
+		*ingressOut = append(*ingressOut, frame)
+		return
+	}
+	out := c.fns[i].Process(dir, frame)
+	for _, f := range out.Forward {
+		if dir == Outbound {
+			c.walk(Outbound, i+1, f, egressOut, ingressOut)
+		} else {
+			c.walk(Inbound, i-1, f, egressOut, ingressOut)
+		}
+	}
+	for _, f := range out.Reverse {
+		if dir == Outbound {
+			c.walk(Inbound, i-1, f, egressOut, ingressOut)
+		} else {
+			c.walk(Outbound, i+1, f, egressOut, ingressOut)
+		}
+	}
+}
+
+// ExportState implements container.StateHandler by concatenating the state
+// of every stateful member (length-prefixed, positional).
+func (c *Chain) ExportState() ([]byte, error) {
+	return exportChainState(c.fns)
+}
+
+// ImportState implements container.StateHandler.
+func (c *Chain) ImportState(data []byte) error {
+	return importChainState(c.fns, data)
+}
+
+// SetNotifier fans the notifier out to every member that accepts one.
+func (c *Chain) SetNotifier(fn NotifyFunc) {
+	for _, f := range c.fns {
+		if ns, ok := f.(NotifierSetter); ok {
+			ns.SetNotifier(fn)
+		}
+	}
+}
+
+// SetClock fans the clock out to every member that accepts one.
+func (c *Chain) SetClock(clk clock.Clock) {
+	for _, f := range c.fns {
+		if cs, ok := f.(ClockSetter); ok {
+			cs.SetClock(clk)
+		}
+	}
+}
+
+// NFStats merges member stats, prefixed by member name.
+func (c *Chain) NFStats() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, f := range c.fns {
+		if sr, ok := f.(StatsReporter); ok {
+			for k, v := range sr.NFStats() {
+				out[f.Name()+"."+k] = v
+			}
+		}
+	}
+	return out
+}
+
+var _ Function = (*Chain)(nil)
+var _ Stateful = (*Chain)(nil)

@@ -1,0 +1,157 @@
+package ratelimit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/nf"
+)
+
+func frames(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	return out
+}
+
+func TestBurstThenPolice(t *testing.T) {
+	clk := clock.NewVirtual() // time frozen: no refill
+	l := New("rl", 8000 /* 1000 B/s */, 1000)
+	l.SetClock(clk)
+	passed := 0
+	for _, f := range frames(20, 100) { // 2000 bytes offered against 1000 burst
+		if len(l.Process(nf.Outbound, f).Forward) == 1 {
+			passed++
+		}
+	}
+	if passed != 10 {
+		t.Fatalf("passed = %d, want exactly the 1000-byte burst", passed)
+	}
+	st := l.NFStats()
+	if st["passed"] != 10 || st["policed"] != 10 || st["passed_bytes"] != 1000 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestRefillOverTime(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := New("rl", 8000 /* 1000 B/s */, 100)
+	l.SetClock(clk)
+	// Exhaust the burst.
+	if len(l.Process(nf.Outbound, make([]byte, 100)).Forward) != 1 {
+		t.Fatal("initial burst rejected")
+	}
+	if len(l.Process(nf.Outbound, make([]byte, 100)).Forward) != 0 {
+		t.Fatal("empty bucket passed a frame")
+	}
+	clk.Advance(50 * time.Millisecond) // +50 bytes
+	if len(l.Process(nf.Outbound, make([]byte, 100)).Forward) != 0 {
+		t.Fatal("passed with insufficient tokens")
+	}
+	clk.Advance(60 * time.Millisecond) // >= 100 bytes total
+	if len(l.Process(nf.Outbound, make([]byte, 100)).Forward) != 1 {
+		t.Fatal("refilled bucket still policing")
+	}
+}
+
+func TestBucketCapsAtBurst(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := New("rl", 8_000_000, 500)
+	l.SetClock(clk)
+	clk.Advance(time.Hour) // tokens must cap at burst, not accumulate
+	passed := 0
+	for _, f := range frames(10, 100) {
+		if len(l.Process(nf.Outbound, f).Forward) == 1 {
+			passed++
+		}
+	}
+	if passed != 5 {
+		t.Fatalf("passed = %d, want 5 (burst cap)", passed)
+	}
+}
+
+func TestDirectionScoping(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := New("rl", 8000, 100).Direction(nf.Outbound)
+	l.SetClock(clk)
+	l.Process(nf.Outbound, make([]byte, 100)) // consume bucket
+	if len(l.Process(nf.Outbound, make([]byte, 50)).Forward) != 0 {
+		t.Fatal("outbound not policed")
+	}
+	for i := 0; i < 5; i++ {
+		if len(l.Process(nf.Inbound, make([]byte, 1000)).Forward) != 1 {
+			t.Fatal("inbound policed despite out-only scope")
+		}
+	}
+}
+
+func TestRateEnforcedOverWindow(t *testing.T) {
+	clk := clock.NewVirtual()
+	const rate = 80_000 // 10 KB/s
+	l := New("rl", rate, 1000)
+	l.SetClock(clk)
+	var passedBytes uint64
+	// Offer 100 KB over 1 second in 1ms ticks; ~11KB should pass
+	// (10KB rate + 1KB initial burst).
+	for i := 0; i < 1000; i++ {
+		clk.Advance(time.Millisecond)
+		out := l.Process(nf.Outbound, make([]byte, 100))
+		if len(out.Forward) == 1 {
+			passedBytes += 100
+		}
+	}
+	if passedBytes < 10_000 || passedBytes > 12_000 {
+		t.Fatalf("passed %d bytes over 1s, want ~11000", passedBytes)
+	}
+}
+
+func TestFactory(t *testing.T) {
+	fn, err := nf.Default.New("ratelimit", "rl0", nf.Params{
+		"rate_bps": "500000", "burst_bytes": "10000", "direction": "out",
+	})
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	if fn.Kind() != "ratelimit" {
+		t.Fatal("kind")
+	}
+	for _, bad := range []nf.Params{
+		{"rate_bps": "0"}, {"rate_bps": "x"}, {"burst_bytes": "-1"}, {"direction": "up"},
+	} {
+		if _, err := nf.Default.New("ratelimit", "x", bad); err == nil {
+			t.Fatalf("factory accepted %v", bad)
+		}
+	}
+}
+
+// Property: bytes passed never exceed burst + rate*elapsed (token
+// conservation), for any offered load pattern.
+func TestTokenConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, gapsMs []uint8) bool {
+		clk := clock.NewVirtual()
+		const rate, burst = 80_000, 2_000 // 10 KB/s, 2 KB burst
+		l := New("rl", rate, burst)
+		l.SetClock(clk)
+		var elapsed time.Duration
+		var passedBytes int64
+		for i, s := range sizes {
+			if i < len(gapsMs) {
+				d := time.Duration(gapsMs[i]) * time.Millisecond
+				clk.Advance(d)
+				elapsed += d
+			}
+			size := int(s%1400) + 1
+			if len(l.Process(nf.Outbound, make([]byte, size)).Forward) == 1 {
+				passedBytes += int64(size)
+			}
+		}
+		budget := int64(burst) + int64(float64(rate)/8*elapsed.Seconds()) + 1
+		return passedBytes <= budget
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package nf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Chain state is serialized as a sequence of length-prefixed blobs, one per
+// stateful member, in outbound chain order. Stateless members contribute an
+// empty blob so positional matching survives round-trips.
+
+// Stateful mirrors container.StateHandler locally to avoid an import cycle
+// (the container package must not depend on nf).
+type Stateful interface {
+	ExportState() ([]byte, error)
+	ImportState([]byte) error
+}
+
+// ErrStateMismatch is returned when imported chain state does not line up
+// with the chain's members.
+var ErrStateMismatch = errors.New("nf: chain state does not match chain shape")
+
+func exportChainState(fns []Function) ([]byte, error) {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(fns)))
+	for _, f := range fns {
+		var blob []byte
+		if s, ok := f.(Stateful); ok {
+			b, err := s.ExportState()
+			if err != nil {
+				return nil, fmt.Errorf("nf: exporting %s: %w", f.Name(), err)
+			}
+			blob = b
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(blob)))
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+func importChainState(fns []Function, data []byte) error {
+	if len(data) < 4 {
+		return ErrStateMismatch
+	}
+	n := binary.BigEndian.Uint32(data)
+	if int(n) != len(fns) {
+		return fmt.Errorf("%w: state has %d members, chain has %d", ErrStateMismatch, n, len(fns))
+	}
+	off := 4
+	for _, f := range fns {
+		if off+4 > len(data) {
+			return ErrStateMismatch
+		}
+		l := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if off+l > len(data) {
+			return ErrStateMismatch
+		}
+		blob := data[off : off+l]
+		off += l
+		s, ok := f.(Stateful)
+		if !ok {
+			if l != 0 {
+				return fmt.Errorf("%w: state for stateless member %s", ErrStateMismatch, f.Name())
+			}
+			continue
+		}
+		if err := s.ImportState(blob); err != nil {
+			return fmt.Errorf("nf: importing %s: %w", f.Name(), err)
+		}
+	}
+	if off != len(data) {
+		return ErrStateMismatch
+	}
+	return nil
+}

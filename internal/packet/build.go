@@ -1,0 +1,199 @@
+package packet
+
+import "encoding/binary"
+
+// This file contains frame builders: they assemble full Ethernet frames,
+// computing every length and checksum field, so tests, traffic generators
+// and NFs never hand-craft byte offsets.
+
+// BuildUDP assembles Ethernet+IPv4+UDP+payload. Zero TTL defaults to 64.
+func BuildUDP(srcMAC, dstMAC MAC, srcIP, dstIP IP, srcPort, dstPort uint16, payload []byte) []byte {
+	udpLen := UDPHeaderLen + len(payload)
+	frame := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+udpLen)
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	frame = eth.AppendHeader(frame)
+	ip := IPv4{Proto: ProtoUDP, Src: srcIP, Dst: dstIP}
+	frame = ip.AppendHeader(frame, udpLen)
+	l4 := len(frame)
+	frame = binary.BigEndian.AppendUint16(frame, srcPort)
+	frame = binary.BigEndian.AppendUint16(frame, dstPort)
+	frame = binary.BigEndian.AppendUint16(frame, uint16(udpLen))
+	frame = append(frame, 0, 0) // checksum placeholder
+	frame = append(frame, payload...)
+	ck := transportChecksum(srcIP, dstIP, ProtoUDP, frame[l4:])
+	if ck == 0 {
+		ck = 0xffff
+	}
+	binary.BigEndian.PutUint16(frame[l4+6:], ck)
+	return frame
+}
+
+// TCPOptions carries the mutable TCP header fields for BuildTCP.
+type TCPOptions struct {
+	Seq, Ack uint32
+	Flags    uint8
+	Window   uint16
+}
+
+// BuildTCP assembles Ethernet+IPv4+TCP+payload.
+func BuildTCP(srcMAC, dstMAC MAC, srcIP, dstIP IP, srcPort, dstPort uint16, opt TCPOptions, payload []byte) []byte {
+	tcpLen := TCPHeaderLen + len(payload)
+	frame := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+tcpLen)
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	frame = eth.AppendHeader(frame)
+	ip := IPv4{Proto: ProtoTCP, Src: srcIP, Dst: dstIP}
+	frame = ip.AppendHeader(frame, tcpLen)
+	l4 := len(frame)
+	frame = binary.BigEndian.AppendUint16(frame, srcPort)
+	frame = binary.BigEndian.AppendUint16(frame, dstPort)
+	frame = binary.BigEndian.AppendUint32(frame, opt.Seq)
+	frame = binary.BigEndian.AppendUint32(frame, opt.Ack)
+	win := opt.Window
+	if win == 0 {
+		win = 65535
+	}
+	frame = append(frame, 5<<4, opt.Flags)
+	frame = binary.BigEndian.AppendUint16(frame, win)
+	frame = append(frame, 0, 0, 0, 0) // checksum + urgent
+	frame = append(frame, payload...)
+	ck := transportChecksum(srcIP, dstIP, ProtoTCP, frame[l4:])
+	binary.BigEndian.PutUint16(frame[l4+16:], ck)
+	return frame
+}
+
+// BuildICMPEcho assembles an ICMP echo request/reply frame.
+func BuildICMPEcho(srcMAC, dstMAC MAC, srcIP, dstIP IP, typ uint8, id, seq uint16, payload []byte) []byte {
+	icmpLen := ICMPHeaderLen + len(payload)
+	frame := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+icmpLen)
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	frame = eth.AppendHeader(frame)
+	ip := IPv4{Proto: ProtoICMP, Src: srcIP, Dst: dstIP}
+	frame = ip.AppendHeader(frame, icmpLen)
+	ic := ICMP{Type: typ, ID: id, Seq: seq}
+	return ic.Append(frame, payload)
+}
+
+// BuildARP assembles an ARP request or reply frame.
+func BuildARP(op uint16, senderHW MAC, senderIP IP, targetHW MAC, targetIP IP) []byte {
+	dst := targetHW
+	if op == ARPRequest {
+		dst = BroadcastMAC
+	}
+	frame := make([]byte, 0, EthernetHeaderLen+ARPLen)
+	eth := Ethernet{Dst: dst, Src: senderHW, EtherType: EtherTypeARP}
+	frame = eth.AppendHeader(frame)
+	arp := ARP{Op: op, SenderHW: senderHW, SenderIP: senderIP, TargetHW: targetHW, TargetIP: targetIP}
+	return arp.Append(frame)
+}
+
+// Rewrite mutates address/port fields of a decoded frame in place and fixes
+// the affected checksums. It is the primitive NAT and load-balancer NFs use.
+// Frames must contain Ethernet+IPv4; non-IPv4 frames return ErrBadHeader.
+type Rewrite struct {
+	SrcIP, DstIP     *IP     // nil = leave unchanged
+	SrcPort, DstPort *uint16 // nil = leave unchanged; ignored for ICMP
+	SrcMAC, DstMAC   *MAC
+	DecrementTTL     bool
+}
+
+// Apply performs the rewrite on frame.
+func (rw Rewrite) Apply(frame []byte) error {
+	if len(frame) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	if rw.SrcMAC != nil {
+		copy(frame[6:12], rw.SrcMAC[:])
+	}
+	if rw.DstMAC != nil {
+		copy(frame[0:6], rw.DstMAC[:])
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		if rw.SrcIP != nil || rw.DstIP != nil || rw.SrcPort != nil || rw.DstPort != nil {
+			return ErrBadHeader
+		}
+		return nil
+	}
+	ipb := frame[EthernetHeaderLen:]
+	if len(ipb) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	ihl := int(ipb[0]&0x0f) * 4
+	total := int(binary.BigEndian.Uint16(ipb[2:4]))
+	if ihl < IPv4HeaderLen || total < ihl || total > len(ipb) {
+		return ErrBadHeader
+	}
+	if rw.SrcIP != nil {
+		copy(ipb[12:16], rw.SrcIP[:])
+	}
+	if rw.DstIP != nil {
+		copy(ipb[16:20], rw.DstIP[:])
+	}
+	if rw.DecrementTTL && ipb[8] > 0 {
+		ipb[8]--
+	}
+	// Recompute the IP header checksum.
+	binary.BigEndian.PutUint16(ipb[10:12], 0)
+	binary.BigEndian.PutUint16(ipb[10:12], Checksum(ipb[:ihl]))
+
+	proto := ipb[9]
+	l4 := ipb[ihl:total]
+	var src, dst IP
+	copy(src[:], ipb[12:16])
+	copy(dst[:], ipb[16:20])
+	switch proto {
+	case ProtoUDP:
+		if len(l4) < UDPHeaderLen {
+			return ErrTruncated
+		}
+		if rw.SrcPort != nil {
+			binary.BigEndian.PutUint16(l4[0:2], *rw.SrcPort)
+		}
+		if rw.DstPort != nil {
+			binary.BigEndian.PutUint16(l4[2:4], *rw.DstPort)
+		}
+		binary.BigEndian.PutUint16(l4[6:8], 0)
+		ck := transportChecksum(src, dst, ProtoUDP, l4)
+		if ck == 0 {
+			ck = 0xffff
+		}
+		binary.BigEndian.PutUint16(l4[6:8], ck)
+	case ProtoTCP:
+		if len(l4) < TCPHeaderLen {
+			return ErrTruncated
+		}
+		if rw.SrcPort != nil {
+			binary.BigEndian.PutUint16(l4[0:2], *rw.SrcPort)
+		}
+		if rw.DstPort != nil {
+			binary.BigEndian.PutUint16(l4[2:4], *rw.DstPort)
+		}
+		binary.BigEndian.PutUint16(l4[16:18], 0)
+		binary.BigEndian.PutUint16(l4[16:18], transportChecksum(src, dst, ProtoTCP, l4))
+	}
+	return nil
+}
+
+// ReplaceUDPPayload returns a new frame identical to the input but carrying
+// a different UDP payload, with lengths and checksums fixed. The DNS load
+// balancer uses it to rewrite answers.
+func ReplaceUDPPayload(frame, payload []byte) ([]byte, error) {
+	var eth Ethernet
+	if err := eth.Decode(frame); err != nil {
+		return nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return nil, ErrBadHeader
+	}
+	var ip IPv4
+	if err := ip.Decode(eth.Payload()); err != nil {
+		return nil, err
+	}
+	if ip.Proto != ProtoUDP {
+		return nil, ErrBadHeader
+	}
+	var udp UDP
+	if err := udp.Decode(ip.Payload()); err != nil {
+		return nil, err
+	}
+	return BuildUDP(eth.Src, eth.Dst, ip.Src, ip.Dst, udp.SrcPort, udp.DstPort, payload), nil
+}

@@ -1,0 +1,294 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+)
+
+// DNS codec — enough of RFC 1035 for the GNF DNS NFs: header, QD/AN
+// sections, A/CNAME records, compression-pointer decoding (serialization is
+// uncompressed, which every resolver accepts).
+
+// DNS record types and classes used by the NFs.
+const (
+	DNSTypeA     uint16 = 1
+	DNSTypeCNAME uint16 = 5
+	DNSClassIN   uint16 = 1
+)
+
+// DNS response codes.
+const (
+	DNSRcodeOK       uint8 = 0
+	DNSRcodeNXDomain uint8 = 3
+	DNSRcodeRefused  uint8 = 5
+)
+
+// DNS decode errors.
+var (
+	ErrDNSTruncated = errors.New("dns: truncated message")
+	ErrDNSBadName   = errors.New("dns: malformed name")
+	ErrDNSLoop      = errors.New("dns: compression loop")
+)
+
+// DNSQuestion is one QD entry.
+type DNSQuestion struct {
+	Name  string // fully qualified, lowercase, no trailing dot
+	Type  uint16
+	Class uint16
+}
+
+// DNSRecord is one resource record (AN section; A and CNAME payloads are
+// understood, others keep raw RData).
+type DNSRecord struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	A     IP     // set for Type A
+	CNAME string // set for Type CNAME
+	RData []byte // raw bytes for other types
+}
+
+// DNSMessage is a DNS query or response.
+type DNSMessage struct {
+	ID        uint16
+	Response  bool
+	Opcode    uint8
+	Authority bool
+	Recursion bool
+	Rcode     uint8
+	Questions []DNSQuestion
+	Answers   []DNSRecord
+}
+
+// Decode parses a DNS message from a UDP payload.
+func (m *DNSMessage) Decode(b []byte) error {
+	if len(b) < 12 {
+		return ErrDNSTruncated
+	}
+	m.ID = binary.BigEndian.Uint16(b[0:2])
+	flags := binary.BigEndian.Uint16(b[2:4])
+	m.Response = flags&0x8000 != 0
+	m.Opcode = uint8(flags >> 11 & 0xf)
+	m.Authority = flags&0x0400 != 0
+	m.Recursion = flags&0x0100 != 0
+	m.Rcode = uint8(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(b[4:6]))
+	an := int(binary.BigEndian.Uint16(b[6:8]))
+	// NS and AR counts are parsed but their sections are skipped.
+	off := 12
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(b, off)
+		if err != nil {
+			return err
+		}
+		off = n
+		if off+4 > len(b) {
+			return ErrDNSTruncated
+		}
+		m.Questions = append(m.Questions, DNSQuestion{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[off:]),
+			Class: binary.BigEndian.Uint16(b[off+2:]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		name, n, err := decodeName(b, off)
+		if err != nil {
+			return err
+		}
+		off = n
+		if off+10 > len(b) {
+			return ErrDNSTruncated
+		}
+		rec := DNSRecord{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[off:]),
+			Class: binary.BigEndian.Uint16(b[off+2:]),
+			TTL:   binary.BigEndian.Uint32(b[off+4:]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(b[off+8:]))
+		off += 10
+		if off+rdlen > len(b) {
+			return ErrDNSTruncated
+		}
+		rdata := b[off : off+rdlen]
+		switch rec.Type {
+		case DNSTypeA:
+			if rdlen != 4 {
+				return ErrDNSTruncated
+			}
+			copy(rec.A[:], rdata)
+		case DNSTypeCNAME:
+			cname, _, err := decodeName(b, off)
+			if err != nil {
+				return err
+			}
+			rec.CNAME = cname
+		default:
+			rec.RData = append([]byte(nil), rdata...)
+		}
+		off += rdlen
+		m.Answers = append(m.Answers, rec)
+	}
+	return nil
+}
+
+// decodeName reads a possibly-compressed name starting at off; it returns
+// the lowercase dotted name and the offset just past the name in the
+// original stream.
+func decodeName(b []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	end := -1 // offset after name in original stream; set at first pointer
+	hops := 0
+	for {
+		if off >= len(b) {
+			return "", 0, ErrDNSTruncated
+		}
+		l := int(b[off])
+		switch {
+		case l == 0:
+			if end == -1 {
+				end = off + 1
+			}
+			return strings.ToLower(sb.String()), end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(b) {
+				return "", 0, ErrDNSTruncated
+			}
+			if end == -1 {
+				end = off + 2
+			}
+			ptr := (l&0x3f)<<8 | int(b[off+1])
+			if ptr >= off {
+				return "", 0, ErrDNSLoop
+			}
+			off = ptr
+			hops++
+			if hops > 32 {
+				return "", 0, ErrDNSLoop
+			}
+		case l > 63:
+			return "", 0, ErrDNSBadName
+		default:
+			if off+1+l > len(b) {
+				return "", 0, ErrDNSTruncated
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(b[off+1 : off+1+l])
+			off += 1 + l
+			if sb.Len() > 255 {
+				return "", 0, ErrDNSBadName
+			}
+		}
+	}
+}
+
+// appendName serializes a dotted name uncompressed.
+func appendName(dst []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, ErrDNSBadName
+			}
+			dst = append(dst, byte(len(label)))
+			dst = append(dst, label...)
+		}
+	}
+	return append(dst, 0), nil
+}
+
+// Append serializes the message (uncompressed names).
+func (m *DNSMessage) Append(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 0x8000
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.Authority {
+		flags |= 0x0400
+	}
+	if m.Recursion {
+		flags |= 0x0100
+	}
+	flags |= uint16(m.Rcode & 0xf)
+	dst = binary.BigEndian.AppendUint16(dst, flags)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Questions)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Answers)))
+	dst = binary.BigEndian.AppendUint16(dst, 0) // NS
+	dst = binary.BigEndian.AppendUint16(dst, 0) // AR
+	var err error
+	for _, q := range m.Questions {
+		if dst, err = appendName(dst, q.Name); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint16(dst, q.Type)
+		dst = binary.BigEndian.AppendUint16(dst, q.Class)
+	}
+	for _, r := range m.Answers {
+		if dst, err = appendName(dst, r.Name); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint16(dst, r.Type)
+		dst = binary.BigEndian.AppendUint16(dst, r.Class)
+		dst = binary.BigEndian.AppendUint32(dst, r.TTL)
+		switch r.Type {
+		case DNSTypeA:
+			dst = binary.BigEndian.AppendUint16(dst, 4)
+			dst = append(dst, r.A[:]...)
+		case DNSTypeCNAME:
+			var nameBytes []byte
+			if nameBytes, err = appendName(nil, r.CNAME); err != nil {
+				return nil, err
+			}
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(nameBytes)))
+			dst = append(dst, nameBytes...)
+		default:
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.RData)))
+			dst = append(dst, r.RData...)
+		}
+	}
+	return dst, nil
+}
+
+// NewDNSQuery builds a standard recursive A query.
+func NewDNSQuery(id uint16, name string) *DNSMessage {
+	return &DNSMessage{
+		ID:        id,
+		Recursion: true,
+		Questions: []DNSQuestion{{Name: strings.ToLower(name), Type: DNSTypeA, Class: DNSClassIN}},
+	}
+}
+
+// AnswerA builds a response to q answering with the given A records.
+func AnswerA(q *DNSMessage, ttl uint32, addrs ...IP) *DNSMessage {
+	resp := &DNSMessage{
+		ID:        q.ID,
+		Response:  true,
+		Recursion: q.Recursion,
+		Questions: append([]DNSQuestion(nil), q.Questions...),
+	}
+	if len(q.Questions) == 0 {
+		resp.Rcode = DNSRcodeRefused
+		return resp
+	}
+	name := q.Questions[0].Name
+	if len(addrs) == 0 {
+		resp.Rcode = DNSRcodeNXDomain
+		return resp
+	}
+	for _, a := range addrs {
+		resp.Answers = append(resp.Answers, DNSRecord{
+			Name: name, Type: DNSTypeA, Class: DNSClassIN, TTL: ttl, A: a,
+		})
+	}
+	return resp
+}

@@ -1,0 +1,237 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	q := NewDNSQuery(0x1234, "WWW.Example.COM")
+	wire, err := q.Append(nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	var m DNSMessage
+	if err := m.Decode(wire); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if m.ID != 0x1234 || m.Response || !m.Recursion {
+		t.Fatalf("header = %+v", m)
+	}
+	if len(m.Questions) != 1 || m.Questions[0].Name != "www.example.com" ||
+		m.Questions[0].Type != DNSTypeA || m.Questions[0].Class != DNSClassIN {
+		t.Fatalf("questions = %+v", m.Questions)
+	}
+}
+
+func TestDNSAnswerRoundTrip(t *testing.T) {
+	q := NewDNSQuery(7, "cache.edge.gnf")
+	resp := AnswerA(q, 300, IP{10, 1, 1, 1}, IP{10, 1, 1, 2})
+	wire, err := resp.Append(nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	var m DNSMessage
+	if err := m.Decode(wire); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !m.Response || m.Rcode != DNSRcodeOK || m.ID != 7 {
+		t.Fatalf("header = %+v", m)
+	}
+	if len(m.Answers) != 2 {
+		t.Fatalf("answers = %+v", m.Answers)
+	}
+	if m.Answers[0].A != (IP{10, 1, 1, 1}) || m.Answers[1].A != (IP{10, 1, 1, 2}) {
+		t.Fatalf("A records = %v %v", m.Answers[0].A, m.Answers[1].A)
+	}
+	if m.Answers[0].TTL != 300 || m.Answers[0].Name != "cache.edge.gnf" {
+		t.Fatalf("answer meta = %+v", m.Answers[0])
+	}
+}
+
+func TestDNSNXDomainAndRefused(t *testing.T) {
+	q := NewDNSQuery(9, "missing.example")
+	resp := AnswerA(q, 60)
+	if resp.Rcode != DNSRcodeNXDomain || len(resp.Answers) != 0 {
+		t.Fatalf("nxdomain = %+v", resp)
+	}
+	empty := &DNSMessage{ID: 1}
+	if r := AnswerA(empty, 60, IP{1, 2, 3, 4}); r.Rcode != DNSRcodeRefused {
+		t.Fatalf("refused = %+v", r)
+	}
+}
+
+func TestDNSCNAMERoundTrip(t *testing.T) {
+	m := &DNSMessage{
+		ID:       3,
+		Response: true,
+		Answers: []DNSRecord{
+			{Name: "alias.example", Type: DNSTypeCNAME, Class: DNSClassIN, TTL: 30, CNAME: "real.example"},
+			{Name: "real.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 30, A: IP{9, 9, 9, 9}},
+		},
+	}
+	wire, err := m.Append(nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	var out DNSMessage
+	if err := out.Decode(wire); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Answers[0].CNAME != "real.example" || out.Answers[1].A != (IP{9, 9, 9, 9}) {
+		t.Fatalf("answers = %+v", out.Answers)
+	}
+}
+
+func TestDNSUnknownRData(t *testing.T) {
+	m := &DNSMessage{
+		ID:       4,
+		Response: true,
+		Answers: []DNSRecord{
+			{Name: "x.example", Type: 16 /*TXT*/, Class: DNSClassIN, TTL: 5, RData: []byte{4, 't', 'e', 's', 't'}},
+		},
+	}
+	wire, err := m.Append(nil)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	var out DNSMessage
+	if err := out.Decode(wire); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if string(out.Answers[0].RData) != "\x04test" {
+		t.Fatalf("rdata = %q", out.Answers[0].RData)
+	}
+}
+
+// TestDNSCompressionPointer hand-builds a response using a compression
+// pointer for the answer name, as real resolvers emit.
+func TestDNSCompressionPointer(t *testing.T) {
+	var b []byte
+	b = append(b, 0x00, 0x05) // ID 5
+	b = append(b, 0x81, 0x80) // QR=1 RD=1 RA=1
+	b = append(b, 0, 1, 0, 1, 0, 0, 0, 0)
+	// Question at offset 12: example.com A IN
+	nameOff := len(b)
+	b = append(b, 7)
+	b = append(b, "example"...)
+	b = append(b, 3)
+	b = append(b, "com"...)
+	b = append(b, 0)
+	b = append(b, 0, 1, 0, 1)
+	// Answer: pointer to offset 12.
+	b = append(b, 0xc0, byte(nameOff))
+	b = append(b, 0, 1, 0, 1)             // A IN
+	b = append(b, 0, 0, 0, 60)            // TTL
+	b = append(b, 0, 4, 93, 184, 216, 34) // rdlen + addr
+
+	var m DNSMessage
+	if err := m.Decode(b); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if m.Questions[0].Name != "example.com" {
+		t.Fatalf("question = %+v", m.Questions[0])
+	}
+	if m.Answers[0].Name != "example.com" || m.Answers[0].A != (IP{93, 184, 216, 34}) {
+		t.Fatalf("answer = %+v", m.Answers[0])
+	}
+}
+
+func TestDNSCompressionLoopRejected(t *testing.T) {
+	var b []byte
+	b = append(b, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0)
+	// Name that points at itself.
+	b = append(b, 0xc0, 12)
+	b = append(b, 0, 1, 0, 1)
+	var m DNSMessage
+	if err := m.Decode(b); err == nil {
+		t.Fatal("self-pointing name accepted")
+	}
+}
+
+func TestDNSTruncatedRejected(t *testing.T) {
+	var m DNSMessage
+	if err := m.Decode([]byte{1, 2, 3}); err != ErrDNSTruncated {
+		t.Fatalf("short header: %v", err)
+	}
+	q := NewDNSQuery(1, "a.example")
+	wire, _ := q.Append(nil)
+	for cut := 13; cut < len(wire); cut += 3 {
+		if err := m.Decode(wire[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDNSBadLabelRejected(t *testing.T) {
+	if _, err := appendName(nil, strings.Repeat("a", 64)+".example"); err == nil {
+		t.Fatal("64-byte label accepted")
+	}
+	q := &DNSMessage{Questions: []DNSQuestion{{Name: "..bad"}}}
+	if _, err := q.Append(nil); err == nil {
+		t.Fatal("empty label accepted")
+	}
+}
+
+func TestDNSRootName(t *testing.T) {
+	b, err := appendName(nil, ".")
+	if err != nil || len(b) != 1 || b[0] != 0 {
+		t.Fatalf("root name = %v, %v", b, err)
+	}
+}
+
+// Property: query encode->decode round-trips the (lowercased) name for
+// arbitrary well-formed names.
+func TestDNSNameRoundTripProperty(t *testing.T) {
+	f := func(labelsRaw []uint8) bool {
+		if len(labelsRaw) == 0 {
+			return true
+		}
+		if len(labelsRaw) > 6 {
+			labelsRaw = labelsRaw[:6]
+		}
+		labels := make([]string, 0, len(labelsRaw))
+		for _, lr := range labelsRaw {
+			n := int(lr%20) + 1
+			labels = append(labels, strings.Repeat("x", n))
+		}
+		name := strings.Join(labels, ".")
+		if len(name) > 200 {
+			return true
+		}
+		q := NewDNSQuery(1, name)
+		wire, err := q.Append(nil)
+		if err != nil {
+			return false
+		}
+		var m DNSMessage
+		if err := m.Decode(wire); err != nil {
+			return false
+		}
+		return m.Questions[0].Name == strings.ToLower(name)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AnswerA produces a decodable response echoing the question.
+func TestDNSAnswerDecodableProperty(t *testing.T) {
+	f := func(id uint16, a, b, c, d byte) bool {
+		q := NewDNSQuery(id, "svc.edge.gnf")
+		resp := AnswerA(q, 60, IPv4Addr(a, b, c, d))
+		wire, err := resp.Append(nil)
+		if err != nil {
+			return false
+		}
+		var m DNSMessage
+		if err := m.Decode(wire); err != nil {
+			return false
+		}
+		return m.ID == id && m.Response && len(m.Answers) == 1 && m.Answers[0].A == IPv4Addr(a, b, c, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+package packet
+
+import (
+	"errors"
+	"strings"
+)
+
+// Minimal HTTP/1.x request parsing for the HTTP-filter NF. The NF inspects
+// the first segment of a request (as middleboxes do); it needs the request
+// line, Host header, and arbitrary header lookup — not a full RFC 9112
+// implementation.
+
+// HTTP parse errors.
+var (
+	ErrHTTPNotRequest  = errors.New("http: not an HTTP request")
+	ErrHTTPNotResponse = errors.New("http: not an HTTP response")
+	ErrHTTPTruncated   = errors.New("http: truncated header block")
+)
+
+// HTTPRequest is a parsed request head.
+type HTTPRequest struct {
+	Method  string
+	Target  string // request-target as sent (origin-form path or absolute)
+	Proto   string // e.g. "HTTP/1.1"
+	Host    string // Host header, lowercased, port stripped
+	headers []httpHeader
+}
+
+type httpHeader struct{ key, value string }
+
+var httpMethods = map[string]bool{
+	"GET": true, "HEAD": true, "POST": true, "PUT": true, "DELETE": true,
+	"CONNECT": true, "OPTIONS": true, "TRACE": true, "PATCH": true,
+}
+
+// LooksLikeHTTPRequest cheaply tests whether b starts with a known method —
+// the pre-filter NFs use before a full parse.
+func LooksLikeHTTPRequest(b []byte) bool {
+	sp := -1
+	limit := len(b)
+	if limit > 8 {
+		limit = 8
+	}
+	for i := 0; i < limit; i++ {
+		if b[i] == ' ' {
+			sp = i
+			break
+		}
+	}
+	if sp <= 0 {
+		return false
+	}
+	return httpMethods[string(b[:sp])]
+}
+
+// ParseHTTPRequest parses the request head from b. It requires the full
+// header block (terminated by a blank line) to be present; middlebox NFs
+// apply it to the first data segment of a flow, where request heads fit in
+// practice.
+func ParseHTTPRequest(b []byte) (*HTTPRequest, error) {
+	head := string(b)
+	endIdx := strings.Index(head, "\r\n\r\n")
+	sep := "\r\n"
+	if endIdx < 0 {
+		endIdx = strings.Index(head, "\n\n")
+		sep = "\n"
+		if endIdx < 0 {
+			return nil, ErrHTTPTruncated
+		}
+	}
+	lines := strings.Split(head[:endIdx], sep)
+	if len(lines) == 0 {
+		return nil, ErrHTTPNotRequest
+	}
+	parts := strings.SplitN(strings.TrimRight(lines[0], "\r"), " ", 3)
+	if len(parts) != 3 || !httpMethods[parts[0]] || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, ErrHTTPNotRequest
+	}
+	req := &HTTPRequest{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	for _, ln := range lines[1:] {
+		ln = strings.TrimRight(ln, "\r")
+		if ln == "" {
+			continue
+		}
+		ci := strings.IndexByte(ln, ':')
+		if ci <= 0 {
+			return nil, ErrHTTPNotRequest
+		}
+		key := strings.ToLower(strings.TrimSpace(ln[:ci]))
+		val := strings.TrimSpace(ln[ci+1:])
+		req.headers = append(req.headers, httpHeader{key, val})
+		if key == "host" && req.Host == "" {
+			host := strings.ToLower(val)
+			if i := strings.LastIndexByte(host, ':'); i > 0 {
+				host = host[:i]
+			}
+			req.Host = host
+		}
+	}
+	return req, nil
+}
+
+// Header returns the first value of the named header (case-insensitive) and
+// whether it was present.
+func (r *HTTPRequest) Header(name string) (string, bool) {
+	name = strings.ToLower(name)
+	for _, h := range r.headers {
+		if h.key == name {
+			return h.value, true
+		}
+	}
+	return "", false
+}
+
+// HeaderCount returns the number of parsed header fields.
+func (r *HTTPRequest) HeaderCount() int { return len(r.headers) }
+
+// HTTPResponse is a parsed response head plus whatever body bytes followed
+// it in the same segment — enough for the edge HTTP cache NF, which stores
+// and replays single-segment responses.
+type HTTPResponse struct {
+	Proto      string // e.g. "HTTP/1.1"
+	StatusCode int
+	Reason     string
+	Body       []byte
+	headers    []httpHeader
+}
+
+// LooksLikeHTTPResponse cheaply tests whether b starts with a status line.
+func LooksLikeHTTPResponse(b []byte) bool {
+	return len(b) >= 8 && string(b[:5]) == "HTTP/"
+}
+
+// ParseHTTPResponse parses a response head (and trailing body bytes) from
+// b. Like ParseHTTPRequest it requires the full header block.
+func ParseHTTPResponse(b []byte) (*HTTPResponse, error) {
+	if !LooksLikeHTTPResponse(b) {
+		return nil, ErrHTTPNotResponse
+	}
+	head := string(b)
+	endIdx := strings.Index(head, "\r\n\r\n")
+	sep, skip := "\r\n", 4
+	if endIdx < 0 {
+		endIdx = strings.Index(head, "\n\n")
+		sep, skip = "\n", 2
+		if endIdx < 0 {
+			return nil, ErrHTTPTruncated
+		}
+	}
+	lines := strings.Split(head[:endIdx], sep)
+	status := strings.SplitN(strings.TrimRight(lines[0], "\r"), " ", 3)
+	if len(status) < 2 || !strings.HasPrefix(status[0], "HTTP/") {
+		return nil, ErrHTTPNotResponse
+	}
+	code := 0
+	for _, c := range status[1] {
+		if c < '0' || c > '9' {
+			return nil, ErrHTTPNotResponse
+		}
+		code = code*10 + int(c-'0')
+	}
+	resp := &HTTPResponse{Proto: status[0], StatusCode: code}
+	if len(status) == 3 {
+		resp.Reason = status[2]
+	}
+	for _, ln := range lines[1:] {
+		ln = strings.TrimRight(ln, "\r")
+		if ln == "" {
+			continue
+		}
+		ci := strings.IndexByte(ln, ':')
+		if ci <= 0 {
+			return nil, ErrHTTPNotResponse
+		}
+		resp.headers = append(resp.headers, httpHeader{
+			key:   strings.ToLower(strings.TrimSpace(ln[:ci])),
+			value: strings.TrimSpace(ln[ci+1:]),
+		})
+	}
+	resp.Body = append([]byte(nil), b[endIdx+skip:]...)
+	return resp, nil
+}
+
+// Header returns the first value of the named header (case-insensitive)
+// and whether it was present.
+func (r *HTTPResponse) Header(name string) (string, bool) {
+	name = strings.ToLower(name)
+	for _, h := range r.headers {
+		if h.key == name {
+			return h.value, true
+		}
+	}
+	return "", false
+}
+
+// HeaderCount returns the number of parsed header fields.
+func (r *HTTPResponse) HeaderCount() int { return len(r.headers) }
+
+// BuildHTTPResponse renders a response head plus body — used by traffic
+// servers and the HTTP cache NF when replaying a hit.
+func BuildHTTPResponse(code int, reason string, extra map[string]string, body []byte) []byte {
+	var sb strings.Builder
+	sb.WriteString("HTTP/1.1 ")
+	writeInt(&sb, code)
+	sb.WriteByte(' ')
+	sb.WriteString(reason)
+	sb.WriteString("\r\nContent-Length: ")
+	writeInt(&sb, len(body))
+	sb.WriteString("\r\n")
+	for k, v := range extra {
+		sb.WriteString(k)
+		sb.WriteString(": ")
+		sb.WriteString(v)
+		sb.WriteString("\r\n")
+	}
+	sb.WriteString("\r\n")
+	out := []byte(sb.String())
+	return append(out, body...)
+}
+
+// writeInt appends the decimal rendering of v (v >= 0) without fmt.
+func writeInt(sb *strings.Builder, v int) {
+	if v == 0 {
+		sb.WriteByte('0')
+		return
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	sb.Write(buf[i:])
+}
+
+// BuildHTTPRequest renders a request head (plus optional body) — used by
+// traffic generators.
+func BuildHTTPRequest(method, host, path string, extra map[string]string, body []byte) []byte {
+	var sb strings.Builder
+	sb.WriteString(method)
+	sb.WriteByte(' ')
+	if path == "" {
+		path = "/"
+	}
+	sb.WriteString(path)
+	sb.WriteString(" HTTP/1.1\r\nHost: ")
+	sb.WriteString(host)
+	sb.WriteString("\r\n")
+	for k, v := range extra {
+		sb.WriteString(k)
+		sb.WriteString(": ")
+		sb.WriteString(v)
+		sb.WriteString("\r\n")
+	}
+	sb.WriteString("\r\n")
+	out := []byte(sb.String())
+	return append(out, body...)
+}

@@ -1,0 +1,112 @@
+package packet
+
+import (
+	"testing"
+)
+
+func TestParseHTTPRequestBasic(t *testing.T) {
+	raw := []byte("GET /index.html HTTP/1.1\r\nHost: www.Example.com:8080\r\nUser-Agent: gnf-test\r\n\r\n")
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if req.Method != "GET" || req.Target != "/index.html" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("request line = %+v", req)
+	}
+	if req.Host != "www.example.com" {
+		t.Fatalf("host = %q", req.Host)
+	}
+	if ua, ok := req.Header("user-agent"); !ok || ua != "gnf-test" {
+		t.Fatalf("user-agent = %q %v", ua, ok)
+	}
+	if _, ok := req.Header("missing"); ok {
+		t.Fatal("missing header found")
+	}
+	if req.HeaderCount() != 2 {
+		t.Fatalf("header count = %d", req.HeaderCount())
+	}
+}
+
+func TestParseHTTPRequestLFOnly(t *testing.T) {
+	raw := []byte("POST /submit HTTP/1.0\nHost: a.b\nContent-Length: 0\n\n")
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatalf("parse LF-only: %v", err)
+	}
+	if req.Method != "POST" || req.Host != "a.b" {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestParseHTTPRequestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no blank line", "GET / HTTP/1.1\r\nHost: x\r\n"},
+		{"bad method", "FETCH / HTTP/1.1\r\n\r\n"},
+		{"no proto", "GET /\r\n\r\n"},
+		{"garbage header", "GET / HTTP/1.1\r\nnocolon\r\n\r\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ParseHTTPRequest([]byte(c.in)); err == nil {
+			t.Errorf("%s: parse accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestLooksLikeHTTPRequest(t *testing.T) {
+	yes := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n"),
+		[]byte("POST /x HTTP/1.0\r\n"),
+		[]byte("DELETE /y HTTP/1.1\r\n"),
+		[]byte("OPTIONS * HTTP/1.1\r\n"),
+	}
+	no := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("HELLO WORLD"),
+		[]byte("GETX/"),
+		[]byte{0x16, 0x03, 0x01}, // TLS hello
+		[]byte(" GET /"),
+	}
+	for _, b := range yes {
+		if !LooksLikeHTTPRequest(b) {
+			t.Errorf("rejected %q", b)
+		}
+	}
+	for _, b := range no {
+		if LooksLikeHTTPRequest(b) {
+			t.Errorf("accepted %q", b)
+		}
+	}
+}
+
+func TestBuildHTTPRequestRoundTrip(t *testing.T) {
+	raw := BuildHTTPRequest("GET", "cdn.gnf.test", "/video.mp4", map[string]string{"Range": "bytes=0-1023"}, nil)
+	if !LooksLikeHTTPRequest(raw) {
+		t.Fatal("built request does not look like HTTP")
+	}
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if req.Host != "cdn.gnf.test" || req.Target != "/video.mp4" {
+		t.Fatalf("req = %+v", req)
+	}
+	if rg, ok := req.Header("range"); !ok || rg != "bytes=0-1023" {
+		t.Fatalf("range = %q %v", rg, ok)
+	}
+}
+
+func TestBuildHTTPRequestDefaultPath(t *testing.T) {
+	raw := BuildHTTPRequest("GET", "h", "", nil, []byte("body"))
+	req, err := ParseHTTPRequest(raw)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if req.Target != "/" {
+		t.Fatalf("target = %q", req.Target)
+	}
+}

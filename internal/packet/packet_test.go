@@ -1,0 +1,142 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Fatalf("String = %q", got)
+	}
+	if !BroadcastMAC.IsBroadcast() || !BroadcastMAC.IsMulticast() {
+		t.Fatal("broadcast classification wrong")
+	}
+	if m.IsBroadcast() || m.IsZero() {
+		t.Fatal("unicast misclassified")
+	}
+	if !(MAC{}).IsZero() {
+		t.Fatal("zero MAC not zero")
+	}
+	if (MAC{0x01}).IsMulticast() != true {
+		t.Fatal("multicast bit not detected")
+	}
+}
+
+func TestParseIP(t *testing.T) {
+	cases := []struct {
+		in   string
+		want IP
+		ok   bool
+	}{
+		{"10.0.0.1", IP{10, 0, 0, 1}, true},
+		{"255.255.255.255", IP{255, 255, 255, 255}, true},
+		{"0.0.0.0", IP{}, true},
+		{"1.2.3", IP{}, false},
+		{"1.2.3.4.5", IP{}, false},
+		{"256.1.1.1", IP{}, false},
+		{"a.b.c.d", IP{}, false},
+		{"", IP{}, false},
+		{"1..2.3", IP{}, false},
+		{"01.2.3.4", IP{1, 2, 3, 4}, true}, // leading zeros tolerated
+	}
+	for _, c := range cases {
+		got, ok := ParseIP(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ParseIP(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIPStringRoundTripProperty(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		ip := IPv4Addr(a, b, c, d)
+		got, ok := ParseIP(ip.String())
+		return ok && got == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPUint32RoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool { return IPFromUint32(v).Uint32() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiveTupleReverseCanonical(t *testing.T) {
+	ft := FiveTuple{
+		Proto: ProtoTCP,
+		Src:   Endpoint{Addr: IP{10, 0, 0, 2}, Port: 4000},
+		Dst:   Endpoint{Addr: IP{10, 0, 0, 1}, Port: 80},
+	}
+	rev := ft.Reverse()
+	if rev.Src != ft.Dst || rev.Dst != ft.Src || rev.Proto != ft.Proto {
+		t.Fatalf("Reverse = %v", rev)
+	}
+	if ft.Canonical() != rev.Canonical() {
+		t.Fatal("Canonical not symmetric")
+	}
+	if ft.String() == "" || ft.Src.String() == "" {
+		t.Fatal("empty Stringer output")
+	}
+}
+
+func TestCanonicalSymmetricProperty(t *testing.T) {
+	f := func(sa, da [4]byte, sp, dp uint16, proto uint8) bool {
+		ft := FiveTuple{Proto: proto, Src: Endpoint{IP(sa), sp}, Dst: Endpoint{IP(da), dp}}
+		return ft.Canonical() == ft.Reverse().Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 is 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	b := []byte{0x01, 0x02, 0x03}
+	// Manual: 0x0102 + 0x0300 = 0x0402 -> ^0x0402 = 0xfbfd
+	if got := Checksum(b); got != 0xfbfd {
+		t.Fatalf("Checksum odd = %#04x", got)
+	}
+}
+
+func TestProtoName(t *testing.T) {
+	if ProtoName(ProtoTCP) != "tcp" || ProtoName(ProtoUDP) != "udp" || ProtoName(ProtoICMP) != "icmp" {
+		t.Fatal("wrong known proto names")
+	}
+	if ProtoName(99) != "proto-99" {
+		t.Fatalf("ProtoName(99) = %q", ProtoName(99))
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := []byte{1, 2, 3}
+	c := Clone(orig)
+	c[0] = 9
+	if orig[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	for lt, want := range map[LayerType]string{
+		LayerEthernet: "Ethernet", LayerARP: "ARP", LayerIPv4: "IPv4",
+		LayerUDP: "UDP", LayerTCP: "TCP", LayerICMP: "ICMP",
+		LayerPayload: "Payload", LayerNone: "None",
+	} {
+		if lt.String() != want {
+			t.Errorf("LayerType(%d).String() = %q, want %q", lt, lt.String(), want)
+		}
+	}
+}

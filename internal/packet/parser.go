@@ -1,0 +1,122 @@
+package packet
+
+// Parser decodes a frame into preallocated layer structs, the stdlib
+// analogue of gopacket's DecodingLayerParser: one Parser per goroutine,
+// reused across frames, zero allocations on the hot path.
+//
+//	var p packet.Parser
+//	for frame := range frames {
+//	    if err := p.Parse(frame); err != nil { continue }
+//	    if p.Has(packet.LayerUDP) { use(p.UDP.DstPort) }
+//	}
+type Parser struct {
+	Eth  Ethernet
+	ARP  ARP
+	IP   IPv4
+	UDP  UDP
+	TCP  TCP
+	ICMP ICMP
+
+	decoded [8]bool
+	layers  []LayerType
+	scratch [8]LayerType
+}
+
+// Parse decodes frame starting at Ethernet. It decodes as deep as it can
+// and returns the first hard error; partially decoded layers remain
+// queryable via Has.
+func (p *Parser) Parse(frame []byte) error {
+	for i := range p.decoded {
+		p.decoded[i] = false
+	}
+	p.layers = p.scratch[:0]
+	if err := p.Eth.Decode(frame); err != nil {
+		return err
+	}
+	p.mark(LayerEthernet)
+	switch p.Eth.EtherType {
+	case EtherTypeARP:
+		if err := p.ARP.Decode(p.Eth.Payload()); err != nil {
+			return err
+		}
+		p.mark(LayerARP)
+		return nil
+	case EtherTypeIPv4:
+		if err := p.IP.Decode(p.Eth.Payload()); err != nil {
+			return err
+		}
+		p.mark(LayerIPv4)
+	default:
+		p.mark(LayerPayload)
+		return nil
+	}
+	switch p.IP.Proto {
+	case ProtoUDP:
+		if err := p.UDP.Decode(p.IP.Payload()); err != nil {
+			return err
+		}
+		p.mark(LayerUDP)
+	case ProtoTCP:
+		if err := p.TCP.Decode(p.IP.Payload()); err != nil {
+			return err
+		}
+		p.mark(LayerTCP)
+	case ProtoICMP:
+		if err := p.ICMP.Decode(p.IP.Payload()); err != nil {
+			return err
+		}
+		p.mark(LayerICMP)
+	default:
+		p.mark(LayerPayload)
+	}
+	return nil
+}
+
+func (p *Parser) mark(t LayerType) {
+	p.decoded[t] = true
+	p.layers = append(p.layers, t)
+}
+
+// Has reports whether layer t was decoded by the last Parse.
+func (p *Parser) Has(t LayerType) bool { return p.decoded[t] }
+
+// Layers returns the layer types decoded by the last Parse, outermost
+// first. The slice is valid until the next Parse.
+func (p *Parser) Layers() []LayerType { return p.layers }
+
+// FiveTuple returns the transport flow of the last parsed frame; ok is
+// false for non-TCP/UDP frames. ICMP frames report ports of zero with
+// ok=true so ping flows remain trackable.
+func (p *Parser) FiveTuple() (FiveTuple, bool) {
+	if !p.Has(LayerIPv4) {
+		return FiveTuple{}, false
+	}
+	ft := FiveTuple{Proto: p.IP.Proto}
+	ft.Src.Addr = p.IP.Src
+	ft.Dst.Addr = p.IP.Dst
+	switch {
+	case p.Has(LayerUDP):
+		ft.Src.Port = p.UDP.SrcPort
+		ft.Dst.Port = p.UDP.DstPort
+	case p.Has(LayerTCP):
+		ft.Src.Port = p.TCP.SrcPort
+		ft.Dst.Port = p.TCP.DstPort
+	case p.Has(LayerICMP):
+		// ports stay zero
+	default:
+		return FiveTuple{}, false
+	}
+	return ft, true
+}
+
+// TransportPayload returns the application bytes of the last parsed frame
+// (UDP datagram body or TCP segment body), or nil.
+func (p *Parser) TransportPayload() []byte {
+	switch {
+	case p.Has(LayerUDP):
+		return p.UDP.Payload()
+	case p.Has(LayerTCP):
+		return p.TCP.Payload()
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package packet_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"gnf/internal/packet"
+)
+
+var (
+	vlanSrcMAC = packet.MAC{2, 0, 0, 0, 0, 1}
+	vlanDstMAC = packet.MAC{2, 0, 0, 0, 0, 2}
+	vlanSrcIP  = packet.IP{10, 0, 0, 1}
+	vlanDstIP  = packet.IP{10, 9, 0, 1}
+)
+
+func TestVLANTagDecode(t *testing.T) {
+	plain := packet.BuildUDP(vlanSrcMAC, vlanDstMAC, vlanSrcIP, vlanDstIP, 6000, 7000, []byte("hi"))
+	tagged := packet.TagVLAN(plain, 5, 42)
+	if len(tagged) != len(plain)+packet.VLANTagLen {
+		t.Fatalf("tagged length = %d", len(tagged))
+	}
+
+	var eth packet.Ethernet
+	if err := eth.Decode(tagged); err != nil {
+		t.Fatal(err)
+	}
+	if !eth.Tagged || eth.VID != 42 || eth.PCP != 5 {
+		t.Fatalf("tag fields = %+v", eth)
+	}
+	// The inner EtherType shows through the tag.
+	if eth.EtherType != packet.EtherTypeIPv4 {
+		t.Fatalf("EtherType = %#x", eth.EtherType)
+	}
+	if vid, ok := packet.FrameVID(tagged); !ok || vid != 42 {
+		t.Fatalf("FrameVID = %d %v", vid, ok)
+	}
+	if _, ok := packet.FrameVID(plain); ok {
+		t.Fatal("untagged frame reported a VID")
+	}
+}
+
+func TestVLANParserSeesThroughTag(t *testing.T) {
+	plain := packet.BuildUDP(vlanSrcMAC, vlanDstMAC, vlanSrcIP, vlanDstIP, 6000, 7000, []byte("payload"))
+	tagged := packet.TagVLAN(plain, 0, 100)
+
+	var p packet.Parser
+	if err := p.Parse(tagged); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has(packet.LayerIPv4) || !p.Has(packet.LayerUDP) {
+		t.Fatalf("layers missing through the tag")
+	}
+	if p.IP.Src != vlanSrcIP || p.UDP.DstPort != 7000 {
+		t.Fatalf("inner fields wrong: %+v %+v", p.IP, p.UDP)
+	}
+	if string(p.UDP.Payload()) != "payload" {
+		t.Fatalf("payload = %q", p.UDP.Payload())
+	}
+}
+
+func TestVLANQinQ(t *testing.T) {
+	plain := packet.BuildUDP(vlanSrcMAC, vlanDstMAC, vlanSrcIP, vlanDstIP, 6000, 7000, nil)
+	double := packet.TagVLAN(packet.TagVLAN(plain, 1, 10), 3, 200) // provider tag outermost
+
+	var eth packet.Ethernet
+	if err := eth.Decode(double); err != nil {
+		t.Fatal(err)
+	}
+	// Outermost (provider) tag is reported; the inner payload still
+	// parses.
+	if eth.VID != 200 || eth.PCP != 3 {
+		t.Fatalf("outer tag = %+v", eth)
+	}
+	if eth.EtherType != packet.EtherTypeIPv4 {
+		t.Fatalf("EtherType = %#x", eth.EtherType)
+	}
+	// Stripping one tag reveals the customer tag.
+	inner := packet.UntagVLAN(double)
+	if vid, ok := packet.FrameVID(inner); !ok || vid != 10 {
+		t.Fatalf("inner VID = %d %v", vid, ok)
+	}
+}
+
+func TestVLANTruncatedTag(t *testing.T) {
+	plain := packet.BuildUDP(vlanSrcMAC, vlanDstMAC, vlanSrcIP, vlanDstIP, 6000, 7000, nil)
+	tagged := packet.TagVLAN(plain, 0, 7)
+	var eth packet.Ethernet
+	if err := eth.Decode(tagged[:15]); err == nil {
+		t.Fatal("truncated tag decoded")
+	}
+}
+
+// Property: Untag(Tag(f)) == f for any frame long enough to be Ethernet,
+// and the VID survives the round trip masked to 12 bits.
+func TestVLANTagUntagRoundTripProperty(t *testing.T) {
+	prop := func(payload []byte, pcp uint8, vid uint16) bool {
+		frame := packet.BuildUDP(vlanSrcMAC, vlanDstMAC, vlanSrcIP, vlanDstIP, 6000, 7000, payload)
+		tagged := packet.TagVLAN(frame, pcp, vid)
+		gotVID, ok := packet.FrameVID(tagged)
+		if !ok || gotVID != vid&0x0fff {
+			return false
+		}
+		return bytes.Equal(packet.UntagVLAN(tagged), frame)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tagging never corrupts the inner packet — the parser extracts
+// identical L3/L4 fields from tagged and untagged forms.
+func TestVLANTransparencyProperty(t *testing.T) {
+	prop := func(srcPort, dstPort uint16, vid uint16, payload []byte) bool {
+		if srcPort == 0 || dstPort == 0 {
+			return true
+		}
+		frame := packet.BuildUDP(vlanSrcMAC, vlanDstMAC, vlanSrcIP, vlanDstIP, srcPort, dstPort, payload)
+		var plain, tagged packet.Parser
+		if err := plain.Parse(frame); err != nil {
+			return false
+		}
+		if err := tagged.Parse(packet.TagVLAN(frame, 0, vid)); err != nil {
+			return false
+		}
+		return plain.UDP.SrcPort == tagged.UDP.SrcPort &&
+			plain.UDP.DstPort == tagged.UDP.DstPort &&
+			plain.IP.Src == tagged.IP.Src &&
+			bytes.Equal(plain.UDP.Payload(), tagged.UDP.Payload())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package pcap writes and reads classic libpcap capture files (the
+// tcpdump/Wireshark format), so traffic captured from netem taps can be
+// inspected with standard tooling — the debugging workflow the GNF authors
+// describe using on their OpenWrt routers.
+//
+//	w, _ := pcap.NewWriter(f, pcap.DefaultSnapLen)
+//	host.Tap(func(frame []byte) { w.WritePacket(clk.Now(), frame) })
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// File-format constants.
+const (
+	magicNumber  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeEthernet is the only link type GNF captures.
+	LinkTypeEthernet = 1
+	// DefaultSnapLen stores frames whole up to this size.
+	DefaultSnapLen = 65535
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic   = errors.New("pcap: bad magic number")
+	ErrBadVersion = errors.New("pcap: unsupported version")
+	ErrTruncated  = errors.New("pcap: truncated file")
+)
+
+// Writer streams packets into a pcap file. Safe for concurrent use (taps
+// fire from dataplane goroutines).
+type Writer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	snapLen uint32
+	packets uint64
+}
+
+// NewWriter writes the global header and returns a packet writer.
+func NewWriter(w io.Writer, snapLen uint32) (*Writer, error) {
+	if snapLen == 0 {
+		snapLen = DefaultSnapLen
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicNumber)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, snapLen: snapLen}, nil
+}
+
+// WritePacket appends one captured frame with the given timestamp.
+func (w *Writer) WritePacket(ts time.Time, frame []byte) error {
+	capLen := uint32(len(frame))
+	if capLen > w.snapLen {
+		capLen = w.snapLen
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(frame)))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(frame[:capLen]); err != nil {
+		return err
+	}
+	w.packets++
+	return nil
+}
+
+// Count returns the number of packets written.
+func (w *Writer) Count() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.packets
+}
+
+// Packet is one record read back from a capture.
+type Packet struct {
+	Timestamp time.Time
+	// Data is the captured bytes (possibly snapped short of OrigLen).
+	Data    []byte
+	OrigLen int
+}
+
+// Reader iterates a pcap file.
+type Reader struct {
+	r       io.Reader
+	snapLen uint32
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicNumber {
+		return nil, ErrBadMagic
+	}
+	if binary.LittleEndian.Uint16(hdr[4:]) != versionMajor {
+		return nil, ErrBadVersion
+	}
+	return &Reader{r: r, snapLen: binary.LittleEndian.Uint32(hdr[16:])}, nil
+}
+
+// Next returns the next packet, or io.EOF at clean end of file.
+func (r *Reader) Next() (Packet, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:])
+	usec := binary.LittleEndian.Uint32(hdr[4:])
+	capLen := binary.LittleEndian.Uint32(hdr[8:])
+	origLen := binary.LittleEndian.Uint32(hdr[12:])
+	if capLen > r.snapLen {
+		return Packet{}, fmt.Errorf("pcap: record capLen %d exceeds snapLen %d", capLen, r.snapLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return Packet{
+		Timestamp: time.Unix(int64(sec), int64(usec)*1000),
+		Data:      data,
+		OrigLen:   int(origLen),
+	}, nil
+}
+
+// ReadAll drains the file.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

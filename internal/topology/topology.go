@@ -1,0 +1,354 @@
+// Package topology models the edge network of Fig. 1: cells (wireless
+// coverage areas), the GNF stations serving them (home routers, access
+// points, gateways), and the mobile clients that associate with cells and
+// roam between them. Geometry is a simple 2D plane; association follows
+// nearest-cell-in-range, which is all the mobility use-case of §4 needs.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"gnf/internal/packet"
+)
+
+// Identifiers. Stations host NFs; cells are coverage areas served by
+// exactly one station (a station may serve several cells).
+type (
+	// CellID names a coverage cell.
+	CellID string
+	// StationID names a GNF station (an Agent host).
+	StationID string
+	// ClientID names a mobile client.
+	ClientID string
+)
+
+// Point is a position on the 2D plane, in metres.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to q.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Cell is one coverage area.
+type Cell struct {
+	ID      CellID
+	Station StationID // serving station
+	Center  Point
+	Radius  float64 // coverage radius in metres
+}
+
+// Station is one GNF host at the edge.
+type Station struct {
+	ID          StationID
+	ControlAddr string // where its Agent listens (host:port)
+	MemoryBytes uint64 // capacity hint for placement
+	Position    Point
+}
+
+// Client is one mobile device.
+type Client struct {
+	ID       ClientID
+	MAC      packet.MAC
+	IP       packet.IP
+	Position Point
+	Attached CellID // empty = not associated
+}
+
+// AssociationEvent reports a client's attachment change. From is empty on
+// first association; To is empty on disassociation.
+type AssociationEvent struct {
+	Client   ClientID
+	From, To CellID
+}
+
+// Errors returned by the topology.
+var (
+	ErrUnknownCell    = errors.New("topology: unknown cell")
+	ErrUnknownStation = errors.New("topology: unknown station")
+	ErrUnknownClient  = errors.New("topology: unknown client")
+	ErrDuplicateID    = errors.New("topology: duplicate id")
+)
+
+// Topology is the mutable edge map. All methods are safe for concurrent
+// use; association listeners are invoked synchronously (without the lock).
+type Topology struct {
+	mu        sync.RWMutex
+	cells     map[CellID]*Cell
+	stations  map[StationID]*Station
+	clients   map[ClientID]*Client
+	listeners []func(AssociationEvent)
+}
+
+// New creates an empty topology.
+func New() *Topology {
+	return &Topology{
+		cells:    make(map[CellID]*Cell),
+		stations: make(map[StationID]*Station),
+		clients:  make(map[ClientID]*Client),
+	}
+}
+
+// OnAssociation registers a listener for attachment changes.
+func (t *Topology) OnAssociation(fn func(AssociationEvent)) {
+	t.mu.Lock()
+	t.listeners = append(t.listeners, fn)
+	t.mu.Unlock()
+}
+
+// AddStation registers a station.
+func (t *Topology) AddStation(s Station) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.stations[s.ID]; dup {
+		return fmt.Errorf("%w: station %s", ErrDuplicateID, s.ID)
+	}
+	t.stations[s.ID] = &s
+	return nil
+}
+
+// AddCell registers a cell served by an existing station.
+func (t *Topology) AddCell(c Cell) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.cells[c.ID]; dup {
+		return fmt.Errorf("%w: cell %s", ErrDuplicateID, c.ID)
+	}
+	if _, ok := t.stations[c.Station]; !ok {
+		return fmt.Errorf("%w: %s (for cell %s)", ErrUnknownStation, c.Station, c.ID)
+	}
+	t.cells[c.ID] = &c
+	return nil
+}
+
+// AddClient registers a client (initially unassociated).
+func (t *Topology) AddClient(c Client) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.clients[c.ID]; dup {
+		return fmt.Errorf("%w: client %s", ErrDuplicateID, c.ID)
+	}
+	c.Attached = ""
+	t.clients[c.ID] = &c
+	return nil
+}
+
+// Cell returns a copy of the named cell.
+func (t *Topology) Cell(id CellID) (Cell, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.cells[id]
+	if !ok {
+		return Cell{}, fmt.Errorf("%w: %s", ErrUnknownCell, id)
+	}
+	return *c, nil
+}
+
+// Station returns a copy of the named station.
+func (t *Topology) Station(id StationID) (Station, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := t.stations[id]
+	if !ok {
+		return Station{}, fmt.Errorf("%w: %s", ErrUnknownStation, id)
+	}
+	return *s, nil
+}
+
+// Client returns a copy of the named client.
+func (t *Topology) Client(id ClientID) (Client, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.clients[id]
+	if !ok {
+		return Client{}, fmt.Errorf("%w: %s", ErrUnknownClient, id)
+	}
+	return *c, nil
+}
+
+// Cells lists cells sorted by ID.
+func (t *Topology) Cells() []Cell {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Cell, 0, len(t.cells))
+	for _, c := range t.cells {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stations lists stations sorted by ID.
+func (t *Topology) Stations() []Station {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Station, 0, len(t.stations))
+	for _, s := range t.stations {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clients lists clients sorted by ID.
+func (t *Topology) Clients() []Client {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Client, 0, len(t.clients))
+	for _, c := range t.clients {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// StationForCell resolves a cell's serving station.
+func (t *Topology) StationForCell(id CellID) (Station, error) {
+	t.mu.RLock()
+	c, ok := t.cells[id]
+	if !ok {
+		t.mu.RUnlock()
+		return Station{}, fmt.Errorf("%w: %s", ErrUnknownCell, id)
+	}
+	s, ok := t.stations[c.Station]
+	t.mu.RUnlock()
+	if !ok {
+		return Station{}, fmt.Errorf("%w: %s", ErrUnknownStation, c.Station)
+	}
+	return *s, nil
+}
+
+// Attach associates a client with a cell, firing listeners on change.
+func (t *Topology) Attach(client ClientID, cell CellID) error {
+	t.mu.Lock()
+	c, ok := t.clients[client]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	if _, ok := t.cells[cell]; !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownCell, cell)
+	}
+	from := c.Attached
+	if from == cell {
+		t.mu.Unlock()
+		return nil
+	}
+	c.Attached = cell
+	listeners := append([]func(AssociationEvent){}, t.listeners...)
+	t.mu.Unlock()
+	ev := AssociationEvent{Client: client, From: from, To: cell}
+	for _, fn := range listeners {
+		fn(ev)
+	}
+	return nil
+}
+
+// Detach disassociates a client, firing listeners if it was attached.
+func (t *Topology) Detach(client ClientID) error {
+	t.mu.Lock()
+	c, ok := t.clients[client]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	from := c.Attached
+	if from == "" {
+		t.mu.Unlock()
+		return nil
+	}
+	c.Attached = ""
+	listeners := append([]func(AssociationEvent){}, t.listeners...)
+	t.mu.Unlock()
+	ev := AssociationEvent{Client: client, From: from}
+	for _, fn := range listeners {
+		fn(ev)
+	}
+	return nil
+}
+
+// MoveClient updates a client's position and re-associates it with the
+// nearest in-range cell (sticky: it keeps its current cell while still in
+// range, the usual 802.11 behaviour, unless a closer cell is at least
+// hysteresis metres closer).
+func (t *Topology) MoveClient(client ClientID, to Point, hysteresis float64) error {
+	t.mu.Lock()
+	c, ok := t.clients[client]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	c.Position = to
+	current := c.Attached
+	best, bestDist := t.nearestCellLocked(to)
+	target := current
+	switch {
+	case best == "":
+		target = "" // nowhere in range
+	case current == "":
+		target = best
+	default:
+		cur := t.cells[current]
+		curDist := cur.Center.Distance(to)
+		if curDist > cur.Radius {
+			target = best // lost the current cell
+		} else if bestDist+hysteresis < curDist {
+			target = best // decisively closer cell
+		}
+	}
+	t.mu.Unlock()
+	if target == current {
+		return nil
+	}
+	if target == "" {
+		return t.Detach(client)
+	}
+	return t.Attach(client, target)
+}
+
+// NearestCell returns the closest in-range cell to p, or "" when no cell
+// covers p.
+func (t *Topology) NearestCell(p Point) CellID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, _ := t.nearestCellLocked(p)
+	return id
+}
+
+func (t *Topology) nearestCellLocked(p Point) (CellID, float64) {
+	var best CellID
+	bestDist := math.Inf(1)
+	// Iterate in sorted order for deterministic tie-breaks.
+	ids := make([]string, 0, len(t.cells))
+	for id := range t.cells {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := t.cells[CellID(id)]
+		d := c.Center.Distance(p)
+		if d <= c.Radius && d < bestDist {
+			best, bestDist = c.ID, d
+		}
+	}
+	return best, bestDist
+}
+
+// ClientsInCell lists clients attached to the cell.
+func (t *Topology) ClientsInCell(id CellID) []Client {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Client
+	for _, c := range t.clients {
+		if c.Attached == id {
+			out = append(out, *c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,200 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+
+	"gnf/internal/packet"
+)
+
+// edge builds the Fig. 1-style test topology: two stations, two cells
+// 100m apart with 60m radius, one client.
+func edge(t *testing.T) *Topology {
+	t.Helper()
+	topo := New()
+	if err := topo.AddStation(Station{ID: "st-a", ControlAddr: "127.0.0.1:0", Position: Point{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddStation(Station{ID: "st-b", Position: Point{100, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddCell(Cell{ID: "cell-a", Station: "st-a", Center: Point{0, 0}, Radius: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddCell(Cell{ID: "cell-b", Station: "st-b", Center: Point{100, 0}, Radius: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddClient(Client{ID: "phone", MAC: packet.MAC{2, 0, 0, 0, 0, 9}, IP: packet.IP{10, 0, 0, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestDuplicateAndUnknownIDs(t *testing.T) {
+	topo := edge(t)
+	if err := topo.AddStation(Station{ID: "st-a"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup station: %v", err)
+	}
+	if err := topo.AddCell(Cell{ID: "cell-a", Station: "st-a"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup cell: %v", err)
+	}
+	if err := topo.AddCell(Cell{ID: "cell-x", Station: "ghost"}); !errors.Is(err, ErrUnknownStation) {
+		t.Fatalf("cell w/o station: %v", err)
+	}
+	if err := topo.AddClient(Client{ID: "phone"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup client: %v", err)
+	}
+	if _, err := topo.Cell("nope"); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("unknown cell: %v", err)
+	}
+	if _, err := topo.Station("nope"); !errors.Is(err, ErrUnknownStation) {
+		t.Fatalf("unknown station: %v", err)
+	}
+	if _, err := topo.Client("nope"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("unknown client: %v", err)
+	}
+	if err := topo.Attach("ghost", "cell-a"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("attach unknown client: %v", err)
+	}
+	if err := topo.Attach("phone", "ghost"); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("attach unknown cell: %v", err)
+	}
+}
+
+func TestAttachDetachEvents(t *testing.T) {
+	topo := edge(t)
+	var events []AssociationEvent
+	topo.OnAssociation(func(ev AssociationEvent) { events = append(events, ev) })
+
+	if err := topo.Attach("phone", "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Attach("phone", "cell-a"); err != nil { // no-op
+		t.Fatal(err)
+	}
+	if err := topo.Attach("phone", "cell-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Detach("phone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Detach("phone"); err != nil { // no-op
+		t.Fatal(err)
+	}
+	want := []AssociationEvent{
+		{Client: "phone", From: "", To: "cell-a"},
+		{Client: "phone", From: "cell-a", To: "cell-b"},
+		{Client: "phone", From: "cell-b", To: ""},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestNearestCell(t *testing.T) {
+	topo := edge(t)
+	if got := topo.NearestCell(Point{10, 0}); got != "cell-a" {
+		t.Fatalf("nearest(10,0) = %q", got)
+	}
+	if got := topo.NearestCell(Point{90, 0}); got != "cell-b" {
+		t.Fatalf("nearest(90,0) = %q", got)
+	}
+	if got := topo.NearestCell(Point{500, 500}); got != "" {
+		t.Fatalf("nearest(out of range) = %q", got)
+	}
+	// Overlap midpoint: both in range, equidistant — deterministic pick.
+	if got := topo.NearestCell(Point{50, 0}); got != "cell-a" {
+		t.Fatalf("tie-break = %q", got)
+	}
+}
+
+func TestMoveClientRoaming(t *testing.T) {
+	topo := edge(t)
+	var events []AssociationEvent
+	topo.OnAssociation(func(ev AssociationEvent) { events = append(events, ev) })
+
+	// Walk from cell A's center into cell B.
+	if err := topo.MoveClient("phone", Point{0, 0}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.MoveClient("phone", Point{40, 0}, 5); err != nil {
+		t.Fatal(err) // still in A (sticky)
+	}
+	c, _ := topo.Client("phone")
+	if c.Attached != "cell-a" {
+		t.Fatalf("attached = %q, want cell-a (sticky)", c.Attached)
+	}
+	if err := topo.MoveClient("phone", Point{80, 0}, 5); err != nil {
+		t.Fatal(err) // out of A's 60m radius -> handoff to B
+	}
+	c, _ = topo.Client("phone")
+	if c.Attached != "cell-b" {
+		t.Fatalf("attached = %q, want cell-b", c.Attached)
+	}
+	if err := topo.MoveClient("phone", Point{400, 400}, 5); err != nil {
+		t.Fatal(err) // nowhere in range -> detach
+	}
+	c, _ = topo.Client("phone")
+	if c.Attached != "" {
+		t.Fatalf("attached = %q, want detached", c.Attached)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %+v", events)
+	}
+	if c.Position != (Point{400, 400}) {
+		t.Fatal("position not updated")
+	}
+}
+
+func TestMoveClientHysteresis(t *testing.T) {
+	topo := edge(t)
+	topo.Attach("phone", "cell-a")
+	// At x=52 both cells cover; B is 4m closer but hysteresis is 10.
+	if err := topo.MoveClient("phone", Point{52, 0}, 10); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := topo.Client("phone")
+	if c.Attached != "cell-a" {
+		t.Fatal("hysteresis ignored")
+	}
+	// With zero hysteresis the closer cell wins.
+	if err := topo.MoveClient("phone", Point{52, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, _ = topo.Client("phone")
+	if c.Attached != "cell-b" {
+		t.Fatal("closer cell not chosen at zero hysteresis")
+	}
+}
+
+func TestListingsAndLookups(t *testing.T) {
+	topo := edge(t)
+	if cells := topo.Cells(); len(cells) != 2 || cells[0].ID != "cell-a" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	if sts := topo.Stations(); len(sts) != 2 || sts[1].ID != "st-b" {
+		t.Fatalf("stations = %+v", sts)
+	}
+	if cls := topo.Clients(); len(cls) != 1 || cls[0].ID != "phone" {
+		t.Fatalf("clients = %+v", cls)
+	}
+	st, err := topo.StationForCell("cell-b")
+	if err != nil || st.ID != "st-b" {
+		t.Fatalf("StationForCell = %+v, %v", st, err)
+	}
+	if _, err := topo.StationForCell("ghost"); err == nil {
+		t.Fatal("unknown cell resolved")
+	}
+	topo.Attach("phone", "cell-a")
+	if in := topo.ClientsInCell("cell-a"); len(in) != 1 || in[0].ID != "phone" {
+		t.Fatalf("ClientsInCell = %+v", in)
+	}
+	if in := topo.ClientsInCell("cell-b"); len(in) != 0 {
+		t.Fatalf("cell-b clients = %+v", in)
+	}
+}

@@ -1,0 +1,245 @@
+// Package traffic provides workload generators and measurement sinks for
+// the evaluation: constant-bit-rate UDP streams (with sequence numbers, so
+// loss windows and migration downtime are measurable), DNS query clients
+// and HTTP-request senders matching the paper's demo NFs.
+package traffic
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/netem"
+	"gnf/internal/packet"
+)
+
+// SeqRecord is one received CBR packet.
+type SeqRecord struct {
+	Seq uint64
+	At  time.Time
+}
+
+// Sink receives sequence-stamped CBR packets on a UDP port and records
+// arrival order and times.
+type Sink struct {
+	clk clock.Clock
+
+	mu   sync.Mutex
+	recs []SeqRecord
+	seen map[uint64]bool
+}
+
+// NewSink registers a sink on host's UDP port.
+func NewSink(h *netem.Host, port uint16, clk clock.Clock) *Sink {
+	s := &Sink{clk: clk, seen: make(map[uint64]bool)}
+	h.HandleUDP(port, func(src, dst packet.Endpoint, payload []byte) []byte {
+		if len(payload) < 8 {
+			return nil
+		}
+		seq := binary.BigEndian.Uint64(payload)
+		s.mu.Lock()
+		if !s.seen[seq] {
+			s.seen[seq] = true
+			s.recs = append(s.recs, SeqRecord{Seq: seq, At: s.clk.Now()})
+		}
+		s.mu.Unlock()
+		return nil
+	})
+	return s
+}
+
+// Count returns distinct packets received.
+func (s *Sink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns a copy of arrivals in receive order.
+func (s *Sink) Records() []SeqRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SeqRecord{}, s.recs...)
+}
+
+// Has reports whether seq arrived.
+func (s *Sink) Has(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[seq]
+}
+
+// ContinuityReport summarises a CBR run against a sink.
+type ContinuityReport struct {
+	Sent, Received int
+	Lost           int
+	// LongestGap is the longest run of consecutive lost sequence numbers.
+	LongestGap int
+	// GapDuration estimates downtime: the receive-time span around the
+	// longest gap (zero when nothing was lost or the gap is at the edges).
+	GapDuration time.Duration
+}
+
+// Analyze compares sent sequence numbers [0,sent) with the sink's record.
+func (s *Sink) Analyze(sent int) ContinuityReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := ContinuityReport{Sent: sent, Received: len(s.recs)}
+	rep.Lost = sent - rep.Received
+	if rep.Lost < 0 {
+		rep.Lost = 0
+	}
+	// Longest consecutive missing run.
+	run, best := 0, 0
+	bestEnd := -1
+	for seq := 0; seq < sent; seq++ {
+		if !s.seen[uint64(seq)] {
+			run++
+			if run > best {
+				best = run
+				bestEnd = seq
+			}
+		} else {
+			run = 0
+		}
+	}
+	rep.LongestGap = best
+	if best > 0 {
+		// Find receive times bracketing the gap.
+		var before, after time.Time
+		startSeq := bestEnd - best + 1
+		bys := make(map[uint64]time.Time, len(s.recs))
+		for _, r := range s.recs {
+			bys[r.Seq] = r.At
+		}
+		for seq := startSeq - 1; seq >= 0; seq-- {
+			if t, ok := bys[uint64(seq)]; ok {
+				before = t
+				break
+			}
+		}
+		for seq := bestEnd + 1; seq < sent; seq++ {
+			if t, ok := bys[uint64(seq)]; ok {
+				after = t
+				break
+			}
+		}
+		if !before.IsZero() && !after.IsZero() && after.After(before) {
+			rep.GapDuration = after.Sub(before)
+		}
+	}
+	return rep
+}
+
+// CBR sends count sequence-stamped packets of size bytes at the given
+// packet rate from src to dst, pacing on the wall clock (the dataplane
+// delivers asynchronously in real goroutines). It returns the number sent.
+func CBR(src *netem.Host, dst packet.Endpoint, srcPort uint16, count, size, pps int) int {
+	return CBRFrom(src, dst, srcPort, 0, count, size, pps)
+}
+
+// CBRFrom is CBR starting at sequence number start — use it to continue a
+// stream across phases (e.g. before and after a roaming handoff) without
+// colliding with already-recorded sequence numbers.
+func CBRFrom(src *netem.Host, dst packet.Endpoint, srcPort uint16, start uint64, count, size, pps int) int {
+	if size < 8 {
+		size = 8
+	}
+	interval := time.Duration(0)
+	if pps > 0 {
+		interval = time.Second / time.Duration(pps)
+	}
+	payload := make([]byte, size)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint64(payload, start+uint64(i))
+		src.SendUDP(dst, srcPort, payload)
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	return count
+}
+
+// EchoServer answers every datagram on port with its own payload.
+func EchoServer(h *netem.Host, port uint16) {
+	h.HandleUDP(port, func(src, dst packet.Endpoint, payload []byte) []byte {
+		return payload
+	})
+}
+
+// DNSServer serves static A records from a zone map on port 53.
+func DNSServer(h *netem.Host, zone map[string]packet.IP) {
+	h.HandleUDP(53, func(src, dst packet.Endpoint, payload []byte) []byte {
+		var q packet.DNSMessage
+		if err := q.Decode(payload); err != nil || q.Response || len(q.Questions) == 0 {
+			return nil
+		}
+		var resp *packet.DNSMessage
+		if addr, ok := zone[q.Questions[0].Name]; ok {
+			resp = packet.AnswerA(&q, 60, addr)
+		} else {
+			resp = packet.AnswerA(&q, 60) // NXDOMAIN
+		}
+		wire, err := resp.Append(nil)
+		if err != nil {
+			return nil
+		}
+		return wire
+	})
+}
+
+// DNSQuery sends an A query from the client host and waits for the answer
+// (or nil after timeout). srcPort must be unused on the host.
+func DNSQuery(h *netem.Host, resolver packet.Endpoint, srcPort uint16, id uint16, name string, timeout time.Duration) *packet.DNSMessage {
+	ch := make(chan *packet.DNSMessage, 1)
+	h.HandleUDP(srcPort, func(src, dst packet.Endpoint, payload []byte) []byte {
+		var m packet.DNSMessage
+		if err := m.Decode(payload); err == nil && m.Response && m.ID == id {
+			select {
+			case ch <- &m:
+			default:
+			}
+		}
+		return nil
+	})
+	wire, err := packet.NewDNSQuery(id, name).Append(nil)
+	if err != nil {
+		return nil
+	}
+	h.SendUDP(resolver, srcPort, wire)
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(timeout):
+		return nil
+	}
+}
+
+// HTTPRequestFrame builds the one-segment HTTP request the httpfilter NF
+// inspects, sent as a raw TCP frame from the client (no full TCP state
+// machine: middlebox NFs operate per segment).
+func HTTPRequestFrame(srcMAC, dstMAC packet.MAC, srcIP, dstIP packet.IP, srcPort uint16, host, path string) []byte {
+	payload := packet.BuildHTTPRequest("GET", host, path, nil, nil)
+	return packet.BuildTCP(srcMAC, dstMAC, srcIP, dstIP, srcPort, 80,
+		packet.TCPOptions{Seq: 1, Flags: packet.TCPAck | packet.TCPPsh}, payload)
+}
+
+// Percentiles summarises inter-arrival jitter of a sink's records.
+func Percentiles(recs []SeqRecord, ps ...float64) []time.Duration {
+	if len(recs) < 2 {
+		return make([]time.Duration, len(ps))
+	}
+	gaps := make([]time.Duration, 0, len(recs)-1)
+	for i := 1; i < len(recs); i++ {
+		gaps = append(gaps, recs[i].At.Sub(recs[i-1].At))
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	out := make([]time.Duration, len(ps))
+	for i, p := range ps {
+		idx := int(p / 100 * float64(len(gaps)-1))
+		out[i] = gaps[idx]
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/netem"
+	"gnf/internal/packet"
+)
+
+var (
+	macA = packet.MAC{2, 0, 0, 0, 0, 1}
+	macB = packet.MAC{2, 0, 0, 0, 0, 2}
+	ipA  = packet.IP{10, 0, 0, 1}
+	ipB  = packet.IP{10, 0, 0, 2}
+)
+
+func pair(t *testing.T) (*netem.Host, *netem.Host) {
+	t.Helper()
+	sw := netem.NewSwitch("sw")
+	a1, a2 := netem.NewVethPair("a", "a-sw")
+	b1, b2 := netem.NewVethPair("b", "b-sw")
+	sw.Attach(1, a2)
+	sw.Attach(2, b2)
+	ha := netem.NewHost(macA, ipA, a1)
+	hb := netem.NewHost(macB, ipB, b1)
+	ha.Learn(ipB, macB)
+	hb.Learn(ipA, macA)
+	t.Cleanup(func() { a1.Close(); b1.Close() })
+	return ha, hb
+}
+
+func TestCBRAndSink(t *testing.T) {
+	ha, hb := pair(t)
+	sink := NewSink(hb, 7000, clock.System())
+	sent := CBR(ha, packet.Endpoint{Addr: ipB, Port: 7000}, 6000, 50, 64, 0)
+	deadline := time.After(2 * time.Second)
+	for sink.Count() < sent {
+		select {
+		case <-deadline:
+			t.Fatalf("received %d of %d", sink.Count(), sent)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	rep := sink.Analyze(sent)
+	if rep.Lost != 0 || rep.LongestGap != 0 || rep.Received != 50 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !sink.Has(0) || !sink.Has(49) || sink.Has(50) {
+		t.Fatal("Has() wrong")
+	}
+	recs := sink.Records()
+	if len(recs) != 50 || recs[0].Seq != 0 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if ps := Percentiles(recs, 50, 99); len(ps) != 2 {
+		t.Fatal("percentiles shape")
+	}
+}
+
+func TestAnalyzeDetectsGap(t *testing.T) {
+	clk := clock.NewVirtual()
+	s := &Sink{clk: clk, seen: map[uint64]bool{}}
+	record := func(seq uint64, at time.Duration) {
+		s.seen[seq] = true
+		s.recs = append(s.recs, SeqRecord{Seq: seq, At: clock.Epoch.Add(at)})
+	}
+	// Received 0,1,2 then 7,8,9 — gap of 4 (seqs 3..6) spanning 400ms.
+	record(0, 0)
+	record(1, 10*time.Millisecond)
+	record(2, 20*time.Millisecond)
+	record(7, 420*time.Millisecond)
+	record(8, 430*time.Millisecond)
+	record(9, 440*time.Millisecond)
+	rep := s.Analyze(10)
+	if rep.Lost != 4 || rep.LongestGap != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.GapDuration != 400*time.Millisecond {
+		t.Fatalf("gap duration = %v", rep.GapDuration)
+	}
+}
+
+func TestAnalyzeEdgeGaps(t *testing.T) {
+	s := &Sink{clk: clock.System(), seen: map[uint64]bool{}}
+	// Nothing received at all.
+	rep := s.Analyze(5)
+	if rep.Lost != 5 || rep.LongestGap != 5 || rep.GapDuration != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestEchoServer(t *testing.T) {
+	ha, hb := pair(t)
+	EchoServer(hb, 9)
+	got := make(chan []byte, 1)
+	ha.HandleUDP(1234, func(src, dst packet.Endpoint, payload []byte) []byte {
+		got <- payload
+		return nil
+	})
+	ha.SendUDP(packet.Endpoint{Addr: ipB, Port: 9}, 1234, []byte("echo me"))
+	select {
+	case p := <-got:
+		if string(p) != "echo me" {
+			t.Fatalf("payload = %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no echo")
+	}
+}
+
+func TestDNSServerAndQuery(t *testing.T) {
+	ha, hb := pair(t)
+	DNSServer(hb, map[string]packet.IP{"svc.example": {9, 9, 9, 9}})
+	res := DNSQuery(ha, packet.Endpoint{Addr: ipB, Port: 53}, 5353, 42, "svc.example", 2*time.Second)
+	if res == nil || len(res.Answers) != 1 || res.Answers[0].A != (packet.IP{9, 9, 9, 9}) {
+		t.Fatalf("res = %+v", res)
+	}
+	// Unknown name: NXDOMAIN.
+	res = DNSQuery(ha, packet.Endpoint{Addr: ipB, Port: 53}, 5354, 43, "missing.example", 2*time.Second)
+	if res == nil || res.Rcode != packet.DNSRcodeNXDomain {
+		t.Fatalf("nxdomain res = %+v", res)
+	}
+}
+
+func TestHTTPRequestFrame(t *testing.T) {
+	frame := HTTPRequestFrame(macA, macB, ipA, ipB, 40000, "example.com", "/index")
+	var p packet.Parser
+	if err := p.Parse(frame); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has(packet.LayerTCP) || p.TCP.DstPort != 80 {
+		t.Fatal("not a port-80 TCP frame")
+	}
+	req, err := packet.ParseHTTPRequest(p.TCP.Payload())
+	if err != nil || req.Host != "example.com" {
+		t.Fatalf("req = %+v, %v", req, err)
+	}
+}
+
+func TestCBRPacing(t *testing.T) {
+	ha, hb := pair(t)
+	sink := NewSink(hb, 7000, clock.System())
+	start := time.Now()
+	CBR(ha, packet.Endpoint{Addr: ipB, Port: 7000}, 6000, 20, 32, 1000) // 1ms apart
+	elapsed := time.Since(start)
+	if elapsed < 19*time.Millisecond {
+		t.Fatalf("pacing too fast: %v", elapsed)
+	}
+	deadline := time.After(2 * time.Second)
+	for sink.Count() < 20 {
+		select {
+		case <-deadline:
+			t.Fatalf("received %d", sink.Count())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package ui implements the GNF User Interface of §3: "the overall
+// management interface for the system through a direct connection to the
+// Manager's API. Using a simple interface, the entire network health,
+// status, and notifications can be monitored, including the number of
+// online stations, connected clients, enabled NFs, and current processing
+// and network resource consumption."
+//
+// It is an HTTP server rendering a JSON API (consumed by gnfctl and the
+// benches) plus a single self-refreshing HTML dashboard.
+package ui
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+)
+
+// StationView is one station's row in the dashboard.
+type StationView struct {
+	Station   string      `json:"station"`
+	Online    bool        `json:"online"`
+	LastSeen  time.Time   `json:"last_seen"`
+	CPU       float64     `json:"cpu_percent"`
+	MemoryMB  float64     `json:"memory_mb"`
+	NFs       int         `json:"nfs"`
+	RxFrames  uint64      `json:"rx_frames"`
+	Redirects uint64      `json:"redirects"`
+	Chains    []ChainView `json:"chains,omitempty"`
+}
+
+// ChainView is one deployed chain.
+type ChainView struct {
+	Chain     string `json:"chain"`
+	Client    string `json:"client"`
+	Enabled   bool   `json:"enabled"`
+	Processed uint64 `json:"processed"`
+}
+
+// Overview is the dashboard snapshot.
+type Overview struct {
+	Stations      []StationView             `json:"stations"`
+	OnlineCount   int                       `json:"online_count"`
+	NFCount       int                       `json:"nf_count"`
+	Hotspots      []string                  `json:"hotspots"`
+	Notifications []agent.Alert             `json:"notifications"`
+	Migrations    []manager.MigrationReport `json:"migrations"`
+}
+
+// Server is the UI HTTP server.
+type Server struct {
+	mgr *manager.Manager
+	mux *http.ServeMux
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds a UI server over the manager (not yet listening).
+func New(mgr *manager.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/overview", s.handleOverview)
+	s.mux.HandleFunc("GET /api/stations", s.handleStations)
+	s.mux.HandleFunc("GET /api/notifications", s.handleNotifications)
+	s.mux.HandleFunc("GET /api/migrations", s.handleMigrations)
+	s.mux.HandleFunc("POST /api/chains/attach", s.handleAttach)
+	s.mux.HandleFunc("POST /api/chains/detach", s.handleDetach)
+	s.mux.HandleFunc("POST /api/chains/migrate", s.handleMigrate)
+	s.mux.HandleFunc("POST /api/clients/offload", s.handleOffload)
+	s.mux.HandleFunc("POST /api/clients/recall", s.handleRecall)
+	s.mux.HandleFunc("GET /api/failovers", s.handleFailovers)
+	s.mux.HandleFunc("GET /api/placement", s.handlePlacement)
+	s.mux.HandleFunc("GET /", s.handleDashboard)
+	return s
+}
+
+// Handler exposes the mux (tests use httptest against it).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr ("127.0.0.1:0" for ephemeral) and serves in the
+// background.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go s.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// overview assembles the dashboard snapshot from manager state.
+func (s *Server) overview(withChains bool) Overview {
+	var ov Overview
+	for _, st := range s.mgr.Agents() {
+		h, ok := s.mgr.AgentHandleFor(st)
+		if !ok {
+			continue
+		}
+		rep, seen := h.LastReport()
+		view := StationView{
+			Station:   st,
+			Online:    true,
+			LastSeen:  seen,
+			CPU:       rep.Usage.CPUPercent,
+			MemoryMB:  float64(rep.Usage.MemoryBytes) / (1 << 20),
+			NFs:       rep.Usage.Containers,
+			RxFrames:  rep.Switch.RxFrames,
+			Redirects: rep.Switch.Redirects,
+		}
+		if withChains {
+			for _, cs := range rep.Chains {
+				view.Chains = append(view.Chains, ChainView{
+					Chain: cs.Chain, Client: cs.Client, Enabled: cs.Enabled, Processed: cs.Processed,
+				})
+			}
+		}
+		ov.Stations = append(ov.Stations, view)
+		ov.OnlineCount++
+		ov.NFCount += view.NFs
+	}
+	sort.Slice(ov.Stations, func(i, j int) bool { return ov.Stations[i].Station < ov.Stations[j].Station })
+	ov.Hotspots = s.mgr.Hotspots()
+	ov.Notifications = s.mgr.Notifications()
+	ov.Migrations = s.mgr.Migrations()
+	return ov
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.overview(true))
+}
+
+func (s *Server) handleStations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.overview(true).Stations)
+}
+
+func (s *Server) handleNotifications(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.mgr.Notifications())
+}
+
+func (s *Server) handleMigrations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.mgr.Migrations())
+}
+
+// AttachRequest is the POST body for /api/chains/attach.
+type AttachRequest struct {
+	Client string            `json:"client"`
+	Chain  manager.ChainSpec `json:"chain"`
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req AttachRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.mgr.AttachChain(req.Client, req.Chain); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "attached"})
+}
+
+// DetachRequest is the POST body for /api/chains/detach.
+type DetachRequest struct {
+	Client string `json:"client"`
+	Chain  string `json:"chain"`
+}
+
+func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	var req DetachRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.mgr.DetachChain(req.Client, req.Chain); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "detached"})
+}
+
+// MigrateRequest is the POST body for /api/chains/migrate.
+type MigrateRequest struct {
+	Client string `json:"client"`
+	Chain  string `json:"chain"`
+	To     string `json:"to"`
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := s.mgr.MigrateChain(req.Client, req.Chain, req.To)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// OffloadRequest is the POST body for /api/clients/offload.
+type OffloadRequest struct {
+	Client string `json:"client"`
+	Site   string `json:"site"`
+}
+
+func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
+	var req OffloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := s.mgr.OffloadClient(req.Client, req.Site)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// RecallRequest is the POST body for /api/clients/recall.
+type RecallRequest struct {
+	Client string `json:"client"`
+}
+
+func (s *Server) handleRecall(w http.ResponseWriter, r *http.Request) {
+	var req RecallRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := s.mgr.RecallClient(req.Client)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleFailovers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Failed    []string                 `json:"failed_stations"`
+		Recovered []manager.FailoverReport `json:"recovered"`
+	}{s.mgr.FailedStations(), s.mgr.Failovers()})
+}
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Policy   string                `json:"policy"`
+		Stations []manager.StationInfo `json:"stations"`
+	}{s.mgr.Placement().Name(), s.mgr.StationInfos()})
+}
+
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><title>GNF Dashboard</title>
+<meta http-equiv="refresh" content="2">
+<style>
+body{font-family:sans-serif;margin:2em;background:#fafafa}
+table{border-collapse:collapse;margin-bottom:1.5em}
+td,th{border:1px solid #ccc;padding:4px 10px;text-align:left}
+th{background:#223}
+th{color:#fff}
+.warn{color:#b00}
+</style></head><body>
+<h1>Glasgow Network Functions</h1>
+<p>{{.OnlineCount}} stations online &middot; {{.NFCount}} NFs running
+{{if .Hotspots}}<span class="warn">&middot; hotspots: {{range .Hotspots}}{{.}} {{end}}</span>{{end}}</p>
+<h2>Stations</h2>
+<table><tr><th>Station</th><th>CPU %</th><th>Memory MB</th><th>NFs</th><th>Frames</th><th>Redirects</th></tr>
+{{range .Stations}}<tr><td>{{.Station}}</td><td>{{printf "%.1f" .CPU}}</td><td>{{printf "%.1f" .MemoryMB}}</td><td>{{.NFs}}</td><td>{{.RxFrames}}</td><td>{{.Redirects}}</td></tr>{{end}}
+</table>
+<h2>Chains</h2>
+<table><tr><th>Station</th><th>Chain</th><th>Client</th><th>Enabled</th><th>Processed</th></tr>
+{{range $st := .Stations}}{{range .Chains}}<tr><td>{{$st.Station}}</td><td>{{.Chain}}</td><td>{{.Client}}</td><td>{{.Enabled}}</td><td>{{.Processed}}</td></tr>{{end}}{{end}}
+</table>
+<h2>Migrations ({{len .Migrations}})</h2>
+<table><tr><th>Client</th><th>Chain</th><th>From</th><th>To</th><th>Strategy</th><th>Downtime</th></tr>
+{{range .Migrations}}<tr><td>{{.Client}}</td><td>{{.Chain}}</td><td>{{.From}}</td><td>{{.To}}</td><td>{{.Strategy}}</td><td>{{.Downtime}}</td></tr>{{end}}
+</table>
+<h2>Notifications ({{len .Notifications}})</h2>
+<table><tr><th>Station</th><th>NF</th><th>Severity</th><th>Message</th></tr>
+{{range .Notifications}}<tr><td>{{.Station}}</td><td>{{.Notification.NF}}</td><td>{{.Notification.Severity}}</td><td>{{.Notification.Message}}</td></tr>{{end}}
+</table>
+</body></html>`))
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTmpl.Execute(w, s.overview(true)); err != nil {
+		fmt.Fprintf(w, "<!-- render error: %v -->", err)
+	}
+}

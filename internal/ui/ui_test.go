@@ -1,0 +1,214 @@
+package ui_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/core"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+	"gnf/internal/ui"
+)
+
+// uiFixture runs a live two-station system behind a UI server.
+func uiFixture(t *testing.T) (*core.System, *httptest.Server) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{
+		ReportInterval: 30 * time.Millisecond,
+		Stations: []core.StationConfig{
+			{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []core.CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.AddClient("phone", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-a", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ui.New(sys.Manager).Handler())
+	t.Cleanup(srv.Close)
+	return sys, srv
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestOverviewEndpoint(t *testing.T) {
+	_, srv := uiFixture(t)
+	var ov ui.Overview
+	getJSON(t, srv.URL+"/api/overview", &ov)
+	if ov.OnlineCount != 2 || len(ov.Stations) != 2 {
+		t.Fatalf("overview = %+v", ov)
+	}
+	if ov.Stations[0].Station != "st-a" {
+		t.Fatalf("stations = %+v", ov.Stations)
+	}
+}
+
+func TestAttachDetachOverAPI(t *testing.T) {
+	sys, srv := uiFixture(t)
+	req := ui.AttachRequest{
+		Client: "phone",
+		Chain: manager.ChainSpec{
+			Name:      "fw",
+			Functions: []agent.NFSpec{{Kind: "firewall", Name: "f0", Params: nf.Params{"policy": "accept"}}},
+		},
+	}
+	if resp := postJSON(t, srv.URL+"/api/chains/attach", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("attach = %d", resp.StatusCode)
+	}
+	if err := sys.WaitChainOn("st-a", "fw", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate attach conflicts.
+	if resp := postJSON(t, srv.URL+"/api/chains/attach", req); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("dup attach = %d", resp.StatusCode)
+	}
+	// Migrate over the API.
+	mig := ui.MigrateRequest{Client: "phone", Chain: "fw", To: "st-b"}
+	if resp := postJSON(t, srv.URL+"/api/chains/migrate", mig); resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate = %d", resp.StatusCode)
+	}
+	var migs []manager.MigrationReport
+	getJSON(t, srv.URL+"/api/migrations", &migs)
+	if len(migs) != 1 || migs[0].To != "st-b" {
+		t.Fatalf("migrations = %+v", migs)
+	}
+	// Detach.
+	det := ui.DetachRequest{Client: "phone", Chain: "fw"}
+	if resp := postJSON(t, srv.URL+"/api/chains/detach", det); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detach = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/chains/detach", det); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double detach = %d", resp.StatusCode)
+	}
+}
+
+func TestBadRequestBodies(t *testing.T) {
+	_, srv := uiFixture(t)
+	for _, path := range []string{"/api/chains/attach", "/api/chains/detach", "/api/chains/migrate"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDashboardRenders(t *testing.T) {
+	_, srv := uiFixture(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	html := buf.String()
+	if !strings.Contains(html, "Glasgow Network Functions") || !strings.Contains(html, "st-a") {
+		t.Fatalf("dashboard missing content: %.200s", html)
+	}
+	// Unknown paths 404.
+	resp2, _ := http.Get(srv.URL + "/nope")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path = %d", resp2.StatusCode)
+	}
+}
+
+func TestStartAndClose(t *testing.T) {
+	sys, _ := uiFixture(t)
+	s := ui.New(sys.Manager)
+	if s.Addr() != "" {
+		t.Fatal("addr before start")
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Fatal("no addr after start")
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/api/overview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportsPropagateToOverview(t *testing.T) {
+	sys, srv := uiFixture(t)
+	if err := sys.AttachChain("phone", manager.ChainSpec{
+		Name:      "c",
+		Functions: []agent.NFSpec{{Kind: "counter", Name: "n"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		var ov ui.Overview
+		getJSON(t, srv.URL+"/api/overview", &ov)
+		if ov.NFCount >= 1 {
+			found := false
+			for _, st := range ov.Stations {
+				for _, ch := range st.Chains {
+					if ch.Chain == "c" && ch.Client == "phone" {
+						found = true
+					}
+				}
+			}
+			if found {
+				return
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatal("chain never appeared in overview")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func BenchmarkCallRoundTrip(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.Handle("echo", func(body json.RawMessage) (any, error) {
+			return json.RawMessage(body), nil
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	go p.Run()
+	defer p.Close()
+
+	in := map[string]string{"key": "value", "station": "st-a"}
+	var out map[string]string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Call("echo", in, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNotifyThroughput(b *testing.B) {
+	done := make(chan struct{}, 1)
+	count := 0
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.HandleNotify("tick", func(json.RawMessage) {
+			count++
+			if count == b.N {
+				done <- struct{}{}
+			}
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	go p.Run()
+	defer p.Close()
+
+	payload := map[string]int{"seq": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Notify("tick", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}

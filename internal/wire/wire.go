@@ -1,0 +1,416 @@
+// Package wire implements GNF's control-plane protocol: length-prefixed
+// JSON frames over TCP carrying bidirectional request/response RPC plus
+// one-way notifications. The Manager keeps one Peer per Agent connection
+// (§3: "keeping a connection with all the Agents in the network"); both
+// ends can initiate calls over the same connection — the Manager pushes NF
+// deployments down, Agents push health reports and NF notifications up.
+//
+// Framing: 4-byte big-endian length, then a JSON body:
+//
+//	{"kind":"req","id":7,"method":"agent.deploy","body":{...}}
+//	{"kind":"res","id":7,"body":{...}}            // success
+//	{"kind":"res","id":7,"error":"no such image"} // failure
+//	{"kind":"ntf","method":"nf.alert","body":{...}}
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxFrameBytes bounds a single frame; larger frames poison the connection
+// and are rejected.
+const MaxFrameBytes = 16 << 20
+
+// Frame kinds.
+const (
+	kindRequest  = "req"
+	kindResponse = "res"
+	kindNotify   = "ntf"
+)
+
+// Errors returned by Peer operations.
+var (
+	ErrClosed      = errors.New("wire: peer closed")
+	ErrFrameTooBig = errors.New("wire: frame exceeds limit")
+	ErrCallTimeout = errors.New("wire: call timed out")
+	ErrNoHandler   = errors.New("wire: no handler for method")
+	ErrBadFrame    = errors.New("wire: malformed frame")
+)
+
+// frame is the on-wire envelope.
+type frame struct {
+	Kind   string          `json:"kind"`
+	ID     uint64          `json:"id,omitempty"`
+	Method string          `json:"method,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// writeFrame marshals and writes one frame with its length prefix.
+func writeFrame(w io.Writer, f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrameBytes {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, ErrFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return &f, nil
+}
+
+// Handler serves one RPC method. The returned value is marshalled as the
+// response body; a non-nil error produces an error response.
+type Handler func(body json.RawMessage) (any, error)
+
+// NotifyHandler consumes a one-way notification.
+type NotifyHandler func(body json.RawMessage)
+
+// Peer is one end of a control connection. Create with NewPeer, register
+// handlers, then call Run (usually in a goroutine) to start dispatching.
+type Peer struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex // serialises frame writes
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	notify   map[string]NotifyHandler
+	pending  map[uint64]chan *frame
+	closed   bool
+	closeErr error
+	onClose  []func(error)
+
+	nextID      atomic.Uint64
+	callTimeout time.Duration
+}
+
+// NewPeer wraps an established connection. The peer does not read until
+// Run is called.
+func NewPeer(conn net.Conn) *Peer {
+	return &Peer{
+		conn:        conn,
+		bw:          bufio.NewWriter(conn),
+		handlers:    make(map[string]Handler),
+		notify:      make(map[string]NotifyHandler),
+		pending:     make(map[uint64]chan *frame),
+		callTimeout: 10 * time.Second,
+	}
+}
+
+// SetCallTimeout adjusts the per-call deadline (default 10s).
+func (p *Peer) SetCallTimeout(d time.Duration) { p.callTimeout = d }
+
+// Handle registers a request handler for method. Handlers run on their own
+// goroutine, so they may issue Calls back over the same peer.
+func (p *Peer) Handle(method string, h Handler) {
+	p.mu.Lock()
+	p.handlers[method] = h
+	p.mu.Unlock()
+}
+
+// HandleNotify registers a notification consumer for method.
+func (p *Peer) HandleNotify(method string, h NotifyHandler) {
+	p.mu.Lock()
+	p.notify[method] = h
+	p.mu.Unlock()
+}
+
+// OnClose registers a callback invoked once when the peer shuts down.
+func (p *Peer) OnClose(fn func(error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		go fn(p.closeErr)
+		return
+	}
+	p.onClose = append(p.onClose, fn)
+}
+
+// RemoteAddr reports the peer's network address.
+func (p *Peer) RemoteAddr() string { return p.conn.RemoteAddr().String() }
+
+// Run reads frames until the connection fails or Close is called. It
+// always returns a non-nil error (io.EOF on clean shutdown by the remote).
+func (p *Peer) Run() error {
+	r := bufio.NewReader(p.conn)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			p.shutdown(err)
+			return err
+		}
+		switch f.Kind {
+		case kindRequest:
+			go p.serve(f)
+		case kindResponse:
+			p.mu.Lock()
+			ch, ok := p.pending[f.ID]
+			delete(p.pending, f.ID)
+			p.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		case kindNotify:
+			p.mu.Lock()
+			h := p.notify[f.Method]
+			p.mu.Unlock()
+			if h != nil {
+				h(f.Body)
+			}
+		default:
+			p.shutdown(ErrBadFrame)
+			return ErrBadFrame
+		}
+	}
+}
+
+// serve runs one request handler and writes the response.
+func (p *Peer) serve(req *frame) {
+	p.mu.Lock()
+	h := p.handlers[req.Method]
+	p.mu.Unlock()
+	res := frame{Kind: kindResponse, ID: req.ID}
+	if h == nil {
+		res.Error = ErrNoHandler.Error() + ": " + req.Method
+	} else {
+		out, err := h(req.Body)
+		if err != nil {
+			res.Error = err.Error()
+		} else if out != nil {
+			body, err := json.Marshal(out)
+			if err != nil {
+				res.Error = "wire: marshal response: " + err.Error()
+			} else {
+				res.Body = body
+			}
+		}
+	}
+	p.send(&res)
+}
+
+// send writes one frame, serialised against concurrent writers.
+func (p *Peer) send(f *frame) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := writeFrame(p.bw, f); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Call sends a request and decodes the response body into out (which may
+// be nil to discard). It fails after the call timeout.
+func (p *Peer) Call(method string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	id := p.nextID.Add(1)
+	ch := make(chan *frame, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	req := frame{Kind: kindRequest, ID: id, Method: method, Body: body}
+	if err := p.send(&req); err != nil {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return err
+	}
+	var timeout <-chan time.Time
+	if p.callTimeout > 0 {
+		t := time.NewTimer(p.callTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case res := <-ch:
+		if res == nil {
+			return ErrClosed
+		}
+		if res.Error != "" {
+			return errors.New(res.Error)
+		}
+		if out != nil && len(res.Body) > 0 {
+			return json.Unmarshal(res.Body, out)
+		}
+		return nil
+	case <-timeout:
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrCallTimeout, method)
+	}
+}
+
+// Notify sends a one-way notification (no response expected).
+func (p *Peer) Notify(method string, in any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return p.send(&frame{Kind: kindNotify, Method: method, Body: body})
+}
+
+// Close tears the connection down.
+func (p *Peer) Close() error {
+	p.shutdown(ErrClosed)
+	return nil
+}
+
+func (p *Peer) shutdown(err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.closeErr = err
+	pending := p.pending
+	p.pending = map[uint64]chan *frame{}
+	callbacks := p.onClose
+	p.onClose = nil
+	p.mu.Unlock()
+
+	p.conn.Close()
+	for _, ch := range pending {
+		ch <- nil
+	}
+	for _, fn := range callbacks {
+		fn(err)
+	}
+}
+
+// Server accepts connections and hands each to an acceptor that wires up a
+// Peer (registering handlers) before its Run loop starts.
+type Server struct {
+	ln     net.Listener
+	accept func(*Peer)
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	peers  map[*Peer]struct{}
+	closed bool
+}
+
+// NewServer listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// invokes accept for every inbound connection.
+func NewServer(addr string, accept func(*Peer)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, accept: accept, peers: make(map[*Peer]struct{})}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		peer := NewPeer(conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.peers[peer] = struct{}{}
+		s.mu.Unlock()
+		peer.OnClose(func(error) {
+			s.mu.Lock()
+			delete(s.peers, peer)
+			s.mu.Unlock()
+		})
+		s.accept(peer)
+		go peer.Run()
+	}
+}
+
+// Close stops accepting and closes every live peer.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	peers := make([]*Peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, p := range peers {
+		p.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Dial connects to a wire server. The returned peer is not yet reading:
+// register handlers, then start `go peer.Run()` — the same order the
+// server side guarantees via its accept callback, so no request can race
+// handler registration.
+func Dial(addr string) (*Peer, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewPeer(conn), nil
+}

@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type echoReq struct {
+	Text string `json:"text"`
+}
+
+type echoRes struct {
+	Text string `json:"text"`
+}
+
+// startEcho runs a server answering "echo" and counting "ping" notifies.
+func startEcho(t *testing.T) (*Server, *atomic.Int64) {
+	t.Helper()
+	var pings atomic.Int64
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.Handle("echo", func(body json.RawMessage) (any, error) {
+			var req echoReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			return echoRes{Text: req.Text}, nil
+		})
+		p.Handle("fail", func(json.RawMessage) (any, error) {
+			return nil, errors.New("deliberate failure")
+		})
+		p.HandleNotify("ping", func(json.RawMessage) { pings.Add(1) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, &pings
+}
+
+func dial(t *testing.T, addr string) *Peer {
+	t.Helper()
+	p, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Run()
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	var res echoRes
+	if err := p.Call("echo", echoReq{Text: "hello"}, &res); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if res.Text != "hello" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCallErrorPropagates(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	err := p.Call("fail", echoReq{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	err := p.Call("nonsense", echoReq{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNotifyDelivered(t *testing.T) {
+	srv, pings := startEcho(t)
+	p := dial(t, srv.Addr())
+	for i := 0; i < 3; i++ {
+		if err := p.Notify("ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for pings.Load() != 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("pings = %d", pings.Load())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	// Server calls the client back during a request.
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.Handle("chain", func(json.RawMessage) (any, error) {
+			var res echoRes
+			if err := p.Call("client.echo", echoReq{Text: "from-server"}, &res); err != nil {
+				return nil, err
+			}
+			return echoRes{Text: res.Text + "-chained"}, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Handle("client.echo", func(body json.RawMessage) (any, error) {
+		var req echoReq
+		json.Unmarshal(body, &req)
+		return echoRes{Text: req.Text}, nil
+	})
+	go p.Run()
+	defer p.Close()
+
+	var res echoRes
+	if err := p.Call("chain", echoReq{}, &res); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	if res.Text != "from-server-chained" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res echoRes
+			msg := fmt.Sprintf("m%d", i)
+			if err := p.Call("echo", echoReq{Text: msg}, &res); err != nil {
+				errs <- err
+				return
+			}
+			if res.Text != msg {
+				errs <- fmt.Errorf("mismatched response: %q != %q", res.Text, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.Handle("slow", func(json.RawMessage) (any, error) {
+			time.Sleep(500 * time.Millisecond)
+			return nil, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := dial(t, srv.Addr())
+	p.SetCallTimeout(50 * time.Millisecond)
+	if err := p.Call("slow", nil, nil); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPeerCloseFailsPendingCalls(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.Handle("hang", func(json.RawMessage) (any, error) {
+			time.Sleep(5 * time.Second)
+			return nil, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := dial(t, srv.Addr())
+	done := make(chan error, 1)
+	go func() { done <- p.Call("hang", nil, nil) }()
+	time.Sleep(50 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending call err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call never failed after Close")
+	}
+	// Calls after close fail immediately.
+	if err := p.Call("echo", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close call: %v", err)
+	}
+}
+
+func TestOnCloseFires(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	fired := make(chan error, 2)
+	p.OnClose(func(err error) { fired <- err })
+	p.Close()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnClose never fired")
+	}
+	// Registering after close fires immediately.
+	p.OnClose(func(err error) { fired <- err })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("late OnClose never fired")
+	}
+}
+
+func TestServerCloseDisconnectsPeers(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	closed := make(chan struct{})
+	p.OnClose(func(error) { close(closed) })
+	srv.Close()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("client peer not closed when server shut down")
+	}
+}
+
+func TestRemoteAddrNonEmpty(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	if p.RemoteAddr() == "" {
+		t.Fatal("empty remote addr")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+	big := strings.Repeat("x", MaxFrameBytes)
+	err := p.Call("echo", echoReq{Text: big}, nil)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
