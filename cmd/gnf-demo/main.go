@@ -5,12 +5,18 @@
 // they happen.
 //
 //	gnf-demo -ui 127.0.0.1:8080 -roams 3 -dwell 3s
+//
+// With -scenario, the staged demo is replaced by a declarative scenario
+// file executed on the virtual clock (see scenarios/ for the corpus):
+//
+//	gnf-demo -scenario scenarios/roaming.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"gnf/internal/agent"
@@ -18,6 +24,7 @@ import (
 	"gnf/internal/manager"
 	"gnf/internal/nf"
 	"gnf/internal/packet"
+	"gnf/internal/scenario"
 	"gnf/internal/topology"
 	"gnf/internal/traffic"
 	"gnf/internal/ui"
@@ -29,7 +36,15 @@ func main() {
 	dwell := flag.Duration("dwell", 3*time.Second, "time spent in each cell")
 	pps := flag.Int("pps", 100, "client traffic rate (packets/s)")
 	strategy := flag.String("strategy", "stateful", "migration strategy: cold|stateful")
+	scenarioFile := flag.String("scenario", "", "run this scenario file instead of the staged demo")
 	flag.Parse()
+
+	if *scenarioFile != "" {
+		if err := scenario.Execute(*scenarioFile, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	strat := manager.StrategyStateful
 	if *strategy == "cold" {

@@ -1,11 +1,12 @@
 // Command gnfctl is the operator CLI for a running gnf-manager, speaking
-// the UI's REST API.
+// the UI's REST API — plus a self-contained scenario runner.
 //
 //	gnfctl -api http://127.0.0.1:8080 overview
 //	gnfctl -api ... stations | notifications | migrations | hotspots
 //	gnfctl -api ... attach  <client> <chain> <kind[:k=v,k=v]> [more fns...]
 //	gnfctl -api ... detach  <client> <chain>
 //	gnfctl -api ... migrate <client> <chain> <station>
+//	gnfctl run-scenario <file.json>    # no manager needed: runs in-process
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"gnf/internal/agent"
 	"gnf/internal/manager"
 	"gnf/internal/nf"
+	"gnf/internal/scenario"
 	"gnf/internal/ui"
 )
 
@@ -39,6 +41,9 @@ commands:
   recall <client>                  return an offloaded client's chains to the edge
   failovers                        failed stations and recovery reports
   placement                        active policy + per-station capacity view
+  run-scenario <file.json>         execute a declarative scenario in-process
+                                   (virtual time; prints the result, exits
+                                   non-zero when expectations fail)
 `)
 	os.Exit(2)
 }
@@ -90,6 +95,11 @@ func main() {
 		err = getAndPrint(*api + "/api/failovers")
 	case "placement":
 		err = getAndPrint(*api + "/api/placement")
+	case "run-scenario":
+		if len(args) != 2 {
+			usage()
+		}
+		err = runScenario(args[1])
 	default:
 		usage()
 	}
@@ -97,6 +107,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gnfctl:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario executes one scenario file against a fresh in-process
+// deployment on the virtual clock and prints the result.
+func runScenario(path string) error {
+	return scenario.Execute(path, os.Stdout)
 }
 
 // parseFn turns "firewall:policy=drop,rules=accept any udp" into an NFSpec.

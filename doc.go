@@ -6,11 +6,15 @@
 // routers, access points), and when a mobile client roams between cells
 // its NFs migrate with it, giving consistent, location-transparent service.
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduced evaluation):
+// The implementation lives under internal/ (see README.md for a guided
+// tour, DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation):
 //
 //   - internal/core     — the System façade assembling a full deployment,
-//     including GNFC cloud sites with WAN tunnels
+//     including GNFC cloud sites with WAN tunnels, plus the placement
+//     invariant auditor
+//   - internal/scenario — the deterministic scenario engine replaying the
+//     declarative specs under scenarios/ in virtual time
 //   - internal/manager  — placement policies, monitoring, roaming
 //     orchestration, station failover, cloud offload/recall
 //   - internal/agent    — per-station daemon: containers, veths, steering,

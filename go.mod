@@ -1,0 +1,3 @@
+module gnf
+
+go 1.24

@@ -20,6 +20,7 @@ package agent
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -441,7 +442,7 @@ func (a *Agent) Prefetch(images []string) error {
 	return nil
 }
 
-// Chains lists deployment names.
+// Chains lists deployment names, sorted.
 func (a *Agent) Chains() []string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -449,7 +450,17 @@ func (a *Agent) Chains() []string {
 	for name := range a.deployments {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
+}
+
+// ChainEnabled reports whether a deployed chain is currently forwarding.
+func (a *Agent) ChainEnabled(chain string) (bool, error) {
+	d, err := a.get(chain)
+	if err != nil {
+		return false, err
+	}
+	return d.host.Enabled(), nil
 }
 
 // ChainFunction exposes the live chain function (local callers only, e.g.

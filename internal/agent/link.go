@@ -37,13 +37,17 @@ func Connect(a *Agent, managerAddr string, interval time.Duration) (*Link, error
 		Station:     string(a.Station()),
 		MemoryBytes: a.Runtime().Capacity(),
 		Cloud:       a.Cloud(),
+		Chains:      a.Chains(),
 	}, nil); err != nil {
 		peer.Close()
 		return nil, err
 	}
-	// NF alerts and client events relay through the link.
+	// NF alerts relay as fire-and-forget notifications; client events ride
+	// a synchronous call so the handoff path only continues once the
+	// manager has recorded the (dis)connection — §3's notification with
+	// delivery-order guarantees, which roaming correctness depends on.
 	a.OnAlert(func(al Alert) { peer.Notify(MethodNFAlert, al) })
-	a.OnClientEvent(func(ev ClientEvent) { peer.Notify(MethodClientEvent, ev) })
+	a.OnClientEvent(func(ev ClientEvent) { peer.Call(MethodClientEvent, ev, nil) })
 
 	if interval <= 0 {
 		interval = reportEvery

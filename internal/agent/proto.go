@@ -95,6 +95,10 @@ type RegisterSpec struct {
 	// a WAN link, eligible for offload placement but not client
 	// association.
 	Cloud bool `json:"cloud,omitempty"`
+	// Chains lists deployments the agent already hosts (a rejoin after a
+	// management-plane outage); the manager garbage-collects any it has
+	// re-placed elsewhere meanwhile.
+	Chains []string `json:"chains,omitempty"`
 }
 
 // Report is the periodic health/resource report of §3 ("reporting

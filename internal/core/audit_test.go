@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// auditFixture brings up two stations with one attached client + chain.
+func auditFixture(t *testing.T) *System {
+	t.Helper()
+	sys, _, err := NewVirtualSystem(Config{
+		Stations: []StationConfig{
+			{ID: "st-a", Cells: []CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.AddClient("c0", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("c0", "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachChain("c0", manager.ChainSpec{
+		Name:      "ch",
+		Functions: []agent.NFSpec{{Kind: "counter", Name: "acct"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+	return sys
+}
+
+func kinds(vs []Violation) map[string]int {
+	out := map[string]int{}
+	for _, v := range vs {
+		out[v.Kind]++
+	}
+	return out
+}
+
+func TestAuditCleanDeployment(t *testing.T) {
+	sys := auditFixture(t)
+	if vs := sys.Audit(); len(vs) != 0 {
+		t.Fatalf("clean deployment reported violations: %v", vs)
+	}
+}
+
+func TestAuditDetectsLeakAndDuplicate(t *testing.T) {
+	sys := auditFixture(t)
+	// Deploy a second copy behind the manager's back: both a duplicate
+	// (two stations host "ch") and a leak (st-b isn't its placement).
+	if _, err := sys.Agent("st-b").Deploy(agent.DeploySpec{
+		Chain: "ch", Client: "c0",
+		Functions: []agent.NFSpec{{Kind: "counter", Name: "acct"}},
+		Enabled:   true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(sys.Audit())
+	if got[ViolationDuplicate] == 0 || got[ViolationLeak] == 0 {
+		t.Fatalf("want duplicate-deployment and chain-leak, got %v", got)
+	}
+}
+
+func TestAuditDetectsDisabledChain(t *testing.T) {
+	sys := auditFixture(t)
+	if err := sys.Agent("st-a").Disable("ch"); err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(sys.Audit())
+	if got[ViolationDisabled] == 0 {
+		t.Fatalf("want disabled-chain, got %v", got)
+	}
+}
+
+func TestAuditDetectsConvergenceBreach(t *testing.T) {
+	sys := auditFixture(t)
+	// Move the chain away from the client without telling the topology:
+	// the manager now places it on st-b while the client sits on st-a.
+	if _, err := sys.Manager.MigrateChain("c0", "ch", "st-b"); err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(sys.Audit())
+	if got[ViolationConvergence] == 0 {
+		t.Fatalf("want convergence violation, got %v", got)
+	}
+}
+
+// TestAuditAllowsSameChainNameAcrossClients: chain names are unique per
+// client, not globally — two clients holding same-named chains on
+// different stations is a legal, convergent deployment.
+func TestAuditAllowsSameChainNameAcrossClients(t *testing.T) {
+	sys := auditFixture(t) // c0 on st-a with chain "ch"
+	if err := sys.AddClient("c1", packet.MAC{2, 0, 0, 0, 0, 2}, packet.IP{10, 0, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("c1", "cell-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachChain("c1", manager.ChainSpec{
+		Name:      "ch", // same name as c0's chain, different client
+		Functions: []agent.NFSpec{{Kind: "counter", Name: "acct"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+	if vs := sys.Audit(); len(vs) != 0 {
+		t.Fatalf("same-named chains on two clients flagged: %v", vs)
+	}
+	// A station rejoin must not garbage-collect either copy: the other
+	// client's placement elsewhere is not evidence this copy is stale.
+	if err := sys.KillStation("st-b"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := sys.Manager.AgentHandleFor("st-b"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("manager never dropped st-b")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := sys.RestartStation("st-b"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+	if vs := sys.Audit(); len(vs) != 0 {
+		t.Fatalf("rejoin GC disturbed a healthy same-named chain: %v", vs)
+	}
+}
+
+func TestVirtualSystemRunsOnVirtualClock(t *testing.T) {
+	sys, clk, err := NewVirtualSystem(Config{
+		Stations: []StationConfig{
+			{ID: "st-a", Cells: []CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	before := clk.Now()
+	clk.Advance(42 * time.Second)
+	if got := sys.Clock.Now().Sub(before); got != 42*time.Second {
+		t.Fatalf("system clock moved %v, want 42s", got)
+	}
+}

@@ -150,6 +150,26 @@ func DefaultImages() []container.Image {
 	return imgs
 }
 
+// NewVirtualSystem brings a deployment up on a fresh auto-advancing
+// virtual clock and returns it alongside the System: every modeled cost
+// (container boot, image pull, link delay, migration downtime) becomes a
+// deterministic jump of simulated time with zero wall delay. Unless the
+// config says otherwise, periodic agent health reports are effectively
+// disabled — they ride real TCP timers and would inject wall-clock
+// nondeterminism into simulations.
+func NewVirtualSystem(cfg Config) (*System, *clock.Virtual, error) {
+	vc := clock.NewAutoVirtual()
+	cfg.Clock = vc
+	if cfg.ReportInterval == 0 {
+		cfg.ReportInterval = time.Hour
+	}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, vc, nil
+}
+
 // NewSystem brings a deployment up: repository, manager, stations (switch
 // + runtime + agent, each connected over TCP), topology and wiring hooks.
 func NewSystem(cfg Config) (*System, error) {

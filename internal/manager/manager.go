@@ -209,8 +209,27 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 		m.mu.Lock()
 		m.agents[spec.Station] = h
 		delete(m.failed, spec.Station) // a station may rejoin after failure
+		// Rejoin reconciliation: a station that kept its dataplane across a
+		// management-plane outage may still host chains the manager has
+		// since re-placed elsewhere (failover). Garbage-collect those
+		// orphans so the rejoining station converges to the manager's view.
+		var stale []string
+		for _, announced := range spec.Chains {
+			if !m.placedOnLocked(announced, spec.Station) {
+				stale = append(stale, announced)
+			}
+		}
 		m.mu.Unlock()
 		station = spec.Station
+		if len(stale) > 0 {
+			m.migrationWG.Add(1)
+			go func() {
+				defer m.migrationWG.Done()
+				for _, chain := range stale {
+					m.removeStaleChain(h, chain)
+				}
+			}()
+		}
 		return map[string]string{"status": "registered"}, nil
 	})
 	p.HandleNotify(agent.MethodReport, func(body json.RawMessage) {
@@ -228,18 +247,30 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 			h.mu.Unlock()
 		}
 	})
+	// Client events arrive as synchronous calls: the agent blocks its
+	// handoff path until the manager has applied the placement update, so
+	// events from concurrent stations apply in true handoff order and
+	// WaitIdle (armed inside applyClientEvent before the response) is
+	// sound. The reconciliation RPCs the event triggers run on their own
+	// goroutine, so responding here never deadlocks on this peer.
+	p.Handle(agent.MethodClientEvent, func(body json.RawMessage) (any, error) {
+		var ev agent.ClientEvent
+		if err := json.Unmarshal(body, &ev); err != nil {
+			return nil, err
+		}
+		m.applyClientEvent(ev)
+		return nil, nil
+	})
+	// Fire-and-forget notifications are still accepted (older agents); the
+	// state update runs inline on the read loop — it is lock-only, and the
+	// slow reconcile part is already asynchronous — preserving this
+	// connection's event order.
 	p.HandleNotify(agent.MethodClientEvent, func(body json.RawMessage) {
 		var ev agent.ClientEvent
 		if err := json.Unmarshal(body, &ev); err != nil {
 			return
 		}
-		// Handled on a fresh goroutine: migration issues calls back over
-		// this same peer, which would deadlock the read loop.
-		m.migrationWG.Add(1)
-		go func() {
-			defer m.migrationWG.Done()
-			m.handleClientEvent(ev)
-		}()
+		m.applyClientEvent(ev)
 	})
 	p.HandleNotify(agent.MethodNFAlert, func(body json.RawMessage) {
 		var al agent.Alert
@@ -275,6 +306,53 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 			}()
 		}
 	})
+}
+
+// placedOnLocked reports whether any client's placement puts a chain with
+// this name on the station. Chain names are only unique per client, so a
+// name may legitimately appear in several records; an announced copy is
+// stale only when no record places it here. Callers must hold m.mu.
+func (m *Manager) placedOnLocked(chain, station string) bool {
+	for _, rec := range m.clients {
+		if at, ok := rec.deployedOn[chain]; ok && at == station {
+			return true
+		}
+	}
+	return false
+}
+
+// removeStaleChain garbage-collects one chain a rejoining station
+// announced but no client places there. It serialises against roaming by
+// holding every referencing client's migration lock and re-checking the
+// placement before issuing the removal — a concurrent reconcile may have
+// just migrated the chain onto the rejoining station, in which case the
+// copy is no longer stale and must survive.
+func (m *Manager) removeStaleChain(h *AgentHandle, chain string) {
+	m.mu.Lock()
+	type owner struct {
+		client string
+		rec    *clientRec
+	}
+	var owners []owner
+	for client, rec := range m.clients {
+		if _, ok := rec.chains[chain]; ok {
+			owners = append(owners, owner{client, rec})
+		}
+	}
+	m.mu.Unlock()
+	// Global lock order (client name) so two concurrent rejoin GCs can
+	// never deadlock on overlapping owner sets.
+	sort.Slice(owners, func(i, j int) bool { return owners[i].client < owners[j].client })
+	for _, o := range owners {
+		o.rec.migMu.Lock()
+		defer o.rec.migMu.Unlock()
+	}
+	m.mu.Lock()
+	placedHere := m.placedOnLocked(chain, h.Station)
+	m.mu.Unlock()
+	if !placedHere {
+		h.call(agent.MethodRemove, agent.ChainRef{Chain: chain}, nil)
+	}
 }
 
 // agentFor resolves a station's handle.
@@ -324,6 +402,54 @@ func (m *Manager) Notifications() []agent.Alert {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]agent.Alert{}, m.notifications...)
+}
+
+// ChainPlacement is the manager's record of where one chain runs.
+type ChainPlacement struct {
+	Client  string `json:"client"`
+	Chain   string `json:"chain"`
+	Station string `json:"station"`
+	// Offload names the cloud site hosting the client's chains when the
+	// client is offloaded ("" at the edge).
+	Offload string `json:"offload,omitempty"`
+}
+
+// Placements snapshots where the manager believes every attached chain is
+// deployed, sorted by client then chain. The invariant auditor compares
+// this view against what agents actually host.
+func (m *Manager) Placements() []ChainPlacement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []ChainPlacement
+	for client, rec := range m.clients {
+		for name := range rec.chains {
+			out = append(out, ChainPlacement{
+				Client:  client,
+				Chain:   name,
+				Station: rec.deployedOn[name],
+				Offload: rec.offload,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].Chain < out[j].Chain
+	})
+	return out
+}
+
+// Clients lists registered client IDs, sorted.
+func (m *Manager) Clients() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.clients))
+	for c := range m.clients {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Migrations returns a copy of completed migration reports.

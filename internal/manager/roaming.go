@@ -140,10 +140,15 @@ func (m *Manager) Chains(client string) []ChainSpec {
 	return out
 }
 
-// handleClientEvent reacts to client (dis)connections pushed by agents:
-// this is the roaming trigger. When a client appears on a new station and
-// has chains deployed elsewhere, every chain migrates.
-func (m *Manager) handleClientEvent(ev agent.ClientEvent) {
+// applyClientEvent reacts to client (dis)connections pushed by agents:
+// this is the roaming trigger. The placement-state update happens
+// synchronously — before the agent's event call returns — so events apply
+// in the order the handoffs really occurred; the chain reconciliation that
+// a connection triggers runs on its own goroutine (it issues RPCs back to
+// agents) and is tracked by the migration WaitGroup, so WaitIdle observes
+// it. When a client appears on a new station and has chains deployed
+// elsewhere, every chain migrates.
+func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 	m.mu.Lock()
 	rec, ok := m.clients[ev.Client]
 	if !ok {
@@ -166,11 +171,15 @@ func (m *Manager) handleClientEvent(ev agent.ClientEvent) {
 	}
 	offloaded := rec.offload != ""
 	m.mu.Unlock()
-	if offloaded {
-		m.reconcileOffloaded(ev.Client, rec)
-		return
-	}
-	m.reconcileClient(ev.Client, rec)
+	m.migrationWG.Add(1)
+	go func() {
+		defer m.migrationWG.Done()
+		if offloaded {
+			m.reconcileOffloaded(ev.Client, rec)
+			return
+		}
+		m.reconcileClient(ev.Client, rec)
+	}()
 }
 
 // reconcileClient migrates the client's chains until every one of them

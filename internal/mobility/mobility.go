@@ -81,6 +81,14 @@ func NewWaypoint(topo *topology.Topology, w, h, speed float64, seed int64) *Wayp
 	}
 }
 
+// SetHysteresis overrides the association stickiness (default 5 m) so the
+// walker re-associates with the same margin as the rest of a simulation.
+func (wp *Waypoint) SetHysteresis(h float64) {
+	wp.mu.Lock()
+	wp.hysteresis = h
+	wp.mu.Unlock()
+}
+
 // Step advances every client by dt, re-associating as needed. It returns
 // the number of clients that changed cells (observable via topology
 // listeners too).

@@ -1,0 +1,49 @@
+package builtin_test
+
+import (
+	"reflect"
+	"testing"
+
+	"gnf/internal/nf"
+	"gnf/internal/nf/builtin"
+)
+
+// TestEveryKindRegisters checks that the blank imports actually populate
+// nf.Default with exactly the advertised kinds, and that each kind
+// instantiates with empty params.
+func TestEveryKindRegisters(t *testing.T) {
+	want := builtin.Kinds()
+	got := nf.Default.Kinds()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry kinds = %v, want %v", got, want)
+	}
+	// Minimal required configuration for kinds whose factories reject
+	// empty params.
+	params := map[string]nf.Params{
+		"dnslb": {"backends": "10.0.0.1,10.0.0.2"},
+		"nat":   {"nat_ip": "192.0.2.1"},
+	}
+	for _, kind := range want {
+		fn, err := nf.Default.New(kind, "t-"+kind, params[kind])
+		if err != nil {
+			t.Errorf("New(%q): %v", kind, err)
+			continue
+		}
+		if fn == nil {
+			t.Errorf("New(%q) returned nil function", kind)
+			continue
+		}
+		if fn.Kind() != kind {
+			t.Errorf("New(%q).Kind() = %q", kind, fn.Kind())
+		}
+		if fn.Name() != "t-"+kind {
+			t.Errorf("New(%q).Name() = %q, want %q", kind, fn.Name(), "t-"+kind)
+		}
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	if _, err := nf.Default.New("teleporter", "x", nil); err == nil {
+		t.Fatal("expected error for unregistered kind")
+	}
+}

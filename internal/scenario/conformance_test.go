@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// corpusDir is the scenario corpus at the repo root.
+const corpusDir = "../../scenarios"
+
+// TestScenarioConformance replays every scenario file in the corpus and
+// asserts its declared expectations and invariants. Each scenario then
+// runs a second time from the same spec: the two runs must agree on the
+// handoff count and produce identical canonical migration logs — the
+// engine's determinism contract. Everything executes in virtual time; the
+// only wall-clock spent is control-plane RPC on loopback.
+func TestScenarioConformance(t *testing.T) {
+	specs, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	required := map[string]bool{
+		"roaming": false, "failover": false, "chaining": false,
+		"cloud-offload": false, "density": false,
+	}
+	for _, sp := range specs {
+		if _, ok := required[sp.Name]; ok {
+			required[sp.Name] = true
+		}
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			first, err := RunSpec(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range first.Failures {
+				t.Errorf("expectation: %s", f)
+			}
+			if t.Failed() {
+				t.Logf("handoffs=%d migrations=%d failovers=%d final=%v",
+					first.Handoffs, len(first.Migrations), first.Failovers, first.FinalStations)
+				return
+			}
+
+			second, err := RunSpec(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if second.Handoffs != first.Handoffs {
+				t.Errorf("nondeterministic handoffs: first=%d second=%d", first.Handoffs, second.Handoffs)
+			}
+			if !reflect.DeepEqual(second.Migrations, first.Migrations) {
+				t.Errorf("nondeterministic migration log:\nfirst:  %+v\nsecond: %+v",
+					first.Migrations, second.Migrations)
+			}
+			if !reflect.DeepEqual(second.FinalStations, first.FinalStations) {
+				t.Errorf("nondeterministic final placement:\nfirst:  %v\nsecond: %v",
+					first.FinalStations, second.FinalStations)
+			}
+		})
+	}
+	for name, seen := range required {
+		if !seen {
+			t.Errorf("required scenario %q missing from %s", name, corpusDir)
+		}
+	}
+}
+
+// TestScenarioFilesValidate ensures every corpus file parses strictly (no
+// unknown fields) and passes structural validation with a non-empty
+// expectation block or script.
+func TestScenarioFilesValidate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("scenario corpus too small: %d files", len(paths))
+	}
+	for _, p := range paths {
+		if _, err := Load(p); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}

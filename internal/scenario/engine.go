@@ -1,0 +1,498 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/core"
+	"gnf/internal/manager"
+	"gnf/internal/mobility"
+	"gnf/internal/netem"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// Migration is one canonical migration-log entry: the placement move
+// stripped of measured durations, which is what two runs of the same seed
+// must reproduce byte-for-byte.
+type Migration struct {
+	Client   string `json:"client"`
+	Chain    string `json:"chain"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Strategy string `json:"strategy"`
+}
+
+// Result is everything a run produced.
+type Result struct {
+	Scenario string `json:"scenario"`
+	// Handoffs counts cell-to-cell association changes (first attaches
+	// and detaches excluded).
+	Handoffs int `json:"handoffs"`
+	// Migrations is the canonical migration log: settled after every
+	// script step, sorted within each step's batch, so the sequence is a
+	// deterministic function of the spec.
+	Migrations []Migration `json:"migrations"`
+	// FailedMigrations carries the error strings of migrations that did
+	// not complete.
+	FailedMigrations []string `json:"failed_migrations,omitempty"`
+	Failovers        int      `json:"failovers"`
+	// Violations is the final invariant audit (minus allowed kinds).
+	Violations []core.Violation `json:"violations,omitempty"`
+	// FinalStations maps every client to its station at scenario end
+	// ("" = unassociated).
+	FinalStations map[string]string `json:"final_stations"`
+	// VirtualElapsed is simulated time consumed by the run (rendered as a
+	// duration string, e.g. "12s", like every duration in scenario files).
+	VirtualElapsed Duration `json:"virtual_elapsed"`
+	// Failures lists unmet expectations; empty means the scenario passed.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Passed reports whether every declared expectation held.
+func (r *Result) Passed() bool { return len(r.Failures) == 0 }
+
+// Engine executes one Spec against a dedicated core.System on an
+// auto-advancing virtual clock. Engines are single-use: Run may be called
+// once.
+type Engine struct {
+	spec *Spec
+	sys  *core.System
+	clk  *clock.Virtual
+
+	start    time.Time
+	handoffs int
+	migSeen  int // migration reports already folded into the canonical log
+	result   *Result
+}
+
+// New validates the spec and brings the deployment up.
+func New(sp *Spec) (*Engine, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Strategy: manager.StrategyStateful,
+		Stations: make([]core.StationConfig, 0, len(sp.Stations)),
+		Clouds:   make([]core.CloudConfig, 0, len(sp.Clouds)),
+	}
+	if sp.Strategy != "" {
+		cfg.Strategy = manager.Strategy(sp.Strategy)
+	}
+	for _, st := range sp.Stations {
+		sc := core.StationConfig{
+			ID:          topology.StationID(st.ID),
+			MemoryBytes: st.MemoryBytes,
+			Position:    topology.Point{X: st.Position.X, Y: st.Position.Y},
+		}
+		for _, c := range st.Cells {
+			sc.Cells = append(sc.Cells, core.CellConfig{
+				ID:     topology.CellID(c.ID),
+				Center: topology.Point{X: c.Center.X, Y: c.Center.Y},
+				Radius: c.Radius,
+			})
+		}
+		cfg.Stations = append(cfg.Stations, sc)
+	}
+	for _, cl := range sp.Clouds {
+		cc := core.CloudConfig{ID: topology.StationID(cl.ID)}
+		if cl.DelayMs > 0 || cl.RateBps > 0 {
+			cc.WAN = netem.LinkParams{
+				Delay:   time.Duration(cl.DelayMs) * time.Millisecond,
+				RateBps: cl.RateBps,
+			}
+		}
+		cfg.Clouds = append(cfg.Clouds, cc)
+	}
+	sys, clk, err := core.NewVirtualSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{spec: sp, sys: sys, clk: clk, start: clk.Now()}
+	sys.Topo.OnAssociation(func(ev topology.AssociationEvent) {
+		if ev.From != "" && ev.To != "" {
+			e.handoffs++
+		}
+	})
+	return e, nil
+}
+
+// hysteresis returns the association stickiness in metres.
+func (e *Engine) hysteresis() float64 {
+	if e.spec.Hysteresis > 0 {
+		return e.spec.Hysteresis
+	}
+	return 5
+}
+
+// clientAddr derives deterministic addressing for client index i.
+func clientAddr(c Client, i int) (packet.MAC, packet.IP, error) {
+	mac := packet.MAC{2, 0, 0, 0, byte(i >> 8), byte(i)}
+	ip := packet.IP{10, 0, byte(i >> 8), byte(i + 1)}
+	if c.IP != "" {
+		parsed, ok := packet.ParseIP(c.IP)
+		if !ok {
+			return mac, ip, fmt.Errorf("scenario: client %s: bad ip %q", c.ID, c.IP)
+		}
+		ip = parsed
+	}
+	return mac, ip, nil
+}
+
+func toChainSpec(ch Chain) manager.ChainSpec {
+	spec := manager.ChainSpec{Name: ch.Name}
+	for i, fn := range ch.Functions {
+		name := fn.Name
+		if name == "" {
+			name = fmt.Sprintf("%s-%d", fn.Kind, i)
+		}
+		spec.Functions = append(spec.Functions, agent.NFSpec{
+			Kind: fn.Kind, Name: name, Params: fn.Params,
+		})
+	}
+	return spec
+}
+
+// settle waits for every in-flight reconciliation and folds the migrations
+// it produced into the canonical log. Client events are synchronous calls,
+// so by the time any scripted action returns the manager has recorded the
+// placement change and armed its reconcile work — WaitIdle observes all of
+// it without wall-clock sleeps.
+func (e *Engine) settle() {
+	e.sys.Manager.WaitIdle()
+	reports := e.sys.Manager.Migrations()
+	fresh := reports[e.migSeen:]
+	e.migSeen = len(reports)
+	batch := make([]Migration, 0, len(fresh))
+	for _, m := range fresh {
+		if m.Err != "" {
+			e.result.FailedMigrations = append(e.result.FailedMigrations,
+				fmt.Sprintf("%s/%s %s->%s: %s", m.Client, m.Chain, m.From, m.To, m.Err))
+			continue
+		}
+		batch = append(batch, Migration{
+			Client: m.Client, Chain: m.Chain,
+			From: m.From, To: m.To, Strategy: string(m.Strategy),
+		})
+	}
+	// Concurrent reconciles within one batch finish in arbitrary order;
+	// sorting the batch makes the log a function of the spec alone.
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		if a.Chain != b.Chain {
+			return a.Chain < b.Chain
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	e.result.Migrations = append(e.result.Migrations, batch...)
+}
+
+// await polls cond until it holds or the wall-clock deadline passes; it
+// exists only for transitions the control plane cannot confirm
+// synchronously (an agent's TCP teardown reaching the manager).
+func (e *Engine) await(what string, cond func() bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scenario %s: timed out waiting for %s", e.spec.Name, what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// Run executes the scenario and returns its result. The returned error
+// covers execution problems (bad references, RPC failures); unmet
+// expectations land in Result.Failures instead.
+func (e *Engine) Run() (*Result, error) {
+	if e.result != nil {
+		return nil, fmt.Errorf("scenario %s: engine already ran", e.spec.Name)
+	}
+	e.result = &Result{Scenario: e.spec.Name, FinalStations: map[string]string{}}
+	defer e.sys.Close()
+
+	// Deployment: clients placed, chains attached once associated.
+	for i, c := range e.spec.Clients {
+		mac, ip, err := clientAddr(c, i)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.sys.AddClient(topology.ClientID(c.ID), mac, ip); err != nil {
+			return nil, err
+		}
+		if c.At != nil {
+			if err := e.sys.Topo.MoveClient(topology.ClientID(c.ID),
+				topology.Point{X: c.At.X, Y: c.At.Y}, e.hysteresis()); err != nil {
+				return nil, err
+			}
+		}
+		for _, ch := range c.Chains {
+			if err := e.sys.AttachChain(topology.ClientID(c.ID), toChainSpec(ch)); err != nil {
+				return nil, fmt.Errorf("scenario %s: attach %s to %s: %w", e.spec.Name, ch.Name, c.ID, err)
+			}
+		}
+	}
+	e.settle()
+
+	for i, st := range e.spec.Script {
+		if target := e.start.Add(st.At.Std()); target.After(e.clk.Now()) {
+			e.clk.AdvanceTo(target)
+		}
+		if err := e.step(st); err != nil {
+			return nil, fmt.Errorf("scenario %s: step %d (%s): %w", e.spec.Name, i, st.Action, err)
+		}
+		e.settle()
+	}
+
+	e.finish()
+	return e.result, nil
+}
+
+// step dispatches one scripted action.
+func (e *Engine) step(st Step) error {
+	mgr := e.sys.Manager
+	switch st.Action {
+	case ActMove:
+		if st.To == nil {
+			return fmt.Errorf("move needs a destination")
+		}
+		return e.sys.Topo.MoveClient(topology.ClientID(st.Client),
+			topology.Point{X: st.To.X, Y: st.To.Y}, e.hysteresis())
+	case ActAttach:
+		return e.sys.Topo.Attach(topology.ClientID(st.Client), topology.CellID(st.Cell))
+	case ActDetach:
+		return e.sys.Topo.Detach(topology.ClientID(st.Client))
+	case ActAttachChain:
+		if st.Chain == nil {
+			return fmt.Errorf("attach-chain needs a chain")
+		}
+		return e.sys.AttachChain(topology.ClientID(st.Client), toChainSpec(*st.Chain))
+	case ActDetachChain:
+		return mgr.DetachChain(st.Client, st.ChainName)
+	case ActMigrate:
+		_, err := mgr.MigrateChain(st.Client, st.ChainName, st.Station)
+		return err
+	case ActWaypoint:
+		wp := mobility.NewWaypoint(e.sys.Topo, st.ArenaW, st.ArenaH, st.Speed, e.spec.Seed)
+		wp.SetHysteresis(e.hysteresis())
+		for r := 0; r < st.Rounds; r++ {
+			e.clk.Advance(st.Interval.Std())
+			wp.Step(st.Interval.Std())
+			// Settling every round keeps each round's migrations a
+			// deterministic batch and matches real pacing, where a
+			// mobility tick is aeons of control-plane time.
+			e.settle()
+		}
+		return nil
+	case ActKillStation:
+		if err := e.sys.KillStation(topology.StationID(st.Station)); err != nil {
+			return err
+		}
+		// The manager notices the death through TCP teardown; wait for
+		// the registry drop so subsequent steps see the failure.
+		return e.await("manager to drop "+st.Station, func() bool {
+			_, ok := mgr.AgentHandleFor(st.Station)
+			return !ok
+		})
+	case ActRestartStation:
+		return e.sys.RestartStation(topology.StationID(st.Station))
+	case ActCheckFailures:
+		mgr.CheckFailures()
+		return nil
+	case ActOffload:
+		return e.sys.OffloadClient(topology.ClientID(st.Client), topology.StationID(st.Site))
+	case ActRecall:
+		return e.sys.RecallClient(topology.ClientID(st.Client))
+	case ActSchedule:
+		now := e.clk.Now()
+		w := manager.Window{EnableAt: now.Add(st.EnableAfter.Std())}
+		if st.DisableAfter > 0 {
+			w.DisableAt = now.Add(st.DisableAfter.Std())
+		}
+		return mgr.Schedule(st.Client, st.ChainName, w)
+	case ActEvalSchedules:
+		mgr.EvaluateSchedules()
+		return nil
+	case ActSetStrategy:
+		mgr.SetStrategy(manager.Strategy(st.Strategy))
+		return nil
+	case ActSettle:
+		return nil // settle runs after every step anyway
+	}
+	return fmt.Errorf("unknown action %q", st.Action)
+}
+
+// finish audits invariants and evaluates expectations.
+func (e *Engine) finish() {
+	res, exp := e.result, e.spec.Expect
+	res.Handoffs = e.handoffs
+	res.VirtualElapsed = Duration(e.clk.Since(e.start))
+	for _, fo := range e.sys.Manager.Failovers() {
+		if fo.Err == "" {
+			res.Failovers++
+		} else {
+			res.Failures = append(res.Failures, "failed failover: "+fo.Err)
+		}
+	}
+	for _, c := range e.spec.Clients {
+		st, _ := e.sys.Manager.ClientStation(c.ID)
+		res.FinalStations[c.ID] = st
+	}
+
+	allowed := map[string]bool{}
+	for _, k := range exp.AllowViolations {
+		allowed[k] = true
+	}
+	for _, v := range e.sys.Audit() {
+		if !allowed[v.Kind] {
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	for _, v := range res.Violations {
+		res.Failures = append(res.Failures, "invariant: "+v.String())
+	}
+
+	if res.Handoffs < exp.MinHandoffs {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("handoffs: got %d, want >= %d", res.Handoffs, exp.MinHandoffs))
+	}
+	if len(res.Migrations) < exp.MinMigrations {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("migrations: got %d, want >= %d", len(res.Migrations), exp.MinMigrations))
+	}
+	if res.Failovers < exp.MinFailovers {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("failovers: got %d, want >= %d", res.Failovers, exp.MinFailovers))
+	}
+	if !exp.AllowFailedMigrations {
+		for _, f := range res.FailedMigrations {
+			res.Failures = append(res.Failures, "failed migration: "+f)
+		}
+	}
+	for _, client := range sortedKeys(exp.FinalStations) {
+		want := exp.FinalStations[client]
+		if got := res.FinalStations[client]; got != want {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("final station of %s: got %q, want %q", client, got, want))
+		}
+	}
+	for _, client := range sortedKeys(exp.Offloaded) {
+		want := exp.Offloaded[client]
+		if got := e.sys.Manager.Offloaded(client); got != want {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("offload site of %s: got %q, want %q", client, got, want))
+		}
+	}
+	for _, key := range sortedKeys2(exp.ChainEnabled) {
+		want := exp.ChainEnabled[key]
+		got, err := e.chainEnabled(key)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("chain_enabled %q: %v", key, err))
+			continue
+		}
+		if got != want {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("chain %s enabled: got %v, want %v", key, got, want))
+		}
+	}
+}
+
+// chainEnabled resolves a chain_enabled key ("chain" or "client/chain" —
+// chain names are only unique per client) to the hosted chain's
+// forwarding state. A bare name matching chains of several clients is an
+// error: the expectation would silently test an arbitrary one.
+func (e *Engine) chainEnabled(key string) (bool, error) {
+	client, chain, qualified := strings.Cut(key, "/")
+	if !qualified {
+		chain, client = key, ""
+	}
+	var matches []manager.ChainPlacement
+	for _, pl := range e.sys.Manager.Placements() {
+		if pl.Chain == chain && (client == "" || pl.Client == client) {
+			matches = append(matches, pl)
+		}
+	}
+	if len(matches) == 0 {
+		return false, fmt.Errorf("chain not attached to any client")
+	}
+	if len(matches) > 1 {
+		return false, fmt.Errorf("ambiguous: %d clients have a chain named %q, qualify as \"client/%s\"", len(matches), chain, chain)
+	}
+	pl := matches[0]
+	if pl.Station == "" {
+		return false, fmt.Errorf("chain not deployed anywhere")
+	}
+	ag := e.sys.Agent(topology.StationID(pl.Station))
+	if ag == nil {
+		return false, fmt.Errorf("chain placed on unknown station %s", pl.Station)
+	}
+	return ag.ChainEnabled(chain)
+}
+
+// Run loads, validates and executes the scenario at path.
+func Run(path string) (*Result, error) {
+	sp, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return RunSpec(sp)
+}
+
+// Execute runs the scenario at path and writes the indented result JSON
+// to w — the shared CLI entry point (gnfctl run-scenario, gnf-demo
+// -scenario). It returns an error when the run cannot execute or when
+// expectations went unmet, so callers can exit non-zero.
+func Execute(path string, w io.Writer) error {
+	res, err := Run(path)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, string(out))
+	if !res.Passed() {
+		return fmt.Errorf("scenario %s: %d expectation(s) failed", res.Scenario, len(res.Failures))
+	}
+	return nil
+}
+
+// RunSpec executes an in-memory spec.
+func RunSpec(sp *Spec) (*Result, error) {
+	e, err := New(sp)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,360 @@
+// Package scenario is GNF's deterministic scenario engine: declarative
+// JSON specs describe an edge deployment (stations and their cells, cloud
+// sites, clients and their NF chains), a script of timed actions (moves,
+// handoffs, station failures, offloads, schedules, random-waypoint
+// mobility), and the invariants the run must uphold. The engine executes a
+// spec against core.System on an auto-advancing virtual clock, so every
+// modeled latency is a jump of simulated time, runs are reproducible from
+// the spec's seed, and the conformance suite replays the whole corpus in
+// milliseconds of wall time.
+//
+// The format exists so that new placements, chains, and mobility patterns
+// are new data files, not new test code — see scenarios/ at the repo root
+// for the corpus mirroring the examples/ programs.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Duration is a time.Duration that (un)marshals as a Go duration string
+// ("150ms", "3s") so scenario files stay readable.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"3s\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Std returns the standard-library form.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Point is a position on the topology plane, in metres.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y,omitempty"`
+}
+
+// Cell is one coverage area of a station.
+type Cell struct {
+	ID     string  `json:"id"`
+	Center Point   `json:"center"`
+	Radius float64 `json:"radius"`
+}
+
+// Station is one GNF edge station.
+type Station struct {
+	ID          string `json:"id"`
+	MemoryBytes uint64 `json:"memory_bytes,omitempty"`
+	Position    Point  `json:"position,omitempty"`
+	Cells       []Cell `json:"cells"`
+}
+
+// Cloud is one GNFC cloud site reachable over an emulated WAN.
+type Cloud struct {
+	ID string `json:"id"`
+	// DelayMs is the one-way WAN delay (default 20ms).
+	DelayMs int `json:"delay_ms,omitempty"`
+	// RateBps is the WAN rate in bits/s (default 1 Gbit/s).
+	RateBps int64 `json:"rate_bps,omitempty"`
+}
+
+// Function is one NF of a chain, instantiated by kind from the registry.
+type Function struct {
+	Kind   string            `json:"kind"`
+	Name   string            `json:"name,omitempty"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Chain is a named NF chain.
+type Chain struct {
+	Name      string     `json:"name"`
+	Functions []Function `json:"functions"`
+}
+
+// Client is one mobile client. MAC and IP addressing is assigned
+// deterministically from the client's index; IP may be overridden.
+type Client struct {
+	ID string `json:"id"`
+	IP string `json:"ip,omitempty"`
+	// At places the client before the script runs (omitted = start
+	// unassociated; required when Chains are declared, since the manager
+	// only deploys chains for an attached client).
+	At *Point `json:"at,omitempty"`
+	// Chains are attached at deployment, right after the client's initial
+	// placement. Attach chains to a late-joining client with the
+	// attach-chain script action instead.
+	Chains []Chain `json:"chains,omitempty"`
+}
+
+// Step is one scripted action. At is the virtual-time offset from scenario
+// start at which the action runs; the engine advances the virtual clock to
+// it (steps must be listed in non-decreasing At order).
+type Step struct {
+	At     Duration `json:"at,omitempty"`
+	Action string   `json:"action"`
+
+	Client  string `json:"client,omitempty"`
+	Cell    string `json:"cell,omitempty"`
+	To      *Point `json:"to,omitempty"`
+	Station string `json:"station,omitempty"`
+	Site    string `json:"site,omitempty"`
+
+	Chain     *Chain `json:"chain,omitempty"`      // attach-chain
+	ChainName string `json:"chain_name,omitempty"` // detach-chain, migrate, schedule
+
+	// waypoint parameters.
+	Rounds   int      `json:"rounds,omitempty"`
+	Interval Duration `json:"interval,omitempty"`
+	Speed    float64  `json:"speed,omitempty"`
+	ArenaW   float64  `json:"arena_w,omitempty"`
+	ArenaH   float64  `json:"arena_h,omitempty"`
+
+	// schedule window, relative to the step's virtual time.
+	EnableAfter  Duration `json:"enable_after,omitempty"`
+	DisableAfter Duration `json:"disable_after,omitempty"`
+
+	Strategy string `json:"strategy,omitempty"` // set-strategy
+}
+
+// Actions understood by the engine.
+const (
+	ActMove           = "move"            // move Client to To (re-associates by coverage)
+	ActAttach         = "attach"          // force Client onto Cell
+	ActDetach         = "detach"          // disassociate Client
+	ActAttachChain    = "attach-chain"    // attach Chain to Client
+	ActDetachChain    = "detach-chain"    // detach ChainName from Client
+	ActMigrate        = "migrate"         // move ChainName of Client to Station
+	ActWaypoint       = "waypoint"        // Rounds random-waypoint steps of Interval at Speed
+	ActKillStation    = "kill-station"    // drop Station's management link
+	ActRestartStation = "restart-station" // reconnect Station's agent
+	ActCheckFailures  = "check-failures"  // run the manager's failure scan
+	ActOffload        = "offload"         // move Client's chains to cloud Site
+	ActRecall         = "recall"          // bring Client's chains back to the edge
+	ActSchedule       = "schedule"        // window ChainName of Client
+	ActEvalSchedules  = "eval-schedules"  // apply activation windows at current virtual time
+	ActSetStrategy    = "set-strategy"    // switch migration Strategy
+	ActSettle         = "settle"          // wait for in-flight work (implicit after every step)
+)
+
+// Expect declares the outcome a run must satisfy.
+type Expect struct {
+	MinHandoffs   int `json:"min_handoffs,omitempty"`
+	MinMigrations int `json:"min_migrations,omitempty"`
+	MinFailovers  int `json:"min_failovers,omitempty"`
+	// FinalStations pins clients to stations at scenario end.
+	FinalStations map[string]string `json:"final_stations,omitempty"`
+	// Offloaded pins clients to cloud sites at scenario end.
+	Offloaded map[string]string `json:"offloaded,omitempty"`
+	// ChainEnabled pins a chain's forwarding state at scenario end
+	// (activation-schedule scenarios). Keys are chain names, optionally
+	// client-qualified as "client/chain" — required when two clients
+	// declare same-named chains, since bare names are only unique per
+	// client.
+	ChainEnabled map[string]bool `json:"chain_enabled,omitempty"`
+	// AllowViolations lists audit violation kinds tolerated at scenario
+	// end (e.g. disabled-chain when a schedule window is closed).
+	AllowViolations []string `json:"allow_violations,omitempty"`
+	// AllowFailedMigrations tolerates migration reports carrying errors
+	// (default: any failed migration fails the scenario).
+	AllowFailedMigrations bool `json:"allow_failed_migrations,omitempty"`
+}
+
+// Spec is one complete scenario file.
+type Spec struct {
+	Name        string    `json:"name"`
+	Description string    `json:"description,omitempty"`
+	Seed        int64     `json:"seed"`
+	Strategy    string    `json:"strategy,omitempty"`   // cold | stateful (default)
+	Hysteresis  float64   `json:"hysteresis,omitempty"` // metres (default 5)
+	Stations    []Station `json:"stations"`
+	Clouds      []Cloud   `json:"clouds,omitempty"`
+	Clients     []Client  `json:"clients"`
+	Script      []Step    `json:"script,omitempty"`
+	Expect      Expect    `json:"expect"`
+}
+
+// Validate checks structural consistency before a run: unique IDs, known
+// references, monotonic script times.
+func (sp *Spec) Validate() error {
+	if sp.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(sp.Stations) == 0 {
+		return fmt.Errorf("scenario %s: no stations", sp.Name)
+	}
+	if !validStrategy(sp.Strategy, true) {
+		return fmt.Errorf("scenario %s: unknown strategy %q (want cold or stateful)", sp.Name, sp.Strategy)
+	}
+	stations := map[string]bool{}
+	cells := map[string]bool{}
+	for _, st := range sp.Stations {
+		if st.ID == "" {
+			return fmt.Errorf("scenario %s: station with empty id", sp.Name)
+		}
+		if stations[st.ID] {
+			return fmt.Errorf("scenario %s: duplicate station %s", sp.Name, st.ID)
+		}
+		stations[st.ID] = true
+		for _, c := range st.Cells {
+			if cells[c.ID] {
+				return fmt.Errorf("scenario %s: duplicate cell %s", sp.Name, c.ID)
+			}
+			if c.Radius <= 0 {
+				return fmt.Errorf("scenario %s: cell %s has no coverage radius", sp.Name, c.ID)
+			}
+			cells[c.ID] = true
+		}
+	}
+	sites := map[string]bool{}
+	for _, cl := range sp.Clouds {
+		if stations[cl.ID] || sites[cl.ID] {
+			return fmt.Errorf("scenario %s: duplicate site %s", sp.Name, cl.ID)
+		}
+		sites[cl.ID] = true
+	}
+	clients := map[string]bool{}
+	for _, c := range sp.Clients {
+		if c.ID == "" {
+			return fmt.Errorf("scenario %s: client with empty id", sp.Name)
+		}
+		if clients[c.ID] {
+			return fmt.Errorf("scenario %s: duplicate client %s", sp.Name, c.ID)
+		}
+		if len(c.Chains) > 0 && c.At == nil {
+			return fmt.Errorf("scenario %s: client %s declares chains but no initial position (\"at\"); use the attach-chain action for late joiners", sp.Name, c.ID)
+		}
+		clients[c.ID] = true
+	}
+	last := Duration(0)
+	for i, st := range sp.Script {
+		if st.At < last {
+			return fmt.Errorf("scenario %s: script step %d goes back in time (%s < %s)",
+				sp.Name, i, st.At.Std(), last.Std())
+		}
+		last = st.At
+		switch st.Action {
+		case ActMove, ActAttach, ActDetach, ActAttachChain, ActDetachChain,
+			ActMigrate, ActWaypoint, ActKillStation, ActRestartStation,
+			ActCheckFailures, ActOffload, ActRecall, ActSchedule,
+			ActEvalSchedules, ActSetStrategy, ActSettle:
+		default:
+			return fmt.Errorf("scenario %s: script step %d has unknown action %q", sp.Name, i, st.Action)
+		}
+		if needsClient(st.Action) && !clients[st.Client] {
+			return fmt.Errorf("scenario %s: step %d (%s) references unknown client %q",
+				sp.Name, i, st.Action, st.Client)
+		}
+		switch st.Action {
+		case ActKillStation, ActRestartStation:
+			if !stations[st.Station] {
+				return fmt.Errorf("scenario %s: step %d references unknown station %q", sp.Name, i, st.Station)
+			}
+		case ActMigrate:
+			if !stations[st.Station] && !sites[st.Station] {
+				return fmt.Errorf("scenario %s: step %d references unknown station %q", sp.Name, i, st.Station)
+			}
+		case ActOffload:
+			if !sites[st.Site] {
+				return fmt.Errorf("scenario %s: step %d references unknown cloud site %q", sp.Name, i, st.Site)
+			}
+		case ActAttach:
+			if !cells[st.Cell] {
+				return fmt.Errorf("scenario %s: step %d references unknown cell %q", sp.Name, i, st.Cell)
+			}
+		case ActWaypoint:
+			if st.Rounds <= 0 || st.Speed <= 0 || st.Interval <= 0 {
+				return fmt.Errorf("scenario %s: step %d waypoint needs rounds, speed and interval", sp.Name, i)
+			}
+			if st.ArenaW <= 0 {
+				return fmt.Errorf("scenario %s: step %d waypoint needs arena_w > 0 (arena_h 0 means a 1D corridor)", sp.Name, i)
+			}
+		case ActSetStrategy:
+			if !validStrategy(st.Strategy, false) {
+				return fmt.Errorf("scenario %s: step %d set-strategy needs cold or stateful, got %q", sp.Name, i, st.Strategy)
+			}
+		}
+	}
+	return nil
+}
+
+// validStrategy accepts the spec-facing migration strategies; a typo'd
+// value would otherwise silently fall back to cold migration in the
+// manager and test nothing.
+func validStrategy(s string, allowEmpty bool) bool {
+	switch s {
+	case "cold", "stateful":
+		return true
+	case "":
+		return allowEmpty
+	}
+	return false
+}
+
+func needsClient(action string) bool {
+	switch action {
+	case ActMove, ActAttach, ActDetach, ActAttachChain, ActDetachChain,
+		ActMigrate, ActOffload, ActRecall, ActSchedule:
+		return true
+	}
+	return false
+}
+
+// Load reads and validates one scenario file.
+func Load(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sp Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &sp, nil
+}
+
+// LoadDir loads every *.json scenario under dir, sorted by filename.
+func LoadDir(dir string) ([]*Spec, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario: no scenario files under %s", dir)
+	}
+	specs := make([]*Spec, 0, len(paths))
+	for _, p := range paths {
+		sp, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}

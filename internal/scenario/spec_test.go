@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func base() *Spec {
+	return &Spec{
+		Name: "t",
+		Stations: []Station{
+			{ID: "st-a", Cells: []Cell{{ID: "cell-a", Center: Point{X: 0}, Radius: 50}}},
+		},
+		Clients: []Client{{ID: "c0", At: &Point{X: 0}}},
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "missing name"},
+		{"no stations", func(s *Spec) { s.Stations = nil }, "no stations"},
+		{"dup station", func(s *Spec) { s.Stations = append(s.Stations, s.Stations[0]) }, "duplicate station"},
+		{"zero radius", func(s *Spec) { s.Stations[0].Cells[0].Radius = 0 }, "no coverage radius"},
+		{"dup client", func(s *Spec) { s.Clients = append(s.Clients, s.Clients[0]) }, "duplicate client"},
+		{"unknown action", func(s *Spec) { s.Script = []Step{{Action: "explode"}} }, "unknown action"},
+		{"unknown client ref", func(s *Spec) { s.Script = []Step{{Action: ActMove, Client: "ghost", To: &Point{}}} }, "unknown client"},
+		{"unknown cell ref", func(s *Spec) { s.Script = []Step{{Action: ActAttach, Client: "c0", Cell: "nowhere"}} }, "unknown cell"},
+		{"unknown station ref", func(s *Spec) { s.Script = []Step{{Action: ActKillStation, Station: "ghost"}} }, "unknown station"},
+		{"unknown site ref", func(s *Spec) { s.Script = []Step{{Action: ActOffload, Client: "c0", Site: "ghost"}} }, "unknown cloud site"},
+		{"time reversal", func(s *Spec) {
+			s.Script = []Step{
+				{At: Duration(2 * time.Second), Action: ActSettle},
+				{At: Duration(time.Second), Action: ActSettle},
+			}
+		}, "back in time"},
+		{"waypoint params", func(s *Spec) { s.Script = []Step{{Action: ActWaypoint}} }, "waypoint needs"},
+		{"waypoint arena", func(s *Spec) {
+			s.Script = []Step{{Action: ActWaypoint, Rounds: 1, Speed: 1, Interval: Duration(time.Second)}}
+		}, "arena_w"},
+		{"typo'd strategy", func(s *Spec) { s.Strategy = "statefull" }, "unknown strategy"},
+		{"set-strategy without value", func(s *Spec) { s.Script = []Step{{Action: ActSetStrategy}} }, "set-strategy needs"},
+		{"chains without position", func(s *Spec) {
+			s.Clients[0].At = nil
+			s.Clients[0].Chains = []Chain{{Name: "ch", Functions: []Function{{Kind: "counter"}}}}
+		}, "no initial position"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := base()
+			tc.mut(sp)
+			err := sp.Validate()
+			if err == nil {
+				t.Fatalf("validation passed, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base spec should validate: %v", err)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x","statoins":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected unknown-field error")
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"150ms"`)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Std() != 150*time.Millisecond {
+		t.Fatalf("got %v", d.Std())
+	}
+	if err := d.UnmarshalJSON([]byte(`"fast"`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if err := d.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Fatal("expected type error")
+	}
+	b, err := Duration(3 * time.Second).MarshalJSON()
+	if err != nil || string(b) != `"3s"` {
+		t.Fatalf("marshal: %s, %v", b, err)
+	}
+}
+
+// TestEngineReportsUnmetExpectations checks that a run with impossible
+// expectations fails loudly rather than erroring out.
+func TestEngineReportsUnmetExpectations(t *testing.T) {
+	sp := base()
+	sp.Clients[0].Chains = []Chain{{Name: "ch", Functions: []Function{{Kind: "counter"}}}}
+	sp.Expect = Expect{
+		MinHandoffs:   99,
+		FinalStations: map[string]string{"c0": "st-zz"},
+	}
+	res, err := RunSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("impossible expectations reported as passed")
+	}
+	joined := strings.Join(res.Failures, "\n")
+	for _, want := range []string{"handoffs: got 0, want >= 99", `final station of c0: got "st-a", want "st-zz"`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("failures missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestEngineSingleUse ensures Run refuses a second invocation.
+func TestEngineSingleUse(t *testing.T) {
+	e, err := New(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
