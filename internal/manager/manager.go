@@ -261,10 +261,12 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 		m.applyClientEvent(ev)
 		return nil, nil
 	})
-	// Fire-and-forget notifications are still accepted (older agents); the
-	// state update runs inline on the read loop — it is lock-only, and the
-	// slow reconcile part is already asynchronous — preserving this
-	// connection's event order.
+	// Fire-and-forget notifications are still accepted (older agents).
+	// They run on the peer's notify dispatcher: this connection's event
+	// order is preserved, but the path is best-effort — under sustained
+	// overload the wire layer drops the oldest pending notifications.
+	// Reliable, ordered delivery is what the synchronous call path above
+	// provides; current agents use it for every client event.
 	p.HandleNotify(agent.MethodClientEvent, func(body json.RawMessage) {
 		var ev agent.ClientEvent
 		if err := json.Unmarshal(body, &ev); err != nil {

@@ -1,0 +1,102 @@
+package netem
+
+import (
+	"sync"
+
+	"gnf/internal/packet"
+)
+
+// Flow cache sizing. Shard count is a power of two (mask selection);
+// flowCacheShardCap bounds each shard's map, so total cache memory is
+// O(flowCacheShards * flowCacheShardCap) regardless of how many distinct
+// flows pass through.
+const (
+	flowCacheShards   = 16
+	flowCacheShardCap = 2048
+)
+
+// flowCacheKey identifies a cached steering verdict: the arrival port plus
+// everything a Match can inspect (packet.FlowKey). Equal keys are
+// indistinguishable to the rule table, so caching per key is sound.
+type flowCacheKey struct {
+	in PortID
+	fk packet.FlowKey
+}
+
+// flowCacheEntry is one cached verdict, stamped with the control-plane
+// generation it was computed against. Any table mutation bumps the
+// switch's generation, which invalidates every older entry at lookup time
+// — there is no eager flush, stale entries simply stop matching.
+type flowCacheEntry struct {
+	gen    uint64
+	action Action
+	out    PortID
+}
+
+// flowCache is a bounded, sharded verdict cache. Hits take one shard read
+// lock and one map probe — no rule scan, no table mutex. Eviction is by
+// epoch: a shard that reaches capacity is wiped and repopulated by the
+// traffic that still flows, which is O(1) amortised and keeps the hot
+// working set resident.
+type flowCache struct {
+	shards [flowCacheShards]flowCacheShard
+}
+
+type flowCacheShard struct {
+	mu sync.RWMutex
+	m  map[flowCacheKey]flowCacheEntry
+	// Pad shards apart (see fdbShard): adjacent reader locks must not
+	// share a cache line.
+	_ [96]byte
+}
+
+func newFlowCache() *flowCache {
+	c := &flowCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[flowCacheKey]flowCacheEntry)
+	}
+	return c
+}
+
+// shard picks a shard by the key's full-avalanche hash (folding in the
+// arrival port), so flows differing in any field spread instead of
+// piling onto one shard's lock.
+func (c *flowCache) shard(k flowCacheKey) *flowCacheShard {
+	h := k.fk.Hash() ^ uint64(k.in)*0x9e3779b97f4a7c15
+	return &c.shards[h&(flowCacheShards-1)]
+}
+
+// lookup returns the cached verdict for k if it was computed against
+// generation gen.
+func (c *flowCache) lookup(k flowCacheKey, gen uint64) (Action, PortID, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	e, ok := s.m[k]
+	s.mu.RUnlock()
+	if !ok || e.gen != gen {
+		return ActionNormal, 0, false
+	}
+	return e.action, e.out, true
+}
+
+// insert records a verdict computed against generation gen.
+func (c *flowCache) insert(k flowCacheKey, gen uint64, a Action, out PortID) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if len(s.m) >= flowCacheShardCap {
+		s.m = make(map[flowCacheKey]flowCacheEntry, flowCacheShardCap/4)
+	}
+	s.m[k] = flowCacheEntry{gen: gen, action: a, out: out}
+	s.mu.Unlock()
+}
+
+func (c *flowCache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"context"
 	"sync"
 
 	"gnf/internal/packet"
@@ -119,8 +120,19 @@ func (h *Host) SendUDP(dst packet.Endpoint, srcPort uint16, payload []byte) erro
 }
 
 // Ping sends an ICMP echo request; the returned channel closes when the
-// matching reply arrives.
+// matching reply arrives. An unanswered echo's bookkeeping lives until a
+// reply with the same id/seq shows up — callers expecting loss should use
+// PingCtx with a deadline so the wait is reclaimed.
 func (h *Host) Ping(dst packet.IP, id, seq uint16) (<-chan struct{}, error) {
+	return h.PingCtx(context.Background(), dst, id, seq)
+}
+
+// PingCtx is Ping with a cancellation path: when ctx ends before the
+// reply arrives, the pending-reply entry is reclaimed, so echoes lost on
+// the wire cannot grow the wait table without bound. A reply racing the
+// cancellation may still close the returned channel; once the entry is
+// reclaimed it never will.
+func (h *Host) PingCtx(ctx context.Context, dst packet.IP, id, seq uint16) (<-chan struct{}, error) {
 	key := uint32(id)<<16 | uint32(seq)
 	ch := make(chan struct{})
 	h.pingMu.Lock()
@@ -128,9 +140,39 @@ func (h *Host) Ping(dst packet.IP, id, seq uint16) (<-chan struct{}, error) {
 	h.pingMu.Unlock()
 	frame := packet.BuildICMPEcho(h.MACAddr, h.Resolve(dst), h.IPAddr, dst, packet.ICMPEchoRequest, id, seq, []byte("gnf-ping"))
 	if err := h.Endpoint().Send(frame); err != nil {
+		h.unwait(key, ch)
 		return nil, err
 	}
+	if done := ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-ch:
+			case <-done:
+				h.unwait(key, ch)
+			}
+		}()
+	}
 	return ch, nil
+}
+
+// unwait removes a pending-ping entry, but only if it is still the one
+// this caller registered — a later Ping reusing the same id/seq replaces
+// the map entry, and cleaning up the old wait must not tear down the new
+// one.
+func (h *Host) unwait(key uint32, ch chan struct{}) {
+	h.pingMu.Lock()
+	if cur, ok := h.pingWaits[key]; ok && cur == ch {
+		delete(h.pingWaits, key)
+	}
+	h.pingMu.Unlock()
+}
+
+// PendingPings reports the number of echoes awaiting replies (leak
+// visibility for tests and operators).
+func (h *Host) PendingPings() int {
+	h.pingMu.Lock()
+	defer h.pingMu.Unlock()
+	return len(h.pingWaits)
 }
 
 // input is the host's receive path.
@@ -141,7 +183,8 @@ func (h *Host) input(frame []byte) {
 	if tap != nil {
 		tap(frame)
 	}
-	var p packet.Parser
+	p := packet.BorrowParser()
+	defer packet.ReturnParser(p)
 	if err := p.Parse(frame); err != nil {
 		return
 	}
@@ -153,9 +196,9 @@ func (h *Host) input(frame []byte) {
 	case p.Has(packet.LayerARP):
 		h.handleARP(&p.ARP)
 	case p.Has(packet.LayerICMP):
-		h.handleICMP(&p)
+		h.handleICMP(p)
 	case p.Has(packet.LayerUDP):
-		h.handleUDP(&p)
+		h.handleUDP(p)
 	}
 }
 

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -125,4 +126,78 @@ func TestHostTap(t *testing.T) {
 		t.Fatal("tap saw nothing")
 	}
 	hb.Tap(nil) // removable
+}
+
+// TestPingCtxCleansUpUnansweredEchoes is the regression test for the
+// pingWaits leak: every echo lost on the wire used to leave a wait-table
+// entry behind forever.
+func TestPingCtxCleansUpUnansweredEchoes(t *testing.T) {
+	ha, _, _ := twoHosts(t)
+	const lost = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < lost; i++ {
+		// 10.0.0.99 has no host behind it: these echoes never come back.
+		if _, err := ha.PingCtx(ctx, ip(99), 9, uint16(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ha.PendingPings(); n != lost {
+		t.Fatalf("pending pings = %d, want %d", n, lost)
+	}
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for ha.PendingPings() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("pending pings = %d after cancel, want 0", ha.PendingPings())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TestPingCtxTimeoutThenLateReplyIgnored: after the context deadline
+// reclaims the wait, a late reply must not close anything or re-grow the
+// table.
+func TestPingCtxTimeoutThenLateReplyIgnored(t *testing.T) {
+	ha, hb, _ := twoHosts(t)
+	_ = hb // hb answers echoes addressed to it
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	ch, err := ha.PingCtx(ctx, ip(2), 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for ha.PendingPings() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("expired ping wait never reclaimed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// The reply may still arrive; it must be ignored, and the original
+	// channel may or may not have been closed before the deadline hit —
+	// but the table must stay empty.
+	time.Sleep(50 * time.Millisecond)
+	if n := ha.PendingPings(); n != 0 {
+		t.Fatalf("pending pings = %d after late reply, want 0", n)
+	}
+	select {
+	case <-ch:
+		// Closed before the deadline won the race: acceptable.
+	default:
+	}
+}
+
+// TestPingSendErrorDoesNotLeak: a send failure must remove the wait entry
+// it just created.
+func TestPingSendErrorDoesNotLeak(t *testing.T) {
+	ha, _, _ := twoHosts(t)
+	ha.Endpoint().Close()
+	if _, err := ha.Ping(ip(2), 12, 1); err == nil {
+		t.Fatal("ping on closed endpoint succeeded")
+	}
+	if n := ha.PendingPings(); n != 0 {
+		t.Fatalf("pending pings = %d after send error, want 0", n)
+	}
 }

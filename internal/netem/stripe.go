@@ -1,0 +1,38 @@
+package netem
+
+import "sync/atomic"
+
+// counterStripes is the cell count of a stripedCounter (power of two).
+const counterStripes = 16
+
+// stripedCounter spreads hot-path increments across cache-line-padded
+// cells so concurrent ports don't serialise on one counter line — a
+// shared atomic.Uint64 becomes the scaling bottleneck of the forwarding
+// pipeline once the table mutex is gone. Reads sum the cells; they are
+// monotonic but not a point-in-time snapshot, which is all a statistics
+// counter needs.
+type stripedCounter struct {
+	cells [counterStripes]counterCell
+}
+
+type counterCell struct {
+	n atomic.Uint64
+	// Pad past a full cache line (the array is not guaranteed to start
+	// line-aligned, and adjacent-line prefetchers pair lines).
+	_ [120]byte
+}
+
+// Inc increments the cell selected by stripe (callers pass something
+// stable per concurrent context, e.g. the arrival port).
+func (c *stripedCounter) Inc(stripe uint) {
+	c.cells[stripe&(counterStripes-1)].n.Add(1)
+}
+
+// Load returns the sum of all cells.
+func (c *stripedCounter) Load() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}

@@ -42,6 +42,11 @@ func (a Action) String() string {
 // Match selects frames for a steering rule. Nil fields are wildcards. The
 // shape mirrors what GNF programs into the station's software switch: match
 // a client's traffic subset, leave everything else untouched.
+//
+// Every field a Match can inspect is captured by packet.FlowKey — that
+// property is what lets the switch cache verdicts per flow. A new match
+// field must be added to FlowKey too, or cached verdicts would leak
+// across flows the new field distinguishes.
 type Match struct {
 	InPort    *PortID
 	SrcMAC    *packet.MAC
@@ -115,22 +120,75 @@ type Rule struct {
 	OutPort  PortID // for ActionRedirect
 }
 
+// swState is the immutable control-plane snapshot the forwarding fast
+// path reads: ports, steering rules (sorted), and pinned MACs. Mutators
+// clone it, edit the clone, bump gen, and publish it atomically, so the
+// per-frame pipeline never takes a lock to read any of this.
+type swState struct {
+	gen    uint64
+	ports  map[PortID]*swPort
+	pinned map[packet.MAC]PortID
+	rules  []Rule // sorted: higher priority first, then lower ID
+	// flood is the precomputed flood set (non-service ports); the fast
+	// path only has to skip the arrival port.
+	flood []*swPort
+}
+
+// clone deep-copies the maps and the rule slice; *swPort values are
+// themselves immutable after attach, so they are shared.
+func (st *swState) clone() *swState {
+	next := &swState{
+		gen:    st.gen,
+		ports:  make(map[PortID]*swPort, len(st.ports)),
+		pinned: make(map[packet.MAC]PortID, len(st.pinned)),
+		rules:  append([]Rule(nil), st.rules...),
+	}
+	for id, p := range st.ports {
+		next.ports[id] = p
+	}
+	for mac, port := range st.pinned {
+		next.pinned[mac] = port
+	}
+	return next
+}
+
+// refreshFlood recomputes the flood set after port changes.
+func (st *swState) refreshFlood() {
+	st.flood = st.flood[:0]
+	for _, sp := range st.ports {
+		if !sp.service {
+			st.flood = append(st.flood, sp)
+		}
+	}
+}
+
 // Switch is an L2 learning switch with a priority steering table, the
 // emulation of the OVS instance on every GNF station.
+//
+// Forwarding is a read-mostly fast path: control-plane state lives in an
+// immutable snapshot behind an atomic pointer (copy-on-write updates),
+// steering verdicts are cached per flow with generation-stamped entries,
+// and MAC learning goes through a sharded FDB — the per-frame pipeline
+// takes no global lock, so concurrent ports forward in parallel.
 type Switch struct {
 	name string
 
-	mu     sync.RWMutex
-	ports  map[PortID]*swPort
-	fdb    map[packet.MAC]PortID
-	pinned map[packet.MAC]PortID
-	rules  []Rule
+	ctrl   sync.Mutex // serialises control-plane mutations only
 	nextID int
 
-	rxFrames  atomic.Uint64
-	dropped   atomic.Uint64
-	flooded   atomic.Uint64
-	redirects atomic.Uint64
+	state atomic.Pointer[swState]
+	fdb   *fdbTable
+	cache *flowCache
+
+	// Per-frame counters are striped by arrival port: with the table
+	// mutex gone, shared counter cache lines would be the next point of
+	// serialisation.
+	rxFrames    stripedCounter
+	dropped     stripedCounter
+	flooded     stripedCounter
+	redirects   stripedCounter
+	cacheHits   stripedCounter
+	cacheMisses stripedCounter
 }
 
 type swPort struct {
@@ -141,12 +199,29 @@ type swPort struct {
 
 // NewSwitch creates an empty switch.
 func NewSwitch(name string) *Switch {
-	return &Switch{
-		name:   name,
-		ports:  make(map[PortID]*swPort),
-		fdb:    make(map[packet.MAC]PortID),
-		pinned: make(map[packet.MAC]PortID),
+	s := &Switch{
+		name:  name,
+		fdb:   newFDBTable(),
+		cache: newFlowCache(),
 	}
+	s.state.Store(&swState{
+		ports:  make(map[PortID]*swPort),
+		pinned: make(map[packet.MAC]PortID),
+	})
+	return s
+}
+
+// mutate applies one copy-on-write control-plane update: clone the
+// current snapshot, edit it, bump the generation (invalidating every
+// cached flow verdict), publish.
+func (s *Switch) mutate(edit func(st *swState)) {
+	s.ctrl.Lock()
+	defer s.ctrl.Unlock()
+	next := s.state.Load().clone()
+	edit(next)
+	next.refreshFlood()
+	next.gen++
+	s.state.Store(next)
 }
 
 // PinMAC installs a sticky FDB entry that dynamic learning cannot
@@ -154,19 +229,19 @@ func NewSwitch(name string) *Switch {
 // it, a client's own frames flooded back from the backhaul would repoint
 // the FDB at the uplink (MAC flapping), which turns into a forwarding
 // loop once offload tunnels put cycles in the physical topology.
+//
+// Pinned entries live in the snapshot and shadow the dynamic FDB on every
+// lookup, so a learner racing the pin can at worst leave a dead dynamic
+// entry behind — never redirect the client's traffic.
 func (s *Switch) PinMAC(mac packet.MAC, port PortID) {
-	s.mu.Lock()
-	s.pinned[mac] = port
-	s.fdb[mac] = port
-	s.mu.Unlock()
+	s.mutate(func(st *swState) { st.pinned[mac] = port })
+	s.fdb.learn(mac, port)
 }
 
 // UnpinMAC removes a sticky entry (the dynamic entry goes with it).
 func (s *Switch) UnpinMAC(mac packet.MAC) {
-	s.mu.Lock()
-	delete(s.pinned, mac)
-	delete(s.fdb, mac)
-	s.mu.Unlock()
+	s.mutate(func(st *swState) { delete(st.pinned, mac) })
+	s.fdb.delete(mac)
 }
 
 // Name returns the switch name.
@@ -189,178 +264,202 @@ func (s *Switch) AttachService(id PortID, ep *Endpoint) {
 }
 
 func (s *Switch) attach(id PortID, ep *Endpoint, service bool) {
-	s.mu.Lock()
-	s.ports[id] = &swPort{id: id, ep: ep, service: service}
-	s.mu.Unlock()
+	s.mutate(func(st *swState) {
+		st.ports[id] = &swPort{id: id, ep: ep, service: service}
+	})
 	ep.SetReceiver(func(frame []byte) { s.input(id, frame) })
 }
 
-// Detach removes a port and flushes FDB entries pointing at it.
+// Detach removes a port and flushes FDB entries — dynamic *and* pinned —
+// pointing at it. Pinned entries must go too: they are never re-learned,
+// so a survivor would blackhole the client's traffic at a dead port
+// forever (the reassociation pins the MAC at its new port).
 func (s *Switch) Detach(id PortID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p, ok := s.ports[id]; ok {
-		p.ep.SetReceiver(nil)
-		delete(s.ports, id)
-	}
-	for mac, port := range s.fdb {
-		if port == id {
-			delete(s.fdb, mac)
+	var detached *swPort
+	s.mutate(func(st *swState) {
+		if p, ok := st.ports[id]; ok {
+			detached = p
+			delete(st.ports, id)
 		}
+		for mac, port := range st.pinned {
+			if port == id {
+				delete(st.pinned, mac)
+			}
+		}
+	})
+	if detached != nil {
+		detached.ep.SetReceiver(nil)
 	}
+	s.fdb.flushPort(id)
 }
 
 // AddRule installs a steering rule and returns its ID.
 func (s *Switch) AddRule(r Rule) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	r.ID = s.nextID
-	s.rules = append(s.rules, r)
-	sort.SliceStable(s.rules, func(i, j int) bool {
-		if s.rules[i].Priority != s.rules[j].Priority {
-			return s.rules[i].Priority > s.rules[j].Priority
-		}
-		return s.rules[i].ID < s.rules[j].ID
+	var id int
+	s.mutate(func(st *swState) {
+		s.nextID++
+		r.ID = s.nextID
+		id = r.ID
+		st.rules = append(st.rules, r)
+		sort.SliceStable(st.rules, func(i, j int) bool {
+			if st.rules[i].Priority != st.rules[j].Priority {
+				return st.rules[i].Priority > st.rules[j].Priority
+			}
+			return st.rules[i].ID < st.rules[j].ID
+		})
 	})
-	return r.ID
+	return id
 }
 
 // RemoveRule deletes a rule by ID; it reports whether the rule existed.
 func (s *Switch) RemoveRule(id int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, r := range s.rules {
-		if r.ID == id {
-			s.rules = append(s.rules[:i], s.rules[i+1:]...)
-			return true
+	removed := false
+	s.mutate(func(st *swState) {
+		for i, r := range st.rules {
+			if r.ID == id {
+				st.rules = append(st.rules[:i], st.rules[i+1:]...)
+				removed = true
+				return
+			}
 		}
-	}
-	return false
+	})
+	return removed
 }
 
 // Rules returns a copy of the steering table in evaluation order.
 func (s *Switch) Rules() []Rule {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]Rule(nil), s.rules...)
+	return append([]Rule(nil), s.state.Load().rules...)
 }
 
-// input runs the forwarding pipeline for one frame.
+// steer computes the steering verdict for one frame: flow-cache hit, or a
+// priority-ordered rule scan whose result is cached against st.gen.
+func (s *Switch) steer(in PortID, p *packet.Parser, st *swState) (Action, PortID) {
+	key := flowCacheKey{in: in, fk: p.FlowKey()}
+	if action, out, ok := s.cache.lookup(key, st.gen); ok {
+		s.cacheHits.Inc(uint(in))
+		return action, out
+	}
+	s.cacheMisses.Inc(uint(in))
+	action, out := ActionNormal, PortID(0)
+	for i := range st.rules {
+		if st.rules[i].Match.Matches(in, p) {
+			action, out = st.rules[i].Action, st.rules[i].OutPort
+			break
+		}
+	}
+	s.cache.insert(key, st.gen, action, out)
+	return action, out
+}
+
+// input runs the forwarding pipeline for one frame. It is lock-free
+// against the control plane: one snapshot load, sharded-FDB learning, a
+// cached (or scanned-and-cached) steering verdict, then dispatch.
 func (s *Switch) input(in PortID, frame []byte) {
-	s.rxFrames.Add(1)
-	var p packet.Parser
+	s.rxFrames.Inc(uint(in))
+	p := packet.BorrowParser()
+	defer packet.ReturnParser(p)
 	if err := p.Parse(frame); err != nil {
-		s.dropped.Add(1)
+		s.dropped.Inc(uint(in))
 		return
 	}
 
-	s.mu.Lock()
+	st := s.state.Load()
 	inService := false
-	if sp, ok := s.ports[in]; ok {
+	if sp, ok := st.ports[in]; ok {
 		inService = sp.service
 	}
 	// Learn source MAC (unicast sources only); frames emerging from
 	// service ports carry end-host MACs and must not repoint the FDB,
 	// and pinned (associated-client) entries never move.
 	if !inService && !p.Eth.Src.IsMulticast() && !p.Eth.Src.IsZero() {
-		if _, pin := s.pinned[p.Eth.Src]; !pin {
-			s.fdb[p.Eth.Src] = in
+		if _, pin := st.pinned[p.Eth.Src]; !pin {
+			s.fdb.learn(p.Eth.Src, in)
 		}
-	}
-	// Steering table lookup, first match wins (rules are pre-sorted).
-	action, out := ActionNormal, PortID(0)
-	for i := range s.rules {
-		if s.rules[i].Match.Matches(in, &p) {
-			action, out = s.rules[i].Action, s.rules[i].OutPort
-			break
-		}
-	}
-	var dst *swPort
-	var flood []*swPort
-	switch action {
-	case ActionDrop:
-		s.mu.Unlock()
-		s.dropped.Add(1)
-		return
-	case ActionRedirect:
-		dst = s.ports[out]
-		s.mu.Unlock()
-		s.redirects.Add(1)
-		if dst != nil {
-			dst.ep.Send(frame)
-		} else {
-			s.dropped.Add(1)
-		}
-		return
-	default:
-		if port, ok := s.fdb[p.Eth.Dst]; ok && !p.Eth.Dst.IsMulticast() {
-			dst = s.ports[port]
-		}
-		if dst == nil {
-			flood = make([]*swPort, 0, len(s.ports))
-			for _, sp := range s.ports {
-				if sp.id != in && !sp.service {
-					flood = append(flood, sp)
-				}
-			}
-		}
-		s.mu.Unlock()
 	}
 
+	switch action, out := s.steer(in, p, st); action {
+	case ActionDrop:
+		s.dropped.Inc(uint(in))
+		return
+	case ActionRedirect:
+		s.redirects.Inc(uint(in))
+		if dst := st.ports[out]; dst != nil {
+			dst.ep.Send(frame)
+		} else {
+			s.dropped.Inc(uint(in))
+		}
+		return
+	}
+
+	// Normal forwarding: pinned entries shadow the dynamic FDB.
+	var dst *swPort
+	if !p.Eth.Dst.IsMulticast() {
+		if port, ok := st.pinned[p.Eth.Dst]; ok {
+			dst = st.ports[port]
+		} else if port, ok := s.fdb.lookup(p.Eth.Dst); ok {
+			dst = st.ports[port]
+		}
+	}
 	if dst != nil {
 		if dst.id == in {
 			// Hairpin suppressed: host already has the frame.
-			s.dropped.Add(1)
+			s.dropped.Inc(uint(in))
 			return
 		}
 		dst.ep.Send(frame)
 		return
 	}
-	s.flooded.Add(1)
-	for _, sp := range flood {
-		sp.ep.Send(packet.Clone(frame))
+	s.flooded.Inc(uint(in))
+	for _, sp := range st.flood {
+		if sp.id != in {
+			sp.ep.Send(packet.Clone(frame))
+		}
 	}
 }
 
 // SwitchStats is a snapshot of switch counters.
 type SwitchStats struct {
-	RxFrames  uint64
-	Dropped   uint64
-	Flooded   uint64
-	Redirects uint64
-	Ports     int
-	Rules     int
-	FDBSize   int
+	RxFrames    uint64
+	Dropped     uint64
+	Flooded     uint64
+	Redirects   uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	Ports       int
+	Rules       int
+	FDBSize     int
+	FlowEntries int
 }
 
 // Stats returns current counters.
 func (s *Switch) Stats() SwitchStats {
-	s.mu.RLock()
-	ports, rules, fdb := len(s.ports), len(s.rules), len(s.fdb)
-	s.mu.RUnlock()
+	st := s.state.Load()
 	return SwitchStats{
-		RxFrames:  s.rxFrames.Load(),
-		Dropped:   s.dropped.Load(),
-		Flooded:   s.flooded.Load(),
-		Redirects: s.redirects.Load(),
-		Ports:     ports,
-		Rules:     rules,
-		FDBSize:   fdb,
+		RxFrames:    s.rxFrames.Load(),
+		Dropped:     s.dropped.Load(),
+		Flooded:     s.flooded.Load(),
+		Redirects:   s.redirects.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+		Ports:       len(st.ports),
+		Rules:       len(st.rules),
+		FDBSize:     s.fdb.size(),
+		FlowEntries: s.cache.size(),
 	}
 }
 
-// LookupFDB reports the learned port for a MAC.
+// LookupFDB reports the learned port for a MAC (pinned entries first).
 func (s *Switch) LookupFDB(mac packet.MAC) (PortID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.fdb[mac]
-	return id, ok
+	if port, ok := s.state.Load().pinned[mac]; ok {
+		return port, ok
+	}
+	return s.fdb.lookup(mac)
 }
 
 // String implements fmt.Stringer.
 func (s *Switch) String() string {
 	st := s.Stats()
-	return fmt.Sprintf("switch %s: ports=%d rules=%d fdb=%d rx=%d drop=%d flood=%d redirect=%d",
-		s.name, st.Ports, st.Rules, st.FDBSize, st.RxFrames, st.Dropped, st.Flooded, st.Redirects)
+	return fmt.Sprintf("switch %s: ports=%d rules=%d fdb=%d rx=%d drop=%d flood=%d redirect=%d cache=%d/%d",
+		s.name, st.Ports, st.Rules, st.FDBSize, st.RxFrames, st.Dropped, st.Flooded, st.Redirects,
+		st.CacheHits, st.CacheHits+st.CacheMisses)
 }

@@ -1,0 +1,76 @@
+package packet
+
+import "encoding/binary"
+
+// FlowKey is a compact, comparable summary of every header field the
+// dataplane steers on: L2 addressing, the outermost 802.1Q tag, and the
+// IPv4 five-tuple. Two frames with equal keys are indistinguishable to a
+// steering Match, which is what makes the key safe to use for verdict
+// caching on forwarding fast paths. The zero five-tuple fields stay zero
+// for non-IP frames (and ports stay zero for non-TCP/UDP), mirroring how
+// matches evaluate those frames.
+type FlowKey struct {
+	Src, Dst  MAC
+	EtherType uint16 // inner EtherType (802.1Q looked through)
+	Tagged    bool
+	VID       uint16
+	Proto     uint8
+	SrcIP     IP
+	DstIP     IP
+	SrcPort   uint16
+	DstPort   uint16
+}
+
+// FlowKey extracts the steering key of the last parsed frame. It reads
+// only already-decoded layer structs, so it costs a few copies and no
+// allocation.
+func (p *Parser) FlowKey() FlowKey {
+	k := FlowKey{
+		Src:       p.Eth.Src,
+		Dst:       p.Eth.Dst,
+		EtherType: p.Eth.EtherType,
+		Tagged:    p.Eth.Tagged,
+		VID:       p.Eth.VID,
+	}
+	if p.Has(LayerIPv4) {
+		k.SrcIP, k.DstIP, k.Proto = p.IP.Src, p.IP.Dst, p.IP.Proto
+		switch {
+		case p.Has(LayerUDP):
+			k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+		case p.Has(LayerTCP):
+			k.SrcPort, k.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+		}
+	}
+	return k
+}
+
+// Hash returns a 64-bit hash of the key for shard selection in flow
+// tables. The key packs into four words that are chained through a
+// splitmix64-style finalizer — word-at-a-time so the whole thing costs a
+// handful of multiplies on the per-frame fast path, with no allocation.
+func (k FlowKey) Hash() uint64 {
+	w0 := uint64(k.Src[0])<<40 | uint64(k.Src[1])<<32 | uint64(k.Src[2])<<24 |
+		uint64(k.Src[3])<<16 | uint64(k.Src[4])<<8 | uint64(k.Src[5]) |
+		uint64(k.EtherType)<<48
+	w1 := uint64(k.Dst[0])<<40 | uint64(k.Dst[1])<<32 | uint64(k.Dst[2])<<24 |
+		uint64(k.Dst[3])<<16 | uint64(k.Dst[4])<<8 | uint64(k.Dst[5]) |
+		uint64(k.VID)<<48
+	if k.Tagged {
+		w1 |= 1 << 63
+	}
+	w2 := uint64(binary.BigEndian.Uint32(k.SrcIP[:]))<<32 |
+		uint64(binary.BigEndian.Uint32(k.DstIP[:]))
+	w3 := uint64(k.SrcPort)<<32 | uint64(k.DstPort)<<16 | uint64(k.Proto)
+	return mix64(mix64(mix64(mix64(w0)+w1)+w2) + w3)
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.), a full-avalanche
+// bijection on 64-bit words.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

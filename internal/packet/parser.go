@@ -1,5 +1,22 @@
 package packet
 
+import "sync"
+
+// parserPool recycles Parsers for per-frame call sites that cannot keep a
+// long-lived per-goroutine Parser (e.g. a switch pipeline entered from
+// arbitrary delivery goroutines). A Parser self-references its scratch
+// array through the layers slice, so a stack-declared one escapes to the
+// heap — one allocation per frame, which at line rate turns into GC
+// pressure that eats the extra cores.
+var parserPool = sync.Pool{New: func() any { return new(Parser) }}
+
+// BorrowParser fetches a pooled Parser; pair it with ReturnParser.
+func BorrowParser() *Parser { return parserPool.Get().(*Parser) }
+
+// ReturnParser recycles p. The caller must not touch p (or slices
+// obtained from it — they alias the parsed frame) afterwards.
+func ReturnParser(p *Parser) { parserPool.Put(p) }
+
 // Parser decodes a frame into preallocated layer structs, the stdlib
 // analogue of gopacket's DecodingLayerParser: one Parser per goroutine,
 // reused across frames, zero allocations on the hot path.

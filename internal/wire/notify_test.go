@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// notifyingServer starts a server that answers "echo" and pushes one
+// `method` notification at every peer right after accept — the
+// manager-pushes-to-agent direction that exposed the read-loop bugs.
+func notifyingServer(t *testing.T, method string) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", func(sp *Peer) {
+		sp.Handle("echo", func(body json.RawMessage) (any, error) {
+			var req echoReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			return echoRes{Text: req.Text}, nil
+		})
+		go sp.Notify(method, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// dialHandling dials addr and registers handlers via setup before the
+// read loop starts — the server pushes its notify immediately on accept,
+// so registering after Run would race the dispatch.
+func dialHandling(t *testing.T, addr string, setup func(*Peer)) *Peer {
+	t.Helper()
+	p, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(p)
+	go p.Run()
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestNotifyHandlerCanCallBack is the regression test for the read-loop
+// deadlock: a notify handler that issues a Call over the same peer used
+// to block the read loop, so the response could never be dispatched and
+// the handler stalled until the call timeout.
+func TestNotifyHandlerCanCallBack(t *testing.T) {
+	srv := notifyingServer(t, "kick")
+	got := make(chan string, 1)
+	dialHandling(t, srv.Addr(), func(p *Peer) {
+		p.SetCallTimeout(10 * time.Second)
+		p.HandleNotify("kick", func(json.RawMessage) {
+			var res echoRes
+			if err := p.Call("echo", echoReq{Text: "from-notify"}, &res); err != nil {
+				got <- "error: " + err.Error()
+				return
+			}
+			got <- res.Text
+		})
+	})
+
+	select {
+	case v := <-got:
+		if v != "from-notify" {
+			t.Fatalf("notify->call returned %q", v)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("notify handler's Call never completed (read-loop deadlock)")
+	}
+}
+
+// TestSlowNotifyDoesNotStallResponses pins the second half of the bug: a
+// slow notify handler (e.g. the manager's MethodReport) must not delay
+// dispatch of responses to in-flight calls.
+func TestSlowNotifyDoesNotStallResponses(t *testing.T) {
+	srv := notifyingServer(t, "slow")
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	p := dialHandling(t, srv.Addr(), func(p *Peer) {
+		p.HandleNotify("slow", func(json.RawMessage) {
+			close(entered)
+			<-release
+		})
+	})
+	defer close(release)
+
+	select {
+	case <-entered:
+	case <-time.After(3 * time.Second):
+		t.Fatal("notify never delivered")
+	}
+	// With the handler still blocked, a Call must round-trip promptly.
+	done := make(chan error, 1)
+	go func() {
+		var res echoRes
+		done <- p.Call("echo", echoReq{Text: "x"}, &res)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("call during blocked notify: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("response dispatch stalled behind a slow notify handler")
+	}
+}
+
+// TestNotifyOrderPreserved checks the per-peer FIFO guarantee survives the
+// move off the read loop.
+func TestNotifyOrderPreserved(t *testing.T) {
+	const n = 200
+	got := make(chan int, n)
+	srv, err := NewServer("127.0.0.1:0", func(sp *Peer) {
+		sp.HandleNotify("seq", func(body json.RawMessage) {
+			var v int
+			json.Unmarshal(body, &v)
+			got <- v
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := dial(t, srv.Addr())
+	for i := 0; i < n; i++ {
+		if err := p.Notify("seq", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-got:
+			if v != i {
+				t.Fatalf("notify %d arrived out of order (got %d)", i, v)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("notify %d never arrived", i)
+		}
+	}
+}
+
+// TestNotifyQueueBounded: a handler that never drains must not let the
+// pending queue (and the process heap) grow without bound — overflow
+// drops the oldest notification and counts it.
+func TestNotifyQueueBounded(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	var sp *Peer
+	accepted := make(chan struct{})
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		sp = p
+		p.HandleNotify("flood", func(json.RawMessage) {
+			once.Do(func() { close(entered) })
+			<-block
+		})
+		close(accepted)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+
+	p := dial(t, srv.Addr())
+	<-accepted
+	const extra = 512
+	for i := 0; i < maxNotifyQueue+extra+2; i++ {
+		if err := p.Notify("flood", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-entered // dispatcher is wedged on the first notification
+	deadline := time.After(5 * time.Second)
+	for sp.DroppedNotifies() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("no notifications dropped; queue unbounded? dropped=%d", sp.DroppedNotifies())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	sp.nmu.Lock()
+	qlen := len(sp.nqueue)
+	sp.nmu.Unlock()
+	if qlen > maxNotifyQueue {
+		t.Fatalf("queue length %d exceeds bound %d", qlen, maxNotifyQueue)
+	}
+}
+
+// TestSetCallTimeoutConcurrent exercises the SetCallTimeout/Call data race
+// (run with -race): adjusting the timeout while calls are in flight used
+// to be an unsynchronized read/write pair.
+func TestSetCallTimeoutConcurrent(t *testing.T) {
+	srv, _ := startEcho(t)
+	p := dial(t, srv.Addr())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.SetCallTimeout(time.Duration(i%5+1) * time.Second)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var res echoRes
+		if err := p.Call("echo", echoReq{Text: fmt.Sprint(i)}, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -30,6 +30,15 @@ import (
 // and are rejected.
 const MaxFrameBytes = 16 << 20
 
+// maxNotifyQueue and maxNotifyBytes bound the per-peer
+// pending-notification FIFO, by entry count and by payload bytes (one
+// maximum-size frame can carry 16 MiB, so an entry cap alone would not
+// bound the heap); overflow drops the oldest entries (see Peer.nqueue).
+const (
+	maxNotifyQueue = 4096
+	maxNotifyBytes = 16 << 20
+)
+
 // Frame kinds.
 const (
 	kindRequest  = "req"
@@ -116,25 +125,43 @@ type Peer struct {
 	closeErr error
 	onClose  []func(error)
 
+	// Notifications are dispatched off the read loop (a notify handler
+	// may Call back over the same peer, and a slow handler must not
+	// stall response dispatch) but in arrival order, on one goroutine
+	// draining this FIFO. The queue is bounded: blocking the read loop
+	// on a full queue would reintroduce the deadlock, so overflow drops
+	// the oldest entry instead (notifications are fire-and-forget;
+	// under sustained overload the freshest data wins).
+	nmu      sync.Mutex
+	ncond    *sync.Cond
+	nqueue   []*frame
+	nbytes   int // sum of queued body sizes
+	nclosed  bool
+	ndropped atomic.Uint64
+
 	nextID      atomic.Uint64
-	callTimeout time.Duration
+	callTimeout atomic.Int64 // time.Duration; read by Call, set by SetCallTimeout
 }
 
 // NewPeer wraps an established connection. The peer does not read until
 // Run is called.
 func NewPeer(conn net.Conn) *Peer {
-	return &Peer{
-		conn:        conn,
-		bw:          bufio.NewWriter(conn),
-		handlers:    make(map[string]Handler),
-		notify:      make(map[string]NotifyHandler),
-		pending:     make(map[uint64]chan *frame),
-		callTimeout: 10 * time.Second,
+	p := &Peer{
+		conn:     conn,
+		bw:       bufio.NewWriter(conn),
+		handlers: make(map[string]Handler),
+		notify:   make(map[string]NotifyHandler),
+		pending:  make(map[uint64]chan *frame),
 	}
+	p.ncond = sync.NewCond(&p.nmu)
+	p.callTimeout.Store(int64(10 * time.Second))
+	return p
 }
 
-// SetCallTimeout adjusts the per-call deadline (default 10s).
-func (p *Peer) SetCallTimeout(d time.Duration) { p.callTimeout = d }
+// SetCallTimeout adjusts the per-call deadline (default 10s). It is safe
+// to call concurrently with in-flight Calls; calls already waiting keep
+// the deadline they started with.
+func (p *Peer) SetCallTimeout(d time.Duration) { p.callTimeout.Store(int64(d)) }
 
 // Handle registers a request handler for method. Handlers run on their own
 // goroutine, so they may issue Calls back over the same peer.
@@ -150,6 +177,10 @@ func (p *Peer) HandleNotify(method string, h NotifyHandler) {
 	p.notify[method] = h
 	p.mu.Unlock()
 }
+
+// DroppedNotifies reports notifications discarded because the pending
+// queue overflowed (a handler persistently slower than the sender).
+func (p *Peer) DroppedNotifies() uint64 { return p.ndropped.Load() }
 
 // OnClose registers a callback invoked once when the peer shuts down.
 func (p *Peer) OnClose(fn func(error)) {
@@ -168,6 +199,7 @@ func (p *Peer) RemoteAddr() string { return p.conn.RemoteAddr().String() }
 // Run reads frames until the connection fails or Close is called. It
 // always returns a non-nil error (io.EOF on clean shutdown by the remote).
 func (p *Peer) Run() error {
+	go p.notifyLoop()
 	r := bufio.NewReader(p.conn)
 	for {
 		f, err := readFrame(r)
@@ -187,15 +219,52 @@ func (p *Peer) Run() error {
 				ch <- f
 			}
 		case kindNotify:
-			p.mu.Lock()
-			h := p.notify[f.Method]
-			p.mu.Unlock()
-			if h != nil {
-				h(f.Body)
+			p.nmu.Lock()
+			if !p.nclosed {
+				for len(p.nqueue) > 0 &&
+					(len(p.nqueue) >= maxNotifyQueue || p.nbytes+len(f.Body) > maxNotifyBytes) {
+					p.nbytes -= len(p.nqueue[0].Body)
+					p.nqueue[0] = nil
+					p.nqueue = p.nqueue[1:]
+					p.ndropped.Add(1)
+				}
+				p.nqueue = append(p.nqueue, f)
+				p.nbytes += len(f.Body)
+				p.ncond.Signal()
 			}
+			p.nmu.Unlock()
 		default:
 			p.shutdown(ErrBadFrame)
 			return ErrBadFrame
+		}
+	}
+}
+
+// notifyLoop drains queued notifications in arrival order. Running them
+// off the read loop means a handler that Calls back over the same peer
+// sees its response dispatched normally instead of deadlocking until the
+// call timeout, and a slow handler cannot stall in-flight responses.
+func (p *Peer) notifyLoop() {
+	for {
+		p.nmu.Lock()
+		for len(p.nqueue) == 0 && !p.nclosed {
+			p.ncond.Wait()
+		}
+		if len(p.nqueue) == 0 {
+			p.nmu.Unlock()
+			return
+		}
+		f := p.nqueue[0]
+		p.nqueue[0] = nil
+		p.nqueue = p.nqueue[1:]
+		p.nbytes -= len(f.Body)
+		p.nmu.Unlock()
+
+		p.mu.Lock()
+		h := p.notify[f.Method]
+		p.mu.Unlock()
+		if h != nil {
+			h(f.Body)
 		}
 	}
 }
@@ -265,8 +334,8 @@ func (p *Peer) Call(method string, in, out any) error {
 		return err
 	}
 	var timeout <-chan time.Time
-	if p.callTimeout > 0 {
-		t := time.NewTimer(p.callTimeout)
+	if d := time.Duration(p.callTimeout.Load()); d > 0 {
+		t := time.NewTimer(d)
 		defer t.Stop()
 		timeout = t.C
 	}
@@ -318,6 +387,15 @@ func (p *Peer) shutdown(err error) {
 	callbacks := p.onClose
 	p.onClose = nil
 	p.mu.Unlock()
+
+	// Stop the notify dispatcher; undelivered notifications are dropped
+	// (the connection is gone — same outcome as frames still in flight).
+	p.nmu.Lock()
+	p.nclosed = true
+	p.nqueue = nil
+	p.nbytes = 0
+	p.ncond.Broadcast()
+	p.nmu.Unlock()
 
 	p.conn.Close()
 	for _, ch := range pending {
