@@ -7,6 +7,7 @@
 //	E4          BenchmarkE4ChainThroughput         dataplane vs chain length
 //	E4          BenchmarkE4PerNFThroughput         per-NF-type forwarding
 //	E5          BenchmarkE5ControlPlaneScale       manager vs #agents
+//	E5          BenchmarkE5SharingDensity          shared pools on vs off, 1k clients
 //	E6          BenchmarkE6MigrationStrategies     cold vs stateful ablation
 //	E7          BenchmarkE7NotificationPipeline    NF->Agent->Manager alerts
 //	E8          BenchmarkE8OffloadAblation         GNFC edge vs cloud hosting
@@ -433,6 +434,58 @@ func BenchmarkE5ControlPlaneScale(b *testing.B) {
 				if err := h.Ping(); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5SharingDensity deploys the same shareable firewall+counter
+// chain spec for 1000 clients on one station, with the shared instance
+// pool enabled vs disabled (the paper's one-container-per-client layout).
+// Reported metrics: containers actually running, container memory in MiB,
+// and modeled virtual time for the 1000 deploys — the deployment-cost gap
+// VNF sharing exists to close.
+func BenchmarkE5SharingDensity(b *testing.B) {
+	const clients = 1000
+	for _, sharing := range []bool{true, false} {
+		name := "sharing-on"
+		if !sharing {
+			name = "sharing-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clk := clock.NewAutoVirtual()
+				repo := container.NewRepository(clk, 0, 0)
+				for _, kind := range []string{"firewall", "counter"} {
+					repo.Push(container.Image{Name: agent.ImageForKind(kind), SizeBytes: 4 << 20, MemoryBytes: 6 << 20})
+				}
+				rt := container.NewRuntime("edge", clk, repo)
+				var opts []agent.Option
+				if !sharing {
+					opts = append(opts, agent.WithSharingDisabled())
+				}
+				ag := agent.New("edge", clk, rt, newBenchSwitch("edge"), 0, opts...)
+				start := clk.Now()
+				for c := 0; c < clients; c++ {
+					id := fmt.Sprintf("c%04d", c)
+					ag.AttachClient(topology.ClientID(id),
+						packet.MAC{2, 0, 1, 0, byte(c >> 8), byte(c)},
+						packet.IP{10, 1, byte(c >> 8), byte(c)}, netem.PortID(100+c))
+					if _, err := ag.Deploy(agent.DeploySpec{
+						Chain:  "fw-" + id,
+						Client: id,
+						Functions: []agent.NFSpec{
+							{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+							{Kind: "counter", Name: "acct"},
+						},
+						Enabled: true,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(rt.List())), "containers")
+				b.ReportMetric(float64(rt.MemoryInUse())/(1<<20), "mem_mib")
+				b.ReportMetric(float64(clk.Since(start).Milliseconds()), "deploy_ms")
 			}
 		})
 	}

@@ -21,6 +21,8 @@ func main() {
 	uiAddr := flag.String("ui", "127.0.0.1:8080", "address for the UI/REST dashboard")
 	strategy := flag.String("strategy", "stateful", "roaming migration strategy: cold|stateful")
 	hotspot := flag.Float64("hotspot-cpu", 80, "CPU%% threshold for hotspot detection")
+	autoscale := flag.Duration("autoscale", 0,
+		"shared-instance autoscaler evaluation interval (0 disables; e.g. 2s)")
 	flag.Parse()
 
 	var strat manager.Strategy
@@ -40,6 +42,10 @@ func main() {
 		log.Fatalf("manager: %v", err)
 	}
 	defer mgr.Close()
+
+	if *autoscale > 0 {
+		mgr.StartAutoscaler(*autoscale)
+	}
 
 	dash := ui.New(mgr)
 	if err := dash.Start(*uiAddr); err != nil {

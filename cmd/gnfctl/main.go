@@ -41,6 +41,9 @@ commands:
   recall <client>                  return an offloaded client's chains to the edge
   failovers                        failed stations and recovery reports
   placement                        active policy + per-station capacity view
+  pools                            per-station shared NF instance tables
+                                   (kind, config hash, refcount, replicas,
+                                   load) and autoscaler decisions
   run-scenario <file.json>         execute a declarative scenario in-process
                                    (virtual time; prints the result, exits
                                    non-zero when expectations fail)
@@ -95,6 +98,8 @@ func main() {
 		err = getAndPrint(*api + "/api/failovers")
 	case "placement":
 		err = getAndPrint(*api + "/api/placement")
+	case "pools":
+		err = getAndPrint(*api + "/api/pools")
 	case "run-scenario":
 		if len(args) != 2 {
 			usage()

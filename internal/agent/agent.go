@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gnf/internal/clock"
@@ -29,6 +30,7 @@ import (
 	"gnf/internal/netem"
 	"gnf/internal/nf"
 	"gnf/internal/packet"
+	"gnf/internal/share"
 	"gnf/internal/topology"
 )
 
@@ -58,26 +60,52 @@ type clientInfo struct {
 	port netem.PortID
 }
 
-// deployment is one running chain.
+// deployment is one running chain — either an exclusive instance (the
+// paper's one-chain-per-client layout) or an attachment to a shared pool
+// instance serving every client with the same configuration.
 type deployment struct {
-	spec       DeploySpec
+	spec DeploySpec
+	// building marks a name reservation while Deploy constructs resources;
+	// such entries are invisible to every other API.
+	building bool
+
+	// Exclusive-instance resources (unset for shared attachments).
 	chain      *nf.Chain
 	host       *nf.ChainHost
 	containers []*container.Container
 	endpoints  []*netem.Endpoint // switch-side ends (close on remove)
-	ruleIDs    []int
 	ports      [2]netem.PortID
+
+	// Shared attachment: the pool instance serving this chain. enabled,
+	// ruleIDs and removed (guarded by Agent.mu) track whether the client's
+	// steering rules are installed and whether the attachment has been torn
+	// down — an Enable/Disable racing Remove must not resurrect rules on a
+	// dead attachment.
+	shared  *share.Instance
+	enabled bool
+	removed bool
+	// steerSeq orders concurrent Enable/Disable calls on a shared
+	// attachment: each intent bumps it before installing rules, and an
+	// installer that finds a newer sequence discards its own rules — the
+	// latest intent's rules and the enabled flag always agree.
+	steerSeq uint64
+
+	ruleIDs []int
 }
 
 // Agent is the station daemon.
 type Agent struct {
-	station  topology.StationID
-	clk      clock.Clock
-	rt       *container.Runtime
-	sw       *netem.Switch
-	uplink   netem.PortID
-	registry *nf.Registry
-	cloud    bool
+	station   topology.StationID
+	clk       clock.Clock
+	rt        *container.Runtime
+	sw        *netem.Switch
+	uplink    netem.PortID
+	registry  *nf.Registry
+	cloud     bool
+	sharing   bool
+	poolGrace time.Duration
+	pool      *share.Pool
+	poolSeq   atomic.Uint64 // shared-instance name generations
 
 	mu          sync.Mutex
 	clients     map[topology.ClientID]clientInfo
@@ -100,6 +128,14 @@ func WithRegistry(r *nf.Registry) Option { return func(a *Agent) { a.registry = 
 // and are skipped by edge placement policies.
 func WithCloud() Option { return func(a *Agent) { a.cloud = true } }
 
+// WithPoolGrace sets how long an unreferenced shared instance survives
+// before the reaper reclaims it (default share.DefaultGrace).
+func WithPoolGrace(d time.Duration) Option { return func(a *Agent) { a.poolGrace = d } }
+
+// WithSharingDisabled forces the paper's one-instance-per-client layout
+// even for shareable chains — the ablation baseline for E5.
+func WithSharingDisabled() Option { return func(a *Agent) { a.sharing = false } }
+
 // New creates an agent for station, owning switch sw (with the uplink to
 // the backhaul already attached at uplinkPort) and container runtime rt.
 func New(station topology.StationID, clk clock.Clock, rt *container.Runtime, sw *netem.Switch, uplinkPort netem.PortID, opts ...Option) *Agent {
@@ -110,6 +146,7 @@ func New(station topology.StationID, clk clock.Clock, rt *container.Runtime, sw 
 		sw:          sw,
 		uplink:      uplinkPort,
 		registry:    nf.Default,
+		sharing:     true,
 		clients:     make(map[topology.ClientID]clientInfo),
 		deployments: make(map[string]*deployment),
 		tunnels:     make(map[topology.StationID]netem.PortID),
@@ -119,6 +156,7 @@ func New(station topology.StationID, clk clock.Clock, rt *container.Runtime, sw 
 	for _, o := range opts {
 		o(a)
 	}
+	a.pool = share.NewPool(a.clk, a.poolGrace)
 	return a
 }
 
@@ -208,27 +246,88 @@ func (a *Agent) Client(id topology.ClientID) (mac packet.MAC, ip packet.IP, port
 
 // Deploy instantiates spec: containers are created and started, veths
 // wired, steering installed. It returns the modeled attach latency.
+//
+// Shareable specs (every member kind registered Shareable, local chain)
+// go through the per-agent shared pool instead: if a compatible instance
+// already runs, Deploy only attaches a reference and installs steering —
+// no containers boot, which is how a station hosts thousands of clients
+// running the same firewall spec with O(replicas) instances.
 func (a *Agent) Deploy(spec DeploySpec) (*DeployResult, error) {
 	a.mu.Lock()
 	if _, dup := a.deployments[spec.Chain]; dup {
 		a.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrChainExists, spec.Chain)
 	}
+	// Reserve the name so concurrent deploys of the same chain can never
+	// both build; the reservation is invisible to every other API.
+	a.deployments[spec.Chain] = &deployment{spec: spec, building: true}
 	ci, haveClient := a.clients[topology.ClientID(spec.Client)]
 	a.mu.Unlock()
 
 	started := a.clk.Now()
+	dep, err := a.buildDeployment(spec, ci, haveClient)
+	if err != nil {
+		a.mu.Lock()
+		delete(a.deployments, spec.Chain)
+		a.mu.Unlock()
+		return nil, err
+	}
+	a.mu.Lock()
+	a.deployments[spec.Chain] = dep
+	a.mu.Unlock()
+	// Lazy reaping rides control-plane activity — after the attach, so a
+	// re-deploy arriving right at grace expiry revives the warm instance
+	// instead of watching it die first.
+	a.ReapPools()
 
-	// Build the chain functions from the registry.
-	fns := make([]nf.Function, 0, len(spec.Functions))
-	for _, fs := range spec.Functions {
+	res := &DeployResult{Chain: spec.Chain, AttachMillis: a.clk.Since(started).Milliseconds()}
+	if dep.shared != nil {
+		res.Shared = true
+		res.Containers = dep.shared.Payload().(*poolResources).containerNames()
+	} else {
+		for _, c := range dep.containers {
+			res.Containers = append(res.Containers, c.Name())
+		}
+	}
+	return res, nil
+}
+
+// chainResources is one built chain instance: functions in containers,
+// the ChainHost between its two veth pairs, attached at two service ports.
+// Both the exclusive layout and shared-pool replicas are made of exactly
+// this; only naming and steering differ.
+type chainResources struct {
+	chain      *nf.Chain
+	host       *nf.ChainHost
+	containers []*container.Container
+	endpoints  []*netem.Endpoint // switch-side ends (close on teardown)
+	inPort     netem.PortID
+	outPort    netem.PortID
+}
+
+// containerCleanup stops and removes the instance's containers.
+func (cr *chainResources) containerCleanup() {
+	for _, c := range cr.containers {
+		c.Stop()
+		c.Remove()
+	}
+}
+
+// buildChainResources boots one chain instance named name from fns: one
+// container per NF (as GNF packages functions individually), the chain's
+// aggregate state riding the first container's checkpoint, and the
+// ingress/egress veth pairs attached as service ports. The host starts
+// disabled; callers enable it when forwarding should begin.
+func (a *Agent) buildChainResources(name string, fns []NFSpec) (*chainResources, error) {
+	members := make([]nf.Function, 0, len(fns))
+	for _, fs := range fns {
 		fn, err := a.registry.New(fs.Kind, fs.Name, fs.Params)
 		if err != nil {
 			return nil, err
 		}
-		fns = append(fns, fn)
+		members = append(members, fn)
 	}
-	chain := nf.NewChain(spec.Chain, fns...)
+	chain := nf.NewChain(name, members...)
 	chain.SetClock(a.clk)
 	chain.SetNotifier(func(n nf.Notification) {
 		a.mu.Lock()
@@ -239,44 +338,62 @@ func (a *Agent) Deploy(spec DeploySpec) (*DeployResult, error) {
 		}
 	})
 
-	// One container per NF, as GNF packages functions individually.
-	var ctrs []*container.Container
-	cleanupCtrs := func() {
-		for _, c := range ctrs {
-			c.Stop()
-			c.Remove()
-		}
-	}
-	for i, fs := range spec.Functions {
+	cr := &chainResources{chain: chain}
+	for i, fs := range fns {
 		c, err := a.rt.Create(container.Config{
-			Name:  fmt.Sprintf("%s-%d-%s", spec.Chain, i, fs.Kind),
-			Image: ImageForKind(fs.Kind),
+			Name:  fmt.Sprintf("%s-%d-%s", name, i, fs.Kind),
+			Image: a.registry.ImageForKind(fs.Kind),
 		})
 		if err != nil {
-			cleanupCtrs()
+			cr.containerCleanup()
 			return nil, err
 		}
-		ctrs = append(ctrs, c)
+		cr.containers = append(cr.containers, c)
 		if err := c.Start(); err != nil {
-			cleanupCtrs()
+			cr.containerCleanup()
 			return nil, err
 		}
 	}
-	// The chain's aggregate state rides the first container's checkpoint.
-	if len(ctrs) > 0 {
-		ctrs[0].SetStateHandler(chain)
+	if len(cr.containers) > 0 {
+		cr.containers[0].SetStateHandler(chain)
 	}
 
-	// Two veth pairs: switch <-> chain ingress, switch <-> chain egress.
-	swIn, chainIn := netem.NewVethPair(spec.Chain+"-in0", spec.Chain+"-in1", netem.WithClock(a.clk))
-	swOut, chainOut := netem.NewVethPair(spec.Chain+"-out0", spec.Chain+"-out1", netem.WithClock(a.clk))
-	host := nf.NewChainHost(chain, chainIn, chainOut)
+	swIn, chainIn := netem.NewVethPair(name+"-in0", name+"-in1", netem.WithClock(a.clk))
+	swOut, chainOut := netem.NewVethPair(name+"-out0", name+"-out1", netem.WithClock(a.clk))
+	cr.host = nf.NewChainHost(chain, chainIn, chainOut)
+	cr.endpoints = []*netem.Endpoint{swIn, swOut}
 
 	a.mu.Lock()
-	inPort, outPort := a.allocPort(), a.allocPort()
+	cr.inPort, cr.outPort = a.allocPort(), a.allocPort()
 	a.mu.Unlock()
-	a.sw.AttachService(inPort, swIn)
-	a.sw.AttachService(outPort, swOut)
+	a.sw.AttachService(cr.inPort, swIn)
+	a.sw.AttachService(cr.outPort, swOut)
+	return cr, nil
+}
+
+// teardownChainResources stops forwarding and releases the instance's
+// ports, veths and containers.
+func (a *Agent) teardownChainResources(cr *chainResources) {
+	cr.host.Disable()
+	a.sw.Detach(cr.inPort)
+	a.sw.Detach(cr.outPort)
+	for _, ep := range cr.endpoints {
+		ep.Close()
+	}
+	cr.containerCleanup()
+}
+
+// buildDeployment constructs the resources behind one deployment: a shared
+// pool attachment when eligible, otherwise an exclusive instance.
+func (a *Agent) buildDeployment(spec DeploySpec, ci clientInfo, haveClient bool) (*deployment, error) {
+	if a.sharingEligible(spec) {
+		return a.attachShared(spec)
+	}
+
+	cr, err := a.buildChainResources(spec.Chain, spec.Functions)
+	if err != nil {
+		return nil, err
+	}
 
 	// Steering. Local chains divert the attached client's traffic: the
 	// client's outbound traffic enters the chain ingress; backhaul
@@ -291,22 +408,17 @@ func (a *Agent) Deploy(spec DeploySpec) (*DeployResult, error) {
 		tp, ok := a.tunnels[topology.StationID(spec.Via)]
 		a.mu.Unlock()
 		if !ok {
-			cleanupCtrs()
-			for _, ep := range []*netem.Endpoint{swIn, swOut} {
-				ep.Close()
-			}
-			a.sw.Detach(inPort)
-			a.sw.Detach(outPort)
+			a.teardownChainResources(cr)
 			return nil, fmt.Errorf("%w: %s", ErrNoTunnel, spec.Via)
 		}
-		ruleIDs = a.installRemoteSteering(spec, tp, inPort, outPort)
+		ruleIDs = a.installRemoteSteering(spec, tp, cr.inPort, cr.outPort)
 	case haveClient:
 		cp := ci.port
 		ruleIDs = append(ruleIDs, a.sw.AddRule(netem.Rule{
 			Priority: steerPriority,
 			Match:    netem.Match{InPort: &cp},
 			Action:   netem.ActionRedirect,
-			OutPort:  inPort,
+			OutPort:  cr.inPort,
 		}))
 		up := a.uplink
 		dstIP := ci.ip
@@ -314,72 +426,89 @@ func (a *Agent) Deploy(spec DeploySpec) (*DeployResult, error) {
 			Priority: steerPriority,
 			Match:    netem.Match{InPort: &up, DstIP: &dstIP},
 			Action:   netem.ActionRedirect,
-			OutPort:  outPort,
+			OutPort:  cr.outPort,
 		}))
 	}
 
 	dep := &deployment{
 		spec:       spec,
-		chain:      chain,
-		host:       host,
-		containers: ctrs,
-		endpoints:  []*netem.Endpoint{swIn, swOut},
+		chain:      cr.chain,
+		host:       cr.host,
+		containers: cr.containers,
+		endpoints:  cr.endpoints,
 		ruleIDs:    ruleIDs,
-		ports:      [2]netem.PortID{inPort, outPort},
+		ports:      [2]netem.PortID{cr.inPort, cr.outPort},
 	}
 	if spec.Enabled {
-		host.Enable()
+		cr.host.Enable()
 	}
-	a.mu.Lock()
-	a.deployments[spec.Chain] = dep
-	a.mu.Unlock()
-
-	res := &DeployResult{Chain: spec.Chain, AttachMillis: a.clk.Since(started).Milliseconds()}
-	for _, c := range ctrs {
-		res.Containers = append(res.Containers, c.Name())
-	}
-	return res, nil
+	return dep, nil
 }
 
-// ImageForKind maps an NF kind to its repository image name.
-func ImageForKind(kind string) string { return "gnf/" + kind + ":1.0" }
+// ImageForKind resolves an NF kind's repository image name through the
+// default registry, so registered NF versions select the image tag.
+func ImageForKind(kind string) string { return nf.Default.ImageForKind(kind) }
 
-// get fetches a deployment.
+// get fetches a deployment; names still mid-build are invisible.
 func (a *Agent) get(chain string) (*deployment, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	d, ok := a.deployments[chain]
-	if !ok {
+	if !ok || d.building {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownChain, chain)
 	}
 	return d, nil
 }
 
-// Enable starts forwarding on a deployed chain.
+// Enable starts forwarding on a deployed chain. For a shared attachment
+// this installs the client's steering rules; the pooled instance itself is
+// always forwarding.
 func (a *Agent) Enable(chain string) error {
 	d, err := a.get(chain)
 	if err != nil {
 		return err
 	}
+	if d.shared != nil {
+		a.enableShared(d)
+		return nil
+	}
 	d.host.Enable()
 	return nil
 }
 
-// Disable pauses forwarding (traffic drops while disabled).
+// Disable pauses forwarding. Exclusive chains drop traffic while disabled;
+// shared attachments instead remove the client's steering (bypass), since
+// the instance keeps serving its other clients.
 func (a *Agent) Disable(chain string) error {
 	d, err := a.get(chain)
 	if err != nil {
 		return err
 	}
+	if d.shared != nil {
+		a.disableShared(d)
+		return nil
+	}
 	d.host.Disable()
 	return nil
 }
 
-// Checkpoint exports the chain's aggregate NF state.
+// Checkpoint exports the chain's aggregate NF state. For shared
+// attachments this exports the pooled instance's primary-replica state —
+// shareable NFs hold only advisory state (counters), exported for
+// continuity, never per-client correctness state.
 func (a *Agent) Checkpoint(chain string) ([]byte, error) {
 	d, err := a.get(chain)
 	if err != nil {
 		return nil, err
+	}
+	if d.shared != nil {
+		res := d.shared.Payload().(*poolResources)
+		res.mu.Lock()
+		defer res.mu.Unlock()
+		if len(res.replicas) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+		}
+		return res.replicas[0].chain.ExportState()
 	}
 	if len(d.containers) == 0 {
 		return d.chain.ExportState()
@@ -387,11 +516,26 @@ func (a *Agent) Checkpoint(chain string) ([]byte, error) {
 	return d.containers[0].Checkpoint()
 }
 
-// Restore imports chain state exported by Checkpoint.
+// Restore imports chain state exported by Checkpoint. Importing into a
+// shared instance only happens while this attachment is its sole sharer (a
+// migration landing on a fresh instance); otherwise the state of the
+// clients already being served wins and the import is a no-op.
 func (a *Agent) Restore(chain string, state []byte) error {
 	d, err := a.get(chain)
 	if err != nil {
 		return err
+	}
+	if d.shared != nil {
+		if a.pool.Refs(d.shared.Key()) != 1 {
+			return nil
+		}
+		res := d.shared.Payload().(*poolResources)
+		res.mu.Lock()
+		defer res.mu.Unlock()
+		if len(res.replicas) == 0 {
+			return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+		}
+		return res.replicas[0].chain.ImportState(state)
 	}
 	if len(d.containers) == 0 {
 		return d.chain.ImportState(state)
@@ -400,16 +544,23 @@ func (a *Agent) Restore(chain string, state []byte) error {
 }
 
 // Remove tears a deployment down: steering rules out first (traffic cuts
-// over to normal forwarding), then containers, ports and veths.
+// over to normal forwarding), then containers, ports and veths. Shared
+// attachments only drop their reference; the instance survives for other
+// sharers, or idles into the reaper's grace window.
 func (a *Agent) Remove(chain string) error {
 	a.mu.Lock()
 	d, ok := a.deployments[chain]
-	if !ok {
+	if !ok || d.building {
 		a.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
 	}
 	delete(a.deployments, chain)
 	a.mu.Unlock()
+
+	if d.shared != nil {
+		a.releaseShared(d)
+		return nil
+	}
 
 	for _, id := range d.ruleIDs {
 		a.sw.RemoveRule(id)
@@ -447,34 +598,56 @@ func (a *Agent) Chains() []string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	out := make([]string, 0, len(a.deployments))
-	for name := range a.deployments {
+	for name, d := range a.deployments {
+		if d.building {
+			continue
+		}
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// ChainEnabled reports whether a deployed chain is currently forwarding.
+// ChainEnabled reports whether a deployed chain is currently forwarding
+// (for shared attachments: whether the client's steering is installed).
 func (a *Agent) ChainEnabled(chain string) (bool, error) {
 	d, err := a.get(chain)
 	if err != nil {
 		return false, err
 	}
+	if d.shared != nil {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return d.enabled, nil
+	}
 	return d.host.Enabled(), nil
 }
 
 // ChainFunction exposes the live chain function (local callers only, e.g.
-// tests asserting NF state).
+// tests asserting NF state). For shared attachments it returns the pooled
+// instance's primary replica.
 func (a *Agent) ChainFunction(chain string) (*nf.Chain, error) {
 	d, err := a.get(chain)
 	if err != nil {
 		return nil, err
 	}
+	if d.shared != nil {
+		res := d.shared.Payload().(*poolResources)
+		res.mu.Lock()
+		defer res.mu.Unlock()
+		if len(res.replicas) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+		}
+		return res.replicas[0].chain, nil
+	}
 	return d.chain, nil
 }
 
-// Report builds the periodic status report.
+// Report builds the periodic status report. It doubles as the reaper's
+// heartbeat: idle shared instances whose grace lapsed between control-plane
+// operations are reclaimed on the next report tick.
 func (a *Agent) Report() Report {
+	a.ReapPools()
 	swst := a.sw.Stats()
 	rep := Report{
 		Station: string(a.station),
@@ -491,20 +664,52 @@ func (a *Agent) Report() Report {
 	a.mu.Lock()
 	deps := make([]*deployment, 0, len(a.deployments))
 	for _, d := range a.deployments {
+		if d.building {
+			continue
+		}
 		deps = append(deps, d)
 	}
 	a.mu.Unlock()
+	// Sharers of one instance all report the same aggregate counters;
+	// compute them once per instance, not once per sharer (a thousand
+	// clients on one pool would otherwise rescan it a thousand times).
+	type poolLoad struct{ processed, dropped uint64 }
+	loadOf := make(map[*poolResources]poolLoad)
 	for _, d := range deps {
-		cs := ChainStatus{
-			Chain:     d.spec.Chain,
-			Client:    d.spec.Client,
-			Enabled:   d.host.Enabled(),
-			Processed: d.host.Processed(),
-			Dropped:   d.host.Dropped(),
-			NFStats:   d.chain.NFStats(),
+		var cs ChainStatus
+		if d.shared != nil {
+			res := d.shared.Payload().(*poolResources)
+			load, ok := loadOf[res]
+			if !ok {
+				load.processed, load.dropped, _ = res.loads()
+				loadOf[res] = load
+			}
+			processed, dropped := load.processed, load.dropped
+			a.mu.Lock()
+			enabled := d.enabled
+			a.mu.Unlock()
+			cs = ChainStatus{
+				Chain:      d.spec.Chain,
+				Client:     d.spec.Client,
+				Enabled:    enabled,
+				Processed:  processed,
+				Dropped:    dropped,
+				Shared:     true,
+				ConfigHash: d.shared.Key().ConfigHash,
+			}
+		} else {
+			cs = ChainStatus{
+				Chain:     d.spec.Chain,
+				Client:    d.spec.Client,
+				Enabled:   d.host.Enabled(),
+				Processed: d.host.Processed(),
+				Dropped:   d.host.Dropped(),
+				NFStats:   d.chain.NFStats(),
+			}
 		}
 		rep.Chains = append(rep.Chains, cs)
 	}
+	rep.Pools = a.PoolStats()
 	return rep
 }
 

@@ -187,8 +187,12 @@ func TestRemoveRestoresDirectPath(t *testing.T) {
 	if err := st.ag.Remove("ch1"); !errors.Is(err, agent.ErrUnknownChain) {
 		t.Fatalf("double remove: %v", err)
 	}
+	// The shareable chain's instance idles in the pool's grace window after
+	// the last reference leaves; once grace lapses the reaper reclaims it.
+	st.clk.Advance(time.Minute)
+	st.ag.ReapPools()
 	if len(st.ag.Runtime().List()) != 0 {
-		t.Fatal("containers leaked after Remove")
+		t.Fatal("containers leaked after Remove + reap")
 	}
 }
 

@@ -164,6 +164,13 @@ func (l *Link) installHandlers() {
 		}
 		return nil, a.ClearSteer(topology.ClientID(spec.Client))
 	})
+	l.peer.Handle(MethodScalePool, func(body json.RawMessage) (any, error) {
+		var spec ScalePoolSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return nil, a.ScalePool(spec.Kinds, spec.ConfigHash, spec.Replicas)
+	})
 	l.peer.Handle(MethodRetarget, func(body json.RawMessage) (any, error) {
 		var spec RetargetSpec
 		if err := json.Unmarshal(body, &spec); err != nil {

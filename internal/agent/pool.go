@@ -1,0 +1,365 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gnf/internal/netem"
+	"gnf/internal/share"
+	"gnf/internal/topology"
+)
+
+// Errors returned by the shared-pool paths.
+var (
+	ErrUnknownPool = errors.New("agent: no shared instance for pool key")
+	ErrBadReplicas = errors.New("agent: replica count must be >= 1")
+)
+
+// poolResources is the dataplane payload behind one share.Instance: the
+// replica set plus the two switch select groups (ingress/egress) that
+// client steering rules fan into. Client rules never name replica ports
+// directly, so scaling only rewrites group membership.
+type poolResources struct {
+	name string   // unique resource-name prefix ("pool-<hash>-gN")
+	fns  []NFSpec // replica blueprint
+
+	inGroup  int
+	outGroup int
+
+	// scaleMu serialises replica-set transitions (ScalePool, teardown).
+	// Container boots happen under scaleMu only — never under mu — so
+	// counter readers (reports, checkpoints) cannot stall behind a
+	// modeled boot latency.
+	scaleMu     sync.Mutex
+	nextReplica int // monotonic naming index, never reused; scaleMu-held
+
+	// mu guards the published replica list and the dead flag; held only
+	// for cheap reads and list swaps. Replicas are plain chainResources,
+	// always-forwarding — per-client activation lives in steering rules.
+	mu       sync.Mutex
+	replicas []*chainResources
+	dead     bool // torn down by the reaper; reject scaling
+}
+
+// loads sums processed/dropped frames over the replica set and returns the
+// per-replica processed breakdown, in replica order.
+func (res *poolResources) loads() (processed, dropped uint64, per []uint64) {
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	per = make([]uint64, 0, len(res.replicas))
+	for _, rep := range res.replicas {
+		p := rep.host.Processed()
+		processed += p
+		dropped += rep.host.Dropped()
+		per = append(per, p)
+	}
+	return processed, dropped, per
+}
+
+// poolKeyOf computes the canonical pool key of a chain spec. Function
+// instance names are excluded: sharing is decided by configuration alone.
+func poolKeyOf(fns []NFSpec) share.Key {
+	specs := make([]share.FuncSpec, 0, len(fns))
+	for _, fs := range fns {
+		specs = append(specs, share.FuncSpec{Kind: fs.Kind, Params: fs.Params})
+	}
+	return share.ChainKey(specs)
+}
+
+// sharingEligible reports whether a deployment may attach to a shared
+// instance: sharing enabled, a local (non-tunnelled) chain, and every
+// member kind registered shareable. Chains with any stateful member keep
+// the one-instance-per-client layout of the paper.
+func (a *Agent) sharingEligible(spec DeploySpec) bool {
+	if !a.sharing || spec.Remote || len(spec.Functions) == 0 {
+		return false
+	}
+	for _, fs := range spec.Functions {
+		if !a.registry.Shareable(fs.Kind) {
+			return false
+		}
+	}
+	return true
+}
+
+// attachShared deploys spec against the shared pool: attach to a
+// compatible live instance, or build the first replica of a new one. The
+// attach cost of a pool hit is zero container boots — that is the whole
+// point.
+func (a *Agent) attachShared(spec DeploySpec) (*deployment, error) {
+	key := poolKeyOf(spec.Functions)
+	inst, _, err := a.pool.Acquire(key, spec.Chain, func() (any, error) {
+		return a.buildPoolResources(key, spec.Functions)
+	})
+	if err != nil {
+		return nil, err
+	}
+	dep := &deployment{spec: spec, shared: inst}
+	if spec.Enabled {
+		a.enableShared(dep)
+	} else {
+		// Match the exclusive layout's disabled semantics from the first
+		// frame: steer-and-drop, never an unfiltered window.
+		a.disableShared(dep)
+	}
+	return dep, nil
+}
+
+// containerNames lists the containers backing the instance, replica order.
+func (res *poolResources) containerNames() []string {
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	var out []string
+	for _, rep := range res.replicas {
+		for _, c := range rep.containers {
+			out = append(out, c.Name())
+		}
+	}
+	return out
+}
+
+// buildPoolResources constructs a fresh shared instance: replica 0 and the
+// steering groups. The generation counter keeps resource names unique even
+// when a key is reaped and re-created.
+func (a *Agent) buildPoolResources(key share.Key, fns []NFSpec) (*poolResources, error) {
+	res := &poolResources{
+		name: fmt.Sprintf("pool-%s-g%d", key.Short(), a.poolSeq.Add(1)),
+		fns:  fns,
+	}
+	rep, err := a.buildPoolReplica(res)
+	if err != nil {
+		return nil, err
+	}
+	res.replicas = []*chainResources{rep}
+	res.inGroup = a.sw.AddGroup([]netem.PortID{rep.inPort})
+	res.outGroup = a.sw.AddGroup([]netem.PortID{rep.outPort})
+	return res, nil
+}
+
+// buildPoolReplica boots one replica of res — the same build as an
+// exclusive deployment (buildChainResources), named under the pool prefix
+// and forwarding from birth: per-client activation is steering-only.
+// Callers hold res.scaleMu once res is published (ScalePool); the initial
+// build owns res exclusively. res.mu is deliberately not required: boots
+// sleep modeled container costs.
+func (a *Agent) buildPoolReplica(res *poolResources) (*chainResources, error) {
+	idx := res.nextReplica
+	res.nextReplica++
+	rep, err := a.buildChainResources(fmt.Sprintf("%s-r%d", res.name, idx), res.fns)
+	if err != nil {
+		return nil, err
+	}
+	rep.host.Enable()
+	return rep, nil
+}
+
+// enableShared points the client's steering rules at the instance's select
+// groups.
+func (a *Agent) enableShared(dep *deployment) {
+	a.setSharedSteering(dep, true)
+}
+
+// disableShared swaps the client's steering to drop rules: a disabled
+// chain must behave the same whether its instance is exclusive or shared —
+// fail closed — so a firewall mid-migration never fails open just because
+// the instance also serves other clients. The shared instance itself keeps
+// forwarding for its other sharers.
+func (a *Agent) disableShared(dep *deployment) {
+	a.setSharedSteering(dep, false)
+}
+
+// setSharedSteering (re)installs the attachment's two client rules —
+// outbound into the ingress group and inbound into the egress group when
+// enabled, both dropping when disabled — then removes whatever rules the
+// attachment had before, so there is no unsteered window during the swap.
+// An attachment Remove has already torn down gets nothing: rules installed
+// past that point would never be cleaned up and would steer the client
+// into groups destined for removal.
+func (a *Agent) setSharedSteering(dep *deployment, enabled bool) {
+	a.mu.Lock()
+	if dep.removed || (dep.enabled == enabled && dep.ruleIDs != nil) {
+		a.mu.Unlock()
+		return
+	}
+	dep.enabled = enabled
+	dep.steerSeq++
+	seq := dep.steerSeq
+	ci, haveClient := a.clients[topology.ClientID(dep.spec.Client)]
+	a.mu.Unlock()
+	if !haveClient {
+		return
+	}
+	res := dep.shared.Payload().(*poolResources)
+	cp := ci.port
+	up := a.uplink
+	dstIP := ci.ip
+	outRule := netem.Rule{Priority: steerPriority, Match: netem.Match{InPort: &cp}}
+	inRule := netem.Rule{Priority: steerPriority, Match: netem.Match{InPort: &up, DstIP: &dstIP}}
+	if enabled {
+		outRule.Action, outRule.Group = netem.ActionGroup, res.inGroup
+		inRule.Action, inRule.Group = netem.ActionGroup, res.outGroup
+	} else {
+		outRule.Action = netem.ActionDrop
+		inRule.Action = netem.ActionDrop
+	}
+	ids := []int{a.sw.AddRule(outRule), a.sw.AddRule(inRule)}
+	a.mu.Lock()
+	if dep.removed || dep.steerSeq != seq {
+		// Remove, or a newer Enable/Disable intent, won the race while we
+		// were installing: our fresh rules must go, not persist as orphans
+		// (or shadow the newer intent's rules).
+		a.mu.Unlock()
+		for _, id := range ids {
+			a.sw.RemoveRule(id)
+		}
+		return
+	}
+	old := dep.ruleIDs
+	dep.ruleIDs = ids
+	a.mu.Unlock()
+	for _, id := range old {
+		a.sw.RemoveRule(id)
+	}
+}
+
+// releaseShared removes the attachment's steering entirely (traffic cuts
+// over to normal forwarding), detaches it from its instance, and reaps
+// anything whose grace period has lapsed.
+func (a *Agent) releaseShared(dep *deployment) {
+	a.mu.Lock()
+	dep.removed = true
+	ids := dep.ruleIDs
+	dep.ruleIDs = nil
+	dep.enabled = false
+	a.mu.Unlock()
+	for _, id := range ids {
+		a.sw.RemoveRule(id)
+	}
+	a.pool.Release(dep.shared.Key(), dep.spec.Chain)
+	a.ReapPools()
+}
+
+// ReapPools tears down shared instances that have been unreferenced past
+// the pool's grace period, returning how many were reclaimed. It runs
+// lazily on deploy/remove/report; tests and operators may call it
+// directly.
+func (a *Agent) ReapPools() int {
+	reaped := a.pool.Reap()
+	for _, inst := range reaped {
+		a.teardownPoolResources(inst.Payload().(*poolResources))
+	}
+	return len(reaped)
+}
+
+// teardownPoolResources dismantles an instance: groups first (rules that
+// somehow survive go to group-miss drops instead of a dead port), then
+// every replica. Holding scaleMu keeps it from interleaving with an
+// in-flight ScalePool.
+func (a *Agent) teardownPoolResources(res *poolResources) {
+	res.scaleMu.Lock()
+	defer res.scaleMu.Unlock()
+	res.mu.Lock()
+	res.dead = true
+	reps := res.replicas
+	res.replicas = nil
+	res.mu.Unlock()
+	a.sw.RemoveGroup(res.inGroup)
+	a.sw.RemoveGroup(res.outGroup)
+	for _, rep := range reps {
+		a.teardownChainResources(rep)
+	}
+}
+
+// refreshGroups republishes the instance's group membership from the
+// current replica set. Callers hold res.mu.
+func (a *Agent) refreshGroups(res *poolResources) {
+	inPorts := make([]netem.PortID, 0, len(res.replicas))
+	outPorts := make([]netem.PortID, 0, len(res.replicas))
+	for _, rep := range res.replicas {
+		inPorts = append(inPorts, rep.inPort)
+		outPorts = append(outPorts, rep.outPort)
+	}
+	a.sw.SetGroup(res.inGroup, inPorts)
+	a.sw.SetGroup(res.outGroup, outPorts)
+}
+
+// ScalePool resizes a shared instance's replica set. Scale-out boots new
+// replicas and then adds their ports to the steering groups (no frame
+// reaches a replica before it forwards); scale-in drains first — victims
+// leave the groups, flows re-hash onto survivors — and tears the victims
+// down after. The generation bump of the group rewrite invalidates every
+// cached flow verdict, so live flows re-spread immediately.
+func (a *Agent) ScalePool(kinds, configHash string, replicas int) error {
+	if replicas < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadReplicas, replicas)
+	}
+	key := share.Key{Kinds: kinds, ConfigHash: configHash}
+	inst := a.pool.Get(key)
+	if inst == nil {
+		return fmt.Errorf("%w: %s/%s", ErrUnknownPool, kinds, configHash)
+	}
+	res := inst.Payload().(*poolResources)
+	res.scaleMu.Lock()
+	defer res.scaleMu.Unlock()
+	res.mu.Lock()
+	cur := len(res.replicas)
+	if res.dead {
+		res.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s", ErrUnknownPool, kinds, configHash)
+	}
+	res.mu.Unlock()
+
+	// Scale out first, without holding res.mu: booting a replica sleeps
+	// the modeled container costs, and counter readers (reports feeding
+	// the very autoscaler driving this call) must not stall behind it.
+	var added []*chainResources
+	var buildErr error
+	for cur+len(added) < replicas {
+		rep, err := a.buildPoolReplica(res)
+		if err != nil {
+			buildErr = err // publish whatever did come up
+			break
+		}
+		added = append(added, rep)
+	}
+	res.mu.Lock()
+	res.replicas = append(res.replicas, added...)
+	var victims []*chainResources
+	if buildErr == nil && len(res.replicas) > replicas {
+		victims = append(victims, res.replicas[replicas:]...)
+		res.replicas = res.replicas[:replicas]
+	}
+	if len(added) > 0 || len(victims) > 0 {
+		// A no-op resize must not rewrite the groups: every SetGroup bumps
+		// the switch generation and flushes the whole per-flow verdict
+		// cache — for all flows on the station, not just this pool's.
+		a.refreshGroups(res)
+	}
+	res.mu.Unlock()
+	for _, rep := range victims {
+		a.teardownChainResources(rep)
+	}
+	return buildErr
+}
+
+// PoolStats snapshots the agent's shared-instance table for reports, the
+// autoscaler and gnfctl pools.
+func (a *Agent) PoolStats() []PoolStatus {
+	stats := a.pool.Snapshot()
+	out := make([]PoolStatus, 0, len(stats))
+	for _, st := range stats {
+		ps := PoolStatus{
+			Kinds:      st.Key.Kinds,
+			ConfigHash: st.Key.ConfigHash,
+			Refs:       st.Refs,
+		}
+		if inst := a.pool.Get(st.Key); inst != nil {
+			res := inst.Payload().(*poolResources)
+			ps.Processed, ps.Dropped, ps.PerReplica = res.loads()
+			ps.Replicas = len(ps.PerReplica)
+		}
+		out = append(out, ps)
+	}
+	return out
+}

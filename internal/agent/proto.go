@@ -23,6 +23,7 @@ const (
 	MethodSteer      = "agent.steer"
 	MethodUnsteer    = "agent.unsteer"
 	MethodRetarget   = "agent.retarget"
+	MethodScalePool  = "agent.scalePool"
 
 	// Manager-served methods.
 	MethodRegister    = "manager.register"
@@ -63,6 +64,9 @@ type DeployResult struct {
 	Chain        string   `json:"chain"`
 	Containers   []string `json:"containers"`
 	AttachMillis int64    `json:"attach_millis"` // modeled attach latency
+	// Shared marks an attachment to a pooled instance; Containers then
+	// lists the instance's (shared) containers rather than fresh ones.
+	Shared bool `json:"shared,omitempty"`
 }
 
 // ChainRef names a deployment on an agent.
@@ -108,7 +112,31 @@ type Report struct {
 	Usage    metrics.ResourceUsage `json:"usage"`
 	Switch   SwitchStats           `json:"switch"`
 	Chains   []ChainStatus         `json:"chains"`
+	Pools    []PoolStatus          `json:"pools,omitempty"`
 	UnixNano int64                 `json:"unix_nano"`
+}
+
+// PoolStatus describes one shared NF instance on a station: its pool key,
+// how many deployments reference it, how many replicas serve it, and the
+// aggregate frames processed (the autoscaler's load signal).
+type PoolStatus struct {
+	Kinds      string `json:"kinds"`       // chain kind signature, e.g. "firewall+counter"
+	ConfigHash string `json:"config_hash"` // canonical configuration digest
+	Refs       int    `json:"refs"`        // attached deployments (0 = idle, in grace)
+	Replicas   int    `json:"replicas"`
+	Processed  uint64 `json:"processed"` // frames, summed over replicas
+	Dropped    uint64 `json:"dropped"`
+	// PerReplica breaks Processed down per replica, in replica order.
+	PerReplica []uint64 `json:"per_replica,omitempty"`
+}
+
+// ScalePoolSpec asks an agent to resize a shared instance's replica group.
+// Replicas must be >= 1; scale-in drains (removes the replica from the
+// steering group so flows re-hash away) before tearing the replica down.
+type ScalePoolSpec struct {
+	Kinds      string `json:"kinds"`
+	ConfigHash string `json:"config_hash"`
+	Replicas   int    `json:"replicas"`
 }
 
 // SwitchStats mirrors netem.SwitchStats for the wire.
@@ -128,6 +156,11 @@ type ChainStatus struct {
 	Processed uint64            `json:"processed"`
 	Dropped   uint64            `json:"dropped"`
 	NFStats   map[string]uint64 `json:"nf_stats,omitempty"`
+	// Shared marks a deployment served by a pooled instance; Processed and
+	// Dropped then aggregate over every sharer, and ConfigHash names the
+	// pool entry serving it.
+	Shared     bool   `json:"shared,omitempty"`
+	ConfigHash string `json:"config_hash,omitempty"`
 }
 
 // ClientEvent reports client (dis)connection to the manager (§3: the Agent

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// sharedChain is an identical shareable spec for every client, with the
+// per-client chain name the manager requires.
+func sharedChain(name string) manager.ChainSpec {
+	return manager.ChainSpec{
+		Name: name,
+		Functions: []agent.NFSpec{
+			{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+			{Kind: "counter", Name: "acct"},
+		},
+	}
+}
+
+// TestSharedPoolDensityHundredClients is the tentpole acceptance check:
+// 100 clients on one station, all deploying the same shareable chain spec
+// through the full Manager->Agent path, must share O(replicas) NF
+// instances — and the placement invariants must still audit clean.
+func TestSharedPoolDensityHundredClients(t *testing.T) {
+	sys, _, err := NewVirtualSystem(Config{
+		Stations: []StationConfig{
+			{ID: "st-a", Cells: []CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 500}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	const clients = 100
+	for i := 0; i < clients; i++ {
+		id := topology.ClientID(fmt.Sprintf("c%03d", i))
+		mac := packet.MAC{2, 0, 0, 7, byte(i >> 8), byte(i)}
+		ip := packet.IP{10, 7, byte(i >> 8), byte(i + 1)}
+		if err := sys.AddClient(id, mac, ip); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Topo.Attach(id, "cell-a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AttachChain(id, sharedChain(fmt.Sprintf("fw-%s", id))); err != nil {
+			t.Fatalf("attach chain %d: %v", i, err)
+		}
+	}
+
+	ag := sys.Agent("st-a")
+	if got := len(ag.Chains()); got != clients {
+		t.Fatalf("agent hosts %d chains, want %d", got, clients)
+	}
+	// One shared instance (2 containers: firewall + counter), not 200.
+	if got := len(ag.Runtime().List()); got != 2 {
+		t.Fatalf("station runs %d containers for %d clients, want 2", got, clients)
+	}
+	pools := ag.PoolStats()
+	if len(pools) != 1 || pools[0].Refs != clients || pools[0].Replicas != 1 {
+		t.Fatalf("pools = %+v", pools)
+	}
+
+	if violations := sys.Audit(); len(violations) != 0 {
+		t.Fatalf("audit violations with sharing: %v", violations)
+	}
+
+	// Scaling the shared instance out keeps the audit clean too.
+	if err := ag.ScalePool(pools[0].Kinds, pools[0].ConfigHash, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ag.Runtime().List()); got != 6 {
+		t.Fatalf("containers after scale-out = %d, want 6", got)
+	}
+	if violations := sys.Audit(); len(violations) != 0 {
+		t.Fatalf("audit violations after scale-out: %v", violations)
+	}
+
+	// Detaching every client drains the pool; after grace the instance dies.
+	for i := 0; i < clients; i++ {
+		id := fmt.Sprintf("c%03d", i)
+		if err := sys.Manager.DetachChain(id, "fw-c"+id[1:]); err != nil {
+			t.Fatalf("detach %s: %v", id, err)
+		}
+	}
+	if pools := ag.PoolStats(); len(pools) != 1 || pools[0].Refs != 0 {
+		t.Fatalf("pools after detach = %+v", pools)
+	}
+}
+
+// TestSharedMigrationOneSharerRoams checks the roaming interaction: two
+// clients share an instance on st-a; one roams to st-b. Its chain must
+// migrate (fresh instance on st-b), the stayer must keep the st-a
+// instance, and the audit must stay clean throughout.
+func TestSharedMigrationOneSharerRoams(t *testing.T) {
+	sys, _, err := NewVirtualSystem(Config{
+		Stations: []StationConfig{
+			{ID: "st-a", Cells: []CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	for i, id := range []topology.ClientID{"alice", "bob"} {
+		mac := packet.MAC{2, 0, 0, 8, 0, byte(i + 1)}
+		ip := packet.IP{10, 8, 0, byte(i + 1)}
+		if err := sys.AddClient(id, mac, ip); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Topo.Attach(id, "cell-a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AttachChain(id, sharedChain("fw-"+string(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agA, agB := sys.Agent("st-a"), sys.Agent("st-b")
+	if pools := agA.PoolStats(); len(pools) != 1 || pools[0].Refs != 2 {
+		t.Fatalf("st-a pools = %+v", pools)
+	}
+
+	// Alice roams to st-b; her chain migrates, bob's stays shared on st-a.
+	if err := sys.Topo.MoveClient("alice", topology.Point{X: 100}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("alice", "st-b", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+
+	if pools := agA.PoolStats(); len(pools) != 1 || pools[0].Refs != 1 {
+		t.Fatalf("st-a pools after roam = %+v", pools)
+	}
+	if pools := agB.PoolStats(); len(pools) != 1 || pools[0].Refs != 1 {
+		t.Fatalf("st-b pools after roam = %+v", pools)
+	}
+	if enabled, err := agB.ChainEnabled("fw-alice"); err != nil || !enabled {
+		t.Fatalf("migrated chain enabled = %v, %v", enabled, err)
+	}
+	if enabled, err := agA.ChainEnabled("fw-bob"); err != nil || !enabled {
+		t.Fatalf("stayer chain enabled = %v, %v", enabled, err)
+	}
+	if violations := sys.Audit(); len(violations) != 0 {
+		t.Fatalf("audit violations after sharer migration: %v", violations)
+	}
+}

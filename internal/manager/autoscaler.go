@@ -1,0 +1,253 @@
+// The autoscaler is the control loop that makes shared NF instances
+// elastic ("Online VNF Scaling in Datacenters", Wang et al.): it watches
+// per-instance load — frames processed, summed from the replicas' striped
+// dataplane counters and carried up in agent reports — and resizes each
+// instance's replica group so per-replica load stays inside a band. The
+// dataplane spreads flows across replicas by flow-hash (switch select
+// groups), so a scale decision is one RPC that rewrites group membership.
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gnf/internal/agent"
+)
+
+// AutoscalerPolicy bounds the per-replica load band. Loads are measured in
+// frames processed since the previous evaluation, divided by the replica
+// count — an interval-relative rate, which keeps the policy meaningful on
+// both wall and virtual clocks.
+type AutoscalerPolicy struct {
+	// ScaleOutLoad is the per-replica processed-frames delta above which
+	// one replica is added.
+	ScaleOutLoad uint64
+	// ScaleInLoad is the per-replica delta below which one replica is
+	// removed (never below one replica).
+	ScaleInLoad uint64
+	// MaxReplicas caps a single instance's replica group (0 = 8).
+	MaxReplicas int
+}
+
+// DefaultAutoscalerPolicy is a conservative band for 1s report intervals.
+var DefaultAutoscalerPolicy = AutoscalerPolicy{
+	ScaleOutLoad: 5000,
+	ScaleInLoad:  500,
+	MaxReplicas:  8,
+}
+
+// normalize fills zero fields with defaults.
+func (p AutoscalerPolicy) normalize() AutoscalerPolicy {
+	if p.MaxReplicas <= 0 {
+		p.MaxReplicas = 8
+	}
+	return p
+}
+
+// ScaleEvent records one replica-group resize the autoscaler ordered.
+type ScaleEvent struct {
+	Station    string    `json:"station"`
+	Kinds      string    `json:"kinds"`
+	ConfigHash string    `json:"config_hash"`
+	From       int       `json:"from"`
+	To         int       `json:"to"`
+	Reason     string    `json:"reason"`
+	At         time.Time `json:"at"`
+	Err        string    `json:"err,omitempty"`
+}
+
+// autoscaler is the manager-side state of the control loop.
+type autoscaler struct {
+	mu     sync.Mutex
+	policy AutoscalerPolicy
+	// lastProcessed remembers each instance's processed counter from the
+	// previous evaluation, keyed station|kinds|hash, to turn monotonic
+	// counters into per-interval deltas.
+	lastProcessed map[string]uint64
+	events        []ScaleEvent
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// SetAutoscalerPolicy installs the load band consulted by evaluations.
+func (m *Manager) SetAutoscalerPolicy(p AutoscalerPolicy) {
+	m.auto.mu.Lock()
+	m.auto.policy = p.normalize()
+	m.auto.mu.Unlock()
+}
+
+// AutoscalerPolicy returns the active policy.
+func (m *Manager) AutoscalerPolicy() AutoscalerPolicy {
+	m.auto.mu.Lock()
+	defer m.auto.mu.Unlock()
+	return m.auto.policy.normalize()
+}
+
+// ScaleEvents returns a copy of every scale decision taken so far.
+func (m *Manager) ScaleEvents() []ScaleEvent {
+	m.auto.mu.Lock()
+	defer m.auto.mu.Unlock()
+	return append([]ScaleEvent{}, m.auto.events...)
+}
+
+// EvaluateAutoscaler runs one synchronous autoscaling pass: pull a fresh
+// report from every agent, compare each shared instance's per-replica load
+// delta against the policy band, and order scale-out/scale-in RPCs. It
+// returns the decisions of this pass (also appended to ScaleEvents).
+// Deterministic given deterministic traffic — which is what lets scenarios
+// script it.
+func (m *Manager) EvaluateAutoscaler() []ScaleEvent {
+	m.auto.mu.Lock()
+	policy := m.auto.policy.normalize()
+	m.auto.mu.Unlock()
+
+	m.mu.Lock()
+	handles := make([]*AgentHandle, 0, len(m.agents))
+	for _, h := range m.agents {
+		handles = append(handles, h)
+	}
+	m.mu.Unlock()
+	sort.Slice(handles, func(i, j int) bool { return handles[i].Station < handles[j].Station })
+
+	var passEvents []ScaleEvent
+	livePools := make(map[string]bool)
+	for _, h := range handles {
+		var rep agent.Report
+		if err := h.call(agent.MethodStats, nil, &rep); err != nil {
+			continue // dead agents are failover's problem, not the scaler's
+		}
+		for _, ps := range rep.Pools {
+			key := h.Station + "|" + ps.Kinds + "|" + ps.ConfigHash
+			livePools[key] = true
+			m.auto.mu.Lock()
+			last, seen := m.auto.lastProcessed[key]
+			m.auto.lastProcessed[key] = ps.Processed
+			m.auto.mu.Unlock()
+			if !seen {
+				continue // first sight establishes the baseline
+			}
+			if ps.Replicas == 0 || ps.Refs == 0 {
+				continue // idle instance: the reaper owns it
+			}
+			// The aggregate shrinks when a scale-in tears a replica (and its
+			// counters) down; a quiet interval is the safe reading — an
+			// unsigned subtraction here once scaled a pool straight back out
+			// on a phantom 2^64 load.
+			var delta uint64
+			if ps.Processed > last {
+				delta = ps.Processed - last
+			}
+			perReplica := delta / uint64(ps.Replicas)
+			target := ps.Replicas
+			reason := ""
+			switch {
+			case perReplica >= policy.ScaleOutLoad && ps.Replicas < policy.MaxReplicas:
+				target = ps.Replicas + 1
+				reason = fmt.Sprintf("per-replica load %d >= %d", perReplica, policy.ScaleOutLoad)
+			case perReplica <= policy.ScaleInLoad && ps.Replicas > 1:
+				target = ps.Replicas - 1
+				reason = fmt.Sprintf("per-replica load %d <= %d", perReplica, policy.ScaleInLoad)
+			}
+			if target == ps.Replicas {
+				continue
+			}
+			ev := ScaleEvent{
+				Station:    h.Station,
+				Kinds:      ps.Kinds,
+				ConfigHash: ps.ConfigHash,
+				From:       ps.Replicas,
+				To:         target,
+				Reason:     reason,
+				At:         m.clk.Now(),
+			}
+			if err := h.call(agent.MethodScalePool, agent.ScalePoolSpec{
+				Kinds: ps.Kinds, ConfigHash: ps.ConfigHash, Replicas: target,
+			}, nil); err != nil {
+				ev.Err = err.Error()
+			}
+			passEvents = append(passEvents, ev)
+		}
+	}
+	// Drop baselines for pools no longer reported (reaped instances,
+	// departed stations): without pruning the map grows for the life of
+	// the manager, and a re-created pool whose counters restarted at zero
+	// would read one bogus quiet interval off the stale baseline. A pool
+	// behind a transiently unreachable agent is pruned too and simply
+	// re-baselines on its next appearance.
+	m.auto.mu.Lock()
+	for key := range m.auto.lastProcessed {
+		if !livePools[key] {
+			delete(m.auto.lastProcessed, key)
+		}
+	}
+	m.auto.events = append(m.auto.events, passEvents...)
+	m.auto.mu.Unlock()
+	return passEvents
+}
+
+// StartAutoscaler runs EvaluateAutoscaler every interval until the manager
+// closes (or StopAutoscaler). Wall-clock deployments use this; virtual
+// scenarios script evaluations instead.
+func (m *Manager) StartAutoscaler(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m.auto.mu.Lock()
+	if m.auto.stop != nil {
+		m.auto.mu.Unlock()
+		return // already running
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.auto.stop, m.auto.done = stop, done
+	m.auto.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				m.EvaluateAutoscaler()
+			}
+		}
+	}()
+}
+
+// StopAutoscaler halts the background loop (idempotent).
+func (m *Manager) StopAutoscaler() {
+	m.auto.mu.Lock()
+	stop, done := m.auto.stop, m.auto.done
+	m.auto.stop, m.auto.done = nil, nil
+	m.auto.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// PoolTables fetches every connected agent's live shared-instance table —
+// the data behind `gnfctl pools` and GET /api/pools. Stations are keyed by
+// name; agents that cannot be reached are omitted.
+func (m *Manager) PoolTables() map[string][]agent.PoolStatus {
+	m.mu.Lock()
+	handles := make([]*AgentHandle, 0, len(m.agents))
+	for _, h := range m.agents {
+		handles = append(handles, h)
+	}
+	m.mu.Unlock()
+	out := make(map[string][]agent.PoolStatus)
+	for _, h := range handles {
+		var rep agent.Report
+		if err := h.call(agent.MethodStats, nil, &rep); err != nil {
+			continue
+		}
+		out[h.Station] = rep.Pools
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package manager_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/container"
+	"gnf/internal/manager"
+	"gnf/internal/netem"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// scalerStation is a fakeStation with a real client host wired in, so the
+// shared instance sees genuine dataplane load.
+type scalerStation struct {
+	ag     *agent.Agent
+	client *netem.Host
+	clk    *clock.Virtual
+}
+
+func newScalerStation(t *testing.T, mgr *manager.Manager, name string) *scalerStation {
+	t.Helper()
+	clk := clock.NewAutoVirtual()
+	repo := container.NewRepository(clk, 0, 0)
+	for _, kind := range []string{"firewall", "counter"} {
+		repo.Push(container.Image{Name: agent.ImageForKind(kind), SizeBytes: 1 << 20, MemoryBytes: 1 << 20})
+	}
+	rt := container.NewRuntime(name, clk, repo)
+	sw := netem.NewSwitch(name)
+	up, _ := netem.NewVethPair(name+"-up", name+"-core")
+	sw.Attach(0, up)
+	cl, clSw := netem.NewVethPair(name+"-cl", name+"-ap")
+	sw.Attach(1, clSw)
+	client := netem.NewHost(packet.MAC{2, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 1}, cl)
+
+	ag := agent.New(topology.StationID(name), clk, rt, sw, 0)
+	link, err := agent.Connect(ag, mgr.Addr(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { link.Close(); up.Close(); cl.Close() })
+	mgr.RegisterClient("phone")
+	ag.AttachClient("phone", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 1}, 1)
+	return &scalerStation{ag: ag, client: client, clk: clk}
+}
+
+// pump sends frames frames spread over 32 flows and waits until the shared
+// instance has processed them all.
+func (st *scalerStation) pump(t *testing.T, frames int) {
+	t.Helper()
+	pools := st.ag.PoolStats()
+	if len(pools) != 1 {
+		t.Fatalf("pools = %+v", pools)
+	}
+	base := pools[0].Processed
+	for i := 0; i < frames; i++ {
+		st.client.SendUDP(packet.Endpoint{Addr: packet.IP{10, 99, 0, 1}, Port: 7}, uint16(25000+i%32), []byte("x"))
+		if i%64 == 63 { // stay far from the veth queue depth
+			st.waitProcessed(t, base+uint64(i+1))
+		}
+	}
+	st.waitProcessed(t, base+uint64(frames))
+}
+
+func (st *scalerStation) waitProcessed(t *testing.T, want uint64) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if ps := st.ag.PoolStats(); len(ps) == 1 && ps[0].Processed >= want {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("pool never processed %d frames: %+v", want, st.ag.PoolStats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestAutoscalerScalesOutAndBackIn(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.SetAutoscalerPolicy(manager.AutoscalerPolicy{
+		ScaleOutLoad: 400,
+		ScaleInLoad:  50,
+		MaxReplicas:  3,
+	})
+	st := newScalerStation(t, mgr, "st-a")
+
+	// Wait for the client event to register placement, then attach the
+	// shared chain through the manager.
+	deadline := time.After(2 * time.Second)
+	for {
+		if s, ok := mgr.ClientStation("phone"); ok && s == "st-a" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("client never placed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	spec := manager.ChainSpec{Name: "fw-phone", Functions: []agent.NFSpec{
+		{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+		{Kind: "counter", Name: "acct"},
+	}}
+	if err := mgr.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1 establishes the load baseline; no decision may fire blind.
+	if evs := mgr.EvaluateAutoscaler(); len(evs) != 0 {
+		t.Fatalf("baseline pass scaled: %+v", evs)
+	}
+
+	// A load spike beyond ScaleOutLoad forces a replica out.
+	st.pump(t, 600)
+	evs := mgr.EvaluateAutoscaler()
+	if len(evs) != 1 || evs[0].From != 1 || evs[0].To != 2 || evs[0].Err != "" {
+		t.Fatalf("scale-out pass = %+v", evs)
+	}
+	if ps := st.ag.PoolStats(); ps[0].Replicas != 2 {
+		t.Fatalf("replicas = %d after scale-out", ps[0].Replicas)
+	}
+
+	// Continued load across 2 replicas (300 each) sits inside the band.
+	st.pump(t, 600)
+	if evs := mgr.EvaluateAutoscaler(); len(evs) != 0 {
+		t.Fatalf("in-band pass scaled: %+v", evs)
+	}
+
+	// Quiet interval: per-replica delta 0 <= ScaleInLoad drains one.
+	evs = mgr.EvaluateAutoscaler()
+	if len(evs) != 1 || evs[0].From != 2 || evs[0].To != 1 || evs[0].Err != "" {
+		t.Fatalf("scale-in pass = %+v", evs)
+	}
+	if ps := st.ag.PoolStats(); ps[0].Replicas != 1 {
+		t.Fatalf("replicas = %d after scale-in", ps[0].Replicas)
+	}
+	// Never below one replica.
+	if evs := mgr.EvaluateAutoscaler(); len(evs) != 0 {
+		t.Fatalf("scaled below floor: %+v", evs)
+	}
+
+	all := mgr.ScaleEvents()
+	if len(all) != 2 {
+		t.Fatalf("scale events = %+v", all)
+	}
+	for _, ev := range all {
+		if ev.Station != "st-a" || ev.Kinds != "firewall+counter" || ev.Reason == "" {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+	}
+}
+
+func TestAutoscalerRespectsMaxReplicas(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.SetAutoscalerPolicy(manager.AutoscalerPolicy{ScaleOutLoad: 100, ScaleInLoad: 0, MaxReplicas: 2})
+	st := newScalerStation(t, mgr, "st-b")
+	if _, err := st.ag.Deploy(agent.DeploySpec{
+		Chain: "fw-phone", Client: "phone", Enabled: true,
+		Functions: []agent.NFSpec{{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.EvaluateAutoscaler() // baseline
+	for round := 0; round < 3; round++ {
+		st.pump(t, 300)
+		mgr.EvaluateAutoscaler()
+	}
+	if ps := st.ag.PoolStats(); ps[0].Replicas != 2 {
+		t.Fatalf("replicas = %d, want capped at 2", ps[0].Replicas)
+	}
+}
+
+func TestPoolTables(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	st := newScalerStation(t, mgr, "st-c")
+	for i := 0; i < 3; i++ {
+		if _, err := st.ag.Deploy(agent.DeploySpec{
+			Chain: fmt.Sprintf("fw-%d", i), Client: "phone", Enabled: true,
+			Functions: []agent.NFSpec{{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tables := mgr.PoolTables()
+	pools, ok := tables["st-c"]
+	if !ok || len(pools) != 1 {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if pools[0].Refs != 3 || pools[0].Replicas != 1 || pools[0].Kinds != "firewall" {
+		t.Fatalf("pool = %+v", pools[0])
+	}
+}

@@ -183,7 +183,10 @@ func (m *Manager) reviveChain(failed, client string, rec *clientRec, spec ChainS
 	if prefer == failed {
 		prefer = ""
 	}
-	to, ok := m.place(PlacementHint{Client: client, Chain: spec.Name, Prefer: prefer}, failed)
+	to, ok := m.place(PlacementHint{
+		Client: client, Chain: spec.Name, Prefer: prefer,
+		ConfigHashes: chainConfigHashes(spec),
+	}, failed)
 	if !ok {
 		rep.Err = fmt.Sprintf("no surviving station for %s/%s", client, spec.Name)
 		return rep

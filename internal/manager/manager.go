@@ -18,6 +18,7 @@ import (
 	"gnf/internal/agent"
 	"gnf/internal/clock"
 	"gnf/internal/packet"
+	"gnf/internal/share"
 	"gnf/internal/wire"
 )
 
@@ -139,6 +140,9 @@ type Manager struct {
 	failoverAuto    bool
 	failovers       []FailoverReport
 	failed          map[string]bool // stations declared dead
+
+	// Autoscaler state (see autoscaler.go); owns its own lock.
+	auto autoscaler
 }
 
 // Option configures New.
@@ -161,6 +165,10 @@ func New(clk clock.Clock, addr string, opts ...Option) (*Manager, error) {
 		placement:  ClientLocalPlacement{},
 		hotspotCPU: 80,
 		failed:     make(map[string]bool),
+		auto: autoscaler{
+			policy:        DefaultAutoscalerPolicy,
+			lastProcessed: make(map[string]uint64),
+		},
 	}
 	for _, o := range opts {
 		o(m)
@@ -178,6 +186,7 @@ func (m *Manager) Addr() string { return m.srv.Addr() }
 
 // Close disconnects all agents and stops the server.
 func (m *Manager) Close() error {
+	m.StopAutoscaler()
 	err := m.srv.Close()
 	m.migrationWG.Wait()
 	return err
@@ -496,4 +505,15 @@ func nfImagesFor(spec ChainSpec) []string {
 		imgs = append(imgs, agent.ImageForKind(f.Kind))
 	}
 	return imgs
+}
+
+// chainConfigHashes computes the chain's canonical pool hash for placement
+// hints. Agents key shared instances on whole-chain configuration, so one
+// hash per chain is what SharingFirstPlacement matches on.
+func chainConfigHashes(spec ChainSpec) []string {
+	fns := make([]share.FuncSpec, 0, len(spec.Functions))
+	for _, f := range spec.Functions {
+		fns = append(fns, share.FuncSpec{Kind: f.Kind, Params: f.Params})
+	}
+	return []string{share.ChainKey(fns).ConfigHash}
 }

@@ -23,9 +23,26 @@ type StationInfo struct {
 	MemUsed uint64
 	// Chains is the number of chains the station currently hosts.
 	Chains int
+	// PoolHashes lists the config hashes of shared NF instances the
+	// station reported hosting — what SharingFirstPlacement matches
+	// against to land chains where a compatible instance already runs.
+	PoolHashes []string
 	// Stale is true when no health report has arrived yet; policies
 	// should treat such stations as unknown-load, not idle.
 	Stale bool
+}
+
+// hostsPool reports whether the station hosts a shared instance with any
+// of the given config hashes.
+func (si StationInfo) hostsPool(hashes []string) bool {
+	for _, want := range hashes {
+		for _, have := range si.PoolHashes {
+			if want == have {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // memRatio returns fractional memory pressure (0 when capacity unlimited).
@@ -48,6 +65,10 @@ type PlacementHint struct {
 	// AllowCloud permits GNFC cloud sites as targets. Roaming and
 	// failover keep chains at the edge unless the operator opted in.
 	AllowCloud bool
+	// ConfigHashes carries the chain's canonical configuration hashes (the
+	// pool keys its shareable members would share under); sharing-aware
+	// policies prefer stations already hosting a compatible instance.
+	ConfigHashes []string
 }
 
 // Placement chooses the hosting station for a chain among live candidates.
@@ -169,6 +190,43 @@ func (p *RoundRobinPlacement) Pick(cands []StationInfo, hint PlacementHint) (str
 	return cands[i%uint64(len(cands))].Station, true
 }
 
+// SharingFirstPlacement prefers stations that already host a shared NF
+// instance compatible with the chain being placed (matched by the config
+// hashes in the hint): landing there costs a refcount instead of a
+// container boot ("Reducing Service Deployment Cost Through VNF Sharing").
+// Among compatible hosts the least-loaded wins; with no compatible host —
+// or no hashes in the hint — it defers to Fallback (default
+// ClientLocalPlacement, preserving GNF's client-local bias).
+type SharingFirstPlacement struct {
+	Fallback Placement
+}
+
+// Name implements Placement.
+func (SharingFirstPlacement) Name() string { return "sharing-first" }
+
+// Pick implements Placement.
+func (p SharingFirstPlacement) Pick(cands []StationInfo, hint PlacementHint) (string, bool) {
+	if !hint.AllowCloud {
+		cands = edgeOnly(cands)
+	}
+	if len(hint.ConfigHashes) > 0 {
+		var hosts []StationInfo
+		for _, c := range cands {
+			if c.hostsPool(hint.ConfigHashes) {
+				hosts = append(hosts, c)
+			}
+		}
+		if len(hosts) > 0 {
+			return LeastLoadedPlacement{}.Pick(hosts, PlacementHint{AllowCloud: true})
+		}
+	}
+	fb := p.Fallback
+	if fb == nil {
+		fb = ClientLocalPlacement{}
+	}
+	return fb.Pick(cands, hint)
+}
+
 // CloudFirstPlacement prefers GNFC cloud sites (capacity first, WAN latency
 // tolerated), falling back to the edge when no cloud site is connected.
 // It is the offload default.
@@ -243,7 +301,7 @@ func (m *Manager) StationInfos(exclude ...string) []StationInfo {
 	out := make([]StationInfo, 0, len(handles))
 	for _, h := range handles {
 		rep, seen := h.LastReport()
-		out = append(out, StationInfo{
+		si := StationInfo{
 			Station:    h.Station,
 			Cloud:      h.Cloud,
 			Capacity:   h.capacity,
@@ -251,7 +309,13 @@ func (m *Manager) StationInfos(exclude ...string) []StationInfo {
 			MemUsed:    rep.Usage.MemoryBytes,
 			Chains:     chainCount[h.Station],
 			Stale:      seen.IsZero(),
-		})
+		}
+		for _, ps := range rep.Pools {
+			if ps.Refs > 0 || ps.Replicas > 0 {
+				si.PoolHashes = append(si.PoolHashes, ps.ConfigHash)
+			}
+		}
+		out = append(out, si)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Station < out[j].Station })
 	return out

@@ -86,6 +86,50 @@ func TestClientLocalPlacement(t *testing.T) {
 	}
 }
 
+func TestSharingFirstPlacement(t *testing.T) {
+	cands := infos()
+	// st-a already hosts a compatible shared instance; st-b hosts one of a
+	// different configuration.
+	cands[0].PoolHashes = []string{"hash-fw"}
+	cands[1].PoolHashes = []string{"hash-other"}
+
+	p := manager.SharingFirstPlacement{}
+	got, ok := p.Pick(cands, manager.PlacementHint{ConfigHashes: []string{"hash-fw"}})
+	if !ok || got != "st-a" {
+		t.Fatalf("pick = %q (station with the compatible instance must win despite higher load)", got)
+	}
+	// Two compatible hosts: least-loaded among them wins.
+	cands[2].PoolHashes = []string{"hash-fw"}
+	if got, _ = p.Pick(cands, manager.PlacementHint{ConfigHashes: []string{"hash-fw"}}); got != "st-c" {
+		t.Fatalf("pick among hosts = %q", got)
+	}
+	// No compatible host: defer to the fallback (default client-local).
+	got, ok = p.Pick(cands, manager.PlacementHint{
+		ConfigHashes: []string{"hash-none"}, Prefer: "st-b",
+	})
+	if !ok || got != "st-b" {
+		t.Fatalf("fallback pick = %q", got)
+	}
+	// No hashes at all behaves like the fallback outright.
+	if got, _ = p.Pick(cands, manager.PlacementHint{Prefer: "st-a"}); got != "st-a" {
+		t.Fatalf("hashless pick = %q", got)
+	}
+	// Clouds stay excluded unless the hint allows them, even when hosting.
+	cloud := []manager.StationInfo{
+		{Station: "nimbus", Cloud: true, PoolHashes: []string{"hash-fw"}},
+		{Station: "st-z", CPUPercent: 50},
+	}
+	if got, _ = p.Pick(cloud, manager.PlacementHint{ConfigHashes: []string{"hash-fw"}}); got != "st-z" {
+		t.Fatalf("cloud exclusion pick = %q", got)
+	}
+	if got, _ = p.Pick(cloud, manager.PlacementHint{ConfigHashes: []string{"hash-fw"}, AllowCloud: true}); got != "nimbus" {
+		t.Fatalf("cloud allowed pick = %q", got)
+	}
+	if p.Name() != "sharing-first" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
 func TestCloudFirstPlacement(t *testing.T) {
 	p := manager.CloudFirstPlacement{}
 	got, ok := p.Pick(infos(), manager.PlacementHint{})

@@ -209,7 +209,10 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 	for _, j := range jobs {
 		to := j.to
 		if to == "" {
-			fallback, ok := m.place(PlacementHint{Client: j.client, Chain: j.spec.Name}, station)
+			fallback, ok := m.place(PlacementHint{
+				Client: j.client, Chain: j.spec.Name,
+				ConfigHashes: chainConfigHashes(j.spec),
+			}, station)
 			if !ok {
 				return reports, fmt.Errorf("%w: no station to evacuate %s/%s to",
 					ErrUnknownStation, j.client, j.spec.Name)

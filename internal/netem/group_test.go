@@ -1,0 +1,172 @@
+package netem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gnf/internal/packet"
+)
+
+// groupHarness wires one ingress port and n capture ports into a switch,
+// with a single ActionGroup rule steering everything from the ingress into
+// the select group.
+type groupHarness struct {
+	sw      *Switch
+	in      *Endpoint
+	group   int
+	ports   []PortID
+	mu      sync.Mutex
+	perPort map[PortID]int
+	perFlow map[uint16]PortID // src port -> member that saw it
+	multi   bool              // one flow seen on several members
+}
+
+func newGroupHarness(t *testing.T, members int) *groupHarness {
+	t.Helper()
+	h := &groupHarness{
+		sw:      NewSwitch("pool"),
+		perPort: make(map[PortID]int),
+		perFlow: make(map[uint16]PortID),
+	}
+	inA, inB := NewVethPair("cl", "cl-sw")
+	h.in = inA
+	h.sw.Attach(1, inB)
+	for i := 0; i < members; i++ {
+		port := PortID(100 + i)
+		h.ports = append(h.ports, port)
+		a, b := NewVethPair("rep", "rep-sw")
+		h.sw.AttachService(port, b)
+		a.SetReceiver(func(frame []byte) {
+			p := packet.BorrowParser()
+			defer packet.ReturnParser(p)
+			if err := p.Parse(frame); err != nil {
+				return
+			}
+			h.mu.Lock()
+			h.perPort[port]++
+			if prev, seen := h.perFlow[p.UDP.SrcPort]; seen && prev != port {
+				h.multi = true
+			}
+			h.perFlow[p.UDP.SrcPort] = port
+			h.mu.Unlock()
+		})
+	}
+	h.group = h.sw.AddGroup(h.ports)
+	in := PortID(1)
+	h.sw.AddRule(Rule{
+		Priority: 100,
+		Match:    Match{InPort: &in},
+		Action:   ActionGroup,
+		Group:    h.group,
+	})
+	return h
+}
+
+func (h *groupHarness) send(t *testing.T, flows, framesPerFlow int) {
+	t.Helper()
+	src := packet.MAC{2, 0, 0, 0, 0, 1}
+	dst := packet.MAC{2, 0, 0, 0, 0, 2}
+	for f := 0; f < flows; f++ {
+		for n := 0; n < framesPerFlow; n++ {
+			frame := packet.BuildUDP(src, dst,
+				packet.IP{10, 0, 0, 1}, packet.IP{10, 9, 9, 9},
+				uint16(20000+f), 7, []byte("x"))
+			if err := h.in.Send(frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func (h *groupHarness) totals() (total int, used int, multi bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, n := range h.perPort {
+		total += n
+		if n > 0 {
+			used++
+		}
+	}
+	return total, used, h.multi
+}
+
+func waitTotal(t *testing.T, h *groupHarness, want int) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if total, _, _ := h.totals(); total >= want {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	total, _, _ := h.totals()
+	t.Fatalf("delivered %d of %d frames", total, want)
+}
+
+func TestGroupSteeringSpreadsFlowsStickily(t *testing.T) {
+	h := newGroupHarness(t, 3)
+	const flows, per = 64, 5
+	h.send(t, flows, per)
+	waitTotal(t, h, flows*per)
+
+	total, used, multi := h.totals()
+	if total != flows*per {
+		t.Fatalf("total = %d, want %d", total, flows*per)
+	}
+	if used != 3 {
+		t.Fatalf("flows hashed onto %d of 3 members", used)
+	}
+	if multi {
+		t.Fatal("a single flow was split across members")
+	}
+}
+
+func TestGroupMembershipChangeRehashes(t *testing.T) {
+	h := newGroupHarness(t, 2)
+	const flows, per = 48, 2
+	h.send(t, flows, per)
+	waitTotal(t, h, flows*per)
+
+	// Drain the second member: all flows must land on member 0 afterwards,
+	// proving cached verdicts were invalidated by the membership change.
+	if !h.sw.SetGroup(h.group, h.ports[:1]) {
+		t.Fatal("SetGroup failed")
+	}
+	h.mu.Lock()
+	h.perPort = make(map[PortID]int)
+	h.perFlow = make(map[uint16]PortID)
+	h.multi = false
+	h.mu.Unlock()
+
+	h.send(t, flows, per)
+	waitTotal(t, h, flows*per)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.perPort[h.ports[1]] != 0 {
+		t.Fatalf("drained member still received %d frames", h.perPort[h.ports[1]])
+	}
+	if h.perPort[h.ports[0]] != flows*per {
+		t.Fatalf("surviving member saw %d of %d", h.perPort[h.ports[0]], flows*per)
+	}
+}
+
+func TestGroupMissDrops(t *testing.T) {
+	h := newGroupHarness(t, 1)
+	if !h.sw.RemoveGroup(h.group) {
+		t.Fatal("RemoveGroup failed")
+	}
+	before := h.sw.Stats().Dropped
+	h.send(t, 4, 1)
+	for i := 0; i < 5000; i++ {
+		if h.sw.Stats().Dropped >= before+4 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got := h.sw.Stats().Dropped; got < before+4 {
+		t.Fatalf("dropped = %d, want >= %d", got, before+4)
+	}
+	if total, _, _ := h.totals(); total != 0 {
+		t.Fatalf("%d frames leaked through a removed group", total)
+	}
+}

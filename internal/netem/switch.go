@@ -25,6 +25,11 @@ const (
 	ActionRedirect
 	// ActionDrop discards the frame.
 	ActionDrop
+	// ActionGroup emits the frame on one member of the select group named
+	// by Rule.Group, chosen by flow-key hash — the OVS select-group
+	// analogue that spreads flows across the replicas of a shared NF
+	// instance while keeping each flow on one replica.
+	ActionGroup
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +39,8 @@ func (a Action) String() string {
 		return "redirect"
 	case ActionDrop:
 		return "drop"
+	case ActionGroup:
+		return "group"
 	default:
 		return "normal"
 	}
@@ -118,6 +125,7 @@ type Rule struct {
 	Match    Match
 	Action   Action
 	OutPort  PortID // for ActionRedirect
+	Group    int    // for ActionGroup: select-group ID
 }
 
 // swState is the immutable control-plane snapshot the forwarding fast
@@ -129,25 +137,33 @@ type swState struct {
 	ports  map[PortID]*swPort
 	pinned map[packet.MAC]PortID
 	rules  []Rule // sorted: higher priority first, then lower ID
+	// groups are the select groups ActionGroup rules fan into. Member
+	// slices are immutable once published; SetGroup installs a fresh one.
+	groups map[int][]PortID
 	// flood is the precomputed flood set (non-service ports); the fast
 	// path only has to skip the arrival port.
 	flood []*swPort
 }
 
-// clone deep-copies the maps and the rule slice; *swPort values are
-// themselves immutable after attach, so they are shared.
+// clone deep-copies the maps and the rule slice; *swPort values and group
+// member slices are themselves immutable after publication, so they are
+// shared.
 func (st *swState) clone() *swState {
 	next := &swState{
 		gen:    st.gen,
 		ports:  make(map[PortID]*swPort, len(st.ports)),
 		pinned: make(map[packet.MAC]PortID, len(st.pinned)),
 		rules:  append([]Rule(nil), st.rules...),
+		groups: make(map[int][]PortID, len(st.groups)),
 	}
 	for id, p := range st.ports {
 		next.ports[id] = p
 	}
 	for mac, port := range st.pinned {
 		next.pinned[mac] = port
+	}
+	for id, members := range st.groups {
+		next.groups[id] = members
 	}
 	return next
 }
@@ -173,8 +189,9 @@ func (st *swState) refreshFlood() {
 type Switch struct {
 	name string
 
-	ctrl   sync.Mutex // serialises control-plane mutations only
-	nextID int
+	ctrl      sync.Mutex // serialises control-plane mutations only
+	nextID    int
+	nextGroup int
 
 	state atomic.Pointer[swState]
 	fdb   *fdbTable
@@ -207,6 +224,7 @@ func NewSwitch(name string) *Switch {
 	s.state.Store(&swState{
 		ports:  make(map[PortID]*swPort),
 		pinned: make(map[packet.MAC]PortID),
+		groups: make(map[int][]PortID),
 	})
 	return s
 }
@@ -331,6 +349,53 @@ func (s *Switch) Rules() []Rule {
 	return append([]Rule(nil), s.state.Load().rules...)
 }
 
+// AddGroup installs a select group over the given member ports and returns
+// its ID. ActionGroup rules referencing the group hash each flow onto one
+// member, so a flow sticks to one replica until the membership changes.
+func (s *Switch) AddGroup(ports []PortID) int {
+	var id int
+	s.mutate(func(st *swState) {
+		s.nextGroup++
+		id = s.nextGroup
+		st.groups[id] = append([]PortID(nil), ports...)
+	})
+	return id
+}
+
+// SetGroup replaces a group's membership (scale-out adds a replica's port,
+// drain removes one before teardown). The generation bump republishes every
+// cached verdict, so live flows re-hash over the new membership at their
+// next frame. It reports whether the group existed.
+func (s *Switch) SetGroup(id int, ports []PortID) bool {
+	ok := false
+	s.mutate(func(st *swState) {
+		if _, exists := st.groups[id]; exists {
+			st.groups[id] = append([]PortID(nil), ports...)
+			ok = true
+		}
+	})
+	return ok
+}
+
+// RemoveGroup deletes a group; rules still referencing it drop their
+// traffic (like an OpenFlow group-miss). It reports whether it existed.
+func (s *Switch) RemoveGroup(id int) bool {
+	ok := false
+	s.mutate(func(st *swState) {
+		if _, exists := st.groups[id]; exists {
+			delete(st.groups, id)
+			ok = true
+		}
+	})
+	return ok
+}
+
+// GroupPorts returns a copy of a group's membership.
+func (s *Switch) GroupPorts(id int) ([]PortID, bool) {
+	members, ok := s.state.Load().groups[id]
+	return append([]PortID(nil), members...), ok
+}
+
 // steer computes the steering verdict for one frame: flow-cache hit, or a
 // priority-ordered rule scan whose result is cached against st.gen.
 func (s *Switch) steer(in PortID, p *packet.Parser, st *swState) (Action, PortID) {
@@ -344,11 +409,28 @@ func (s *Switch) steer(in PortID, p *packet.Parser, st *swState) (Action, PortID
 	for i := range st.rules {
 		if st.rules[i].Match.Matches(in, p) {
 			action, out = st.rules[i].Action, st.rules[i].OutPort
+			if action == ActionGroup {
+				// Resolve the select group here so the cached verdict is a
+				// plain redirect: the flow-key hash is a pure function of
+				// the cache key, and membership changes bump the
+				// generation, re-resolving every flow.
+				action, out = resolveGroup(st, st.rules[i].Group, key.fk.Hash())
+			}
 			break
 		}
 	}
 	s.cache.insert(key, st.gen, action, out)
 	return action, out
+}
+
+// resolveGroup picks a select-group member by flow hash. An empty or
+// missing group drops (group-miss semantics).
+func resolveGroup(st *swState, group int, hash uint64) (Action, PortID) {
+	members := st.groups[group]
+	if len(members) == 0 {
+		return ActionDrop, 0
+	}
+	return ActionRedirect, members[hash%uint64(len(members))]
 }
 
 // input runs the forwarding pipeline for one frame. It is lock-free
@@ -427,6 +509,7 @@ type SwitchStats struct {
 	CacheMisses uint64
 	Ports       int
 	Rules       int
+	Groups      int
 	FDBSize     int
 	FlowEntries int
 }
@@ -443,6 +526,7 @@ func (s *Switch) Stats() SwitchStats {
 		CacheMisses: s.cacheMisses.Load(),
 		Ports:       len(st.ports),
 		Rules:       len(st.rules),
+		Groups:      len(st.groups),
 		FDBSize:     s.fdb.size(),
 		FlowEntries: s.cache.size(),
 	}

@@ -273,7 +273,7 @@ func parseFlowKey(s string) (packet.FiveTuple, bool) {
 }
 
 func init() {
-	nf.Default.Register("counter", func(name string, params nf.Params) (nf.Function, error) {
+	nf.Default.RegisterKind("counter", nf.KindInfo{Shareable: true}, func(name string, params nf.Params) (nf.Function, error) {
 		pps, err := strconv.ParseUint(params.Get("alert_pps", "0"), 10, 64)
 		if err != nil {
 			return nil, err

@@ -356,7 +356,7 @@ func (f *Firewall) ImportState(data []byte) error {
 }
 
 func init() {
-	nf.Default.Register("firewall", func(name string, params nf.Params) (nf.Function, error) {
+	nf.Default.RegisterKind("firewall", nf.KindInfo{Shareable: true}, func(name string, params nf.Params) (nf.Function, error) {
 		policy := Accept
 		switch params.Get("policy", "accept") {
 		case "accept":

@@ -194,7 +194,7 @@ func splitList(s string) []string {
 }
 
 func init() {
-	nf.Default.Register("httpfilter", func(name string, params nf.Params) (nf.Function, error) {
+	nf.Default.RegisterKind("httpfilter", nf.KindInfo{Shareable: true}, func(name string, params nf.Params) (nf.Function, error) {
 		opts := []Option{
 			WithBlockedHosts(splitList(params.Get("block_hosts", ""))...),
 			WithBlockedPaths(splitList(params.Get("block_paths", ""))...),

@@ -135,26 +135,85 @@ type Factory func(name string, params Params) (Function, error)
 // ErrUnknownKind is returned when instantiating an unregistered NF type.
 var ErrUnknownKind = errors.New("nf: unknown function kind")
 
-// Registry maps function kinds to factories. The package-level Default
-// registry is populated by the built-in NF packages' init functions.
+// DefaultVersion is the image tag of kinds registered without an explicit
+// version.
+const DefaultVersion = "1.0"
+
+// KindInfo carries per-kind metadata alongside the factory.
+type KindInfo struct {
+	// Version is the kind's released image tag; empty means DefaultVersion.
+	// Agents resolve container images as "gnf/<kind>:<version>".
+	Version string
+	// Shareable marks kinds whose instances hold no per-client state, so
+	// one instance may serve every client with an identical configuration
+	// (firewall, counter, ratelimit). Stateful kinds like nat must keep
+	// per-client instances and leave this false.
+	Shareable bool
+}
+
+// registration is one kind's factory plus metadata.
+type registration struct {
+	factory Factory
+	info    KindInfo
+}
+
+// Registry maps function kinds to factories and their metadata. The
+// package-level Default registry is populated by the built-in NF packages'
+// init functions.
 type Registry struct {
 	mu        sync.RWMutex
-	factories map[string]Factory
+	factories map[string]registration
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{factories: make(map[string]Factory)}
+	return &Registry{factories: make(map[string]registration)}
 }
 
 // Default is the process-wide registry that built-in NFs register into.
 var Default = NewRegistry()
 
-// Register adds a factory for kind, replacing any previous registration.
+// Register adds a factory for kind with default metadata (version
+// DefaultVersion, not shareable), replacing any previous registration.
 func (r *Registry) Register(kind string, f Factory) {
+	r.RegisterKind(kind, KindInfo{}, f)
+}
+
+// RegisterKind adds a factory for kind with explicit metadata, replacing
+// any previous registration.
+func (r *Registry) RegisterKind(kind string, info KindInfo, f Factory) {
+	if info.Version == "" {
+		info.Version = DefaultVersion
+	}
 	r.mu.Lock()
-	r.factories[kind] = f
+	r.factories[kind] = registration{factory: f, info: info}
 	r.mu.Unlock()
+}
+
+// Info returns the metadata registered for kind. Unregistered kinds report
+// default metadata and ok=false.
+func (r *Registry) Info(kind string) (KindInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reg, ok := r.factories[kind]
+	if !ok {
+		return KindInfo{Version: DefaultVersion}, false
+	}
+	return reg.info, true
+}
+
+// Shareable reports whether kind's instances may be shared across clients.
+func (r *Registry) Shareable(kind string) bool {
+	info, ok := r.Info(kind)
+	return ok && info.Shareable
+}
+
+// ImageForKind resolves the repository image for kind from its registered
+// version ("gnf/<kind>:<version>"); unregistered kinds resolve against
+// DefaultVersion so image naming stays total.
+func (r *Registry) ImageForKind(kind string) string {
+	info, _ := r.Info(kind)
+	return "gnf/" + kind + ":" + info.Version
 }
 
 // Kinds lists registered function kinds, sorted.
@@ -172,12 +231,12 @@ func (r *Registry) Kinds() []string {
 // New instantiates a function of the given kind.
 func (r *Registry) New(kind, name string, params Params) (Function, error) {
 	r.mu.RLock()
-	f, ok := r.factories[kind]
+	reg, ok := r.factories[kind]
 	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
 	}
-	return f(name, params)
+	return reg.factory(name, params)
 }
 
 // Chain composes functions into a service chain. Outbound frames traverse

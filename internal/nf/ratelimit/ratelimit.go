@@ -108,7 +108,7 @@ func (l *Limiter) NFStats() map[string]uint64 {
 }
 
 func init() {
-	nf.Default.Register("ratelimit", func(name string, params nf.Params) (nf.Function, error) {
+	nf.Default.RegisterKind("ratelimit", nf.KindInfo{Shareable: true}, func(name string, params nf.Params) (nf.Function, error) {
 		rate, err := strconv.ParseInt(params.Get("rate_bps", "1000000"), 10, 64)
 		if err != nil || rate <= 0 {
 			return nil, fmt.Errorf("ratelimit: bad rate_bps %q", params["rate_bps"])

@@ -1,0 +1,52 @@
+package nf_test
+
+import (
+	"testing"
+
+	"gnf/internal/nf"
+	_ "gnf/internal/nf/builtin"
+)
+
+func TestRegistryKindInfo(t *testing.T) {
+	r := nf.NewRegistry()
+	r.Register("plain", func(name string, params nf.Params) (nf.Function, error) { return nil, nil })
+	r.RegisterKind("versioned", nf.KindInfo{Version: "2.1", Shareable: true},
+		func(name string, params nf.Params) (nf.Function, error) { return nil, nil })
+
+	if info, ok := r.Info("plain"); !ok || info.Version != nf.DefaultVersion || info.Shareable {
+		t.Fatalf("plain info = %+v ok=%v", info, ok)
+	}
+	if info, ok := r.Info("versioned"); !ok || info.Version != "2.1" || !info.Shareable {
+		t.Fatalf("versioned info = %+v ok=%v", info, ok)
+	}
+	if got := r.ImageForKind("plain"); got != "gnf/plain:1.0" {
+		t.Fatalf("image(plain) = %q", got)
+	}
+	if got := r.ImageForKind("versioned"); got != "gnf/versioned:2.1" {
+		t.Fatalf("image(versioned) = %q", got)
+	}
+	// Unregistered kinds still resolve a deterministic image name.
+	if got := r.ImageForKind("ghost"); got != "gnf/ghost:1.0" {
+		t.Fatalf("image(ghost) = %q", got)
+	}
+	if _, ok := r.Info("ghost"); ok {
+		t.Fatal("unregistered kind reported ok")
+	}
+	if r.Shareable("ghost") || r.Shareable("plain") || !r.Shareable("versioned") {
+		t.Fatal("shareable flags wrong")
+	}
+}
+
+func TestBuiltinShareableMarkers(t *testing.T) {
+	// The stateless demo NFs share; NFs holding per-client state (nat,
+	// caches, the DNS balancer's sticky tables) must not.
+	want := map[string]bool{
+		"firewall": true, "counter": true, "ratelimit": true, "httpfilter": true,
+		"nat": false, "dnscache": false, "dnslb": false, "httpcache": false,
+	}
+	for kind, shareable := range want {
+		if got := nf.Default.Shareable(kind); got != shareable {
+			t.Errorf("Shareable(%s) = %v, want %v", kind, got, shareable)
+		}
+	}
+}

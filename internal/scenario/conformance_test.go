@@ -22,7 +22,7 @@ func TestScenarioConformance(t *testing.T) {
 	}
 	required := map[string]bool{
 		"roaming": false, "failover": false, "chaining": false,
-		"cloud-offload": false, "density": false,
+		"cloud-offload": false, "density": false, "sharing": false,
 	}
 	for _, sp := range specs {
 		if _, ok := required[sp.Name]; ok {

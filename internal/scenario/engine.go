@@ -48,6 +48,13 @@ type Result struct {
 	// FinalStations maps every client to its station at scenario end
 	// ("" = unassociated).
 	FinalStations map[string]string `json:"final_stations"`
+	// ScaleOuts / ScaleIns count successful replica-group grows and
+	// shrinks the autoscaler ordered during the run.
+	ScaleOuts int `json:"scale_outs,omitempty"`
+	ScaleIns  int `json:"scale_ins,omitempty"`
+	// PoolReplicas maps each station to the total replicas of its
+	// referenced shared instances at scenario end.
+	PoolReplicas map[string]int `json:"pool_replicas,omitempty"`
 	// VirtualElapsed is simulated time consumed by the run (rendered as a
 	// duration string, e.g. "12s", like every duration in scenario files).
 	VirtualElapsed Duration `json:"virtual_elapsed"`
@@ -113,6 +120,13 @@ func New(sp *Spec) (*Engine, error) {
 	sys, clk, err := core.NewVirtualSystem(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sp.Autoscaler != nil {
+		sys.Manager.SetAutoscalerPolicy(manager.AutoscalerPolicy{
+			ScaleOutLoad: sp.Autoscaler.ScaleOutLoad,
+			ScaleInLoad:  sp.Autoscaler.ScaleInLoad,
+			MaxReplicas:  sp.Autoscaler.MaxReplicas,
+		})
 	}
 	e := &Engine{spec: sp, sys: sys, clk: clk, start: clk.Now()}
 	sys.Topo.OnAssociation(func(ev topology.AssociationEvent) {
@@ -328,10 +342,87 @@ func (e *Engine) step(st Step) error {
 	case ActSetStrategy:
 		mgr.SetStrategy(manager.Strategy(st.Strategy))
 		return nil
+	case ActTraffic:
+		return e.generateTraffic(st)
+	case ActAutoscale:
+		mgr.EvaluateAutoscaler()
+		return nil
 	case ActSettle:
 		return nil // settle runs after every step anyway
 	}
 	return fmt.Errorf("unknown action %q", st.Action)
+}
+
+// trafficSink is the backhaul-side destination traffic steps send toward;
+// nothing answers, the frames only exist to load the client's chains.
+var trafficSink = packet.Endpoint{Addr: packet.IP{10, 200, 0, 9}, Port: 7}
+
+// generateTraffic sends st.Frames UDP frames from the client, spread over
+// st.Flows flows by source port so steering groups can hash them across
+// replicas. Delivery is asynchronous (veth queues), so the step completes
+// only once the client's chains have processed the whole batch — that
+// makes the load visible, deterministically, to any following autoscale
+// evaluation. Frames are paced in sub-queue-depth batches so the veth
+// tail-drop can never eat part of the load.
+func (e *Engine) generateTraffic(st Step) error {
+	host := e.sys.ClientHost(topology.ClientID(st.Client))
+	if host == nil {
+		return fmt.Errorf("traffic: client %s has no dataplane presence", st.Client)
+	}
+	station, ok := e.sys.Manager.ClientStation(st.Client)
+	if !ok {
+		return fmt.Errorf("traffic: client %s not attached to any station", st.Client)
+	}
+	ag := e.sys.Agent(topology.StationID(station))
+	if ag == nil {
+		return fmt.Errorf("traffic: client %s attached to unknown station %s", st.Client, station)
+	}
+	flows := st.Flows
+	if flows <= 0 {
+		flows = 16
+	}
+	baseline, steered := clientProcessed(ag, st.Client)
+	payload := []byte("gnf-load")
+	const batch = 64
+	for sent := 0; sent < st.Frames; {
+		n := st.Frames - sent
+		if n > batch {
+			n = batch
+		}
+		for i := 0; i < n; i++ {
+			if err := host.SendUDP(packet.Endpoint{Addr: trafficSink.Addr, Port: trafficSink.Port},
+				uint16(30000+(sent+i)%flows), payload); err != nil {
+				return fmt.Errorf("traffic: %w", err)
+			}
+		}
+		sent += n
+		if steered {
+			want := baseline + uint64(sent)
+			if err := e.await(fmt.Sprintf("%s's chains to process %d frames", st.Client, sent), func() bool {
+				got, _ := clientProcessed(ag, st.Client)
+				return got >= want
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// clientProcessed sums processed-frame counters over the client's enabled
+// chains on ag, and reports whether any such chain exists (an unsteered
+// client's frames cannot be awaited).
+func clientProcessed(ag *agent.Agent, client string) (uint64, bool) {
+	var sum uint64
+	steered := false
+	for _, cs := range ag.Report().Chains {
+		if cs.Client != client || !cs.Enabled {
+			continue
+		}
+		steered = true
+		sum += cs.Processed
+	}
+	return sum, steered
 }
 
 // finish audits invariants and evaluates expectations.
@@ -349,6 +440,33 @@ func (e *Engine) finish() {
 	for _, c := range e.spec.Clients {
 		st, _ := e.sys.Manager.ClientStation(c.ID)
 		res.FinalStations[c.ID] = st
+	}
+	for _, ev := range e.sys.Manager.ScaleEvents() {
+		if ev.Err != "" {
+			res.Failures = append(res.Failures, "failed scale: "+ev.Err)
+			continue
+		}
+		if ev.To > ev.From {
+			res.ScaleOuts++
+		} else {
+			res.ScaleIns++
+		}
+	}
+	for _, stn := range e.spec.Stations {
+		total := 0
+		if ag := e.sys.Agent(topology.StationID(stn.ID)); ag != nil {
+			for _, ps := range ag.PoolStats() {
+				if ps.Refs > 0 {
+					total += ps.Replicas
+				}
+			}
+		}
+		if total > 0 {
+			if res.PoolReplicas == nil {
+				res.PoolReplicas = map[string]int{}
+			}
+			res.PoolReplicas[stn.ID] = total
+		}
 	}
 
 	allowed := map[string]bool{}
@@ -376,6 +494,21 @@ func (e *Engine) finish() {
 		res.Failures = append(res.Failures,
 			fmt.Sprintf("failovers: got %d, want >= %d", res.Failovers, exp.MinFailovers))
 	}
+	if res.ScaleOuts < exp.MinScaleOuts {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("scale-outs: got %d, want >= %d", res.ScaleOuts, exp.MinScaleOuts))
+	}
+	if res.ScaleIns < exp.MinScaleIns {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("scale-ins: got %d, want >= %d", res.ScaleIns, exp.MinScaleIns))
+	}
+	for _, station := range sortedKeys(exp.MaxPoolReplicas) {
+		limit := exp.MaxPoolReplicas[station]
+		if got := res.PoolReplicas[station]; got > limit {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("pool replicas on %s: got %d, want <= %d", station, got, limit))
+		}
+	}
 	if !exp.AllowFailedMigrations {
 		for _, f := range res.FailedMigrations {
 			res.Failures = append(res.Failures, "failed migration: "+f)
@@ -395,7 +528,7 @@ func (e *Engine) finish() {
 				fmt.Sprintf("offload site of %s: got %q, want %q", client, got, want))
 		}
 	}
-	for _, key := range sortedKeys2(exp.ChainEnabled) {
+	for _, key := range sortedKeys(exp.ChainEnabled) {
 		want := exp.ChainEnabled[key]
 		got, err := e.chainEnabled(key)
 		if err != nil {
@@ -479,16 +612,7 @@ func RunSpec(sp *Spec) (*Result, error) {
 	return e.Run()
 }
 
-func sortedKeys(m map[string]string) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func sortedKeys2(m map[string]bool) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

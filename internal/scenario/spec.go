@@ -135,6 +135,14 @@ type Step struct {
 	DisableAfter Duration `json:"disable_after,omitempty"`
 
 	Strategy string `json:"strategy,omitempty"` // set-strategy
+
+	// traffic parameters: the client sends Frames UDP frames spread over
+	// Flows distinct flows (default 16) toward the backhaul — the load
+	// signal the autoscaler reads off the shared instance serving the
+	// client. The engine waits until the client's chains have processed
+	// the batch, so the load is fully visible to the next step.
+	Frames int `json:"frames,omitempty"`
+	Flows  int `json:"flows,omitempty"`
 }
 
 // Actions understood by the engine.
@@ -155,13 +163,33 @@ const (
 	ActEvalSchedules  = "eval-schedules"  // apply activation windows at current virtual time
 	ActSetStrategy    = "set-strategy"    // switch migration Strategy
 	ActSettle         = "settle"          // wait for in-flight work (implicit after every step)
+	ActTraffic        = "traffic"         // Client sends Frames frames over Flows flows
+	ActAutoscale      = "autoscale"       // run one manager autoscaler evaluation
 )
+
+// AutoscalerSpec configures the manager's shared-instance autoscaler for
+// the run; autoscale script actions evaluate it.
+type AutoscalerSpec struct {
+	// ScaleOutLoad / ScaleInLoad bound per-replica processed-frame deltas
+	// between evaluations (see manager.AutoscalerPolicy).
+	ScaleOutLoad uint64 `json:"scale_out_load"`
+	ScaleInLoad  uint64 `json:"scale_in_load"`
+	MaxReplicas  int    `json:"max_replicas,omitempty"`
+}
 
 // Expect declares the outcome a run must satisfy.
 type Expect struct {
 	MinHandoffs   int `json:"min_handoffs,omitempty"`
 	MinMigrations int `json:"min_migrations,omitempty"`
 	MinFailovers  int `json:"min_failovers,omitempty"`
+	// MinScaleOuts / MinScaleIns require the autoscaler to have grown and
+	// shrunk shared replica groups at least this often.
+	MinScaleOuts int `json:"min_scale_outs,omitempty"`
+	MinScaleIns  int `json:"min_scale_ins,omitempty"`
+	// MaxPoolReplicas caps, per station, the total replicas of referenced
+	// shared instances at scenario end — the instances-not-clients
+	// density property sharing exists for.
+	MaxPoolReplicas map[string]int `json:"max_pool_replicas,omitempty"`
 	// FinalStations pins clients to stations at scenario end.
 	FinalStations map[string]string `json:"final_stations,omitempty"`
 	// Offloaded pins clients to cloud sites at scenario end.
@@ -182,16 +210,17 @@ type Expect struct {
 
 // Spec is one complete scenario file.
 type Spec struct {
-	Name        string    `json:"name"`
-	Description string    `json:"description,omitempty"`
-	Seed        int64     `json:"seed"`
-	Strategy    string    `json:"strategy,omitempty"`   // cold | stateful (default)
-	Hysteresis  float64   `json:"hysteresis,omitempty"` // metres (default 5)
-	Stations    []Station `json:"stations"`
-	Clouds      []Cloud   `json:"clouds,omitempty"`
-	Clients     []Client  `json:"clients"`
-	Script      []Step    `json:"script,omitempty"`
-	Expect      Expect    `json:"expect"`
+	Name        string          `json:"name"`
+	Description string          `json:"description,omitempty"`
+	Seed        int64           `json:"seed"`
+	Strategy    string          `json:"strategy,omitempty"`   // cold | stateful (default)
+	Hysteresis  float64         `json:"hysteresis,omitempty"` // metres (default 5)
+	Autoscaler  *AutoscalerSpec `json:"autoscaler,omitempty"`
+	Stations    []Station       `json:"stations"`
+	Clouds      []Cloud         `json:"clouds,omitempty"`
+	Clients     []Client        `json:"clients"`
+	Script      []Step          `json:"script,omitempty"`
+	Expect      Expect          `json:"expect"`
 }
 
 // Validate checks structural consistency before a run: unique IDs, known
@@ -257,7 +286,7 @@ func (sp *Spec) Validate() error {
 		case ActMove, ActAttach, ActDetach, ActAttachChain, ActDetachChain,
 			ActMigrate, ActWaypoint, ActKillStation, ActRestartStation,
 			ActCheckFailures, ActOffload, ActRecall, ActSchedule,
-			ActEvalSchedules, ActSetStrategy, ActSettle:
+			ActEvalSchedules, ActSetStrategy, ActSettle, ActTraffic, ActAutoscale:
 		default:
 			return fmt.Errorf("scenario %s: script step %d has unknown action %q", sp.Name, i, st.Action)
 		}
@@ -293,6 +322,24 @@ func (sp *Spec) Validate() error {
 			if !validStrategy(st.Strategy, false) {
 				return fmt.Errorf("scenario %s: step %d set-strategy needs cold or stateful, got %q", sp.Name, i, st.Strategy)
 			}
+		case ActTraffic:
+			if st.Frames <= 0 {
+				return fmt.Errorf("scenario %s: step %d traffic needs frames > 0", sp.Name, i)
+			}
+			if st.Flows < 0 {
+				return fmt.Errorf("scenario %s: step %d traffic flows must be >= 0", sp.Name, i)
+			}
+		}
+	}
+	if as := sp.Autoscaler; as != nil {
+		if as.ScaleOutLoad == 0 {
+			return fmt.Errorf("scenario %s: autoscaler needs scale_out_load > 0", sp.Name)
+		}
+		if as.ScaleInLoad >= as.ScaleOutLoad {
+			return fmt.Errorf("scenario %s: autoscaler scale_in_load must be below scale_out_load", sp.Name)
+		}
+		if as.MaxReplicas < 0 {
+			return fmt.Errorf("scenario %s: autoscaler max_replicas must be >= 0", sp.Name)
 		}
 	}
 	return nil
@@ -314,7 +361,7 @@ func validStrategy(s string, allowEmpty bool) bool {
 func needsClient(action string) bool {
 	switch action {
 	case ActMove, ActAttach, ActDetach, ActAttachChain, ActDetachChain,
-		ActMigrate, ActOffload, ActRecall, ActSchedule:
+		ActMigrate, ActOffload, ActRecall, ActSchedule, ActTraffic:
 		return true
 	}
 	return false

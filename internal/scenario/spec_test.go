@@ -50,6 +50,18 @@ func TestValidateCatchesBadSpecs(t *testing.T) {
 			s.Clients[0].At = nil
 			s.Clients[0].Chains = []Chain{{Name: "ch", Functions: []Function{{Kind: "counter"}}}}
 		}, "no initial position"},
+		{"traffic without frames", func(s *Spec) {
+			s.Script = []Step{{Action: ActTraffic, Client: "c0"}}
+		}, "frames > 0"},
+		{"traffic unknown client", func(s *Spec) {
+			s.Script = []Step{{Action: ActTraffic, Client: "ghost", Frames: 10}}
+		}, "unknown client"},
+		{"autoscaler zero band", func(s *Spec) {
+			s.Autoscaler = &AutoscalerSpec{}
+		}, "scale_out_load"},
+		{"autoscaler inverted band", func(s *Spec) {
+			s.Autoscaler = &AutoscalerSpec{ScaleOutLoad: 10, ScaleInLoad: 20}
+		}, "below scale_out_load"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,330 @@
+// Package share implements shared NF instance pools: the bookkeeping that
+// lets one station host a single NF chain instance for every client that
+// requested an identical, shareable configuration, instead of one container
+// set per client ("Reducing Service Deployment Cost Through VNF Sharing",
+// Malandrino et al.).
+//
+// The package is deliberately resource-agnostic: a Pool tracks instances by
+// canonical configuration key, reference-counts the deployments attached to
+// them, single-flights instance construction, and reaps instances that have
+// sat idle past a grace period. The *resources* behind an instance
+// (containers, veths, switch groups) are an opaque payload owned by the
+// caller — the Agent — which tears them down when Reap hands an instance
+// back. Keeping the lifecycle logic free of dataplane dependencies is what
+// makes the refcount edge cases directly testable under -race.
+package share
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+)
+
+// DefaultGrace is how long an instance may sit at zero references before a
+// Reap pass may tear it down. The window exists so churn (a client roaming
+// away and back, a chain re-attached moments later) re-uses the warm
+// instance instead of paying the container boot cost again.
+const DefaultGrace = 30 * time.Second
+
+// FuncSpec is the configuration of one NF as far as sharing is concerned:
+// its kind and its parameters. Instance names are deliberately excluded —
+// two clients asking for "firewall policy=accept" share regardless of what
+// each named its function.
+type FuncSpec struct {
+	Kind   string
+	Params map[string]string
+}
+
+// Key identifies a pool of interchangeable instances: the ordered kind
+// signature of the chain plus the canonical hash of every function's
+// configuration.
+type Key struct {
+	// Kinds is the chain's kind sequence joined with "+", e.g.
+	// "firewall+counter". Redundant with the hash but kept readable for
+	// operators (gnfctl pools) and reports.
+	Kinds string
+	// ConfigHash is the canonical configuration digest (see ChainKey).
+	ConfigHash string
+}
+
+// Short returns a compact hash prefix for resource naming.
+func (k Key) Short() string {
+	if len(k.ConfigHash) > 12 {
+		return k.ConfigHash[:12]
+	}
+	return k.ConfigHash
+}
+
+// ChainKey computes the canonical Key of a chain configuration: function
+// order matters (a firewall in front of a counter is not a counter in front
+// of a firewall), parameter order does not. Two chains with equal keys are
+// behaviourally interchangeable for stateless NFs.
+//
+// Every field is length-prefixed before hashing — separator bytes alone
+// would let a crafted parameter value collide with a differently-shaped
+// configuration and alias two distinct policies onto one shared instance.
+func ChainKey(fns []FuncSpec) Key {
+	h := sha256.New()
+	writeField := func(s string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	kinds := ""
+	for i, f := range fns {
+		if i > 0 {
+			kinds += "+"
+		}
+		kinds += f.Kind
+		writeField(f.Kind)
+		// Param count pins the function boundaries: without it, one
+		// function with a parameter and three parameterless functions
+		// could produce the same field stream.
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(f.Params)))
+		h.Write(n[:])
+		keys := make([]string, 0, len(f.Params))
+		for k := range f.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeField(k)
+			writeField(f.Params[k])
+		}
+	}
+	return Key{Kinds: kinds, ConfigHash: hex.EncodeToString(h.Sum(nil)[:16])}
+}
+
+// Instance is one live (or building) shared instance group. All mutable
+// fields are guarded by the owning Pool's mutex.
+type Instance struct {
+	key     Key
+	ready   chan struct{} // closed when build finishes (ok or not)
+	err     error         // build failure, set before ready closes
+	payload any           // caller-owned resources, set before ready closes
+
+	// owners counts attachments per deployment name. A count (not a set)
+	// because a Remove's pending Release may overlap a re-Deploy of the
+	// same chain name: the re-deploy bumps the count to 2 and the late
+	// release brings it back to 1 instead of silently erasing the live
+	// deployment's reference.
+	owners    map[string]int
+	refs      int       // total attachment count across owners
+	idleSince time.Time // non-zero while refs is zero
+	dead      bool      // removed by Reap; resources being torn down
+}
+
+// Key returns the instance's pool key.
+func (i *Instance) Key() Key { return i.key }
+
+// Payload returns the caller-owned resources registered at build time.
+func (i *Instance) Payload() any { return i.payload }
+
+// Pool is one station's shared-instance table.
+type Pool struct {
+	clk   clock.Clock
+	grace time.Duration
+
+	mu        sync.Mutex
+	instances map[Key]*Instance
+}
+
+// NewPool creates an empty pool on clk. grace <= 0 selects DefaultGrace;
+// use a tiny positive grace in tests that exercise reaping.
+func NewPool(clk clock.Clock, grace time.Duration) *Pool {
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	return &Pool{clk: clk, grace: grace, instances: make(map[Key]*Instance)}
+}
+
+// Grace returns the configured idle grace period.
+func (p *Pool) Grace() time.Duration { return p.grace }
+
+// Acquire attaches owner to the live instance for key, creating one via
+// build when none exists. Exactly one caller runs build for a given key;
+// concurrent acquirers block until it finishes and then attach to the
+// result (or retry the creation themselves if the build failed or the
+// instance died meanwhile). The returned bool reports whether this call
+// built the instance.
+//
+// Attaching clears any idle stamp, so an instance re-acquired inside its
+// grace window is revived rather than reaped: Reap only removes instances
+// that are unreferenced at the moment it holds the lock.
+func (p *Pool) Acquire(key Key, owner string, build func() (any, error)) (*Instance, bool, error) {
+	for {
+		p.mu.Lock()
+		inst := p.instances[key]
+		if inst == nil {
+			inst = &Instance{key: key, ready: make(chan struct{}), owners: make(map[string]int)}
+			p.instances[key] = inst
+			p.mu.Unlock()
+
+			payload, err := build()
+
+			p.mu.Lock()
+			if err != nil {
+				inst.err = err
+				if p.instances[key] == inst {
+					delete(p.instances, key)
+				}
+				close(inst.ready)
+				p.mu.Unlock()
+				return nil, false, err
+			}
+			inst.payload = payload
+			inst.owners[owner]++
+			inst.refs++
+			close(inst.ready)
+			p.mu.Unlock()
+			return inst, true, nil
+		}
+		p.mu.Unlock()
+
+		<-inst.ready
+		p.mu.Lock()
+		if inst.err != nil || inst.dead || p.instances[key] != inst {
+			// Build failed, or the instance was reaped between our lookup
+			// and attach: go around and (re)create.
+			p.mu.Unlock()
+			continue
+		}
+		inst.owners[owner]++
+		inst.refs++
+		inst.idleSince = time.Time{}
+		p.mu.Unlock()
+		return inst, false, nil
+	}
+}
+
+// Release detaches owner from the instance for key and returns the
+// remaining reference count. When the last owner leaves, the instance is
+// stamped idle and becomes eligible for Reap after the grace period. ok is
+// false when the key or owner is unknown.
+func (p *Pool) Release(key Key, owner string) (refs int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst := p.instances[key]
+	if inst == nil || inst.owners[owner] == 0 {
+		return 0, false
+	}
+	inst.owners[owner]--
+	if inst.owners[owner] == 0 {
+		delete(inst.owners, owner)
+	}
+	inst.refs--
+	if inst.refs == 0 {
+		inst.idleSince = p.clk.Now()
+	}
+	return inst.refs, true
+}
+
+// Get returns the live instance for key (nil when absent, still building
+// counts as absent for everyone but the builder's waiters).
+func (p *Pool) Get(key Key) *Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst := p.instances[key]
+	if inst == nil {
+		return nil
+	}
+	select {
+	case <-inst.ready:
+	default:
+		return nil // still building
+	}
+	if inst.err != nil || inst.dead {
+		return nil
+	}
+	return inst
+}
+
+// Refs returns the current reference count of the instance for key (0 when
+// absent or still building).
+func (p *Pool) Refs(key Key) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst := p.instances[key]
+	if inst == nil {
+		return 0
+	}
+	return inst.refs
+}
+
+// Reap removes every instance that has been unreferenced for at least the
+// grace period and returns them so the caller can tear their resources
+// down. Removal happens under the pool lock, so a concurrent Acquire either
+// revives the instance before Reap sees it idle, or misses it entirely and
+// builds a fresh one — it can never attach to a reaped instance.
+func (p *Pool) Reap() []*Instance {
+	now := p.clk.Now()
+	p.mu.Lock()
+	var out []*Instance
+	for key, inst := range p.instances {
+		select {
+		case <-inst.ready:
+		default:
+			continue // still building, necessarily about to gain an owner
+		}
+		if inst.err == nil && inst.refs == 0 &&
+			!inst.idleSince.IsZero() && now.Sub(inst.idleSince) >= p.grace {
+			inst.dead = true
+			delete(p.instances, key)
+			out = append(out, inst)
+		}
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// Stat is one instance's bookkeeping snapshot.
+type Stat struct {
+	Key    Key
+	Refs   int
+	Owners []string // sorted deployment names attached
+	Idle   bool     // true when unreferenced (inside its grace window)
+}
+
+// Snapshot lists live instances sorted by key for stable output.
+func (p *Pool) Snapshot() []Stat {
+	p.mu.Lock()
+	out := make([]Stat, 0, len(p.instances))
+	for _, inst := range p.instances {
+		select {
+		case <-inst.ready:
+		default:
+			continue
+		}
+		if inst.err != nil {
+			continue
+		}
+		st := Stat{Key: inst.key, Refs: inst.refs, Idle: inst.refs == 0}
+		for o := range inst.owners {
+			st.Owners = append(st.Owners, o)
+		}
+		sort.Strings(st.Owners)
+		out = append(out, st)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Kinds != out[j].Key.Kinds {
+			return out[i].Key.Kinds < out[j].Key.Kinds
+		}
+		return out[i].Key.ConfigHash < out[j].Key.ConfigHash
+	})
+	return out
+}
+
+// Size returns the number of live or building instances.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.instances)
+}

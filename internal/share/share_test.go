@@ -1,0 +1,282 @@
+package share
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gnf/internal/clock"
+)
+
+func specFW() []FuncSpec {
+	return []FuncSpec{
+		{Kind: "firewall", Params: map[string]string{"policy": "accept", "rules": "accept any udp"}},
+		{Kind: "counter", Params: nil},
+	}
+}
+
+func TestChainKeyCanonical(t *testing.T) {
+	a := ChainKey(specFW())
+	if a.Kinds != "firewall+counter" {
+		t.Fatalf("kinds = %q", a.Kinds)
+	}
+	// Parameter order must not matter; map iteration order would make the
+	// hash flap without canonicalisation, so run a few times.
+	for i := 0; i < 16; i++ {
+		if b := ChainKey(specFW()); b != a {
+			t.Fatalf("non-canonical key: %v vs %v", a, b)
+		}
+	}
+	// Different parameter values, function order, or kinds must all change
+	// the key.
+	diff := []FuncSpec{
+		{Kind: "firewall", Params: map[string]string{"policy": "drop", "rules": "accept any udp"}},
+		{Kind: "counter"},
+	}
+	if ChainKey(diff) == a {
+		t.Fatal("param value change did not change key")
+	}
+	rev := []FuncSpec{specFW()[1], specFW()[0]}
+	if ChainKey(rev) == a {
+		t.Fatal("function order change did not change key")
+	}
+	// Instance naming is excluded by construction (FuncSpec has no name).
+	if ChainKey(specFW()).Short() == "" || len(ChainKey(specFW()).Short()) != 12 {
+		t.Fatalf("short hash = %q", ChainKey(specFW()).Short())
+	}
+}
+
+func TestAcquireSingleFlight(t *testing.T) {
+	clk := clock.NewAutoVirtual()
+	p := NewPool(clk, time.Second)
+	key := ChainKey(specFW())
+
+	var builds atomic.Int64
+	const workers = 32
+	var wg sync.WaitGroup
+	insts := make([]*Instance, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inst, _, err := p.Acquire(key, fmt.Sprintf("chain-%d", i), func() (any, error) {
+				builds.Add(1)
+				return "payload", nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			insts[i] = inst
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	for i := 1; i < workers; i++ {
+		if insts[i] != insts[0] {
+			t.Fatalf("worker %d got a different instance", i)
+		}
+	}
+	st := p.Snapshot()
+	if len(st) != 1 || st[0].Refs != workers {
+		t.Fatalf("snapshot = %+v, want 1 instance with %d refs", st, workers)
+	}
+}
+
+func TestAcquireBuildFailurePropagatesAndRetries(t *testing.T) {
+	clk := clock.NewAutoVirtual()
+	p := NewPool(clk, time.Second)
+	key := ChainKey(specFW())
+	boom := errors.New("no capacity")
+
+	if _, _, err := p.Acquire(key, "a", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if p.Size() != 0 {
+		t.Fatal("failed build left a placeholder behind")
+	}
+	// The key is creatable again after a failure.
+	inst, created, err := p.Acquire(key, "a", func() (any, error) { return 7, nil })
+	if err != nil || !created || inst.Payload() != 7 {
+		t.Fatalf("retry: inst=%v created=%v err=%v", inst, created, err)
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	clk := clock.NewAutoVirtual()
+	p := NewPool(clk, time.Millisecond)
+	key := ChainKey(specFW())
+
+	// Hammer attach/detach of distinct owners; refcounts must balance and
+	// every release must find its owner.
+	const workers = 24
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		owner := fmt.Sprintf("chain-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, _, err := p.Acquire(key, owner, func() (any, error) { return nil, nil }); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := p.Release(key, owner); !ok {
+					t.Errorf("release lost owner %s", owner)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Whatever instance generation survives, it must be unreferenced.
+	for _, st := range p.Snapshot() {
+		if st.Refs != 0 {
+			t.Fatalf("leaked refs: %+v", st)
+		}
+	}
+}
+
+func TestReleaseUnknownOwner(t *testing.T) {
+	clk := clock.NewAutoVirtual()
+	p := NewPool(clk, time.Second)
+	key := ChainKey(specFW())
+	if _, ok := p.Release(key, "ghost"); ok {
+		t.Fatal("release of unknown key succeeded")
+	}
+	p.Acquire(key, "a", func() (any, error) { return nil, nil })
+	if _, ok := p.Release(key, "ghost"); ok {
+		t.Fatal("release of unknown owner succeeded")
+	}
+	if refs, ok := p.Release(key, "a"); !ok || refs != 0 {
+		t.Fatalf("release(a) = %d, %v", refs, ok)
+	}
+	// Double release must not underflow.
+	if _, ok := p.Release(key, "a"); ok {
+		t.Fatal("double release succeeded")
+	}
+}
+
+func TestReapAfterGrace(t *testing.T) {
+	clk := clock.NewVirtual() // manual: grace must be driven explicitly
+	p := NewPool(clk, 10*time.Second)
+	key := ChainKey(specFW())
+	p.Acquire(key, "a", func() (any, error) { return "res", nil })
+	p.Release(key, "a")
+
+	if got := p.Reap(); len(got) != 0 {
+		t.Fatalf("reaped %d instances inside grace", len(got))
+	}
+	clk.Advance(9 * time.Second)
+	if got := p.Reap(); len(got) != 0 {
+		t.Fatalf("reaped %d instances 1s before grace expiry", len(got))
+	}
+	clk.Advance(time.Second)
+	got := p.Reap()
+	if len(got) != 1 || got[0].Payload() != "res" {
+		t.Fatalf("reap after grace = %v", got)
+	}
+	if p.Size() != 0 {
+		t.Fatal("reaped instance still in table")
+	}
+	// A fresh acquire after the reap builds anew.
+	_, created, err := p.Acquire(key, "b", func() (any, error) { return "res2", nil })
+	if err != nil || !created {
+		t.Fatalf("acquire after reap: created=%v err=%v", created, err)
+	}
+}
+
+func TestReapSparesReattachedInstance(t *testing.T) {
+	clk := clock.NewVirtual()
+	p := NewPool(clk, 5*time.Second)
+	key := ChainKey(specFW())
+	inst, _, _ := p.Acquire(key, "a", func() (any, error) { return "warm", nil })
+	p.Release(key, "a")
+
+	// Grace fully expires, but the instance is re-acquired before any Reap
+	// pass runs: the revived instance must survive.
+	clk.Advance(time.Minute)
+	again, created, err := p.Acquire(key, "b", func() (any, error) {
+		t.Error("reattach rebuilt the instance")
+		return nil, nil
+	})
+	if err != nil || created {
+		t.Fatalf("reattach: created=%v err=%v", created, err)
+	}
+	if again != inst {
+		t.Fatal("reattach returned a different instance")
+	}
+	if got := p.Reap(); len(got) != 0 {
+		t.Fatalf("reap killed a just-reattached instance (%d reaped)", len(got))
+	}
+	if live := p.Get(key); live != inst {
+		t.Fatal("instance gone after reap")
+	}
+}
+
+func TestReapRaceWithAcquire(t *testing.T) {
+	clk := clock.NewVirtual()
+	p := NewPool(clk, time.Nanosecond) // everything idle is instantly reapable
+	key := ChainKey(specFW())
+
+	var builds atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // churn: attach, detach
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _, err := p.Acquire(key, "chain-a", func() (any, error) {
+				builds.Add(1)
+				return nil, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// An Acquire must never hand back an instance the reaper has
+			// removed: its owner entry would be invisible to Release.
+			if _, ok := p.Release(key, "chain-a"); !ok {
+				t.Error("acquired instance vanished before release (reaped while referenced)")
+				return
+			}
+			if _, _, err := p.Acquire(key, "chain-a", func() (any, error) {
+				builds.Add(1)
+				return nil, nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			clk.Advance(time.Microsecond)
+			p.Release(key, "chain-a")
+		}
+	}()
+	go func() { // reaper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Reap()
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if p.Size() > 1 {
+		t.Fatalf("pool grew to %d instances of one key", p.Size())
+	}
+}

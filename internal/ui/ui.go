@@ -75,6 +75,7 @@ func New(mgr *manager.Manager) *Server {
 	s.mux.HandleFunc("POST /api/clients/recall", s.handleRecall)
 	s.mux.HandleFunc("GET /api/failovers", s.handleFailovers)
 	s.mux.HandleFunc("GET /api/placement", s.handlePlacement)
+	s.mux.HandleFunc("GET /api/pools", s.handlePools)
 	s.mux.HandleFunc("GET /", s.handleDashboard)
 	return s
 }
@@ -279,6 +280,20 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 		Policy   string                `json:"policy"`
 		Stations []manager.StationInfo `json:"stations"`
 	}{s.mgr.Placement().Name(), s.mgr.StationInfos()})
+}
+
+// PoolsView is the GET /api/pools payload: each station's live
+// shared-instance table plus the autoscaler's decision log.
+type PoolsView struct {
+	Stations    map[string][]agent.PoolStatus `json:"stations"`
+	ScaleEvents []manager.ScaleEvent          `json:"scale_events"`
+}
+
+func (s *Server) handlePools(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, PoolsView{
+		Stations:    s.mgr.PoolTables(),
+		ScaleEvents: s.mgr.ScaleEvents(),
+	})
 }
 
 var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>

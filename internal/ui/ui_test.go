@@ -212,3 +212,45 @@ func TestReportsPropagateToOverview(t *testing.T) {
 		}
 	}
 }
+
+func TestPoolsEndpoint(t *testing.T) {
+	sys, srv := uiFixture(t)
+	// Two clients, one shareable spec: the pools view must show a single
+	// instance on st-a carrying two references.
+	if err := sys.AddClient("tablet", packet.MAC{2, 0, 0, 0, 0, 2}, packet.IP{10, 0, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("tablet", "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("tablet", "st-a", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	shared := func(name string) manager.ChainSpec {
+		return manager.ChainSpec{Name: name, Functions: []agent.NFSpec{
+			{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+		}}
+	}
+	if err := sys.Manager.AttachChain("phone", shared("fw-phone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Manager.AttachChain("tablet", shared("fw-tablet")); err != nil {
+		t.Fatal(err)
+	}
+
+	var view ui.PoolsView
+	getJSON(t, srv.URL+"/api/pools", &view)
+	pools := view.Stations["st-a"]
+	if len(pools) != 1 {
+		t.Fatalf("pools on st-a = %+v", view.Stations)
+	}
+	if pools[0].Kinds != "firewall" || pools[0].Refs != 2 || pools[0].Replicas != 1 {
+		t.Fatalf("pool = %+v", pools[0])
+	}
+	if pools[0].ConfigHash == "" {
+		t.Fatal("pool missing config hash")
+	}
+	if len(view.ScaleEvents) != 0 {
+		t.Fatalf("unexpected scale events: %+v", view.ScaleEvents)
+	}
+}
