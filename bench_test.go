@@ -9,6 +9,7 @@
 //	E5          BenchmarkE5ControlPlaneScale       manager vs #agents
 //	E5          BenchmarkE5SharingDensity          shared pools on vs off, 1k clients
 //	E6          BenchmarkE6MigrationStrategies     cold vs stateful ablation
+//	E6          BenchmarkE6LiveMigration           stop-and-copy vs pre-copy by state size
 //	E7          BenchmarkE7NotificationPipeline    NF->Agent->Manager alerts
 //	E8          BenchmarkE8OffloadAblation         GNFC edge vs cloud hosting
 //	E9          BenchmarkE9FailoverRecovery        station-crash recovery
@@ -541,6 +542,82 @@ func BenchmarkE6MigrationStrategies(b *testing.B) {
 				b.ReportMetric(float64(downtime.Milliseconds())/float64(b.N), "downtime_ms")
 				b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "total_ms")
 				b.ReportMetric(float64(stateBytes)/1024, "state_KiB")
+			})
+		}
+	}
+}
+
+// BenchmarkE6LiveMigration compares stop-and-copy (stateful) against the
+// pre-copy live pipeline across state sizes. Counter state grows with
+// seeded flows until the chain's exported blob reaches the target size, so
+// both strategies migrate identical state. Stop-and-copy downtime grows
+// linearly with state (checkpoint+restore sit inside the freeze); live
+// downtime stays flat — only the residual delta ships frozen.
+func BenchmarkE6LiveMigration(b *testing.B) {
+	for _, strat := range []manager.Strategy{manager.StrategyStateful, manager.StrategyLive} {
+		for _, kib := range []int{64, 512, 4096} {
+			b.Run(fmt.Sprintf("%s/%dKiB", strat, kib), func(b *testing.B) {
+				clk := clock.NewAutoVirtual()
+				sys := benchSystem(b, strat, clk)
+				// nat+counter: a stateful, non-shareable chain, so migration
+				// exercises the container checkpoint/restore cost model (a
+				// shareable chain would ride the pool's costless export).
+				spec := manager.ChainSpec{
+					Name: "edge-chain",
+					Functions: []agent.NFSpec{
+						{Kind: "nat", Name: "nat0", Params: nf.Params{"nat_ip": "192.168.88.1", "ports": "2000-63000"}},
+						{Kind: "counter", Name: "acct0"},
+					},
+				}
+				if err := sys.AttachChain("phone", spec); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.WaitChainOn("st-a", "edge-chain", 10*time.Second); err != nil {
+					b.Fatal(err)
+				}
+				chainFn, err := sys.Agent("st-a").ChainFunction("edge-chain")
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Seed distinct flows until the exported state reaches the
+				// target size.
+				target := kib * 1024
+				flows := 0
+				for {
+					state, err := chainFn.ExportState()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(state) >= target {
+						break
+					}
+					for i := 0; i < 512; i++ {
+						n := flows + i
+						frame := packet.BuildUDP(benchPhoneMAC, benchServerMAC,
+							benchPhoneIP, benchServerIP,
+							uint16(n%60000+2001), 53, nil)
+						chainFn.Process(nf.Outbound, frame)
+					}
+					flows += 512
+				}
+				targets := []string{"st-b", "st-a"}
+				var downtime, total time.Duration
+				var stateBytes, rounds int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := sys.Manager.MigrateChain("phone", "edge-chain", targets[i%2])
+					if err != nil {
+						b.Fatal(err)
+					}
+					downtime += rep.Downtime
+					total += rep.Total
+					stateBytes = rep.StateBytes
+					rounds += rep.Rounds
+				}
+				b.ReportMetric(float64(downtime.Microseconds())/float64(b.N)/1000, "downtime_ms")
+				b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "total_ms")
+				b.ReportMetric(float64(stateBytes)/1024, "state_KiB")
+				b.ReportMetric(float64(rounds)/float64(b.N), "rounds")
 			})
 		}
 	}

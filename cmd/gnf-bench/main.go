@@ -57,7 +57,7 @@ func main() {
 		{"E3", "NF density on a 1 GiB edge box: container vs VM", runE3},
 		{"E4", "dataplane throughput vs chain length and per NF type", runE4},
 		{"E5", "control-plane RPC latency vs number of agents", runE5},
-		{"E6", "migration strategy ablation: cold vs stateful", runE6},
+		{"E6", "migration strategy ablation: cold vs stateful vs live pre-copy", runE6},
 		{"E7", "NF notification pipeline throughput", runE7},
 		{"E8", "GNFC offload ablation: edge vs cloud hosting", runE8},
 		{"E9", "station failover recovery time", runE9},
@@ -381,8 +381,8 @@ func runE5() error {
 // --- E6 ---------------------------------------------------------------------
 
 func runE6() error {
-	fmt.Printf("  %-10s %10s %14s %12s %12s\n", "strategy", "flows", "downtime", "total", "state")
-	for _, strat := range []manager.Strategy{manager.StrategyCold, manager.StrategyStateful} {
+	fmt.Printf("  %-10s %10s %14s %12s %12s %7s\n", "strategy", "flows", "downtime", "total", "state", "rounds")
+	for _, strat := range []manager.Strategy{manager.StrategyCold, manager.StrategyStateful, manager.StrategyLive} {
 		for _, flows := range []int{0, 1000, 16000} {
 			clk := clock.NewAutoVirtual()
 			sys, _, err := newEdgeSystem(strat, clk, false)
@@ -418,9 +418,9 @@ func runE6() error {
 				sys.Close()
 				return err
 			}
-			fmt.Printf("  %-10s %10d %14v %12v %9.1f KiB\n", strat, flows,
+			fmt.Printf("  %-10s %10d %14v %12v %9.1f KiB %7d\n", strat, flows,
 				rep.Downtime.Round(time.Microsecond), rep.Total.Round(time.Microsecond),
-				float64(rep.StateBytes)/1024)
+				float64(rep.StateBytes)/1024, rep.Rounds)
 			sys.Close()
 		}
 	}

@@ -35,7 +35,7 @@ func main() {
 	roams := flag.Int("roams", 3, "number of handoffs to perform")
 	dwell := flag.Duration("dwell", 3*time.Second, "time spent in each cell")
 	pps := flag.Int("pps", 100, "client traffic rate (packets/s)")
-	strategy := flag.String("strategy", "stateful", "migration strategy: cold|stateful")
+	strategy := flag.String("strategy", "stateful", "migration strategy: cold|stateful|live")
 	scenarioFile := flag.String("scenario", "", "run this scenario file instead of the staged demo")
 	flag.Parse()
 
@@ -47,8 +47,14 @@ func main() {
 	}
 
 	strat := manager.StrategyStateful
-	if *strategy == "cold" {
+	switch *strategy {
+	case "cold":
 		strat = manager.StrategyCold
+	case "live":
+		strat = manager.StrategyLive
+	case "stateful":
+	default:
+		log.Fatalf("unknown -strategy %q (want cold, stateful or live)", *strategy)
 	}
 	sys, err := core.NewSystem(core.Config{
 		Strategy:       strat,

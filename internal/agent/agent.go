@@ -52,6 +52,12 @@ const (
 	detourPriority = 200
 )
 
+// brownoutDepth bounds the per-chain brownout buffer armed on disabled
+// (migration/standby) deploys: frames the client sends while its chain is
+// frozen mid-handoff are parked up to this depth and replayed on
+// activation instead of being dropped.
+const brownoutDepth = 4096
+
 // clientInfo tracks one associated client.
 type clientInfo struct {
 	id   topology.ClientID
@@ -68,6 +74,15 @@ type deployment struct {
 	// building marks a name reservation while Deploy constructs resources;
 	// such entries are invisible to every other API.
 	building bool
+	// standby mirrors spec.Standby but is mutable under Agent.mu: Activate
+	// promotes a prewarmed standby into a real placement.
+	standby bool
+	// Pre-copy session state (guarded by Agent.mu): the per-member dirty
+	// epochs of the last PreCopy export and the 1-based round counter.
+	// Rounds of one session are serialised by the manager (per-client
+	// migration lock), so no finer synchronisation is needed.
+	preEpochs []uint64
+	preRound  int
 
 	// Exclusive-instance resources (unset for shared attachments).
 	chain      *nf.Chain
@@ -106,6 +121,11 @@ type Agent struct {
 	poolGrace time.Duration
 	pool      *share.Pool
 	poolSeq   atomic.Uint64 // shared-instance name generations
+
+	// retiredDrops accumulates the drop counters of chains that have been
+	// torn down, so station-level loss accounting (the zero-loss scenario
+	// expectation) survives migration removals.
+	retiredDrops atomic.Uint64
 
 	mu          sync.Mutex
 	clients     map[topology.ClientID]clientInfo
@@ -206,8 +226,45 @@ func (a *Agent) AttachClient(id topology.ClientID, mac packet.MAC, ip packet.IP,
 	// client's frames flooded back from the backhaul must never repoint
 	// local forwarding away from the access port.
 	a.sw.PinMAC(mac, port)
+	// Prewarmed standby chains arm their steering the moment the predicted
+	// client actually arrives — before the manager even hears about the
+	// handoff — so early frames park in the brownout buffer (fail closed)
+	// instead of slipping past the not-yet-activated chain.
+	a.armStandbySteering(id)
 	if sink != nil {
 		sink(ClientEvent{Station: string(a.station), Client: string(id), Connected: true, MAC: mac, IP: ip})
+	}
+}
+
+// armStandbySteering installs fail-closed steering for every standby
+// deployment belonging to a freshly associated client: exclusive standbys
+// steer into their (disabled, brownout-buffering) chain host, shared
+// standby attachments get drop rules.
+func (a *Agent) armStandbySteering(id topology.ClientID) {
+	a.mu.Lock()
+	ci, ok := a.clients[id]
+	if !ok {
+		a.mu.Unlock()
+		return
+	}
+	var shared []*deployment
+	for _, d := range a.deployments {
+		if d.building || !d.standby || d.spec.Client != string(id) {
+			continue
+		}
+		if d.shared != nil {
+			shared = append(shared, d)
+			continue
+		}
+		if !d.spec.Remote && len(d.ruleIDs) == 0 {
+			d.ruleIDs = a.clientSteeringRules(ci, d.ports[0], d.ports[1])
+		}
+	}
+	a.mu.Unlock()
+	// The steering-swap helper manages its own locking and installs drop
+	// rules for a disabled attachment.
+	for _, d := range shared {
+		a.disableShared(d)
 	}
 }
 
@@ -275,6 +332,15 @@ func (a *Agent) Deploy(spec DeploySpec) (*DeployResult, error) {
 	a.mu.Lock()
 	a.deployments[spec.Chain] = dep
 	a.mu.Unlock()
+	// A standby's predicted client may have associated while the build was
+	// in flight — the exact timing prewarm anticipates. AttachClient's
+	// arming pass skipped the entry (still marked building), and the build
+	// snapshotted the client table before the arrival, so re-arm now:
+	// without this the client's frames bypass the staged chain instead of
+	// parking fail-closed.
+	if spec.Standby {
+		a.armStandbySteering(topology.ClientID(spec.Client))
+	}
 	// Lazy reaping rides control-plane activity — after the attach, so a
 	// re-deploy arriving right at grace expiry revives the warm instance
 	// instead of watching it die first.
@@ -375,6 +441,7 @@ func (a *Agent) buildChainResources(name string, fns []NFSpec) (*chainResources,
 // ports, veths and containers.
 func (a *Agent) teardownChainResources(cr *chainResources) {
 	cr.host.Disable()
+	a.retiredDrops.Add(cr.host.Dropped() + cr.host.Parked())
 	a.sw.Detach(cr.inPort)
 	a.sw.Detach(cr.outPort)
 	for _, ep := range cr.endpoints {
@@ -413,25 +480,12 @@ func (a *Agent) buildDeployment(spec DeploySpec, ci clientInfo, haveClient bool)
 		}
 		ruleIDs = a.installRemoteSteering(spec, tp, cr.inPort, cr.outPort)
 	case haveClient:
-		cp := ci.port
-		ruleIDs = append(ruleIDs, a.sw.AddRule(netem.Rule{
-			Priority: steerPriority,
-			Match:    netem.Match{InPort: &cp},
-			Action:   netem.ActionRedirect,
-			OutPort:  cr.inPort,
-		}))
-		up := a.uplink
-		dstIP := ci.ip
-		ruleIDs = append(ruleIDs, a.sw.AddRule(netem.Rule{
-			Priority: steerPriority,
-			Match:    netem.Match{InPort: &up, DstIP: &dstIP},
-			Action:   netem.ActionRedirect,
-			OutPort:  cr.outPort,
-		}))
+		ruleIDs = a.clientSteeringRules(ci, cr.inPort, cr.outPort)
 	}
 
 	dep := &deployment{
 		spec:       spec,
+		standby:    spec.Standby,
 		chain:      cr.chain,
 		host:       cr.host,
 		containers: cr.containers,
@@ -441,8 +495,38 @@ func (a *Agent) buildDeployment(spec DeploySpec, ci clientInfo, haveClient bool)
 	}
 	if spec.Enabled {
 		cr.host.Enable()
+	} else {
+		// Migration and standby deploys start disabled; park the freeze
+		// window's frames for replay on activation instead of dropping
+		// them. Schedule windows disable *running* chains and are
+		// unaffected: their out-of-window traffic still drops.
+		cr.host.BufferWhileDisabled(brownoutDepth)
 	}
 	return dep, nil
+}
+
+// clientSteeringRules diverts an attached client's traffic through a
+// chain's two service ports: outbound frames from the client's access port
+// into the chain ingress, backhaul frames addressed to the client into the
+// chain egress.
+func (a *Agent) clientSteeringRules(ci clientInfo, inPort, outPort netem.PortID) []int {
+	cp := ci.port
+	up := a.uplink
+	dstIP := ci.ip
+	return []int{
+		a.sw.AddRule(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &cp},
+			Action:   netem.ActionRedirect,
+			OutPort:  inPort,
+		}),
+		a.sw.AddRule(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &up, DstIP: &dstIP},
+			Action:   netem.ActionRedirect,
+			OutPort:  outPort,
+		}),
+	}
 }
 
 // ImageForKind resolves an NF kind's repository image name through the
@@ -489,6 +573,27 @@ func (a *Agent) Disable(chain string) error {
 		return nil
 	}
 	d.host.Disable()
+	return nil
+}
+
+// Freeze pauses forwarding for a migration: unlike Disable, in-flight
+// stragglers park in the brownout buffer, keeping the freeze window
+// drop-free while the residual delta ships. Frames still parked when the
+// source is removed are folded into the station's retired-drop counter —
+// loss is deferred and made visible at teardown, never hidden. Shared
+// attachments swap to drop rules like Disable (their instance keeps
+// serving other clients; the roamed client's traffic no longer arrives
+// here).
+func (a *Agent) Freeze(chain string) error {
+	d, err := a.get(chain)
+	if err != nil {
+		return err
+	}
+	if d.shared != nil {
+		a.disableShared(d)
+		return nil
+	}
+	d.host.FreezeBuffered(brownoutDepth)
 	return nil
 }
 
@@ -543,6 +648,113 @@ func (a *Agent) Restore(chain string, state []byte) error {
 	return d.containers[0].Restore(state)
 }
 
+// PreCopy runs one pre-copy round for a live migration: it exports the
+// chain state dirtied since the previous round of the session (the full
+// state on the first round) while the chain keeps serving. restart
+// discards any stale session from an earlier migration attempt. Rounds of
+// one session are serialised by the caller (the manager holds the
+// client's migration lock).
+func (a *Agent) PreCopy(chain string, restart bool) (*PreCopyResult, error) {
+	d, err := a.get(chain)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if restart {
+		d.preEpochs, d.preRound = nil, 0
+	}
+	since := d.preEpochs
+	a.mu.Unlock()
+
+	var blob []byte
+	var epochs []uint64
+	switch {
+	case d.shared != nil:
+		// Shared instances export their primary replica, like Checkpoint;
+		// shareable NFs hold only advisory state.
+		res := d.shared.Payload().(*poolResources)
+		res.mu.Lock()
+		if len(res.replicas) == 0 {
+			res.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+		}
+		ch := res.replicas[0].chain
+		res.mu.Unlock()
+		blob, epochs, err = ch.ExportStateDelta(since)
+	case len(d.containers) == 0:
+		blob, epochs, err = d.chain.ExportStateDelta(since)
+	default:
+		blob, epochs, err = d.containers[0].CheckpointDelta(since)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	d.preEpochs = epochs
+	d.preRound++
+	round := d.preRound
+	a.mu.Unlock()
+	return &PreCopyResult{Chain: chain, State: blob, Round: round}, nil
+}
+
+// SyncDelta applies one pre-copy round's payload to the target chain. For
+// shared attachments the import only happens while this attachment is the
+// instance's sole sharer, mirroring Restore: the state of clients already
+// being served wins.
+func (a *Agent) SyncDelta(chain string, state []byte) error {
+	d, err := a.get(chain)
+	if err != nil {
+		return err
+	}
+	if d.shared != nil {
+		if a.pool.Refs(d.shared.Key()) != 1 {
+			return nil
+		}
+		res := d.shared.Payload().(*poolResources)
+		res.mu.Lock()
+		if len(res.replicas) == 0 {
+			res.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+		}
+		ch := res.replicas[0].chain
+		res.mu.Unlock()
+		return ch.ImportStateDelta(state)
+	}
+	if len(d.containers) == 0 {
+		return d.chain.ImportStateDelta(state)
+	}
+	return d.containers[0].RestoreDelta(state)
+}
+
+// Activate flips a migration-staged (or prewarmed standby) deployment
+// live: the standby mark clears, steering is installed if the client has
+// associated since the deploy, the chain starts forwarding, and every
+// brownout-buffered frame is replayed in arrival order — the loss-free end
+// of a handoff.
+func (a *Agent) Activate(chain string) (*ActivateResult, error) {
+	d, err := a.get(chain)
+	if err != nil {
+		return nil, err
+	}
+	if d.shared != nil {
+		a.mu.Lock()
+		d.standby = false
+		a.mu.Unlock()
+		a.enableShared(d)
+		return &ActivateResult{Chain: chain}, nil
+	}
+	a.mu.Lock()
+	d.standby = false
+	ci, have := a.clients[topology.ClientID(d.spec.Client)]
+	if have && !d.spec.Remote && len(d.ruleIDs) == 0 {
+		d.ruleIDs = a.clientSteeringRules(ci, d.ports[0], d.ports[1])
+	}
+	a.mu.Unlock()
+	before := d.host.Replayed()
+	d.host.Enable()
+	return &ActivateResult{Chain: chain, Replayed: d.host.Replayed() - before}, nil
+}
+
 // Remove tears a deployment down: steering rules out first (traffic cuts
 // over to normal forwarding), then containers, ports and veths. Shared
 // attachments only drop their reference; the instance survives for other
@@ -566,6 +778,10 @@ func (a *Agent) Remove(chain string) error {
 		a.sw.RemoveRule(id)
 	}
 	d.host.Disable()
+	// Parked brownout frames die with the chain; count them so teardown
+	// never hides real traffic loss (e.g. a frozen source removed while
+	// its client was still attached, as manual migrations do).
+	a.retiredDrops.Add(d.host.Dropped() + d.host.Parked())
 	a.sw.Detach(d.ports[0])
 	a.sw.Detach(d.ports[1])
 	for _, ep := range d.endpoints {
@@ -659,15 +875,22 @@ func (a *Agent) Report() Report {
 			Redirects: swst.Redirects,
 			Rules:     swst.Rules,
 		},
-		UnixNano: a.clk.Now().UnixNano(),
+		RetiredDrops: a.retiredDrops.Load(),
+		UnixNano:     a.clk.Now().UnixNano(),
+	}
+	// Snapshot the mutable per-deployment flags in the same locked pass
+	// that collects the list, so the loop below never re-takes a.mu.
+	type depSnap struct {
+		d                *deployment
+		enabled, standby bool
 	}
 	a.mu.Lock()
-	deps := make([]*deployment, 0, len(a.deployments))
+	deps := make([]depSnap, 0, len(a.deployments))
 	for _, d := range a.deployments {
 		if d.building {
 			continue
 		}
-		deps = append(deps, d)
+		deps = append(deps, depSnap{d: d, enabled: d.enabled, standby: d.standby})
 	}
 	a.mu.Unlock()
 	// Sharers of one instance all report the same aggregate counters;
@@ -675,7 +898,8 @@ func (a *Agent) Report() Report {
 	// clients on one pool would otherwise rescan it a thousand times).
 	type poolLoad struct{ processed, dropped uint64 }
 	loadOf := make(map[*poolResources]poolLoad)
-	for _, d := range deps {
+	for _, snap := range deps {
+		d := snap.d
 		var cs ChainStatus
 		if d.shared != nil {
 			res := d.shared.Payload().(*poolResources)
@@ -684,18 +908,15 @@ func (a *Agent) Report() Report {
 				load.processed, load.dropped, _ = res.loads()
 				loadOf[res] = load
 			}
-			processed, dropped := load.processed, load.dropped
-			a.mu.Lock()
-			enabled := d.enabled
-			a.mu.Unlock()
 			cs = ChainStatus{
 				Chain:      d.spec.Chain,
 				Client:     d.spec.Client,
-				Enabled:    enabled,
-				Processed:  processed,
-				Dropped:    dropped,
+				Enabled:    snap.enabled,
+				Processed:  load.processed,
+				Dropped:    load.dropped,
 				Shared:     true,
 				ConfigHash: d.shared.Key().ConfigHash,
+				Standby:    snap.standby,
 			}
 		} else {
 			cs = ChainStatus{
@@ -705,6 +926,7 @@ func (a *Agent) Report() Report {
 				Processed: d.host.Processed(),
 				Dropped:   d.host.Dropped(),
 				NFStats:   d.chain.NFStats(),
+				Standby:   snap.standby,
 			}
 		}
 		rep.Chains = append(rep.Chains, cs)

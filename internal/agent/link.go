@@ -120,6 +120,9 @@ func (l *Link) installHandlers() {
 		if err := json.Unmarshal(body, &ref); err != nil {
 			return nil, err
 		}
+		if ref.Brownout {
+			return nil, a.Freeze(ref.Chain)
+		}
 		return nil, a.Disable(ref.Chain)
 	})
 	l.peer.Handle(MethodCheckpoint, func(body json.RawMessage) (any, error) {
@@ -139,6 +142,27 @@ func (l *Link) installHandlers() {
 			return nil, err
 		}
 		return nil, a.Restore(spec.Chain, spec.State)
+	})
+	l.peer.Handle(MethodPreCopy, func(body json.RawMessage) (any, error) {
+		var spec PreCopySpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return a.PreCopy(spec.Chain, spec.Restart)
+	})
+	l.peer.Handle(MethodSyncDelta, func(body json.RawMessage) (any, error) {
+		var spec SyncDeltaSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		return nil, a.SyncDelta(spec.Chain, spec.State)
+	})
+	l.peer.Handle(MethodActivate, func(body json.RawMessage) (any, error) {
+		var ref ChainRef
+		if err := json.Unmarshal(body, &ref); err != nil {
+			return nil, err
+		}
+		return a.Activate(ref.Chain)
 	})
 	l.peer.Handle(MethodPrefetch, func(body json.RawMessage) (any, error) {
 		var spec PrefetchSpec

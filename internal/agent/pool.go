@@ -95,7 +95,7 @@ func (a *Agent) attachShared(spec DeploySpec) (*deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	dep := &deployment{spec: spec, shared: inst}
+	dep := &deployment{spec: spec, standby: spec.Standby, shared: inst}
 	if spec.Enabled {
 		a.enableShared(dep)
 	} else {

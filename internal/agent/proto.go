@@ -24,6 +24,12 @@ const (
 	MethodUnsteer    = "agent.unsteer"
 	MethodRetarget   = "agent.retarget"
 	MethodScalePool  = "agent.scalePool"
+	// Live-migration pipeline: PreCopy exports (incremental) state from a
+	// still-serving source, SyncDelta applies it on the target, Activate
+	// flips the target live and replays its brownout buffer.
+	MethodPreCopy   = "agent.preCopy"
+	MethodSyncDelta = "agent.syncDelta"
+	MethodActivate  = "agent.activate"
 
 	// Manager-served methods.
 	MethodRegister    = "manager.register"
@@ -57,6 +63,13 @@ type DeploySpec struct {
 	Remote bool `json:"remote,omitempty"`
 	// Via names the station whose tunnel delivers the client's traffic.
 	Via string `json:"via,omitempty"`
+	// Standby marks a predictive prewarm deployment: the chain is staged
+	// disabled at the station a mobility model expects the client to roam
+	// to next. Standby chains are placement intents, not placements — they
+	// are excluded from the invariant audit, and steering is armed
+	// fail-closed (into the brownout buffer) the moment the client actually
+	// associates, so a mid-handoff frame is parked rather than leaked.
+	Standby bool `json:"standby,omitempty"`
 }
 
 // DeployResult reports what the agent built.
@@ -69,9 +82,13 @@ type DeployResult struct {
 	Shared bool `json:"shared,omitempty"`
 }
 
-// ChainRef names a deployment on an agent.
+// ChainRef names a deployment on an agent. Brownout applies to
+// MethodDisable only: the chain freezes with its brownout buffer armed
+// (migration freeze) instead of dropping in-flight frames (schedule
+// windows, which must police out-of-window traffic).
 type ChainRef struct {
-	Chain string `json:"chain"`
+	Chain    string `json:"chain"`
+	Brownout bool   `json:"brownout,omitempty"`
 }
 
 // CheckpointResult carries exported chain state.
@@ -84,6 +101,36 @@ type CheckpointResult struct {
 type RestoreSpec struct {
 	Chain string `json:"chain"`
 	State []byte `json:"state"`
+}
+
+// PreCopySpec asks a source agent for the next pre-copy round of a chain:
+// the state dirtied since the previous round (the full state on the first
+// round of a session). Restart discards any existing session first, so a
+// fresh migration attempt never resumes a stale epoch vector.
+type PreCopySpec struct {
+	Chain   string `json:"chain"`
+	Restart bool   `json:"restart,omitempty"`
+}
+
+// PreCopyResult carries one pre-copy round's payload; len(State) is the
+// caller's convergence signal.
+type PreCopyResult struct {
+	Chain string `json:"chain"`
+	State []byte `json:"state"` // chain-delta format (self-describing per member)
+	Round int    `json:"round"` // 1-based round number within the session
+}
+
+// SyncDeltaSpec applies a pre-copy round's payload on the target.
+type SyncDeltaSpec struct {
+	Chain string `json:"chain"`
+	State []byte `json:"state"`
+}
+
+// ActivateResult reports target activation: how many brownout-buffered
+// frames were replayed through the chain, making the handoff loss-free.
+type ActivateResult struct {
+	Chain    string `json:"chain"`
+	Replayed uint64 `json:"replayed"`
 }
 
 // PrefetchSpec warms an image on the agent's runtime.
@@ -108,12 +155,15 @@ type RegisterSpec struct {
 // Report is the periodic health/resource report of §3 ("reporting
 // periodically the state of the device").
 type Report struct {
-	Station  string                `json:"station"`
-	Usage    metrics.ResourceUsage `json:"usage"`
-	Switch   SwitchStats           `json:"switch"`
-	Chains   []ChainStatus         `json:"chains"`
-	Pools    []PoolStatus          `json:"pools,omitempty"`
-	UnixNano int64                 `json:"unix_nano"`
+	Station string                `json:"station"`
+	Usage   metrics.ResourceUsage `json:"usage"`
+	Switch  SwitchStats           `json:"switch"`
+	Chains  []ChainStatus         `json:"chains"`
+	Pools   []PoolStatus          `json:"pools,omitempty"`
+	// RetiredDrops carries the accumulated drop counters of chains already
+	// torn down on this station, so loss accounting survives migrations.
+	RetiredDrops uint64 `json:"retired_drops,omitempty"`
+	UnixNano     int64  `json:"unix_nano"`
 }
 
 // PoolStatus describes one shared NF instance on a station: its pool key,
@@ -161,6 +211,9 @@ type ChainStatus struct {
 	// pool entry serving it.
 	Shared     bool   `json:"shared,omitempty"`
 	ConfigHash string `json:"config_hash,omitempty"`
+	// Standby marks a prewarmed placement intent (see DeploySpec.Standby);
+	// the invariant audit skips these.
+	Standby bool `json:"standby,omitempty"`
 }
 
 // ClientEvent reports client (dis)connection to the manager (§3: the Agent

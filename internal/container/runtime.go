@@ -80,6 +80,16 @@ type StateHandler interface {
 	ImportState([]byte) error
 }
 
+// DeltaStateHandler extends StateHandler with epoch-versioned incremental
+// export/import, the substrate of pre-copy live migration: every round
+// ships only the state dirtied since the previous round's epoch vector
+// (one epoch per chain member; nil = full export).
+type DeltaStateHandler interface {
+	StateHandler
+	ExportStateDelta(since []uint64) (delta []byte, epochs []uint64, err error)
+	ImportStateDelta(delta []byte) error
+}
+
 // Config describes a container to create.
 type Config struct {
 	Name  string // unique per runtime
@@ -429,6 +439,36 @@ func (c *Container) Checkpoint() ([]byte, error) {
 	return data, nil
 }
 
+// CheckpointDelta exports only the application state dirtied since the
+// epoch vector of a previous export (nil = full, starting the sequence).
+// The modeled cost scales with the *delta* size — the whole point of
+// pre-copy migration: the expensive full export happens while the source
+// still serves, and the frozen residual round pays only for what changed.
+func (c *Container) CheckpointDelta(since []uint64) ([]byte, []uint64, error) {
+	c.mu.Lock()
+	h := c.handler
+	st := c.state
+	c.mu.Unlock()
+	if st != StateRunning && st != StatePaused {
+		return nil, nil, fmt.Errorf("%w: checkpoint of %s container", ErrBadState, st)
+	}
+	if h == nil {
+		return nil, nil, ErrNoStateHandler
+	}
+	dh, ok := h.(DeltaStateHandler)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoDeltaHandler, c.cfg.Name)
+	}
+	data, epochs, err := dh.ExportStateDelta(since)
+	if err != nil {
+		return nil, nil, err
+	}
+	kb := (len(data) + 1023) / 1024
+	c.rt.clk.Sleep(time.Duration(kb) * c.rt.costs.CheckpointKB)
+	c.rt.emit(EventCheckpoint, c.cfg.Name, c.img.Name)
+	return data, epochs, nil
+}
+
 // Restore imports previously checkpointed state into the container.
 func (c *Container) Restore(data []byte) error {
 	c.mu.Lock()
@@ -438,6 +478,29 @@ func (c *Container) Restore(data []byte) error {
 		return ErrNoStateHandler
 	}
 	if err := h.ImportState(data); err != nil {
+		return err
+	}
+	kb := (len(data) + 1023) / 1024
+	c.rt.clk.Sleep(time.Duration(kb) * c.rt.costs.RestoreKB)
+	c.rt.emit(EventRestored, c.cfg.Name, c.img.Name)
+	return nil
+}
+
+// RestoreDelta merges a delta produced by CheckpointDelta into the
+// container's application state; the modeled cost scales with the delta
+// size.
+func (c *Container) RestoreDelta(data []byte) error {
+	c.mu.Lock()
+	h := c.handler
+	c.mu.Unlock()
+	if h == nil {
+		return ErrNoStateHandler
+	}
+	dh, ok := h.(DeltaStateHandler)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDeltaHandler, c.cfg.Name)
+	}
+	if err := dh.ImportStateDelta(data); err != nil {
 		return err
 	}
 	kb := (len(data) + 1023) / 1024

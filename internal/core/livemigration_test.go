@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// natChain is a stateful chain whose migration must move the translation
+// table — the live-migration pipeline's exemplar workload.
+func natChain(name string) manager.ChainSpec {
+	return manager.ChainSpec{
+		Name: name,
+		Functions: []agent.NFSpec{
+			{Kind: "nat", Name: "nat0", Params: nf.Params{"nat_ip": "192.168.77.1", "ports": "30000-62000"}},
+			{Kind: "counter", Name: "acct0"},
+		},
+	}
+}
+
+// liveSystem brings up a virtual-clock deployment with the given station
+// count (stations st-0..st-n at x = 0, 100, 200, ... with cells cell-0..)
+// and one client attached at cell-0.
+func liveSystem(t *testing.T, stations int, strategy manager.Strategy) *System {
+	t.Helper()
+	cfg := Config{Strategy: strategy}
+	for i := 0; i < stations; i++ {
+		cfg.Stations = append(cfg.Stations, StationConfig{
+			ID:       topology.StationID(fmt.Sprintf("st-%d", i)),
+			Position: topology.Point{X: float64(i) * 100},
+			Cells: []CellConfig{{
+				ID:     topology.CellID(fmt.Sprintf("cell-%d", i)),
+				Center: topology.Point{X: float64(i) * 100},
+				Radius: 60,
+			}},
+		})
+	}
+	sys, _, err := NewVirtualSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.AddClient("phone", phoneMAC, phoneIP); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("phone", "cell-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-0", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// seedFlows pushes n distinct UDP flows through the client's chain on the
+// station, growing NAT and counter state.
+func seedFlows(t *testing.T, sys *System, station topology.StationID, chain string, n int) {
+	t.Helper()
+	fn, err := sys.Agent(station).ChainFunction(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		frame := packet.BuildUDP(phoneMAC, serverMAC, phoneIP, serverIP,
+			uint16(i%28000+2000), 53, nil)
+		fn.Process(nf.Outbound, frame)
+	}
+}
+
+func auditClean(t *testing.T, sys *System) {
+	t.Helper()
+	if vs := sys.Audit(); len(vs) != 0 {
+		t.Fatalf("audit violations: %v", vs)
+	}
+}
+
+func TestLiveMigrationPreservesStateWithSmallResidual(t *testing.T) {
+	sys := liveSystem(t, 2, manager.StrategyLive)
+	if err := sys.AttachChain("phone", natChain("edge")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-0", "edge", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	seedFlows(t, sys, "st-0", "edge", 2000)
+
+	if err := sys.Topo.Attach("phone", "cell-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-1", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+
+	migs := sys.Manager.Migrations()
+	if len(migs) != 1 {
+		t.Fatalf("migrations = %+v", migs)
+	}
+	rep := migs[0]
+	if rep.Err != "" || rep.Strategy != manager.StrategyLive {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Rounds < 1 || rep.PrecopyBytes == 0 {
+		t.Fatalf("no pre-copy rounds ran: %+v", rep)
+	}
+	// The residual (shipped frozen) must be a sliver of the pre-copied
+	// bulk — that is what makes downtime independent of state size.
+	if rep.ResidualBytes*10 > rep.PrecopyBytes {
+		t.Fatalf("residual %dB vs precopy %dB — freeze window not slim", rep.ResidualBytes, rep.PrecopyBytes)
+	}
+
+	// State continuity: the target's NAT table holds every seeded flow.
+	fn, err := sys.Agent("st-1").ChainFunction("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := fn.NFStats()
+	if got := stats["nat0.mappings"]; got != 2000 {
+		t.Fatalf("migrated NAT mappings = %d, want 2000", got)
+	}
+	if got := stats["acct0.tracked_flows"]; got != 2000 {
+		t.Fatalf("migrated counter flows = %d, want 2000", got)
+	}
+	auditClean(t, sys)
+}
+
+func TestLiveDowntimeFlatAcrossStateSizes(t *testing.T) {
+	// Stop-and-copy downtime grows with state (checkpoint+restore of the
+	// full blob sit inside the freeze); live downtime must not.
+	downtime := func(strategy manager.Strategy, flows int) time.Duration {
+		sys := liveSystem(t, 2, strategy)
+		if err := sys.AttachChain("phone", natChain("edge")); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WaitChainOn("st-0", "edge", 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		seedFlows(t, sys, "st-0", "edge", flows)
+		rep, err := sys.Manager.MigrateChain("phone", "edge", "st-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Downtime
+	}
+	liveSmall := downtime(manager.StrategyLive, 100)
+	liveBig := downtime(manager.StrategyLive, 10000)
+	stopBig := downtime(manager.StrategyStateful, 10000)
+	if liveBig > 4*liveSmall+time.Millisecond {
+		t.Fatalf("live downtime scales with state: %v (100 flows) -> %v (10k flows)", liveSmall, liveBig)
+	}
+	if stopBig < 4*liveBig {
+		t.Fatalf("stop-and-copy (%v) not dominated by live (%v) at 10k flows", stopBig, liveBig)
+	}
+}
+
+func TestRapidDoubleHandoffMidPrecopy(t *testing.T) {
+	sys := liveSystem(t, 2, manager.StrategyLive)
+	if err := sys.AttachChain("phone", natChain("edge")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-0", "edge", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Enough state that the first pre-copy round is slow relative to the
+	// follow-up handoff: the A->B migration is still in flight when the
+	// client bounces back to A.
+	seedFlows(t, sys, "st-0", "edge", 5000)
+
+	if err := sys.Topo.Attach("phone", "cell-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("phone", "cell-0"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+
+	if st, _ := sys.Manager.ClientStation("phone"); st != "st-0" {
+		t.Fatalf("client at %q, want st-0", st)
+	}
+	// The chain must converge back to st-0, enabled, with no leaks on
+	// st-1 and no invariant violations.
+	deadline := time.After(5 * time.Second)
+	for {
+		if on, err := sys.Agent("st-0").ChainEnabled("edge"); err == nil && on {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("chain never converged to st-0: st-0=%v st-1=%v",
+				sys.Agent("st-0").Chains(), sys.Agent("st-1").Chains())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	auditClean(t, sys)
+	for _, rep := range sys.Manager.Migrations() {
+		if rep.Err != "" {
+			t.Fatalf("failed migration in double handoff: %+v", rep)
+		}
+	}
+}
+
+func TestPrewarmHitRateOnCommutePattern(t *testing.T) {
+	sys := liveSystem(t, 2, manager.StrategyLive)
+	sys.Manager.SetPrewarm(true)
+	if err := sys.AttachChain("phone", natChain("edge")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-0", "edge", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	seedFlows(t, sys, "st-0", "edge", 500)
+
+	cells := []topology.CellID{"cell-1", "cell-0"}
+	stations := []topology.StationID{"st-1", "st-0"}
+	for i := 0; i < 6; i++ {
+		if err := sys.Topo.Attach("phone", cells[i%2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WaitClientAt("phone", stations[i%2], 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		sys.Manager.WaitIdle()
+	}
+
+	migs := sys.Manager.Migrations()
+	prewarmed := 0
+	for _, rep := range migs {
+		if rep.Err != "" {
+			t.Fatalf("failed migration: %+v", rep)
+		}
+		if rep.Prewarmed {
+			prewarmed++
+		}
+	}
+	// The Markov model knows both directions after the first round trip;
+	// every later handoff must land on a warm standby: >= 4 of 6, and at
+	// minimum the >=50% bar the predictor exists to clear.
+	if len(migs) != 6 || prewarmed < 4 {
+		t.Fatalf("prewarmed %d of %d migrations", prewarmed, len(migs))
+	}
+	auditClean(t, sys)
+}
+
+func TestPrewarmMissCleansStaleStandby(t *testing.T) {
+	sys := liveSystem(t, 3, manager.StrategyLive)
+	sys.Manager.SetPrewarm(true)
+	if err := sys.AttachChain("phone", natChain("edge")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-0", "edge", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	seedFlows(t, sys, "st-0", "edge", 200)
+
+	// Teach the model st-0 -> st-1, then come home: a standby now waits on
+	// st-1.
+	hop := func(cell topology.CellID, station topology.StationID) {
+		t.Helper()
+		if err := sys.Topo.Attach("phone", cell); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WaitClientAt("phone", station, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		sys.Manager.WaitIdle()
+	}
+	hop("cell-1", "st-1")
+	hop("cell-0", "st-0")
+	if chains := sys.Agent("st-1").Chains(); len(chains) != 1 {
+		t.Fatalf("expected a standby staged on st-1, got %v", chains)
+	}
+
+	// The prediction misses: the client roams to st-2 instead. The stale
+	// standby on st-1 must be torn down and the audit stay clean.
+	hop("cell-2", "st-2")
+	if chains := sys.Agent("st-1").Chains(); len(chains) != 0 {
+		t.Fatalf("stale standby survived on st-1: %v", chains)
+	}
+	last := sys.Manager.Migrations()[len(sys.Manager.Migrations())-1]
+	if last.Err != "" || last.Prewarmed {
+		t.Fatalf("missed prediction still reported prewarmed: %+v", last)
+	}
+	auditClean(t, sys)
+}
+
+func TestDeadSourceActivatesWarmStandby(t *testing.T) {
+	sys := liveSystem(t, 2, manager.StrategyLive)
+	sys.Manager.SetPrewarm(true)
+	if err := sys.AttachChain("phone", natChain("edge")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-0", "edge", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	seedFlows(t, sys, "st-0", "edge", 500)
+
+	// One round trip teaches the model st-0 -> st-1, so a state-synced
+	// standby ends up staged at st-1.
+	hop := func(cell topology.CellID, station topology.StationID) {
+		t.Helper()
+		if err := sys.Topo.Attach("phone", cell); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WaitClientAt("phone", station, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		sys.Manager.WaitIdle()
+	}
+	hop("cell-1", "st-1")
+	hop("cell-0", "st-0")
+	if chains := sys.Agent("st-1").Chains(); len(chains) != 1 {
+		t.Fatalf("expected a standby staged on st-1, got %v", chains)
+	}
+
+	// The source station dies (management plane), then the client roams to
+	// the predicted station: no source can ship state, but the standby's
+	// last synced snapshot must be activated rather than destroyed for a
+	// cold restart.
+	if err := sys.KillStation("st-0"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, ok := sys.Manager.AgentHandleFor("st-0"); !ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("manager never dropped the killed station")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	hop("cell-1", "st-1")
+
+	migs := sys.Manager.Migrations()
+	last := migs[len(migs)-1]
+	if last.Err != "" || !last.Prewarmed {
+		t.Fatalf("dead-source migration = %+v, want prewarmed success", last)
+	}
+	fn, err := sys.Agent("st-1").ChainFunction("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fn.NFStats()["nat0.mappings"]; got != 500 {
+		t.Fatalf("NAT mappings after station death = %d, want 500 (standby snapshot lost)", got)
+	}
+	if on, err := sys.Agent("st-1").ChainEnabled("edge"); err != nil || !on {
+		t.Fatalf("standby not activated: %v, %v", on, err)
+	}
+
+	// Restart the dead station: its rejoin announces the stale copy, the
+	// manager garbage-collects it, and the audit comes back clean.
+	if err := sys.RestartStation("st-0"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+	deadline = time.After(5 * time.Second)
+	for len(sys.Agent("st-0").Chains()) != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("stale chain survived rejoin GC: %v", sys.Agent("st-0").Chains())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	auditClean(t, sys)
+}
+
+func TestSharedPoolClientRoamsWhilePrewarmed(t *testing.T) {
+	sys := liveSystem(t, 2, manager.StrategyLive)
+	sys.Manager.SetPrewarm(true)
+	// A second client anchors the shared instance on st-0.
+	if err := sys.AddClient("tablet", packet.MAC{2, 0, 0, 0, 0, 0x11}, packet.IP{10, 0, 0, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("tablet", "cell-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("tablet", "st-0", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	shareable := func(name string) manager.ChainSpec {
+		return manager.ChainSpec{
+			Name: name,
+			Functions: []agent.NFSpec{
+				{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}},
+				{Kind: "counter", Name: "acct"},
+			},
+		}
+	}
+	if err := sys.AttachChain("phone", shareable("edge-phone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachChain("tablet", shareable("edge-tablet")); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+
+	// Ping-pong the phone so standbys (shared attachments) get staged and
+	// consumed while the tablet keeps sharing the st-0 instance.
+	cells := []topology.CellID{"cell-1", "cell-0"}
+	stations := []topology.StationID{"st-1", "st-0"}
+	for i := 0; i < 6; i++ {
+		if err := sys.Topo.Attach("phone", cells[i%2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.WaitClientAt("phone", stations[i%2], 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		sys.Manager.WaitIdle()
+	}
+
+	for _, rep := range sys.Manager.Migrations() {
+		if rep.Err != "" {
+			t.Fatalf("failed migration: %+v", rep)
+		}
+	}
+	// The tablet's attachment must have stayed enabled on st-0 throughout.
+	if on, err := sys.Agent("st-0").ChainEnabled("edge-tablet"); err != nil || !on {
+		t.Fatalf("tablet chain enabled = %v, %v", on, err)
+	}
+	if on, err := sys.Agent("st-0").ChainEnabled("edge-phone"); err != nil || !on {
+		t.Fatalf("phone chain enabled = %v, %v", on, err)
+	}
+	auditClean(t, sys)
+}

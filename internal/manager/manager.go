@@ -17,7 +17,9 @@ import (
 
 	"gnf/internal/agent"
 	"gnf/internal/clock"
+	"gnf/internal/metrics"
 	"gnf/internal/packet"
+	"gnf/internal/predict"
 	"gnf/internal/share"
 	"gnf/internal/wire"
 )
@@ -40,8 +42,15 @@ const (
 	// removes the old one — §2's baseline mechanism. NF state is lost.
 	StrategyCold Strategy = "cold"
 	// StrategyStateful additionally checkpoints NF state on the source
-	// and restores it on the target before enabling.
+	// and restores it on the target before enabling — one-shot
+	// stop-and-copy, so downtime grows with state size.
 	StrategyStateful Strategy = "stateful"
+	// StrategyLive replaces stop-and-copy with a pre-copy pipeline: the
+	// source keeps serving while iterative delta rounds sync the target,
+	// the freeze window ships only the residual delta, and the target's
+	// brownout buffer replays frames parked during the freeze. Downtime is
+	// independent of state size.
+	StrategyLive Strategy = "live"
 	// StrategySteer appears in reports when an offloaded client roams:
 	// the chains stay on their cloud site and only the traffic detour
 	// moves to the client's new station.
@@ -54,7 +63,9 @@ type ChainSpec struct {
 	Functions []agent.NFSpec `json:"functions"`
 }
 
-// MigrationReport records one chain migration.
+// MigrationReport records one chain migration. Downtime is the dark
+// window during which no chain instance could serve the client's traffic;
+// Total spans the whole control-plane operation.
 type MigrationReport struct {
 	Client     string        `json:"client"`
 	Chain      string        `json:"chain"`
@@ -64,7 +75,16 @@ type MigrationReport struct {
 	Downtime   time.Duration `json:"downtime"`
 	Total      time.Duration `json:"total"`
 	StateBytes int           `json:"state_bytes"`
-	Err        string        `json:"err,omitempty"`
+	// Live-migration pipeline detail: pre-copy rounds run while the source
+	// still served, bytes shipped by them, bytes of the frozen residual
+	// delta, whether a prewarmed standby absorbed the handoff, and how many
+	// brownout-buffered frames the target replayed on activation.
+	Rounds         int    `json:"rounds,omitempty"`
+	PrecopyBytes   int    `json:"precopy_bytes,omitempty"`
+	ResidualBytes  int    `json:"residual_bytes,omitempty"`
+	Prewarmed      bool   `json:"prewarmed,omitempty"`
+	ReplayedFrames uint64 `json:"replayed_frames,omitempty"`
+	Err            string `json:"err,omitempty"`
 }
 
 // AgentHandle is the manager-side view of one connected agent.
@@ -114,6 +134,13 @@ type clientRec struct {
 	// steerOn is the station whose switch currently detours the client's
 	// traffic toward the offload site ("" = no detour installed).
 	steerOn string
+	// lastStation survives disconnects (station goes "" between the
+	// break and the make of a handoff) so the mobility predictor can learn
+	// the true station-to-station transition.
+	lastStation string
+	// standby maps chain name -> station holding a prewarmed, state-synced
+	// standby deployment for it.
+	standby map[string]string
 	// migMu serialises migrations for this client: rapid successive
 	// handoffs must not race two migrations of the same chain.
 	migMu sync.Mutex
@@ -124,10 +151,18 @@ type Manager struct {
 	clk clock.Clock
 	srv *wire.Server
 
+	// predictor learns station-to-station handoffs continuously; prewarm
+	// gates whether predictions drive standby staging. metrics aggregates
+	// migration observability (histograms + counters); all three own their
+	// locking.
+	predictor *predict.Markov
+	metrics   *metrics.Registry
+
 	mu            sync.Mutex
 	agents        map[string]*AgentHandle
 	clients       map[string]*clientRec
 	strategy      Strategy
+	prewarm       bool
 	placement     Placement
 	notifications []agent.Alert
 	migrations    []MigrationReport
@@ -154,6 +189,11 @@ func WithStrategy(s Strategy) Option { return func(m *Manager) { m.strategy = s 
 // WithHotspotCPU sets the CPU%% threshold for hotspot detection.
 func WithHotspotCPU(v float64) Option { return func(m *Manager) { m.hotspotCPU = v } }
 
+// WithPrewarm enables predictive prewarming: under StrategyLive, the
+// manager stages disabled, state-synced standby chains at the station the
+// mobility predictor expects each client to roam to next.
+func WithPrewarm() Option { return func(m *Manager) { m.prewarm = true } }
+
 // New starts a manager listening for agents on addr ("127.0.0.1:0" picks
 // an ephemeral port).
 func New(clk clock.Clock, addr string, opts ...Option) (*Manager, error) {
@@ -162,6 +202,8 @@ func New(clk clock.Clock, addr string, opts ...Option) (*Manager, error) {
 		agents:     make(map[string]*AgentHandle),
 		clients:    make(map[string]*clientRec),
 		strategy:   StrategyStateful,
+		predictor:  predict.NewMarkov(),
+		metrics:    metrics.NewRegistry(),
 		placement:  ClientLocalPlacement{},
 		hotspotCPU: 80,
 		failed:     make(map[string]bool),
@@ -468,6 +510,52 @@ func (m *Manager) Migrations() []MigrationReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]MigrationReport{}, m.migrations...)
+}
+
+// Predictor exposes the mobility model (UI, tests).
+func (m *Manager) Predictor() *predict.Markov { return m.predictor }
+
+// SetPrewarm toggles predictive standby staging at runtime.
+func (m *Manager) SetPrewarm(on bool) {
+	m.mu.Lock()
+	m.prewarm = on
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot exports the manager's observability registry — the
+// migration downtime/total/state-size histograms and counters behind
+// `gnfctl migrations` and GET /api/migrations.
+func (m *Manager) MetricsSnapshot() metrics.Snapshot { return m.metrics.Snapshot() }
+
+// Migration histogram buckets: downtimes in milliseconds, state in KiB.
+var (
+	downtimeBucketsMs = []float64{0.1, 0.5, 1, 5, 10, 25, 50, 100, 250, 500, 1000}
+	stateBucketsKiB   = []float64{1, 4, 16, 64, 256, 1024, 4096}
+)
+
+// recordMigration appends a report and folds it into the observability
+// histograms; every path that completes a migration funnels through here.
+func (m *Manager) recordMigration(rep MigrationReport) {
+	m.mu.Lock()
+	m.migrations = append(m.migrations, rep)
+	m.mu.Unlock()
+	if rep.Err != "" {
+		m.metrics.Counter("migration.failed").Inc()
+		return
+	}
+	m.metrics.Counter("migration.count").Inc()
+	if rep.Prewarmed {
+		m.metrics.Counter("migration.prewarmed").Inc()
+	}
+	if rep.ReplayedFrames > 0 {
+		m.metrics.Counter("migration.replayed_frames").Add(rep.ReplayedFrames)
+	}
+	m.metrics.Histogram("migration.downtime_ms", downtimeBucketsMs...).
+		Observe(float64(rep.Downtime.Microseconds()) / 1000)
+	m.metrics.Histogram("migration.total_ms", downtimeBucketsMs...).
+		Observe(float64(rep.Total.Microseconds()) / 1000)
+	m.metrics.Histogram("migration.state_kib", stateBucketsKiB...).
+		Observe(float64(rep.StateBytes) / 1024)
 }
 
 // SetHotspotCPU adjusts the hotspot CPU threshold at runtime.

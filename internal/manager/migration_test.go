@@ -1,0 +1,274 @@
+package manager_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/manager"
+	"gnf/internal/wire"
+)
+
+// scriptedAgent is a wire-level fake station: it serves the agent.* RPC
+// surface, records every call in order, and fails the methods listed in
+// fail — the instrument for exercising the manager's migration rollback
+// paths without a dataplane.
+type scriptedAgent struct {
+	t    *testing.T
+	peer *wire.Peer
+
+	mu    sync.Mutex
+	calls []string
+	fail  map[string]bool
+	state []byte
+}
+
+func newScriptedAgent(t *testing.T, mgr *manager.Manager, station string) *scriptedAgent {
+	t.Helper()
+	peer, err := wire.Dial(mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := &scriptedAgent{t: t, peer: peer, fail: map[string]bool{}, state: []byte("blob")}
+	ok := func(method string) wire.Handler {
+		return func(json.RawMessage) (any, error) {
+			if sa.record(method) {
+				return nil, fmt.Errorf("%s: scripted failure", method)
+			}
+			return nil, nil
+		}
+	}
+	for _, m := range []string{agent.MethodDeploy, agent.MethodRemove, agent.MethodEnable,
+		agent.MethodDisable, agent.MethodRestore, agent.MethodPrefetch, agent.MethodSyncDelta} {
+		peer.Handle(m, ok(m))
+	}
+	peer.Handle(agent.MethodCheckpoint, func(json.RawMessage) (any, error) {
+		if sa.record(agent.MethodCheckpoint) {
+			return nil, fmt.Errorf("checkpoint: scripted failure")
+		}
+		return agent.CheckpointResult{State: sa.state}, nil
+	})
+	peer.Handle(agent.MethodPreCopy, func(json.RawMessage) (any, error) {
+		if sa.record(agent.MethodPreCopy) {
+			return nil, fmt.Errorf("precopy: scripted failure")
+		}
+		return agent.PreCopyResult{State: []byte("delta"), Round: 1}, nil
+	})
+	peer.Handle(agent.MethodActivate, func(json.RawMessage) (any, error) {
+		if sa.record(agent.MethodActivate) {
+			return nil, fmt.Errorf("activate: scripted failure")
+		}
+		return agent.ActivateResult{}, nil
+	})
+	go peer.Run()
+	if err := peer.Call(agent.MethodRegister, agent.RegisterSpec{Station: station}, nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	return sa
+}
+
+// record logs the call and reports whether it should fail.
+func (sa *scriptedAgent) record(method string) bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.calls = append(sa.calls, method)
+	return sa.fail[method]
+}
+
+func (sa *scriptedAgent) failOn(method string) {
+	sa.mu.Lock()
+	sa.fail[method] = true
+	sa.mu.Unlock()
+}
+
+func (sa *scriptedAgent) callLog() []string {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return append([]string(nil), sa.calls...)
+}
+
+// sawAfter reports whether method appears in the call log at or after the
+// first occurrence of marker ("" = anywhere).
+func (sa *scriptedAgent) sawAfter(method, marker string) bool {
+	seenMarker := marker == ""
+	for _, c := range sa.callLog() {
+		if c == marker {
+			seenMarker = true
+		}
+		if seenMarker && c == method {
+			return true
+		}
+	}
+	return false
+}
+
+// migrationFixture wires a manager with two scripted stations and one
+// client whose chain is deployed on st-src.
+func migrationFixture(t *testing.T, strategy manager.Strategy) (*manager.Manager, *scriptedAgent, *scriptedAgent) {
+	t.Helper()
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0", manager.WithStrategy(strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	src := newScriptedAgent(t, mgr, "st-src")
+	dst := newScriptedAgent(t, mgr, "st-dst")
+
+	// Announce the client on st-src, then attach the chain there.
+	if err := src.peer.Call(agent.MethodClientEvent,
+		agent.ClientEvent{Station: "st-src", Client: "phone", Connected: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr.WaitIdle()
+	spec := manager.ChainSpec{Name: "chain", Functions: []agent.NFSpec{{Kind: "counter", Name: "c0"}}}
+	if err := mgr.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+	return mgr, src, dst
+}
+
+// TestStatefulEnableFailureRollsBack is the regression test for the
+// rollback hole: a failed MethodEnable on the target used to return
+// without re-enabling the source or removing the half-deployed target,
+// leaving the client dark on both ends.
+func TestStatefulEnableFailureRollsBack(t *testing.T) {
+	mgr, src, dst := migrationFixture(t, manager.StrategyStateful)
+	dst.failOn(agent.MethodEnable)
+
+	rep, err := mgr.MigrateChain("phone", "chain", "st-dst")
+	if err == nil || rep.Err == "" {
+		t.Fatalf("migration unexpectedly succeeded: %+v", rep)
+	}
+	if !src.sawAfter(agent.MethodEnable, agent.MethodDisable) {
+		t.Fatalf("source never re-enabled after freeze; calls: %v", src.callLog())
+	}
+	if !dst.sawAfter(agent.MethodRemove, agent.MethodEnable) {
+		t.Fatalf("half-deployed target never removed; calls: %v", dst.callLog())
+	}
+	// The placement record must still point at the source.
+	for _, pl := range mgr.Placements() {
+		if pl.Chain == "chain" && pl.Station != "st-src" {
+			t.Fatalf("placement moved despite rollback: %+v", pl)
+		}
+	}
+}
+
+// TestLiveActivateFailureRollsBack checks the same guarantee on the live
+// pipeline's last step.
+func TestLiveActivateFailureRollsBack(t *testing.T) {
+	mgr, src, dst := migrationFixture(t, manager.StrategyLive)
+	dst.failOn(agent.MethodActivate)
+
+	rep, err := mgr.MigrateChain("phone", "chain", "st-dst")
+	if err == nil || rep.Err == "" {
+		t.Fatalf("migration unexpectedly succeeded: %+v", rep)
+	}
+	if !src.sawAfter(agent.MethodEnable, agent.MethodDisable) {
+		t.Fatalf("source never re-enabled after freeze; calls: %v", src.callLog())
+	}
+	if !dst.sawAfter(agent.MethodRemove, agent.MethodActivate) {
+		t.Fatalf("half-synced target never removed; calls: %v", dst.callLog())
+	}
+}
+
+// TestLiveSyncFailureRollsBackBeforeFreeze checks rollback when a
+// pre-copy round fails while the source still serves: the source is never
+// frozen, and the target is cleaned up.
+func TestLiveSyncFailureRollsBackBeforeFreeze(t *testing.T) {
+	mgr, src, dst := migrationFixture(t, manager.StrategyLive)
+	dst.failOn(agent.MethodSyncDelta)
+
+	rep, err := mgr.MigrateChain("phone", "chain", "st-dst")
+	if err == nil || rep.Err == "" {
+		t.Fatalf("migration unexpectedly succeeded: %+v", rep)
+	}
+	for _, c := range src.callLog() {
+		if c == agent.MethodDisable {
+			t.Fatalf("source frozen although pre-copy never converged; calls: %v", src.callLog())
+		}
+	}
+	if !dst.sawAfter(agent.MethodRemove, agent.MethodSyncDelta) {
+		t.Fatalf("target not removed after sync failure; calls: %v", dst.callLog())
+	}
+}
+
+// TestLiveMigrationProtocolOrder pins the happy-path RPC sequence: deploy
+// and pre-copy rounds before the freeze, residual + activate inside it,
+// source removal after.
+func TestLiveMigrationProtocolOrder(t *testing.T) {
+	mgr, src, dst := migrationFixture(t, manager.StrategyLive)
+	rep, err := mgr.MigrateChain("phone", "chain", "st-dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds < 1 || rep.Err != "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Source: precopy (>=1) ... disable ... precopy (residual) ... remove.
+	wantSrc := []string{agent.MethodPreCopy, agent.MethodDisable, agent.MethodPreCopy, agent.MethodRemove}
+	srcLog := src.callLog()
+	i := 0
+	for _, c := range srcLog {
+		if i < len(wantSrc) && c == wantSrc[i] {
+			i++
+		}
+	}
+	if i != len(wantSrc) {
+		t.Fatalf("source order %v missing subsequence %v", srcLog, wantSrc)
+	}
+	// Target: deploy ... syncDelta ... activate; never a plain enable.
+	wantDst := []string{agent.MethodDeploy, agent.MethodSyncDelta, agent.MethodActivate}
+	dstLog := dst.callLog()
+	i = 0
+	for _, c := range dstLog {
+		if c == agent.MethodEnable {
+			t.Fatalf("live path used MethodEnable on target: %v", dstLog)
+		}
+		if i < len(wantDst) && c == wantDst[i] {
+			i++
+		}
+	}
+	if i != len(wantDst) {
+		t.Fatalf("target order %v missing subsequence %v", dstLog, wantDst)
+	}
+}
+
+// TestColdDowntimeAccountsActualDarkWindow is the regression test for the
+// downtime accounting fix: with a live source the old chain serves until
+// MethodRemove while the target deploys enabled first (make-before-break),
+// so the reported dark window must be zero — not the deploy duration.
+func TestColdDowntimeAccountsActualDarkWindow(t *testing.T) {
+	mgr, src, dst := migrationFixture(t, manager.StrategyCold)
+	rep, err := mgr.MigrateChain("phone", "chain", "st-dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Downtime != 0 {
+		t.Fatalf("cold migration with live source reported %v downtime, want 0", rep.Downtime)
+	}
+	if rep.Total <= 0 {
+		t.Fatalf("total = %v, want > 0", rep.Total)
+	}
+	if !dst.sawAfter(agent.MethodDeploy, "") {
+		t.Fatalf("target never deployed: %v", dst.callLog())
+	}
+	// Make-before-break: the target deploy precedes the source removal.
+	deployAt, removeAt := -1, -1
+	for i, c := range dst.callLog() {
+		if c == agent.MethodDeploy && deployAt == -1 {
+			deployAt = i
+		}
+	}
+	for i, c := range src.callLog() {
+		if c == agent.MethodRemove && removeAt == -1 {
+			removeAt = i
+		}
+	}
+	if deployAt == -1 || removeAt == -1 {
+		t.Fatalf("deploy/remove missing: dst=%v src=%v", dst.callLog(), src.callLog())
+	}
+}

@@ -119,8 +119,10 @@ func (m *Manager) OffloadClient(client, site string) (OffloadReport, error) {
 	for _, spec := range specs {
 		rec.deployedOn[spec.Name] = site
 	}
-	m.migrations = append(m.migrations, rep.Chains...)
 	m.mu.Unlock()
+	for _, mig := range rep.Chains {
+		m.recordMigration(mig)
+	}
 	return rep, nil
 }
 
@@ -153,7 +155,11 @@ func (m *Manager) moveChainRemote(rec *clientRec, edge, cloud *AgentHandle, clie
 		Via:       station,
 	}
 
-	if strategy == StrategyStateful {
+	// Offload moves preserve state via stop-and-copy for both the stateful
+	// and live strategies: pre-copy assumes the target can be staged behind
+	// the client's steering, which a tunnelled remote deployment cannot
+	// until the detour flips, so live degrades to one-shot copy here.
+	if strategy == StrategyStateful || strategy == StrategyLive {
 		if err := cloud.call(agent.MethodDeploy, deploy, nil); err != nil {
 			return fail(err)
 		}
@@ -175,6 +181,10 @@ func (m *Manager) moveChainRemote(rec *clientRec, edge, cloud *AgentHandle, clie
 			return fail(err)
 		}
 		if err := cloud.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+			// Same rollback as the checkpoint/restore branches: the edge
+			// copy comes back to life and the cloud copy goes away.
+			edge.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			cloud.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 			return fail(err)
 		}
 		mig.Downtime = down.Elapsed()
@@ -237,7 +247,9 @@ func (m *Manager) RecallClient(client string) (OffloadReport, error) {
 		total := clock.NewStopwatch(m.clk)
 		edge.call(agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
 		deploy := agent.DeploySpec{Chain: spec.Name, Client: client, Functions: spec.Functions}
-		if strategy == StrategyStateful {
+		// Like the offload direction, recalls preserve state by one-shot
+		// copy under both the stateful and live strategies.
+		if strategy == StrategyStateful || strategy == StrategyLive {
 			err = edge.call(agent.MethodDeploy, deploy, nil)
 			down := clock.NewStopwatch(m.clk)
 			if err == nil {
@@ -280,8 +292,10 @@ func (m *Manager) RecallClient(client string) (OffloadReport, error) {
 	for _, spec := range specs {
 		rec.deployedOn[spec.Name] = station
 	}
-	m.migrations = append(m.migrations, rep.Chains...)
 	m.mu.Unlock()
+	for _, mig := range rep.Chains {
+		m.recordMigration(mig)
+	}
 	return rep, nil
 }
 
@@ -317,8 +331,8 @@ func (m *Manager) reconcileOffloaded(client string, rec *clientRec) {
 		if err == nil {
 			rec.steerOn = target
 		}
-		m.migrations = append(m.migrations, rep)
 		m.mu.Unlock()
+		m.recordMigration(rep)
 		if err != nil {
 			return // avoid a hot loop on persistent failure
 		}

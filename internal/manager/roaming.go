@@ -108,6 +108,8 @@ func (m *Manager) DetachChain(client, chainName string) error {
 	if !exists {
 		return fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
 	}
+	// A prewarmed standby must not outlive its chain.
+	m.dropStandby(client, chainName)
 	if station == "" {
 		return nil
 	}
@@ -169,8 +171,14 @@ func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 	if !ev.MAC.IsZero() {
 		rec.mac, rec.ip = ev.MAC, ev.IP
 	}
+	// Train the mobility predictor on the true station-to-station
+	// transition. lastStation survives the break-before-make gap (station
+	// is "" between the disconnect and this connect).
+	prev := rec.lastStation
+	rec.lastStation = ev.Station
 	offloaded := rec.offload != ""
 	m.mu.Unlock()
+	m.predictor.Observe(prev, ev.Station)
 	m.migrationWG.Add(1)
 	go func() {
 		defer m.migrationWG.Done()
@@ -207,6 +215,10 @@ func (m *Manager) reconcileClient(client string, rec *clientRec) {
 		strategy := m.strategy
 		m.mu.Unlock()
 		if !found {
+			// Converged: every chain serves at the client's station. Stage
+			// standbys for the predicted next handoff while still holding
+			// the migration lock, so a prewarm never races a migration.
+			m.maybePrewarm(client, rec)
 			return
 		}
 		rep := m.migrateChain(client, spec, from, target, strategy)
@@ -214,8 +226,8 @@ func (m *Manager) reconcileClient(client string, rec *clientRec) {
 		if rep.Err == "" {
 			rec.deployedOn[spec.Name] = target
 		}
-		m.migrations = append(m.migrations, rep)
 		m.mu.Unlock()
+		m.recordMigration(rep)
 		if rep.Err != "" {
 			return // avoid a hot loop on persistent failure
 		}
@@ -247,20 +259,37 @@ func (m *Manager) MigrateChain(client, chainName, to string) (MigrationReport, e
 	if rep.Err == "" {
 		rec.deployedOn[chainName] = to
 	}
-	m.migrations = append(m.migrations, rep)
 	m.mu.Unlock()
+	m.recordMigration(rep)
 	if rep.Err != "" {
 		return rep, fmt.Errorf("manager: migration failed: %s", rep.Err)
 	}
 	return rep, nil
 }
 
+// Pre-copy tuning: rounds stop as soon as a delta underruns the
+// convergence threshold (the residual the freeze must ship is then at most
+// that small) or when the round budget exhausts — a chain whose state
+// churns faster than the pipeline drains never converges, and capping the
+// rounds bounds the total transfer at maxRounds full-state equivalents.
+const (
+	precopyMaxRounds      = 8
+	precopyConvergedBytes = 2048
+)
+
+// prewarmConfidence is the minimum Markov transition probability before
+// the manager stages a standby at the predicted next station.
+const prewarmConfidence = 0.5
+
 // migrateChain implements §2's function roaming: "an equivalent function
 // can be started on the newly assigned cell and removed from the previous
 // cell" — plus optional state transfer. Downtime is measured on the
-// manager clock from the instant the source stops serving (or, for cold
-// migration, from the start of target deployment) until the target
-// forwards traffic.
+// manager clock as the actual dark window: the span during which no chain
+// instance could serve the client's traffic. For live migration that is
+// freeze -> activate; for stop-and-copy it is freeze -> enable; for cold
+// migration with a live source it is zero (the target deploys enabled
+// while the old instance still serves — make-before-break), and only a
+// dead source charges the target's deploy time.
 func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, strategy Strategy) MigrationReport {
 	rep := MigrationReport{
 		Client:   client,
@@ -284,6 +313,12 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 			rep.Err = ""
 		}
 	}
+	// A standby staged anywhere but a live migration's target is stale:
+	// tear it down first — left alone it would collide with the deploy
+	// (same chain name) or linger as an orphan after the prediction missed.
+	if st, ok := m.standbyStation(client, spec.Name); ok && !(strategy == StrategyLive && st == to) {
+		m.dropStandby(client, spec.Name)
+	}
 	totalWatch := clock.NewStopwatch(m.clk)
 
 	// Pre-stage images on the target while the source still serves.
@@ -296,8 +331,28 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 	}
 
 	switch {
+	case strategy == StrategyLive && source != nil:
+		m.liveMigrate(&rep, source, target, deploy)
+
+	case strategy == StrategyLive && m.consumeStandby(client, spec.Name, to):
+		// The source station is gone, so no state can ship — but the warm
+		// standby at the target already holds the last synced snapshot,
+		// which beats the cold restart: activate it. (This is the disaster
+		// case prewarm helps most: the only surviving copy of the chain's
+		// state is the one prediction staged.)
+		downWatch := clock.NewStopwatch(m.clk)
+		var act agent.ActivateResult
+		if err := target.call(agent.MethodActivate, agent.ChainRef{Chain: spec.Name}, &act); err != nil {
+			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			return fail(err)
+		}
+		rep.Downtime = downWatch.Elapsed()
+		rep.Prewarmed = true
+		rep.ReplayedFrames = act.Replayed
+
 	case strategy == StrategyStateful && source != nil:
-		// Deploy disabled, freeze source, move state, enable target.
+		// Stop-and-copy: deploy disabled, freeze source, move the full
+		// state, enable target. The whole transfer sits in the dark window.
 		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
 			return fail(err)
 		}
@@ -319,25 +374,238 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 			return fail(err)
 		}
 		if err := target.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+			// Same rollback as the Checkpoint/Restore branches: without it a
+			// failed enable left the source disabled and the half-deployed
+			// target in place — the client dark on both ends.
+			source.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 			return fail(err)
 		}
 		rep.Downtime = downWatch.Elapsed()
 		source.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 
-	default:
-		// Cold: equivalent function on the new cell, remove the old.
+	case source == nil:
+		// Cold deploy with no surviving source: the client is dark until
+		// the fresh instance forwards.
 		deploy.Enabled = true
 		downWatch := clock.NewStopwatch(m.clk)
 		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
 			return fail(err)
 		}
 		rep.Downtime = downWatch.Elapsed()
-		if source != nil {
-			source.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+
+	default:
+		// Cold with a live source is make-before-break: the old chain
+		// keeps serving until MethodRemove and the target deploys enabled
+		// before that, so the dark window is zero. (State is still lost —
+		// that is cold migration's trade.)
+		deploy.Enabled = true
+		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+			return fail(err)
 		}
+		source.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+		rep.Downtime = 0
 	}
 	rep.Total = totalWatch.Elapsed()
 	return rep
+}
+
+// liveMigrate runs the pre-copy pipeline of StrategyLive: iterative delta
+// rounds sync the target while the source still serves; the freeze window
+// ships only the residual delta and activates the target, which replays
+// its brownout buffer. A prewarmed standby at the target skips the deploy
+// and resumes the source's existing pre-copy session. Every failure path
+// re-enables the source and removes the target, so the client is never
+// left dark by a broken migration.
+func (m *Manager) liveMigrate(rep *MigrationReport, source, target *AgentHandle, deploy agent.DeploySpec) {
+	chain := agent.ChainRef{Chain: deploy.Chain}
+	rollback := func(err error) {
+		source.call(agent.MethodEnable, chain, nil)
+		target.call(agent.MethodRemove, chain, nil)
+		rep.Err = err.Error()
+	}
+	prewarmed := m.consumeStandby(rep.Client, deploy.Chain, rep.To)
+	rep.Prewarmed = prewarmed
+	if !prewarmed {
+		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+			rep.Err = err.Error()
+			return
+		}
+	}
+	// Iterative pre-copy while the source serves. A prewarmed standby
+	// already holds a synced snapshot, so its session resumes; otherwise
+	// the first round restarts the session and ships the full state.
+	for rep.Rounds < precopyMaxRounds {
+		var pr agent.PreCopyResult
+		req := agent.PreCopySpec{Chain: deploy.Chain, Restart: !prewarmed && rep.Rounds == 0}
+		if err := source.call(agent.MethodPreCopy, req, &pr); err != nil {
+			rollback(err)
+			return
+		}
+		if err := target.call(agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: deploy.Chain, State: pr.State}, nil); err != nil {
+			rollback(err)
+			return
+		}
+		rep.Rounds++
+		rep.PrecopyBytes += len(pr.State)
+		if len(pr.State) <= precopyConvergedBytes {
+			break
+		}
+	}
+	// Freeze: only the residual delta rides inside the dark window, so
+	// downtime no longer depends on total state size. The brownout flag
+	// parks source-side stragglers instead of counting them as drops.
+	downWatch := clock.NewStopwatch(m.clk)
+	if err := source.call(agent.MethodDisable, agent.ChainRef{Chain: deploy.Chain, Brownout: true}, nil); err != nil {
+		rollback(err)
+		return
+	}
+	var residual agent.PreCopyResult
+	if err := source.call(agent.MethodPreCopy, agent.PreCopySpec{Chain: deploy.Chain}, &residual); err != nil {
+		rollback(err)
+		return
+	}
+	if err := target.call(agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: deploy.Chain, State: residual.State}, nil); err != nil {
+		rollback(err)
+		return
+	}
+	var act agent.ActivateResult
+	if err := target.call(agent.MethodActivate, chain, &act); err != nil {
+		rollback(err)
+		return
+	}
+	rep.Downtime = downWatch.Elapsed()
+	rep.ResidualBytes = len(residual.State)
+	rep.StateBytes = rep.PrecopyBytes + rep.ResidualBytes
+	rep.ReplayedFrames = act.Replayed
+	source.call(agent.MethodRemove, chain, nil)
+}
+
+// standbyStation reports where a prewarmed standby for client/chain is
+// staged, if any.
+func (m *Manager) standbyStation(client, chain string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.clients[client]
+	if !ok || rec.standby == nil {
+		return "", false
+	}
+	st, ok := rec.standby[chain]
+	return st, ok
+}
+
+// consumeStandby claims the standby of client/chain if it is staged at
+// station `to`, deleting the record: the standby deployment becomes the
+// migration's target.
+func (m *Manager) consumeStandby(client, chain, to string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.clients[client]
+	if !ok || rec.standby == nil || rec.standby[chain] != to {
+		return false
+	}
+	delete(rec.standby, chain)
+	return true
+}
+
+// dropStandby forgets client/chain's standby record and tears the staged
+// deployment down (best effort — a vanished station simply loses it).
+func (m *Manager) dropStandby(client, chain string) {
+	m.mu.Lock()
+	var station string
+	if rec, ok := m.clients[client]; ok && rec.standby != nil {
+		station = rec.standby[chain]
+		delete(rec.standby, chain)
+	}
+	m.mu.Unlock()
+	if station == "" {
+		return
+	}
+	if h, err := m.agentFor(station); err == nil {
+		h.call(agent.MethodRemove, agent.ChainRef{Chain: chain}, nil)
+	}
+}
+
+// maybePrewarm stages disabled, state-synced standby chains at the station
+// the mobility predictor expects the client to roam to next, so the
+// eventual handoff skips the deploy and the bulk state transfer entirely.
+// Callers hold rec.migMu, serialising prewarms against migrations; every
+// step is best effort — a failed prewarm costs nothing but the miss.
+func (m *Manager) maybePrewarm(client string, rec *clientRec) {
+	m.mu.Lock()
+	enabled := m.prewarm && m.strategy == StrategyLive && rec.offload == ""
+	station := rec.station
+	chains := make(map[string]ChainSpec)
+	for name, spec := range rec.chains {
+		if rec.deployedOn[name] == station {
+			chains[name] = spec
+		}
+	}
+	standbys := make(map[string]string, len(rec.standby))
+	for name, st := range rec.standby {
+		standbys[name] = st
+	}
+	m.mu.Unlock()
+	if !enabled || station == "" || len(chains) == 0 {
+		return
+	}
+	next, prob, ok := m.predictor.Predict(station)
+	if !ok || prob < prewarmConfidence || next == station {
+		return
+	}
+	target, err := m.agentFor(next)
+	if err != nil {
+		return
+	}
+	source, err := m.agentFor(station)
+	if err != nil {
+		return
+	}
+	for name, spec := range chains {
+		if standbys[name] == next {
+			continue // already staged at the predicted station
+		}
+		if standbys[name] != "" {
+			m.dropStandby(client, name) // prediction changed: restage
+		}
+		target.call(agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+		deploy := agent.DeploySpec{
+			Chain:     name,
+			Client:    client,
+			Functions: spec.Functions,
+			Standby:   true,
+		}
+		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+			continue
+		}
+		// Initial sync: a fresh session's full state lands on the standby;
+		// the migration's rounds later ship only what changed since.
+		var pr agent.PreCopyResult
+		if err := source.call(agent.MethodPreCopy, agent.PreCopySpec{Chain: name, Restart: true}, &pr); err != nil {
+			target.call(agent.MethodRemove, agent.ChainRef{Chain: name}, nil)
+			continue
+		}
+		if err := target.call(agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: name, State: pr.State}, nil); err != nil {
+			target.call(agent.MethodRemove, agent.ChainRef{Chain: name}, nil)
+			continue
+		}
+		m.mu.Lock()
+		// DetachChain does not hold the migration lock, so the chain may
+		// have been detached while we staged: its dropStandby saw no record
+		// yet, making this standby ours to reap — recording it would leak
+		// an orphaned deployment forever.
+		_, alive := rec.chains[name]
+		if alive {
+			if rec.standby == nil {
+				rec.standby = make(map[string]string)
+			}
+			rec.standby[name] = next
+		}
+		m.mu.Unlock()
+		if !alive {
+			target.call(agent.MethodRemove, agent.ChainRef{Chain: name}, nil)
+		}
+	}
 }
 
 // WaitIdle blocks until in-flight roaming handlers complete (tests).

@@ -225,8 +225,8 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 		if rep.Err == "" {
 			j.rec.deployedOn[j.spec.Name] = to
 		}
-		m.migrations = append(m.migrations, rep)
 		m.mu.Unlock()
+		m.recordMigration(rep)
 		j.rec.migMu.Unlock()
 		reports = append(reports, rep)
 	}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Min != 0.5 || snap.Max != 500 {
+		t.Fatalf("min/max = %f/%f", snap.Min, snap.Max)
+	}
+	if want := (0.5 + 1 + 5 + 50 + 500) / 5; snap.Mean != want {
+		t.Fatalf("mean = %f, want %f", snap.Mean, want)
+	}
+	if len(snap.Buckets) != 4 {
+		t.Fatalf("buckets = %+v", snap.Buckets)
+	}
+	// 0.5 and 1 land in le=1 (upper bounds are inclusive); 5 in le=10; 50
+	// in le=100; 500 overflows.
+	wantCounts := []uint64{2, 1, 1, 1}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d = %+v, want count %d", i, b, wantCounts[i])
+		}
+	}
+	if last := snap.Buckets[3].UpperBound; last != math.MaxFloat64 {
+		t.Fatalf("overflow bound = %f", last)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	snap := NewHistogram(1, 2).Snapshot()
+	if snap.Count != 0 || snap.Mean != 0 || snap.Sum != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+}
+
+func TestRegistryHistogramReuseAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("migration.downtime_ms", 1, 10)
+	h2 := r.Histogram("migration.downtime_ms", 99) // existing keeps its buckets
+	if h1 != h2 {
+		t.Fatal("registry created duplicate histograms")
+	}
+	h1.Observe(3)
+	snap := r.Snapshot()
+	hs, ok := snap.Histograms["migration.downtime_ms"]
+	if !ok || hs.Count != 1 || len(hs.Buckets) != 3 {
+		t.Fatalf("snapshot histogram = %+v (ok=%v)", hs, ok)
+	}
+	found := false
+	for _, n := range r.Names() {
+		if n == "histogram:migration.downtime_ms" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("names missing histogram: %v", r.Names())
+	}
+}

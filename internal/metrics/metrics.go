@@ -137,21 +137,100 @@ func (s *Series) Stats() Stats {
 	return st
 }
 
-// Registry is a flat namespace of counters, gauges and series. Metric names
-// follow "subsystem.metric" convention, e.g. "switch.rx_frames".
+// Histogram is a fixed-bucket distribution: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf overflow bucket. Bounds are set at construction and never change —
+// the migration downtime/state-size distributions the manager exports.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds (exclusive of +Inf)
+	counts []uint64  // len(bounds)+1; last is the overflow bucket
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over ascending bucket upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	return &Histogram{bounds: sorted, counts: make([]uint64, len(sorted)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += v
+}
+
+// HistogramBucket is one bucket of a snapshot; UpperBound is +Inf for the
+// overflow bucket (marshalled as null by encoding/json users should treat
+// the final bucket as the overflow).
+type HistogramBucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a stable export of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram's current distribution. The overflow
+// bucket is reported with UpperBound = math.MaxFloat64 so the JSON stays
+// finite.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Count: h.total, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.total > 0 {
+		snap.Mean = h.sum / float64(h.total)
+	}
+	snap.Buckets = make([]HistogramBucket, 0, len(h.counts))
+	for i, c := range h.counts {
+		ub := math.MaxFloat64
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		snap.Buckets = append(snap.Buckets, HistogramBucket{UpperBound: ub, Count: c})
+	}
+	return snap
+}
+
+// Registry is a flat namespace of counters, gauges, series and histograms.
+// Metric names follow "subsystem.metric" convention, e.g.
+// "switch.rx_frames".
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	series   map[string]*Series
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	series     map[string]*Series
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		series:   make(map[string]*Series),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		series:     make(map[string]*Series),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -192,11 +271,25 @@ func (r *Registry) Series(name string, capacity int) *Series {
 	return s
 }
 
+// Histogram returns (creating if needed) the named histogram with the given
+// bucket bounds; an existing histogram keeps its original buckets.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot is a stable, JSON-friendly export of a registry.
 type Snapshot struct {
-	Counters map[string]uint64  `json:"counters,omitempty"`
-	Gauges   map[string]int64   `json:"gauges,omitempty"`
-	Series   map[string]float64 `json:"series,omitempty"` // last value per series
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Series     map[string]float64           `json:"series,omitempty"` // last value per series
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot exports current values. Series report their latest sample.
@@ -204,9 +297,10 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	snap := Snapshot{
-		Counters: make(map[string]uint64, len(r.counters)),
-		Gauges:   make(map[string]int64, len(r.gauges)),
-		Series:   make(map[string]float64, len(r.series)),
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Series:     make(map[string]float64, len(r.series)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
 	for n, c := range r.counters {
 		snap.Counters[n] = c.Value()
@@ -218,6 +312,9 @@ func (r *Registry) Snapshot() Snapshot {
 		if last, ok := s.Last(); ok {
 			snap.Series[n] = last.Value
 		}
+	}
+	for n, h := range r.histograms {
+		snap.Histograms[n] = h.Snapshot()
 	}
 	return snap
 }
@@ -236,6 +333,9 @@ func (r *Registry) Names() []string {
 	}
 	for n := range r.series {
 		out = append(out, "series:"+n)
+	}
+	for n := range r.histograms {
+		out = append(out, "histogram:"+n)
 	}
 	sort.Strings(out)
 	return out

@@ -1,0 +1,69 @@
+package netem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FrameBuffer is a bounded FIFO frame queue — the brownout buffer a chain
+// host arms while it is disabled for a migration: frames that would
+// otherwise be dropped during the freeze window are parked here and
+// replayed, in arrival order, once the target side activates. Tag carries
+// caller-defined per-frame context (the chain host stores the traversal
+// direction there).
+type FrameBuffer struct {
+	mu       sync.Mutex
+	limit    int
+	frames   []BufferedFrame
+	overflow atomic.Uint64
+}
+
+// BufferedFrame is one parked frame plus its caller-defined tag.
+type BufferedFrame struct {
+	Tag   uint8
+	Frame []byte
+}
+
+// NewFrameBuffer creates a buffer holding at most limit frames; limit < 1
+// is raised to 1.
+func NewFrameBuffer(limit int) *FrameBuffer {
+	if limit < 1 {
+		limit = 1
+	}
+	return &FrameBuffer{limit: limit}
+}
+
+// Push parks a frame. It reports false — and counts the overflow — when
+// the buffer is full; the frame is then lost, exactly as a tail-dropping
+// queue would lose it.
+func (b *FrameBuffer) Push(tag uint8, frame []byte) bool {
+	b.mu.Lock()
+	if len(b.frames) >= b.limit {
+		b.mu.Unlock()
+		b.overflow.Add(1)
+		return false
+	}
+	b.frames = append(b.frames, BufferedFrame{Tag: tag, Frame: frame})
+	b.mu.Unlock()
+	return true
+}
+
+// Drain removes and returns every parked frame in arrival order.
+func (b *FrameBuffer) Drain() []BufferedFrame {
+	b.mu.Lock()
+	out := b.frames
+	b.frames = nil
+	b.mu.Unlock()
+	return out
+}
+
+// Len reports the number of parked frames.
+func (b *FrameBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}
+
+// Overflow reports how many frames were refused because the buffer was
+// full.
+func (b *FrameBuffer) Overflow() uint64 { return b.overflow.Load() }

@@ -20,7 +20,9 @@ import (
 	"gnf/internal/packet"
 )
 
-// FlowStats accumulates per-flow counters.
+// FlowStats accumulates per-flow counters. Seq stamps the dirty epoch of
+// the flow's last update, so pre-copy migration rounds export only flows
+// touched since the previous round.
 type FlowStats struct {
 	Packets uint64 `json:"packets"`
 	Bytes   uint64 `json:"bytes"`
@@ -28,6 +30,7 @@ type FlowStats struct {
 	WindowStart time.Time `json:"window_start"`
 	WindowCount uint64    `json:"window_count"`
 	Alerted     bool      `json:"alerted"`
+	Seq         uint64    `json:"seq,omitempty"`
 }
 
 // Monitor is the NF instance.
@@ -41,6 +44,7 @@ type Monitor struct {
 	flows   map[packet.FiveTuple]*FlowStats
 	notify  nf.NotifyFunc
 	parser  packet.Parser
+	seq     uint64 // dirty epoch, bumped per flow update
 	total   uint64
 	alerts  uint64
 	sigHits uint64
@@ -119,6 +123,8 @@ func (m *Monitor) Process(dir nf.Direction, frame []byte) nf.Output {
 		fs = &FlowStats{WindowStart: m.clk.Now()}
 		m.flows[key] = fs
 	}
+	m.seq++
+	fs.Seq = m.seq
 	fs.Packets++
 	fs.Bytes += uint64(len(frame))
 
@@ -219,15 +225,54 @@ func (m *Monitor) ImportState(data []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.total, m.alerts, m.sigHits = st.Total, st.Alerts, st.SigHits
 	m.flows = make(map[packet.FiveTuple]*FlowStats, len(st.Flows))
+	m.mergeLocked(st)
+	return nil
+}
+
+// ExportDelta implements nf.DeltaStateful: flows updated after epoch
+// `since` (everything for since == 0) plus the aggregate totals, which are
+// tiny and therefore shipped every round. Flows are never evicted, so the
+// upsert-only delta is exact.
+func (m *Monitor) ExportDelta(since uint64) ([]byte, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := monState{Flows: make(map[string]FlowStats), Total: m.total, Alerts: m.alerts, SigHits: m.sigHits}
+	for ft, fs := range m.flows {
+		if fs.Seq > since {
+			st.Flows[flowKey(ft)] = *fs
+		}
+	}
+	data, err := json.Marshal(st)
+	return data, m.seq, err
+}
+
+// ImportDelta implements nf.DeltaStateful by merging exported flows into
+// the live table; totals are absolute and replace the local aggregates.
+func (m *Monitor) ImportDelta(data []byte) error {
+	var st monState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mergeLocked(st)
+	return nil
+}
+
+// mergeLocked upserts st's flows and adopts its totals, advancing the
+// local dirty epoch past every imported stamp. Called with mu held.
+func (m *Monitor) mergeLocked(st monState) {
+	m.total, m.alerts, m.sigHits = st.Total, st.Alerts, st.SigHits
 	for key, fs := range st.Flows {
 		if ft, ok := parseFlowKey(key); ok {
+			if fs.Seq > m.seq {
+				m.seq = fs.Seq
+			}
 			copyFS := fs
 			m.flows[ft] = &copyFS
 		}
 	}
-	return nil
 }
 
 // parseFlowKey reverses FiveTuple.String: "proto a:b->c:d".
@@ -271,6 +316,8 @@ func parseFlowKey(s string) (packet.FiveTuple, bool) {
 	ft.Dst, okD = parse(dstStr)
 	return ft, okS && okD
 }
+
+var _ nf.DeltaStateful = (*Monitor)(nil)
 
 func init() {
 	nf.Default.RegisterKind("counter", nf.KindInfo{Shareable: true}, func(name string, params nf.Params) (nf.Function, error) {

@@ -1,0 +1,62 @@
+package counter
+
+import (
+	"testing"
+
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+func countFrame(srcPort uint16) []byte {
+	macC := packet.MAC{2, 0, 0, 0, 0, 1}
+	macS := packet.MAC{2, 0, 0, 0, 0, 2}
+	ipC := packet.IP{10, 0, 0, 1}
+	ipS := packet.IP{10, 9, 9, 9}
+	return packet.BuildUDP(macC, macS, ipC, ipS, srcPort, 7, []byte("x"))
+}
+
+func TestMonitorDeltaExportsOnlyTouchedFlows(t *testing.T) {
+	src := New("acct", 0)
+	for p := uint16(1000); p < 1100; p++ {
+		src.Process(nf.Outbound, countFrame(p))
+	}
+	full, epoch, err := src.ExportDelta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New("acct", 0)
+	if err := dst.ImportDelta(full); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Flows() != 100 {
+		t.Fatalf("flows after full = %d, want 100", dst.Flows())
+	}
+
+	// Touch one existing flow and add one new one; the delta carries two.
+	src.Process(nf.Outbound, countFrame(1000))
+	src.Process(nf.Outbound, countFrame(5000))
+	delta, _, err := src.ExportDelta(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full)/10 {
+		t.Fatalf("delta %dB vs full %dB — dirty tracking not working", len(delta), len(full))
+	}
+	if err := dst.ImportDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Flows() != 101 {
+		t.Fatalf("flows after delta = %d, want 101", dst.Flows())
+	}
+	// The touched flow's packet count merged as an absolute value.
+	var p packet.Parser
+	frame := countFrame(1000)
+	if err := p.Parse(frame); err != nil {
+		t.Fatal(err)
+	}
+	ft, _ := p.FiveTuple()
+	fs, ok := dst.Flow(ft)
+	if !ok || fs.Packets != 2 {
+		t.Fatalf("flow 1000 on target = %+v (ok=%v), want 2 packets", fs, ok)
+	}
+}

@@ -1,0 +1,50 @@
+package dnscache
+
+import (
+	"testing"
+
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+func TestDNSCacheDeltaExportsOnlyFreshEntries(t *testing.T) {
+	src, clk := newCache(t, 0, 300)
+	src.Process(nf.Outbound, queryFrame(1, "a.example"))
+	src.Process(nf.Inbound, responseFrame(1, "a.example", 120, packet.IP{1, 1, 1, 1}))
+	src.Process(nf.Outbound, queryFrame(2, "b.example"))
+	src.Process(nf.Inbound, responseFrame(2, "b.example", 120, packet.IP{2, 2, 2, 2}))
+
+	full, epoch, err := src.ExportDelta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New("d1", 0, 300)
+	dst.SetClock(clk)
+	if err := dst.ImportDelta(full); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("entries after full = %d, want 2", dst.Len())
+	}
+
+	src.Process(nf.Outbound, queryFrame(3, "c.example"))
+	src.Process(nf.Inbound, responseFrame(3, "c.example", 120, packet.IP{3, 3, 3, 3}))
+	delta, _, err := src.ExportDelta(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full) {
+		t.Fatalf("delta %dB not smaller than full %dB", len(delta), len(full))
+	}
+	if err := dst.ImportDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("entries after delta = %d, want 3", dst.Len())
+	}
+	// The migrated-in entry answers at the edge.
+	out := dst.Process(nf.Outbound, queryFrame(4, "c.example"))
+	if len(out.Reverse) != 1 || len(out.Forward) != 0 {
+		t.Fatalf("warm entry missed: %+v", out)
+	}
+}

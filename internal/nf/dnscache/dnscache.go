@@ -20,6 +20,9 @@ import (
 type entry struct {
 	Answers []packet.DNSRecord `json:"answers"`
 	Expires time.Time          `json:"expires"`
+	// Seq stamps the dirty epoch of the store, so pre-copy migration rounds
+	// export only fresh entries.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Cache is the NF instance.
@@ -31,6 +34,7 @@ type Cache struct {
 	mu      sync.Mutex
 	clk     clock.Clock
 	entries map[string]entry
+	seq     uint64 // dirty epoch, bumped per store
 	hits    uint64
 	misses  uint64
 	stores  uint64
@@ -142,7 +146,8 @@ func (c *Cache) Process(dir nf.Direction, frame []byte) nf.Output {
 		}
 		ans := make([]packet.DNSRecord, len(c.msg.Answers))
 		copy(ans, c.msg.Answers)
-		c.entries[name] = entry{Answers: ans, Expires: c.clk.Now().Add(time.Duration(ttl) * time.Second)}
+		c.seq++
+		c.entries[name] = entry{Answers: ans, Expires: c.clk.Now().Add(time.Duration(ttl) * time.Second), Seq: c.seq}
 		c.stores++
 		return nf.Forward(frame)
 	}
@@ -202,9 +207,53 @@ func (c *Cache) ImportState(data []byte) error {
 	if c.entries == nil {
 		c.entries = make(map[string]entry)
 	}
+	for _, e := range c.entries {
+		if e.Seq > c.seq {
+			c.seq = e.Seq
+		}
+	}
 	c.hits, c.misses, c.stores = st.Hits, st.Misses, st.Stores
 	return nil
 }
+
+// ExportDelta implements nf.DeltaStateful: entries stored after epoch
+// `since` (everything for since == 0) plus the aggregate counters, which
+// are tiny and shipped every round. Evicted or expired entries carry no
+// tombstone — stale copies at the migration target expire by their own
+// absolute deadlines.
+func (c *Cache) ExportDelta(since uint64) ([]byte, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := cacheState{Entries: make(map[string]entry), Hits: c.hits, Misses: c.misses, Stores: c.stores}
+	for k, e := range c.entries {
+		if e.Seq > since {
+			st.Entries[k] = e
+		}
+	}
+	data, err := json.Marshal(st)
+	return data, c.seq, err
+}
+
+// ImportDelta implements nf.DeltaStateful by merging exported entries into
+// the live cache and adopting the absolute counters.
+func (c *Cache) ImportDelta(data []byte) error {
+	var st cacheState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range st.Entries {
+		if e.Seq > c.seq {
+			c.seq = e.Seq
+		}
+		c.entries[k] = e
+	}
+	c.hits, c.misses, c.stores = st.Hits, st.Misses, st.Stores
+	return nil
+}
+
+var _ nf.DeltaStateful = (*Cache)(nil)
 
 func init() {
 	nf.Default.Register("dnscache", func(name string, params nf.Params) (nf.Function, error) {

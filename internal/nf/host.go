@@ -1,6 +1,7 @@
 package nf
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"gnf/internal/netem"
@@ -15,7 +16,10 @@ import (
 // emitted on egress; frames arriving on egress are processed Inbound and
 // emitted on ingress. While the host is disabled (container stopped,
 // migration in flight) traffic is dropped and counted — that window is the
-// measured migration downtime.
+// measured migration downtime. A host deployed for a migration may instead
+// arm a brownout buffer (BufferWhileDisabled): frames arriving while
+// disabled are then parked and replayed, in order, when Enable activates
+// the chain — the zero-loss handoff path.
 type ChainHost struct {
 	fn      Function
 	ingress *netem.Endpoint
@@ -24,6 +28,12 @@ type ChainHost struct {
 	enabled   atomic.Bool
 	processed atomic.Uint64
 	dropped   atomic.Uint64
+	replayed  atomic.Uint64
+
+	// bufMu orders brownout buffering against Enable's drain: once Enable
+	// has flipped enabled under bufMu, no handler can park another frame.
+	bufMu  sync.Mutex
+	buffer *netem.FrameBuffer // nil = disarmed (plain drop-while-disabled)
 }
 
 // NewChainHost binds fn between the container-side endpoints ingress and
@@ -38,11 +48,63 @@ func NewChainHost(fn Function, ingress, egress *netem.Endpoint) *ChainHost {
 // Function returns the hosted function.
 func (h *ChainHost) Function() Function { return h.fn }
 
-// Enable starts forwarding.
-func (h *ChainHost) Enable() { h.enabled.Store(true) }
+// BufferWhileDisabled arms the brownout buffer: up to limit frames arriving
+// while the host is disabled are parked instead of dropped and replayed on
+// the next Enable. Arm it on migration deploys only — a chain disabled by
+// an activation schedule must keep dropping out-of-window traffic.
+func (h *ChainHost) BufferWhileDisabled(limit int) {
+	h.bufMu.Lock()
+	if !h.enabled.Load() && h.buffer == nil {
+		h.buffer = netem.NewFrameBuffer(limit)
+	}
+	h.bufMu.Unlock()
+}
 
-// Disable stops forwarding; in-flight frames are dropped.
+// Enable starts forwarding. If a brownout buffer is armed, its parked
+// frames are first replayed through the chain in arrival order, then the
+// buffer is disarmed — every frame the freeze window parked reaches the
+// network before (not interleaved after) newly arriving traffic jumps the
+// queue.
+func (h *ChainHost) Enable() {
+	for {
+		h.bufMu.Lock()
+		var batch []netem.BufferedFrame
+		if h.buffer != nil {
+			batch = h.buffer.Drain()
+		}
+		if len(batch) == 0 {
+			// Nothing (left) to replay: activate atomically with the drain
+			// check so a concurrent handler cannot park a frame we would
+			// never see.
+			h.buffer = nil
+			h.enabled.Store(true)
+			h.bufMu.Unlock()
+			return
+		}
+		h.bufMu.Unlock()
+		for _, bf := range batch {
+			h.replayed.Add(1)
+			h.process(Direction(bf.Tag), bf.Frame)
+		}
+	}
+}
+
+// Disable stops forwarding; in-flight frames are dropped (or parked, when
+// a brownout buffer is armed).
 func (h *ChainHost) Disable() { h.enabled.Store(false) }
+
+// FreezeBuffered disables forwarding and arms the brownout buffer in one
+// step — the migration freeze on a *source* chain: late stragglers park
+// instead of dropping mid-freeze. Whatever is still parked at teardown is
+// surfaced through Parked() so the owner can account it as loss.
+func (h *ChainHost) FreezeBuffered(limit int) {
+	h.bufMu.Lock()
+	h.enabled.Store(false)
+	if h.buffer == nil {
+		h.buffer = netem.NewFrameBuffer(limit)
+	}
+	h.bufMu.Unlock()
+}
 
 // Enabled reports whether the host forwards traffic.
 func (h *ChainHost) Enabled() bool { return h.enabled.Load() }
@@ -53,11 +115,46 @@ func (h *ChainHost) Processed() uint64 { return h.processed.Load() }
 // Dropped returns the count of frames discarded while disabled.
 func (h *ChainHost) Dropped() uint64 { return h.dropped.Load() }
 
+// Replayed returns the count of brownout-buffered frames replayed through
+// the chain by Enable. Frames refused by a full buffer land in Dropped, so
+// Dropped stays the single loss signal whether or not a buffer is armed.
+func (h *ChainHost) Replayed() uint64 { return h.replayed.Load() }
+
+// Parked reports frames currently held in the brownout buffer. A host
+// torn down with parked frames has lost them — teardown accounting must
+// fold this into its drop totals, or a frozen source's buffered frames
+// would vanish uncounted.
+func (h *ChainHost) Parked() uint64 {
+	h.bufMu.Lock()
+	defer h.bufMu.Unlock()
+	if h.buffer == nil {
+		return 0
+	}
+	return uint64(h.buffer.Len())
+}
+
 func (h *ChainHost) handle(dir Direction, frame []byte) {
 	if !h.enabled.Load() {
-		h.dropped.Add(1)
-		return
+		h.bufMu.Lock()
+		if h.enabled.Load() {
+			// Enable won the race while we took the lock; fall through to
+			// normal processing.
+			h.bufMu.Unlock()
+		} else if h.buffer != nil && h.buffer.Push(uint8(dir), frame) {
+			h.bufMu.Unlock()
+			return
+		} else {
+			h.bufMu.Unlock()
+			h.dropped.Add(1)
+			return
+		}
 	}
+	h.process(dir, frame)
+}
+
+// process runs one frame through the chain and emits the results; callers
+// have already passed the enabled/buffer gate.
+func (h *ChainHost) process(dir Direction, frame []byte) {
 	h.processed.Add(1)
 	out := h.fn.Process(dir, frame)
 	fwd, rev := h.egress, h.ingress

@@ -1,0 +1,51 @@
+package httpcache_test
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/nf"
+	"gnf/internal/nf/httpcache"
+)
+
+func TestCacheDeltaExportsOnlyFreshEntries(t *testing.T) {
+	clk := clock.NewVirtual()
+	src := httpcache.New("c0", httpcache.WithTTL(time.Minute))
+	src.SetClock(clk)
+	exchange(t, src, 40000, "cdn.example", "/logo", "LOGO")
+	exchange(t, src, 40001, "cdn.example", "/app.js", "JSJSJSJSJS")
+
+	full, epoch, err := src.ExportDelta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := httpcache.New("c1", httpcache.WithTTL(time.Minute))
+	dst.SetClock(clk)
+	if err := dst.ImportDelta(full); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("entries after full = %d, want 2", dst.Len())
+	}
+
+	// One new store: the delta carries only it.
+	exchange(t, src, 40002, "cdn.example", "/style.css", "CSS")
+	delta, _, err := src.ExportDelta(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full) {
+		t.Fatalf("delta %dB not smaller than full %dB", len(delta), len(full))
+	}
+	if err := dst.ImportDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("entries after delta = %d, want 3", dst.Len())
+	}
+	// The migrated-in cache serves the fresh entry at the edge.
+	if out := dst.Process(nf.Outbound, request(40003, "cdn.example", "/style.css", nil)); len(out.Reverse) != 1 {
+		t.Fatalf("warm entry missed: %+v", out)
+	}
+}

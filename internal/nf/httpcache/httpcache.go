@@ -41,15 +41,18 @@ type Cache struct {
 	parser  packet.Parser
 	entries map[string]*entry
 	pending map[packet.FiveTuple]string // in-flight request key per flow
+	seq     uint64                      // dirty epoch, bumped per store
 
 	hits, misses, stores, evictions uint64
 	bytesSaved                      uint64
 }
 
-// entry is one cached response.
+// entry is one cached response. Seq stamps the dirty epoch of the store,
+// so pre-copy migration rounds export only fresh entries.
 type entry struct {
 	Response []byte    `json:"response"` // raw response bytes (head+body)
 	Expires  time.Time `json:"expires"`
+	Seq      uint64    `json:"seq,omitempty"`
 }
 
 // Option configures a Cache.
@@ -238,9 +241,11 @@ func (c *Cache) store(key string, response []byte) {
 			c.evictions++
 		}
 	}
+	c.seq++
 	c.entries[key] = &entry{
 		Response: append([]byte(nil), response...),
 		Expires:  c.clk.Now().Add(c.ttl),
+		Seq:      c.seq,
 	}
 	c.stores++
 }
@@ -288,18 +293,59 @@ func (c *Cache) ImportState(data []byte) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.clk.Now()
 	c.entries = make(map[string]*entry, len(st.Entries))
-	for k, e := range st.Entries {
-		if e != nil && now.Before(e.Expires) {
-			c.entries[k] = e
+	c.mergeLocked(st)
+	return nil
+}
+
+// ExportDelta implements nf.DeltaStateful: entries stored after epoch
+// `since` (everything for since == 0). Evicted or expired entries carry no
+// tombstone — a stale copy at the migration target expires by its own
+// absolute deadline, so cache correctness is unaffected.
+func (c *Cache) ExportDelta(since uint64) ([]byte, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := cacheState{Entries: make(map[string]*entry)}
+	for k, e := range c.entries {
+		if e.Seq > since {
+			st.Entries[k] = e
 		}
 	}
+	data, err := json.Marshal(st)
+	return data, c.seq, err
+}
+
+// ImportDelta implements nf.DeltaStateful by merging exported entries into
+// the live cache (expired ones are skipped).
+func (c *Cache) ImportDelta(data []byte) error {
+	var st cacheState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mergeLocked(st)
 	return nil
+}
+
+// mergeLocked upserts st's still-fresh entries, advancing the local dirty
+// epoch past every imported stamp. Called with mu held.
+func (c *Cache) mergeLocked(st cacheState) {
+	now := c.clk.Now()
+	for k, e := range st.Entries {
+		if e == nil || !now.Before(e.Expires) {
+			continue
+		}
+		if e.Seq > c.seq {
+			c.seq = e.Seq
+		}
+		c.entries[k] = e
+	}
 }
 
 var (
 	_ nf.Function      = (*Cache)(nil)
 	_ nf.StatsReporter = (*Cache)(nil)
 	_ nf.ClockSetter   = (*Cache)(nil)
+	_ nf.DeltaStateful = (*Cache)(nil)
 )

@@ -1,0 +1,98 @@
+package nat
+
+import (
+	"testing"
+
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+)
+
+func deltaFrame(srcPort uint16) []byte {
+	macC := packet.MAC{2, 0, 0, 0, 0, 1}
+	macS := packet.MAC{2, 0, 0, 0, 0, 2}
+	ipC := packet.IP{10, 0, 0, 1}
+	ipS := packet.IP{10, 9, 9, 9}
+	return packet.BuildUDP(macC, macS, ipC, ipS, srcPort, 53, []byte("q"))
+}
+
+func TestNATDeltaExportsOnlyNewMappings(t *testing.T) {
+	natIP := packet.IP{192, 168, 9, 1}
+	src, err := New("nat", natIP, 40000, 41000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint16(1000); p < 1010; p++ {
+		src.Process(nf.Outbound, deltaFrame(p))
+	}
+
+	// Full first round lands every mapping on a fresh instance.
+	full, epoch, err := src.ExportDelta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := New("nat", natIP, 40000, 41000)
+	if err := dst.ImportDelta(full); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Mappings() != 10 {
+		t.Fatalf("mappings after full = %d, want 10", dst.Mappings())
+	}
+
+	// Two new flows: the next delta carries exactly those.
+	src.Process(nf.Outbound, deltaFrame(2000))
+	src.Process(nf.Outbound, deltaFrame(2001))
+	src.Process(nf.Outbound, deltaFrame(1000)) // existing flow: no new mapping
+	delta, epoch2, err := src.ExportDelta(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full) {
+		t.Fatalf("delta %dB not smaller than full %dB", len(delta), len(full))
+	}
+	if err := dst.ImportDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Mappings() != 12 {
+		t.Fatalf("mappings after delta = %d, want 12", dst.Mappings())
+	}
+	if epoch2 <= epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch, epoch2)
+	}
+
+	// Translation continuity: the target translates an existing flow to
+	// the same NAT port the source allocated.
+	fSrc, fDst := deltaFrame(1000), deltaFrame(1000)
+	src.Process(nf.Outbound, fSrc)
+	dst.Process(nf.Outbound, fDst)
+	var pSrc, pDst packet.Parser
+	if err := pSrc.Parse(fSrc); err != nil {
+		t.Fatal(err)
+	}
+	if err := pDst.Parse(fDst); err != nil {
+		t.Fatal(err)
+	}
+	tSrc, _ := pSrc.FiveTuple()
+	tDst, _ := pDst.FiveTuple()
+	if tSrc.Src.Port != tDst.Src.Port {
+		t.Fatalf("NAT port diverged after delta migration: %d vs %d", tSrc.Src.Port, tDst.Src.Port)
+	}
+}
+
+func TestNATIdleDeltaIsTiny(t *testing.T) {
+	natIP := packet.IP{192, 168, 9, 1}
+	src, _ := New("nat", natIP, 40000, 41000)
+	for p := uint16(1000); p < 1200; p++ {
+		src.Process(nf.Outbound, deltaFrame(p))
+	}
+	full, epoch, err := src.ExportDelta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, _, err := src.ExportDelta(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idle) >= len(full)/10 {
+		t.Fatalf("idle delta %dB vs full %dB — dirty tracking not working", len(idle), len(full))
+	}
+}

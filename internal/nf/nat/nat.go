@@ -29,11 +29,13 @@ type mapKey struct {
 	SrcPort uint16
 }
 
-// mapping records one translation.
+// mapping records one translation. Seq stamps the dirty epoch the mapping
+// was created at, so pre-copy migration rounds export only fresh flows.
 type mapping struct {
 	Key     mapKey     `json:"key"`
 	NATPort uint16     `json:"nat_port"`
 	HostMAC packet.MAC `json:"host_mac"` // client's MAC for de-translation
+	Seq     uint64     `json:"seq,omitempty"`
 }
 
 // NAT is the NF instance.
@@ -47,6 +49,7 @@ type NAT struct {
 	byKey                                map[mapKey]*mapping
 	byPort                               map[uint16]*mapping
 	nextPort                             uint16
+	seq                                  uint64 // dirty epoch, bumped per new mapping
 	translated, detranslated, arpReplies uint64
 	parser                               packet.Parser
 }
@@ -139,7 +142,8 @@ func (n *NAT) Process(dir nf.Direction, frame []byte) nf.Output {
 			if err != nil {
 				return nf.Drop() // no capacity: policed like a full conntrack table
 			}
-			m = &mapping{Key: key, NATPort: port, HostMAC: p.Eth.Src}
+			n.seq++
+			m = &mapping{Key: key, NATPort: port, HostMAC: p.Eth.Src, Seq: n.seq}
 			n.byKey[key] = m
 			n.byPort[port] = m
 		}
@@ -210,16 +214,60 @@ func (n *NAT) ImportState(data []byte) error {
 	defer n.mu.Unlock()
 	n.byKey = make(map[mapKey]*mapping, len(st.Mappings))
 	n.byPort = make(map[uint16]*mapping, len(st.Mappings))
+	n.mergeLocked(st)
+	return nil
+}
+
+// ExportDelta implements nf.DeltaStateful: mappings created after epoch
+// `since` (all of them for since == 0), plus the port cursor. Mappings are
+// never deleted, so an upsert-only delta is exact.
+func (n *NAT) ExportDelta(since uint64) ([]byte, uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := natState{NextPort: n.nextPort}
+	for _, m := range n.byKey {
+		if m.Seq > since {
+			st.Mappings = append(st.Mappings, *m)
+		}
+	}
+	data, err := json.Marshal(st)
+	return data, n.seq, err
+}
+
+// ImportDelta implements nf.DeltaStateful by merging exported mappings
+// into the live table.
+func (n *NAT) ImportDelta(data []byte) error {
+	var st natState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mergeLocked(st)
+	return nil
+}
+
+// mergeLocked upserts st's mappings and adopts its port cursor; the local
+// dirty epoch advances past every imported stamp so a migrated-in table
+// re-exports correctly on the next pre-copy. Called with mu held.
+func (n *NAT) mergeLocked(st natState) {
 	for i := range st.Mappings {
 		m := st.Mappings[i]
+		if m.Seq > n.seq {
+			n.seq = m.Seq
+		}
+		if old, ok := n.byKey[m.Key]; ok {
+			delete(n.byPort, old.NATPort)
+		}
 		n.byKey[m.Key] = &m
 		n.byPort[m.NATPort] = &m
 	}
 	if st.NextPort >= n.lo && st.NextPort <= n.hi {
 		n.nextPort = st.NextPort
 	}
-	return nil
 }
+
+var _ nf.DeltaStateful = (*NAT)(nil)
 
 func init() {
 	nf.Default.Register("nat", func(name string, params nf.Params) (nf.Function, error) {

@@ -320,6 +320,21 @@ func (c *Chain) ImportState(data []byte) error {
 	return importChainState(c.fns, data)
 }
 
+// ExportStateDelta implements container.DeltaStateHandler: it exports only
+// the member state dirtied since the epoch vector of a previous export.
+// since == nil exports the full state and starts the epoch sequence — the
+// first pre-copy round of a live migration. Members without dirty tracking
+// contribute a full snapshot every round.
+func (c *Chain) ExportStateDelta(since []uint64) ([]byte, []uint64, error) {
+	return exportChainDelta(c.fns, since)
+}
+
+// ImportStateDelta implements container.DeltaStateHandler by merging a
+// delta produced by ExportStateDelta into the members' current state.
+func (c *Chain) ImportStateDelta(data []byte) error {
+	return importChainDelta(c.fns, data)
+}
+
 // SetNotifier fans the notifier out to every member that accepts one.
 func (c *Chain) SetNotifier(fn NotifyFunc) {
 	for _, f := range c.fns {

@@ -1,0 +1,119 @@
+// Package predict implements the mobility predictors that drive
+// anticipatory NF placement: the manager trains a model on the handoff
+// history flowing out of internal/mobility and uses it to prewarm a
+// standby chain at the station a client is most likely to roam to next —
+// the "anticipatory placement" lever the VNF-placement literature
+// identifies as the complement of fast migration.
+package predict
+
+import (
+	"sort"
+	"sync"
+
+	"gnf/internal/topology"
+)
+
+// Markov is a first-order next-cell model over stations: it counts
+// observed station-to-station handoffs and predicts the most likely
+// successor of the current station. It is deliberately tiny — the point is
+// anticipation on an edge box, not deep trajectory modeling — and safe for
+// concurrent use.
+type Markov struct {
+	mu     sync.Mutex
+	counts map[string]map[string]uint64
+	totals map[string]uint64
+}
+
+// NewMarkov returns an empty model.
+func NewMarkov() *Markov {
+	return &Markov{
+		counts: make(map[string]map[string]uint64),
+		totals: make(map[string]uint64),
+	}
+}
+
+// Observe records one handoff from -> to. Empty endpoints (first attach,
+// detach) and self-transitions are ignored — they carry no roaming signal.
+func (m *Markov) Observe(from, to string) {
+	if from == "" || to == "" || from == to {
+		return
+	}
+	m.mu.Lock()
+	row := m.counts[from]
+	if row == nil {
+		row = make(map[string]uint64)
+		m.counts[from] = row
+	}
+	row[to]++
+	m.totals[from]++
+	m.mu.Unlock()
+}
+
+// Predict returns the most likely next station after from and the
+// transition probability the model assigns it. ok is false when the model
+// has never seen a handoff out of from. Ties break to the
+// lexicographically smallest station so predictions are deterministic.
+func (m *Markov) Predict(from string) (next string, prob float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := m.totals[from]
+	if total == 0 {
+		return "", 0, false
+	}
+	var bestCount uint64
+	for to, c := range m.counts[from] {
+		if c > bestCount || (c == bestCount && (next == "" || to < next)) {
+			next, bestCount = to, c
+		}
+	}
+	return next, float64(bestCount) / float64(total), true
+}
+
+// Transitions returns a copy of the observed successor counts of from,
+// for inspection and tests.
+func (m *Markov) Transitions(from string) map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.counts[from]))
+	for to, c := range m.counts[from] {
+		out[to] = c
+	}
+	return out
+}
+
+// Observations reports how many handoffs out of from the model has seen.
+func (m *Markov) Observations(from string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totals[from]
+}
+
+// Stations lists every station the model has seen a handoff out of,
+// sorted.
+func (m *Markov) Stations() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.counts))
+	for s := range m.counts {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Train folds a recorded association history (mobility.Trace.Events()) into
+// the model. Cell-level events are projected onto stations by the resolver;
+// pass topo.StationForCell-backed lookups or any test stub. Events whose
+// cells do not resolve are skipped.
+func (m *Markov) Train(events []topology.AssociationEvent, stationOf func(topology.CellID) (string, bool)) {
+	for _, ev := range events {
+		if ev.From == "" || ev.To == "" {
+			continue
+		}
+		from, okF := stationOf(ev.From)
+		to, okT := stationOf(ev.To)
+		if okF && okT {
+			m.Observe(from, to)
+		}
+	}
+}

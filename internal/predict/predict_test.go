@@ -1,0 +1,93 @@
+package predict
+
+import (
+	"sync"
+	"testing"
+
+	"gnf/internal/topology"
+)
+
+func TestMarkovPredictsMostFrequentSuccessor(t *testing.T) {
+	m := NewMarkov()
+	if _, _, ok := m.Predict("st-a"); ok {
+		t.Fatal("empty model predicted something")
+	}
+	m.Observe("st-a", "st-b")
+	m.Observe("st-a", "st-b")
+	m.Observe("st-a", "st-c")
+	next, prob, ok := m.Predict("st-a")
+	if !ok || next != "st-b" {
+		t.Fatalf("Predict = %q, %v; want st-b", next, ok)
+	}
+	if prob < 0.66 || prob > 0.67 {
+		t.Fatalf("prob = %f, want 2/3", prob)
+	}
+	if got := m.Observations("st-a"); got != 3 {
+		t.Fatalf("observations = %d, want 3", got)
+	}
+}
+
+func TestMarkovIgnoresNonHandoffs(t *testing.T) {
+	m := NewMarkov()
+	m.Observe("", "st-a")     // first attach
+	m.Observe("st-a", "")     // detach
+	m.Observe("st-a", "st-a") // reassociation within a station
+	if _, _, ok := m.Predict("st-a"); ok {
+		t.Fatal("non-handoffs trained the model")
+	}
+}
+
+func TestMarkovDeterministicTieBreak(t *testing.T) {
+	m := NewMarkov()
+	m.Observe("st-a", "st-c")
+	m.Observe("st-a", "st-b")
+	next, prob, ok := m.Predict("st-a")
+	if !ok || next != "st-b" || prob != 0.5 {
+		t.Fatalf("Predict = %q/%f/%v; want st-b/0.5/true", next, prob, ok)
+	}
+}
+
+func TestMarkovTrainFromTrace(t *testing.T) {
+	stations := map[topology.CellID]string{
+		"cell-a": "st-a", "cell-b": "st-b",
+	}
+	resolve := func(c topology.CellID) (string, bool) {
+		s, ok := stations[c]
+		return s, ok
+	}
+	m := NewMarkov()
+	m.Train([]topology.AssociationEvent{
+		{Client: "phone", From: "", To: "cell-a"},       // first attach: skipped
+		{Client: "phone", From: "cell-a", To: "cell-b"}, // handoff
+		{Client: "phone", From: "cell-b", To: "cell-a"},
+		{Client: "phone", From: "cell-a", To: "cell-x"}, // unknown cell: skipped
+	}, resolve)
+	if next, _, ok := m.Predict("st-a"); !ok || next != "st-b" {
+		t.Fatalf("Predict(st-a) = %q, %v", next, ok)
+	}
+	if next, _, ok := m.Predict("st-b"); !ok || next != "st-a" {
+		t.Fatalf("Predict(st-b) = %q, %v", next, ok)
+	}
+	if got := m.Stations(); len(got) != 2 {
+		t.Fatalf("stations = %v", got)
+	}
+}
+
+func TestMarkovConcurrentUse(t *testing.T) {
+	m := NewMarkov()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Observe("st-a", "st-b")
+				m.Predict("st-a")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Observations("st-a"); got != 4000 {
+		t.Fatalf("observations = %d, want 4000", got)
+	}
+}

@@ -52,6 +52,16 @@ type Result struct {
 	// shrinks the autoscaler ordered during the run.
 	ScaleOuts int `json:"scale_outs,omitempty"`
 	ScaleIns  int `json:"scale_ins,omitempty"`
+	// Prewarmed counts migrations that landed on a prewarmed standby;
+	// MaxDowntime is the largest dark window any successful migration
+	// measured; DroppedFrames sums frame drops across every chain at
+	// scenario end (0 under the zero-loss brownout-buffer contract);
+	// ReplayedFrames counts brownout-buffered frames replayed on
+	// activation.
+	Prewarmed      int      `json:"prewarmed,omitempty"`
+	MaxDowntime    Duration `json:"max_downtime,omitempty"`
+	DroppedFrames  uint64   `json:"dropped_frames,omitempty"`
+	ReplayedFrames uint64   `json:"replayed_frames,omitempty"`
 	// PoolReplicas maps each station to the total replicas of its
 	// referenced shared instances at scenario end.
 	PoolReplicas map[string]int `json:"pool_replicas,omitempty"`
@@ -127,6 +137,9 @@ func New(sp *Spec) (*Engine, error) {
 			ScaleInLoad:  sp.Autoscaler.ScaleInLoad,
 			MaxReplicas:  sp.Autoscaler.MaxReplicas,
 		})
+	}
+	if sp.Prewarm {
+		sys.Manager.SetPrewarm(true)
 	}
 	e := &Engine{spec: sp, sys: sys, clk: clk, start: clk.Now()}
 	sys.Topo.OnAssociation(func(ev topology.AssociationEvent) {
@@ -396,7 +409,10 @@ func (e *Engine) generateTraffic(st Step) error {
 			}
 		}
 		sent += n
-		if steered {
+		// no_wait fires the batch and returns with the frames still in
+		// flight: a same-instant handoff then exercises the brownout
+		// buffer on frames the freeze window would otherwise drop.
+		if steered && !st.NoWait {
 			want := baseline + uint64(sent)
 			if err := e.await(fmt.Sprintf("%s's chains to process %d frames", st.Client, sent), func() bool {
 				got, _ := clientProcessed(ag, st.Client)
@@ -440,6 +456,43 @@ func (e *Engine) finish() {
 	for _, c := range e.spec.Clients {
 		st, _ := e.sys.Manager.ClientStation(c.ID)
 		res.FinalStations[c.ID] = st
+	}
+	for _, mig := range e.sys.Manager.Migrations() {
+		if mig.Err != "" {
+			continue
+		}
+		if mig.Prewarmed {
+			res.Prewarmed++
+		}
+		if d := Duration(mig.Downtime); d > res.MaxDowntime {
+			res.MaxDowntime = d
+		}
+		res.ReplayedFrames += mig.ReplayedFrames
+	}
+	// Loss accounting: drops of live chains plus the retired counters of
+	// chains already torn down by migrations, over every site — edge
+	// stations and cloud agents alike, so an offload scenario cannot hide
+	// loss on its cloud site. Standby chains are excluded — they never
+	// carried committed traffic.
+	sites := make([]string, 0, len(e.spec.Stations)+len(e.spec.Clouds))
+	for _, stn := range e.spec.Stations {
+		sites = append(sites, stn.ID)
+	}
+	for _, cl := range e.spec.Clouds {
+		sites = append(sites, cl.ID)
+	}
+	for _, site := range sites {
+		ag := e.sys.Agent(topology.StationID(site))
+		if ag == nil {
+			continue
+		}
+		rep := ag.Report()
+		res.DroppedFrames += rep.RetiredDrops
+		for _, cs := range rep.Chains {
+			if !cs.Standby {
+				res.DroppedFrames += cs.Dropped
+			}
+		}
 	}
 	for _, ev := range e.sys.Manager.ScaleEvents() {
 		if ev.Err != "" {
@@ -513,6 +566,20 @@ func (e *Engine) finish() {
 		for _, f := range res.FailedMigrations {
 			res.Failures = append(res.Failures, "failed migration: "+f)
 		}
+	}
+	if exp.MaxDowntimeMs > 0 {
+		if got := float64(res.MaxDowntime.Std().Microseconds()) / 1000; got > exp.MaxDowntimeMs {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("max downtime: got %.3fms, want <= %.3fms", got, exp.MaxDowntimeMs))
+		}
+	}
+	if exp.ZeroLoss && res.DroppedFrames > 0 {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("zero loss: %d frames dropped by chains", res.DroppedFrames))
+	}
+	if res.Prewarmed < exp.MinPrewarmed {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("prewarmed migrations: got %d, want >= %d", res.Prewarmed, exp.MinPrewarmed))
 	}
 	for _, client := range sortedKeys(exp.FinalStations) {
 		want := exp.FinalStations[client]

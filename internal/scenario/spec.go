@@ -140,9 +140,13 @@ type Step struct {
 	// Flows distinct flows (default 16) toward the backhaul — the load
 	// signal the autoscaler reads off the shared instance serving the
 	// client. The engine waits until the client's chains have processed
-	// the batch, so the load is fully visible to the next step.
-	Frames int `json:"frames,omitempty"`
-	Flows  int `json:"flows,omitempty"`
+	// the batch, so the load is fully visible to the next step — unless
+	// NoWait is set, which fires the frames and returns immediately so a
+	// same-instant handoff can catch them in flight (the brownout-buffer
+	// scenarios' trigger).
+	Frames int  `json:"frames,omitempty"`
+	Flows  int  `json:"flows,omitempty"`
+	NoWait bool `json:"no_wait,omitempty"`
 }
 
 // Actions understood by the engine.
@@ -200,6 +204,17 @@ type Expect struct {
 	// declare same-named chains, since bare names are only unique per
 	// client.
 	ChainEnabled map[string]bool `json:"chain_enabled,omitempty"`
+	// MaxDowntimeMs caps every successful migration's measured dark window
+	// (milliseconds); 0 means no cap. The live-migration scenarios use it
+	// to pin downtime independent of state size.
+	MaxDowntimeMs float64 `json:"max_downtime_ms,omitempty"`
+	// ZeroLoss requires that no chain dropped a single frame during the
+	// run: every frame that reached a chain was processed or replayed from
+	// a brownout buffer, never lost to a migration freeze window.
+	ZeroLoss bool `json:"zero_loss,omitempty"`
+	// MinPrewarmed requires at least this many migrations to have landed
+	// on a prewarmed standby (prewarm spec flag).
+	MinPrewarmed int `json:"min_prewarmed,omitempty"`
 	// AllowViolations lists audit violation kinds tolerated at scenario
 	// end (e.g. disabled-chain when a schedule window is closed).
 	AllowViolations []string `json:"allow_violations,omitempty"`
@@ -210,17 +225,21 @@ type Expect struct {
 
 // Spec is one complete scenario file.
 type Spec struct {
-	Name        string          `json:"name"`
-	Description string          `json:"description,omitempty"`
-	Seed        int64           `json:"seed"`
-	Strategy    string          `json:"strategy,omitempty"`   // cold | stateful (default)
-	Hysteresis  float64         `json:"hysteresis,omitempty"` // metres (default 5)
-	Autoscaler  *AutoscalerSpec `json:"autoscaler,omitempty"`
-	Stations    []Station       `json:"stations"`
-	Clouds      []Cloud         `json:"clouds,omitempty"`
-	Clients     []Client        `json:"clients"`
-	Script      []Step          `json:"script,omitempty"`
-	Expect      Expect          `json:"expect"`
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Seed        int64   `json:"seed"`
+	Strategy    string  `json:"strategy,omitempty"`   // cold | stateful (default) | live
+	Hysteresis  float64 `json:"hysteresis,omitempty"` // metres (default 5)
+	// Prewarm enables predictive standby staging (live strategy only): the
+	// manager trains a Markov next-cell model on the run's handoffs and
+	// pre-deploys disabled, state-synced chains at predicted stations.
+	Prewarm    bool            `json:"prewarm,omitempty"`
+	Autoscaler *AutoscalerSpec `json:"autoscaler,omitempty"`
+	Stations   []Station       `json:"stations"`
+	Clouds     []Cloud         `json:"clouds,omitempty"`
+	Clients    []Client        `json:"clients"`
+	Script     []Step          `json:"script,omitempty"`
+	Expect     Expect          `json:"expect"`
 }
 
 // Validate checks structural consistency before a run: unique IDs, known
@@ -233,7 +252,7 @@ func (sp *Spec) Validate() error {
 		return fmt.Errorf("scenario %s: no stations", sp.Name)
 	}
 	if !validStrategy(sp.Strategy, true) {
-		return fmt.Errorf("scenario %s: unknown strategy %q (want cold or stateful)", sp.Name, sp.Strategy)
+		return fmt.Errorf("scenario %s: unknown strategy %q (want cold, stateful or live)", sp.Name, sp.Strategy)
 	}
 	stations := map[string]bool{}
 	cells := map[string]bool{}
@@ -320,7 +339,7 @@ func (sp *Spec) Validate() error {
 			}
 		case ActSetStrategy:
 			if !validStrategy(st.Strategy, false) {
-				return fmt.Errorf("scenario %s: step %d set-strategy needs cold or stateful, got %q", sp.Name, i, st.Strategy)
+				return fmt.Errorf("scenario %s: step %d set-strategy needs cold, stateful or live, got %q", sp.Name, i, st.Strategy)
 			}
 		case ActTraffic:
 			if st.Frames <= 0 {
@@ -350,7 +369,7 @@ func (sp *Spec) Validate() error {
 // manager and test nothing.
 func validStrategy(s string, allowEmpty bool) bool {
 	switch s {
-	case "cold", "stateful":
+	case "cold", "stateful", "live":
 		return true
 	case "":
 		return allowEmpty

@@ -20,6 +20,7 @@ import (
 
 	"gnf/internal/agent"
 	"gnf/internal/manager"
+	"gnf/internal/metrics"
 )
 
 // StationView is one station's row in the dashboard.
@@ -166,8 +167,19 @@ func (s *Server) handleNotifications(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.mgr.Notifications())
 }
 
+// MigrationsView is the GET /api/migrations payload: the raw reports plus
+// the manager's aggregate observability (downtime/total/state-size
+// histograms and migration counters).
+type MigrationsView struct {
+	Reports []manager.MigrationReport `json:"reports"`
+	Summary metrics.Snapshot          `json:"summary"`
+}
+
 func (s *Server) handleMigrations(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.mgr.Migrations())
+	writeJSON(w, MigrationsView{
+		Reports: s.mgr.Migrations(),
+		Summary: s.mgr.MetricsSnapshot(),
+	})
 }
 
 // AttachRequest is the POST body for /api/chains/attach.

@@ -108,10 +108,16 @@ func TestAttachDetachOverAPI(t *testing.T) {
 	if resp := postJSON(t, srv.URL+"/api/chains/migrate", mig); resp.StatusCode != http.StatusOK {
 		t.Fatalf("migrate = %d", resp.StatusCode)
 	}
-	var migs []manager.MigrationReport
+	var migs ui.MigrationsView
 	getJSON(t, srv.URL+"/api/migrations", &migs)
-	if len(migs) != 1 || migs[0].To != "st-b" {
-		t.Fatalf("migrations = %+v", migs)
+	if len(migs.Reports) != 1 || migs.Reports[0].To != "st-b" {
+		t.Fatalf("migrations = %+v", migs.Reports)
+	}
+	if got := migs.Summary.Counters["migration.count"]; got != 1 {
+		t.Fatalf("migration.count = %d, want 1", got)
+	}
+	if h, ok := migs.Summary.Histograms["migration.downtime_ms"]; !ok || h.Count != 1 {
+		t.Fatalf("downtime histogram = %+v (ok=%v)", h, ok)
 	}
 	// Detach.
 	det := ui.DetachRequest{Client: "phone", Chain: "fw"}
