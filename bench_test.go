@@ -11,6 +11,7 @@
 //	E6          BenchmarkE6MigrationStrategies     cold vs stateful ablation
 //	E6          BenchmarkE6LiveMigration           stop-and-copy vs pre-copy by state size
 //	E7          BenchmarkE7NotificationPipeline    NF->Agent->Manager alerts
+//	E7          BenchmarkE7QoSPlacement            least-loaded vs latency-aware chain RTT
 //	E8          BenchmarkE8OffloadAblation         GNFC edge vs cloud hosting
 //	E9          BenchmarkE9FailoverRecovery        station-crash recovery
 //
@@ -20,6 +21,7 @@ package gnf
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"testing"
@@ -31,10 +33,12 @@ import (
 	"gnf/internal/container"
 	"gnf/internal/core"
 	"gnf/internal/manager"
+	"gnf/internal/metrics"
 	"gnf/internal/nf"
 	"gnf/internal/packet"
 	"gnf/internal/topology"
 	"gnf/internal/traffic"
+	"gnf/internal/wire"
 
 	"gnf/internal/netem"
 
@@ -689,6 +693,145 @@ func benchCloudSystem(b *testing.B, strategy manager.Strategy) *core.System {
 		b.Fatal(err)
 	}
 	return sys
+}
+
+// --- E7: QoS placement ablation --------------------------------------------
+
+// benchQoSAgent is a minimal wire-level station for control-plane-only
+// placement benches: it acks every chain RPC and can push a CPU report.
+type benchQoSAgent struct {
+	peer    *wire.Peer
+	station string
+}
+
+func newBenchQoSAgent(b *testing.B, mgr *manager.Manager, station string) *benchQoSAgent {
+	b.Helper()
+	peer, err := wire.Dial(mgr.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ok := func(json.RawMessage) (any, error) { return nil, nil }
+	for _, m := range []string{agent.MethodDeploy, agent.MethodRemove, agent.MethodEnable,
+		agent.MethodDisable, agent.MethodRestore, agent.MethodPrefetch} {
+		peer.Handle(m, ok)
+	}
+	peer.Handle(agent.MethodCheckpoint, func(json.RawMessage) (any, error) {
+		return agent.CheckpointResult{State: []byte("blob")}, nil
+	})
+	go peer.Run()
+	if err := peer.Call(agent.MethodRegister, agent.RegisterSpec{Station: station}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { peer.Close() })
+	return &benchQoSAgent{peer: peer, station: station}
+}
+
+func (a *benchQoSAgent) report(cpu float64) {
+	a.peer.Notify(agent.MethodReport, agent.Report{
+		Station: a.station,
+		Usage:   metrics.ResourceUsage{CPUPercent: cpu},
+	})
+}
+
+// BenchmarkE7QoSPlacement compares mean chain RTT under least-loaded vs
+// latency-aware placement on the same mobility trace: a client circles a
+// six-station metro ring (5ms hops), and at every dwell its station is
+// drained for maintenance, forcing the policy to re-place the chain.
+// Least-loaded chases the idle station wherever it sits on the ring;
+// latency-aware keeps the chain one hop away. Reported metrics: mean
+// predicted client<->chain RTT per re-placement, and control-plane
+// migrations per trace.
+func BenchmarkE7QoSPlacement(b *testing.B) {
+	stations := []string{"st-0", "st-1", "st-2", "st-3", "st-4", "st-5"}
+	ids := make([]topology.StationID, len(stations))
+	for i, st := range stations {
+		ids[i] = topology.StationID(st)
+	}
+	// One idle box far around the ring; the rest moderately loaded.
+	loads := map[string]float64{
+		"st-0": 50, "st-1": 40, "st-2": 45, "st-3": 2, "st-4": 45, "st-5": 40,
+	}
+	for _, polName := range []string{"least-loaded", "latency-aware"} {
+		b.Run(polName, func(b *testing.B) {
+			var sumRTT time.Duration
+			picks, migrations := 0, 0
+			for i := 0; i < b.N; i++ {
+				mgr, err := manager.New(clock.System(), "127.0.0.1:0",
+					manager.WithStrategy(manager.StrategyCold))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ring := topology.Ring(ids, 5*time.Millisecond, 1_000_000_000)
+				mgr.SetTopology(ring)
+				pol, ok := manager.PlacementFor(polName)
+				if !ok {
+					b.Fatalf("unknown policy %q", polName)
+				}
+				mgr.SetPlacement(pol)
+				agents := make(map[string]*benchQoSAgent, len(stations))
+				for _, st := range stations {
+					agents[st] = newBenchQoSAgent(b, mgr, st)
+					agents[st].report(loads[st])
+				}
+				deadline := time.After(10 * time.Second)
+				for {
+					fresh := 0
+					for _, si := range mgr.StationInfos() {
+						if !si.Stale {
+							fresh++
+						}
+					}
+					if fresh == len(stations) {
+						break
+					}
+					select {
+					case <-deadline:
+						b.Fatalf("only %d stations reported", fresh)
+					case <-time.After(200 * time.Microsecond):
+					}
+				}
+				if err := agents["st-0"].peer.Call(agent.MethodClientEvent,
+					agent.ClientEvent{Station: "st-0", Client: "phone", Connected: true}, nil); err != nil {
+					b.Fatal(err)
+				}
+				mgr.WaitIdle()
+				if err := mgr.AttachChain("phone", manager.ChainSpec{
+					Name:      "chain",
+					Functions: []agent.NFSpec{{Kind: "counter", Name: "acct"}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+				for s, cur := range stations {
+					if s > 0 {
+						// Handoff: the chain follows the client to cur.
+						if err := agents[cur].peer.Call(agent.MethodClientEvent,
+							agent.ClientEvent{Station: cur, Client: "phone", Connected: true}, nil); err != nil {
+							b.Fatal(err)
+						}
+						mgr.WaitIdle()
+					}
+					// Maintenance drain: the policy picks the chain's refuge.
+					reports, err := mgr.EvacuateStation(cur)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(reports) != 1 || reports[0].Err != "" {
+						b.Fatalf("evacuation reports = %+v", reports)
+					}
+					rtt, ok := ring.RTT(topology.StationID(cur), topology.StationID(reports[0].To))
+					if !ok {
+						b.Fatalf("no path %s -> %s", cur, reports[0].To)
+					}
+					sumRTT += rtt
+					picks++
+				}
+				migrations += len(mgr.Migrations())
+				mgr.Close()
+			}
+			b.ReportMetric(float64(sumRTT.Microseconds())/float64(picks)/1000, "ms_chain_rtt")
+			b.ReportMetric(float64(migrations)/float64(b.N), "migrations")
+		})
+	}
 }
 
 // BenchmarkE8OffloadAblation — experiment E8 (GNFC, reference [2] of the

@@ -101,26 +101,33 @@ func (s *System) AddCloudSite(cc CloudConfig) error {
 }
 
 // connectTunnel provisions the WAN tunnel between an edge station and a
-// cloud site: a shaped veth attached as *service* ports on both switches
-// (no MAC learning, excluded from flooding — the L2 topology stays
-// loop-free) and registered with both agents.
+// cloud site, shaped like the site's WAN uplink.
 func (s *System) connectTunnel(edge, cloud *stationNode) {
-	edgeSide, cloudSide := netem.NewVethPair(
-		fmt.Sprintf("%s-tun-%s", edge.cfg.ID, cloud.cfg.ID),
-		fmt.Sprintf("%s-tun-%s", cloud.cfg.ID, edge.cfg.ID),
-		netem.WithClock(s.Clock), netem.WithLink(cloud.wan),
+	s.connectLink(edge, cloud, cloud.wan)
+}
+
+// connectLink wires a shaped veth between two station switches, attached
+// as *service* ports on both (no MAC learning, excluded from flooding —
+// the L2 topology stays loop-free) and registered with both agents as a
+// tunnel. Cloud WAN tunnels and modeled inter-station topology links both
+// come through here.
+func (s *System) connectLink(a, b *stationNode, link netem.LinkParams) {
+	aSide, bSide := netem.NewVethPair(
+		fmt.Sprintf("%s-tun-%s", a.cfg.ID, b.cfg.ID),
+		fmt.Sprintf("%s-tun-%s", b.cfg.ID, a.cfg.ID),
+		netem.WithClock(s.Clock), netem.WithLink(link),
 	)
-	ep, cp := edge.allocPort(), cloud.allocPort()
-	edge.sw.AttachService(ep, edgeSide)
-	cloud.sw.AttachService(cp, cloudSide)
-	edge.ag.RegisterTunnel(cloud.cfg.ID, ep)
-	cloud.ag.RegisterTunnel(edge.cfg.ID, cp)
-	edge.mu.Lock()
-	edge.tunnels = append(edge.tunnels, edgeSide)
-	edge.mu.Unlock()
-	cloud.mu.Lock()
-	cloud.tunnels = append(cloud.tunnels, cloudSide)
-	cloud.mu.Unlock()
+	ap, bp := a.allocPort(), b.allocPort()
+	a.sw.AttachService(ap, aSide)
+	b.sw.AttachService(bp, bSide)
+	a.ag.RegisterTunnel(b.cfg.ID, ap)
+	b.ag.RegisterTunnel(a.cfg.ID, bp)
+	a.mu.Lock()
+	a.tunnels = append(a.tunnels, aSide)
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.tunnels = append(b.tunnels, bSide)
+	b.mu.Unlock()
 }
 
 // CloudSites lists attached cloud site IDs.

@@ -77,6 +77,16 @@ type Config struct {
 	// Clouds attaches GNFC cloud sites, provisioned after every station
 	// so each site starts fully tunnelled.
 	Clouds []CloudConfig
+	// Topology is the modeled station graph: link delays and rates between
+	// stations. When set, every edge-to-edge link is instantiated as a
+	// shaped netem veth between the two station switches and registered as
+	// a tunnel (the detour fabric remote deployments ride), and the
+	// Manager receives the graph for RTT-aware placement. The backhaul
+	// still carries ordinary client->chain->server traffic: the graph is
+	// the placement model, not a replacement dataplane. Cloud nodes in the
+	// graph are informational — AddCloudSite wires their WAN tunnels
+	// itself.
+	Topology *topology.Graph
 }
 
 // stationNode is one station's physical assets.
@@ -198,6 +208,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Topology != nil {
+		mgr.SetTopology(cfg.Topology)
+	}
 	s := &System{
 		Clock:        cfg.Clock,
 		Topo:         topology.New(),
@@ -222,8 +235,32 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	if cfg.Topology != nil {
+		s.wireTopologyLinks()
+	}
 	s.Topo.OnAssociation(s.onAssociation)
 	return s, nil
+}
+
+// wireTopologyLinks instantiates the modeled inter-station links as
+// delay/rate-shaped veths between the station switches, attached as
+// service ports (no MAC learning, excluded from flooding — the L2
+// topology stays loop-free) and registered with both agents as tunnels,
+// so remote deployments can detour edge-to-edge with the declared link
+// cost. No traffic crosses them until something steers a detour; they do
+// not displace the backhaul for ordinary client traffic. Links touching
+// cloud nodes are skipped: AddCloudSite already tunnels every edge
+// station to each site with the site's WAN shape.
+func (s *System) wireTopologyLinks() {
+	for _, l := range s.cfg.Topology.Links() {
+		s.mu.Lock()
+		a, b := s.stations[l.A], s.stations[l.B]
+		s.mu.Unlock()
+		if a == nil || b == nil || a.cloud || b.cloud {
+			continue
+		}
+		s.connectLink(a, b, netem.LinkParams{Delay: l.Delay, RateBps: l.RateBps})
+	}
 }
 
 // addStation builds one station's assets and connects its agent.

@@ -180,12 +180,15 @@ func (m *Manager) reviveChain(failed, client string, rec *clientRec, spec ChainS
 	m.mu.Lock()
 	prefer := rec.station
 	m.mu.Unlock()
+	clientAt := prefer // the dead station is still the RTT reference point
 	if prefer == failed {
 		prefer = ""
 	}
 	to, ok := m.place(PlacementHint{
 		Client: client, Chain: spec.Name, Prefer: prefer,
 		ConfigHashes: chainConfigHashes(spec),
+		ClientAt:     clientAt,
+		MaxRTT:       spec.MaxRTT(),
 	}, failed)
 	if !ok {
 		rep.Err = fmt.Sprintf("no surviving station for %s/%s", client, spec.Name)

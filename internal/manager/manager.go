@@ -21,6 +21,7 @@ import (
 	"gnf/internal/packet"
 	"gnf/internal/predict"
 	"gnf/internal/share"
+	"gnf/internal/topology"
 	"gnf/internal/wire"
 )
 
@@ -61,6 +62,15 @@ const (
 type ChainSpec struct {
 	Name      string         `json:"name"`
 	Functions []agent.NFSpec `json:"functions"`
+	// MaxRTTMs is the chain's QoS budget: the largest predicted
+	// client<->chain round-trip (milliseconds) QoSPlacement accepts and
+	// roaming tolerates before re-placing the chain. 0 = no budget.
+	MaxRTTMs float64 `json:"max_rtt_ms,omitempty"`
+}
+
+// MaxRTT returns the chain's QoS budget as a duration (0 = none).
+func (c ChainSpec) MaxRTT() time.Duration {
+	return time.Duration(c.MaxRTTMs * float64(time.Millisecond))
 }
 
 // MigrationReport records one chain migration. Downtime is the dark
@@ -164,6 +174,7 @@ type Manager struct {
 	strategy      Strategy
 	prewarm       bool
 	placement     Placement
+	topo          *topology.Graph
 	notifications []agent.Alert
 	migrations    []MigrationReport
 	schedules     []*schedule

@@ -17,13 +17,23 @@ import (
 // fail — the instrument for exercising the manager's migration rollback
 // paths without a dataplane.
 type scriptedAgent struct {
-	t    *testing.T
-	peer *wire.Peer
+	t       *testing.T
+	peer    *wire.Peer
+	station string
 
 	mu    sync.Mutex
 	calls []string
 	fail  map[string]bool
+	gates map[string]*agentGate
 	state []byte
+}
+
+// agentGate parks a method's handler: entered closes when the first call
+// arrives, and the handler then blocks until release closes — the
+// instrument for pinning an RPC mid-flight while something else races it.
+type agentGate struct {
+	entered, release chan struct{}
+	once             sync.Once
 }
 
 func newScriptedAgent(t *testing.T, mgr *manager.Manager, station string) *scriptedAgent {
@@ -32,7 +42,8 @@ func newScriptedAgent(t *testing.T, mgr *manager.Manager, station string) *scrip
 	if err != nil {
 		t.Fatal(err)
 	}
-	sa := &scriptedAgent{t: t, peer: peer, fail: map[string]bool{}, state: []byte("blob")}
+	sa := &scriptedAgent{t: t, peer: peer, station: station,
+		fail: map[string]bool{}, gates: map[string]*agentGate{}, state: []byte("blob")}
 	ok := func(method string) wire.Handler {
 		return func(json.RawMessage) (any, error) {
 			if sa.record(method) {
@@ -71,12 +82,28 @@ func newScriptedAgent(t *testing.T, mgr *manager.Manager, station string) *scrip
 	return sa
 }
 
-// record logs the call and reports whether it should fail.
+// record logs the call, parks on an armed gate, and reports whether the
+// call should fail.
 func (sa *scriptedAgent) record(method string) bool {
 	sa.mu.Lock()
-	defer sa.mu.Unlock()
 	sa.calls = append(sa.calls, method)
-	return sa.fail[method]
+	fail := sa.fail[method]
+	g := sa.gates[method]
+	sa.mu.Unlock()
+	if g != nil {
+		g.once.Do(func() { close(g.entered) })
+		<-g.release
+	}
+	return fail
+}
+
+// holdOn arms a gate on the method's next call.
+func (sa *scriptedAgent) holdOn(method string) *agentGate {
+	g := &agentGate{entered: make(chan struct{}), release: make(chan struct{})}
+	sa.mu.Lock()
+	sa.gates[method] = g
+	sa.mu.Unlock()
+	return g
 }
 
 func (sa *scriptedAgent) failOn(method string) {

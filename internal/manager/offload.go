@@ -381,7 +381,7 @@ func (m *Manager) AutoOffload() ([]OffloadReport, error) {
 		sort.Strings(clients)
 
 		for _, client := range clients {
-			site, ok := m.place(PlacementHint{Client: client, AllowCloud: true}, station)
+			site, ok := m.place(PlacementHint{Client: client, AllowCloud: true, ClientAt: station}, station)
 			if !ok {
 				return reports, fmt.Errorf("%w: no offload target for %s", ErrUnknownStation, client)
 			}

@@ -3,6 +3,7 @@ package manager
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // StationInfo is a placement-time snapshot of one connected station, built
@@ -30,6 +31,12 @@ type StationInfo struct {
 	// Stale is true when no health report has arrived yet; policies
 	// should treat such stations as unknown-load, not idle.
 	Stale bool
+	// RTTToClient predicts the round-trip between the station currently
+	// serving the client (PlacementHint.ClientAt) and this candidate over
+	// the modeled topology graph; RTTKnown is false when no topology is
+	// installed, the hint names no client station, or no path exists.
+	RTTToClient time.Duration
+	RTTKnown    bool
 }
 
 // hostsPool reports whether the station hosts a shared instance with any
@@ -69,6 +76,14 @@ type PlacementHint struct {
 	// pool keys its shareable members would share under); sharing-aware
 	// policies prefer stations already hosting a compatible instance.
 	ConfigHashes []string
+	// ClientAt is the station currently serving the client — the reference
+	// point RTT predictions are computed from. Unlike Prefer it may name a
+	// station excluded from the candidate list (evacuating the client's
+	// own station) or one already declared dead (failover).
+	ClientAt string
+	// MaxRTT is the chain's QoS budget (ChainSpec.MaxRTTMs); QoSPlacement
+	// rejects candidates whose predicted RTT exceeds it (0 = no budget).
+	MaxRTT time.Duration
 }
 
 // Placement chooses the hosting station for a chain among live candidates.
@@ -321,14 +336,17 @@ func (m *Manager) StationInfos(exclude ...string) []StationInfo {
 	return out
 }
 
-// place runs the active policy over live candidates.
+// place runs the active policy over live candidates, annotated with RTT
+// predictions when a topology graph is installed.
 func (m *Manager) place(hint PlacementHint, exclude ...string) (string, bool) {
 	cands := m.StationInfos(exclude...)
 	m.mu.Lock()
 	p := m.placement
+	g := m.topo
 	m.mu.Unlock()
 	if p == nil {
 		p = ClientLocalPlacement{}
 	}
+	annotateRTT(g, cands, hint.ClientAt)
 	return p.Pick(cands, hint)
 }

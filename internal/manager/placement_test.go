@@ -143,6 +143,101 @@ func TestCloudFirstPlacement(t *testing.T) {
 	}
 }
 
+// rttInfos is a candidate set on a modeled topology: the near station is
+// loaded, the far one idle, one station has no RTT prediction, and a
+// cloud site sits close in raw RTT.
+func rttInfos() []manager.StationInfo {
+	return []manager.StationInfo{
+		{Station: "st-near", CPUPercent: 80, RTTToClient: 10 * time.Millisecond, RTTKnown: true},
+		{Station: "st-far", CPUPercent: 5, RTTToClient: 30 * time.Millisecond, RTTKnown: true},
+		{Station: "st-lost", CPUPercent: 1}, // no path in the graph
+		{Station: "nimbus", Cloud: true, CPUPercent: 1, RTTToClient: 6 * time.Millisecond, RTTKnown: true},
+	}
+}
+
+func TestLatencyAwarePlacement(t *testing.T) {
+	p := manager.LatencyAwarePlacement{}
+	// Minimum predicted RTT wins regardless of load; clouds excluded.
+	got, ok := p.Pick(rttInfos(), manager.PlacementHint{})
+	if !ok || got != "st-near" {
+		t.Fatalf("pick = %q (min RTT must beat idle-but-far)", got)
+	}
+	// The cloud's 6ms + 10ms default penalty loses to the 10ms edge.
+	if got, _ = p.Pick(rttInfos(), manager.PlacementHint{AllowCloud: true}); got != "st-near" {
+		t.Fatalf("penalised cloud pick = %q", got)
+	}
+	// Shrinking the penalty lets the close cloud win.
+	lenient := manager.LatencyAwarePlacement{CloudPenalty: time.Millisecond}
+	if got, _ = lenient.Pick(rttInfos(), manager.PlacementHint{AllowCloud: true}); got != "nimbus" {
+		t.Fatalf("lenient cloud pick = %q", got)
+	}
+	// Equal RTT: load breaks the tie.
+	tied := []manager.StationInfo{
+		{Station: "st-a", CPUPercent: 50, RTTToClient: 10 * time.Millisecond, RTTKnown: true},
+		{Station: "st-b", CPUPercent: 5, RTTToClient: 10 * time.Millisecond, RTTKnown: true},
+	}
+	if got, _ = p.Pick(tied, manager.PlacementHint{}); got != "st-b" {
+		t.Fatalf("tie pick = %q", got)
+	}
+	// No predictions at all (no topology installed): degrade to least-loaded.
+	blind := []manager.StationInfo{
+		{Station: "st-x", CPUPercent: 50},
+		{Station: "st-y", CPUPercent: 5},
+	}
+	if got, _ = p.Pick(blind, manager.PlacementHint{}); got != "st-y" {
+		t.Fatalf("blind pick = %q", got)
+	}
+	if _, ok = p.Pick(nil, manager.PlacementHint{}); ok {
+		t.Fatal("empty candidate list must not pick")
+	}
+}
+
+func TestQoSPlacement(t *testing.T) {
+	p := manager.QoSPlacement{}
+	// Budget satisfiable at the edge: latency-aware among the fitting.
+	got, ok := p.Pick(rttInfos(), manager.PlacementHint{MaxRTT: 15 * time.Millisecond})
+	if !ok || got != "st-near" {
+		t.Fatalf("in-budget pick = %q", got)
+	}
+	// Budget rejects the near station: the idle far one fits.
+	if got, _ = p.Pick(rttInfos(), manager.PlacementHint{MaxRTT: 40 * time.Millisecond}); got != "st-near" {
+		t.Fatalf("wide budget pick = %q (lowest RTT among fitting)", got)
+	}
+	cands := rttInfos()
+	cands[0].RTTToClient = 50 * time.Millisecond // near station degraded
+	if got, _ = p.Pick(cands, manager.PlacementHint{MaxRTT: 40 * time.Millisecond}); got != "st-far" {
+		t.Fatalf("pick after degradation = %q", got)
+	}
+	// No edge station fits: fall back to cloud offload when permitted.
+	got, ok = p.Pick(rttInfos(), manager.PlacementHint{MaxRTT: 5 * time.Millisecond, AllowCloud: true})
+	if !ok || got != "nimbus" {
+		t.Fatalf("cloud fallback pick = %q", got)
+	}
+	// Clouds forbidden: best-effort minimum RTT at the edge.
+	if got, _ = p.Pick(rttInfos(), manager.PlacementHint{MaxRTT: 5 * time.Millisecond}); got != "st-near" {
+		t.Fatalf("best-effort pick = %q", got)
+	}
+	// No budget: identical to latency-aware.
+	if got, _ = p.Pick(rttInfos(), manager.PlacementHint{}); got != "st-near" {
+		t.Fatalf("budgetless pick = %q", got)
+	}
+}
+
+func TestPlacementRegistry(t *testing.T) {
+	for _, name := range manager.PlacementNames() {
+		p, ok := manager.PlacementFor(name)
+		if !ok {
+			t.Fatalf("registered policy %q did not resolve", name)
+		}
+		if p.Name() != name {
+			t.Fatalf("PlacementFor(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, ok := manager.PlacementFor("teleport"); ok {
+		t.Fatal("unknown policy resolved")
+	}
+}
+
 func TestStationInfosSnapshotsReports(t *testing.T) {
 	mgr, err := manager.New(clock.System(), "127.0.0.1:0")
 	if err != nil {

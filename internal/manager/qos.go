@@ -1,0 +1,199 @@
+// Topology-aware QoS placement: the Manager can be handed the modeled
+// station graph (internal/topology.Graph), and placement decisions then
+// rank candidates by the predicted round-trip between the client's current
+// station and the candidate — not just by CPU load. Two policies build on
+// the matrix: LatencyAwarePlacement minimises predicted RTT outright, and
+// QoSPlacement enforces each chain's MaxRTT budget with a cloud-offload
+// fallback (Forti et al., "Probabilistic QoS-aware Placement of VNF chains
+// at the Edge").
+package manager
+
+import (
+	"sort"
+	"time"
+
+	"gnf/internal/topology"
+)
+
+// SetTopology installs the station graph used to predict client<->chain
+// RTTs. Placement policies see the prediction as StationInfo.RTTToClient;
+// roaming additionally lets budgeted chains lag behind their client while
+// the old station still meets the budget. nil clears the graph.
+func (m *Manager) SetTopology(g *topology.Graph) {
+	m.mu.Lock()
+	m.topo = g
+	m.mu.Unlock()
+}
+
+// Topology returns the installed station graph (nil when none).
+func (m *Manager) Topology() *topology.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.topo
+}
+
+// annotateRTT fills RTTToClient/RTTKnown on every candidate from the
+// graph's latency matrix, relative to the station serving the client.
+func annotateRTT(g *topology.Graph, cands []StationInfo, clientAt string) {
+	if g == nil || clientAt == "" {
+		return
+	}
+	for i := range cands {
+		rtt, ok := g.RTT(topology.StationID(clientAt), topology.StationID(cands[i].Station))
+		cands[i].RTTToClient, cands[i].RTTKnown = rtt, ok
+	}
+}
+
+// rttAware marks policies that rank on predicted RTT; with one active (and
+// a topology installed) roaming lets budgeted chains stay put while their
+// old station still meets the chain's MaxRTT budget.
+type rttAware interface{ usesRTT() }
+
+// DefaultCloudPenalty is added to a cloud candidate's predicted RTT when a
+// latency policy's CloudPenalty field is zero: with equal predictions the
+// edge must win, since the matrix cannot price the cloud's jitter and
+// shared-WAN variance.
+const DefaultCloudPenalty = 10 * time.Millisecond
+
+// LatencyAwarePlacement picks the candidate with the lowest predicted
+// client RTT, breaking ties by load (lessLoaded) and penalising cloud
+// sites by CloudPenalty. Candidates without an RTT prediction (no
+// topology, or no path) lose to any predicted one; with no predictions at
+// all it degrades to least-loaded.
+type LatencyAwarePlacement struct {
+	// CloudPenalty biases against cloud sites (0 = DefaultCloudPenalty).
+	CloudPenalty time.Duration
+}
+
+// Name implements Placement.
+func (LatencyAwarePlacement) Name() string { return "latency-aware" }
+
+func (LatencyAwarePlacement) usesRTT() {}
+
+// effectiveRTT is the ranking key: predicted RTT plus the cloud penalty.
+func (p LatencyAwarePlacement) effectiveRTT(c StationInfo) (time.Duration, bool) {
+	if !c.RTTKnown {
+		return 0, false
+	}
+	rtt := c.RTTToClient
+	if c.Cloud {
+		pen := p.CloudPenalty
+		if pen == 0 {
+			pen = DefaultCloudPenalty
+		}
+		rtt += pen
+	}
+	return rtt, true
+}
+
+// Pick implements Placement.
+func (p LatencyAwarePlacement) Pick(cands []StationInfo, hint PlacementHint) (string, bool) {
+	if !hint.AllowCloud {
+		cands = edgeOnly(cands)
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	best, bestRTT, found := StationInfo{}, time.Duration(0), false
+	for _, c := range cands {
+		rtt, ok := p.effectiveRTT(c)
+		if !ok {
+			continue
+		}
+		if !found || rtt < bestRTT || (rtt == bestRTT && lessLoaded(c, best)) {
+			best, bestRTT, found = c, rtt, true
+		}
+	}
+	if !found {
+		// No RTT prediction anywhere: the graph is absent, so load is the
+		// only signal left.
+		return LeastLoadedPlacement{}.Pick(cands, PlacementHint{AllowCloud: true})
+	}
+	return best.Station, true
+}
+
+// QoSPlacement enforces a per-chain RTT budget (ChainSpec.MaxRTTMs,
+// carried in PlacementHint.MaxRTT): candidates whose predicted chain RTT
+// would exceed the budget are rejected, and the latency-aware ranking runs
+// over the survivors. When nothing fits the budget it falls back to cloud
+// offload — the lowest-RTT cloud site, if the hint permits clouds —
+// and as a last resort places best-effort at the minimum-RTT candidate.
+// Without a budget it behaves exactly like LatencyAwarePlacement.
+type QoSPlacement struct {
+	// CloudPenalty biases ties against clouds (0 = DefaultCloudPenalty).
+	CloudPenalty time.Duration
+}
+
+// Name implements Placement.
+func (QoSPlacement) Name() string { return "qos" }
+
+func (QoSPlacement) usesRTT() {}
+
+// Pick implements Placement.
+func (p QoSPlacement) Pick(cands []StationInfo, hint PlacementHint) (string, bool) {
+	la := LatencyAwarePlacement{CloudPenalty: p.CloudPenalty}
+	budget := hint.MaxRTT
+	if budget <= 0 {
+		return la.Pick(cands, hint)
+	}
+	pool := cands
+	if !hint.AllowCloud {
+		pool = edgeOnly(cands)
+	}
+	var fit []StationInfo
+	for _, c := range pool {
+		if c.RTTKnown && c.RTTToClient <= budget {
+			fit = append(fit, c)
+		}
+	}
+	if len(fit) > 0 {
+		return la.Pick(fit, PlacementHint{AllowCloud: true})
+	}
+	if hint.AllowCloud {
+		// Budget unreachable at the edge: offload to the closest cloud.
+		var clouds []StationInfo
+		for _, c := range cands {
+			if c.Cloud {
+				clouds = append(clouds, c)
+			}
+		}
+		if len(clouds) > 0 {
+			return la.Pick(clouds, PlacementHint{AllowCloud: true})
+		}
+	}
+	return la.Pick(pool, PlacementHint{AllowCloud: true})
+}
+
+// placementCatalog maps registry names to constructors. RoundRobin is
+// stateful, hence fresh instances rather than shared values.
+var placementCatalog = map[string]func() Placement{
+	"client-local":  func() Placement { return ClientLocalPlacement{} },
+	"least-loaded":  func() Placement { return LeastLoadedPlacement{} },
+	"spread":        func() Placement { return SpreadPlacement{} },
+	"round-robin":   func() Placement { return &RoundRobinPlacement{} },
+	"sharing-first": func() Placement { return SharingFirstPlacement{} },
+	"cloud-first":   func() Placement { return CloudFirstPlacement{} },
+	"latency-aware": func() Placement { return LatencyAwarePlacement{} },
+	"qos":           func() Placement { return QoSPlacement{} },
+}
+
+// PlacementFor resolves a policy name (as accepted by the gnf-manager /
+// gnf-demo -placement flags and scenario "placement" field) to a fresh
+// policy instance.
+func PlacementFor(name string) (Placement, bool) {
+	ctor, ok := placementCatalog[name]
+	if !ok {
+		return nil, false
+	}
+	return ctor(), true
+}
+
+// PlacementNames lists the registered policy names, sorted.
+func PlacementNames() []string {
+	out := make([]string, 0, len(placementCatalog))
+	for name := range placementCatalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

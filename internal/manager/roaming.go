@@ -5,6 +5,7 @@ import (
 
 	"gnf/internal/agent"
 	"gnf/internal/clock"
+	"gnf/internal/topology"
 )
 
 // RegisterClient makes a client known to the manager before any agent
@@ -99,6 +100,11 @@ func (m *Manager) DetachChain(client, chainName string) error {
 	station := rec.deployedOn[chainName]
 	delete(rec.chains, chainName)
 	delete(rec.deployedOn, chainName)
+	if exists {
+		// A window must not outlive its chain: a later chain attached under
+		// the same name would silently inherit it.
+		m.unscheduleLocked(client, chainName)
+	}
 	lastOffloaded := rec.offload != "" && len(rec.chains) == 0
 	steerOn := rec.steerOn
 	if lastOffloaded {
@@ -191,40 +197,82 @@ func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 }
 
 // reconcileClient migrates the client's chains until every one of them
-// runs on the client's current station. Migrations for one client are
+// satisfies the client's current position. Migrations for one client are
 // serialised on rec.migMu, and the target station is re-read after every
 // migration — rapid successive handoffs therefore converge on the latest
 // station instead of racing duplicate deployments.
+//
+// By default every chain follows the client to its station (the paper's
+// roaming contract). With an RTT-aware placement policy and a topology
+// graph installed, a chain carrying a MaxRTT budget may instead *stay* on
+// its old station while that station still meets the budget from the
+// client's new position; only when the topology makes the old station
+// violate the budget is the chain re-placed, through the policy.
 func (m *Manager) reconcileClient(client string, rec *clientRec) {
 	rec.migMu.Lock()
 	defer rec.migMu.Unlock()
+	// Chains the stay-rule accepted or a self-targeted re-place settled;
+	// skipping them keeps the loop convergent. Reset on handoff: a new
+	// client station re-evaluates every budget.
+	settled := make(map[string]bool)
+	settledAt := ""
 	for {
 		m.mu.Lock()
 		target := rec.station
+		if target != settledAt {
+			settled, settledAt = make(map[string]bool), target
+		}
+		qos := m.topo != nil
+		if _, aware := m.placement.(rttAware); !aware {
+			qos = false
+		}
 		var spec ChainSpec
 		from := ""
 		found := false
 		if target != "" {
 			for name, s := range rec.chains {
-				if at := rec.deployedOn[name]; at != "" && at != target {
-					spec, from, found = s, at, true
-					break
+				at := rec.deployedOn[name]
+				if at == "" || at == target || settled[name] {
+					continue
 				}
+				if qos && m.withinBudgetLocked(s, target, at) {
+					continue // the old station still meets the chain's budget
+				}
+				spec, from, found = s, at, true
+				break
 			}
 		}
 		strategy := m.strategy
 		m.mu.Unlock()
 		if !found {
-			// Converged: every chain serves at the client's station. Stage
+			// Converged: every chain serves its client within policy. Stage
 			// standbys for the predicted next handoff while still holding
 			// the migration lock, so a prewarm never races a migration.
 			m.maybePrewarm(client, rec)
 			return
 		}
-		rep := m.migrateChain(client, spec, from, target, strategy)
+		to := target
+		if qos && spec.MaxRTT() > 0 {
+			// Budget violated: re-place through the policy. The client's
+			// station is the usual answer (RTT 0), but a candidate that
+			// fits the budget may win on the policy's own ranking.
+			if picked, ok := m.place(PlacementHint{
+				Client: client, Chain: spec.Name,
+				Prefer: target, ClientAt: target,
+				MaxRTT:       spec.MaxRTT(),
+				ConfigHashes: chainConfigHashes(spec),
+			}); ok {
+				to = picked
+			}
+		}
+		if to == from {
+			settled[spec.Name] = true
+			continue
+		}
+		rep := m.migrateChain(client, spec, from, to, strategy)
 		m.mu.Lock()
 		if rep.Err == "" {
-			rec.deployedOn[spec.Name] = target
+			rec.deployedOn[spec.Name] = to
 		}
 		m.mu.Unlock()
 		m.recordMigration(rep)
@@ -232,6 +280,18 @@ func (m *Manager) reconcileClient(client string, rec *clientRec) {
 			return // avoid a hot loop on persistent failure
 		}
 	}
+}
+
+// withinBudgetLocked reports whether hosting the chain at `at` keeps its
+// predicted RTT from the client's station within the chain's MaxRTT
+// budget. Callers hold m.mu.
+func (m *Manager) withinBudgetLocked(spec ChainSpec, clientAt, at string) bool {
+	budget := spec.MaxRTT()
+	if budget <= 0 || m.topo == nil {
+		return false
+	}
+	rtt, ok := m.topo.RTT(topology.StationID(clientAt), topology.StationID(at))
+	return ok && rtt <= budget
 }
 
 // MigrateChain moves one chain between stations on demand (the UI's manual

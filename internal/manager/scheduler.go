@@ -38,11 +38,15 @@ type schedule struct {
 	chain   string
 	window  Window
 	enabled *bool // last state pushed to the agent (nil = unknown)
+	dropped bool  // unregistered (detach/Unschedule); never apply again
 }
 
 // Schedule registers an activation window for an attached chain. The
 // window takes effect on the next EvaluateSchedules pass (the ticker in
 // RunScheduler, or a manual call from tests/virtual-clock sims).
+// Re-registering a window for the same (client, chain) replaces the old
+// one — two live windows for one chain would fight each other, flapping
+// the chain on every evaluation pass.
 func (m *Manager) Schedule(client, chainName string, w Window) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -53,8 +57,45 @@ func (m *Manager) Schedule(client, chainName string, w Window) error {
 	if _, ok := rec.chains[chainName]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
 	}
+	for i, s := range m.schedules {
+		if s.client == client && s.chain == chainName {
+			// Retire the old entry rather than mutating it: an in-flight
+			// EvaluateSchedules pass may hold a pointer to it, and must not
+			// apply the replaced window's transition.
+			s.dropped = true
+			m.schedules[i] = &schedule{client: client, chain: chainName, window: w}
+			return nil
+		}
+	}
 	m.schedules = append(m.schedules, &schedule{client: client, chain: chainName, window: w})
 	return nil
+}
+
+// Unschedule drops the activation window of a (client, chain) pair,
+// reporting whether one was registered. The chain keeps whatever enabled
+// state the last evaluation left it in.
+func (m *Manager) Unschedule(client, chainName string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.unscheduleLocked(client, chainName)
+}
+
+// unscheduleLocked removes the pair's window and marks it dropped so an
+// in-flight EvaluateSchedules pass holding a pointer to it cannot apply
+// it anymore. Callers hold m.mu.
+func (m *Manager) unscheduleLocked(client, chainName string) bool {
+	kept := m.schedules[:0]
+	found := false
+	for _, s := range m.schedules {
+		if s.client == client && s.chain == chainName {
+			s.dropped = true
+			found = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	m.schedules = kept
+	return found
 }
 
 // Schedules lists registered windows as (client, chain, window) triples,
@@ -91,7 +132,7 @@ func (m *Manager) EvaluateSchedules() int {
 	now := m.clk.Now()
 	type action struct {
 		sched  *schedule
-		target string
+		rec    *clientRec
 		chain  string
 		enable bool
 	}
@@ -106,18 +147,34 @@ func (m *Manager) EvaluateSchedules() int {
 		if !ok {
 			continue
 		}
-		station := rec.deployedOn[s.chain]
-		if station == "" {
+		if rec.deployedOn[s.chain] == "" {
 			continue
 		}
-		actions = append(actions, action{sched: s, target: station, chain: s.chain, enable: want})
+		actions = append(actions, action{sched: s, rec: rec, chain: s.chain, enable: want})
 	}
 	m.mu.Unlock()
 
 	applied := 0
 	for _, a := range actions {
-		h, err := m.agentFor(a.target)
+		// Serialise against migrations: holding the client's migration lock
+		// pins the chain's placement for the duration of the RPC, so the
+		// call can never land on a station the chain is leaving mid-flight.
+		// The placement is re-read under the lock — a migration, detach or
+		// Unschedule may have raced the snapshot above.
+		a.rec.migMu.Lock()
+		m.mu.Lock()
+		station := ""
+		if _, attached := a.rec.chains[a.chain]; attached && !a.sched.dropped {
+			station = a.rec.deployedOn[a.chain]
+		}
+		m.mu.Unlock()
+		if station == "" {
+			a.rec.migMu.Unlock()
+			continue
+		}
+		h, err := m.agentFor(station)
 		if err != nil {
+			a.rec.migMu.Unlock()
 			continue
 		}
 		method := agent.MethodDisable
@@ -125,12 +182,14 @@ func (m *Manager) EvaluateSchedules() int {
 			method = agent.MethodEnable
 		}
 		if err := h.call(method, agent.ChainRef{Chain: a.chain}, nil); err != nil {
+			a.rec.migMu.Unlock()
 			continue
 		}
 		want := a.enable
 		m.mu.Lock()
 		a.sched.enabled = &want
 		m.mu.Unlock()
+		a.rec.migMu.Unlock()
 		applied++
 	}
 	return applied
@@ -154,27 +213,23 @@ func (m *Manager) RunScheduler(interval time.Duration, stop <-chan struct{}) {
 
 // LeastLoadedStation picks the connected station with the lowest reported
 // CPU load, excluding the given one; ok is false when no candidate exists.
-// This is the placement policy EvacuateStation uses.
+// It applies the same (stale, CPU, memory, name) ordering as the
+// LeastLoadedPlacement policy: a station that has never reported must not
+// win with a phantom CPU of zero while stations with known load exist —
+// that is exactly how an evacuation used to dump every chain onto an
+// unknown-load box.
 func (m *Manager) LeastLoadedStation(exclude string) (string, bool) {
-	m.mu.Lock()
-	handles := make([]*AgentHandle, 0, len(m.agents))
-	for st, h := range m.agents {
-		if st != exclude {
-			handles = append(handles, h)
+	cands := m.StationInfos(exclude)
+	if len(cands) == 0 {
+		return "", false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if lessLoaded(c, best) {
+			best = c
 		}
 	}
-	m.mu.Unlock()
-	best, ok := "", false
-	bestCPU := 0.0
-	// Sort for deterministic tie-break.
-	sort.Slice(handles, func(i, j int) bool { return handles[i].Station < handles[j].Station })
-	for _, h := range handles {
-		rep, _ := h.LastReport()
-		if !ok || rep.Usage.CPUPercent < bestCPU {
-			best, bestCPU, ok = h.Station, rep.Usage.CPUPercent, true
-		}
-	}
-	return best, ok
+	return best.Station, true
 }
 
 // EvacuateStation migrates every chain deployed on station elsewhere:
@@ -212,6 +267,8 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 			fallback, ok := m.place(PlacementHint{
 				Client: j.client, Chain: j.spec.Name,
 				ConfigHashes: chainConfigHashes(j.spec),
+				ClientAt:     station,
+				MaxRTT:       j.spec.MaxRTT(),
 			}, station)
 			if !ok {
 				return reports, fmt.Errorf("%w: no station to evacuate %s/%s to",

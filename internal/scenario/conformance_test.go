@@ -23,6 +23,7 @@ func TestScenarioConformance(t *testing.T) {
 	required := map[string]bool{
 		"roaming": false, "failover": false, "chaining": false,
 		"cloud-offload": false, "density": false, "sharing": false,
+		"scheduling": false, "qos": false,
 	}
 	for _, sp := range specs {
 		if _, ok := required[sp.Name]; ok {

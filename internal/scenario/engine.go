@@ -65,6 +65,13 @@ type Result struct {
 	// PoolReplicas maps each station to the total replicas of its
 	// referenced shared instances at scenario end.
 	PoolReplicas map[string]int `json:"pool_replicas,omitempty"`
+	// ScheduleTransitions counts chain enable/disable transitions made by
+	// eval-schedules steps over the whole run.
+	ScheduleTransitions int `json:"schedule_transitions,omitempty"`
+	// ChainRTTs maps "client/chain" to the predicted client<->chain
+	// round-trip at scenario end, over the topology graph (only when the
+	// scenario declares one).
+	ChainRTTs map[string]Duration `json:"chain_rtts,omitempty"`
 	// VirtualElapsed is simulated time consumed by the run (rendered as a
 	// duration string, e.g. "12s", like every duration in scenario files).
 	VirtualElapsed Duration `json:"virtual_elapsed"`
@@ -79,14 +86,16 @@ func (r *Result) Passed() bool { return len(r.Failures) == 0 }
 // auto-advancing virtual clock. Engines are single-use: Run may be called
 // once.
 type Engine struct {
-	spec *Spec
-	sys  *core.System
-	clk  *clock.Virtual
+	spec  *Spec
+	sys   *core.System
+	clk   *clock.Virtual
+	graph *topology.Graph // station graph (nil without a topology block)
 
-	start    time.Time
-	handoffs int
-	migSeen  int // migration reports already folded into the canonical log
-	result   *Result
+	start      time.Time
+	handoffs   int
+	migSeen    int // migration reports already folded into the canonical log
+	schedTrans int // transitions applied by eval-schedules steps
+	result     *Result
 }
 
 // New validates the spec and brings the deployment up.
@@ -118,18 +127,22 @@ func New(sp *Spec) (*Engine, error) {
 		cfg.Stations = append(cfg.Stations, sc)
 	}
 	for _, cl := range sp.Clouds {
-		cc := core.CloudConfig{ID: topology.StationID(cl.ID)}
-		if cl.DelayMs > 0 || cl.RateBps > 0 {
-			cc.WAN = netem.LinkParams{
-				Delay:   time.Duration(cl.DelayMs) * time.Millisecond,
-				RateBps: cl.RateBps,
-			}
-		}
-		cfg.Clouds = append(cfg.Clouds, cc)
+		cfg.Clouds = append(cfg.Clouds, core.CloudConfig{
+			ID:  topology.StationID(cl.ID),
+			WAN: cloudWAN(cl),
+		})
 	}
+	graph := buildGraph(sp)
+	cfg.Topology = graph
 	sys, clk, err := core.NewVirtualSystem(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sp.Placement != "" {
+		// Validate() already vetted the name.
+		if p, ok := manager.PlacementFor(sp.Placement); ok {
+			sys.Manager.SetPlacement(p)
+		}
 	}
 	if sp.Autoscaler != nil {
 		sys.Manager.SetAutoscalerPolicy(manager.AutoscalerPolicy{
@@ -141,13 +154,71 @@ func New(sp *Spec) (*Engine, error) {
 	if sp.Prewarm {
 		sys.Manager.SetPrewarm(true)
 	}
-	e := &Engine{spec: sp, sys: sys, clk: clk, start: clk.Now()}
+	e := &Engine{spec: sp, sys: sys, clk: clk, graph: graph, start: clk.Now()}
 	sys.Topo.OnAssociation(func(ev topology.AssociationEvent) {
 		if ev.From != "" && ev.To != "" {
 			e.handoffs++
 		}
 	})
 	return e, nil
+}
+
+// buildGraph turns the spec's topology block into a station graph; nil
+// without one. Cloud sites always join as WAN spokes — one link to every
+// station, shaped exactly like the tunnels AddCloudSite wires.
+func buildGraph(sp *Spec) *topology.Graph {
+	tp := sp.Topology
+	if tp == nil {
+		return nil
+	}
+	ids := make([]topology.StationID, 0, len(sp.Stations))
+	for _, st := range sp.Stations {
+		ids = append(ids, topology.StationID(st.ID))
+	}
+	hop := time.Duration(tp.HopDelayMs * float64(time.Millisecond))
+	var g *topology.Graph
+	switch tp.Preset {
+	case "ring":
+		g = topology.Ring(ids, hop, tp.HopRateBps)
+	case "tree":
+		g = topology.Tree(ids, hop, tp.HopRateBps)
+	case "fat-edge":
+		g = topology.FatEdge(ids, hop, tp.HopRateBps)
+	default:
+		g = topology.NewGraph()
+		for _, id := range ids {
+			g.AddNode(id)
+		}
+	}
+	for _, l := range tp.Links {
+		g.SetLink(topology.Link{
+			A: topology.StationID(l.A), B: topology.StationID(l.B),
+			Delay:   time.Duration(l.DelayMs * float64(time.Millisecond)),
+			RateBps: l.RateBps,
+		})
+	}
+	for _, cl := range sp.Clouds {
+		wan := cloudWAN(cl)
+		site := topology.StationID(cl.ID)
+		g.AddNode(site)
+		for _, st := range ids {
+			g.SetLink(topology.Link{A: site, B: st, Delay: wan.Delay, RateBps: wan.RateBps})
+		}
+	}
+	return g
+}
+
+// cloudWAN resolves one cloud site's WAN shape — the single source both
+// the core tunnels and the graph's cloud spokes are built from, so the
+// RTT expectations can never diverge from the wired link cost.
+func cloudWAN(cl Cloud) netem.LinkParams {
+	if cl.DelayMs > 0 || cl.RateBps > 0 {
+		return netem.LinkParams{
+			Delay:   time.Duration(cl.DelayMs) * time.Millisecond,
+			RateBps: cl.RateBps,
+		}
+	}
+	return core.DefaultWAN()
 }
 
 // hysteresis returns the association stickiness in metres.
@@ -173,7 +244,7 @@ func clientAddr(c Client, i int) (packet.MAC, packet.IP, error) {
 }
 
 func toChainSpec(ch Chain) manager.ChainSpec {
-	spec := manager.ChainSpec{Name: ch.Name}
+	spec := manager.ChainSpec{Name: ch.Name, MaxRTTMs: ch.MaxRTTMs}
 	for i, fn := range ch.Functions {
 		name := fn.Name
 		if name == "" {
@@ -350,8 +421,11 @@ func (e *Engine) step(st Step) error {
 		}
 		return mgr.Schedule(st.Client, st.ChainName, w)
 	case ActEvalSchedules:
-		mgr.EvaluateSchedules()
+		e.schedTrans += mgr.EvaluateSchedules()
 		return nil
+	case ActEvacuate:
+		_, err := mgr.EvacuateStation(st.Station)
+		return err
 	case ActSetStrategy:
 		mgr.SetStrategy(manager.Strategy(st.Strategy))
 		return nil
@@ -522,6 +596,14 @@ func (e *Engine) finish() {
 		}
 	}
 
+	res.ScheduleTransitions = e.schedTrans
+	if exp.MaxScheduleTransitions > 0 && res.ScheduleTransitions > exp.MaxScheduleTransitions {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("schedule transitions: got %d, want <= %d (flapping)",
+				res.ScheduleTransitions, exp.MaxScheduleTransitions))
+	}
+	e.checkChainRTTs()
+
 	allowed := map[string]bool{}
 	for _, k := range exp.AllowViolations {
 		allowed[k] = true
@@ -605,6 +687,45 @@ func (e *Engine) finish() {
 		if got != want {
 			res.Failures = append(res.Failures,
 				fmt.Sprintf("chain %s enabled: got %v, want %v", key, got, want))
+		}
+	}
+}
+
+// checkChainRTTs predicts every attached chain's client<->chain
+// round-trip over the topology graph at scenario end and enforces the
+// expectation block's global max_rtt_ms cap plus each chain's own budget.
+// Without a topology block this is a no-op.
+func (e *Engine) checkChainRTTs() {
+	if e.graph == nil {
+		return
+	}
+	res, exp := e.result, e.spec.Expect
+	for _, pl := range e.sys.Manager.Placements() {
+		at := res.FinalStations[pl.Client]
+		if at == "" || pl.Station == "" {
+			continue // out of coverage, or never deployed: no RTT to predict
+		}
+		key := pl.Client + "/" + pl.Chain
+		rtt, ok := e.graph.RTT(topology.StationID(at), topology.StationID(pl.Station))
+		if !ok {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("chain rtt %s: no path between %s and %s", key, at, pl.Station))
+			continue
+		}
+		if res.ChainRTTs == nil {
+			res.ChainRTTs = map[string]Duration{}
+		}
+		res.ChainRTTs[key] = Duration(rtt)
+		ms := float64(rtt.Microseconds()) / 1000
+		if exp.MaxChainRTTMs > 0 && ms > exp.MaxChainRTTMs {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("chain rtt %s: got %.3fms, want <= %.3fms", key, ms, exp.MaxChainRTTMs))
+		}
+		for _, spec := range e.sys.Manager.Chains(pl.Client) {
+			if spec.Name == pl.Chain && spec.MaxRTTMs > 0 && ms > spec.MaxRTTMs {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("chain rtt %s: got %.3fms, exceeds its %.3fms budget", key, ms, spec.MaxRTTMs))
+			}
 		}
 	}
 }

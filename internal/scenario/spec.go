@@ -21,6 +21,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"gnf/internal/manager"
 )
 
 // Duration is a time.Duration that (un)marshals as a Go duration string
@@ -90,6 +92,12 @@ type Function struct {
 type Chain struct {
 	Name      string     `json:"name"`
 	Functions []Function `json:"functions"`
+	// MaxRTTMs is the chain's QoS budget: the largest predicted
+	// client<->chain round-trip (milliseconds) tolerated. Requires a
+	// topology block; QoS-aware placement rejects over-budget candidates,
+	// roaming lets the chain lag behind its client while in budget, and
+	// the engine fails the run if the budget is violated at scenario end.
+	MaxRTTMs float64 `json:"max_rtt_ms,omitempty"`
 }
 
 // Client is one mobile client. MAC and IP addressing is assigned
@@ -169,7 +177,35 @@ const (
 	ActSettle         = "settle"          // wait for in-flight work (implicit after every step)
 	ActTraffic        = "traffic"         // Client sends Frames frames over Flows flows
 	ActAutoscale      = "autoscale"       // run one manager autoscaler evaluation
+	ActEvacuate       = "evacuate"        // move every chain off Station (maintenance)
 )
+
+// TopoLink is one declared inter-station link of the topology block.
+type TopoLink struct {
+	A       string  `json:"a"`
+	B       string  `json:"b"`
+	DelayMs float64 `json:"delay_ms"`
+	RateBps int64   `json:"rate_bps,omitempty"`
+}
+
+// Topology declares the station graph: how the stations interconnect and
+// at what cost. Either a preset generates the links (over the stations in
+// declaration order) or they are listed explicitly — or both, with
+// explicit links overlaying the preset. Cloud sites always join as WAN
+// spokes (one link to every station, shaped like their tunnels), so they
+// never appear in the links list. The engine wires each edge-to-edge link
+// as a shaped netem veth and hands the graph to the Manager for RTT-aware
+// placement.
+type Topology struct {
+	// Preset: "ring", "tree" (complete binary, rooted at the first
+	// station) or "fat-edge" (full mesh).
+	Preset string `json:"preset,omitempty"`
+	// HopDelayMs / HopRateBps shape every preset-generated link.
+	HopDelayMs float64 `json:"hop_delay_ms,omitempty"`
+	HopRateBps int64   `json:"hop_rate_bps,omitempty"`
+	// Links declares (or overrides) individual station-to-station links.
+	Links []TopoLink `json:"links,omitempty"`
+}
 
 // AutoscalerSpec configures the manager's shared-instance autoscaler for
 // the run; autoscale script actions evaluate it.
@@ -215,6 +251,15 @@ type Expect struct {
 	// MinPrewarmed requires at least this many migrations to have landed
 	// on a prewarmed standby (prewarm spec flag).
 	MinPrewarmed int `json:"min_prewarmed,omitempty"`
+	// MaxChainRTTMs caps every attached chain's predicted client<->chain
+	// round-trip (milliseconds) at scenario end, computed over the
+	// topology graph; 0 means no cap. Per-chain max_rtt_ms budgets are
+	// checked on top of this, whether or not a cap is set.
+	MaxChainRTTMs float64 `json:"max_rtt_ms,omitempty"`
+	// MaxScheduleTransitions bounds the total chain enable/disable
+	// transitions performed by eval-schedules steps — the no-flapping
+	// property of activation windows; 0 means no bound.
+	MaxScheduleTransitions int `json:"max_schedule_transitions,omitempty"`
 	// AllowViolations lists audit violation kinds tolerated at scenario
 	// end (e.g. disabled-chain when a schedule window is closed).
 	AllowViolations []string `json:"allow_violations,omitempty"`
@@ -233,7 +278,11 @@ type Spec struct {
 	// Prewarm enables predictive standby staging (live strategy only): the
 	// manager trains a Markov next-cell model on the run's handoffs and
 	// pre-deploys disabled, state-synced chains at predicted stations.
-	Prewarm    bool            `json:"prewarm,omitempty"`
+	Prewarm bool `json:"prewarm,omitempty"`
+	// Placement selects the manager's placement policy by registry name
+	// (manager.PlacementFor); empty keeps the client-local default.
+	Placement  string          `json:"placement,omitempty"`
+	Topology   *Topology       `json:"topology,omitempty"`
 	Autoscaler *AutoscalerSpec `json:"autoscaler,omitempty"`
 	Stations   []Station       `json:"stations"`
 	Clouds     []Cloud         `json:"clouds,omitempty"`
@@ -281,6 +330,37 @@ func (sp *Spec) Validate() error {
 		}
 		sites[cl.ID] = true
 	}
+	if sp.Placement != "" {
+		if _, ok := manager.PlacementFor(sp.Placement); !ok {
+			return fmt.Errorf("scenario %s: unknown placement %q (want one of %v)",
+				sp.Name, sp.Placement, manager.PlacementNames())
+		}
+	}
+	if tp := sp.Topology; tp != nil {
+		switch tp.Preset {
+		case "ring", "tree", "fat-edge":
+			if tp.HopDelayMs <= 0 {
+				return fmt.Errorf("scenario %s: topology preset %q needs hop_delay_ms > 0", sp.Name, tp.Preset)
+			}
+		case "":
+			if len(tp.Links) == 0 {
+				return fmt.Errorf("scenario %s: topology needs a preset or links", sp.Name)
+			}
+		default:
+			return fmt.Errorf("scenario %s: unknown topology preset %q (want ring, tree or fat-edge)", sp.Name, tp.Preset)
+		}
+		for i, l := range tp.Links {
+			if !stations[l.A] || !stations[l.B] {
+				return fmt.Errorf("scenario %s: topology link %d references unknown station (%q, %q)", sp.Name, i, l.A, l.B)
+			}
+			if l.A == l.B {
+				return fmt.Errorf("scenario %s: topology link %d links %s to itself", sp.Name, i, l.A)
+			}
+			if l.DelayMs < 0 {
+				return fmt.Errorf("scenario %s: topology link %d has negative delay", sp.Name, i)
+			}
+		}
+	}
 	clients := map[string]bool{}
 	for _, c := range sp.Clients {
 		if c.ID == "" {
@@ -291,6 +371,11 @@ func (sp *Spec) Validate() error {
 		}
 		if len(c.Chains) > 0 && c.At == nil {
 			return fmt.Errorf("scenario %s: client %s declares chains but no initial position (\"at\"); use the attach-chain action for late joiners", sp.Name, c.ID)
+		}
+		for _, ch := range c.Chains {
+			if err := validChainBudget(sp, ch); err != nil {
+				return err
+			}
 		}
 		clients[c.ID] = true
 	}
@@ -305,7 +390,8 @@ func (sp *Spec) Validate() error {
 		case ActMove, ActAttach, ActDetach, ActAttachChain, ActDetachChain,
 			ActMigrate, ActWaypoint, ActKillStation, ActRestartStation,
 			ActCheckFailures, ActOffload, ActRecall, ActSchedule,
-			ActEvalSchedules, ActSetStrategy, ActSettle, ActTraffic, ActAutoscale:
+			ActEvalSchedules, ActSetStrategy, ActSettle, ActTraffic,
+			ActAutoscale, ActEvacuate:
 		default:
 			return fmt.Errorf("scenario %s: script step %d has unknown action %q", sp.Name, i, st.Action)
 		}
@@ -314,9 +400,15 @@ func (sp *Spec) Validate() error {
 				sp.Name, i, st.Action, st.Client)
 		}
 		switch st.Action {
-		case ActKillStation, ActRestartStation:
+		case ActKillStation, ActRestartStation, ActEvacuate:
 			if !stations[st.Station] {
 				return fmt.Errorf("scenario %s: step %d references unknown station %q", sp.Name, i, st.Station)
+			}
+		case ActAttachChain:
+			if st.Chain != nil {
+				if err := validChainBudget(sp, *st.Chain); err != nil {
+					return err
+				}
 			}
 		case ActMigrate:
 			if !stations[st.Station] && !sites[st.Station] {
@@ -360,6 +452,18 @@ func (sp *Spec) Validate() error {
 		if as.MaxReplicas < 0 {
 			return fmt.Errorf("scenario %s: autoscaler max_replicas must be >= 0", sp.Name)
 		}
+	}
+	return nil
+}
+
+// validChainBudget rejects malformed QoS budgets: negative, or declared
+// without the topology that would give them meaning.
+func validChainBudget(sp *Spec, ch Chain) error {
+	if ch.MaxRTTMs < 0 {
+		return fmt.Errorf("scenario %s: chain %s has negative max_rtt_ms", sp.Name, ch.Name)
+	}
+	if ch.MaxRTTMs > 0 && sp.Topology == nil {
+		return fmt.Errorf("scenario %s: chain %s declares max_rtt_ms but the scenario has no topology block", sp.Name, ch.Name)
 	}
 	return nil
 }

@@ -1,0 +1,143 @@
+package topology_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"gnf/internal/topology"
+)
+
+const hop = 5 * time.Millisecond
+
+func ringIDs(n int) []topology.StationID {
+	ids := make([]topology.StationID, n)
+	for i := range ids {
+		ids[i] = topology.StationID(string(rune('a' + i)))
+	}
+	return ids
+}
+
+func TestRingLatencyAndPath(t *testing.T) {
+	ids := ringIDs(6) // a-b-c-d-e-f-a
+	g := topology.Ring(ids, hop, 1_000_000_000)
+
+	if d, ok := g.Latency("a", "d"); !ok || d != 3*hop {
+		t.Fatalf("a->d latency = %v, %v (want 3 hops)", d, ok)
+	}
+	if d, ok := g.Latency("a", "f"); !ok || d != hop {
+		t.Fatalf("a->f latency = %v, %v (want 1 hop around the back)", d, ok)
+	}
+	if rtt, ok := g.RTT("a", "c"); !ok || rtt != 4*hop {
+		t.Fatalf("a<->c rtt = %v, %v", rtt, ok)
+	}
+	if d, ok := g.Latency("c", "c"); !ok || d != 0 {
+		t.Fatalf("self latency = %v, %v", d, ok)
+	}
+	path, ok := g.Path("a", "c")
+	if !ok || !reflect.DeepEqual(path, []topology.StationID{"a", "b", "c"}) {
+		t.Fatalf("path a->c = %v, %v", path, ok)
+	}
+	if len(g.Links()) != 6 {
+		t.Fatalf("ring of 6 has %d links, want 6", len(g.Links()))
+	}
+}
+
+func TestIncrementalRelaxOnNewLink(t *testing.T) {
+	g := topology.Ring(ringIDs(6), hop, 0)
+	// A 2ms shortcut a-d must improve every pair routing through it.
+	g.SetLink(topology.Link{A: "a", B: "d", Delay: 2 * time.Millisecond})
+	if d, _ := g.Latency("a", "d"); d != 2*time.Millisecond {
+		t.Fatalf("a->d = %v after shortcut", d)
+	}
+	// b->d: direct ring 2 hops (10ms) vs b-a (5) + shortcut (2) = 7ms.
+	if d, _ := g.Latency("b", "d"); d != 7*time.Millisecond {
+		t.Fatalf("b->d = %v, want 7ms via shortcut", d)
+	}
+	// Speeding the shortcut up relaxes further.
+	g.SetLink(topology.Link{A: "a", B: "d", Delay: time.Millisecond})
+	if d, _ := g.Latency("b", "d"); d != 6*time.Millisecond {
+		t.Fatalf("b->d = %v after faster shortcut", d)
+	}
+}
+
+func TestRebuildOnSlowdownAndRemoval(t *testing.T) {
+	g := topology.Ring(ringIDs(6), hop, 0)
+	g.SetLink(topology.Link{A: "a", B: "d", Delay: 2 * time.Millisecond})
+	// Slowing the shortcut past the ring path must restore ring routing.
+	g.SetLink(topology.Link{A: "a", B: "d", Delay: 50 * time.Millisecond})
+	if d, _ := g.Latency("a", "d"); d != 3*hop {
+		t.Fatalf("a->d = %v after slowdown, want ring path", d)
+	}
+	g.RemoveLink("a", "d")
+	if d, _ := g.Latency("a", "d"); d != 3*hop {
+		t.Fatalf("a->d = %v after removal", d)
+	}
+	// Cutting the ring turns it into a line: a->f now goes the long way.
+	g.RemoveLink("a", "f")
+	if d, _ := g.Latency("a", "f"); d != 5*hop {
+		t.Fatalf("a->f = %v after ring cut, want 5 hops", d)
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g := topology.NewGraph()
+	g.SetLink(topology.Link{A: "a", B: "b", Delay: hop})
+	g.AddNode("island")
+	if _, ok := g.Latency("a", "island"); ok {
+		t.Fatal("latency to a disconnected node must not resolve")
+	}
+	if _, ok := g.Path("a", "island"); ok {
+		t.Fatal("path to a disconnected node must not resolve")
+	}
+	if _, ok := g.Latency("a", "ghost"); ok {
+		t.Fatal("latency to an unknown node must not resolve")
+	}
+}
+
+func TestTreeAndFatEdgePresets(t *testing.T) {
+	ids := ringIDs(7) // binary tree: a(b(d,e), c(f,g))
+	tr := topology.Tree(ids, hop, 0)
+	if d, _ := tr.Latency("a", "g"); d != 2*hop {
+		t.Fatalf("tree root->leaf = %v", d)
+	}
+	if d, _ := tr.Latency("d", "g"); d != 4*hop {
+		t.Fatalf("tree leaf->leaf across root = %v", d)
+	}
+	fe := topology.FatEdge(ids, hop, 0)
+	for _, b := range ids[1:] {
+		if d, _ := fe.Latency(ids[0], b); d != hop {
+			t.Fatalf("fat-edge %s->%s = %v, want one hop", ids[0], b, d)
+		}
+	}
+	if got := len(fe.Links()); got != 21 {
+		t.Fatalf("fat-edge of 7 has %d links, want 21", got)
+	}
+}
+
+// TestConcurrentAccess interleaves mutation and queries; run under -race.
+func TestConcurrentAccess(t *testing.T) {
+	g := topology.Ring(ringIDs(8), hop, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g.SetLink(topology.Link{A: "a", B: "e", Delay: time.Duration(1+(i+w)%7) * time.Millisecond})
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.Latency("b", "f")
+				g.Path("c", "g")
+			}
+		}()
+	}
+	wg.Wait()
+	if _, ok := g.Latency("a", "e"); !ok {
+		t.Fatal("graph lost connectivity under concurrent churn")
+	}
+}
