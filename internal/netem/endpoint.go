@@ -15,9 +15,10 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gnf/internal/clock"
-	"time"
+	"gnf/internal/packet"
 )
 
 // Errors returned by endpoints.
@@ -32,6 +33,10 @@ const DefaultMTU = 1514
 
 // defaultQueueLen is the per-direction transmit queue depth (frames).
 const defaultQueueLen = 512
+
+// deliverBatchSize caps how many queued frames one delivery pass hands to
+// a batch receiver.
+const deliverBatchSize = 256
 
 // LinkParams model one direction of a link.
 type LinkParams struct {
@@ -54,11 +59,12 @@ type Endpoint struct {
 
 	peer *Endpoint
 
-	mu     sync.Mutex
-	recv   func(frame []byte)
-	queue  chan []byte
-	closed bool
-	done   chan struct{}
+	mu        sync.Mutex
+	recv      func(frame []byte)
+	recvBatch func(frames [][]byte)
+	ring      *frameRing
+	closed    bool
+	done      chan struct{}
 
 	txFrames, rxFrames atomic.Uint64
 	txBytes, rxBytes   atomic.Uint64
@@ -115,12 +121,12 @@ func newEndpoint(name string, clk clock.Clock, link LinkParams, seed int64) *End
 		link.QueueLen = defaultQueueLen
 	}
 	return &Endpoint{
-		name:  name,
-		clk:   clk,
-		link:  link,
-		rng:   rand.New(rand.NewSource(seed)),
-		queue: make(chan []byte, link.QueueLen),
-		done:  make(chan struct{}),
+		name: name,
+		clk:  clk,
+		link: link,
+		rng:  rand.New(rand.NewSource(seed)),
+		ring: newFrameRing(link.QueueLen),
+		done: make(chan struct{}),
 	}
 }
 
@@ -135,21 +141,38 @@ func (e *Endpoint) SetReceiver(fn func(frame []byte)) {
 	e.mu.Unlock()
 }
 
-// Send transmits a frame toward the peer. It never blocks: when the
-// transmit queue is full the frame is dropped (tail-drop), as a real qdisc
-// would.
+// SetBatchReceiver installs a receiver invoked with a whole batch of
+// arriving frames when the link is unshaped (no delay, no rate limit) and
+// more than zero frames are queued. The frames — and the batch slice
+// itself — are only valid for the duration of the call; the receiver owns
+// the frame buffers but must not retain the slice. Endpoints with a batch
+// receiver fall back to the per-frame receiver on shaped links, where each
+// frame carries its own serialization and propagation cost.
+func (e *Endpoint) SetBatchReceiver(fn func(frames [][]byte)) {
+	e.mu.Lock()
+	e.recvBatch = fn
+	e.mu.Unlock()
+}
+
+// Send transmits a frame toward the peer, transferring ownership of the
+// buffer. It never blocks: when the transmit queue is full the frame is
+// dropped (tail-drop), as a real qdisc would. Dropped pooled buffers are
+// recycled.
 func (e *Endpoint) Send(frame []byte) error {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
+		packet.ReturnFrame(frame)
 		return ErrClosed
 	}
 	if e.peer == nil {
+		packet.ReturnFrame(frame)
 		return ErrNoPeer
 	}
 	if len(frame) > e.link.MTU {
 		e.drops.Add(1)
+		packet.ReturnFrame(frame)
 		return ErrFrameTooBig
 	}
 	if p := e.link.LossProb; p > 0 {
@@ -158,49 +181,139 @@ func (e *Endpoint) Send(frame []byte) error {
 		e.rngM.Unlock()
 		if lost {
 			e.drops.Add(1)
+			packet.ReturnFrame(frame)
 			return nil // silently lost on the wire
 		}
 	}
-	select {
-	case e.queue <- frame:
+	n := len(frame)
+	if e.ring.push(frame) {
 		e.txFrames.Add(1)
-		e.txBytes.Add(uint64(len(frame)))
-		return nil
-	default:
+		e.txBytes.Add(uint64(n))
+	} else {
 		e.drops.Add(1)
-		return nil
+		packet.ReturnFrame(frame)
+	}
+	return nil
+}
+
+// SendBatch transmits a batch of frames, applying the same per-frame link
+// model as Send but paying the queue lock once. Ownership of every buffer
+// transfers to the endpoint. It returns the number of frames accepted onto
+// the queue.
+func (e *Endpoint) SendBatch(frames [][]byte) int {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed || e.peer == nil {
+		packet.ReturnFrames(frames)
+		return 0
+	}
+	// Apply MTU and loss per frame, compacting survivors in place so the
+	// ring sees one contiguous push.
+	kept := frames[:0]
+	for _, f := range frames {
+		if len(f) > e.link.MTU {
+			e.drops.Add(1)
+			packet.ReturnFrame(f)
+			continue
+		}
+		if p := e.link.LossProb; p > 0 {
+			e.rngM.Lock()
+			lost := e.rng.Float64() < p
+			e.rngM.Unlock()
+			if lost {
+				e.drops.Add(1)
+				packet.ReturnFrame(f)
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	pushed := e.ring.pushBatch(kept)
+	for _, f := range kept[:pushed] {
+		e.txFrames.Add(1)
+		e.txBytes.Add(uint64(len(f)))
+	}
+	for _, f := range kept[pushed:] {
+		e.drops.Add(1)
+		packet.ReturnFrame(f)
+	}
+	return pushed
+}
+
+// deliverLoop applies serialization and propagation delay, then hands
+// frames to the peer's receiver — a whole popped batch at a time when the
+// link is unshaped and the peer accepts batches, per frame otherwise.
+func (e *Endpoint) deliverLoop() {
+	scratch := make([][]byte, 0, deliverBatchSize)
+	shaped := e.link.RateBps > 0 || e.link.Delay > 0
+	for {
+		batch := e.ring.popBatch(scratch)
+		if len(batch) == 0 {
+			select {
+			case <-e.done:
+				return
+			case <-e.ring.wait():
+				continue
+			}
+		}
+		peer := e.peer
+		if shaped {
+			// Shaped links price each frame individually; batching must not
+			// change when a frame crosses the wire.
+			for _, frame := range batch {
+				if e.link.RateBps > 0 {
+					ser := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / e.link.RateBps)
+					e.clk.Sleep(ser)
+				}
+				if e.link.Delay > 0 {
+					e.clk.Sleep(e.link.Delay)
+				}
+				peer.deliverOne(frame)
+			}
+			continue
+		}
+		peer.mu.Lock()
+		batchFn, fn := peer.recvBatch, peer.recv
+		closed := peer.closed
+		peer.mu.Unlock()
+		if closed {
+			packet.ReturnFrames(batch)
+			continue
+		}
+		peer.rxFrames.Add(uint64(len(batch)))
+		for _, frame := range batch {
+			peer.rxBytes.Add(uint64(len(frame)))
+		}
+		switch {
+		case batchFn != nil:
+			batchFn(batch)
+		case fn != nil:
+			for _, frame := range batch {
+				fn(frame)
+			}
+		default:
+			packet.ReturnFrames(batch)
+		}
 	}
 }
 
-// deliverLoop applies serialization and propagation delay, then hands the
-// frame to the peer's receiver.
-func (e *Endpoint) deliverLoop() {
-	for {
-		select {
-		case <-e.done:
-			return
-		case frame := <-e.queue:
-			if e.link.RateBps > 0 {
-				ser := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / e.link.RateBps)
-				e.clk.Sleep(ser)
-			}
-			if e.link.Delay > 0 {
-				e.clk.Sleep(e.link.Delay)
-			}
-			peer := e.peer
-			peer.mu.Lock()
-			fn := peer.recv
-			closed := peer.closed
-			peer.mu.Unlock()
-			if closed {
-				continue
-			}
-			peer.rxFrames.Add(1)
-			peer.rxBytes.Add(uint64(len(frame)))
-			if fn != nil {
-				fn(frame)
-			}
-		}
+// deliverOne hands a single frame to this endpoint's receiver.
+func (e *Endpoint) deliverOne(frame []byte) {
+	e.mu.Lock()
+	fn := e.recv
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		packet.ReturnFrame(frame)
+		return
+	}
+	e.rxFrames.Add(1)
+	e.rxBytes.Add(uint64(len(frame)))
+	if fn != nil {
+		fn(frame)
+	} else {
+		packet.ReturnFrame(frame)
 	}
 }
 

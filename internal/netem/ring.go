@@ -1,0 +1,96 @@
+package netem
+
+import "sync"
+
+// frameRing is the per-direction transmit queue of an Endpoint: a bounded
+// circular buffer of frames with tail-drop on overflow. It replaces the
+// old buffered channel so the delivery goroutine can pop a whole batch
+// under one lock — the entry point of the batched dataplane — while Send
+// keeps its never-blocks contract.
+type frameRing struct {
+	mu   sync.Mutex
+	buf  [][]byte
+	head int // index of the oldest frame
+	n    int // occupied slots
+
+	// notEmpty carries a level-triggered "frames available" signal to the
+	// delivery goroutine; capacity 1, collapsing any number of pushes into
+	// one wakeup.
+	notEmpty chan struct{}
+}
+
+func newFrameRing(capacity int) *frameRing {
+	return &frameRing{
+		buf:      make([][]byte, capacity),
+		notEmpty: make(chan struct{}, 1),
+	}
+}
+
+// push appends one frame; it reports false when the ring is full
+// (tail-drop).
+func (r *frameRing) push(f []byte) bool {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = f
+	r.n++
+	r.mu.Unlock()
+	r.signal()
+	return true
+}
+
+// pushBatch appends frames under one lock acquisition and returns how many
+// fit; the remainder is the caller's to drop.
+func (r *frameRing) pushBatch(frames [][]byte) int {
+	r.mu.Lock()
+	pushed := 0
+	for _, f := range frames {
+		if r.n == len(r.buf) {
+			break
+		}
+		r.buf[(r.head+r.n)%len(r.buf)] = f
+		r.n++
+		pushed++
+	}
+	r.mu.Unlock()
+	if pushed > 0 {
+		r.signal()
+	}
+	return pushed
+}
+
+func (r *frameRing) signal() {
+	select {
+	case r.notEmpty <- struct{}{}:
+	default:
+	}
+}
+
+// popBatch moves up to cap(dst) frames into dst (oldest first) and returns
+// the filled prefix. It clears vacated slots so the ring never pins frame
+// buffers past delivery.
+func (r *frameRing) popBatch(dst [][]byte) [][]byte {
+	dst = dst[:0]
+	r.mu.Lock()
+	for r.n > 0 && len(dst) < cap(dst) {
+		dst = append(dst, r.buf[r.head])
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	r.mu.Unlock()
+	return dst
+}
+
+// wait returns the wakeup channel; receive from it when popBatch came back
+// empty. The signal is level-ish: a push racing the empty pop leaves a
+// token behind, so the sleeper always wakes.
+func (r *frameRing) wait() <-chan struct{} { return r.notEmpty }
+
+func (r *frameRing) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

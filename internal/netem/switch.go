@@ -286,6 +286,7 @@ func (s *Switch) attach(id PortID, ep *Endpoint, service bool) {
 		st.ports[id] = &swPort{id: id, ep: ep, service: service}
 	})
 	ep.SetReceiver(func(frame []byte) { s.input(id, frame) })
+	ep.SetBatchReceiver(func(frames [][]byte) { s.inputBatch(id, frames) })
 }
 
 // Detach removes a port and flushes FDB entries — dynamic *and* pinned —
@@ -307,6 +308,7 @@ func (s *Switch) Detach(id PortID) {
 	})
 	if detached != nil {
 		detached.ep.SetReceiver(nil)
+		detached.ep.SetBatchReceiver(nil)
 	}
 	s.fdb.flushPort(id)
 }
@@ -442,6 +444,7 @@ func (s *Switch) input(in PortID, frame []byte) {
 	defer packet.ReturnParser(p)
 	if err := p.Parse(frame); err != nil {
 		s.dropped.Inc(uint(in))
+		packet.ReturnFrame(frame)
 		return
 	}
 
@@ -462,6 +465,7 @@ func (s *Switch) input(in PortID, frame []byte) {
 	switch action, out := s.steer(in, p, st); action {
 	case ActionDrop:
 		s.dropped.Inc(uint(in))
+		packet.ReturnFrame(frame)
 		return
 	case ActionRedirect:
 		s.redirects.Inc(uint(in))
@@ -469,6 +473,7 @@ func (s *Switch) input(in PortID, frame []byte) {
 			dst.ep.Send(frame)
 		} else {
 			s.dropped.Inc(uint(in))
+			packet.ReturnFrame(frame)
 		}
 		return
 	}
@@ -486,6 +491,7 @@ func (s *Switch) input(in PortID, frame []byte) {
 		if dst.id == in {
 			// Hairpin suppressed: host already has the frame.
 			s.dropped.Inc(uint(in))
+			packet.ReturnFrame(frame)
 			return
 		}
 		dst.ep.Send(frame)
@@ -497,6 +503,7 @@ func (s *Switch) input(in PortID, frame []byte) {
 			sp.ep.Send(packet.Clone(frame))
 		}
 	}
+	packet.ReturnFrame(frame)
 }
 
 // SwitchStats is a snapshot of switch counters.

@@ -109,13 +109,31 @@ func (m *Monitor) Flow(ft packet.FiveTuple) (FlowStats, bool) {
 func (m *Monitor) Process(dir nf.Direction, frame []byte) nf.Output {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.accountLocked(frame)
+	return nf.Forward(frame)
+}
+
+// ProcessBatch implements nf.BatchProcessor: the monitor never drops, so
+// the batch passes through whole under a single lock acquisition.
+func (m *Monitor) ProcessBatch(dir nf.Direction, frames [][]byte, out *nf.BatchOutput) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, frame := range frames {
+		m.accountLocked(frame)
+	}
+	out.Forward = append(out.Forward, frames...)
+}
+
+// accountLocked updates flow accounting for one frame with m.mu held
+// (emit temporarily releases it around the notifier callback).
+func (m *Monitor) accountLocked(frame []byte) {
 	m.total++
 	if err := m.parser.Parse(frame); err != nil {
-		return nf.Forward(frame)
+		return
 	}
 	ft, ok := m.parser.FiveTuple()
 	if !ok {
-		return nf.Forward(frame)
+		return
 	}
 	key := ft.Canonical()
 	fs := m.flows[key]
@@ -163,8 +181,9 @@ func (m *Monitor) Process(dir nf.Direction, frame []byte) nf.Output {
 			}
 		}
 	}
-	return nf.Forward(frame)
 }
+
+var _ nf.BatchProcessor = (*Monitor)(nil)
 
 // emit delivers a notification. Called with mu held; the notifier runs
 // without the lock to avoid deadlocks with agent callbacks.

@@ -274,14 +274,36 @@ func (f *Firewall) Rules() []Rule {
 func (f *Firewall) Process(dir nf.Direction, frame []byte) nf.Output {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.acceptLocked(dir, frame) {
+		return nf.Forward(frame)
+	}
+	return nf.Drop()
+}
+
+// ProcessBatch implements nf.BatchProcessor: one lock acquisition covers
+// the whole batch, dropped frames are recycled into the frame pool.
+func (f *Firewall) ProcessBatch(dir nf.Direction, frames [][]byte, out *nf.BatchOutput) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, frame := range frames {
+		if f.acceptLocked(dir, frame) {
+			out.Forward = append(out.Forward, frame)
+		} else {
+			packet.ReturnFrame(frame)
+		}
+	}
+}
+
+// acceptLocked evaluates the table for one frame with f.mu held.
+func (f *Firewall) acceptLocked(dir nf.Direction, frame []byte) bool {
 	if err := f.parser.Parse(frame); err != nil {
 		f.dropped++
-		return nf.Drop()
+		return false
 	}
 	// Non-IP frames (ARP) always pass: the firewall is an L3 function.
 	if !f.parser.Has(packet.LayerIPv4) {
 		f.accepted++
-		return nf.Forward(frame)
+		return true
 	}
 	ft, hasPorts := f.parser.FiveTuple()
 	action := f.policy
@@ -309,11 +331,13 @@ func (f *Firewall) Process(dir nf.Direction, frame []byte) nf.Output {
 	}
 	if action == Drop {
 		f.dropped++
-		return nf.Drop()
+		return false
 	}
 	f.accepted++
-	return nf.Forward(frame)
+	return true
 }
+
+var _ nf.BatchProcessor = (*Firewall)(nil)
 
 // NFStats implements nf.StatsReporter.
 func (f *Firewall) NFStats() map[string]uint64 {

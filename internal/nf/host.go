@@ -42,6 +42,8 @@ func NewChainHost(fn Function, ingress, egress *netem.Endpoint) *ChainHost {
 	h := &ChainHost{fn: fn, ingress: ingress, egress: egress}
 	ingress.SetReceiver(func(frame []byte) { h.handle(Outbound, frame) })
 	egress.SetReceiver(func(frame []byte) { h.handle(Inbound, frame) })
+	ingress.SetBatchReceiver(func(frames [][]byte) { h.handleBatch(Outbound, frames) })
+	egress.SetBatchReceiver(func(frames [][]byte) { h.handleBatch(Inbound, frames) })
 	return h
 }
 
@@ -150,6 +152,35 @@ func (h *ChainHost) handle(dir Direction, frame []byte) {
 		}
 	}
 	h.process(dir, frame)
+}
+
+// handleBatch is the batched receive path. While enabled and hosting a
+// BatchProcessor, the whole batch takes the function's fast path and the
+// outputs leave as batches too; otherwise each frame goes through the
+// per-frame gate, so brownout buffering and drop accounting behave
+// identically on both paths.
+func (h *ChainHost) handleBatch(dir Direction, frames [][]byte) {
+	bp, ok := h.fn.(BatchProcessor)
+	if !ok || !h.enabled.Load() {
+		for _, f := range frames {
+			h.handle(dir, f)
+		}
+		return
+	}
+	h.processed.Add(uint64(len(frames)))
+	out := BorrowBatchOutput()
+	bp.ProcessBatch(dir, frames, out)
+	fwd, rev := h.egress, h.ingress
+	if dir == Inbound {
+		fwd, rev = h.ingress, h.egress
+	}
+	if len(out.Forward) > 0 {
+		fwd.SendBatch(out.Forward)
+	}
+	if len(out.Reverse) > 0 {
+		rev.SendBatch(out.Reverse)
+	}
+	ReturnBatchOutput(out)
 }
 
 // process runs one frame through the chain and emits the results; callers

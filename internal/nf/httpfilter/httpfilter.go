@@ -101,29 +101,62 @@ func (f *Filter) SetNotifier(fn nf.NotifyFunc) {
 func (f *Filter) Process(dir nf.Direction, frame []byte) nf.Output {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	pass, reply := f.verdictLocked(dir, frame)
+	switch {
+	case pass:
+		return nf.Forward(frame)
+	case reply != nil:
+		return nf.Reply(reply)
+	default:
+		return nf.Drop()
+	}
+}
+
+// ProcessBatch implements nf.BatchProcessor: one lock acquisition covers
+// the batch; blocked frames are recycled, RSTs join the reverse batch.
+func (f *Filter) ProcessBatch(dir nf.Direction, frames [][]byte, out *nf.BatchOutput) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, frame := range frames {
+		pass, reply := f.verdictLocked(dir, frame)
+		if pass {
+			out.Forward = append(out.Forward, frame)
+			continue
+		}
+		if reply != nil {
+			out.Reverse = append(out.Reverse, reply)
+		}
+		packet.ReturnFrame(frame)
+	}
+}
+
+// verdictLocked inspects one frame with f.mu held: pass reports whether
+// the frame continues forward; a non-nil reply is the RST answered toward
+// the client for a blocked request.
+func (f *Filter) verdictLocked(dir nf.Direction, frame []byte) (pass bool, reply []byte) {
 	// Only outbound client->server requests are inspected.
 	if dir != nf.Outbound {
-		return nf.Forward(frame)
+		return true, nil
 	}
 	if err := f.parser.Parse(frame); err != nil || !f.parser.Has(packet.LayerTCP) {
-		return nf.Forward(frame)
+		return true, nil
 	}
 	if f.port != 0 && f.parser.TCP.DstPort != f.port {
-		return nf.Forward(frame)
+		return true, nil
 	}
 	payload := f.parser.TCP.Payload()
 	if !packet.LooksLikeHTTPRequest(payload) {
-		return nf.Forward(frame)
+		return true, nil
 	}
 	f.inspected++
 	req, err := packet.ParseHTTPRequest(payload)
 	if err != nil {
-		return nf.Forward(frame) // partial head: let it through
+		return true, nil // partial head: let it through
 	}
 	reason := f.blockReason(req, payload)
 	if reason == "" {
 		f.passed++
-		return nf.Forward(frame)
+		return true, nil
 	}
 	f.blocked++
 	if f.notify != nil {
@@ -135,10 +168,12 @@ func (f *Filter) Process(dir nf.Direction, frame []byte) nf.Output {
 		})
 	}
 	if f.sendReset {
-		return nf.Reply(f.buildRST())
+		return false, f.buildRST()
 	}
-	return nf.Drop()
+	return false, nil
 }
+
+var _ nf.BatchProcessor = (*Filter)(nil)
 
 func (f *Filter) blockReason(req *packet.HTTPRequest, payload []byte) string {
 	for _, h := range f.hosts {

@@ -12,6 +12,7 @@ import (
 
 	"gnf/internal/clock"
 	"gnf/internal/nf"
+	"gnf/internal/packet"
 )
 
 // Limiter polices frame bytes against a token bucket.
@@ -73,8 +74,30 @@ func (l *Limiter) Kind() string { return "ratelimit" }
 func (l *Limiter) Process(dir nf.Direction, frame []byte) nf.Output {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.both && dir != l.dir {
+	if l.allowLocked(dir, frame) {
 		return nf.Forward(frame)
+	}
+	return nf.Drop()
+}
+
+// ProcessBatch implements nf.BatchProcessor: one lock acquisition per
+// batch; policed frames are recycled into the frame pool.
+func (l *Limiter) ProcessBatch(dir nf.Direction, frames [][]byte, out *nf.BatchOutput) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, frame := range frames {
+		if l.allowLocked(dir, frame) {
+			out.Forward = append(out.Forward, frame)
+		} else {
+			packet.ReturnFrame(frame)
+		}
+	}
+}
+
+// allowLocked refills the bucket and charges one frame with l.mu held.
+func (l *Limiter) allowLocked(dir nf.Direction, frame []byte) bool {
+	if !l.both && dir != l.dir {
+		return true
 	}
 	now := l.clk.Now()
 	elapsed := now.Sub(l.last).Seconds()
@@ -88,13 +111,15 @@ func (l *Limiter) Process(dir nf.Direction, frame []byte) nf.Output {
 	need := float64(len(frame))
 	if l.tokens < need {
 		l.policed++
-		return nf.Drop()
+		return false
 	}
 	l.tokens -= need
 	l.passed++
 	l.passedBytes += uint64(len(frame))
-	return nf.Forward(frame)
+	return true
 }
+
+var _ nf.BatchProcessor = (*Limiter)(nil)
 
 // NFStats implements nf.StatsReporter.
 func (l *Limiter) NFStats() map[string]uint64 {

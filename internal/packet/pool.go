@@ -1,0 +1,109 @@
+package packet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FrameCap is the capacity of pooled frame buffers. It comfortably holds a
+// DefaultMTU frame; Clone and the builders allocate exact-size buffers, so
+// no organically built frame ever has this capacity — which is what lets
+// ReturnFrame tell pooled buffers apart without a wrapper type.
+const FrameCap = 2048
+
+// framePool is a freelist of frame buffers for the batched dataplane. A
+// sync.Pool is the obvious shape, but Put-ing a []byte boxes the slice
+// header (one heap allocation per recycle), which defeats the point; a
+// mutex-guarded stack of slice headers recycles with zero allocations in
+// steady state.
+var framePool struct {
+	mu   sync.Mutex
+	free [][]byte
+
+	borrowed atomic.Uint64
+	returned atomic.Uint64
+}
+
+// BorrowFrame returns a zero-length frame buffer with capacity FrameCap.
+// Grow it with append or reslice it up to FrameCap. Hand it to a terminal
+// owner (Endpoint.Send transfers ownership) or give it back with
+// ReturnFrame.
+func BorrowFrame() []byte {
+	framePool.borrowed.Add(1)
+	framePool.mu.Lock()
+	if n := len(framePool.free); n > 0 {
+		f := framePool.free[n-1]
+		framePool.free[n-1] = nil
+		framePool.free = framePool.free[:n-1]
+		framePool.mu.Unlock()
+		return f[:0]
+	}
+	framePool.mu.Unlock()
+	return make([]byte, 0, FrameCap)
+}
+
+// ReturnFrame recycles a frame buffer previously handed out by BorrowFrame.
+// Buffers of any other capacity are ignored, so terminal points in the
+// dataplane (switch drops, host receive, NF drops) may call it on every
+// frame they consume without knowing its provenance. The caller must not
+// touch the slice afterwards.
+func ReturnFrame(f []byte) {
+	if cap(f) != FrameCap {
+		return
+	}
+	framePool.returned.Add(1)
+	framePool.mu.Lock()
+	framePool.free = append(framePool.free, f[:0])
+	framePool.mu.Unlock()
+}
+
+// BorrowFrames fills dst with zero-length pooled buffers, one per slot —
+// BorrowFrame amortized to one lock acquisition for a whole batch.
+func BorrowFrames(dst [][]byte) {
+	framePool.borrowed.Add(uint64(len(dst)))
+	framePool.mu.Lock()
+	n := len(framePool.free)
+	take := n
+	if take > len(dst) {
+		take = len(dst)
+	}
+	for i := 0; i < take; i++ {
+		f := framePool.free[n-1-i]
+		framePool.free[n-1-i] = nil
+		dst[i] = f[:0]
+	}
+	framePool.free = framePool.free[:n-take]
+	framePool.mu.Unlock()
+	for i := take; i < len(dst); i++ {
+		dst[i] = make([]byte, 0, FrameCap)
+	}
+}
+
+// ReturnFrames recycles a batch of buffers under one lock acquisition,
+// with the same any-capacity tolerance as ReturnFrame. Nil entries are
+// skipped, so callers may hand over scratch slices with gaps.
+func ReturnFrames(frames [][]byte) {
+	pooled := 0
+	for _, f := range frames {
+		if cap(f) == FrameCap {
+			pooled++
+		}
+	}
+	if pooled == 0 {
+		return
+	}
+	framePool.returned.Add(uint64(pooled))
+	framePool.mu.Lock()
+	for _, f := range frames {
+		if cap(f) == FrameCap {
+			framePool.free = append(framePool.free, f[:0])
+		}
+	}
+	framePool.mu.Unlock()
+}
+
+// FramePoolOutstanding reports borrowed-but-not-returned pooled frames —
+// the leak signal tests assert converges to a baseline once traffic drains.
+func FramePoolOutstanding() int64 {
+	return int64(framePool.borrowed.Load()) - int64(framePool.returned.Load())
+}

@@ -23,7 +23,7 @@ func TestScenarioConformance(t *testing.T) {
 	required := map[string]bool{
 		"roaming": false, "failover": false, "chaining": false,
 		"cloud-offload": false, "density": false, "sharing": false,
-		"scheduling": false, "qos": false,
+		"scheduling": false, "qos": false, "megascale": false,
 	}
 	for _, sp := range specs {
 		if _, ok := required[sp.Name]; ok {
@@ -31,6 +31,11 @@ func TestScenarioConformance(t *testing.T) {
 		}
 		sp := sp
 		t.Run(sp.Name, func(t *testing.T) {
+			// The megascale load drives hundreds of thousands of frames
+			// through the dataplane; keep it out of -short runs.
+			if sp.Name == "megascale" && testing.Short() {
+				t.Skip("megascale load skipped in -short mode")
+			}
 			first, err := RunSpec(sp)
 			if err != nil {
 				t.Fatal(err)

@@ -16,6 +16,7 @@ import (
 	"gnf/internal/netem"
 	"gnf/internal/packet"
 	"gnf/internal/topology"
+	"gnf/internal/traffic"
 )
 
 // Migration is one canonical migration-log entry: the placement move
@@ -72,11 +73,28 @@ type Result struct {
 	// round-trip at scenario end, over the topology graph (only when the
 	// scenario declares one).
 	ChainRTTs map[string]Duration `json:"chain_rtts,omitempty"`
+	// Load summarises the (last) load step's megascale harness run; nil
+	// when the script had none.
+	Load *LoadSummary `json:"load,omitempty"`
 	// VirtualElapsed is simulated time consumed by the run (rendered as a
 	// duration string, e.g. "12s", like every duration in scenario files).
 	VirtualElapsed Duration `json:"virtual_elapsed"`
 	// Failures lists unmet expectations; empty means the scenario passed.
 	Failures []string `json:"failures,omitempty"`
+}
+
+// LoadSummary is the outcome of a load step: per-flow continuity
+// accounting from the traffic harness, serialized for the result log.
+type LoadSummary struct {
+	Flows       int      `json:"flows"` // flows with at least one arrival
+	Sent        uint64   `json:"sent"`
+	Received    uint64   `json:"received"`
+	Lost        uint64   `json:"lost"`
+	LossWindows uint64   `json:"loss_windows"`
+	Late        uint64   `json:"late,omitempty"`
+	LossRatio   float64  `json:"loss_ratio"`
+	P50         Duration `json:"p50"`
+	P99         Duration `json:"p99"`
 }
 
 // Passed reports whether every declared expectation held.
@@ -96,6 +114,7 @@ type Engine struct {
 	migSeen    int // migration reports already folded into the canonical log
 	schedTrans int // transitions applied by eval-schedules steps
 	result     *Result
+	loadSink   *netem.Host // backhaul sink for load steps, created lazily
 }
 
 // New validates the spec and brings the deployment up.
@@ -431,6 +450,8 @@ func (e *Engine) step(st Step) error {
 		return nil
 	case ActTraffic:
 		return e.generateTraffic(st)
+	case ActLoad:
+		return e.generateLoad(st)
 	case ActAutoscale:
 		mgr.EvaluateAutoscaler()
 		return nil
@@ -495,6 +516,81 @@ func (e *Engine) generateTraffic(st Step) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// Load-sink addressing: a fixed server host on the backhaul that load
+// steps send toward; distinct from trafficSink, which nothing answers.
+var (
+	loadSinkMAC = packet.MAC{2, 0xef, 0, 0, 0, 1}
+	loadSinkIP  = packet.IP{10, 200, 0, 10}
+)
+
+// generateLoad drives the megascale harness over the client's real
+// dataplane path: client host -> station switch (and the client's chains)
+// -> backhaul -> sink server. The generator stamps every frame with flow,
+// sequence number and virtual send time; the sink's accountant folds
+// arrivals into per-flow continuity state that finish() checks against
+// the expectation block. The run is flow-controlled, so a lossless path
+// must deliver every frame — any gap in the report is real loss.
+func (e *Engine) generateLoad(st Step) error {
+	host := e.sys.ClientHost(topology.ClientID(st.Client))
+	if host == nil {
+		return fmt.Errorf("load: client %s has no dataplane presence", st.Client)
+	}
+	var cmac packet.MAC
+	var cip packet.IP
+	found := false
+	for i, c := range e.spec.Clients {
+		if c.ID == st.Client {
+			var err error
+			if cmac, cip, err = clientAddr(c, i); err != nil {
+				return err
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("load: unknown client %s", st.Client)
+	}
+	if e.loadSink == nil {
+		e.loadSink = e.sys.AddServer("load-sink", loadSinkMAC, loadSinkIP)
+	}
+	acct := traffic.NewAccountant(st.Flows, 0, e.clk)
+	acct.AttachAny(e.loadSink)
+
+	// Prime the path: one reverse frame teaches every switch on the way
+	// which port the sink lives behind, so the load unicasts instead of
+	// flooding. Wait for it to reach the client before opening the load.
+	e.loadSink.Learn(cip, cmac)
+	rx0 := host.Endpoint().Stats().RxFrames
+	if err := e.loadSink.SendUDP(packet.Endpoint{Addr: cip, Port: 9}, 9, []byte("gnf-load-prime")); err != nil {
+		return fmt.Errorf("load: prime: %w", err)
+	}
+	if err := e.await("load prime to reach "+st.Client, func() bool {
+		return host.Endpoint().Stats().RxFrames > rx0
+	}); err != nil {
+		return err
+	}
+
+	gen := traffic.NewLoadGen(host.Endpoint(), cmac, loadSinkMAC, cip, loadSinkIP,
+		traffic.LoadConfig{Flows: st.Flows, Rounds: st.Rounds}, e.clk)
+	if err := gen.Run(acct.Received); err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	rep := acct.Report()
+	e.result.Load = &LoadSummary{
+		Flows:       rep.Flows,
+		Sent:        gen.Sent(),
+		Received:    rep.Received,
+		Lost:        rep.Lost,
+		LossWindows: rep.LossWindows,
+		Late:        rep.Late,
+		LossRatio:   rep.LossRatio(),
+		P50:         Duration(rep.P50),
+		P99:         Duration(rep.P99),
 	}
 	return nil
 }
@@ -658,6 +754,28 @@ func (e *Engine) finish() {
 	if exp.ZeroLoss && res.DroppedFrames > 0 {
 		res.Failures = append(res.Failures,
 			fmt.Sprintf("zero loss: %d frames dropped by chains", res.DroppedFrames))
+	}
+	if exp.MinFlows > 0 || exp.MaxLossRatio != nil || exp.MaxP99Ms > 0 {
+		if res.Load == nil {
+			res.Failures = append(res.Failures,
+				"load expectations declared but no load step ran")
+		} else {
+			if exp.MinFlows > 0 && res.Load.Flows < exp.MinFlows {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("load flows: got %d, want >= %d", res.Load.Flows, exp.MinFlows))
+			}
+			if exp.MaxLossRatio != nil && res.Load.LossRatio > *exp.MaxLossRatio {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("load loss ratio: got %.6f (%d lost, %d windows), want <= %.6f",
+						res.Load.LossRatio, res.Load.Lost, res.Load.LossWindows, *exp.MaxLossRatio))
+			}
+			if exp.MaxP99Ms > 0 {
+				if got := float64(res.Load.P99.Std().Microseconds()) / 1000; got > exp.MaxP99Ms {
+					res.Failures = append(res.Failures,
+						fmt.Sprintf("load p99 latency: got %.3fms, want <= %.3fms", got, exp.MaxP99Ms))
+				}
+			}
+		}
 	}
 	if res.Prewarmed < exp.MinPrewarmed {
 		res.Failures = append(res.Failures,

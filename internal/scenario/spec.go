@@ -155,6 +155,12 @@ type Step struct {
 	Frames int  `json:"frames,omitempty"`
 	Flows  int  `json:"flows,omitempty"`
 	NoWait bool `json:"no_wait,omitempty"`
+
+	// load parameters: the client drives the batched dataplane harness —
+	// Flows concurrent sequence-stamped flows, Rounds frames per flow,
+	// flow-controlled into a backhaul sink that accounts per-flow loss and
+	// latency (see Expect.MinFlows / MaxLossRatio / MaxP99Ms). Reuses the
+	// Flows field above; Rounds is shared with waypoint.
 }
 
 // Actions understood by the engine.
@@ -176,6 +182,7 @@ const (
 	ActSetStrategy    = "set-strategy"    // switch migration Strategy
 	ActSettle         = "settle"          // wait for in-flight work (implicit after every step)
 	ActTraffic        = "traffic"         // Client sends Frames frames over Flows flows
+	ActLoad           = "load"            // Client drives Flows megascale flows for Rounds rounds
 	ActAutoscale      = "autoscale"       // run one manager autoscaler evaluation
 	ActEvacuate       = "evacuate"        // move every chain off Station (maintenance)
 )
@@ -266,6 +273,16 @@ type Expect struct {
 	// AllowFailedMigrations tolerates migration reports carrying errors
 	// (default: any failed migration fails the scenario).
 	AllowFailedMigrations bool `json:"allow_failed_migrations,omitempty"`
+	// MinFlows requires the (last) load step's accountant to have seen at
+	// least this many distinct flows deliver traffic; 0 means no check.
+	MinFlows int `json:"min_flows,omitempty"`
+	// MaxLossRatio caps the load step's lost/(lost+received) ratio. A
+	// pointer so an explicit 0.0 — no loss tolerated — is expressible;
+	// omitted means no check.
+	MaxLossRatio *float64 `json:"max_loss_ratio,omitempty"`
+	// MaxP99Ms caps the load step's 99th-percentile virtual-clock latency
+	// (milliseconds); 0 means no check.
+	MaxP99Ms float64 `json:"max_p99_ms,omitempty"`
 }
 
 // Spec is one complete scenario file.
@@ -391,7 +408,7 @@ func (sp *Spec) Validate() error {
 			ActMigrate, ActWaypoint, ActKillStation, ActRestartStation,
 			ActCheckFailures, ActOffload, ActRecall, ActSchedule,
 			ActEvalSchedules, ActSetStrategy, ActSettle, ActTraffic,
-			ActAutoscale, ActEvacuate:
+			ActLoad, ActAutoscale, ActEvacuate:
 		default:
 			return fmt.Errorf("scenario %s: script step %d has unknown action %q", sp.Name, i, st.Action)
 		}
@@ -440,6 +457,10 @@ func (sp *Spec) Validate() error {
 			if st.Flows < 0 {
 				return fmt.Errorf("scenario %s: step %d traffic flows must be >= 0", sp.Name, i)
 			}
+		case ActLoad:
+			if st.Flows <= 0 || st.Rounds <= 0 {
+				return fmt.Errorf("scenario %s: step %d load needs flows > 0 and rounds > 0", sp.Name, i)
+			}
 		}
 	}
 	if as := sp.Autoscaler; as != nil {
@@ -484,7 +505,7 @@ func validStrategy(s string, allowEmpty bool) bool {
 func needsClient(action string) bool {
 	switch action {
 	case ActMove, ActAttach, ActDetach, ActAttachChain, ActDetachChain,
-		ActMigrate, ActOffload, ActRecall, ActSchedule, ActTraffic:
+		ActMigrate, ActOffload, ActRecall, ActSchedule, ActTraffic, ActLoad:
 		return true
 	}
 	return false

@@ -1,0 +1,364 @@
+package traffic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/netem"
+	"gnf/internal/packet"
+)
+
+// Megascale load harness. The map-based Sink above is fine for a few
+// thousand CBR packets; driving 100k–1M concurrent flows needs flat,
+// index-addressed per-flow state and pooled frames. LoadGen emits
+// sequence- and timestamp-stamped datagrams for every flow in rounds with
+// a flow-control window, and Accountant folds arrivals into per-flow
+// continuity state: received/lost counts, merged loss windows and a
+// virtual-clock latency histogram.
+
+// LoadPayloadLen is the minimum payload: flow ID (4), sequence number (4),
+// send timestamp in virtual nanoseconds (8).
+const LoadPayloadLen = 16
+
+// DefaultSeqRing is the sequence-number ring size (power of two): load
+// sequence numbers live in [0, ring) and wrap, like a hardware counter.
+const DefaultSeqRing = 1 << 16
+
+// PutLoadPayload stamps a load header into buf (len >= LoadPayloadLen).
+func PutLoadPayload(buf []byte, flow, seq uint32, sentNanos int64) {
+	binary.BigEndian.PutUint32(buf[0:4], flow)
+	binary.BigEndian.PutUint32(buf[4:8], seq)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(sentNanos))
+}
+
+// flowAcct is one flow's continuity state: 20 bytes, so a million flows
+// cost 20MB flat — no maps, no per-arrival allocation.
+type flowAcct struct {
+	expect   uint32 // next expected sequence number (mod ring)
+	received uint32
+	lost     uint32
+	windows  uint32 // maximal runs of consecutive lost sequence numbers
+	late     uint32 // arrivals behind expect (reordered or duplicated)
+}
+
+// Accountant ingests load datagrams and accounts per-flow continuity.
+// Sequence arithmetic is modular over the ring, which is what makes a
+// loss gap spanning the ring wrap (…, ring-2, ring-1, 0, 1, …) a single
+// gap — and therefore a single loss window — rather than a tail gap plus
+// a head gap counted separately.
+type Accountant struct {
+	mask uint32
+	clk  clock.Clock
+
+	mu        sync.Mutex
+	flows     []flowAcct
+	received  uint64
+	lost      uint64
+	windows   uint64
+	late      uint64
+	malformed uint64
+	// hist buckets latency by bit length of the virtual-nanosecond delta:
+	// bucket b holds deltas in [2^(b-1), 2^b).
+	hist [65]uint64
+}
+
+// NewAccountant tracks flows [0, flows) with sequence numbers modulo
+// seqRing (0 = DefaultSeqRing; must be a power of two). Every flow is
+// expected to start at sequence 0.
+func NewAccountant(flows int, seqRing uint32, clk clock.Clock) *Accountant {
+	if seqRing == 0 {
+		seqRing = DefaultSeqRing
+	}
+	if seqRing&(seqRing-1) != 0 {
+		panic("traffic: seqRing must be a power of two")
+	}
+	if clk == nil {
+		clk = clock.System()
+	}
+	return &Accountant{mask: seqRing - 1, clk: clk, flows: make([]flowAcct, flows)}
+}
+
+// AttachAny registers the accountant as host's catch-all UDP handler, so
+// flows may spread over arbitrary destination ports.
+func (a *Accountant) AttachAny(h *netem.Host) {
+	h.HandleAnyUDP(func(src, dst packet.Endpoint, payload []byte) []byte {
+		a.Observe(payload)
+		return nil
+	})
+}
+
+// Observe ingests one load payload. The bytes are read, never retained —
+// safe under the host's copy-on-retain contract.
+func (a *Accountant) Observe(payload []byte) {
+	a.mu.Lock()
+	a.observeLocked(payload)
+	a.mu.Unlock()
+}
+
+// ObserveBatch ingests a batch of payloads under one lock acquisition.
+func (a *Accountant) ObserveBatch(payloads [][]byte) {
+	a.mu.Lock()
+	for _, p := range payloads {
+		a.observeLocked(p)
+	}
+	a.mu.Unlock()
+}
+
+func (a *Accountant) observeLocked(payload []byte) {
+	if len(payload) < LoadPayloadLen {
+		a.malformed++
+		return
+	}
+	flow := binary.BigEndian.Uint32(payload[0:4])
+	seq := binary.BigEndian.Uint32(payload[4:8]) & a.mask
+	sent := int64(binary.BigEndian.Uint64(payload[8:16]))
+	if int(flow) >= len(a.flows) {
+		a.malformed++
+		return
+	}
+	fs := &a.flows[flow]
+	switch delta := (seq - fs.expect) & a.mask; {
+	case delta == 0: // in order
+		fs.received++
+		a.received++
+	case delta <= a.mask/2:
+		// Forward jump: delta consecutive sequence numbers are missing.
+		// One arrival reveals the whole run — one window, whether or not
+		// the run straddles the ring wrap or an arrival-batch boundary.
+		fs.lost += delta
+		fs.windows++
+		fs.received++
+		a.lost += uint64(delta)
+		a.windows++
+		a.received++
+	default:
+		// Behind the expectation: a duplicate or a reordered straggler.
+		fs.late++
+		a.late++
+		return
+	}
+	fs.expect = (seq + 1) & a.mask
+	if d := a.clk.Now().UnixNano() - sent; d >= 0 {
+		a.hist[bits.Len64(uint64(d))]++
+	}
+}
+
+// Received returns total accounted arrivals (in-order plus gap-revealing).
+func (a *Accountant) Received() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.received
+}
+
+// Flow returns a copy of one flow's continuity state.
+func (a *Accountant) Flow(i int) (received, lost, windows, late uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fs := &a.flows[i]
+	return fs.received, fs.lost, fs.windows, fs.late
+}
+
+// LoadReport summarises a load run.
+type LoadReport struct {
+	Flows       int // flows with at least one arrival
+	Received    uint64
+	Lost        uint64
+	LossWindows uint64
+	Late        uint64
+	Malformed   uint64
+	P50, P99    time.Duration // virtual-clock latency (bucket upper bounds)
+}
+
+// LossRatio is lost/(lost+received), 0 when idle.
+func (r LoadReport) LossRatio() float64 {
+	if total := r.Lost + r.Received; total > 0 {
+		return float64(r.Lost) / float64(total)
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("flows=%d rx=%d lost=%d windows=%d late=%d loss=%.4f%% p99=%s",
+		r.Flows, r.Received, r.Lost, r.LossWindows, r.Late, 100*r.LossRatio(), r.P99)
+}
+
+// Report snapshots the accounting.
+func (a *Accountant) Report() LoadReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := LoadReport{
+		Received:    a.received,
+		Lost:        a.lost,
+		LossWindows: a.windows,
+		Late:        a.late,
+		Malformed:   a.malformed,
+	}
+	for i := range a.flows {
+		if a.flows[i].received > 0 {
+			r.Flows++
+		}
+	}
+	r.P50 = a.percentileLocked(50)
+	r.P99 = a.percentileLocked(99)
+	return r
+}
+
+// percentileLocked returns the upper bound of the histogram bucket the
+// p-th percentile falls into.
+func (a *Accountant) percentileLocked(p float64) time.Duration {
+	var total uint64
+	for _, n := range a.hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for b, n := range a.hist {
+		seen += n
+		if seen > rank {
+			if b == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1) << uint(b))
+		}
+	}
+	return 0
+}
+
+// LoadConfig parameterises a LoadGen run.
+type LoadConfig struct {
+	Flows       int
+	Rounds      int    // frames per flow
+	PayloadSize int    // 0 = LoadPayloadLen
+	SeqRing     uint32 // 0 = DefaultSeqRing
+	// Burst frames are emitted between flow-control checks; Window bounds
+	// frames in flight. Both must stay under the endpoint queue depth or
+	// tail-drop turns the continuity numbers into a queue benchmark.
+	Burst  int // 0 = 128
+	Window int // 0 = 256
+}
+
+// LoadGen emits load datagrams for cfg.Flows flows in rounds: round r
+// sends sequence number r (mod ring) on every flow, so all flows are
+// concurrently live for the whole run. Frames are built once into a
+// template and then stamped per send into pooled buffers — the steady
+// state allocates nothing. Flow f sends from srcPort 1024+f%60000 to
+// dstPort 5000+f/60000 (the accountant attaches as a catch-all handler),
+// giving every flow a distinct five-tuple.
+type LoadGen struct {
+	ep   *netem.Endpoint
+	clk  clock.Clock
+	cfg  LoadConfig
+	tmpl []byte
+	sent uint64
+}
+
+// NewLoadGen builds a generator sending from ep (typically a client
+// host's endpoint, used directly so the host stack stays out of the hot
+// path) with the given addressing.
+func NewLoadGen(ep *netem.Endpoint, srcMAC, dstMAC packet.MAC, srcIP, dstIP packet.IP, cfg LoadConfig, clk clock.Clock) *LoadGen {
+	if cfg.PayloadSize < LoadPayloadLen {
+		cfg.PayloadSize = LoadPayloadLen
+	}
+	if cfg.SeqRing == 0 {
+		cfg.SeqRing = DefaultSeqRing
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 128
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if clk == nil {
+		clk = clock.System()
+	}
+	tmpl := packet.BuildUDP(srcMAC, dstMAC, srcIP, dstIP, 0, 0, make([]byte, cfg.PayloadSize))
+	// Zero the UDP checksum ("not computed", legal for UDP/IPv4): ports
+	// and payload are stamped per frame and must not dirty the template.
+	tmpl[40] = 0
+	tmpl[41] = 0
+	return &LoadGen{ep: ep, clk: clk, cfg: cfg, tmpl: tmpl}
+}
+
+// Sent returns frames emitted so far.
+func (g *LoadGen) Sent() uint64 { return g.sent }
+
+// ErrLoadStalled reports a flow-control stall: the receive counter stopped
+// advancing while frames were still outstanding.
+var ErrLoadStalled = errors.New("traffic: load generator stalled awaiting deliveries")
+
+// Run drives the full load: cfg.Rounds × cfg.Flows frames, flow-controlled
+// against recv (typically Accountant.Received) so no queue on the path is
+// ever offered more than cfg.Window frames in flight.
+func (g *LoadGen) Run(recv func() uint64) error {
+	const (
+		ethHeader = 14
+		ipHeader  = 20
+	)
+	mask := g.cfg.SeqRing - 1
+	batch := make([][]byte, 0, g.cfg.Burst)
+	for round := 0; round < g.cfg.Rounds; round++ {
+		seq := uint32(round) & mask
+		for flow := 0; flow < g.cfg.Flows; flow++ {
+			f := packet.BorrowFrame()[:len(g.tmpl)]
+			copy(f, g.tmpl)
+			srcPort := uint16(1024 + flow%60000)
+			dstPort := uint16(5000 + flow/60000)
+			binary.BigEndian.PutUint16(f[ethHeader+ipHeader:], srcPort)
+			binary.BigEndian.PutUint16(f[ethHeader+ipHeader+2:], dstPort)
+			PutLoadPayload(f[ethHeader+ipHeader+8:], uint32(flow), seq, g.clk.Now().UnixNano())
+			batch = append(batch, f)
+			if len(batch) == g.cfg.Burst {
+				if err := g.flush(&batch, recv); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := g.flush(&batch, recv); err != nil {
+		return err
+	}
+	return g.await(recv, g.sent)
+}
+
+func (g *LoadGen) flush(batch *[][]byte, recv func() uint64) error {
+	g.sent += uint64(g.ep.SendBatch(*batch))
+	for i := range *batch {
+		(*batch)[i] = nil
+	}
+	*batch = (*batch)[:0]
+	if g.sent < uint64(g.cfg.Window) {
+		return nil
+	}
+	return g.await(recv, g.sent-uint64(g.cfg.Window))
+}
+
+// await blocks until recv reaches target, erroring out if it stops
+// advancing for several wall-clock seconds (delivery goroutines run on
+// the wall even when the simulation clock is virtual).
+func (g *LoadGen) await(recv func() uint64, target uint64) error {
+	last, lastChange := recv(), time.Now()
+	for last < target {
+		time.Sleep(100 * time.Microsecond)
+		cur := recv()
+		if cur != last {
+			last, lastChange = cur, time.Now()
+			continue
+		}
+		if time.Since(lastChange) > 5*time.Second {
+			return fmt.Errorf("%w: %d/%d delivered", ErrLoadStalled, cur, target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package traffic
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gnf/internal/clock"
+	"gnf/internal/netem"
+	"gnf/internal/packet"
+)
+
+// pl builds a load payload for accountant-only tests.
+func pl(flow, seq uint32, sent int64) []byte {
+	buf := make([]byte, LoadPayloadLen)
+	PutLoadPayload(buf, flow, seq, sent)
+	return buf
+}
+
+func TestAccountantInOrder(t *testing.T) {
+	clk := clock.NewVirtual()
+	a := NewAccountant(2, 0, clk)
+	for seq := uint32(0); seq < 10; seq++ {
+		a.Observe(pl(0, seq, clk.Now().UnixNano()))
+		a.Observe(pl(1, seq, clk.Now().UnixNano()))
+	}
+	r := a.Report()
+	if r.Received != 20 || r.Lost != 0 || r.LossWindows != 0 || r.Late != 0 || r.Flows != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.LossRatio() != 0 {
+		t.Fatalf("loss ratio = %v", r.LossRatio())
+	}
+}
+
+func TestAccountantGapIsOneWindow(t *testing.T) {
+	a := NewAccountant(1, 0, clock.NewVirtual())
+	for _, seq := range []uint32{0, 1, 2, 7, 8, 9} {
+		a.Observe(pl(0, seq, 0))
+	}
+	rx, lost, windows, late := a.Flow(0)
+	if rx != 6 || lost != 4 || windows != 1 || late != 0 {
+		t.Fatalf("flow = rx=%d lost=%d windows=%d late=%d", rx, lost, windows, late)
+	}
+}
+
+func TestAccountantTwoGapsTwoWindows(t *testing.T) {
+	a := NewAccountant(1, 0, clock.NewVirtual())
+	for _, seq := range []uint32{0, 2, 3, 6} {
+		a.Observe(pl(0, seq, 0))
+	}
+	_, lost, windows, _ := a.Flow(0)
+	if lost != 3 || windows != 2 {
+		t.Fatalf("lost=%d windows=%d, want 3 and 2", lost, windows)
+	}
+}
+
+// TestAccountantRingWrapGapIsOneWindow pins the satellite contract: a loss
+// run straddling the sequence-ring wrap (…, ring-2, ring-1, 0, 1, …) is a
+// single continuity event. A naive accountant that splits accounting at
+// the wrap ([expect, ring) plus [0, seq)) would report two windows here.
+func TestAccountantRingWrapGapIsOneWindow(t *testing.T) {
+	const ring = 16
+	a := NewAccountant(1, ring, clock.NewVirtual())
+	for seq := uint32(0); seq < 14; seq++ { // expect is now 14
+		a.Observe(pl(0, seq, 0))
+	}
+	a.Observe(pl(0, 2, 0)) // 14, 15 lost before the wrap; 0, 1 after it
+	rx, lost, windows, late := a.Flow(0)
+	if rx != 15 || lost != 4 || windows != 1 || late != 0 {
+		t.Fatalf("flow = rx=%d lost=%d windows=%d late=%d, want one window of 4", rx, lost, windows, late)
+	}
+	// Continuing in order after the wrap opens no further windows.
+	for _, seq := range []uint32{3, 4, 5} {
+		a.Observe(pl(0, seq, 0))
+	}
+	if _, lost, windows, _ = a.Flow(0); lost != 4 || windows != 1 {
+		t.Fatalf("after resume lost=%d windows=%d", lost, windows)
+	}
+}
+
+// TestAccountantBatchBoundaryGap pins the same contract for a gap that is
+// split across two ObserveBatch calls: accounting is per flow, not per
+// batch, so the boundary is invisible.
+func TestAccountantBatchBoundaryGap(t *testing.T) {
+	a := NewAccountant(1, 0, clock.NewVirtual())
+	a.ObserveBatch([][]byte{pl(0, 0, 0), pl(0, 1, 0)})
+	a.ObserveBatch([][]byte{pl(0, 6, 0), pl(0, 7, 0)})
+	_, lost, windows, _ := a.Flow(0)
+	if lost != 4 || windows != 1 {
+		t.Fatalf("lost=%d windows=%d, want one window of 4", lost, windows)
+	}
+}
+
+func TestAccountantLateAndDuplicate(t *testing.T) {
+	a := NewAccountant(1, 0, clock.NewVirtual())
+	for _, seq := range []uint32{0, 1, 2} {
+		a.Observe(pl(0, seq, 0))
+	}
+	a.Observe(pl(0, 1, 0)) // duplicate
+	a.Observe(pl(0, 2, 0)) // straggler behind expect
+	rx, lost, _, late := a.Flow(0)
+	if rx != 3 || lost != 0 || late != 2 {
+		t.Fatalf("rx=%d lost=%d late=%d", rx, lost, late)
+	}
+	if r := a.Report(); r.Received != 3 || r.Late != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestAccountantMalformed(t *testing.T) {
+	a := NewAccountant(1, 0, clock.NewVirtual())
+	a.Observe([]byte{1, 2, 3})            // short
+	a.Observe(pl(9, 0, 0))                // flow out of range
+	a.ObserveBatch([][]byte{pl(0, 0, 0)}) // valid
+	r := a.Report()
+	if r.Malformed != 2 || r.Received != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestAccountantLatencyPercentiles(t *testing.T) {
+	clk := clock.NewVirtual()
+	a := NewAccountant(1, 0, clk)
+	base := clk.Now().UnixNano()
+	for seq := uint32(0); seq < 100; seq++ {
+		d := int64(time.Millisecond)
+		if seq >= 99 {
+			d = int64(time.Second)
+		}
+		a.Observe(pl(0, seq, base-d))
+	}
+	r := a.Report()
+	if r.P50 < time.Millisecond || r.P50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v", r.P50)
+	}
+	if r.P99 < time.Second || r.P99 > 4*time.Second {
+		t.Fatalf("p99 = %v", r.P99)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestNewAccountantBadRing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two ring")
+		}
+	}()
+	NewAccountant(1, 12, clock.NewVirtual())
+}
+
+// TestLoadGenEndToEnd drives a small many-flow load through a real switch
+// into an accountant sink and expects perfect continuity: flow control
+// keeps offered load under every queue depth, so nothing may be lost.
+func TestLoadGenEndToEnd(t *testing.T) {
+	clk := clock.NewVirtual()
+	sw := netem.NewSwitch("sw")
+	a1, a2 := netem.NewVethPair("gen", "gen-sw")
+	b1, b2 := netem.NewVethPair("sink", "sink-sw")
+	sw.Attach(1, a2)
+	sw.Attach(2, b2)
+	t.Cleanup(func() { a1.Close(); b1.Close() })
+	sink := netem.NewHost(macB, ipB, b1)
+	sink.Learn(ipA, macA)
+
+	const flows, rounds = 1000, 3
+	acct := NewAccountant(flows, 0, clk)
+	acct.AttachAny(sink)
+	// Prime the FDB so load frames unicast instead of flooding.
+	if err := sink.SendUDP(packet.Endpoint{Addr: ipA, Port: 9}, 9, []byte("prime")); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := NewLoadGen(a1, macA, macB, ipA, ipB, LoadConfig{Flows: flows, Rounds: rounds}, clk)
+	if err := gen.Run(acct.Received); err != nil {
+		t.Fatal(err)
+	}
+	r := acct.Report()
+	if gen.Sent() != flows*rounds {
+		t.Fatalf("sent %d of %d", gen.Sent(), flows*rounds)
+	}
+	if r.Flows != flows || r.Received != flows*rounds || r.Lost != 0 || r.LossWindows != 0 || r.Malformed != 0 {
+		t.Fatalf("report = %v", r)
+	}
+}
+
+func TestLoadGenStallError(t *testing.T) {
+	g := &LoadGen{}
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- g.await(func() uint64 { return 0 }, 1) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrLoadStalled) {
+			t.Fatalf("err = %v", err)
+		}
+		if time.Since(start) < 4*time.Second {
+			t.Fatal("stall detection fired too early")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("await never returned")
+	}
+}
