@@ -26,6 +26,8 @@ func main() {
 	hotspot := flag.Float64("hotspot-cpu", 80, "CPU%% threshold for hotspot detection")
 	autoscale := flag.Duration("autoscale", 0,
 		"shared-instance autoscaler evaluation interval (0 disables; e.g. 2s)")
+	reconcileInterval := flag.Duration("reconcile-interval", 0,
+		"desired-state reconcile interval (0 disables; e.g. 5s)")
 	flag.Parse()
 
 	var strat manager.Strategy
@@ -62,6 +64,12 @@ func main() {
 		log.Fatalf("ui: %v", err)
 	}
 	defer dash.Close()
+
+	// The loop idles (ErrNoSpec) until an operator PUTs a spec or runs
+	// `gnfctl apply`; from then on it repairs drift every interval.
+	if *reconcileInterval > 0 {
+		dash.Reconciler().Start(*reconcileInterval)
+	}
 
 	log.Printf("gnf-manager: agents on %s, dashboard on http://%s/", mgr.Addr(), dash.Addr())
 	sig := make(chan os.Signal, 1)

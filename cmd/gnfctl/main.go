@@ -44,6 +44,11 @@ commands:
   pools                            per-station shared NF instance tables
                                    (kind, config hash, refcount, replicas,
                                    load) and autoscaler decisions
+  apply -f <spec.json>             install a desired-state spec and
+                                   reconcile until the fleet converges
+  diff                             pending actions between desired and
+                                   actual state (empty when converged)
+  get spec                         installed desired-state spec + status
   run-scenario <file.json>         execute a declarative scenario in-process
                                    (virtual time; prints the result, exits
                                    non-zero when expectations fail)
@@ -100,6 +105,18 @@ func main() {
 		err = getAndPrint(*api + "/api/placement")
 	case "pools":
 		err = getAndPrint(*api + "/api/pools")
+	case "apply":
+		if len(args) != 3 || args[1] != "-f" {
+			usage()
+		}
+		err = apply(*api, args[2])
+	case "diff":
+		err = getAndPrint(*api + "/api/diff")
+	case "get":
+		if len(args) != 2 || args[1] != "spec" {
+			usage()
+		}
+		err = getAndPrint(*api + "/api/spec")
 	case "run-scenario":
 		if len(args) != 2 {
 			usage()
@@ -154,6 +171,38 @@ func attach(api, client, chain string, fnArgs []string) error {
 	})
 }
 
+// applyPasses bounds the reconcile passes one apply will drive; backoff
+// on a persistently failing action keeps later passes cheap, but we still
+// surface non-convergence to the operator instead of spinning forever.
+const applyPasses = 20
+
+// apply installs the spec file as desired state and drives reconcile
+// passes until the reconciler reports convergence.
+func apply(api, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := put(api+"/api/spec", raw); err != nil {
+		return err
+	}
+	for i := 0; i < applyPasses; i++ {
+		var res struct {
+			Converged bool `json:"converged"`
+			Failed    int  `json:"failed"`
+			Deferred  int  `json:"deferred"`
+		}
+		if err := postInto(api+"/api/reconcile", map[string]any{}, &res); err != nil {
+			return err
+		}
+		if res.Converged {
+			fmt.Printf("converged after %d reconcile pass(es)\n", i+1)
+			return nil
+		}
+	}
+	return fmt.Errorf("not converged after %d reconcile passes; run `gnfctl diff` to inspect the gap", applyPasses)
+}
+
 func getAndPrint(url string) error {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -174,6 +223,42 @@ func post(url string, body any) error {
 	}
 	defer resp.Body.Close()
 	return printBody(resp)
+}
+
+// put issues a PUT with a raw JSON body and prints the response.
+func put(url string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printBody(resp)
+}
+
+// postInto posts a JSON body and decodes the 200 response into out.
+func postInto(url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return json.Unmarshal(raw, out)
 }
 
 func printBody(resp *http.Response) error {

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gnf/internal/manager"
+)
+
+// TestAttachChainIdempotent: re-attaching a byte-identical ChainSpec is a
+// no-op (declarative appliers re-submit specs freely), while attaching a
+// different spec under the same name still conflicts. Regression test for
+// the pre-reconciler behaviour where any duplicate name was an error.
+func TestAttachChainIdempotent(t *testing.T) {
+	sys, _ := demoSystem(t, manager.StrategyStateful)
+	spec := firewallChain("fw-chain")
+	if err := sys.AttachChain("phone", spec); err != nil {
+		t.Fatalf("first attach: %v", err)
+	}
+	if err := sys.WaitChainOn("st-a", "fw-chain", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachChain("phone", spec); err != nil {
+		t.Fatalf("identical re-attach should be a no-op, got %v", err)
+	}
+	if chains := sys.Manager.Chains("phone"); len(chains) != 1 {
+		t.Fatalf("chains after re-attach = %v", chains)
+	}
+	conflicting := firewallChain("fw-chain")
+	conflicting.Functions[0].Params = map[string]string{"policy": "drop"}
+	if err := sys.AttachChain("phone", conflicting); !errors.Is(err, manager.ErrChainExists) {
+		t.Fatalf("conflicting attach err = %v, want ErrChainExists", err)
+	}
+}

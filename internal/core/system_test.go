@@ -280,7 +280,11 @@ func TestAttachChainErrors(t *testing.T) {
 	if err := sys.AttachChain("phone", firewallChain("dup")); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.AttachChain("phone", firewallChain("dup")); !errors.Is(err, manager.ErrChainExists) {
+	// Same name, different spec: still a conflict. (A byte-identical
+	// re-attach is a no-op — see TestAttachChainIdempotent.)
+	conflicting := firewallChain("dup")
+	conflicting.Functions[0].Params = map[string]string{"policy": "drop"}
+	if err := sys.AttachChain("phone", conflicting); !errors.Is(err, manager.ErrChainExists) {
 		t.Fatalf("dup chain: %v", err)
 	}
 	// Unattached client.

@@ -183,9 +183,55 @@ func (m *Manager) EvaluateAutoscaler() []ScaleEvent {
 			delete(m.auto.lastProcessed, key)
 		}
 	}
-	m.auto.events = append(m.auto.events, passEvents...)
+	m.recordScaleEventsLocked(passEvents...)
 	m.auto.mu.Unlock()
 	return passEvents
+}
+
+// recordScaleEventsLocked appends to the scale-event history, trimming to
+// historyCap. Callers hold m.auto.mu.
+func (m *Manager) recordScaleEventsLocked(evs ...ScaleEvent) {
+	m.auto.events = append(m.auto.events, evs...)
+	if len(m.auto.events) > historyCap {
+		m.auto.events = m.auto.events[len(m.auto.events)-historyCap:]
+	}
+}
+
+// ScalePool resizes one shared-instance replica group directly — the
+// imperative primitive behind desired-state pool targets, recorded in
+// ScaleEvents alongside autoscaler decisions.
+func (m *Manager) ScalePool(station, kinds, configHash string, replicas int) error {
+	if replicas < 1 {
+		return fmt.Errorf("manager: scale %s/%s: replicas must be >= 1, got %d", station, kinds, replicas)
+	}
+	h, err := m.agentFor(station)
+	if err != nil {
+		return err
+	}
+	from := 0
+	var rep agent.Report
+	if err := h.call(agent.MethodStats, nil, &rep); err == nil {
+		for _, ps := range rep.Pools {
+			if ps.Kinds == kinds && ps.ConfigHash == configHash {
+				from = ps.Replicas
+				break
+			}
+		}
+	}
+	ev := ScaleEvent{
+		Station: station, Kinds: kinds, ConfigHash: configHash,
+		From: from, To: replicas, Reason: "desired-state", At: m.clk.Now(),
+	}
+	callErr := h.call(agent.MethodScalePool, agent.ScalePoolSpec{
+		Kinds: kinds, ConfigHash: configHash, Replicas: replicas,
+	}, nil)
+	if callErr != nil {
+		ev.Err = callErr.Error()
+	}
+	m.auto.mu.Lock()
+	m.recordScaleEventsLocked(ev)
+	m.auto.mu.Unlock()
+	return callErr
 }
 
 // StartAutoscaler runs EvaluateAutoscaler every interval until the manager

@@ -34,6 +34,12 @@ var (
 	ErrNotAttached    = errors.New("manager: client not attached to any station")
 )
 
+// historyCap bounds every append-only event history the manager keeps
+// (notifications, migration reports, autoscaler events): long-lived
+// deployments trim to the newest historyCap entries instead of growing
+// without bound.
+const historyCap = 4096
+
 // Strategy selects how chains move when a client roams.
 type Strategy string
 
@@ -341,12 +347,7 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 		if err := json.Unmarshal(body, &al); err != nil {
 			return
 		}
-		m.mu.Lock()
-		m.notifications = append(m.notifications, al)
-		if len(m.notifications) > 4096 {
-			m.notifications = m.notifications[len(m.notifications)-4096:]
-		}
-		m.mu.Unlock()
+		m.recordNotification(al)
 	})
 	p.OnClose(func(error) {
 		if station == "" {
@@ -461,6 +462,17 @@ func (m *Manager) ClientStation(client string) (string, bool) {
 	return rec.station, true
 }
 
+// recordNotification appends an NF alert to the notification log,
+// trimming to the newest historyCap entries.
+func (m *Manager) recordNotification(al agent.Alert) {
+	m.mu.Lock()
+	m.notifications = append(m.notifications, al)
+	if len(m.notifications) > historyCap {
+		m.notifications = m.notifications[len(m.notifications)-historyCap:]
+	}
+	m.mu.Unlock()
+}
+
 // Notifications returns a copy of collected NF alerts.
 func (m *Manager) Notifications() []agent.Alert {
 	m.mu.Lock()
@@ -526,6 +538,11 @@ func (m *Manager) Migrations() []MigrationReport {
 // Predictor exposes the mobility model (UI, tests).
 func (m *Manager) Predictor() *predict.Markov { return m.predictor }
 
+// Clock exposes the manager's clock so layered components (the
+// reconciler's backoff timers) share the same time source — virtual in
+// sims, wall elsewhere.
+func (m *Manager) Clock() clock.Clock { return m.clk }
+
 // SetPrewarm toggles predictive standby staging at runtime.
 func (m *Manager) SetPrewarm(on bool) {
 	m.mu.Lock()
@@ -549,6 +566,9 @@ var (
 func (m *Manager) recordMigration(rep MigrationReport) {
 	m.mu.Lock()
 	m.migrations = append(m.migrations, rep)
+	if len(m.migrations) > historyCap {
+		m.migrations = m.migrations[len(m.migrations)-historyCap:]
+	}
 	m.mu.Unlock()
 	if rep.Err != "" {
 		m.metrics.Counter("migration.failed").Inc()

@@ -2,6 +2,7 @@ package manager
 
 import (
 	"fmt"
+	"reflect"
 
 	"gnf/internal/agent"
 	"gnf/internal/clock"
@@ -33,8 +34,14 @@ func (m *Manager) AttachChain(client string, spec ChainSpec) error {
 		m.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
 	}
-	if _, dup := rec.chains[spec.Name]; dup {
+	if existing, dup := rec.chains[spec.Name]; dup {
 		m.mu.Unlock()
+		// Re-attaching the identical spec is a no-op, so declarative
+		// reconciler retries (and operator double-submits) are safe; only a
+		// *different* spec under the same name is a conflict.
+		if reflect.DeepEqual(existing, spec) {
+			return nil
+		}
 		return fmt.Errorf("%w: %s", ErrChainExists, spec.Name)
 	}
 	station := rec.station
@@ -292,6 +299,27 @@ func (m *Manager) withinBudgetLocked(spec ChainSpec, clientAt, at string) bool {
 	}
 	rtt, ok := m.topo.RTT(topology.StationID(clientAt), topology.StationID(at))
 	return ok && rtt <= budget
+}
+
+// ChainSettled reports whether a chain deployed at `at` is in its settled
+// placement for a client at `clientAt`: co-located with the client, or —
+// under an RTT-aware placement policy — lagging behind within the chain's
+// QoS budget (the same stay-rule roaming applies). The reconciler uses
+// this to tell drifted chains (orphans, failed migrations) from chains
+// that are legitimately elsewhere.
+func (m *Manager) ChainSettled(spec ChainSpec, clientAt, at string) bool {
+	if at == "" || clientAt == "" {
+		return false
+	}
+	if at == clientAt {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.placement.(rttAware); !ok {
+		return false
+	}
+	return m.withinBudgetLocked(spec, clientAt, at)
 }
 
 // MigrateChain moves one chain between stations on demand (the UI's manual

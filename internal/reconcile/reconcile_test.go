@@ -1,0 +1,273 @@
+package reconcile_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/core"
+	"gnf/internal/manager"
+	"gnf/internal/nf"
+	"gnf/internal/packet"
+	"gnf/internal/reconcile"
+	"gnf/internal/spec"
+	"gnf/internal/topology"
+)
+
+// fixture is one virtual station with one associated phone.
+func fixture(t *testing.T) (*core.System, *reconcile.Reconciler) {
+	t.Helper()
+	sys, _, err := core.NewVirtualSystem(core.Config{
+		Stations: []core.StationConfig{
+			{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.AddClient("phone", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-a", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return sys, reconcile.New(sys.Manager)
+}
+
+func fwSpec() *spec.Spec {
+	return &spec.Spec{Clients: []spec.Client{{ID: "phone", Chains: []spec.Chain{{
+		ChainSpec: manager.ChainSpec{
+			Name:      "fw",
+			Functions: []agent.NFSpec{{Kind: "firewall", Name: "fw0", Params: nf.Params{"policy": "accept"}}},
+		},
+	}}}}}
+}
+
+// converge drives ReconcileOnce until the plan is empty, returning how
+// many actions ran. Real deployments settle asynchronously, so each pass
+// waits for the manager to go idle before re-snapshotting.
+func converge(t *testing.T, sys *core.System, rec *reconcile.Reconciler) int {
+	t.Helper()
+	total := 0
+	for pass := 0; pass < 50; pass++ {
+		res, err := rec.ReconcileOnce(false)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		total += len(res.Executed)
+		if res.Converged {
+			return total
+		}
+		sys.Manager.WaitIdle()
+	}
+	t.Fatal("never converged")
+	return total
+}
+
+func TestApplyConvergesThenIdempotent(t *testing.T) {
+	sys, rec := fixture(t)
+	st, err := rec.SetSpec(fwSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Installed || st.Converged {
+		t.Fatalf("fresh status = %+v", st)
+	}
+	if n := converge(t, sys, rec); n != 1 {
+		t.Fatalf("fresh apply ran %d actions, want 1 attach", n)
+	}
+	if err := sys.WaitChainOn("st-a", "fw", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reconciling a converged system must be a pure no-op.
+	res, err := rec.ReconcileOnce(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || len(res.Executed) != 0 || res.Failed != 0 {
+		t.Fatalf("steady-state result = %+v", res)
+	}
+	if st := rec.Status(); !st.Converged {
+		t.Fatalf("status = %+v", st)
+	}
+	if v := sys.Audit(); len(v) != 0 {
+		t.Fatalf("audit violations: %v", v)
+	}
+}
+
+func TestReapplySameSpecKeepsGeneration(t *testing.T) {
+	_, rec := fixture(t)
+	st1, err := rec.SetSpec(fwSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := rec.SetSpec(fwSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Generation != st1.Generation || st2.Hash != st1.Hash {
+		t.Fatalf("byte-identical re-apply bumped generation: %+v -> %+v", st1, st2)
+	}
+	changed := fwSpec()
+	changed.Clients[0].Chains[0].MaxRTTMs = 25
+	st3, err := rec.SetSpec(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Generation != st1.Generation+1 {
+		t.Fatalf("changed spec generation = %d, want %d", st3.Generation, st1.Generation+1)
+	}
+}
+
+func TestDryRunPlansWithoutMutating(t *testing.T) {
+	sys, rec := fixture(t)
+	if _, err := rec.SetSpec(fwSpec()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.ReconcileOnce(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DryRun || len(res.Planned) != 1 || res.Planned[0].Kind != spec.ActionAttach {
+		t.Fatalf("dry-run result = %+v", res)
+	}
+	if chains := sys.Manager.Chains("phone"); len(chains) != 0 {
+		t.Fatalf("dry run attached chains: %v", chains)
+	}
+	if st := rec.Status(); st.Converged {
+		t.Fatal("dry run stamped convergence")
+	}
+}
+
+func TestScheduleFlows(t *testing.T) {
+	sys, rec := fixture(t)
+	sp := fwSpec()
+	win := manager.Window{EnableAt: sys.Clock.Now().Add(time.Hour)}
+	sp.Clients[0].Chains[0].Schedule = &win
+	if _, err := rec.SetSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	converge(t, sys, rec)
+	scheds := sys.Manager.Schedules()
+	if len(scheds) != 1 || scheds[0].Window != win {
+		t.Fatalf("schedules = %+v", scheds)
+	}
+	// Drop the window from the spec: one unschedule action converges again.
+	if _, err := rec.SetSpec(fwSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if n := converge(t, sys, rec); n != 1 {
+		t.Fatalf("window removal ran %d actions, want 1 unschedule", n)
+	}
+	if scheds := sys.Manager.Schedules(); len(scheds) != 0 {
+		t.Fatalf("schedules after removal = %+v", scheds)
+	}
+}
+
+// TestBackoffDefersFailingAction runs on the real clock: the auto-virtual
+// clock advances on every background Sleep, which would blow through the
+// 250ms backoff window between passes. An offload-only spec keeps the
+// manager free of sleeping deploy goroutines.
+func TestBackoffDefersFailingAction(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{
+		ReportInterval: time.Hour,
+		Stations: []core.StationConfig{
+			{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.AddClient("phone", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitClientAt("phone", "st-a", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec := reconcile.New(sys.Manager)
+	sp := &spec.Spec{Clients: []spec.Client{{ID: "phone", Offload: "no-such-site"}}}
+	if _, err := rec.SetSpec(sp); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.ReconcileOnce(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("offload to unknown site: %+v", res)
+	}
+	// Immediately after the failure the action is deferred, not retried.
+	res, err = rec.ReconcileOnce(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deferred != 1 || res.Failed != 0 {
+		t.Fatalf("want deferral inside backoff window, got %+v", res)
+	}
+	// Once the window elapses the action is retried (and fails again).
+	time.Sleep(300 * time.Millisecond)
+	res, err = rec.ReconcileOnce(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("want retry after backoff elapsed, got %+v", res)
+	}
+	// Installing a fixed spec clears backoff so repair is immediate.
+	if _, err := rec.SetSpec(&spec.Spec{Clients: []spec.Client{{ID: "phone"}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = rec.ReconcileOnce(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deferred != 0 || !res.Converged {
+		t.Fatalf("backoff survived a spec change: %+v", res)
+	}
+}
+
+func TestDriftRepair(t *testing.T) {
+	sys, rec := fixture(t)
+	if _, err := rec.SetSpec(fwSpec()); err != nil {
+		t.Fatal(err)
+	}
+	converge(t, sys, rec)
+	// Out-of-band mutation: an operator detaches the chain imperatively.
+	if err := sys.Manager.DetachChain("phone", "fw"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Manager.WaitIdle()
+	if n := converge(t, sys, rec); n != 1 {
+		t.Fatalf("drift repair ran %d actions, want 1 re-attach", n)
+	}
+	if err := sys.WaitChainOn("st-a", "fw", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSpecErrors(t *testing.T) {
+	_, rec := fixture(t)
+	if _, err := rec.Plan(); err != reconcile.ErrNoSpec {
+		t.Fatalf("Plan err = %v", err)
+	}
+	if _, err := rec.ReconcileOnce(false); err != reconcile.ErrNoSpec {
+		t.Fatalf("ReconcileOnce err = %v", err)
+	}
+	bad := fwSpec()
+	bad.Strategy = "teleport"
+	if _, err := rec.SetSpec(bad); err == nil || !strings.Contains(err.Error(), "strategy") {
+		t.Fatalf("SetSpec err = %v", err)
+	}
+	if st := rec.Status(); st.Installed {
+		t.Fatal("rejected spec was installed")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"gnf/internal/mobility"
 	"gnf/internal/netem"
 	"gnf/internal/packet"
+	"gnf/internal/reconcile"
 	"gnf/internal/topology"
 	"gnf/internal/traffic"
 )
@@ -73,6 +74,11 @@ type Result struct {
 	// round-trip at scenario end, over the topology graph (only when the
 	// scenario declares one).
 	ChainRTTs map[string]Duration `json:"chain_rtts,omitempty"`
+	// ReconcileActions is the total imperative actions issued by apply-spec
+	// and reconcile steps; ConvergedIn is the worst virtual time any
+	// apply-spec step took to converge.
+	ReconcileActions int      `json:"reconcile_actions,omitempty"`
+	ConvergedIn      Duration `json:"converged_in,omitempty"`
 	// Load summarises the (last) load step's megascale harness run; nil
 	// when the script had none.
 	Load *LoadSummary `json:"load,omitempty"`
@@ -115,6 +121,10 @@ type Engine struct {
 	schedTrans int // transitions applied by eval-schedules steps
 	result     *Result
 	loadSink   *netem.Host // backhaul sink for load steps, created lazily
+
+	rec              *reconcile.Reconciler // created by the first apply-spec step
+	reconcileActions int
+	convergeWorst    time.Duration // slowest apply-spec convergence
 }
 
 // New validates the spec and brings the deployment up.
@@ -284,6 +294,12 @@ func toChainSpec(ch Chain) manager.ChainSpec {
 func (e *Engine) settle() {
 	e.sys.Manager.WaitIdle()
 	reports := e.sys.Manager.Migrations()
+	// The manager trims its report history at historyCap; a scenario that
+	// somehow exceeded it would shift earlier indexes out from under us, so
+	// clamp rather than slice past the end.
+	if e.migSeen > len(reports) {
+		e.migSeen = len(reports)
+	}
 	fresh := reports[e.migSeen:]
 	e.migSeen = len(reports)
 	batch := make([]Migration, 0, len(fresh))
@@ -455,10 +471,65 @@ func (e *Engine) step(st Step) error {
 	case ActAutoscale:
 		mgr.EvaluateAutoscaler()
 		return nil
+	case ActApplySpec:
+		return e.applySpec(st)
+	case ActReconcile:
+		res, err := e.reconciler().ReconcileOnce(false)
+		if err != nil {
+			return err
+		}
+		e.reconcileActions += len(res.Executed)
+		return nil
 	case ActSettle:
 		return nil // settle runs after every step anyway
 	}
 	return fmt.Errorf("unknown action %q", st.Action)
+}
+
+// reconciler lazily builds the desired-state reconciler over the run's
+// manager; it shares the virtual clock, so backoff timing is simulated.
+func (e *Engine) reconciler() *reconcile.Reconciler {
+	if e.rec == nil {
+		e.rec = reconcile.New(e.sys.Manager)
+	}
+	return e.rec
+}
+
+// applySpecPasses bounds the convergence loop of one apply-spec step.
+// Each non-converged pass advances virtual time by applySpecTick, so the
+// cap also bounds the simulated time charged against converged_within_ms.
+const (
+	applySpecPasses = 400
+	applySpecTick   = 100 * time.Millisecond
+)
+
+// applySpec installs the step's desired-state document and drives
+// reconcile passes until the fleet converges, advancing the virtual clock
+// a tick per pass (multi-pass transitions — recall then re-offload — and
+// failure backoff both need time to move). The elapsed virtual time is
+// what converged_within_ms bounds.
+func (e *Engine) applySpec(st Step) error {
+	rec := e.reconciler()
+	if _, err := rec.SetSpec(st.Spec); err != nil {
+		return err
+	}
+	begin := e.clk.Now()
+	for pass := 0; pass < applySpecPasses; pass++ {
+		res, err := rec.ReconcileOnce(false)
+		if err != nil {
+			return err
+		}
+		e.reconcileActions += len(res.Executed)
+		if res.Converged {
+			if took := e.clk.Since(begin); took > e.convergeWorst {
+				e.convergeWorst = took
+			}
+			return nil
+		}
+		e.sys.Manager.WaitIdle()
+		e.clk.Advance(applySpecTick)
+	}
+	return fmt.Errorf("apply-spec: not converged after %d reconcile passes", applySpecPasses)
 }
 
 // trafficSink is the backhaul-side destination traffic steps send toward;
@@ -697,6 +768,34 @@ func (e *Engine) finish() {
 		res.Failures = append(res.Failures,
 			fmt.Sprintf("schedule transitions: got %d, want <= %d (flapping)",
 				res.ScheduleTransitions, exp.MaxScheduleTransitions))
+	}
+	res.ReconcileActions = e.reconcileActions
+	res.ConvergedIn = Duration(e.convergeWorst)
+	if exp.MaxReconcileActions > 0 && res.ReconcileActions > exp.MaxReconcileActions {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("reconcile actions: got %d, want <= %d (thrashing)",
+				res.ReconcileActions, exp.MaxReconcileActions))
+	}
+	if exp.ConvergedWithinMs > 0 {
+		if e.rec == nil {
+			res.Failures = append(res.Failures,
+				"converged_within_ms declared but no apply-spec step ran")
+		} else {
+			if got := float64(e.convergeWorst.Microseconds()) / 1000; got > exp.ConvergedWithinMs {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("convergence: took %.3fms, want <= %.3fms", got, exp.ConvergedWithinMs))
+			}
+			// Convergence must also hold at scenario end: later script steps
+			// (station kills, moves) may have re-opened a gap the reconciler
+			// failed to close.
+			if plan, err := e.rec.Plan(); err != nil {
+				res.Failures = append(res.Failures, "final diff: "+err.Error())
+			} else if len(plan) > 0 {
+				for _, a := range plan {
+					res.Failures = append(res.Failures, "desired state diverged at scenario end: "+a.String())
+				}
+			}
+		}
 	}
 	e.checkChainRTTs()
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"gnf/internal/manager"
+	dstate "gnf/internal/spec"
 )
 
 // Duration is a time.Duration that (un)marshals as a Go duration string
@@ -144,6 +145,10 @@ type Step struct {
 
 	Strategy string `json:"strategy,omitempty"` // set-strategy
 
+	// Spec is the desired-state document an apply-spec step installs; the
+	// engine then drives reconcile passes until the fleet converges.
+	Spec *dstate.Spec `json:"spec,omitempty"`
+
 	// traffic parameters: the client sends Frames UDP frames spread over
 	// Flows distinct flows (default 16) toward the backhaul — the load
 	// signal the autoscaler reads off the shared instance serving the
@@ -185,6 +190,8 @@ const (
 	ActLoad           = "load"            // Client drives Flows megascale flows for Rounds rounds
 	ActAutoscale      = "autoscale"       // run one manager autoscaler evaluation
 	ActEvacuate       = "evacuate"        // move every chain off Station (maintenance)
+	ActApplySpec      = "apply-spec"      // install Spec as desired state, reconcile to convergence
+	ActReconcile      = "reconcile"       // run one desired-state reconcile pass
 )
 
 // TopoLink is one declared inter-station link of the topology block.
@@ -283,6 +290,14 @@ type Expect struct {
 	// MaxP99Ms caps the load step's 99th-percentile virtual-clock latency
 	// (milliseconds); 0 means no check.
 	MaxP99Ms float64 `json:"max_p99_ms,omitempty"`
+	// ConvergedWithinMs caps the virtual time every apply-spec step took to
+	// reach convergence, and requires the desired state to still be
+	// converged (empty diff) at scenario end; 0 means no check.
+	ConvergedWithinMs float64 `json:"converged_within_ms,omitempty"`
+	// MaxReconcileActions bounds the total imperative actions all reconcile
+	// passes issued — a converging reconciler does bounded work, a
+	// thrashing one doesn't; 0 means no bound.
+	MaxReconcileActions int `json:"max_reconcile_actions,omitempty"`
 }
 
 // Spec is one complete scenario file.
@@ -408,7 +423,7 @@ func (sp *Spec) Validate() error {
 			ActMigrate, ActWaypoint, ActKillStation, ActRestartStation,
 			ActCheckFailures, ActOffload, ActRecall, ActSchedule,
 			ActEvalSchedules, ActSetStrategy, ActSettle, ActTraffic,
-			ActLoad, ActAutoscale, ActEvacuate:
+			ActLoad, ActAutoscale, ActEvacuate, ActApplySpec, ActReconcile:
 		default:
 			return fmt.Errorf("scenario %s: script step %d has unknown action %q", sp.Name, i, st.Action)
 		}
@@ -460,6 +475,26 @@ func (sp *Spec) Validate() error {
 		case ActLoad:
 			if st.Flows <= 0 || st.Rounds <= 0 {
 				return fmt.Errorf("scenario %s: step %d load needs flows > 0 and rounds > 0", sp.Name, i)
+			}
+		case ActApplySpec:
+			if st.Spec == nil {
+				return fmt.Errorf("scenario %s: step %d apply-spec needs a spec block", sp.Name, i)
+			}
+			if err := st.Spec.Validate(); err != nil {
+				return fmt.Errorf("scenario %s: step %d: %w", sp.Name, i, err)
+			}
+			for _, dc := range st.Spec.Clients {
+				if !clients[dc.ID] {
+					return fmt.Errorf("scenario %s: step %d desired spec references unknown client %q", sp.Name, i, dc.ID)
+				}
+				if dc.Offload != "" && !sites[dc.Offload] {
+					return fmt.Errorf("scenario %s: step %d desired spec references unknown cloud site %q", sp.Name, i, dc.Offload)
+				}
+				for _, ch := range dc.Chains {
+					if ch.MaxRTTMs > 0 && sp.Topology == nil {
+						return fmt.Errorf("scenario %s: step %d desired chain %s declares max_rtt_ms but the scenario has no topology block", sp.Name, i, ch.Name)
+					}
+				}
 			}
 		}
 	}

@@ -11,8 +11,10 @@ package ui
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -21,6 +23,8 @@ import (
 	"gnf/internal/agent"
 	"gnf/internal/manager"
 	"gnf/internal/metrics"
+	"gnf/internal/reconcile"
+	"gnf/internal/spec"
 )
 
 // StationView is one station's row in the dashboard.
@@ -57,6 +61,7 @@ type Overview struct {
 // Server is the UI HTTP server.
 type Server struct {
 	mgr *manager.Manager
+	rec *reconcile.Reconciler
 	mux *http.ServeMux
 	ln  net.Listener
 	srv *http.Server
@@ -64,7 +69,7 @@ type Server struct {
 
 // New builds a UI server over the manager (not yet listening).
 func New(mgr *manager.Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, rec: reconcile.New(mgr), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /api/overview", s.handleOverview)
 	s.mux.HandleFunc("GET /api/stations", s.handleStations)
 	s.mux.HandleFunc("GET /api/notifications", s.handleNotifications)
@@ -77,9 +82,17 @@ func New(mgr *manager.Manager) *Server {
 	s.mux.HandleFunc("GET /api/failovers", s.handleFailovers)
 	s.mux.HandleFunc("GET /api/placement", s.handlePlacement)
 	s.mux.HandleFunc("GET /api/pools", s.handlePools)
+	s.mux.HandleFunc("GET /api/spec", s.handleGetSpec)
+	s.mux.HandleFunc("PUT /api/spec", s.handlePutSpec)
+	s.mux.HandleFunc("GET /api/diff", s.handleDiff)
+	s.mux.HandleFunc("POST /api/reconcile", s.handleReconcile)
 	s.mux.HandleFunc("GET /", s.handleDashboard)
 	return s
 }
+
+// Reconciler exposes the desired-state reconciler so the daemon can start
+// its background loop (and tests can drive passes directly).
+func (s *Server) Reconciler() *reconcile.Reconciler { return s.rec }
 
 // Handler exposes the mux (tests use httptest against it).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -105,8 +118,9 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server.
+// Close stops the server and the reconcile loop if one is running.
 func (s *Server) Close() error {
+	s.rec.Stop()
 	if s.srv != nil {
 		return s.srv.Close()
 	}
@@ -155,6 +169,25 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeErr renders every API error the same way: a structured JSON body
+// so clients never have to guess between plain-text and JSON failures.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeBody parses a JSON request body into v, rejecting empty bodies
+// explicitly (Decode would report a bare io.EOF, which reads like a
+// transport bug rather than a client mistake).
+func decodeBody(r *http.Request, v any) error {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if errors.Is(err, io.EOF) {
+		return errors.New("empty request body: expected a JSON object")
+	}
+	return err
+}
+
 func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.overview(true))
 }
@@ -190,12 +223,12 @@ type AttachRequest struct {
 
 func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 	var req AttachRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.mgr.AttachChain(req.Client, req.Chain); err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, map[string]string{"status": "attached"})
@@ -209,12 +242,12 @@ type DetachRequest struct {
 
 func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	var req DetachRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.mgr.DetachChain(req.Client, req.Chain); err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, map[string]string{"status": "detached"})
@@ -229,13 +262,13 @@ type MigrateRequest struct {
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	var req MigrateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	rep, err := s.mgr.MigrateChain(req.Client, req.Chain, req.To)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, rep)
@@ -249,13 +282,13 @@ type OffloadRequest struct {
 
 func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 	var req OffloadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	rep, err := s.mgr.OffloadClient(req.Client, req.Site)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, rep)
@@ -268,13 +301,13 @@ type RecallRequest struct {
 
 func (s *Server) handleRecall(w http.ResponseWriter, r *http.Request) {
 	var req RecallRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	rep, err := s.mgr.RecallClient(req.Client)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		writeErr(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, rep)
@@ -306,6 +339,74 @@ func (s *Server) handlePools(w http.ResponseWriter, r *http.Request) {
 		Stations:    s.mgr.PoolTables(),
 		ScaleEvents: s.mgr.ScaleEvents(),
 	})
+}
+
+// handleGetSpec returns the installed desired spec and its convergence
+// status; 404 before any spec was installed.
+func (s *Server) handleGetSpec(w http.ResponseWriter, r *http.Request) {
+	st := s.rec.Status()
+	if !st.Installed {
+		writeErr(w, http.StatusNotFound, reconcile.ErrNoSpec)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// handlePutSpec validates and installs a desired spec document.
+func (s *Server) handlePutSpec(w http.ResponseWriter, r *http.Request) {
+	var sp spec.Spec
+	if err := decodeBody(r, &sp); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.rec.SetSpec(&sp)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// DiffView is the GET /api/diff payload: the full pending action plan.
+type DiffView struct {
+	Hash       string        `json:"hash"`
+	Generation uint64        `json:"generation"`
+	Converged  bool          `json:"converged"`
+	Actions    []spec.Action `json:"actions"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	plan, err := s.rec.Plan()
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	st := s.rec.Status()
+	writeJSON(w, DiffView{
+		Hash: st.Hash, Generation: st.Generation,
+		Converged: len(plan) == 0,
+		Actions:   append([]spec.Action{}, plan...),
+	})
+}
+
+// ReconcileRequest is the POST body for /api/reconcile. An empty object
+// runs a real pass; {"dry_run": true} only reports the plan.
+type ReconcileRequest struct {
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req ReconcileRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.rec.ReconcileOnce(req.DryRun)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, res)
 }
 
 var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
