@@ -15,6 +15,7 @@
 //	E8          BenchmarkE8OffloadAblation         GNFC edge vs cloud hosting
 //	E8          BenchmarkE8BatchedDataplane        batched vs per-frame pipeline
 //	E9          BenchmarkE9FailoverRecovery        station-crash recovery
+//	E9          BenchmarkE9TraceOverhead           dataplane cost of 1% frame sampling
 //
 // Custom metrics use b.ReportMetric: modeled costs (virtual-clock time) are
 // reported as *_ms metrics; counts as their own units.
@@ -1048,4 +1049,40 @@ func BenchmarkE9FailoverRecovery(b *testing.B) {
 			b.ReportMetric(float64(recovered.Microseconds())/float64(b.N)/1000, "recovery_ms")
 		})
 	}
+}
+
+// BenchmarkE9TraceOverhead — observability addendum: prices the telemetry
+// plane's only dataplane hook, the frame sampler, on the E8 verdict
+// pipeline. sampling-off is the baseline (a nil atomic pointer load per
+// frame); sampling-1pct arms EnableSampling(100), the default operating
+// point. The acceptance bar: zero allocations per frame on both paths and
+// < 5% frames/sec regression with sampling armed.
+func BenchmarkE9TraceOverhead(b *testing.B) {
+	run := func(b *testing.B, every int) {
+		sw, tmpl := newE8Switch()
+		if every > 0 {
+			sw.EnableSampling(every)
+		}
+		inject := func() {
+			f := packet.BorrowFrame()[:len(tmpl)]
+			copy(f, tmpl)
+			sw.Inject(1, f)
+		}
+		inject() // warm the flow cache and the frame pool
+		b.SetBytes(int64(len(tmpl)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inject()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+		if every > 0 {
+			if want := uint64(b.N+1) / uint64(every); sw.SampledFrames() < want {
+				b.Fatalf("sampler slept through the run: %d sampled, want >= %d", sw.SampledFrames(), want)
+			}
+		}
+	}
+	b.Run("sampling-off", func(b *testing.B) { run(b, 0) })
+	b.Run("sampling-1pct", func(b *testing.B) { run(b, 100) })
 }

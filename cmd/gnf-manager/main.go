@@ -28,6 +28,10 @@ func main() {
 		"shared-instance autoscaler evaluation interval (0 disables; e.g. 2s)")
 	reconcileInterval := flag.Duration("reconcile-interval", 0,
 		"desired-state reconcile interval (0 disables; e.g. 5s)")
+	traceSample := flag.Float64("trace-sample", 1,
+		"fraction of control-plane operations to trace (0..1)")
+	pprofOn := flag.Bool("pprof", false,
+		"expose net/http/pprof under /debug/pprof/ on the UI address")
 	flag.Parse()
 
 	var strat manager.Strategy
@@ -48,7 +52,8 @@ func main() {
 	}
 
 	mgr, err := manager.New(clock.System(), *listen,
-		manager.WithStrategy(strat), manager.WithHotspotCPU(*hotspot))
+		manager.WithStrategy(strat), manager.WithHotspotCPU(*hotspot),
+		manager.WithTraceSampleRatio(*traceSample))
 	if err != nil {
 		log.Fatalf("manager: %v", err)
 	}
@@ -60,6 +65,9 @@ func main() {
 	}
 
 	dash := ui.New(mgr)
+	if *pprofOn {
+		dash.EnablePprof()
+	}
 	if err := dash.Start(*uiAddr); err != nil {
 		log.Fatalf("ui: %v", err)
 	}

@@ -49,6 +49,12 @@ commands:
   diff                             pending actions between desired and
                                    actual state (empty when converged)
   get spec                         installed desired-state spec + status
+  trace [id]                       list stored traces, or render one trace's
+                                   span tree with per-span durations
+  events [-follow] [-type t,...]   print the manager's event journal; -follow
+                                   tails it live
+  top [-follow]                    per-station resource table (CPU, memory,
+                                   NFs, frames); -follow redraws like top(1)
   run-scenario <file.json>         execute a declarative scenario in-process
                                    (virtual time; prints the result, exits
                                    non-zero when expectations fail)
@@ -117,6 +123,12 @@ func main() {
 			usage()
 		}
 		err = getAndPrint(*api + "/api/spec")
+	case "trace":
+		err = cmdTrace(*api, args[1:])
+	case "events":
+		err = cmdEvents(*api, args[1:])
+	case "top":
+		err = cmdTop(*api, args[1:])
 	case "run-scenario":
 		if len(args) != 2 {
 			usage()

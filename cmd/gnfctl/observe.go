@@ -1,0 +1,171 @@
+// Observability subcommands: span-tree rendering (trace), journal
+// tailing (events) and a per-station resource table (top). All speak the
+// UI's REST API like the rest of gnfctl.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"gnf/internal/trace"
+	"gnf/internal/ui"
+)
+
+// getInto fetches url and decodes the 200 JSON response into out.
+func getInto(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// cmdTrace lists stored traces (no argument) or renders one trace's span
+// tree, indented by parent/child relation with per-span durations.
+func cmdTrace(api string, args []string) error {
+	if len(args) == 0 {
+		return getAndPrint(api + "/api/traces")
+	}
+	var spans []trace.SpanRecord
+	if err := getInto(api+"/api/trace/"+args[0], &spans); err != nil {
+		return err
+	}
+	printSpanTree(os.Stdout, spans)
+	return nil
+}
+
+// printSpanTree renders spans as an indented tree. Spans arrive sorted by
+// start time (the server guarantees it), so sibling order is causal; a
+// span whose parent is missing from the set renders as a root.
+func printSpanTree(w io.Writer, spans []trace.SpanRecord) {
+	present := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		present[s.SpanID] = true
+	}
+	children := make(map[string][]trace.SpanRecord)
+	var roots []trace.SpanRecord
+	for _, s := range spans {
+		if s.Parent != "" && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var walk func(s trace.SpanRecord, depth int)
+	walk = func(s trace.SpanRecord, depth int) {
+		var extra strings.Builder
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&extra, " %s=%s", k, s.Attrs[k])
+			}
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&extra, "  ERROR: %s", s.Err)
+		}
+		fmt.Fprintf(w, "%s%s  [%s]  %.3fms%s\n",
+			strings.Repeat("  ", depth), s.Name, s.Origin, s.DurationMs, extra.String())
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// cmdEvents prints the journal, optionally filtered by -type and followed
+// live: -follow polls with ?after=<last_seq> so each event prints once.
+func cmdEvents(api string, args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	follow := fs.Bool("follow", false, "keep polling for new events")
+	etype := fs.String("type", "", "comma-separated event types (attach,migrate,scale,...)")
+	interval := fs.Duration("interval", time.Second, "poll interval with -follow")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	filter := ""
+	if *etype != "" {
+		for _, t := range strings.Split(*etype, ",") {
+			filter += "&type=" + strings.TrimSpace(t)
+		}
+	}
+	var after uint64
+	for {
+		var view ui.EventsView
+		if err := getInto(fmt.Sprintf("%s/api/events?after=%d%s", api, after, filter), &view); err != nil {
+			return err
+		}
+		for _, ev := range view.Events {
+			printEvent(os.Stdout, ev)
+		}
+		after = view.LastSeq
+		if !*follow {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func printEvent(w io.Writer, ev trace.Event) {
+	var extra strings.Builder
+	if ev.TraceID != "" {
+		fmt.Fprintf(&extra, " trace=%s", ev.TraceID)
+	}
+	if ev.Err != "" {
+		fmt.Fprintf(&extra, "  ERROR: %s", ev.Err)
+	}
+	fmt.Fprintf(w, "%6d  %s  %-10s %-16s %-10s %s%s\n",
+		ev.Seq, ev.At.Format(time.RFC3339), ev.Type, ev.Subject, ev.Station, ev.Detail, extra.String())
+}
+
+// cmdTop prints a per-station resource table; -follow redraws it every
+// interval like top(1).
+func cmdTop(api string, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	follow := fs.Bool("follow", false, "redraw every interval until interrupted")
+	interval := fs.Duration("interval", 2*time.Second, "redraw interval with -follow")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for {
+		var stations []ui.StationView
+		if err := getInto(api+"/api/stations", &stations); err != nil {
+			return err
+		}
+		if *follow {
+			fmt.Print("\033[H\033[2J") // cursor home + clear, like top(1)
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "STATION\tCPU%\tMEM_MB\tNFS\tRX_FRAMES\tREDIRECTS\tCHAINS")
+		for _, st := range stations {
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%d\t%d\t%d\t%d\n",
+				st.Station, st.CPU, st.MemoryMB, st.NFs, st.RxFrames, st.Redirects, len(st.Chains))
+		}
+		tw.Flush()
+		if !*follow {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"gnf/internal/packet"
 	"gnf/internal/share"
 	"gnf/internal/topology"
+	"gnf/internal/trace"
 )
 
 // Errors returned by the agent.
@@ -122,6 +124,10 @@ type Agent struct {
 	pool      *share.Pool
 	poolSeq   atomic.Uint64 // shared-instance name generations
 
+	// tracer buffers this agent's finished spans; the RPC layer flushes
+	// them to the manager before each traced response returns.
+	tracer *trace.Tracer
+
 	// retiredDrops accumulates the drop counters of chains that have been
 	// torn down, so station-level loss accounting (the zero-loss scenario
 	// expectation) survives migration removals.
@@ -177,8 +183,12 @@ func New(station topology.StationID, clk clock.Clock, rt *container.Runtime, sw 
 		o(a)
 	}
 	a.pool = share.NewPool(a.clk, a.poolGrace)
+	a.tracer = trace.New(clk, trace.WithOrigin(string(station)), trace.WithBuffer(0))
 	return a
 }
+
+// Tracer exposes the agent's span tracer (the RPC layer drains it).
+func (a *Agent) Tracer() *trace.Tracer { return a.tracer }
 
 // Station returns the agent's station ID.
 func (a *Agent) Station() topology.StationID { return a.station }
@@ -732,6 +742,13 @@ func (a *Agent) SyncDelta(chain string, state []byte) error {
 // brownout-buffered frame is replayed in arrival order — the loss-free end
 // of a handoff.
 func (a *Agent) Activate(chain string) (*ActivateResult, error) {
+	return a.ActivateTraced(trace.Context{}, chain)
+}
+
+// ActivateTraced is Activate under a trace: the steering flip and the
+// brownout replay — the two sub-steps whose durations bound a handoff's
+// downtime — each get their own child span when tctx is recording.
+func (a *Agent) ActivateTraced(tctx trace.Context, chain string) (*ActivateResult, error) {
 	d, err := a.get(chain)
 	if err != nil {
 		return nil, err
@@ -740,9 +757,12 @@ func (a *Agent) Activate(chain string) (*ActivateResult, error) {
 		a.mu.Lock()
 		d.standby = false
 		a.mu.Unlock()
+		flip := a.tracer.Child(tctx, "agent.steer_flip")
 		a.enableShared(d)
+		flip.End(nil)
 		return &ActivateResult{Chain: chain}, nil
 	}
+	flip := a.tracer.Child(tctx, "agent.steer_flip")
 	a.mu.Lock()
 	d.standby = false
 	ci, have := a.clients[topology.ClientID(d.spec.Client)]
@@ -750,9 +770,14 @@ func (a *Agent) Activate(chain string) (*ActivateResult, error) {
 		d.ruleIDs = a.clientSteeringRules(ci, d.ports[0], d.ports[1])
 	}
 	a.mu.Unlock()
+	flip.End(nil)
+	replay := a.tracer.Child(tctx, "agent.brownout_replay")
 	before := d.host.Replayed()
 	d.host.Enable()
-	return &ActivateResult{Chain: chain, Replayed: d.host.Replayed() - before}, nil
+	replayed := d.host.Replayed() - before
+	replay.SetAttr("replayed", strconv.FormatUint(replayed, 10))
+	replay.End(nil)
+	return &ActivateResult{Chain: chain, Replayed: replayed}, nil
 }
 
 // Remove tears a deployment down: steering rules out first (traffic cuts
@@ -869,14 +894,21 @@ func (a *Agent) Report() Report {
 		Station: string(a.station),
 		Usage:   a.rt.Usage(),
 		Switch: SwitchStats{
-			RxFrames:  swst.RxFrames,
-			Dropped:   swst.Dropped,
-			Flooded:   swst.Flooded,
-			Redirects: swst.Redirects,
-			Rules:     swst.Rules,
+			RxFrames:      swst.RxFrames,
+			Dropped:       swst.Dropped,
+			Flooded:       swst.Flooded,
+			Redirects:     swst.Redirects,
+			Rules:         swst.Rules,
+			CacheHits:     swst.CacheHits,
+			CacheMisses:   swst.CacheMisses,
+			FlowEntries:   swst.FlowEntries,
+			BatchFrames:   swst.BatchFrames,
+			BatchRuns:     swst.BatchRuns,
+			SampledFrames: swst.SampledFrames,
 		},
-		RetiredDrops: a.retiredDrops.Load(),
-		UnixNano:     a.clk.Now().UnixNano(),
+		RetiredDrops:         a.retiredDrops.Load(),
+		FramePoolOutstanding: packet.FramePoolOutstanding(),
+		UnixNano:             a.clk.Now().UnixNano(),
 	}
 	// Snapshot the mutable per-deployment flags in the same locked pass
 	// that collects the list, so the loop below never re-takes a.mu.

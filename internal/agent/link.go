@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gnf/internal/topology"
+	"gnf/internal/trace"
 	"gnf/internal/wire"
 )
 
@@ -88,34 +89,64 @@ func (l *Link) reportLoop(interval time.Duration) {
 	}
 }
 
-// installHandlers exposes the agent's local API over the wire.
+// flushSpans ships the agent's buffered spans up to the manager. Traced
+// handlers call it synchronously before returning their response, so by the
+// time the manager's traced call completes, every span the agent produced
+// for it is already in the manager's store — no eventual-consistency window
+// for scenario assertions (or operators) to race against. Safe from inside
+// a handler because wire handlers run on their own goroutines.
+func (l *Link) flushSpans() {
+	batch := l.agent.Tracer().Drain()
+	if len(batch) == 0 {
+		return
+	}
+	l.peer.Call(MethodSpans, SpanBatch{Station: string(l.agent.Station()), Spans: batch}, nil)
+}
+
+// installHandlers exposes the agent's local API over the wire. Every
+// handler is wrapped in trace propagation: an empty trace header costs
+// nothing, a valid one opens a child span under the caller's trace, and a
+// corrupt/foreign one degrades to a fresh root span rather than an error.
 func (l *Link) installHandlers() {
 	a := l.agent
-	l.peer.Handle(MethodPing, func(json.RawMessage) (any, error) {
+	traced := func(method string, h func(trace.Context, json.RawMessage) (any, error)) {
+		l.peer.HandleTraced(method, func(hdr string, body json.RawMessage) (any, error) {
+			if hdr == "" {
+				return h(trace.Context{}, body)
+			}
+			parent, _ := trace.ParseHeader(hdr) // garbage parses to a zero Context → fresh root
+			sp := a.Tracer().StartSpan(parent, method)
+			out, err := h(sp.Context(), body)
+			sp.End(err)
+			l.flushSpans()
+			return out, err
+		})
+	}
+	traced(MethodPing, func(_ trace.Context, _ json.RawMessage) (any, error) {
 		return map[string]string{"station": string(a.Station())}, nil
 	})
-	l.peer.Handle(MethodDeploy, func(body json.RawMessage) (any, error) {
+	traced(MethodDeploy, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec DeploySpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return a.Deploy(spec)
 	})
-	l.peer.Handle(MethodRemove, func(body json.RawMessage) (any, error) {
+	traced(MethodRemove, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var ref ChainRef
 		if err := json.Unmarshal(body, &ref); err != nil {
 			return nil, err
 		}
 		return nil, a.Remove(ref.Chain)
 	})
-	l.peer.Handle(MethodEnable, func(body json.RawMessage) (any, error) {
+	traced(MethodEnable, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var ref ChainRef
 		if err := json.Unmarshal(body, &ref); err != nil {
 			return nil, err
 		}
 		return nil, a.Enable(ref.Chain)
 	})
-	l.peer.Handle(MethodDisable, func(body json.RawMessage) (any, error) {
+	traced(MethodDisable, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var ref ChainRef
 		if err := json.Unmarshal(body, &ref); err != nil {
 			return nil, err
@@ -125,7 +156,7 @@ func (l *Link) installHandlers() {
 		}
 		return nil, a.Disable(ref.Chain)
 	})
-	l.peer.Handle(MethodCheckpoint, func(body json.RawMessage) (any, error) {
+	traced(MethodCheckpoint, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var ref ChainRef
 		if err := json.Unmarshal(body, &ref); err != nil {
 			return nil, err
@@ -136,66 +167,66 @@ func (l *Link) installHandlers() {
 		}
 		return CheckpointResult{Chain: ref.Chain, State: state}, nil
 	})
-	l.peer.Handle(MethodRestore, func(body json.RawMessage) (any, error) {
+	traced(MethodRestore, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec RestoreSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return nil, a.Restore(spec.Chain, spec.State)
 	})
-	l.peer.Handle(MethodPreCopy, func(body json.RawMessage) (any, error) {
+	traced(MethodPreCopy, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec PreCopySpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return a.PreCopy(spec.Chain, spec.Restart)
 	})
-	l.peer.Handle(MethodSyncDelta, func(body json.RawMessage) (any, error) {
+	traced(MethodSyncDelta, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec SyncDeltaSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return nil, a.SyncDelta(spec.Chain, spec.State)
 	})
-	l.peer.Handle(MethodActivate, func(body json.RawMessage) (any, error) {
+	traced(MethodActivate, func(tctx trace.Context, body json.RawMessage) (any, error) {
 		var ref ChainRef
 		if err := json.Unmarshal(body, &ref); err != nil {
 			return nil, err
 		}
-		return a.Activate(ref.Chain)
+		return a.ActivateTraced(tctx, ref.Chain)
 	})
-	l.peer.Handle(MethodPrefetch, func(body json.RawMessage) (any, error) {
+	traced(MethodPrefetch, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec PrefetchSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return nil, a.Prefetch(spec.Images)
 	})
-	l.peer.Handle(MethodStats, func(json.RawMessage) (any, error) {
+	traced(MethodStats, func(_ trace.Context, _ json.RawMessage) (any, error) {
 		return a.Report(), nil
 	})
-	l.peer.Handle(MethodSteer, func(body json.RawMessage) (any, error) {
+	traced(MethodSteer, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec SteerSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return nil, a.Steer(topology.ClientID(spec.Client), topology.StationID(spec.Via))
 	})
-	l.peer.Handle(MethodUnsteer, func(body json.RawMessage) (any, error) {
+	traced(MethodUnsteer, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec UnsteerSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return nil, a.ClearSteer(topology.ClientID(spec.Client))
 	})
-	l.peer.Handle(MethodScalePool, func(body json.RawMessage) (any, error) {
+	traced(MethodScalePool, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec ScalePoolSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
 		return nil, a.ScalePool(spec.Kinds, spec.ConfigHash, spec.Replicas)
 	})
-	l.peer.Handle(MethodRetarget, func(body json.RawMessage) (any, error) {
+	traced(MethodRetarget, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec RetargetSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"gnf/internal/metrics"
 	"gnf/internal/nf"
 	"gnf/internal/packet"
+	"gnf/internal/trace"
 )
 
 // Wire method names spoken between Manager and Agent. Methods prefixed
@@ -36,6 +37,11 @@ const (
 	MethodReport      = "manager.report"      // notify
 	MethodClientEvent = "manager.clientEvent" // notify
 	MethodNFAlert     = "manager.nfAlert"     // notify
+	// MethodSpans flushes finished agent-side trace spans up to the
+	// manager's span store. Traced agents call it synchronously from
+	// inside the RPC handler, before the response, so the manager's span
+	// tree is complete by the time its traced call returns.
+	MethodSpans = "manager.spans"
 )
 
 // NFSpec describes one function of a chain to instantiate via the NF
@@ -163,7 +169,11 @@ type Report struct {
 	// RetiredDrops carries the accumulated drop counters of chains already
 	// torn down on this station, so loss accounting survives migrations.
 	RetiredDrops uint64 `json:"retired_drops,omitempty"`
-	UnixNano     int64  `json:"unix_nano"`
+	// FramePoolOutstanding is the process-wide borrowed-minus-returned
+	// pooled-frame count — the dataplane leak signal, surfaced per report
+	// so the manager can watch it trend.
+	FramePoolOutstanding int64 `json:"frame_pool_outstanding,omitempty"`
+	UnixNano             int64 `json:"unix_nano"`
 }
 
 // PoolStatus describes one shared NF instance on a station: its pool key,
@@ -189,13 +199,25 @@ type ScalePoolSpec struct {
 	Replicas   int    `json:"replicas"`
 }
 
-// SwitchStats mirrors netem.SwitchStats for the wire.
+// SwitchStats mirrors netem.SwitchStats for the wire. Beyond the classic
+// forwarding counters it carries the dataplane telemetry the manager folds
+// into its metrics registry: verdict-cache hits/misses (hit ratio), live
+// flow-cache entries, and the batched path's run amortisation counters
+// (frames per run = BatchFrames / BatchRuns).
 type SwitchStats struct {
-	RxFrames  uint64 `json:"rx_frames"`
-	Dropped   uint64 `json:"dropped"`
-	Flooded   uint64 `json:"flooded"`
-	Redirects uint64 `json:"redirects"`
-	Rules     int    `json:"rules"`
+	RxFrames    uint64 `json:"rx_frames"`
+	Dropped     uint64 `json:"dropped"`
+	Flooded     uint64 `json:"flooded"`
+	Redirects   uint64 `json:"redirects"`
+	Rules       int    `json:"rules"`
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	FlowEntries int    `json:"flow_entries,omitempty"`
+	BatchFrames uint64 `json:"batch_frames,omitempty"`
+	BatchRuns   uint64 `json:"batch_runs,omitempty"`
+	// SampledFrames counts frames captured by the switch's 1-in-N trace
+	// sampler (0 when sampling is disabled).
+	SampledFrames uint64 `json:"sampled_frames,omitempty"`
 }
 
 // ChainStatus summarises one deployment for the UI.
@@ -252,4 +274,11 @@ type RetargetSpec struct {
 type Alert struct {
 	Station      string          `json:"station"`
 	Notification nf.Notification `json:"notification"`
+}
+
+// SpanBatch carries finished agent-side trace spans to the manager
+// (MethodSpans).
+type SpanBatch struct {
+	Station string             `json:"station"`
+	Spans   []trace.SpanRecord `json:"spans"`
 }

@@ -1,0 +1,123 @@
+package agent_test
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/trace"
+	"gnf/internal/wire"
+)
+
+// fakeManager is a wire server speaking just enough of the manager.*
+// surface to accept an agent connection and capture flushed span batches.
+type fakeManager struct {
+	srv  *wire.Server
+	peer *wire.Peer
+
+	mu    sync.Mutex
+	spans []trace.SpanRecord
+}
+
+func newFakeManager(t *testing.T) *fakeManager {
+	t.Helper()
+	fm := &fakeManager{}
+	srv, err := wire.NewServer("127.0.0.1:0", func(p *wire.Peer) {
+		p.Handle(agent.MethodRegister, func(json.RawMessage) (any, error) { return nil, nil })
+		p.Handle(agent.MethodClientEvent, func(json.RawMessage) (any, error) { return nil, nil })
+		p.Handle(agent.MethodSpans, func(body json.RawMessage) (any, error) {
+			var b agent.SpanBatch
+			if err := json.Unmarshal(body, &b); err != nil {
+				return nil, err
+			}
+			fm.mu.Lock()
+			fm.spans = append(fm.spans, b.Spans...)
+			fm.mu.Unlock()
+			return nil, nil
+		})
+		p.HandleNotify(agent.MethodReport, func(json.RawMessage) {})
+		p.HandleNotify(agent.MethodNFAlert, func(json.RawMessage) {})
+		fm.mu.Lock()
+		fm.peer = p
+		fm.mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.srv = srv
+	t.Cleanup(func() { srv.Close() })
+	return fm
+}
+
+// drain returns the spans flushed since the last drain. No waiting is
+// needed: traced handlers flush synchronously before responding, so by the
+// time a traced call returns, its spans have been captured.
+func (fm *fakeManager) drain() []trace.SpanRecord {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	out := fm.spans
+	fm.spans = nil
+	return out
+}
+
+// TestTraceHeaderDegradesToFreshRoot pins the wire-level contract of the
+// agent's traced handlers: no header means no span (the zero-overhead
+// path), a corrupt/foreign header degrades to a fresh root span instead of
+// failing the RPC, and a well-formed header nests the agent's span under
+// the caller's.
+func TestTraceHeaderDegradesToFreshRoot(t *testing.T) {
+	st := newStation(t)
+	fm := newFakeManager(t)
+	link, err := agent.Connect(st.ag, fm.srv.Addr(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(link.Close)
+	// The accept callback parked the server-side peer for us.
+	waitCount(t, time.Second, func() bool { return fm.peerReady() })
+
+	// 1. No header: the RPC is served without producing any span.
+	if err := fm.peer.Call(agent.MethodPing, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := fm.drain(); len(got) != 0 {
+		t.Fatalf("untraced ping produced spans: %+v", got)
+	}
+
+	// 2. Garbage header: the RPC must still succeed, with a fresh root.
+	if err := fm.peer.CallTraced(agent.MethodPing, "!!not-a-trace-header!!", nil, nil); err != nil {
+		t.Fatalf("garbage trace header failed the RPC: %v", err)
+	}
+	spans := fm.drain()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1: %+v", len(spans), spans)
+	}
+	if spans[0].Parent != "" {
+		t.Errorf("garbage header produced a child span (parent %q), want a fresh root", spans[0].Parent)
+	}
+	if spans[0].Name != agent.MethodPing || spans[0].TraceID == "" {
+		t.Errorf("unexpected root span: %+v", spans[0])
+	}
+
+	// 3. Well-formed header: the agent's span nests under the caller's.
+	if err := fm.peer.CallTraced(agent.MethodPing, "aaaaaaaabbbb-ccccccccdddd-1", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	spans = fm.drain()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1: %+v", len(spans), spans)
+	}
+	if spans[0].TraceID != "aaaaaaaabbbb" || spans[0].Parent != "ccccccccdddd" {
+		t.Errorf("span did not nest under the wire context: %+v", spans[0])
+	}
+}
+
+// peerReady reports whether the accept callback has surfaced the
+// server-side peer, adopting it on first sight.
+func (fm *fakeManager) peerReady() bool {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	return fm.peer != nil
+}

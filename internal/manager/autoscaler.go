@@ -13,6 +13,8 @@ import (
 	"sync"
 	"time"
 
+	"gnf/internal/trace"
+
 	"gnf/internal/agent"
 )
 
@@ -189,11 +191,19 @@ func (m *Manager) EvaluateAutoscaler() []ScaleEvent {
 }
 
 // recordScaleEventsLocked appends to the scale-event history, trimming to
-// historyCap. Callers hold m.auto.mu.
+// historyCap, and journals each resize. Callers hold m.auto.mu (the
+// journal's lock is a leaf, so appending under it is safe).
 func (m *Manager) recordScaleEventsLocked(evs ...ScaleEvent) {
 	m.auto.events = append(m.auto.events, evs...)
 	if len(m.auto.events) > historyCap {
 		m.auto.events = m.auto.events[len(m.auto.events)-historyCap:]
+	}
+	for _, ev := range evs {
+		m.journal.Append(trace.Event{
+			Type: trace.EventScale, Subject: ev.Kinds, Station: ev.Station, At: ev.At,
+			Detail: fmt.Sprintf("%d->%d (%s)", ev.From, ev.To, ev.Reason),
+			Err:    ev.Err,
+		})
 	}
 }
 

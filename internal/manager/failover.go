@@ -14,6 +14,7 @@ import (
 
 	"gnf/internal/agent"
 	"gnf/internal/clock"
+	"gnf/internal/trace"
 )
 
 // FailoverReport records the recovery of one chain from a failed station.
@@ -167,6 +168,11 @@ func (m *Manager) failStation(station string) []FailoverReport {
 		m.mu.Lock()
 		m.failovers = append(m.failovers, rep)
 		m.mu.Unlock()
+		m.journal.Append(trace.Event{
+			Type: trace.EventFailover, Subject: rep.Chain, Station: rep.To,
+			Detail: fmt.Sprintf("client=%s lost=%s recovered=%s", rep.Client, rep.Station, rep.Recovered),
+			Err:    rep.Err,
+		})
 		reports = append(reports, rep)
 	}
 	return reports

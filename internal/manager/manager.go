@@ -22,6 +22,7 @@ import (
 	"gnf/internal/predict"
 	"gnf/internal/share"
 	"gnf/internal/topology"
+	"gnf/internal/trace"
 	"gnf/internal/wire"
 )
 
@@ -101,6 +102,9 @@ type MigrationReport struct {
 	Prewarmed      bool   `json:"prewarmed,omitempty"`
 	ReplayedFrames uint64 `json:"replayed_frames,omitempty"`
 	Err            string `json:"err,omitempty"`
+	// TraceID links the report to its span tree when the triggering handoff
+	// was traced ("" otherwise).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // AgentHandle is the manager-side view of one connected agent.
@@ -109,6 +113,9 @@ type AgentHandle struct {
 	// Cloud marks GNFC cloud sites (set at registration).
 	Cloud bool
 	peer  *wire.Peer
+	// tracer is the manager's tracer; callT opens per-RPC client spans on
+	// it when the caller's context is recording.
+	tracer *trace.Tracer
 
 	mu         sync.Mutex
 	lastReport agent.Report
@@ -127,6 +134,21 @@ func (h *AgentHandle) LastReport() (agent.Report, time.Time) {
 // call forwards an RPC to the agent.
 func (h *AgentHandle) call(method string, in, out any) error {
 	return h.peer.Call(method, in, out)
+}
+
+// callT forwards an RPC under a trace: when tctx is recording, the call
+// gets its own client span and the context rides the frame's trace
+// metadata, so the agent's server-side spans nest under it. With a
+// non-recording context it is exactly call().
+func (h *AgentHandle) callT(tctx trace.Context, method string, in, out any) error {
+	sp := h.tracer.Child(tctx, "rpc:"+method)
+	if sp == nil {
+		return h.peer.Call(method, in, out)
+	}
+	sp.SetAttr("station", h.Station)
+	err := h.peer.CallTraced(method, sp.Context().Header(), in, out)
+	sp.End(err)
+	return err
 }
 
 // Ping round-trips a no-op RPC to the agent — liveness probing and
@@ -195,6 +217,14 @@ type Manager struct {
 
 	// Autoscaler state (see autoscaler.go); owns its own lock.
 	auto autoscaler
+
+	// tracer stores span trees for every traced control-plane operation;
+	// journal is the causally-ordered event log every subsystem appends to.
+	// Both own their locking (the journal's lock is a leaf: appending while
+	// holding m.mu is safe).
+	tracer      *trace.Tracer
+	journal     *trace.Journal
+	sampleRatio float64
 }
 
 // Option configures New.
@@ -210,6 +240,12 @@ func WithHotspotCPU(v float64) Option { return func(m *Manager) { m.hotspotCPU =
 // manager stages disabled, state-synced standby chains at the station the
 // mobility predictor expects each client to roam to next.
 func WithPrewarm() Option { return func(m *Manager) { m.prewarm = true } }
+
+// WithTraceSampleRatio sets the fraction of client handoffs that get a
+// full span tree (default 1: trace every handoff). Sampling is decided at
+// the root, deterministically; unsampled handoffs propagate no trace
+// metadata and pay nothing downstream.
+func WithTraceSampleRatio(r float64) Option { return func(m *Manager) { m.sampleRatio = r } }
 
 // New starts a manager listening for agents on addr ("127.0.0.1:0" picks
 // an ephemeral port).
@@ -228,10 +264,14 @@ func New(clk clock.Clock, addr string, opts ...Option) (*Manager, error) {
 			policy:        DefaultAutoscalerPolicy,
 			lastProcessed: make(map[string]uint64),
 		},
+		sampleRatio: 1,
 	}
 	for _, o := range opts {
 		o(m)
 	}
+	m.tracer = trace.New(clk, trace.WithOrigin("manager"),
+		trace.WithStore(0), trace.WithSampleRatio(m.sampleRatio))
+	m.journal = trace.NewJournal(clk, historyCap)
 	srv, err := wire.NewServer(addr, m.acceptAgent)
 	if err != nil {
 		return nil, err
@@ -242,6 +282,13 @@ func New(clk clock.Clock, addr string, opts ...Option) (*Manager, error) {
 
 // Addr returns the manager's listen address for agents.
 func (m *Manager) Addr() string { return m.srv.Addr() }
+
+// Tracer exposes the manager's span store (UI, scenario assertions).
+func (m *Manager) Tracer() *trace.Tracer { return m.tracer }
+
+// Journal exposes the causally-ordered event log. Layered subsystems
+// (reconciler, UI) append and read through it.
+func (m *Manager) Journal() *trace.Journal { return m.journal }
 
 // Close disconnects all agents and stops the server.
 func (m *Manager) Close() error {
@@ -273,7 +320,7 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 		if err := json.Unmarshal(body, &spec); err != nil {
 			return nil, err
 		}
-		h := &AgentHandle{Station: spec.Station, Cloud: spec.Cloud, peer: p, capacity: spec.MemoryBytes}
+		h := &AgentHandle{Station: spec.Station, Cloud: spec.Cloud, peer: p, capacity: spec.MemoryBytes, tracer: m.tracer}
 		m.mu.Lock()
 		m.agents[spec.Station] = h
 		delete(m.failed, spec.Station) // a station may rejoin after failure
@@ -313,7 +360,19 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 			h.lastReport = rep
 			h.lastSeen = m.clk.Now()
 			h.mu.Unlock()
+			m.foldReportMetrics(rep)
 		}
+	})
+	// Agents flush finished spans here, synchronously from inside their
+	// traced handlers, so a traced call's span tree is complete before the
+	// call itself returns.
+	p.Handle(agent.MethodSpans, func(body json.RawMessage) (any, error) {
+		var batch agent.SpanBatch
+		if err := json.Unmarshal(body, &batch); err != nil {
+			return nil, err
+		}
+		m.tracer.Ingest(batch.Spans...)
+		return nil, nil
 	})
 	// Client events arrive as synchronous calls: the agent blocks its
 	// handoff path until the manager has applied the placement update, so
@@ -462,8 +521,33 @@ func (m *Manager) ClientStation(client string) (string, bool) {
 	return rec.station, true
 }
 
+// seriesCap bounds the per-station dataplane telemetry series the manager
+// folds out of agent reports.
+const seriesCap = 256
+
+// foldReportMetrics folds one station report's dataplane telemetry into
+// the registry: verdict-cache hit ratio, batched-path run amortisation,
+// live flow-cache entries and the frame-pool leak signal, each keyed per
+// station for /metrics and `gnfctl top`.
+func (m *Manager) foldReportMetrics(rep agent.Report) {
+	st, sw, now := rep.Station, rep.Switch, m.clk.Now()
+	if tot := sw.CacheHits + sw.CacheMisses; tot > 0 {
+		m.metrics.Series("switch.cache_hit_ratio."+st, seriesCap).
+			Record(now, float64(sw.CacheHits)/float64(tot))
+	}
+	if sw.BatchRuns > 0 {
+		m.metrics.Series("switch.batch_run_len."+st, seriesCap).
+			Record(now, float64(sw.BatchFrames)/float64(sw.BatchRuns))
+	}
+	m.metrics.Gauge("switch.flow_entries." + st).Set(int64(sw.FlowEntries))
+	m.metrics.Gauge("frame_pool.outstanding." + st).Set(rep.FramePoolOutstanding)
+	if sw.SampledFrames > 0 {
+		m.metrics.Gauge("switch.sampled_frames." + st).Set(int64(sw.SampledFrames))
+	}
+}
+
 // recordNotification appends an NF alert to the notification log,
-// trimming to the newest historyCap entries.
+// trimming to the newest historyCap entries, and journals it.
 func (m *Manager) recordNotification(al agent.Alert) {
 	m.mu.Lock()
 	m.notifications = append(m.notifications, al)
@@ -471,6 +555,12 @@ func (m *Manager) recordNotification(al agent.Alert) {
 		m.notifications = m.notifications[len(m.notifications)-historyCap:]
 	}
 	m.mu.Unlock()
+	m.journal.Append(trace.Event{
+		Type:    trace.EventNotify,
+		Subject: al.Notification.Kind,
+		Station: al.Station,
+		Detail:  al.Notification.Message,
+	})
 }
 
 // Notifications returns a copy of collected NF alerts.
@@ -570,6 +660,15 @@ func (m *Manager) recordMigration(rep MigrationReport) {
 		m.migrations = m.migrations[len(m.migrations)-historyCap:]
 	}
 	m.mu.Unlock()
+	m.journal.Append(trace.Event{
+		Type:    trace.EventMigrate,
+		Subject: rep.Chain,
+		Station: rep.To,
+		TraceID: rep.TraceID,
+		Detail: fmt.Sprintf("client=%s %s->%s strategy=%s downtime=%s",
+			rep.Client, rep.From, rep.To, rep.Strategy, rep.Downtime),
+		Err: rep.Err,
+	})
 	if rep.Err != "" {
 		m.metrics.Counter("migration.failed").Inc()
 		return

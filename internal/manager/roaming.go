@@ -1,12 +1,14 @@
 package manager
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 
 	"gnf/internal/agent"
 	"gnf/internal/clock"
 	"gnf/internal/topology"
+	"gnf/internal/trace"
 )
 
 // RegisterClient makes a client known to the manager before any agent
@@ -84,6 +86,10 @@ func (m *Manager) AttachChain(client string, spec ChainSpec) error {
 		rec.steerOn = station
 	}
 	m.mu.Unlock()
+	m.journal.Append(trace.Event{
+		Type: trace.EventAttach, Subject: spec.Name, Station: target,
+		Detail: "client=" + client,
+	})
 	// The first chain after a full detach re-arms the offload detour.
 	if needSteer {
 		edge, err := m.agentFor(station)
@@ -121,6 +127,10 @@ func (m *Manager) DetachChain(client, chainName string) error {
 	if !exists {
 		return fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
 	}
+	m.journal.Append(trace.Event{
+		Type: trace.EventDetach, Subject: chainName, Station: station,
+		Detail: "client=" + client,
+	})
 	// A prewarmed standby must not outlive its chain.
 	m.dropStandby(client, chainName)
 	if station == "" {
@@ -178,6 +188,10 @@ func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 			rec.steerOn = "" // the detour rule died with the association
 		}
 		m.mu.Unlock()
+		m.journal.Append(trace.Event{
+			Type: trace.EventClient, Subject: ev.Client, Station: ev.Station,
+			Detail: "disconnect",
+		})
 		return
 	}
 	rec.station = ev.Station
@@ -192,14 +206,29 @@ func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 	offloaded := rec.offload != ""
 	m.mu.Unlock()
 	m.predictor.Observe(prev, ev.Station)
+	// Root span of the handoff: every decision and RPC the reconciliation
+	// makes — pre-copy rounds, deltas, the steering flip, the brownout
+	// replay — nests under this one trace. Sampling is decided here.
+	sp := m.tracer.StartSpan(trace.Context{}, "manager.handoff")
+	sp.SetAttr("client", ev.Client)
+	sp.SetAttr("station", ev.Station)
+	tid := ""
+	if sp.Context().Recording() {
+		tid = sp.Context().TraceID
+	}
+	m.journal.Append(trace.Event{
+		Type: trace.EventClient, Subject: ev.Client, Station: ev.Station,
+		TraceID: tid, Detail: "connect",
+	})
 	m.migrationWG.Add(1)
 	go func() {
 		defer m.migrationWG.Done()
+		defer sp.End(nil)
 		if offloaded {
 			m.reconcileOffloaded(ev.Client, rec)
 			return
 		}
-		m.reconcileClient(ev.Client, rec)
+		m.reconcileClient(ev.Client, rec, sp.Context())
 	}()
 }
 
@@ -215,7 +244,7 @@ func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 // its old station while that station still meets the budget from the
 // client's new position; only when the topology makes the old station
 // violate the budget is the chain re-placed, through the policy.
-func (m *Manager) reconcileClient(client string, rec *clientRec) {
+func (m *Manager) reconcileClient(client string, rec *clientRec, tctx trace.Context) {
 	rec.migMu.Lock()
 	defer rec.migMu.Unlock()
 	// Chains the stay-rule accepted or a self-targeted re-place settled;
@@ -276,7 +305,7 @@ func (m *Manager) reconcileClient(client string, rec *clientRec) {
 			settled[spec.Name] = true
 			continue
 		}
-		rep := m.migrateChain(client, spec, from, to, strategy)
+		rep := m.migrateChain(tctx, client, spec, from, to, strategy)
 		m.mu.Lock()
 		if rep.Err == "" {
 			rec.deployedOn[spec.Name] = to
@@ -342,7 +371,10 @@ func (m *Manager) MigrateChain(client, chainName, to string) (MigrationReport, e
 	m.mu.Lock()
 	from := rec.deployedOn[chainName]
 	m.mu.Unlock()
-	rep := m.migrateChain(client, spec, from, to, strategy)
+	sp := m.tracer.StartSpan(trace.Context{}, "manager.migrate_request")
+	sp.SetAttr("client", client)
+	rep := m.migrateChain(sp.Context(), client, spec, from, to, strategy)
+	sp.End(nil)
 	m.mu.Lock()
 	if rep.Err == "" {
 		rec.deployedOn[chainName] = to
@@ -378,7 +410,7 @@ const prewarmConfidence = 0.5
 // migration with a live source it is zero (the target deploys enabled
 // while the old instance still serves — make-before-break), and only a
 // dead source charges the target's deploy time.
-func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, strategy Strategy) MigrationReport {
+func (m *Manager) migrateChain(tctx trace.Context, client string, spec ChainSpec, from, to string, strategy Strategy) MigrationReport {
 	rep := MigrationReport{
 		Client:   client,
 		Chain:    spec.Name,
@@ -386,6 +418,24 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 		To:       to,
 		Strategy: strategy,
 	}
+	// The migration decision span: per-step RPC spans (pre-copy rounds,
+	// delta syncs, the activate) nest under it on both sides of the wire.
+	sp := m.tracer.Child(tctx, "manager.migrate")
+	sp.SetAttr("chain", spec.Name)
+	sp.SetAttr("from", from)
+	sp.SetAttr("to", to)
+	sp.SetAttr("strategy", string(strategy))
+	tctx = sp.Context()
+	if tctx.Recording() {
+		rep.TraceID = tctx.TraceID
+	}
+	defer func() {
+		if rep.Err != "" {
+			sp.End(errors.New(rep.Err))
+		} else {
+			sp.End(nil)
+		}
+	}()
 	fail := func(err error) MigrationReport {
 		rep.Err = err.Error()
 		return rep
@@ -410,7 +460,7 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 	totalWatch := clock.NewStopwatch(m.clk)
 
 	// Pre-stage images on the target while the source still serves.
-	target.call(agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+	target.callT(tctx, agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
 
 	deploy := agent.DeploySpec{
 		Chain:     spec.Name,
@@ -420,7 +470,7 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 
 	switch {
 	case strategy == StrategyLive && source != nil:
-		m.liveMigrate(&rep, source, target, deploy)
+		m.liveMigrate(tctx, &rep, source, target, deploy)
 
 	case strategy == StrategyLive && m.consumeStandby(client, spec.Name, to):
 		// The source station is gone, so no state can ship — but the warm
@@ -430,8 +480,8 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 		// state is the one prediction staged.)
 		downWatch := clock.NewStopwatch(m.clk)
 		var act agent.ActivateResult
-		if err := target.call(agent.MethodActivate, agent.ChainRef{Chain: spec.Name}, &act); err != nil {
-			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+		if err := target.callT(tctx, agent.MethodActivate, agent.ChainRef{Chain: spec.Name}, &act); err != nil {
+			target.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 			return fail(err)
 		}
 		rep.Downtime = downWatch.Elapsed()
@@ -441,43 +491,43 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 	case strategy == StrategyStateful && source != nil:
 		// Stop-and-copy: deploy disabled, freeze source, move the full
 		// state, enable target. The whole transfer sits in the dark window.
-		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+		if err := target.callT(tctx, agent.MethodDeploy, deploy, nil); err != nil {
 			return fail(err)
 		}
 		downWatch := clock.NewStopwatch(m.clk)
-		if err := source.call(agent.MethodDisable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+		if err := source.callT(tctx, agent.MethodDisable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
 			return fail(err)
 		}
 		var ckpt agent.CheckpointResult
-		if err := source.call(agent.MethodCheckpoint, agent.ChainRef{Chain: spec.Name}, &ckpt); err != nil {
+		if err := source.callT(tctx, agent.MethodCheckpoint, agent.ChainRef{Chain: spec.Name}, &ckpt); err != nil {
 			// Roll back: re-enable the source so the client is not left dark.
-			source.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
-			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			source.callT(tctx, agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			target.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 			return fail(err)
 		}
 		rep.StateBytes = len(ckpt.State)
-		if err := target.call(agent.MethodRestore, agent.RestoreSpec{Chain: spec.Name, State: ckpt.State}, nil); err != nil {
-			source.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
-			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+		if err := target.callT(tctx, agent.MethodRestore, agent.RestoreSpec{Chain: spec.Name, State: ckpt.State}, nil); err != nil {
+			source.callT(tctx, agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			target.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 			return fail(err)
 		}
-		if err := target.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
+		if err := target.callT(tctx, agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
 			// Same rollback as the Checkpoint/Restore branches: without it a
 			// failed enable left the source disabled and the half-deployed
 			// target in place — the client dark on both ends.
-			source.call(agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
-			target.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			source.callT(tctx, agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			target.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 			return fail(err)
 		}
 		rep.Downtime = downWatch.Elapsed()
-		source.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+		source.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 
 	case source == nil:
 		// Cold deploy with no surviving source: the client is dark until
 		// the fresh instance forwards.
 		deploy.Enabled = true
 		downWatch := clock.NewStopwatch(m.clk)
-		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+		if err := target.callT(tctx, agent.MethodDeploy, deploy, nil); err != nil {
 			return fail(err)
 		}
 		rep.Downtime = downWatch.Elapsed()
@@ -488,10 +538,10 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 		// before that, so the dark window is zero. (State is still lost —
 		// that is cold migration's trade.)
 		deploy.Enabled = true
-		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+		if err := target.callT(tctx, agent.MethodDeploy, deploy, nil); err != nil {
 			return fail(err)
 		}
-		source.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+		source.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 		rep.Downtime = 0
 	}
 	rep.Total = totalWatch.Elapsed()
@@ -505,17 +555,17 @@ func (m *Manager) migrateChain(client string, spec ChainSpec, from, to string, s
 // and resumes the source's existing pre-copy session. Every failure path
 // re-enables the source and removes the target, so the client is never
 // left dark by a broken migration.
-func (m *Manager) liveMigrate(rep *MigrationReport, source, target *AgentHandle, deploy agent.DeploySpec) {
+func (m *Manager) liveMigrate(tctx trace.Context, rep *MigrationReport, source, target *AgentHandle, deploy agent.DeploySpec) {
 	chain := agent.ChainRef{Chain: deploy.Chain}
 	rollback := func(err error) {
-		source.call(agent.MethodEnable, chain, nil)
-		target.call(agent.MethodRemove, chain, nil)
+		source.callT(tctx, agent.MethodEnable, chain, nil)
+		target.callT(tctx, agent.MethodRemove, chain, nil)
 		rep.Err = err.Error()
 	}
 	prewarmed := m.consumeStandby(rep.Client, deploy.Chain, rep.To)
 	rep.Prewarmed = prewarmed
 	if !prewarmed {
-		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+		if err := target.callT(tctx, agent.MethodDeploy, deploy, nil); err != nil {
 			rep.Err = err.Error()
 			return
 		}
@@ -526,11 +576,11 @@ func (m *Manager) liveMigrate(rep *MigrationReport, source, target *AgentHandle,
 	for rep.Rounds < precopyMaxRounds {
 		var pr agent.PreCopyResult
 		req := agent.PreCopySpec{Chain: deploy.Chain, Restart: !prewarmed && rep.Rounds == 0}
-		if err := source.call(agent.MethodPreCopy, req, &pr); err != nil {
+		if err := source.callT(tctx, agent.MethodPreCopy, req, &pr); err != nil {
 			rollback(err)
 			return
 		}
-		if err := target.call(agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: deploy.Chain, State: pr.State}, nil); err != nil {
+		if err := target.callT(tctx, agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: deploy.Chain, State: pr.State}, nil); err != nil {
 			rollback(err)
 			return
 		}
@@ -544,21 +594,21 @@ func (m *Manager) liveMigrate(rep *MigrationReport, source, target *AgentHandle,
 	// downtime no longer depends on total state size. The brownout flag
 	// parks source-side stragglers instead of counting them as drops.
 	downWatch := clock.NewStopwatch(m.clk)
-	if err := source.call(agent.MethodDisable, agent.ChainRef{Chain: deploy.Chain, Brownout: true}, nil); err != nil {
+	if err := source.callT(tctx, agent.MethodDisable, agent.ChainRef{Chain: deploy.Chain, Brownout: true}, nil); err != nil {
 		rollback(err)
 		return
 	}
 	var residual agent.PreCopyResult
-	if err := source.call(agent.MethodPreCopy, agent.PreCopySpec{Chain: deploy.Chain}, &residual); err != nil {
+	if err := source.callT(tctx, agent.MethodPreCopy, agent.PreCopySpec{Chain: deploy.Chain}, &residual); err != nil {
 		rollback(err)
 		return
 	}
-	if err := target.call(agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: deploy.Chain, State: residual.State}, nil); err != nil {
+	if err := target.callT(tctx, agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: deploy.Chain, State: residual.State}, nil); err != nil {
 		rollback(err)
 		return
 	}
 	var act agent.ActivateResult
-	if err := target.call(agent.MethodActivate, chain, &act); err != nil {
+	if err := target.callT(tctx, agent.MethodActivate, chain, &act); err != nil {
 		rollback(err)
 		return
 	}
@@ -566,7 +616,7 @@ func (m *Manager) liveMigrate(rep *MigrationReport, source, target *AgentHandle,
 	rep.ResidualBytes = len(residual.State)
 	rep.StateBytes = rep.PrecopyBytes + rep.ResidualBytes
 	rep.ReplayedFrames = act.Replayed
-	source.call(agent.MethodRemove, chain, nil)
+	source.callT(tctx, agent.MethodRemove, chain, nil)
 }
 
 // standbyStation reports where a prewarmed standby for client/chain is

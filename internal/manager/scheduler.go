@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gnf/internal/agent"
+	"gnf/internal/trace"
 )
 
 // This file implements two operational features of §3:
@@ -277,7 +278,7 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 			to = fallback
 		}
 		j.rec.migMu.Lock()
-		rep := m.migrateChain(j.client, j.spec, station, to, strategy)
+		rep := m.migrateChain(trace.Context{}, j.client, j.spec, station, to, strategy)
 		m.mu.Lock()
 		if rep.Err == "" {
 			j.rec.deployedOn[j.spec.Name] = to

@@ -1,0 +1,181 @@
+package manager_test
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/manager"
+	"gnf/internal/trace"
+	"gnf/internal/wire"
+)
+
+// headerAgent is a wire-level fake station that records the trace header
+// riding every agent.* request — the instrument for proving trace-context
+// propagation through the migration pipeline without a dataplane.
+type headerAgent struct {
+	peer *wire.Peer
+
+	mu      sync.Mutex
+	headers map[string][]string // method -> headers in arrival order
+}
+
+func newHeaderAgent(t *testing.T, mgr *manager.Manager, station string) *headerAgent {
+	t.Helper()
+	peer, err := wire.Dial(mgr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := &headerAgent{peer: peer, headers: map[string][]string{}}
+	rec := func(method string, result any) {
+		peer.HandleTraced(method, func(hdr string, _ json.RawMessage) (any, error) {
+			ha.mu.Lock()
+			ha.headers[method] = append(ha.headers[method], hdr)
+			ha.mu.Unlock()
+			return result, nil
+		})
+	}
+	for _, m := range []string{agent.MethodDeploy, agent.MethodRemove, agent.MethodEnable,
+		agent.MethodDisable, agent.MethodRestore, agent.MethodPrefetch, agent.MethodSyncDelta} {
+		rec(m, nil)
+	}
+	rec(agent.MethodCheckpoint, agent.CheckpointResult{State: []byte("blob")})
+	rec(agent.MethodPreCopy, agent.PreCopyResult{State: []byte("delta"), Round: 1})
+	rec(agent.MethodActivate, agent.ActivateResult{})
+	go peer.Run()
+	if err := peer.Call(agent.MethodRegister, agent.RegisterSpec{Station: station}, nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	return ha
+}
+
+func (ha *headerAgent) headersFor(method string) []string {
+	ha.mu.Lock()
+	defer ha.mu.Unlock()
+	return append([]string(nil), ha.headers[method]...)
+}
+
+// TestTraceContextPropagatesAndNests drives one live migration through
+// scripted stations and checks the tracing contract end to end: every RPC
+// of the pipeline carries a parseable header of the same trace, each RPC
+// rides its own span, and the manager's stored spans form one connected
+// tree rooted at the migrate request.
+func TestTraceContextPropagatesAndNests(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0", manager.WithStrategy(manager.StrategyLive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	src := newHeaderAgent(t, mgr, "st-src")
+	dst := newHeaderAgent(t, mgr, "st-dst")
+	if err := src.peer.Call(agent.MethodClientEvent,
+		agent.ClientEvent{Station: "st-src", Client: "phone", Connected: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr.WaitIdle()
+	spec := manager.ChainSpec{Name: "chain", Functions: []agent.NFSpec{{Kind: "counter", Name: "c0"}}}
+	if err := mgr.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := mgr.MigrateChain("phone", "chain", "st-dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceID == "" {
+		t.Fatal("migration report carries no trace id")
+	}
+
+	// Round-trip: every pipeline RPC carried a valid header of this trace.
+	probes := []struct {
+		ag     *headerAgent
+		method string
+	}{
+		{dst, agent.MethodDeploy},
+		{src, agent.MethodPreCopy},
+		{dst, agent.MethodSyncDelta},
+		{src, agent.MethodDisable},
+		{dst, agent.MethodActivate},
+	}
+	for _, p := range probes {
+		hs := p.ag.headersFor(p.method)
+		if len(hs) == 0 {
+			t.Fatalf("no %s call recorded", p.method)
+		}
+		ctx, ok := trace.ParseHeader(hs[0])
+		if !ok {
+			t.Fatalf("%s header %q does not parse", p.method, hs[0])
+		}
+		if ctx.TraceID != rep.TraceID {
+			t.Errorf("%s rode trace %s, want %s", p.method, ctx.TraceID, rep.TraceID)
+		}
+	}
+
+	// Per-RPC spans: PreCopy and Activate must not share a parent span ID.
+	pc, _ := trace.ParseHeader(src.headersFor(agent.MethodPreCopy)[0])
+	act, _ := trace.ParseHeader(dst.headersFor(agent.MethodActivate)[0])
+	if pc.SpanID == act.SpanID {
+		t.Error("PreCopy and Activate rode the same span — expected one span per RPC")
+	}
+
+	// Nesting: the stored spans form one connected tree, request → migrate
+	// → per-RPC children.
+	spans := mgr.Tracer().Trace(rep.TraceID)
+	if n := trace.ConnectedSize(spans); n != len(spans) || n < 5 {
+		t.Fatalf("span tree: %d of %d spans connected, want all of >= 5", n, len(spans))
+	}
+	byName := map[string]trace.SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	root, ok := byName["manager.migrate_request"]
+	if !ok || root.Parent != "" {
+		t.Fatalf("missing or non-root request span: %+v", root)
+	}
+	mig, ok := byName["manager.migrate"]
+	if !ok || mig.Parent != root.SpanID {
+		t.Fatalf("migrate span not nested under the request: %+v", mig)
+	}
+	if rpc, ok := byName["rpc:"+agent.MethodActivate]; !ok || rpc.Parent != mig.SpanID {
+		t.Fatalf("activate RPC span not nested under migrate: %+v", rpc)
+	}
+}
+
+// TestUntracedMigrationStaysUntraced pins the zero-overhead path: with
+// sampling off, RPCs carry no header and the report links no trace.
+func TestUntracedMigrationStaysUntraced(t *testing.T) {
+	mgr, err := manager.New(clock.System(), "127.0.0.1:0",
+		manager.WithStrategy(manager.StrategyStateful), manager.WithTraceSampleRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	src := newHeaderAgent(t, mgr, "st-src")
+	dst := newHeaderAgent(t, mgr, "st-dst")
+	if err := src.peer.Call(agent.MethodClientEvent,
+		agent.ClientEvent{Station: "st-src", Client: "phone", Connected: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr.WaitIdle()
+	spec := manager.ChainSpec{Name: "chain", Functions: []agent.NFSpec{{Kind: "counter", Name: "c0"}}}
+	if err := mgr.AttachChain("phone", spec); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mgr.MigrateChain("phone", "chain", "st-dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceID != "" {
+		t.Fatalf("unsampled migration carries trace id %q", rep.TraceID)
+	}
+	for _, m := range []string{agent.MethodDeploy, agent.MethodEnable} {
+		for _, h := range dst.headersFor(m) {
+			if h != "" {
+				t.Errorf("unsampled %s carried header %q, want none", m, h)
+			}
+		}
+	}
+}

@@ -66,3 +66,79 @@ func TestRegistryHistogramReuseAndSnapshot(t *testing.T) {
 		t.Fatalf("names missing histogram: %v", r.Names())
 	}
 }
+
+// TestHistogramQuantileUniform checks the interpolated quantiles against a
+// known distribution: 100 observations uniform over (0, 100] into 10-wide
+// buckets. The true p-th quantile of that sample is ~100p, and linear
+// interpolation inside a uniformly filled bucket should land on it.
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := NewHistogram(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ p, want, tol float64 }{
+		{0.50, 50, 1},
+		{0.90, 90, 1},
+		{0.99, 99, 1},
+		{0, 1, 0},   // p<=0 reports the observed min
+		{1, 100, 0}, // p>=1 reports the observed max
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v±%v", tc.p, got, tc.want, tc.tol)
+		}
+	}
+}
+
+// TestHistogramQuantileSkewed pins the estimator on a skewed distribution:
+// 99 fast observations and one huge outlier. p99 must sit inside the
+// bucket holding rank 99 — not be dragged to the outlier — while the max
+// still reports it.
+func TestHistogramQuantileSkewed(t *testing.T) {
+	h := NewHistogram(1, 5, 10, 100)
+	for i := 0; i < 99; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(5000) // overflow-bucket outlier
+	p99 := h.Quantile(0.99)
+	if p99 < 0.5 || p99 > 1 {
+		t.Fatalf("p99 = %v, want within the le=1 bucket", p99)
+	}
+	// The overflow bucket interpolates toward the observed max, clamped.
+	p999 := h.Quantile(0.999)
+	if p999 < 1 || p999 > 5000 {
+		t.Fatalf("p0.999 = %v, want in (1, 5000]", p999)
+	}
+	if h.Quantile(1) != 5000 {
+		t.Fatalf("max quantile = %v, want 5000", h.Quantile(1))
+	}
+}
+
+// TestHistogramQuantileEmptyAndSingle covers the degenerate shapes.
+func TestHistogramQuantileEmptyAndSingle(t *testing.T) {
+	if got := NewHistogram(1, 2).Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	h := NewHistogram(1, 2)
+	h.Observe(1.5)
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(p); got != 1.5 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 1.5 (clamped to min/max)", p, got)
+		}
+	}
+}
+
+// TestHistogramSnapshotQuantiles asserts p50/p90/p99 ride the snapshot —
+// the fields /api/migrations and /metrics surface.
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	h := NewHistogram(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	snap := h.Snapshot()
+	if math.Abs(snap.P50-50) > 1 || math.Abs(snap.P90-90) > 1 || math.Abs(snap.P99-99) > 1 {
+		t.Fatalf("snapshot quantiles = %v/%v/%v, want ~50/90/99", snap.P50, snap.P90, snap.P99)
+	}
+	if snap.P50 > snap.P90 || snap.P90 > snap.P99 {
+		t.Fatalf("quantiles not monotone: %v/%v/%v", snap.P50, snap.P90, snap.P99)
+	}
+}

@@ -174,6 +174,60 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 }
 
+// Quantile estimates the p-th quantile (p in [0,1]) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank — the standard bucketed-histogram estimator. The result is
+// clamped to the observed [min, max], so the overflow bucket (and a rank
+// landing in the first bucket) cannot produce values the histogram never
+// saw. An empty histogram reports 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(p)
+}
+
+func (h *Histogram) quantileLocked(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	rank := p * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		// Rank lands in bucket i: interpolate between its bounds.
+		lower := h.min
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.max
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		v := lower + (upper-lower)*(rank-prev)/float64(c)
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
 // HistogramBucket is one bucket of a snapshot; UpperBound is +Inf for the
 // overflow bucket (marshalled as null by encoding/json users should treat
 // the final bucket as the overflow).
@@ -184,11 +238,16 @@ type HistogramBucket struct {
 
 // HistogramSnapshot is a stable export of a histogram.
 type HistogramSnapshot struct {
-	Count   uint64            `json:"count"`
-	Sum     float64           `json:"sum"`
-	Mean    float64           `json:"mean"`
-	Min     float64           `json:"min"`
-	Max     float64           `json:"max"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// Tail quantiles (bucket-interpolated): the latency figures operators
+	// actually watch, surfaced in /api/migrations and /metrics.
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
@@ -201,6 +260,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	snap := HistogramSnapshot{Count: h.total, Sum: h.sum, Min: h.min, Max: h.max}
 	if h.total > 0 {
 		snap.Mean = h.sum / float64(h.total)
+		snap.P50 = h.quantileLocked(0.50)
+		snap.P90 = h.quantileLocked(0.90)
+		snap.P99 = h.quantileLocked(0.99)
 	}
 	snap.Buckets = make([]HistogramBucket, 0, len(h.counts))
 	for i, c := range h.counts {
@@ -320,11 +382,12 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // Names returns all registered metric names, sorted, prefixed by kind
-// ("counter:", "gauge:", "series:"). Primarily for debugging and the UI.
+// ("counter:", "gauge:", "series:", "histogram:"). Primarily for
+// debugging and the UI.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.series))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.series)+len(r.histograms))
 	for n := range r.counters {
 		out = append(out, "counter:"+n)
 	}

@@ -190,3 +190,25 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRegistryNamesAllKinds is the regression test for the Names()
+// under-capacity bug: the preallocated slice omitted histograms from its
+// capacity (and the doc from its kinds), so the histogram entries were the
+// easy ones to forget. All four metric kinds must appear.
+func TestRegistryNamesAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rx").Inc()
+	r.Gauge("load").Set(1)
+	r.Series("cpu", 4).Record(time.Now(), 1)
+	r.Histogram("lat", 1, 10).Observe(3)
+	names := r.Names()
+	want := []string{"counter:rx", "gauge:load", "histogram:lat", "series:cpu"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders a registry snapshot in the Prometheus text exposition
+// format (version 0.0.4) for GET /metrics. The registry's flat
+// "subsystem.metric" (and per-station "subsystem.metric.station") names
+// are mapped onto Prometheus conventions:
+//
+//   - dots become underscores and every name gains a "gnf_" prefix;
+//   - counters get a "_total" suffix;
+//   - series export their latest sample as a gauge;
+//   - histograms export cumulative "_bucket{le=...}" lines plus "_sum",
+//     "_count" and interpolated gnf_<name>_p{50,90,99} gauges.
+//
+// Output is sorted by metric name, so scrapes are diffable.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", pn, pn, snap.Series[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		// Registry buckets hold per-bucket counts; Prometheus buckets are
+		// cumulative with an explicit +Inf terminal.
+		var cum uint64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			le := "+Inf"
+			if bk.UpperBound < math.MaxFloat64 {
+				le = fmt.Sprintf("%g", bk.UpperBound)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"p50", h.P50}, {"p90", h.P90}, {"p99", h.P99}} {
+			fmt.Fprintf(&b, "# TYPE %s_%s gauge\n%s_%s %g\n", pn, q.suffix, pn, q.suffix, q.v)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitises a registry name into a Prometheus metric name.
+func promName(n string) string {
+	var b strings.Builder
+	b.WriteString("gnf_")
+	for i := 0; i < len(n); i++ {
+		c := n[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("migration.count").Add(3)
+	r.Gauge("switch.flow_entries.st-a").Set(42)
+	r.Series("switch.cache_hit_ratio.st-a", 4).Record(time.Unix(0, 0), 0.875)
+	h := r.Histogram("migration.downtime_ms", 1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE gnf_migration_count_total counter",
+		"gnf_migration_count_total 3",
+		"# TYPE gnf_switch_flow_entries_st_a gauge",
+		"gnf_switch_flow_entries_st_a 42",
+		"gnf_switch_cache_hit_ratio_st_a 0.875",
+		"# TYPE gnf_migration_downtime_ms histogram",
+		`gnf_migration_downtime_ms_bucket{le="1"} 1`,
+		`gnf_migration_downtime_ms_bucket{le="10"} 2`,
+		`gnf_migration_downtime_ms_bucket{le="+Inf"} 3`,
+		"gnf_migration_downtime_ms_sum 55.5",
+		"gnf_migration_downtime_ms_count 3",
+		"gnf_migration_downtime_ms_p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count.
+	if strings.Contains(out, `_bucket{le="+Inf"} 1`) {
+		t.Fatalf("buckets look non-cumulative:\n%s", out)
+	}
+}

@@ -1,0 +1,113 @@
+package netem
+
+import "sync/atomic"
+
+// Frame sampler: the dataplane end of the tracing plane. Control-plane
+// spans describe *why* steering changed; the sampler captures *what* the
+// fast path is actually doing, by recording every Nth forwarding verdict
+// into a fixed ring. The sampler adds no read-modify-write of its own to
+// the per-frame path: it piggybacks on the rx counter the pipeline
+// already increments, comparing that stripe count against a per-stripe
+// "next sample at" threshold — a plain atomic load and a branch per
+// frame, plus, once per N frames, one CAS and one packed ring store.
+// Disarmed, the cost is a single atomic pointer load.
+
+// SampleRecord is one sampled forwarding verdict.
+type SampleRecord struct {
+	In     PortID `json:"in"`
+	Out    PortID `json:"out"`
+	Action Action `json:"action"`
+}
+
+// samplerRingSize bounds retained samples (power of two for mask indexing).
+const samplerRingSize = 1024
+
+type samplerCell struct {
+	next atomic.Uint64 // rx-stripe count at which to take the next sample
+	_    [120]byte     // pad past a cache line, as in stripedCounter
+}
+
+type frameSampler struct {
+	every   uint64
+	cells   [counterStripes]samplerCell
+	head    atomic.Uint64
+	sampled atomic.Uint64
+	// ring entries are packed into one word so concurrent writers and the
+	// Samples reader stay atomic without a lock:
+	// bit 63 = valid, bits 32..47 = in, bits 16..31 = out, bits 0..7 = action.
+	ring [samplerRingSize]atomic.Uint64
+}
+
+func packSample(in, out PortID, action Action) uint64 {
+	return 1<<63 | uint64(uint16(in))<<32 | uint64(uint16(out))<<16 | uint64(action)
+}
+
+func unpackSample(v uint64) SampleRecord {
+	return SampleRecord{
+		In:     PortID(uint16(v >> 32)),
+		Out:    PortID(uint16(v >> 16)),
+		Action: Action(uint8(v)),
+	}
+}
+
+// observe records the frame whose rx-stripe count n reaches the stripe's
+// threshold. n is the value rxFrames.Inc already produced for this frame,
+// so the common (unsampled) path costs one plain load and a compare. The
+// CAS arbitrates concurrent frames crossing the threshold together: one
+// wins the sample, the rest fall back to the cheap path.
+func (fs *frameSampler) observe(in PortID, n uint64, action Action, out PortID) {
+	c := &fs.cells[uint(in)&(counterStripes-1)].next
+	next := c.Load()
+	if n < next || !c.CompareAndSwap(next, n+fs.every) {
+		return
+	}
+	fs.sampled.Add(1)
+	idx := (fs.head.Add(1) - 1) & (samplerRingSize - 1)
+	fs.ring[idx].Store(packSample(in, out, action))
+}
+
+// EnableSampling arms the switch's frame sampler to record one of every
+// `every` forwarded frames (every 100 = 1% sampling). every < 1 disarms.
+// Re-arming replaces the sampler, resetting its ring and counters.
+func (s *Switch) EnableSampling(every int) {
+	if every < 1 {
+		s.sampler.Store(nil)
+		return
+	}
+	fs := &frameSampler{every: uint64(every)}
+	for i := range fs.cells {
+		// Seed each threshold from the stripe's current rx count so frames
+		// forwarded before arming don't count toward the first sample.
+		fs.cells[i].next.Store(s.rxFrames.Cell(uint(i)) + fs.every)
+	}
+	s.sampler.Store(fs)
+}
+
+// DisableSampling disarms the frame sampler.
+func (s *Switch) DisableSampling() { s.sampler.Store(nil) }
+
+// SampledFrames reports how many frames the sampler has captured.
+func (s *Switch) SampledFrames() uint64 {
+	if fs := s.sampler.Load(); fs != nil {
+		return fs.sampled.Load()
+	}
+	return 0
+}
+
+// Samples returns the retained sampled verdicts, oldest first (at most
+// samplerRingSize; older samples are overwritten in place).
+func (s *Switch) Samples() []SampleRecord {
+	fs := s.sampler.Load()
+	if fs == nil {
+		return nil
+	}
+	head := fs.head.Load()
+	out := make([]SampleRecord, 0, samplerRingSize)
+	for i := uint64(0); i < samplerRingSize; i++ {
+		v := fs.ring[(head+i)&(samplerRingSize-1)].Load()
+		if v>>63 == 1 {
+			out = append(out, unpackSample(v))
+		}
+	}
+	return out
+}

@@ -23,9 +23,17 @@ type counterCell struct {
 }
 
 // Inc increments the cell selected by stripe (callers pass something
-// stable per concurrent context, e.g. the arrival port).
-func (c *stripedCounter) Inc(stripe uint) {
-	c.cells[stripe&(counterStripes-1)].n.Add(1)
+// stable per concurrent context, e.g. the arrival port) and returns the
+// cell's new value, so per-frame consumers like the sampler can reuse
+// the increment the pipeline already pays for.
+func (c *stripedCounter) Inc(stripe uint) uint64 {
+	return c.cells[stripe&(counterStripes-1)].n.Add(1)
+}
+
+// Cell returns one stripe's current value (for seeding thresholds that
+// trigger off Inc's return).
+func (c *stripedCounter) Cell(stripe uint) uint64 {
+	return c.cells[stripe&(counterStripes-1)].n.Load()
 }
 
 // Load returns the sum of all cells.

@@ -206,6 +206,13 @@ type Switch struct {
 	redirects   stripedCounter
 	cacheHits   stripedCounter
 	cacheMisses stripedCounter
+	batchFrames stripedCounter
+	batchRuns   stripedCounter
+
+	// sampler, when armed, records one of every N forwarding verdicts
+	// (see sampler.go). Nil when disabled: the fast path pays one atomic
+	// pointer load to find out.
+	sampler atomic.Pointer[frameSampler]
 }
 
 type swPort struct {
@@ -439,7 +446,7 @@ func resolveGroup(st *swState, group int, hash uint64) (Action, PortID) {
 // against the control plane: one snapshot load, sharded-FDB learning, a
 // cached (or scanned-and-cached) steering verdict, then dispatch.
 func (s *Switch) input(in PortID, frame []byte) {
-	s.rxFrames.Inc(uint(in))
+	rxN := s.rxFrames.Inc(uint(in))
 	p := packet.BorrowParser()
 	defer packet.ReturnParser(p)
 	if err := p.Parse(frame); err != nil {
@@ -462,7 +469,11 @@ func (s *Switch) input(in PortID, frame []byte) {
 		}
 	}
 
-	switch action, out := s.steer(in, p, st); action {
+	action, out := s.steer(in, p, st)
+	if fs := s.sampler.Load(); fs != nil {
+		fs.observe(in, rxN, action, out)
+	}
+	switch action {
 	case ActionDrop:
 		s.dropped.Inc(uint(in))
 		packet.ReturnFrame(frame)
@@ -514,28 +525,37 @@ type SwitchStats struct {
 	Redirects   uint64
 	CacheHits   uint64
 	CacheMisses uint64
-	Ports       int
-	Rules       int
-	Groups      int
-	FDBSize     int
-	FlowEntries int
+	// BatchFrames / BatchRuns measure run amortisation on the batched
+	// path: mean frames handled per steering decision is their ratio.
+	BatchFrames uint64
+	BatchRuns   uint64
+	// SampledFrames counts verdicts captured by the 1-in-N frame sampler.
+	SampledFrames uint64
+	Ports         int
+	Rules         int
+	Groups        int
+	FDBSize       int
+	FlowEntries   int
 }
 
 // Stats returns current counters.
 func (s *Switch) Stats() SwitchStats {
 	st := s.state.Load()
 	return SwitchStats{
-		RxFrames:    s.rxFrames.Load(),
-		Dropped:     s.dropped.Load(),
-		Flooded:     s.flooded.Load(),
-		Redirects:   s.redirects.Load(),
-		CacheHits:   s.cacheHits.Load(),
-		CacheMisses: s.cacheMisses.Load(),
-		Ports:       len(st.ports),
-		Rules:       len(st.rules),
-		Groups:      len(st.groups),
-		FDBSize:     s.fdb.size(),
-		FlowEntries: s.cache.size(),
+		RxFrames:      s.rxFrames.Load(),
+		Dropped:       s.dropped.Load(),
+		Flooded:       s.flooded.Load(),
+		Redirects:     s.redirects.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		BatchFrames:   s.batchFrames.Load(),
+		BatchRuns:     s.batchRuns.Load(),
+		SampledFrames: s.SampledFrames(),
+		Ports:         len(st.ports),
+		Rules:         len(st.rules),
+		Groups:        len(st.groups),
+		FDBSize:       s.fdb.size(),
+		FlowEntries:   s.cache.size(),
 	}
 }
 

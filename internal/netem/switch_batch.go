@@ -125,8 +125,10 @@ func (s *Switch) inputBatch(in PortID, frames [][]byte) {
 		runMcast  bool
 	)
 
+	sampler := s.sampler.Load()
 	for _, frame := range frames {
-		s.rxFrames.Inc(uint(in))
+		rxN := s.rxFrames.Inc(uint(in))
+		s.batchFrames.Inc(uint(in))
 		if cur := s.state.Load(); cur != st {
 			// Control-plane mutation mid-batch: re-resolve everything
 			// against the new snapshot.
@@ -173,7 +175,11 @@ func (s *Switch) inputBatch(in PortID, frames [][]byte) {
 				runValid = true
 				runAction, runOut = action, out
 				runDst, runMcast = dstMAC, mcast
+				s.batchRuns.Inc(uint(in))
 			}
+		}
+		if sampler != nil {
+			sampler.observe(in, rxN, action, out)
 		}
 
 		switch action {

@@ -13,9 +13,12 @@ import (
 	"sync"
 	"time"
 
+	"fmt"
+
 	"gnf/internal/clock"
 	"gnf/internal/manager"
 	"gnf/internal/spec"
+	"gnf/internal/trace"
 )
 
 // ErrNoSpec is returned by Plan and ReconcileOnce before any desired
@@ -260,10 +263,21 @@ func (r *Reconciler) ReconcileOnce(dryRun bool) (Result, error) {
 	if res.Converged {
 		r.mu.Lock()
 		// Stamp only if no newer spec landed while we were snapshotting.
+		stamped := false
 		if r.generation == gen && r.convergedGen < gen {
 			r.convergedGen = gen
+			stamped = true
 		}
 		r.mu.Unlock()
+		if stamped {
+			// Journal the convergence edge, not every idle tick — the loop
+			// re-finds an empty diff each interval and would flood the ring.
+			r.mgr.Journal().Append(trace.Event{
+				Type:    trace.EventReconcile,
+				Detail:  fmt.Sprintf("generation %d converged", gen),
+				Subject: fmt.Sprintf("gen-%d", gen),
+			})
+		}
 		return res, nil
 	}
 	if dryRun {
@@ -303,6 +317,16 @@ func (r *Reconciler) ReconcileOnce(dryRun bool) (Result, error) {
 		r.mu.Unlock()
 		res.Executed = append(res.Executed, ar)
 	}
+	ev := trace.Event{
+		Type:    trace.EventReconcile,
+		Subject: fmt.Sprintf("gen-%d", gen),
+		Detail: fmt.Sprintf("planned=%d executed=%d failed=%d deferred=%d",
+			len(res.Planned), len(res.Executed), res.Failed, res.Deferred),
+	}
+	if res.Failed > 0 {
+		ev.Err = fmt.Sprintf("%d action(s) failed", res.Failed)
+	}
+	r.mgr.Journal().Append(ev)
 	return res, nil
 }
 

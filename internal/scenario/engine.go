@@ -17,6 +17,7 @@ import (
 	"gnf/internal/packet"
 	"gnf/internal/reconcile"
 	"gnf/internal/topology"
+	"gnf/internal/trace"
 	"gnf/internal/traffic"
 )
 
@@ -82,6 +83,10 @@ type Result struct {
 	// Load summarises the (last) load step's megascale harness run; nil
 	// when the script had none.
 	Load *LoadSummary `json:"load,omitempty"`
+	// TraceSpans is the largest connected span tree any stored trace held
+	// at scenario end; JournalEvents counts journal entries by type.
+	TraceSpans    int            `json:"trace_spans,omitempty"`
+	JournalEvents map[string]int `json:"journal_events,omitempty"`
 	// VirtualElapsed is simulated time consumed by the run (rendered as a
 	// duration string, e.g. "12s", like every duration in scenario files).
 	VirtualElapsed Duration `json:"virtual_elapsed"`
@@ -904,6 +909,39 @@ func (e *Engine) finish() {
 		if got != want {
 			res.Failures = append(res.Failures,
 				fmt.Sprintf("chain %s enabled: got %v, want %v", key, got, want))
+		}
+	}
+	e.checkObservability()
+}
+
+// checkObservability evaluates the tracing and journal expectations: the
+// largest *connected* span tree any stored trace holds (fragments — spans
+// whose ancestry never reaches a root — do not count), and the presence
+// of required journal event types.
+func (e *Engine) checkObservability() {
+	res, exp := e.result, e.spec.Expect
+	tracer := e.sys.Manager.Tracer()
+	for _, ts := range tracer.Traces() {
+		if n := trace.ConnectedSize(tracer.Trace(ts.TraceID)); n > res.TraceSpans {
+			res.TraceSpans = n
+		}
+	}
+	if exp.MinTraceSpans > 0 && res.TraceSpans < exp.MinTraceSpans {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("trace spans: largest connected tree has %d, want >= %d",
+				res.TraceSpans, exp.MinTraceSpans))
+	}
+	events := e.sys.Manager.Journal().Events(0)
+	if len(events) > 0 {
+		res.JournalEvents = map[string]int{}
+		for _, ev := range events {
+			res.JournalEvents[ev.Type]++
+		}
+	}
+	for _, typ := range exp.ExpectEvents {
+		if res.JournalEvents[typ] == 0 {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("journal: no %q event recorded", typ))
 		}
 	}
 }

@@ -298,6 +298,15 @@ type Expect struct {
 	// passes issued — a converging reconciler does bounded work, a
 	// thrashing one doesn't; 0 means no bound.
 	MaxReconcileActions int `json:"max_reconcile_actions,omitempty"`
+	// MinTraceSpans requires some stored trace to hold at least this many
+	// spans in one connected tree (trace.ConnectedSize) — the end-to-end
+	// tracing property: one handoff yields one span tree spanning manager
+	// decision, migration rounds and agent-side steering flips, not a pile
+	// of fragments; 0 means no check.
+	MinTraceSpans int `json:"min_trace_spans,omitempty"`
+	// ExpectEvents lists journal event types (trace.Event*) that must have
+	// been recorded at least once by scenario end.
+	ExpectEvents []string `json:"expect_events,omitempty"`
 }
 
 // Spec is one complete scenario file.

@@ -1,0 +1,406 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gnf/internal/clock"
+)
+
+// SpanRecord is one finished span, the unit the store holds and the wire
+// ships (agents flush their spans to the manager as batches of these).
+type SpanRecord struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	Parent     string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	Origin     string            `json:"origin,omitempty"` // "manager" or a station name
+	Start      time.Time         `json:"start"`
+	End        time.Time         `json:"end"`
+	DurationMs float64           `json:"duration_ms"`
+	Err        string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceSummary describes one stored trace for listings.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"` // name of the root span ("" if not yet seen)
+	Spans      int       `json:"spans"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+}
+
+// Defaults for the bounded stores.
+const (
+	defaultMaxTraces        = 512
+	defaultMaxSpansPerTrace = 4096
+	defaultMaxPending       = 4096
+)
+
+// Tracer mints span and trace IDs, measures spans on a clock, and owns the
+// bounded span storage. Exported methods are nil-receiver-safe (a nil
+// tracer is simply off). The manager runs one with a store; each agent runs
+// one that only buffers finished spans for flushing upstream.
+type Tracer struct {
+	clk    clock.Clock
+	origin string
+	tag    uint16
+
+	mu      sync.Mutex
+	nextID  uint64
+	ratio   float64 // root-span sampling ratio (0..1]
+	credits float64 // sampling accumulator: deterministic, no RNG
+
+	store     map[string]*traceEntry
+	order     []string // trace IDs in first-seen order (eviction)
+	maxTraces int
+
+	pending    []SpanRecord // buffered spans awaiting Drain (agents)
+	buffering  bool
+	maxPending int
+	dropped    uint64
+}
+
+type traceEntry struct{ spans []SpanRecord }
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithOrigin stamps every span minted by this tracer (and prefixes its
+// IDs) with the given origin — "manager" or a station name.
+func WithOrigin(origin string) Option {
+	return func(t *Tracer) {
+		t.origin = origin
+		t.tag = originTag(origin)
+	}
+}
+
+// WithStore bounds the in-memory trace store to maxTraces traces (oldest
+// evicted first; < 1 selects the default of 512). Without this option the
+// tracer stores nothing locally.
+func WithStore(maxTraces int) Option {
+	return func(t *Tracer) {
+		if maxTraces < 1 {
+			maxTraces = defaultMaxTraces
+		}
+		t.store = make(map[string]*traceEntry)
+		t.maxTraces = maxTraces
+	}
+}
+
+// WithBuffer makes the tracer queue finished spans for Drain — the agent
+// mode, where spans ship to the manager instead of being stored locally.
+// Overflow drops the oldest buffered spans.
+func WithBuffer(maxPending int) Option {
+	return func(t *Tracer) {
+		if maxPending < 1 {
+			maxPending = defaultMaxPending
+		}
+		t.buffering = true
+		t.maxPending = maxPending
+	}
+}
+
+// WithSampleRatio sets the fraction of root spans that are sampled
+// (recorded and propagated). Children inherit their root's decision.
+// Ratio is clamped to [0,1]; the default is 1 (trace everything).
+func WithSampleRatio(r float64) Option {
+	return func(t *Tracer) {
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+		t.ratio = r
+	}
+}
+
+// New builds a tracer on the given clock.
+func New(clk clock.Clock, opts ...Option) *Tracer {
+	t := &Tracer{clk: clk, origin: "local", tag: originTag("local"), ratio: 1}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Span is one in-flight operation. Created by StartSpan, finished by End;
+// unsampled spans are inert (attribute writes and End are cheap no-ops).
+// Every method is nil-receiver-safe, so call sites that only trace
+// conditionally (Tracer.Child) need no guards.
+type Span struct {
+	t       *Tracer
+	rec     SpanRecord
+	sampled bool
+	ended   bool
+	mu      sync.Mutex
+}
+
+// StartSpan opens a span. An invalid parent context starts a fresh root
+// trace (subject to the sampling ratio); a valid one starts a child that
+// inherits the parent's trace and sampling decision. This "degrade to
+// root" behaviour is what makes dropped or foreign trace headers harmless.
+func (t *Tracer) StartSpan(parent Context, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := formatID(t.tag, t.nextID)
+	var traceID string
+	var sampled bool
+	if parent.Valid() {
+		traceID = parent.TraceID
+		sampled = parent.Sampled
+	} else {
+		traceID = id
+		t.credits += t.ratio
+		if t.credits >= 1 {
+			t.credits--
+			sampled = true
+		}
+	}
+	t.mu.Unlock()
+	sp := &Span{t: t, sampled: sampled}
+	sp.rec = SpanRecord{
+		TraceID: traceID,
+		SpanID:  id,
+		Parent:  parent.SpanID,
+		Name:    name,
+		Origin:  t.origin,
+		Start:   t.clk.Now(),
+	}
+	return sp
+}
+
+// Child opens a child span only when parent is recording; otherwise it
+// returns nil, which every Span method treats as an inert no-op. It is the
+// cheap form for code that traces only when a caller asked for it.
+func (t *Tracer) Child(parent Context, name string) *Span {
+	if t == nil || !parent.Recording() {
+		return nil
+	}
+	return t.StartSpan(parent, name)
+}
+
+// Context returns the span's propagation context: children started from it
+// (locally or across the wire) nest under this span.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID, Sampled: s.sampled}
+}
+
+// SetAttr attaches a key/value annotation (no-op on unsampled spans).
+func (s *Span) SetAttr(k, v string) {
+	if s == nil || !s.sampled {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string)
+	}
+	s.rec.Attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End finishes the span, stamping its duration on the tracer's clock and
+// recording it (err, when non-nil, marks the span failed). End is
+// idempotent; only the first call records.
+func (s *Span) End(err error) {
+	if s == nil || !s.sampled {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.End = s.t.clk.Now()
+	s.rec.DurationMs = float64(s.rec.End.Sub(s.rec.Start).Microseconds()) / 1000
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	rec := s.rec
+	s.mu.Unlock()
+	s.t.record(rec)
+}
+
+// record stores and/or buffers one finished span.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.store != nil {
+		t.ingestLocked(rec)
+	}
+	if t.buffering {
+		if len(t.pending) >= t.maxPending {
+			t.pending = t.pending[1:]
+			t.dropped++
+		}
+		t.pending = append(t.pending, rec)
+	}
+}
+
+// Ingest adds remotely produced span records to the store — how the
+// manager absorbs the batches agents flush up.
+func (t *Tracer) Ingest(recs ...SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.store == nil {
+		return
+	}
+	for _, rec := range recs {
+		t.ingestLocked(rec)
+	}
+}
+
+func (t *Tracer) ingestLocked(rec SpanRecord) {
+	if rec.TraceID == "" || rec.SpanID == "" {
+		return
+	}
+	e, ok := t.store[rec.TraceID]
+	if !ok {
+		for len(t.order) >= t.maxTraces {
+			delete(t.store, t.order[0])
+			t.order = t.order[1:]
+		}
+		e = &traceEntry{}
+		t.store[rec.TraceID] = e
+		t.order = append(t.order, rec.TraceID)
+	}
+	if len(e.spans) >= defaultMaxSpansPerTrace {
+		return
+	}
+	e.spans = append(e.spans, rec)
+}
+
+// Drain returns buffered spans and clears the buffer (agent flush path).
+func (t *Tracer) Drain() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.pending) == 0 {
+		return nil
+	}
+	out := t.pending
+	t.pending = nil
+	return out
+}
+
+// Dropped reports spans discarded from a full flush buffer.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Trace returns the stored spans of one trace, ordered by start time (ties
+// by span ID, so the order is stable).
+func (t *Tracer) Trace(id string) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	e := t.store[id]
+	var out []SpanRecord
+	if e != nil {
+		out = append([]SpanRecord(nil), e.spans...)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}
+
+// Traces summarises every stored trace, newest first.
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TraceSummary, 0, len(t.order))
+	for i := len(t.order) - 1; i >= 0; i-- {
+		id := t.order[i]
+		e := t.store[id]
+		if e == nil || len(e.spans) == 0 {
+			continue
+		}
+		s := TraceSummary{TraceID: id, Spans: len(e.spans)}
+		var start, end time.Time
+		for _, sp := range e.spans {
+			if start.IsZero() || sp.Start.Before(start) {
+				start = sp.Start
+			}
+			if sp.End.After(end) {
+				end = sp.End
+			}
+			if sp.Parent == "" && s.Root == "" {
+				s.Root = sp.Name
+			}
+		}
+		s.Start = start
+		if !start.IsZero() {
+			s.DurationMs = float64(end.Sub(start).Microseconds()) / 1000
+		}
+		out = append(out, s)
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// ConnectedSize reports the size of the span tree reachable from root
+// spans (Parent == "" or parent outside the set counts as a root only when
+// Parent == ""; spans whose ancestry never reaches a root are orphans and
+// do not count). Scenario expectations use it to assert one *connected*
+// tree rather than a pile of fragments.
+func ConnectedSize(spans []SpanRecord) int {
+	byID := make(map[string]*SpanRecord, len(spans))
+	for i := range spans {
+		byID[spans[i].SpanID] = &spans[i]
+	}
+	memo := make(map[string]bool, len(spans))
+	var reaches func(id string, depth int) bool
+	reaches = func(id string, depth int) bool {
+		if depth > len(spans)+1 {
+			return false // cycle guard
+		}
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		sp := byID[id]
+		if sp == nil {
+			return false
+		}
+		memo[id] = false // provisional: breaks parent cycles
+		var v bool
+		if sp.Parent == "" {
+			v = true
+		} else {
+			v = reaches(sp.Parent, depth+1)
+		}
+		memo[id] = v
+		return v
+	}
+	n := 0
+	for i := range spans {
+		if reaches(spans[i].SpanID, 0) {
+			n++
+		}
+	}
+	return n
+}

@@ -17,7 +17,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"gnf/internal/agent"
@@ -25,6 +27,7 @@ import (
 	"gnf/internal/metrics"
 	"gnf/internal/reconcile"
 	"gnf/internal/spec"
+	"gnf/internal/trace"
 )
 
 // StationView is one station's row in the dashboard.
@@ -86,8 +89,23 @@ func New(mgr *manager.Manager) *Server {
 	s.mux.HandleFunc("PUT /api/spec", s.handlePutSpec)
 	s.mux.HandleFunc("GET /api/diff", s.handleDiff)
 	s.mux.HandleFunc("POST /api/reconcile", s.handleReconcile)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /api/events", s.handleEvents)
 	s.mux.HandleFunc("GET /", s.handleDashboard)
 	return s
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by default —
+// the daemon arms it behind a flag; profiling endpoints expose enough
+// internals that they should be opt-in.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // Reconciler exposes the desired-state reconciler so the daemon can start
@@ -407,6 +425,52 @@ func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, res)
+}
+
+// handleMetrics renders the manager registry in the Prometheus text
+// exposition format — the unified telemetry plane's scrape endpoint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WriteProm(w, s.mgr.MetricsSnapshot())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.mgr.Tracer().Traces())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.mgr.Tracer().Trace(id)
+	if len(spans) == 0 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", id))
+		return
+	}
+	writeJSON(w, spans)
+}
+
+// EventsView is the GET /api/events payload. LastSeq lets pollers (gnfctl
+// events -follow) resume with ?after=N without re-reading the ring.
+type EventsView struct {
+	LastSeq uint64        `json:"last_seq"`
+	Events  []trace.Event `json:"events"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var after uint64
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad after=%q: %v", v, err))
+			return
+		}
+		after = n
+	}
+	j := s.mgr.Journal()
+	writeJSON(w, EventsView{
+		LastSeq: j.LastSeq(),
+		Events:  j.Events(after, q["type"]...),
+	})
 }
 
 var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>

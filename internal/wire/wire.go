@@ -55,11 +55,14 @@ var (
 	ErrBadFrame    = errors.New("wire: malformed frame")
 )
 
-// frame is the on-wire envelope.
+// frame is the on-wire envelope. Trace carries opaque tracing metadata
+// (an encoded trace context) alongside requests; it is absent from
+// untraced traffic, so legacy peers interoperate unchanged.
 type frame struct {
 	Kind   string          `json:"kind"`
 	ID     uint64          `json:"id,omitempty"`
 	Method string          `json:"method,omitempty"`
+	Trace  string          `json:"trace,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Body   json.RawMessage `json:"body,omitempty"`
 }
@@ -107,6 +110,11 @@ func readFrame(r io.Reader) (*frame, error) {
 // response body; a non-nil error produces an error response.
 type Handler func(body json.RawMessage) (any, error)
 
+// TracedHandler is a Handler that also receives the request's trace
+// metadata ("" when the caller did not trace). Receivers must treat the
+// string as opaque and advisory: a malformed value is never an error.
+type TracedHandler func(traceMeta string, body json.RawMessage) (any, error)
+
 // NotifyHandler consumes a one-way notification.
 type NotifyHandler func(body json.RawMessage)
 
@@ -118,7 +126,7 @@ type Peer struct {
 	wmu  sync.Mutex // serialises frame writes
 
 	mu       sync.Mutex
-	handlers map[string]Handler
+	handlers map[string]TracedHandler
 	notify   map[string]NotifyHandler
 	pending  map[uint64]chan *frame
 	closed   bool
@@ -149,7 +157,7 @@ func NewPeer(conn net.Conn) *Peer {
 	p := &Peer{
 		conn:     conn,
 		bw:       bufio.NewWriter(conn),
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]TracedHandler),
 		notify:   make(map[string]NotifyHandler),
 		pending:  make(map[uint64]chan *frame),
 	}
@@ -166,6 +174,16 @@ func (p *Peer) SetCallTimeout(d time.Duration) { p.callTimeout.Store(int64(d)) }
 // Handle registers a request handler for method. Handlers run on their own
 // goroutine, so they may issue Calls back over the same peer.
 func (p *Peer) Handle(method string, h Handler) {
+	p.HandleTraced(method, func(_ string, body json.RawMessage) (any, error) {
+		return h(body)
+	})
+}
+
+// HandleTraced registers a handler that also sees the request's trace
+// metadata. Handlers run on their own goroutine, so they may issue Calls
+// back over the same peer — which is exactly how traced agents flush
+// finished spans to the manager before responding.
+func (p *Peer) HandleTraced(method string, h TracedHandler) {
 	p.mu.Lock()
 	p.handlers[method] = h
 	p.mu.Unlock()
@@ -278,7 +296,7 @@ func (p *Peer) serve(req *frame) {
 	if h == nil {
 		res.Error = ErrNoHandler.Error() + ": " + req.Method
 	} else {
-		out, err := h(req.Body)
+		out, err := h(req.Trace, req.Body)
 		if err != nil {
 			res.Error = err.Error()
 		} else if out != nil {
@@ -312,6 +330,12 @@ func (p *Peer) send(f *frame) error {
 // Call sends a request and decodes the response body into out (which may
 // be nil to discard). It fails after the call timeout.
 func (p *Peer) Call(method string, in, out any) error {
+	return p.CallTraced(method, "", in, out)
+}
+
+// CallTraced is Call with trace metadata riding the request envelope.
+// An empty traceMeta is exactly Call — no tracing bytes on the wire.
+func (p *Peer) CallTraced(method, traceMeta string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -326,7 +350,7 @@ func (p *Peer) Call(method string, in, out any) error {
 	p.pending[id] = ch
 	p.mu.Unlock()
 
-	req := frame{Kind: kindRequest, ID: id, Method: method, Body: body}
+	req := frame{Kind: kindRequest, ID: id, Method: method, Trace: traceMeta, Body: body}
 	if err := p.send(&req); err != nil {
 		p.mu.Lock()
 		delete(p.pending, id)

@@ -264,3 +264,52 @@ func TestOversizeFrameRejected(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestTraceMetadataRoundTrip pins the trace envelope field: metadata sent
+// with CallTraced arrives verbatim at a HandleTraced handler, an untraced
+// Call arrives with "", and plain Handle handlers never see it at all —
+// the interop contract that lets traced and legacy peers mix.
+func TestTraceMetadataRoundTrip(t *testing.T) {
+	var seen []string
+	var mu sync.Mutex
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.HandleTraced("traced", func(trace string, body json.RawMessage) (any, error) {
+			mu.Lock()
+			seen = append(seen, trace)
+			mu.Unlock()
+			return echoRes{Text: trace}, nil
+		})
+		p.Handle("legacy", func(body json.RawMessage) (any, error) {
+			return echoRes{Text: "ok"}, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	p := dial(t, srv.Addr())
+
+	var res echoRes
+	if err := p.CallTraced("traced", "abc123-def456-1", echoReq{}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != "abc123-def456-1" {
+		t.Fatalf("traced handler saw %q", res.Text)
+	}
+	if err := p.Call("traced", echoReq{}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != "" {
+		t.Fatalf("untraced call leaked metadata %q", res.Text)
+	}
+	// Trace metadata on a method registered via plain Handle must not
+	// break the call.
+	if err := p.CallTraced("legacy", "some-trace-1", echoReq{}, &res); err != nil || res.Text != "ok" {
+		t.Fatalf("legacy handler under traced call: res=%+v err=%v", res, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != "abc123-def456-1" || seen[1] != "" {
+		t.Fatalf("seen = %v", seen)
+	}
+}
