@@ -16,6 +16,7 @@
 //	E8          BenchmarkE8BatchedDataplane        batched vs per-frame pipeline
 //	E9          BenchmarkE9FailoverRecovery        station-crash recovery
 //	E9          BenchmarkE9TraceOverhead           dataplane cost of 1% frame sampling
+//	E10         BenchmarkE10HandoffStorm           2k-client handoff storm, serial vs parallel
 //
 // Custom metrics use b.ReportMetric: modeled costs (virtual-clock time) are
 // reported as *_ms metrics; counts as their own units.
@@ -1085,4 +1086,117 @@ func BenchmarkE9TraceOverhead(b *testing.B) {
 	}
 	b.Run("sampling-off", func(b *testing.B) { run(b, 0) })
 	b.Run("sampling-1pct", func(b *testing.B) { run(b, 100) })
+}
+
+// --- E10: handoff storm -----------------------------------------------------
+
+// newBenchStormAgent is a wire-level station for handoff-storm benches:
+// every chain RPC acks after a fixed service delay, modeling the agent-side
+// work (container ops, rule installs) that the parallel pipeline overlaps.
+func newBenchStormAgent(b *testing.B, mgr *manager.Manager, station string, delay time.Duration) *benchQoSAgent {
+	b.Helper()
+	peer, err := wire.Dial(mgr.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	slow := func(json.RawMessage) (any, error) {
+		time.Sleep(delay)
+		return nil, nil
+	}
+	for _, m := range []string{agent.MethodDeploy, agent.MethodRemove, agent.MethodEnable,
+		agent.MethodDisable, agent.MethodRestore, agent.MethodPrefetch,
+		agent.MethodSteer, agent.MethodSteerBatch, agent.MethodUnsteer} {
+		peer.Handle(m, slow)
+	}
+	peer.Handle(agent.MethodCheckpoint, func(json.RawMessage) (any, error) {
+		time.Sleep(delay)
+		return agent.CheckpointResult{State: []byte("blob")}, nil
+	})
+	go peer.Run()
+	if err := peer.Call(agent.MethodRegister, agent.RegisterSpec{Station: station}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { peer.Close() })
+	return &benchQoSAgent{peer: peer, station: station}
+}
+
+// BenchmarkE10HandoffStorm — the bus scenario at control-plane scale: 2k
+// clients, each with one stateful chain on st-a, all hand off to st-b inside
+// one window. "serial" pins the migration pipeline to one worker — the
+// pre-shard manager's effective behaviour, since every reconcile serialized
+// on the global mutex — while "parallel" runs the default worker pool with
+// per-station admission and the overlapped RPC chain. Reported metrics:
+// storm convergence wall time, handoffs/sec, and p99 handoff-completion
+// latency from the handoff.latency_ms histogram (queue wait included).
+func BenchmarkE10HandoffStorm(b *testing.B) {
+	const (
+		clients  = 2000
+		rpcDelay = 200 * time.Microsecond
+	)
+	run := func(b *testing.B, opts ...manager.Option) {
+		var (
+			totalStorm time.Duration
+			p99        float64
+		)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mgr, err := manager.New(clock.System(), "127.0.0.1:0",
+				append([]manager.Option{manager.WithStrategy(manager.StrategyStateful)}, opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := newBenchStormAgent(b, mgr, "st-a", rpcDelay)
+			dst := newBenchStormAgent(b, mgr, "st-b", rpcDelay)
+			_ = dst
+			names := make([]string, clients)
+			for j := range names {
+				names[j] = fmt.Sprintf("c%04d", j)
+				if err := src.peer.Call(agent.MethodClientEvent,
+					agent.ClientEvent{Station: "st-a", Client: names[j], Connected: true}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mgr.WaitIdle()
+			for _, c := range names {
+				if err := mgr.AttachChain(c, manager.ChainSpec{
+					Name:      "chain-" + c,
+					Functions: []agent.NFSpec{{Kind: "counter", Name: "acct"}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+
+			start := time.Now()
+			for _, c := range names {
+				if err := dst.peer.Call(agent.MethodClientEvent,
+					agent.ClientEvent{Station: "st-b", Client: c, Connected: true}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mgr.WaitIdle()
+			storm := time.Since(start)
+
+			b.StopTimer()
+			done := 0
+			for _, rep := range mgr.Migrations() {
+				if rep.To == "st-b" && rep.Err == "" {
+					done++
+				}
+			}
+			if done != clients {
+				b.Fatalf("lost migrations: %d/%d completed", done, clients)
+			}
+			totalStorm += storm
+			p99 = mgr.MetricsSnapshot().Histograms["handoff.latency_ms"].P99
+			mgr.Close()
+			b.StartTimer()
+		}
+		mean := totalStorm / time.Duration(b.N)
+		b.ReportMetric(mean.Seconds()*1000, "ms_storm")
+		b.ReportMetric(float64(clients)/mean.Seconds(), "handoffs/sec")
+		b.ReportMetric(p99, "ms_p99_handoff")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, manager.WithHandoffWorkers(1)) })
+	b.Run("parallel", func(b *testing.B) { run(b) })
 }

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -139,8 +140,57 @@ func printEvent(w io.Writer, ev trace.Event) {
 		ev.Seq, ev.At.Format(time.RFC3339), ev.Type, ev.Subject, ev.Station, ev.Detail, extra.String())
 }
 
-// cmdTop prints a per-station resource table; -follow redraws it every
-// interval like top(1).
+// scrapeMetrics fetches the manager's Prometheus exposition and returns a
+// flat name -> value map (labels folded into the name, histogram bucket
+// lines skipped). gnfctl only needs point lookups, not a full parser.
+func scrapeMetrics(api string) (map[string]float64, error) {
+	resp, err := http.Get(api + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	vals := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, num, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			continue
+		}
+		vals[name] = v
+	}
+	return vals, nil
+}
+
+// promSeg sanitises one registry-name segment the way the /metrics
+// exporter does (non-alphanumerics become underscores).
+func promSeg(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// cmdTop prints a per-station resource table plus the handoff-pipeline
+// gauges (queue depth, in-flight migrations, coalesced storms, per-station
+// admission saturation); -follow redraws it every interval like top(1).
 func cmdTop(api string, args []string) error {
 	fs := flag.NewFlagSet("top", flag.ContinueOnError)
 	follow := fs.Bool("follow", false, "redraw every interval until interrupted")
@@ -153,16 +203,24 @@ func cmdTop(api string, args []string) error {
 		if err := getInto(api+"/api/stations", &stations); err != nil {
 			return err
 		}
+		vals, err := scrapeMetrics(api)
+		if err != nil {
+			return err
+		}
 		if *follow {
 			fmt.Print("\033[H\033[2J") // cursor home + clear, like top(1)
 		}
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "STATION\tCPU%\tMEM_MB\tNFS\tRX_FRAMES\tREDIRECTS\tCHAINS")
+		fmt.Fprintln(tw, "STATION\tCPU%\tMEM_MB\tNFS\tRX_FRAMES\tREDIRECTS\tCHAINS\tSATURATED")
 		for _, st := range stations {
-			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%d\t%d\t%d\t%d\n",
-				st.Station, st.CPU, st.MemoryMB, st.NFs, st.RxFrames, st.Redirects, len(st.Chains))
+			sat := vals["gnf_handoff_station_saturated_"+promSeg(st.Station)+"_total"]
+			fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%d\t%d\t%d\t%d\t%.0f\n",
+				st.Station, st.CPU, st.MemoryMB, st.NFs, st.RxFrames, st.Redirects, len(st.Chains), sat)
 		}
 		tw.Flush()
+		fmt.Printf("\nhandoff pipeline: queue=%.0f inflight=%.0f coalesced=%.0f p99=%.1fms\n",
+			vals["gnf_handoff_queue_depth"], vals["gnf_handoff_inflight"],
+			vals["gnf_handoff_coalesced_total"], vals["gnf_handoff_latency_ms_p99"])
 		if !*follow {
 			return nil
 		}

@@ -212,6 +212,18 @@ func (l *Link) installHandlers() {
 		}
 		return nil, a.Steer(topology.ClientID(spec.Client), topology.StationID(spec.Via))
 	})
+	traced(MethodSteerBatch, func(_ trace.Context, body json.RawMessage) (any, error) {
+		var spec SteerBatchSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return nil, err
+		}
+		for _, r := range spec.Rules {
+			if err := a.Steer(topology.ClientID(r.Client), topology.StationID(r.Via)); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
 	traced(MethodUnsteer, func(_ trace.Context, body json.RawMessage) (any, error) {
 		var spec UnsteerSpec
 		if err := json.Unmarshal(body, &spec); err != nil {

@@ -22,6 +22,10 @@ const (
 	MethodStats      = "agent.stats"
 	MethodPing       = "agent.ping"
 	MethodSteer      = "agent.steer"
+	// MethodSteerBatch installs many steering detours in one call: the
+	// manager's per-agent coalescer collapses a storm of clients landing on
+	// one station into a single rule-install RPC.
+	MethodSteerBatch = "agent.steerBatch"
 	MethodUnsteer    = "agent.unsteer"
 	MethodRetarget   = "agent.retarget"
 	MethodScalePool  = "agent.scalePool"
@@ -256,6 +260,12 @@ type ClientEvent struct {
 type SteerSpec struct {
 	Client string `json:"client"`
 	Via    string `json:"via"`
+}
+
+// SteerBatchSpec carries many steering detours in one MethodSteerBatch
+// call. Rules apply in order; the first failure aborts the rest.
+type SteerBatchSpec struct {
+	Rules []SteerSpec `json:"rules"`
 }
 
 // UnsteerSpec removes a client's detour.

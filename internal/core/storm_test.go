@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/manager"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+)
+
+// TestHandoffStormRace floods the full system with concurrent handoffs
+// across the manager's client shards while chains attach and detach and a
+// station crashes and rejoins mid-storm — the adversarial schedule the
+// sharded control plane must survive. Run under -race in CI. After the
+// storm settles on live stations, the invariant audit must come back
+// clean: no duplicate deployments, no leaked or disabled chains, every
+// chain co-located with its client.
+func TestHandoffStormRace(t *testing.T) {
+	sys, _, err := NewVirtualSystem(Config{
+		Stations: []StationConfig{
+			{ID: "st-a", Cells: []CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+			{ID: "st-b", Cells: []CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+			{ID: "st-c", Cells: []CellConfig{{ID: "cell-c", Center: topology.Point{X: 200}, Radius: 60}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	const clients = 24
+	cells := []topology.CellID{"cell-a", "cell-b", "cell-c"}
+	ids := make([]topology.ClientID, clients)
+	for i := range ids {
+		ids[i] = topology.ClientID(fmt.Sprintf("c%02d", i))
+		mac := packet.MAC{2, 0, 0, 0, byte(i >> 8), byte(i)}
+		ip := packet.IP{10, 0, byte(i >> 8), byte(i)}
+		if err := sys.AddClient(ids[i], mac, ip); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Topo.Attach(ids[i], cells[i%len(cells)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Manager.WaitIdle()
+	for i, id := range ids {
+		if err := sys.AttachChain(id, manager.ChainSpec{
+			Name:      fmt.Sprintf("ch-%02d", i),
+			Functions: []agent.NFSpec{{Kind: "counter", Name: "acct"}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Manager.WaitIdle()
+
+	// The storm: every client roams twice, a third of them churn an extra
+	// chain through attach/detach, and st-c's agent connection dies and
+	// rejoins in the middle of it all.
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id topology.ClientID) {
+			defer wg.Done()
+			for hop := 1; hop <= 2; hop++ {
+				sys.Topo.Attach(id, cells[(i+hop)%len(cells)])
+			}
+			if i%3 == 0 {
+				extra := manager.ChainSpec{
+					Name:      fmt.Sprintf("extra-%02d", i),
+					Functions: []agent.NFSpec{{Kind: "counter", Name: "x"}},
+				}
+				if err := sys.AttachChain(id, extra); err == nil {
+					sys.Manager.DetachChain(string(id), extra.Name)
+				}
+			}
+		}(i, id)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sys.KillStation("st-c")
+		time.Sleep(5 * time.Millisecond)
+		if err := sys.RestartStation("st-c"); err != nil {
+			t.Errorf("restart st-c: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	// Settle on the two stations that stayed alive throughout; the final
+	// handoff re-triggers reconciliation for any client whose mid-storm
+	// migration failed against the dead station.
+	for i, id := range ids {
+		final := cells[i%2] // cell-a or cell-b
+		if err := sys.Topo.Attach(id, final); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Manager.WaitIdle()
+	for i, id := range ids {
+		st := topology.StationID([]string{"st-a", "st-b"}[i%2])
+		if err := sys.WaitClientAt(id, st, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Manager.WaitIdle()
+
+	if vs := sys.Audit(); len(vs) != 0 {
+		t.Fatalf("audit after storm: %v", vs)
+	}
+	// No duplicate placements in the manager's own view either: one
+	// station per (client, chain).
+	seen := make(map[string]string)
+	for _, pl := range sys.Manager.Placements() {
+		key := pl.Client + "/" + pl.Chain
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("duplicate placement for %s: %s and %s", key, prev, pl.Station)
+		}
+		seen[key] = pl.Station
+	}
+}

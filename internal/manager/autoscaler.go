@@ -106,12 +106,11 @@ func (m *Manager) EvaluateAutoscaler() []ScaleEvent {
 	policy := m.auto.policy.normalize()
 	m.auto.mu.Unlock()
 
-	m.mu.Lock()
-	handles := make([]*AgentHandle, 0, len(m.agents))
-	for _, h := range m.agents {
+	agents := m.state().agents
+	handles := make([]*AgentHandle, 0, len(agents))
+	for _, h := range agents {
 		handles = append(handles, h)
 	}
-	m.mu.Unlock()
 	sort.Slice(handles, func(i, j int) bool { return handles[i].Station < handles[j].Station })
 
 	var passEvents []ScaleEvent
@@ -291,12 +290,11 @@ func (m *Manager) StopAutoscaler() {
 // the data behind `gnfctl pools` and GET /api/pools. Stations are keyed by
 // name; agents that cannot be reached are omitted.
 func (m *Manager) PoolTables() map[string][]agent.PoolStatus {
-	m.mu.Lock()
-	handles := make([]*AgentHandle, 0, len(m.agents))
-	for _, h := range m.agents {
+	agents := m.state().agents
+	handles := make([]*AgentHandle, 0, len(agents))
+	for _, h := range agents {
 		handles = append(handles, h)
 	}
-	m.mu.Unlock()
 	out := make(map[string][]agent.PoolStatus)
 	for _, h := range handles {
 		var rep agent.Report

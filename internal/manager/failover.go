@@ -33,17 +33,19 @@ type FailoverReport struct {
 // connection-drop trigger.
 func WithFailover(timeout time.Duration) Option {
 	return func(m *Manager) {
-		m.failoverTimeout = timeout
-		m.failoverAuto = true
+		m.mutate(func(c *controlState) {
+			c.failoverTimeout = timeout
+			c.failoverAuto = true
+		})
 	}
 }
 
 // EnableFailover arms automatic failover at runtime.
 func (m *Manager) EnableFailover(timeout time.Duration) {
-	m.mu.Lock()
-	m.failoverTimeout = timeout
-	m.failoverAuto = true
-	m.mu.Unlock()
+	m.mutate(func(c *controlState) {
+		c.failoverTimeout = timeout
+		c.failoverAuto = true
+	})
 }
 
 // Failovers returns a copy of completed failover reports.
@@ -55,10 +57,9 @@ func (m *Manager) Failovers() []FailoverReport {
 
 // FailedStations lists stations currently declared dead, sorted.
 func (m *Manager) FailedStations() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.failed))
-	for s := range m.failed {
+	failed := m.state().failed
+	out := make([]string, 0, len(failed))
+	for s := range failed {
 		out = append(out, s)
 	}
 	sort.Strings(out)
@@ -73,18 +74,20 @@ func (m *Manager) FailedStations() []string {
 func (m *Manager) CheckFailures() []FailoverReport {
 	now := m.clk.Now()
 
-	m.mu.Lock()
-	timeout := m.failoverTimeout
+	st := m.state()
+	timeout := st.failoverTimeout
 	// Stations hosting at least one chain.
 	hosting := make(map[string]bool)
-	for _, rec := range m.clients {
+	m.clients.forEach(func(_ string, rec *clientRec) {
+		rec.mu.Lock()
 		for _, at := range rec.deployedOn {
 			hosting[at] = true
 		}
-	}
+		rec.mu.Unlock()
+	})
 	var silent []*AgentHandle
 	if timeout > 0 {
-		for _, h := range m.agents {
+		for _, h := range st.agents {
 			h.mu.Lock()
 			seen := h.lastSeen
 			h.mu.Unlock()
@@ -94,28 +97,28 @@ func (m *Manager) CheckFailures() []FailoverReport {
 		}
 	}
 	var dead []string
-	for st := range hosting {
-		if _, alive := m.agents[st]; !alive && !m.failed[st] {
-			dead = append(dead, st)
-			m.failed[st] = true
+	m.mutate(func(c *controlState) {
+		for station := range hosting {
+			if _, alive := c.agents[station]; !alive && !c.failed[station] {
+				dead = append(dead, station)
+				c.failed[station] = true
+			}
 		}
-	}
-	m.mu.Unlock()
+	})
 
 	// Silent agents: cut the connection (OnClose removes them from the
 	// registry) and treat them as dead below.
 	for _, h := range silent {
 		h.peer.Close()
-		m.mu.Lock()
-		if cur, ok := m.agents[h.Station]; ok && cur == h {
-			delete(m.agents, h.Station)
-		}
-		already := m.failed[h.Station]
-		if !already && hosting[h.Station] {
-			dead = append(dead, h.Station)
-			m.failed[h.Station] = true
-		}
-		m.mu.Unlock()
+		m.mutate(func(c *controlState) {
+			if cur, ok := c.agents[h.Station]; ok && cur == h {
+				delete(c.agents, h.Station)
+			}
+			if !c.failed[h.Station] && hosting[h.Station] {
+				dead = append(dead, h.Station)
+				c.failed[h.Station] = true
+			}
+		})
 	}
 
 	var reports []FailoverReport
@@ -135,10 +138,10 @@ func (m *Manager) failStation(station string) []FailoverReport {
 	type detour struct {
 		client, at string
 	}
-	m.mu.Lock()
 	var jobs []job
 	var stale []detour
-	for client, rec := range m.clients {
+	m.clients.forEach(func(client string, rec *clientRec) {
+		rec.mu.Lock()
 		// A dead cloud site ends the offload: chains return to the edge
 		// (below) and the detour toward the dead site must go.
 		if rec.offload == station {
@@ -153,8 +156,8 @@ func (m *Manager) failStation(station string) []FailoverReport {
 				jobs = append(jobs, job{client: client, rec: rec, spec: rec.chains[name]})
 			}
 		}
-	}
-	m.mu.Unlock()
+		rec.mu.Unlock()
+	})
 
 	for _, d := range stale {
 		if h, err := m.agentFor(d.at); err == nil {
@@ -183,9 +186,9 @@ func (m *Manager) reviveChain(failed, client string, rec *clientRec, spec ChainS
 	rep := FailoverReport{Station: failed, Client: client, Chain: spec.Name}
 	watch := clock.NewStopwatch(m.clk)
 
-	m.mu.Lock()
+	rec.mu.Lock()
 	prefer := rec.station
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	clientAt := prefer // the dead station is still the RTT reference point
 	if prefer == failed {
 		prefer = ""
@@ -205,13 +208,13 @@ func (m *Manager) reviveChain(failed, client string, rec *clientRec, spec ChainS
 	rec.migMu.Lock()
 	defer rec.migMu.Unlock()
 	// The client may have been reconciled meanwhile; never double-deploy.
-	m.mu.Lock()
-	if at := rec.deployedOn[spec.Name]; at != failed {
-		m.mu.Unlock()
+	rec.mu.Lock()
+	at := rec.deployedOn[spec.Name]
+	rec.mu.Unlock()
+	if at != failed {
 		rep.To, rep.Recovered = at, watch.Elapsed()
 		return rep
 	}
-	m.mu.Unlock()
 
 	h, err := m.agentFor(to)
 	if err != nil {
@@ -228,9 +231,9 @@ func (m *Manager) reviveChain(failed, client string, rec *clientRec, spec ChainS
 		rep.Err = err.Error()
 		return rep
 	}
-	m.mu.Lock()
+	rec.mu.Lock()
 	rec.deployedOn[spec.Name] = to
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	rep.Recovered = watch.Elapsed()
 	return rep
 }

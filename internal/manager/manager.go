@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gnf/internal/agent"
@@ -21,7 +22,6 @@ import (
 	"gnf/internal/packet"
 	"gnf/internal/predict"
 	"gnf/internal/share"
-	"gnf/internal/topology"
 	"gnf/internal/trace"
 	"gnf/internal/wire"
 )
@@ -121,6 +121,13 @@ type AgentHandle struct {
 	lastReport agent.Report
 	lastSeen   time.Time
 	capacity   uint64
+
+	// Steering group-commit state (see steer in batch.go): concurrent
+	// steering updates to this agent coalesce into one batched rule
+	// install.
+	steerMu       sync.Mutex
+	steerPending  []steerReq
+	steerFlushing bool
 }
 
 // LastReport returns the agent's most recent health report and when it
@@ -159,6 +166,10 @@ func (h *AgentHandle) Ping() error {
 
 // clientRec tracks one client's placement and attached chains.
 type clientRec struct {
+	// mu guards every mutable field below. It is a leaf lock: never
+	// acquire another lock, issue an RPC, or append to the journal while
+	// holding it (see shards.go for the full ordering).
+	mu      sync.Mutex
 	station string // current station ("" = disconnected)
 	mac     packet.MAC
 	ip      packet.IP
@@ -180,7 +191,8 @@ type clientRec struct {
 	// standby deployment for it.
 	standby map[string]string
 	// migMu serialises migrations for this client: rapid successive
-	// handoffs must not race two migrations of the same chain.
+	// handoffs must not race two migrations of the same chain. Ordering:
+	// migMu is taken before any shard or record lock.
 	migMu sync.Mutex
 }
 
@@ -196,24 +208,22 @@ type Manager struct {
 	predictor *predict.Markov
 	metrics   *metrics.Registry
 
+	// ctrl is the copy-on-write snapshot of read-mostly configuration
+	// (agent registry, strategy, placement, topology, failover switches);
+	// clients is the sharded client registry; pool is the bounded handoff
+	// pipeline and the manager's drain barrier. See shards.go and pool.go.
+	ctrl    atomic.Pointer[controlState]
+	clients clientTable
+	pool    *handoffPool
+
+	// mu serialises snapshot mutations (mutate) and guards the bounded
+	// event histories below. It is never held together with a shard or
+	// record lock.
 	mu            sync.Mutex
-	agents        map[string]*AgentHandle
-	clients       map[string]*clientRec
-	strategy      Strategy
-	prewarm       bool
-	placement     Placement
-	topo          *topology.Graph
 	notifications []agent.Alert
 	migrations    []MigrationReport
 	schedules     []*schedule
-	hotspotCPU    float64 // CPU percent threshold
-	migrationWG   sync.WaitGroup
-
-	// Failover state (see failover.go).
-	failoverTimeout time.Duration
-	failoverAuto    bool
-	failovers       []FailoverReport
-	failed          map[string]bool // stations declared dead
+	failovers     []FailoverReport
 
 	// Autoscaler state (see autoscaler.go); owns its own lock.
 	auto autoscaler
@@ -225,21 +235,31 @@ type Manager struct {
 	tracer      *trace.Tracer
 	journal     *trace.Journal
 	sampleRatio float64
+
+	// Pool sizing, fixed at New (see WithHandoffWorkers).
+	poolWorkers int
+	poolLimit   int
 }
 
 // Option configures New.
 type Option func(*Manager)
 
 // WithStrategy sets the roaming migration strategy (default stateful).
-func WithStrategy(s Strategy) Option { return func(m *Manager) { m.strategy = s } }
+func WithStrategy(s Strategy) Option {
+	return func(m *Manager) { m.mutate(func(c *controlState) { c.strategy = s }) }
+}
 
 // WithHotspotCPU sets the CPU%% threshold for hotspot detection.
-func WithHotspotCPU(v float64) Option { return func(m *Manager) { m.hotspotCPU = v } }
+func WithHotspotCPU(v float64) Option {
+	return func(m *Manager) { m.mutate(func(c *controlState) { c.hotspotCPU = v }) }
+}
 
 // WithPrewarm enables predictive prewarming: under StrategyLive, the
 // manager stages disabled, state-synced standby chains at the station the
 // mobility predictor expects each client to roam to next.
-func WithPrewarm() Option { return func(m *Manager) { m.prewarm = true } }
+func WithPrewarm() Option {
+	return func(m *Manager) { m.mutate(func(c *controlState) { c.prewarm = true }) }
+}
 
 // WithTraceSampleRatio sets the fraction of client handoffs that get a
 // full span tree (default 1: trace every handoff). Sampling is decided at
@@ -247,33 +267,46 @@ func WithPrewarm() Option { return func(m *Manager) { m.prewarm = true } }
 // metadata and pay nothing downstream.
 func WithTraceSampleRatio(r float64) Option { return func(m *Manager) { m.sampleRatio = r } }
 
+// WithHandoffWorkers sets the handoff pool's worker count (default 16).
+// 1 serialises every reconcile — the ablation baseline BenchmarkE10
+// compares the sharded-parallel pipeline against.
+func WithHandoffWorkers(n int) Option { return func(m *Manager) { m.poolWorkers = n } }
+
+// WithStationConcurrency caps concurrent migrations targeting one station
+// (default 16): a storm landing on a single station queues at the manager
+// instead of flooding the agent with concurrent Deploys.
+func WithStationConcurrency(n int) Option { return func(m *Manager) { m.poolLimit = n } }
+
 // New starts a manager listening for agents on addr ("127.0.0.1:0" picks
 // an ephemeral port).
 func New(clk clock.Clock, addr string, opts ...Option) (*Manager, error) {
 	m := &Manager{
-		clk:        clk,
-		agents:     make(map[string]*AgentHandle),
-		clients:    make(map[string]*clientRec),
-		strategy:   StrategyStateful,
-		predictor:  predict.NewMarkov(),
-		metrics:    metrics.NewRegistry(),
-		placement:  ClientLocalPlacement{},
-		hotspotCPU: 80,
-		failed:     make(map[string]bool),
+		clk:       clk,
+		predictor: predict.NewMarkov(),
+		metrics:   metrics.NewRegistry(),
 		auto: autoscaler{
 			policy:        DefaultAutoscalerPolicy,
 			lastProcessed: make(map[string]uint64),
 		},
 		sampleRatio: 1,
 	}
+	m.ctrl.Store(&controlState{
+		agents:     make(map[string]*AgentHandle),
+		strategy:   StrategyStateful,
+		placement:  ClientLocalPlacement{},
+		hotspotCPU: 80,
+		failed:     make(map[string]bool),
+	})
 	for _, o := range opts {
 		o(m)
 	}
 	m.tracer = trace.New(clk, trace.WithOrigin("manager"),
 		trace.WithStore(0), trace.WithSampleRatio(m.sampleRatio))
 	m.journal = trace.NewJournal(clk, historyCap)
+	m.pool = newHandoffPool(m, m.poolWorkers, m.poolLimit)
 	srv, err := wire.NewServer(addr, m.acceptAgent)
 	if err != nil {
+		m.pool.close()
 		return nil, err
 	}
 	m.srv = srv
@@ -290,26 +323,22 @@ func (m *Manager) Tracer() *trace.Tracer { return m.tracer }
 // (reconciler, UI) append and read through it.
 func (m *Manager) Journal() *trace.Journal { return m.journal }
 
-// Close disconnects all agents and stops the server.
+// Close disconnects all agents and stops the server. Closing the server
+// first fails in-flight agent RPCs fast, so draining the handoff pool
+// never waits on a dead wire.
 func (m *Manager) Close() error {
 	m.StopAutoscaler()
 	err := m.srv.Close()
-	m.migrationWG.Wait()
+	m.pool.close()
 	return err
 }
 
 // Strategy returns the active migration strategy.
-func (m *Manager) Strategy() Strategy {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.strategy
-}
+func (m *Manager) Strategy() Strategy { return m.state().strategy }
 
 // SetStrategy switches the migration strategy at runtime.
 func (m *Manager) SetStrategy(s Strategy) {
-	m.mu.Lock()
-	m.strategy = s
-	m.mu.Unlock()
+	m.mutate(func(c *controlState) { c.strategy = s })
 }
 
 // acceptAgent wires handlers for a new agent connection.
@@ -321,29 +350,27 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 			return nil, err
 		}
 		h := &AgentHandle{Station: spec.Station, Cloud: spec.Cloud, peer: p, capacity: spec.MemoryBytes, tracer: m.tracer}
-		m.mu.Lock()
-		m.agents[spec.Station] = h
-		delete(m.failed, spec.Station) // a station may rejoin after failure
+		m.mutate(func(c *controlState) {
+			c.agents[spec.Station] = h
+			delete(c.failed, spec.Station) // a station may rejoin after failure
+		})
 		// Rejoin reconciliation: a station that kept its dataplane across a
 		// management-plane outage may still host chains the manager has
 		// since re-placed elsewhere (failover). Garbage-collect those
 		// orphans so the rejoining station converges to the manager's view.
 		var stale []string
 		for _, announced := range spec.Chains {
-			if !m.placedOnLocked(announced, spec.Station) {
+			if !m.placedOn(announced, spec.Station) {
 				stale = append(stale, announced)
 			}
 		}
-		m.mu.Unlock()
 		station = spec.Station
 		if len(stale) > 0 {
-			m.migrationWG.Add(1)
-			go func() {
-				defer m.migrationWG.Done()
+			m.pool.goTracked(func() {
 				for _, chain := range stale {
 					m.removeStaleChain(h, chain)
 				}
-			}()
+			})
 		}
 		return map[string]string{"status": "registered"}, nil
 	})
@@ -352,10 +379,7 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 		if err := json.Unmarshal(body, &rep); err != nil {
 			return
 		}
-		m.mu.Lock()
-		h := m.agents[rep.Station]
-		m.mu.Unlock()
-		if h != nil {
+		if h := m.state().agents[rep.Station]; h != nil {
 			h.mu.Lock()
 			h.lastReport = rep
 			h.lastSeen = m.clk.Now()
@@ -375,11 +399,12 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 		return nil, nil
 	})
 	// Client events arrive as synchronous calls: the agent blocks its
-	// handoff path until the manager has applied the placement update, so
-	// events from concurrent stations apply in true handoff order and
-	// WaitIdle (armed inside applyClientEvent before the response) is
-	// sound. The reconciliation RPCs the event triggers run on their own
-	// goroutine, so responding here never deadlocks on this peer.
+	// handoff path until the manager has applied the placement update and
+	// queued the reconcile, so events from concurrent stations apply in
+	// true handoff order and WaitIdle (the handoff queued inside
+	// applyClientEvent before the response) is sound. The reconciliation
+	// RPCs the event triggers run on the handoff pool's workers, so
+	// responding here never deadlocks on this peer.
 	p.Handle(agent.MethodClientEvent, func(body json.RawMessage) (any, error) {
 		var ev agent.ClientEvent
 		if err := json.Unmarshal(body, &ev); err != nil {
@@ -412,37 +437,35 @@ func (m *Manager) acceptAgent(p *wire.Peer) {
 		if station == "" {
 			return
 		}
-		m.mu.Lock()
 		lost := false
-		if h, ok := m.agents[station]; ok && h.peer == p {
-			delete(m.agents, station)
-			lost = true
-		}
-		auto := m.failoverAuto
-		m.mu.Unlock()
+		m.mutate(func(c *controlState) {
+			if h, ok := c.agents[station]; ok && h.peer == p {
+				delete(c.agents, station)
+				lost = true
+			}
+		})
 		// With automatic failover armed, a dropped agent connection
 		// immediately triggers re-placement of the chains it hosted.
-		if lost && auto {
-			m.migrationWG.Add(1)
-			go func() {
-				defer m.migrationWG.Done()
-				m.CheckFailures()
-			}()
+		if lost && m.state().failoverAuto {
+			m.pool.goTracked(func() { m.CheckFailures() })
 		}
 	})
 }
 
-// placedOnLocked reports whether any client's placement puts a chain with
-// this name on the station. Chain names are only unique per client, so a
-// name may legitimately appear in several records; an announced copy is
-// stale only when no record places it here. Callers must hold m.mu.
-func (m *Manager) placedOnLocked(chain, station string) bool {
-	for _, rec := range m.clients {
+// placedOn reports whether any client's placement puts a chain with this
+// name on the station. Chain names are only unique per client, so a name
+// may legitimately appear in several records; an announced copy is stale
+// only when no record places it here.
+func (m *Manager) placedOn(chain, station string) bool {
+	found := false
+	m.clients.forEach(func(_ string, rec *clientRec) {
+		rec.mu.Lock()
 		if at, ok := rec.deployedOn[chain]; ok && at == station {
-			return true
+			found = true
 		}
-	}
-	return false
+		rec.mu.Unlock()
+	})
+	return found
 }
 
 // removeStaleChain garbage-collects one chain a rejoining station
@@ -452,18 +475,18 @@ func (m *Manager) placedOnLocked(chain, station string) bool {
 // just migrated the chain onto the rejoining station, in which case the
 // copy is no longer stale and must survive.
 func (m *Manager) removeStaleChain(h *AgentHandle, chain string) {
-	m.mu.Lock()
 	type owner struct {
 		client string
 		rec    *clientRec
 	}
 	var owners []owner
-	for client, rec := range m.clients {
+	m.clients.forEach(func(client string, rec *clientRec) {
+		rec.mu.Lock()
 		if _, ok := rec.chains[chain]; ok {
 			owners = append(owners, owner{client, rec})
 		}
-	}
-	m.mu.Unlock()
+		rec.mu.Unlock()
+	})
 	// Global lock order (client name) so two concurrent rejoin GCs can
 	// never deadlock on overlapping owner sets.
 	sort.Slice(owners, func(i, j int) bool { return owners[i].client < owners[j].client })
@@ -471,19 +494,15 @@ func (m *Manager) removeStaleChain(h *AgentHandle, chain string) {
 		o.rec.migMu.Lock()
 		defer o.rec.migMu.Unlock()
 	}
-	m.mu.Lock()
-	placedHere := m.placedOnLocked(chain, h.Station)
-	m.mu.Unlock()
-	if !placedHere {
+	if !m.placedOn(chain, h.Station) {
 		h.call(agent.MethodRemove, agent.ChainRef{Chain: chain}, nil)
 	}
 }
 
-// agentFor resolves a station's handle.
+// agentFor resolves a station's handle off the configuration snapshot
+// (lock-free).
 func (m *Manager) agentFor(station string) (*AgentHandle, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.agents[station]
+	h, ok := m.state().agents[station]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownStation, station)
 	}
@@ -492,10 +511,9 @@ func (m *Manager) agentFor(station string) (*AgentHandle, error) {
 
 // Agents lists connected stations, sorted.
 func (m *Manager) Agents() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.agents))
-	for s := range m.agents {
+	agents := m.state().agents
+	out := make([]string, 0, len(agents))
+	for s := range agents {
 		out = append(out, s)
 	}
 	sort.Strings(out)
@@ -504,18 +522,19 @@ func (m *Manager) Agents() []string {
 
 // AgentHandleFor returns the handle for a station (UI access to reports).
 func (m *Manager) AgentHandleFor(station string) (*AgentHandle, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.agents[station]
+	h, ok := m.state().agents[station]
 	return h, ok
 }
 
 // ClientStation reports where a client is currently attached.
 func (m *Manager) ClientStation(client string) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, ok := m.clients[client]
-	if !ok || rec.station == "" {
+	rec := m.clients.get(client)
+	if rec == nil {
+		return "", false
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.station == "" {
 		return "", false
 	}
 	return rec.station, true
@@ -584,10 +603,9 @@ type ChainPlacement struct {
 // deployed, sorted by client then chain. The invariant auditor compares
 // this view against what agents actually host.
 func (m *Manager) Placements() []ChainPlacement {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var out []ChainPlacement
-	for client, rec := range m.clients {
+	m.clients.forEach(func(client string, rec *clientRec) {
+		rec.mu.Lock()
 		for name := range rec.chains {
 			out = append(out, ChainPlacement{
 				Client:  client,
@@ -596,7 +614,8 @@ func (m *Manager) Placements() []ChainPlacement {
 				Offload: rec.offload,
 			})
 		}
-	}
+		rec.mu.Unlock()
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Client != out[j].Client {
 			return out[i].Client < out[j].Client
@@ -608,12 +627,10 @@ func (m *Manager) Placements() []ChainPlacement {
 
 // Clients lists registered client IDs, sorted.
 func (m *Manager) Clients() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.clients))
-	for c := range m.clients {
-		out = append(out, c)
-	}
+	var out []string
+	m.clients.forEach(func(client string, _ *clientRec) {
+		out = append(out, client)
+	})
 	sort.Strings(out)
 	return out
 }
@@ -635,9 +652,7 @@ func (m *Manager) Clock() clock.Clock { return m.clk }
 
 // SetPrewarm toggles predictive standby staging at runtime.
 func (m *Manager) SetPrewarm(on bool) {
-	m.mu.Lock()
-	m.prewarm = on
-	m.mu.Unlock()
+	m.mutate(func(c *controlState) { c.prewarm = on })
 }
 
 // MetricsSnapshot exports the manager's observability registry — the
@@ -690,25 +705,17 @@ func (m *Manager) recordMigration(rep MigrationReport) {
 
 // SetHotspotCPU adjusts the hotspot CPU threshold at runtime.
 func (m *Manager) SetHotspotCPU(v float64) {
-	m.mu.Lock()
-	m.hotspotCPU = v
-	m.mu.Unlock()
+	m.mutate(func(c *controlState) { c.hotspotCPU = v })
 }
 
 // Hotspots returns stations whose last report exceeds the CPU threshold —
 // §3: "allowing the provider to detect resource-hotspots".
 func (m *Manager) Hotspots() []string {
-	m.mu.Lock()
-	handles := make([]*AgentHandle, 0, len(m.agents))
-	for _, h := range m.agents {
-		handles = append(handles, h)
-	}
-	threshold := m.hotspotCPU
-	m.mu.Unlock()
+	st := m.state()
 	var out []string
-	for _, h := range handles {
+	for _, h := range st.agents {
 		rep, seen := h.LastReport()
-		if !seen.IsZero() && rep.Usage.CPUPercent >= threshold {
+		if !seen.IsZero() && rep.Usage.CPUPercent >= st.hotspotCPU {
 			out = append(out, h.Station)
 		}
 	}

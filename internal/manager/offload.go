@@ -34,12 +34,13 @@ type OffloadReport struct {
 // Offloaded reports the cloud site hosting the client's chains ("" when
 // the client is served at the edge).
 func (m *Manager) Offloaded(client string) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if rec, ok := m.clients[client]; ok {
-		return rec.offload
+	rec := m.clients.get(client)
+	if rec == nil {
+		return ""
 	}
-	return ""
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.offload
 }
 
 // OffloadClient moves every chain of the client to the cloud site and
@@ -51,24 +52,22 @@ func (m *Manager) Offloaded(client string) string {
 func (m *Manager) OffloadClient(client, site string) (OffloadReport, error) {
 	rep := OffloadReport{Client: client, Site: site}
 
-	m.mu.Lock()
-	rec, ok := m.clients[client]
-	m.mu.Unlock()
-	if !ok {
+	rec := m.clients.get(client)
+	if rec == nil {
 		return rep, fmt.Errorf("%w: %s", ErrUnknownClient, client)
 	}
 
 	rec.migMu.Lock()
 	defer rec.migMu.Unlock()
 
-	m.mu.Lock()
+	rec.mu.Lock()
 	station := rec.station
-	if rec.offload != "" {
-		m.mu.Unlock()
-		return rep, fmt.Errorf("%w: %s on %s", ErrOffloaded, client, rec.offload)
-	}
+	site0 := rec.offload
 	specs := sortedChains(rec)
-	m.mu.Unlock()
+	rec.mu.Unlock()
+	if site0 != "" {
+		return rep, fmt.Errorf("%w: %s on %s", ErrOffloaded, client, site0)
+	}
 	if station == "" {
 		return rep, fmt.Errorf("%w: %s", ErrNotAttached, client)
 	}
@@ -102,7 +101,7 @@ func (m *Manager) OffloadClient(client, site string) (OffloadReport, error) {
 	}
 
 	// Phase 2: flip the detour, then tear the edge copies down.
-	if err := edge.call(agent.MethodSteer, agent.SteerSpec{Client: client, Via: site}, nil); err != nil {
+	if err := edge.steer(agent.SteerSpec{Client: client, Via: site}); err != nil {
 		for _, done := range rep.Chains {
 			cloud.call(agent.MethodRemove, agent.ChainRef{Chain: done.Chain}, nil)
 			edge.call(agent.MethodEnable, agent.ChainRef{Chain: done.Chain}, nil)
@@ -113,13 +112,13 @@ func (m *Manager) OffloadClient(client, site string) (OffloadReport, error) {
 		edge.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 	}
 
-	m.mu.Lock()
+	rec.mu.Lock()
 	rec.offload = site
 	rec.steerOn = station
 	for _, spec := range specs {
 		rec.deployedOn[spec.Name] = site
 	}
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	for _, mig := range rep.Chains {
 		m.recordMigration(mig)
 	}
@@ -130,10 +129,10 @@ func (m *Manager) OffloadClient(client, site string) (OffloadReport, error) {
 // over from the edge copy. The edge copy is left disabled (stateful) or
 // running (cold) for the caller to remove after the detour flips.
 func (m *Manager) moveChainRemote(rec *clientRec, edge, cloud *AgentHandle, client string, spec ChainSpec, station, site string) MigrationReport {
-	m.mu.Lock()
-	strategy := m.strategy
+	strategy := m.state().strategy
+	rec.mu.Lock()
 	mac, ip := rec.mac, rec.ip
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	mig := MigrationReport{
 		Client: client, Chain: spec.Name,
 		From: station, To: site, Strategy: strategy,
@@ -207,22 +206,20 @@ func (m *Manager) moveChainRemote(rec *clientRec, edge, cloud *AgentHandle, clie
 func (m *Manager) RecallClient(client string) (OffloadReport, error) {
 	rep := OffloadReport{Client: client, Recall: true}
 
-	m.mu.Lock()
-	rec, ok := m.clients[client]
-	m.mu.Unlock()
-	if !ok {
+	rec := m.clients.get(client)
+	if rec == nil {
 		return rep, fmt.Errorf("%w: %s", ErrUnknownClient, client)
 	}
 
 	rec.migMu.Lock()
 	defer rec.migMu.Unlock()
 
-	m.mu.Lock()
+	strategy := m.state().strategy
+	rec.mu.Lock()
 	site := rec.offload
 	station := rec.station
-	strategy := m.strategy
 	specs := sortedChains(rec)
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	rep.Site = site
 	if site == "" {
 		return rep, fmt.Errorf("%w: %s", ErrNotOffloaded, client)
@@ -287,12 +284,12 @@ func (m *Manager) RecallClient(client string) (OffloadReport, error) {
 		cloud.call(agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 	}
 
-	m.mu.Lock()
+	rec.mu.Lock()
 	rec.offload, rec.steerOn = "", ""
 	for _, spec := range specs {
 		rec.deployedOn[spec.Name] = station
 	}
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	for _, mig := range rep.Chains {
 		m.recordMigration(mig)
 	}
@@ -307,13 +304,13 @@ func (m *Manager) reconcileOffloaded(client string, rec *clientRec) {
 	rec.migMu.Lock()
 	defer rec.migMu.Unlock()
 	for {
-		m.mu.Lock()
+		rec.mu.Lock()
 		target := rec.station
 		site := rec.offload
 		steerOn := rec.steerOn
 		done := target == "" || site == "" || steerOn == target
 		specs := sortedChains(rec)
-		m.mu.Unlock()
+		rec.mu.Unlock()
 		if done {
 			return
 		}
@@ -327,11 +324,11 @@ func (m *Manager) reconcileOffloaded(client string, rec *clientRec) {
 		if err != nil {
 			rep.Err = err.Error()
 		}
-		m.mu.Lock()
+		rec.mu.Lock()
 		if err == nil {
 			rec.steerOn = target
 		}
-		m.mu.Unlock()
+		rec.mu.Unlock()
 		m.recordMigration(rep)
 		if err != nil {
 			return // avoid a hot loop on persistent failure
@@ -355,7 +352,7 @@ func (m *Manager) steerTo(client, site, station string, specs []ChainSpec) error
 			return err
 		}
 	}
-	return edge.call(agent.MethodSteer, agent.SteerSpec{Client: client, Via: site}, nil)
+	return edge.steer(agent.SteerSpec{Client: client, Via: site})
 }
 
 // AutoOffload scans for resource hotspots (§3: the Manager detects
@@ -366,18 +363,18 @@ func (m *Manager) AutoOffload() ([]OffloadReport, error) {
 	hot := m.Hotspots()
 	var reports []OffloadReport
 	for _, station := range hot {
-		m.mu.Lock()
-		if h, ok := m.agents[station]; !ok || h.Cloud {
-			m.mu.Unlock()
+		st := m.state()
+		if h, ok := st.agents[station]; !ok || h.Cloud {
 			continue // cloud sites don't offload further
 		}
 		var clients []string
-		for client, rec := range m.clients {
+		m.clients.forEach(func(client string, rec *clientRec) {
+			rec.mu.Lock()
 			if rec.station == station && rec.offload == "" && len(rec.chains) > 0 {
 				clients = append(clients, client)
 			}
-		}
-		m.mu.Unlock()
+			rec.mu.Unlock()
+		})
 		sort.Strings(clients)
 
 		for _, client := range clients {
@@ -385,12 +382,10 @@ func (m *Manager) AutoOffload() ([]OffloadReport, error) {
 			if !ok {
 				return reports, fmt.Errorf("%w: no offload target for %s", ErrUnknownStation, client)
 			}
-			m.mu.Lock()
 			isCloud := false
-			if h, ok := m.agents[site]; ok {
+			if h, ok := m.state().agents[site]; ok {
 				isCloud = h.Cloud
 			}
-			m.mu.Unlock()
 			if !isCloud {
 				continue // policy picked an edge station; AutoOffload only bursts to cloud
 			}
@@ -405,7 +400,7 @@ func (m *Manager) AutoOffload() ([]OffloadReport, error) {
 }
 
 // sortedChains snapshots a client's chain specs in name order. Callers
-// must hold m.mu.
+// must hold rec.mu.
 func sortedChains(rec *clientRec) []ChainSpec {
 	specs := make([]ChainSpec, 0, len(rec.chains))
 	for _, s := range rec.chains {

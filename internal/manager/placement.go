@@ -278,16 +278,12 @@ func edgeOnly(cands []StationInfo) []StationInfo {
 // SetPlacement swaps the placement policy consulted by evacuation,
 // failover and offload (default ClientLocalPlacement).
 func (m *Manager) SetPlacement(p Placement) {
-	m.mu.Lock()
-	m.placement = p
-	m.mu.Unlock()
+	m.mutate(func(c *controlState) { c.placement = p })
 }
 
 // Placement returns the active placement policy.
 func (m *Manager) Placement() Placement {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.placement
+	return m.state().placement
 }
 
 // StationInfos snapshots every connected station except those listed in
@@ -299,19 +295,20 @@ func (m *Manager) StationInfos(exclude ...string) []StationInfo {
 		skip[e] = true
 	}
 	chainCount := make(map[string]int)
-	m.mu.Lock()
-	for _, rec := range m.clients {
+	m.clients.forEach(func(_ string, rec *clientRec) {
+		rec.mu.Lock()
 		for _, at := range rec.deployedOn {
 			chainCount[at]++
 		}
-	}
-	handles := make([]*AgentHandle, 0, len(m.agents))
-	for st, h := range m.agents {
+		rec.mu.Unlock()
+	})
+	agents := m.state().agents
+	handles := make([]*AgentHandle, 0, len(agents))
+	for st, h := range agents {
 		if !skip[st] {
 			handles = append(handles, h)
 		}
 	}
-	m.mu.Unlock()
 
 	out := make([]StationInfo, 0, len(handles))
 	for _, h := range handles {
@@ -340,10 +337,8 @@ func (m *Manager) StationInfos(exclude ...string) []StationInfo {
 // predictions when a topology graph is installed.
 func (m *Manager) place(hint PlacementHint, exclude ...string) (string, bool) {
 	cands := m.StationInfos(exclude...)
-	m.mu.Lock()
-	p := m.placement
-	g := m.topo
-	m.mu.Unlock()
+	st := m.state()
+	p, g := st.placement, st.topo
 	if p == nil {
 		p = ClientLocalPlacement{}
 	}

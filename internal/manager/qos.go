@@ -20,16 +20,12 @@ import (
 // roaming additionally lets budgeted chains lag behind their client while
 // the old station still meets the budget. nil clears the graph.
 func (m *Manager) SetTopology(g *topology.Graph) {
-	m.mu.Lock()
-	m.topo = g
-	m.mu.Unlock()
+	m.mutate(func(c *controlState) { c.topo = g })
 }
 
 // Topology returns the installed station graph (nil when none).
 func (m *Manager) Topology() *topology.Graph {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.topo
+	return m.state().topo
 }
 
 // annotateRTT fills RTTToClient/RTTKnown on every candidate from the

@@ -15,14 +15,7 @@ import (
 // reports it; the core layer calls this with addressing so deploys can
 // install steering (the agent also needs AttachClient locally).
 func (m *Manager) RegisterClient(client string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.clients[client]; !ok {
-		m.clients[client] = &clientRec{
-			chains:     make(map[string]ChainSpec),
-			deployedOn: make(map[string]string),
-		}
-	}
+	m.clients.getOrCreate(client)
 }
 
 // AttachChain deploys an NF chain for a client on its current station and
@@ -30,14 +23,13 @@ func (m *Manager) RegisterClient(client string) {
 // or chain of NFs to be associated with a subset of a selected client's
 // traffic").
 func (m *Manager) AttachChain(client string, spec ChainSpec) error {
-	m.mu.Lock()
-	rec, ok := m.clients[client]
-	if !ok {
-		m.mu.Unlock()
+	rec := m.clients.get(client)
+	if rec == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
 	}
+	rec.mu.Lock()
 	if existing, dup := rec.chains[spec.Name]; dup {
-		m.mu.Unlock()
+		rec.mu.Unlock()
 		// Re-attaching the identical spec is a no-op, so declarative
 		// reconciler retries (and operator double-submits) are safe; only a
 		// *different* spec under the same name is a conflict.
@@ -49,7 +41,7 @@ func (m *Manager) AttachChain(client string, spec ChainSpec) error {
 	station := rec.station
 	site := rec.offload
 	mac, ip := rec.mac, rec.ip
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	if station == "" {
 		return fmt.Errorf("%w: %s", ErrNotAttached, client)
 	}
@@ -78,14 +70,14 @@ func (m *Manager) AttachChain(client string, spec ChainSpec) error {
 	if err := h.call(agent.MethodDeploy, deploy, &res); err != nil {
 		return err
 	}
-	m.mu.Lock()
+	rec.mu.Lock()
 	rec.chains[spec.Name] = spec
 	rec.deployedOn[spec.Name] = target
 	needSteer := site != "" && rec.steerOn != station
 	if needSteer {
 		rec.steerOn = station
 	}
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	m.journal.Append(trace.Event{
 		Type: trace.EventAttach, Subject: spec.Name, Station: target,
 		Detail: "client=" + client,
@@ -96,37 +88,34 @@ func (m *Manager) AttachChain(client string, spec ChainSpec) error {
 		if err != nil {
 			return err
 		}
-		return edge.call(agent.MethodSteer, agent.SteerSpec{Client: client, Via: site}, nil)
+		return edge.steer(agent.SteerSpec{Client: client, Via: site})
 	}
 	return nil
 }
 
 // DetachChain removes a chain from a client everywhere it runs.
 func (m *Manager) DetachChain(client, chainName string) error {
-	m.mu.Lock()
-	rec, ok := m.clients[client]
-	if !ok {
-		m.mu.Unlock()
+	rec := m.clients.get(client)
+	if rec == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
 	}
+	rec.mu.Lock()
 	_, exists := rec.chains[chainName]
 	station := rec.deployedOn[chainName]
 	delete(rec.chains, chainName)
 	delete(rec.deployedOn, chainName)
-	if exists {
-		// A window must not outlive its chain: a later chain attached under
-		// the same name would silently inherit it.
-		m.unscheduleLocked(client, chainName)
-	}
 	lastOffloaded := rec.offload != "" && len(rec.chains) == 0
 	steerOn := rec.steerOn
 	if lastOffloaded {
 		rec.steerOn = ""
 	}
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	if !exists {
 		return fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
 	}
+	// A window must not outlive its chain: a later chain attached under
+	// the same name would silently inherit it.
+	m.Unschedule(client, chainName)
 	m.journal.Append(trace.Event{
 		Type: trace.EventDetach, Subject: chainName, Station: station,
 		Detail: "client=" + client,
@@ -152,12 +141,12 @@ func (m *Manager) DetachChain(client, chainName string) error {
 
 // Chains lists a client's attached chain specs.
 func (m *Manager) Chains(client string) []ChainSpec {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, ok := m.clients[client]
-	if !ok {
+	rec := m.clients.get(client)
+	if rec == nil {
 		return nil
 	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
 	out := make([]ChainSpec, 0, len(rec.chains))
 	for _, s := range rec.chains {
 		out = append(out, s)
@@ -166,34 +155,33 @@ func (m *Manager) Chains(client string) []ChainSpec {
 }
 
 // applyClientEvent reacts to client (dis)connections pushed by agents:
-// this is the roaming trigger. The placement-state update happens
-// synchronously — before the agent's event call returns — so events apply
-// in the order the handoffs really occurred; the chain reconciliation that
-// a connection triggers runs on its own goroutine (it issues RPCs back to
-// agents) and is tracked by the migration WaitGroup, so WaitIdle observes
-// it. When a client appears on a new station and has chains deployed
-// elsewhere, every chain migrates.
+// this is the roaming trigger. The placement-state update and the queueing
+// of the reconcile happen synchronously — before the agent's event call
+// returns — so events apply in the order the handoffs really occurred and
+// WaitIdle's drain barrier can never miss one. The chain reconciliation a
+// connection triggers runs on the handoff pool (it issues RPCs back to
+// agents); a handoff arriving while the client's previous reconcile is
+// still queued supersedes it there (storm coalescing). When a client
+// appears on a new station and has chains deployed elsewhere, every chain
+// migrates.
 func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
-	m.mu.Lock()
-	rec, ok := m.clients[ev.Client]
-	if !ok {
-		rec = &clientRec{chains: make(map[string]ChainSpec), deployedOn: make(map[string]string)}
-		m.clients[ev.Client] = rec
-	}
+	rec := m.clients.getOrCreate(ev.Client)
 	if !ev.Connected {
+		rec.mu.Lock()
 		if rec.station == ev.Station {
 			rec.station = ""
 		}
 		if rec.steerOn == ev.Station {
 			rec.steerOn = "" // the detour rule died with the association
 		}
-		m.mu.Unlock()
+		rec.mu.Unlock()
 		m.journal.Append(trace.Event{
 			Type: trace.EventClient, Subject: ev.Client, Station: ev.Station,
 			Detail: "disconnect",
 		})
 		return
 	}
+	rec.mu.Lock()
 	rec.station = ev.Station
 	if !ev.MAC.IsZero() {
 		rec.mac, rec.ip = ev.MAC, ev.IP
@@ -204,7 +192,7 @@ func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 	prev := rec.lastStation
 	rec.lastStation = ev.Station
 	offloaded := rec.offload != ""
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	m.predictor.Observe(prev, ev.Station)
 	// Root span of the handoff: every decision and RPC the reconciliation
 	// makes — pre-copy rounds, deltas, the steering flip, the brownout
@@ -220,16 +208,14 @@ func (m *Manager) applyClientEvent(ev agent.ClientEvent) {
 		Type: trace.EventClient, Subject: ev.Client, Station: ev.Station,
 		TraceID: tid, Detail: "connect",
 	})
-	m.migrationWG.Add(1)
-	go func() {
-		defer m.migrationWG.Done()
-		defer sp.End(nil)
-		if offloaded {
-			m.reconcileOffloaded(ev.Client, rec)
-			return
-		}
-		m.reconcileClient(ev.Client, rec, sp.Context())
-	}()
+	m.pool.enqueue(&handoffTask{
+		client:    ev.Client,
+		rec:       rec,
+		station:   ev.Station,
+		offloaded: offloaded,
+		sp:        sp,
+		tctx:      sp.Context(),
+	})
 }
 
 // reconcileClient migrates the client's chains until every one of them
@@ -253,14 +239,15 @@ func (m *Manager) reconcileClient(client string, rec *clientRec, tctx trace.Cont
 	settled := make(map[string]bool)
 	settledAt := ""
 	for {
-		m.mu.Lock()
+		st := m.state()
+		qos := st.topo != nil
+		if _, aware := st.placement.(rttAware); !aware {
+			qos = false
+		}
+		rec.mu.Lock()
 		target := rec.station
 		if target != settledAt {
 			settled, settledAt = make(map[string]bool), target
-		}
-		qos := m.topo != nil
-		if _, aware := m.placement.(rttAware); !aware {
-			qos = false
 		}
 		var spec ChainSpec
 		from := ""
@@ -271,15 +258,14 @@ func (m *Manager) reconcileClient(client string, rec *clientRec, tctx trace.Cont
 				if at == "" || at == target || settled[name] {
 					continue
 				}
-				if qos && m.withinBudgetLocked(s, target, at) {
+				if qos && withinBudget(st.topo, s, target, at) {
 					continue // the old station still meets the chain's budget
 				}
 				spec, from, found = s, at, true
 				break
 			}
 		}
-		strategy := m.strategy
-		m.mu.Unlock()
+		rec.mu.Unlock()
 		if !found {
 			// Converged: every chain serves its client within policy. Stage
 			// standbys for the predicted next handoff while still holding
@@ -305,12 +291,12 @@ func (m *Manager) reconcileClient(client string, rec *clientRec, tctx trace.Cont
 			settled[spec.Name] = true
 			continue
 		}
-		rep := m.migrateChain(tctx, client, spec, from, to, strategy)
-		m.mu.Lock()
+		rep := m.migrateChain(tctx, client, spec, from, to, st.strategy)
+		rec.mu.Lock()
 		if rep.Err == "" {
 			rec.deployedOn[spec.Name] = to
 		}
-		m.mu.Unlock()
+		rec.mu.Unlock()
 		m.recordMigration(rep)
 		if rep.Err != "" {
 			return // avoid a hot loop on persistent failure
@@ -318,15 +304,15 @@ func (m *Manager) reconcileClient(client string, rec *clientRec, tctx trace.Cont
 	}
 }
 
-// withinBudgetLocked reports whether hosting the chain at `at` keeps its
+// withinBudget reports whether hosting the chain at `at` keeps its
 // predicted RTT from the client's station within the chain's MaxRTT
-// budget. Callers hold m.mu.
-func (m *Manager) withinBudgetLocked(spec ChainSpec, clientAt, at string) bool {
+// budget, over the given topology graph.
+func withinBudget(topo *topology.Graph, spec ChainSpec, clientAt, at string) bool {
 	budget := spec.MaxRTT()
-	if budget <= 0 || m.topo == nil {
+	if budget <= 0 || topo == nil {
 		return false
 	}
-	rtt, ok := m.topo.RTT(topology.StationID(clientAt), topology.StationID(at))
+	rtt, ok := topo.RTT(topology.StationID(clientAt), topology.StationID(at))
 	return ok && rtt <= budget
 }
 
@@ -343,43 +329,41 @@ func (m *Manager) ChainSettled(spec ChainSpec, clientAt, at string) bool {
 	if at == clientAt {
 		return true
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.placement.(rttAware); !ok {
+	st := m.state()
+	if _, ok := st.placement.(rttAware); !ok {
 		return false
 	}
-	return m.withinBudgetLocked(spec, clientAt, at)
+	return withinBudget(st.topo, spec, clientAt, at)
 }
 
 // MigrateChain moves one chain between stations on demand (the UI's manual
 // migration button); roaming uses the same path.
 func (m *Manager) MigrateChain(client, chainName, to string) (MigrationReport, error) {
-	m.mu.Lock()
-	rec, ok := m.clients[client]
-	if !ok {
-		m.mu.Unlock()
+	rec := m.clients.get(client)
+	if rec == nil {
 		return MigrationReport{}, fmt.Errorf("%w: %s", ErrUnknownClient, client)
 	}
+	rec.mu.Lock()
 	spec, ok := rec.chains[chainName]
-	strategy := m.strategy
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	if !ok {
 		return MigrationReport{}, fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
 	}
+	strategy := m.state().strategy
 	rec.migMu.Lock()
 	defer rec.migMu.Unlock()
-	m.mu.Lock()
+	rec.mu.Lock()
 	from := rec.deployedOn[chainName]
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	sp := m.tracer.StartSpan(trace.Context{}, "manager.migrate_request")
 	sp.SetAttr("client", client)
 	rep := m.migrateChain(sp.Context(), client, spec, from, to, strategy)
 	sp.End(nil)
-	m.mu.Lock()
+	rec.mu.Lock()
 	if rep.Err == "" {
 		rec.deployedOn[chainName] = to
 	}
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	m.recordMigration(rep)
 	if rep.Err != "" {
 		return rep, fmt.Errorf("manager: migration failed: %s", rep.Err)
@@ -459,8 +443,14 @@ func (m *Manager) migrateChain(tctx trace.Context, client string, spec ChainSpec
 	}
 	totalWatch := clock.NewStopwatch(m.clk)
 
-	// Pre-stage images on the target while the source still serves.
-	target.callT(tctx, agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+	// Stateful migrations overlap the whole target-side prepare
+	// (Prefetch+Deploy) against the source-side freeze+checkpoint inside
+	// the strategy branch; every other strategy pre-stages images here,
+	// while the source still serves.
+	overlapped := strategy == StrategyStateful && source != nil
+	if !overlapped {
+		target.callT(tctx, agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+	}
 
 	deploy := agent.DeploySpec{
 		Chain:     spec.Name,
@@ -488,22 +478,43 @@ func (m *Manager) migrateChain(tctx trace.Context, client string, spec ChainSpec
 		rep.Prewarmed = true
 		rep.ReplayedFrames = act.Replayed
 
-	case strategy == StrategyStateful && source != nil:
-		// Stop-and-copy: deploy disabled, freeze source, move the full
-		// state, enable target. The whole transfer sits in the dark window.
-		if err := target.callT(tctx, agent.MethodDeploy, deploy, nil); err != nil {
-			return fail(err)
-		}
+	case overlapped:
+		// Stop-and-copy: the target-side Prefetch+Deploy (disabled) runs
+		// concurrently with the source-side freeze and checkpoint — the
+		// deploy does not depend on source state, so serialising them only
+		// stretched the migration. The join below reconciles every failure
+		// combination; the transfer itself still sits in the dark window.
+		deployErr := make(chan error, 1)
+		go func() {
+			target.callT(tctx, agent.MethodPrefetch, agent.PrefetchSpec{Images: nfImagesFor(spec)}, nil)
+			deployErr <- target.callT(tctx, agent.MethodDeploy, deploy, nil)
+		}()
 		downWatch := clock.NewStopwatch(m.clk)
-		if err := source.callT(tctx, agent.MethodDisable, agent.ChainRef{Chain: spec.Name}, nil); err != nil {
-			return fail(err)
-		}
+		disErr := source.callT(tctx, agent.MethodDisable, agent.ChainRef{Chain: spec.Name}, nil)
 		var ckpt agent.CheckpointResult
-		if err := source.callT(tctx, agent.MethodCheckpoint, agent.ChainRef{Chain: spec.Name}, &ckpt); err != nil {
+		var ckptErr error
+		if disErr == nil {
+			ckptErr = source.callT(tctx, agent.MethodCheckpoint, agent.ChainRef{Chain: spec.Name}, &ckpt)
+		}
+		dErr := <-deployErr
+		switch {
+		case dErr != nil:
+			// Target never deployed; re-enable the source if we froze it.
+			if disErr == nil {
+				source.callT(tctx, agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
+			}
+			return fail(dErr)
+		case disErr != nil:
+			// The source never froze (still serving), but the target deploy
+			// succeeded: remove the disabled target copy, or it leaks as an
+			// orphaned deployment the audit flags.
+			target.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+			return fail(disErr)
+		case ckptErr != nil:
 			// Roll back: re-enable the source so the client is not left dark.
 			source.callT(tctx, agent.MethodEnable, agent.ChainRef{Chain: spec.Name}, nil)
 			target.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
-			return fail(err)
+			return fail(ckptErr)
 		}
 		rep.StateBytes = len(ckpt.State)
 		if err := target.callT(tctx, agent.MethodRestore, agent.RestoreSpec{Chain: spec.Name, State: ckpt.State}, nil); err != nil {
@@ -545,30 +556,53 @@ func (m *Manager) migrateChain(tctx trace.Context, client string, spec ChainSpec
 		rep.Downtime = 0
 	}
 	rep.Total = totalWatch.Elapsed()
+	// If the source station re-registered while this migration ran (a
+	// kill/restart inside one storm window), the cleanup above went to a
+	// dead handle — or, with source == nil, never ran — and the station's
+	// rejoin GC may have announced the stale copy before this migration's
+	// placement update landed. Reap it on the fresh connection: the chain
+	// now lives on the target.
+	if from != "" && from != to {
+		if h, err := m.agentFor(from); err == nil && h != source {
+			h.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
+		}
+	}
 	return rep
 }
 
 // liveMigrate runs the pre-copy pipeline of StrategyLive: iterative delta
 // rounds sync the target while the source still serves; the freeze window
 // ships only the residual delta and activates the target, which replays
-// its brownout buffer. A prewarmed standby at the target skips the deploy
-// and resumes the source's existing pre-copy session. Every failure path
-// re-enables the source and removes the target, so the client is never
-// left dark by a broken migration.
+// its brownout buffer. The target deploy overlaps the first pre-copy round
+// (neither depends on the other; only SyncDelta needs the deployed chain).
+// A prewarmed standby at the target skips the deploy and resumes the
+// source's existing pre-copy session. Every failure path re-enables the
+// source and removes the target, so the client is never left dark by a
+// broken migration.
 func (m *Manager) liveMigrate(tctx trace.Context, rep *MigrationReport, source, target *AgentHandle, deploy agent.DeploySpec) {
 	chain := agent.ChainRef{Chain: deploy.Chain}
+	prewarmed := m.consumeStandby(rep.Client, deploy.Chain, rep.To)
+	rep.Prewarmed = prewarmed
+	var deployCh chan error
+	if !prewarmed {
+		deployCh = make(chan error, 1)
+		go func() { deployCh <- target.callT(tctx, agent.MethodDeploy, deploy, nil) }()
+	}
+	// joinDeploy must resolve before the first SyncDelta lands on the
+	// target and before any rollback removes it.
+	joinDeploy := func() error {
+		if deployCh == nil {
+			return nil
+		}
+		err := <-deployCh
+		deployCh = nil
+		return err
+	}
 	rollback := func(err error) {
+		joinDeploy()
 		source.callT(tctx, agent.MethodEnable, chain, nil)
 		target.callT(tctx, agent.MethodRemove, chain, nil)
 		rep.Err = err.Error()
-	}
-	prewarmed := m.consumeStandby(rep.Client, deploy.Chain, rep.To)
-	rep.Prewarmed = prewarmed
-	if !prewarmed {
-		if err := target.callT(tctx, agent.MethodDeploy, deploy, nil); err != nil {
-			rep.Err = err.Error()
-			return
-		}
 	}
 	// Iterative pre-copy while the source serves. A prewarmed standby
 	// already holds a synced snapshot, so its session resumes; otherwise
@@ -578,6 +612,14 @@ func (m *Manager) liveMigrate(tctx trace.Context, rep *MigrationReport, source, 
 		req := agent.PreCopySpec{Chain: deploy.Chain, Restart: !prewarmed && rep.Rounds == 0}
 		if err := source.callT(tctx, agent.MethodPreCopy, req, &pr); err != nil {
 			rollback(err)
+			return
+		}
+		if err := joinDeploy(); err != nil {
+			// The deploy failed while the first round ran: the source never
+			// stopped serving and nothing landed on the target, so there is
+			// nothing to roll back — the stale pre-copy session restarts on
+			// the next attempt.
+			rep.Err = err.Error()
 			return
 		}
 		if err := target.callT(tctx, agent.MethodSyncDelta, agent.SyncDeltaSpec{Chain: deploy.Chain, State: pr.State}, nil); err != nil {
@@ -622,10 +664,13 @@ func (m *Manager) liveMigrate(tctx trace.Context, rep *MigrationReport, source, 
 // standbyStation reports where a prewarmed standby for client/chain is
 // staged, if any.
 func (m *Manager) standbyStation(client, chain string) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, ok := m.clients[client]
-	if !ok || rec.standby == nil {
+	rec := m.clients.get(client)
+	if rec == nil {
+		return "", false
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.standby == nil {
 		return "", false
 	}
 	st, ok := rec.standby[chain]
@@ -636,10 +681,13 @@ func (m *Manager) standbyStation(client, chain string) (string, bool) {
 // station `to`, deleting the record: the standby deployment becomes the
 // migration's target.
 func (m *Manager) consumeStandby(client, chain, to string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, ok := m.clients[client]
-	if !ok || rec.standby == nil || rec.standby[chain] != to {
+	rec := m.clients.get(client)
+	if rec == nil {
+		return false
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.standby == nil || rec.standby[chain] != to {
 		return false
 	}
 	delete(rec.standby, chain)
@@ -649,13 +697,17 @@ func (m *Manager) consumeStandby(client, chain, to string) bool {
 // dropStandby forgets client/chain's standby record and tears the staged
 // deployment down (best effort — a vanished station simply loses it).
 func (m *Manager) dropStandby(client, chain string) {
-	m.mu.Lock()
+	rec := m.clients.get(client)
+	if rec == nil {
+		return
+	}
 	var station string
-	if rec, ok := m.clients[client]; ok && rec.standby != nil {
+	rec.mu.Lock()
+	if rec.standby != nil {
 		station = rec.standby[chain]
 		delete(rec.standby, chain)
 	}
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	if station == "" {
 		return
 	}
@@ -670,8 +722,9 @@ func (m *Manager) dropStandby(client, chain string) {
 // Callers hold rec.migMu, serialising prewarms against migrations; every
 // step is best effort — a failed prewarm costs nothing but the miss.
 func (m *Manager) maybePrewarm(client string, rec *clientRec) {
-	m.mu.Lock()
-	enabled := m.prewarm && m.strategy == StrategyLive && rec.offload == ""
+	st := m.state()
+	rec.mu.Lock()
+	enabled := st.prewarm && st.strategy == StrategyLive && rec.offload == ""
 	station := rec.station
 	chains := make(map[string]ChainSpec)
 	for name, spec := range rec.chains {
@@ -683,7 +736,7 @@ func (m *Manager) maybePrewarm(client string, rec *clientRec) {
 	for name, st := range rec.standby {
 		standbys[name] = st
 	}
-	m.mu.Unlock()
+	rec.mu.Unlock()
 	if !enabled || station == "" || len(chains) == 0 {
 		return
 	}
@@ -727,7 +780,7 @@ func (m *Manager) maybePrewarm(client string, rec *clientRec) {
 			target.call(agent.MethodRemove, agent.ChainRef{Chain: name}, nil)
 			continue
 		}
-		m.mu.Lock()
+		rec.mu.Lock()
 		// DetachChain does not hold the migration lock, so the chain may
 		// have been detached while we staged: its dropStandby saw no record
 		// yet, making this standby ours to reap — recording it would leak
@@ -739,12 +792,15 @@ func (m *Manager) maybePrewarm(client string, rec *clientRec) {
 			}
 			rec.standby[name] = next
 		}
-		m.mu.Unlock()
+		rec.mu.Unlock()
 		if !alive {
 			target.call(agent.MethodRemove, agent.ChainRef{Chain: name}, nil)
 		}
 	}
 }
 
-// WaitIdle blocks until in-flight roaming handlers complete (tests).
-func (m *Manager) WaitIdle() { m.migrationWG.Wait() }
+// WaitIdle blocks until queued and in-flight roaming work completes
+// (tests). The handoff pool's drain barrier replaces the old WaitGroup —
+// handoffs are enqueued synchronously inside applyClientEvent, so the
+// barrier can never race a concurrent Add the way WaitGroup.Wait did.
+func (m *Manager) WaitIdle() { m.pool.waitIdle() }

@@ -49,15 +49,18 @@ type schedule struct {
 // one — two live windows for one chain would fight each other, flapping
 // the chain on every evaluation pass.
 func (m *Manager) Schedule(client, chainName string, w Window) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, ok := m.clients[client]
-	if !ok {
+	rec := m.clients.get(client)
+	if rec == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownClient, client)
 	}
-	if _, ok := rec.chains[chainName]; !ok {
+	rec.mu.Lock()
+	_, attached := rec.chains[chainName]
+	rec.mu.Unlock()
+	if !attached {
 		return fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i, s := range m.schedules {
 		if s.client == client && s.chain == chainName {
 			// Retire the old entry rather than mutating it: an in-flight
@@ -138,22 +141,26 @@ func (m *Manager) EvaluateSchedules() int {
 		enable bool
 	}
 	m.mu.Lock()
+	scheds := append([]*schedule{}, m.schedules...)
+	m.mu.Unlock()
 	var actions []action
-	for _, s := range m.schedules {
+	for _, s := range scheds {
 		want := s.window.Contains(now)
 		if s.enabled != nil && *s.enabled == want {
 			continue
 		}
-		rec, ok := m.clients[s.client]
-		if !ok {
+		rec := m.clients.get(s.client)
+		if rec == nil {
 			continue
 		}
-		if rec.deployedOn[s.chain] == "" {
+		rec.mu.Lock()
+		deployed := rec.deployedOn[s.chain] != ""
+		rec.mu.Unlock()
+		if !deployed {
 			continue
 		}
 		actions = append(actions, action{sched: s, rec: rec, chain: s.chain, enable: want})
 	}
-	m.mu.Unlock()
 
 	applied := 0
 	for _, a := range actions {
@@ -164,11 +171,14 @@ func (m *Manager) EvaluateSchedules() int {
 		// Unschedule may have raced the snapshot above.
 		a.rec.migMu.Lock()
 		m.mu.Lock()
+		dropped := a.sched.dropped
+		m.mu.Unlock()
+		a.rec.mu.Lock()
 		station := ""
-		if _, attached := a.rec.chains[a.chain]; attached && !a.sched.dropped {
+		if _, attached := a.rec.chains[a.chain]; attached && !dropped {
 			station = a.rec.deployedOn[a.chain]
 		}
-		m.mu.Unlock()
+		a.rec.mu.Unlock()
 		if station == "" {
 			a.rec.migMu.Unlock()
 			continue
@@ -238,7 +248,6 @@ func (m *Manager) LeastLoadedStation(exclude string) (string, bool) {
 // orphaned chains go to the least-loaded surviving station. It returns the
 // migration reports (one per chain).
 func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
-	m.mu.Lock()
 	type job struct {
 		client string
 		rec    *clientRec
@@ -246,7 +255,8 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 		to     string
 	}
 	var jobs []job
-	for client, rec := range m.clients {
+	m.clients.forEach(func(client string, rec *clientRec) {
+		rec.mu.Lock()
 		for name, at := range rec.deployedOn {
 			if at != station {
 				continue
@@ -257,9 +267,9 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 			}
 			jobs = append(jobs, job{client: client, rec: rec, spec: rec.chains[name], to: to})
 		}
-	}
-	strategy := m.strategy
-	m.mu.Unlock()
+		rec.mu.Unlock()
+	})
+	strategy := m.state().strategy
 
 	var reports []MigrationReport
 	for _, j := range jobs {
@@ -279,11 +289,11 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 		}
 		j.rec.migMu.Lock()
 		rep := m.migrateChain(trace.Context{}, j.client, j.spec, station, to, strategy)
-		m.mu.Lock()
+		j.rec.mu.Lock()
 		if rep.Err == "" {
 			j.rec.deployedOn[j.spec.Name] = to
 		}
-		m.mu.Unlock()
+		j.rec.mu.Unlock()
 		m.recordMigration(rep)
 		j.rec.migMu.Unlock()
 		reports = append(reports, rep)

@@ -24,7 +24,7 @@ func TestScenarioConformance(t *testing.T) {
 		"roaming": false, "failover": false, "chaining": false,
 		"cloud-offload": false, "density": false, "sharing": false,
 		"scheduling": false, "qos": false, "megascale": false,
-		"drift": false,
+		"drift": false, "storm": false,
 	}
 	for _, sp := range specs {
 		if _, ok := required[sp.Name]; ok {
@@ -33,9 +33,16 @@ func TestScenarioConformance(t *testing.T) {
 		sp := sp
 		t.Run(sp.Name, func(t *testing.T) {
 			// The megascale load drives hundreds of thousands of frames
-			// through the dataplane; keep it out of -short runs.
-			if sp.Name == "megascale" && testing.Short() {
-				t.Skip("megascale load skipped in -short mode")
+			// through the dataplane, and the storm deploys a 2000-client
+			// fleet; keep both out of -short runs.
+			if (sp.Name == "megascale" || sp.Name == "storm") && testing.Short() {
+				t.Skip(sp.Name + " skipped in -short mode")
+			}
+			// Under the race detector the 2000-client storm replay takes
+			// ~8 minutes and exercises no interleaving the dedicated
+			// manager/core -race storm tests don't already cover.
+			if sp.Name == "storm" && raceEnabled {
+				t.Skip("storm skipped under -race (covered by manager/core storm race tests)")
 			}
 			first, err := RunSpec(sp)
 			if err != nil {

@@ -130,6 +130,12 @@ type Engine struct {
 	rec              *reconcile.Reconciler // created by the first apply-spec step
 	reconcileActions int
 	convergeWorst    time.Duration // slowest apply-spec convergence
+
+	// clients is the deployed client list after fleet expansion
+	// (Client.Count); fleet maps each declared client ID to the concrete
+	// IDs it expanded to — what a storm step fans out over.
+	clients []Client
+	fleet   map[string][]string
 }
 
 // New validates the spec and brings the deployment up.
@@ -189,6 +195,10 @@ func New(sp *Spec) (*Engine, error) {
 		sys.Manager.SetPrewarm(true)
 	}
 	e := &Engine{spec: sp, sys: sys, clk: clk, graph: graph, start: clk.Now()}
+	if err := e.expandClients(); err != nil {
+		sys.Close()
+		return nil, err
+	}
 	sys.Topo.OnAssociation(func(ev topology.AssociationEvent) {
 		if ev.From != "" && ev.To != "" {
 			e.handoffs++
@@ -277,6 +287,44 @@ func clientAddr(c Client, i int) (packet.MAC, packet.IP, error) {
 	return mac, ip, nil
 }
 
+// expandClients materialises the deployed client list: entries with
+// Count > 1 become fleets of "<id>-NNNN" clones sharing position and
+// chains. Expansion keeps the index-derived addressing collision-free and
+// rejects a clone ID that shadows another declared client.
+func (e *Engine) expandClients() error {
+	e.fleet = make(map[string][]string, len(e.spec.Clients))
+	declared := make(map[string]bool, len(e.spec.Clients))
+	for _, c := range e.spec.Clients {
+		declared[c.ID] = true
+	}
+	for _, c := range e.spec.Clients {
+		if c.Count <= 1 {
+			e.clients = append(e.clients, c)
+			e.fleet[c.ID] = []string{c.ID}
+			continue
+		}
+		for k := 0; k < c.Count; k++ {
+			clone := c
+			clone.Count = 0
+			clone.ID = fmt.Sprintf("%s-%04d", c.ID, k)
+			// Chain names are station-global on the agent side, so each
+			// clone gets its own suffixed copies.
+			clone.Chains = make([]Chain, len(c.Chains))
+			for j, ch := range c.Chains {
+				ch.Name = fmt.Sprintf("%s-%04d", ch.Name, k)
+				clone.Chains[j] = ch
+			}
+			if declared[clone.ID] {
+				return fmt.Errorf("scenario %s: fleet %s expands onto declared client %s",
+					e.spec.Name, c.ID, clone.ID)
+			}
+			e.clients = append(e.clients, clone)
+			e.fleet[c.ID] = append(e.fleet[c.ID], clone.ID)
+		}
+	}
+	return nil
+}
+
 func toChainSpec(ch Chain) manager.ChainSpec {
 	spec := manager.ChainSpec{Name: ch.Name, MaxRTTMs: ch.MaxRTTMs}
 	for i, fn := range ch.Functions {
@@ -362,7 +410,7 @@ func (e *Engine) Run() (*Result, error) {
 	defer e.sys.Close()
 
 	// Deployment: clients placed, chains attached once associated.
-	for i, c := range e.spec.Clients {
+	for i, c := range e.clients {
 		mac, ip, err := clientAddr(c, i)
 		if err != nil {
 			return nil, err
@@ -484,6 +532,22 @@ func (e *Engine) step(st Step) error {
 			return err
 		}
 		e.reconcileActions += len(res.Executed)
+		return nil
+	case ActStorm:
+		// One window of mass mobility: every member of the fleet hands off
+		// onto the cell. Dispatch is sequential (deterministic handoff
+		// order); the migrations it arms drain concurrently through the
+		// manager's worker pool, bounded by the per-station limits — the
+		// following settle observes full convergence.
+		ids := e.fleet[st.Client]
+		if len(ids) == 0 {
+			return fmt.Errorf("storm references unknown fleet %q", st.Client)
+		}
+		for _, id := range ids {
+			if err := e.sys.Topo.Attach(topology.ClientID(id), topology.CellID(st.Cell)); err != nil {
+				return err
+			}
+		}
 		return nil
 	case ActSettle:
 		return nil // settle runs after every step anyway
@@ -699,7 +763,7 @@ func (e *Engine) finish() {
 			res.Failures = append(res.Failures, "failed failover: "+fo.Err)
 		}
 	}
-	for _, c := range e.spec.Clients {
+	for _, c := range e.clients {
 		st, _ := e.sys.Manager.ClientStation(c.ID)
 		res.FinalStations[c.ID] = st
 	}
@@ -847,6 +911,13 @@ func (e *Engine) finish() {
 	if !exp.AllowFailedMigrations {
 		for _, f := range res.FailedMigrations {
 			res.Failures = append(res.Failures, "failed migration: "+f)
+		}
+	}
+	if exp.MaxVirtualMs > 0 {
+		if got := float64(res.VirtualElapsed.Std().Microseconds()) / 1000; got > exp.MaxVirtualMs {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("virtual elapsed: got %.3fms, want <= %.3fms (storm did not converge in budget)",
+					got, exp.MaxVirtualMs))
 		}
 	}
 	if exp.MaxDowntimeMs > 0 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; heavyweight corpus entries use it to skip replays whose
+// interleavings are already covered by dedicated -race tests.
+const raceEnabled = true

@@ -114,6 +114,12 @@ type Client struct {
 	// placement. Attach chains to a late-joining client with the
 	// attach-chain script action instead.
 	Chains []Chain `json:"chains,omitempty"`
+	// Count > 1 expands this entry into a fleet of Count clients named
+	// "<id>-0000".."<id>-NNNN", each placed at At with copies of Chains
+	// (each copy suffixed "-NNNN", since chain names are station-global) —
+	// the mass-mobility population a storm step hands off in one window.
+	// Addressing stays index-derived, so IP cannot be combined with Count.
+	Count int `json:"count,omitempty"`
 }
 
 // Step is one scripted action. At is the virtual-time offset from scenario
@@ -192,6 +198,7 @@ const (
 	ActEvacuate       = "evacuate"        // move every chain off Station (maintenance)
 	ActApplySpec      = "apply-spec"      // install Spec as desired state, reconcile to convergence
 	ActReconcile      = "reconcile"       // run one desired-state reconcile pass
+	ActStorm          = "storm"           // hand the whole fleet of Client off onto Cell at once
 )
 
 // TopoLink is one declared inter-station link of the topology block.
@@ -307,6 +314,11 @@ type Expect struct {
 	// ExpectEvents lists journal event types (trace.Event*) that must have
 	// been recorded at least once by scenario end.
 	ExpectEvents []string `json:"expect_events,omitempty"`
+	// MaxVirtualMs caps the whole run's virtual elapsed time (milliseconds)
+	// — the storm scenarios' convergence bound: all handoffs of the window
+	// must complete within a fixed budget of simulated control-plane time;
+	// 0 means no bound.
+	MaxVirtualMs float64 `json:"max_virtual_ms,omitempty"`
 }
 
 // Spec is one complete scenario file.
@@ -410,6 +422,17 @@ func (sp *Spec) Validate() error {
 		if clients[c.ID] {
 			return fmt.Errorf("scenario %s: duplicate client %s", sp.Name, c.ID)
 		}
+		if c.Count < 0 {
+			return fmt.Errorf("scenario %s: client %s has negative count", sp.Name, c.ID)
+		}
+		if c.Count > 1 {
+			if c.IP != "" {
+				return fmt.Errorf("scenario %s: client %s cannot combine count with a fixed ip", sp.Name, c.ID)
+			}
+			if c.Count > 60000 {
+				return fmt.Errorf("scenario %s: client %s count %d exceeds the addressing space", sp.Name, c.ID, c.Count)
+			}
+		}
 		if len(c.Chains) > 0 && c.At == nil {
 			return fmt.Errorf("scenario %s: client %s declares chains but no initial position (\"at\"); use the attach-chain action for late joiners", sp.Name, c.ID)
 		}
@@ -432,7 +455,8 @@ func (sp *Spec) Validate() error {
 			ActMigrate, ActWaypoint, ActKillStation, ActRestartStation,
 			ActCheckFailures, ActOffload, ActRecall, ActSchedule,
 			ActEvalSchedules, ActSetStrategy, ActSettle, ActTraffic,
-			ActLoad, ActAutoscale, ActEvacuate, ActApplySpec, ActReconcile:
+			ActLoad, ActAutoscale, ActEvacuate, ActApplySpec, ActReconcile,
+			ActStorm:
 		default:
 			return fmt.Errorf("scenario %s: script step %d has unknown action %q", sp.Name, i, st.Action)
 		}
@@ -459,7 +483,7 @@ func (sp *Spec) Validate() error {
 			if !sites[st.Site] {
 				return fmt.Errorf("scenario %s: step %d references unknown cloud site %q", sp.Name, i, st.Site)
 			}
-		case ActAttach:
+		case ActAttach, ActStorm:
 			if !cells[st.Cell] {
 				return fmt.Errorf("scenario %s: step %d references unknown cell %q", sp.Name, i, st.Cell)
 			}
@@ -549,7 +573,8 @@ func validStrategy(s string, allowEmpty bool) bool {
 func needsClient(action string) bool {
 	switch action {
 	case ActMove, ActAttach, ActDetach, ActAttachChain, ActDetachChain,
-		ActMigrate, ActOffload, ActRecall, ActSchedule, ActTraffic, ActLoad:
+		ActMigrate, ActOffload, ActRecall, ActSchedule, ActTraffic, ActLoad,
+		ActStorm:
 		return true
 	}
 	return false

@@ -22,6 +22,10 @@ const (
 	EventNotify    = "notify"
 	EventSchedule  = "schedule"
 	EventOffload   = "offload"
+	// EventStormCoalesced records a superseded handoff collapsed in the
+	// manager's handoff queue before reaching a worker: the client handed
+	// off again while its previous reconcile was still queued.
+	EventStormCoalesced = "storm-coalesced"
 )
 
 // Event is one journal entry. Seq is assigned at append time under one

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/json"
+	"sync"
 	"testing"
 )
 
@@ -30,6 +31,67 @@ func BenchmarkCallRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCallContention measures the write-mutex cost of fanning many
+// concurrent calls over one peer: "calls" issues n independent Calls (each
+// fighting for wmu and flushing its own frame), "batch" sends the same n
+// requests as one CallBatch (one wmu acquisition, one flush). The gap is
+// what steer coalescing buys during a handoff storm.
+func BenchmarkCallContention(b *testing.B) {
+	srv, err := NewServer("127.0.0.1:0", func(p *Peer) {
+		p.Handle("echo", func(body json.RawMessage) (any, error) {
+			return json.RawMessage(body), nil
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	go p.Run()
+	defer p.Close()
+
+	const fan = 16
+	in := map[string]string{"client": "c01", "via": "st-a"}
+
+	b.Run("calls", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, fan)
+			for j := 0; j < fan; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					var out map[string]string
+					errs[j] = p.Call("echo", in, &out)
+				}(j)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			calls := make([]BatchCall, fan)
+			outs := make([]map[string]string, fan)
+			for j := range calls {
+				calls[j] = BatchCall{Method: "echo", In: in, Out: &outs[j]}
+			}
+			for _, err := range p.CallBatch(calls) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 func BenchmarkNotifyThroughput(b *testing.B) {
