@@ -17,6 +17,7 @@
 //	E9          BenchmarkE9FailoverRecovery        station-crash recovery
 //	E9          BenchmarkE9TraceOverhead           dataplane cost of 1% frame sampling
 //	E10         BenchmarkE10HandoffStorm           2k-client handoff storm, serial vs parallel
+//	E11         BenchmarkE11SplitChain             split-chain head-only vs whole-chain roaming
 //
 // Custom metrics use b.ReportMetric: modeled costs (virtual-clock time) are
 // reported as *_ms metrics; counts as their own units.
@@ -1199,4 +1200,123 @@ func BenchmarkE10HandoffStorm(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) { run(b, manager.WithHandoffWorkers(1)) })
 	b.Run("parallel", func(b *testing.B) { run(b) })
+}
+
+// --- E11: split-chain migration ---------------------------------------------
+
+// BenchmarkE11SplitChain prices roaming for the same stateful chain
+// deployed two ways on the same two-station trace: whole-chain (no
+// affinities — every handoff ships the full firewall+nat+counter state)
+// vs split-chain (the firewall head is near-client, the nat+counter
+// aggregation segment anchors on the hub and never moves — each handoff
+// ships only the head's state over the same control plane). Both
+// variants seed the identical NAT flow table before roaming, so the gap
+// in state_KiB/roam and downtime_ms/roam is purely the partitioning.
+func BenchmarkE11SplitChain(b *testing.B) {
+	const seedFlows = 8000
+	mkSpec := func(split bool) manager.ChainSpec {
+		aff := func(tag string) string {
+			if split {
+				return tag
+			}
+			return ""
+		}
+		return manager.ChainSpec{
+			Name: "edgepath",
+			Functions: []agent.NFSpec{
+				{Kind: "firewall", Name: "fw", Params: nf.Params{"policy": "accept"}, Affinity: aff("near-client")},
+				{Kind: "nat", Name: "xlate", Params: nf.Params{"nat_ip": "192.168.90.1", "ports": "2000-63000"}, Affinity: aff("aggregate")},
+				{Kind: "counter", Name: "acct"},
+			},
+		}
+	}
+	run := func(b *testing.B, split bool) {
+		// Two stations joined by a modeled 3ms link, so hub election and
+		// the inter-segment tunnel path are live (hub ties break to st-a).
+		graph := topology.NewGraph()
+		graph.SetLink(topology.Link{A: "st-a", B: "st-b", Delay: 3 * time.Millisecond})
+		sys, err := core.NewSystem(core.Config{
+			Clock:          clock.System(),
+			Strategy:       manager.StrategyStateful,
+			ReportInterval: time.Hour,
+			Topology:       graph,
+			Stations: []core.StationConfig{
+				{ID: "st-a", Cells: []core.CellConfig{{ID: "cell-a", Center: topology.Point{X: 0}, Radius: 60}}},
+				{ID: "st-b", Cells: []core.CellConfig{{ID: "cell-b", Center: topology.Point{X: 100}, Radius: 60}}},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(sys.Close)
+		if err := sys.AddClient("phone", benchPhoneMAC, benchPhoneIP); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Topo.Attach("phone", "cell-a"); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.WaitClientAt("phone", "st-a", 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.AttachChain("phone", mkSpec(split)); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.WaitChainOn("st-a", "edgepath", 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		// Seed the NAT flow table where it lives: the anchored segment for
+		// the split layout, the single deployment otherwise. Both variants
+		// carry the same state; only its placement differs.
+		stateful := "edgepath"
+		if split {
+			stateful = agent.SegmentDeployName("edgepath", 1)
+		}
+		chainFn, err := sys.Agent("st-a").ChainFunction(stateful)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < seedFlows; i++ {
+			frame := packet.BuildUDP(benchPhoneMAC, benchServerMAC, benchPhoneIP, benchServerIP,
+				uint16(i%60000+2001), 53, nil)
+			chainFn.Process(nf.Outbound, frame)
+		}
+
+		cells := []topology.CellID{"cell-b", "cell-a"}
+		stations := []topology.StationID{"st-b", "st-a"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.Topo.Attach("phone", cells[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.WaitClientAt("phone", stations[i%2], 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.WaitChainOn(stations[i%2], "edgepath", 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+
+		var moved int
+		var downtime time.Duration
+		roams := 0
+		for _, m := range sys.Manager.Migrations() {
+			if m.Err != "" {
+				b.Fatalf("migration failed: %+v", m)
+			}
+			if m.Chain != "edgepath" {
+				b.Fatalf("unexpected migration of %q: the anchored segment must never move", m.Chain)
+			}
+			moved += m.StateBytes
+			downtime += m.Downtime
+			roams++
+		}
+		if roams != b.N {
+			b.Fatalf("migrations = %d, want %d", roams, b.N)
+		}
+		b.ReportMetric(float64(moved)/float64(b.N)/1024, "state_KiB/roam")
+		b.ReportMetric(float64(downtime.Microseconds())/float64(b.N)/1000, "downtime_ms/roam")
+	}
+	b.Run("whole-chain", func(b *testing.B) { run(b, false) })
+	b.Run("split-chain", func(b *testing.B) { run(b, true) })
 }

@@ -34,7 +34,9 @@ commands:
   stations                         per-station health
   notifications                    NF alerts collected by the manager
   migrations                       completed chain migrations
-  attach <client> <chain> <fn>...  attach an NF chain; fn = kind[:k=v,k=v]
+  attach <client> <chain> <fn>...  attach an NF chain; fn = kind[@affinity][:k=v,k=v]
+                                   (affinity near-client|aggregate|cloud-ok
+                                   splits the chain into per-station segments)
   detach <client> <chain>          remove a chain
   migrate <client> <chain> <to>    move a chain to another station
   offload <client> <site>          move all of a client's chains to a cloud site
@@ -44,6 +46,8 @@ commands:
   pools                            per-station shared NF instance tables
                                    (kind, config hash, refcount, replicas,
                                    load) and autoscaler decisions
+  segments                         per-segment chain placement: affinity,
+                                   NFs, current station, planned station
   apply -f <spec.json>             install a desired-state spec and
                                    reconcile until the fleet converges
   diff                             pending actions between desired and
@@ -111,6 +115,8 @@ func main() {
 		err = getAndPrint(*api + "/api/placement")
 	case "pools":
 		err = getAndPrint(*api + "/api/pools")
+	case "segments":
+		err = getAndPrint(*api + "/api/segments")
 	case "apply":
 		if len(args) != 3 || args[1] != "-f" {
 			usage()
@@ -149,13 +155,16 @@ func runScenario(path string) error {
 	return scenario.Execute(path, os.Stdout)
 }
 
-// parseFn turns "firewall:policy=drop,rules=accept any udp" into an NFSpec.
+// parseFn turns "firewall:policy=drop,rules=accept any udp" into an
+// NFSpec. An optional "@affinity" suffix on the kind ("nat@aggregate")
+// pins the function's segment placement class.
 func parseFn(idx int, s string) (agent.NFSpec, error) {
 	kind, rest, hasParams := strings.Cut(s, ":")
+	kind, affinity, _ := strings.Cut(kind, "@")
 	if kind == "" {
 		return agent.NFSpec{}, fmt.Errorf("empty NF kind in %q", s)
 	}
-	spec := agent.NFSpec{Kind: kind, Name: fmt.Sprintf("%s-%d", kind, idx), Params: nf.Params{}}
+	spec := agent.NFSpec{Kind: kind, Name: fmt.Sprintf("%s-%d", kind, idx), Params: nf.Params{}, Affinity: affinity}
 	if hasParams {
 		for _, kv := range strings.Split(rest, ",") {
 			k, v, ok := strings.Cut(kv, "=")

@@ -257,13 +257,21 @@ func (a *Agent) armStandbySteering(id topology.ClientID) {
 		a.mu.Unlock()
 		return
 	}
-	var shared []*deployment
+	var shared, segHeads []*deployment
 	for _, d := range a.deployments {
 		if d.building || !d.standby || d.spec.Client != string(id) {
 			continue
 		}
 		if d.shared != nil {
 			shared = append(shared, d)
+			continue
+		}
+		if d.spec.SegCount > 1 {
+			// Split-chain heads install their full segment rule set outside
+			// the lock (the installer re-takes a.mu for lookups).
+			if d.spec.SegIndex == 0 && len(d.ruleIDs) == 0 {
+				segHeads = append(segHeads, d)
+			}
 			continue
 		}
 		if !d.spec.Remote && len(d.ruleIDs) == 0 {
@@ -275,6 +283,27 @@ func (a *Agent) armStandbySteering(id topology.ClientID) {
 	// rules for a disabled attachment.
 	for _, d := range shared {
 		a.disableShared(d)
+	}
+	for _, d := range segHeads {
+		a.armSegmentHead(d)
+	}
+}
+
+// armSegmentHead installs a split-chain head's segment steering if it has
+// none yet, discarding its own rules when another installer won the race.
+func (a *Agent) armSegmentHead(d *deployment) {
+	ids, err := a.installSegmentSteering(d.spec, d.ports[0], d.ports[1])
+	if err != nil || len(ids) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if len(d.ruleIDs) == 0 {
+		d.ruleIDs = ids
+		ids = nil
+	}
+	a.mu.Unlock()
+	for _, id := range ids {
+		a.sw.RemoveRule(id)
 	}
 }
 
@@ -480,6 +509,12 @@ func (a *Agent) buildDeployment(spec DeploySpec, ci clientInfo, haveClient bool)
 	// toward the client ride the same tunnel home.
 	var ruleIDs []int
 	switch {
+	case spec.SegCount > 1:
+		ruleIDs, err = a.installSegmentSteering(spec, cr.inPort, cr.outPort)
+		if err != nil {
+			a.teardownChainResources(cr)
+			return nil, err
+		}
 	case spec.Remote:
 		a.mu.Lock()
 		tp, ok := a.tunnels[topology.StationID(spec.Via)]
@@ -766,10 +801,16 @@ func (a *Agent) ActivateTraced(tctx trace.Context, chain string) (*ActivateResul
 	a.mu.Lock()
 	d.standby = false
 	ci, have := a.clients[topology.ClientID(d.spec.Client)]
-	if have && !d.spec.Remote && len(d.ruleIDs) == 0 {
+	needSeg := d.spec.SegCount > 1 && d.spec.SegIndex == 0 && len(d.ruleIDs) == 0
+	if have && !d.spec.Remote && d.spec.SegCount <= 1 && len(d.ruleIDs) == 0 {
 		d.ruleIDs = a.clientSteeringRules(ci, d.ports[0], d.ports[1])
 	}
 	a.mu.Unlock()
+	if needSeg {
+		// A head segment staged before the client arrived (standby or a
+		// mid-handoff migration deploy) installs its rules now.
+		a.armSegmentHead(d)
+	}
 	flip.End(nil)
 	replay := a.tracer.Child(tctx, "agent.brownout_replay")
 	before := d.host.Replayed()

@@ -70,9 +70,12 @@ func poolKeyOf(fns []NFSpec) share.Key {
 // sharingEligible reports whether a deployment may attach to a shared
 // instance: sharing enabled, a local (non-tunnelled) chain, and every
 // member kind registered shareable. Chains with any stateful member keep
-// the one-instance-per-client layout of the paper.
+// the one-instance-per-client layout of the paper. Split-chain segments
+// are excluded: their egress must steer into the next leg's tunnel,
+// which the pool's shared group steering cannot express (the manager
+// still pools their prefix keys for placement affinity — share.PrefixKeys).
 func (a *Agent) sharingEligible(spec DeploySpec) bool {
-	if !a.sharing || spec.Remote || len(spec.Functions) == 0 {
+	if !a.sharing || spec.Remote || spec.SegCount > 1 || len(spec.Functions) == 0 {
 		return false
 	}
 	for _, fs := range spec.Functions {

@@ -1,11 +1,39 @@
 package agent
 
 import (
+	"strconv"
+	"strings"
+
 	"gnf/internal/metrics"
 	"gnf/internal/nf"
 	"gnf/internal/packet"
 	"gnf/internal/trace"
 )
+
+// SegmentDeployName returns the deployment name of segment i of chain.
+// The head keeps the chain's own name, so every single-placement code
+// path — migration, brownout replay, prewarm, sharing — applies to it
+// unchanged; later segments append "#i".
+func SegmentDeployName(chain string, i int) string {
+	if i == 0 {
+		return chain
+	}
+	return chain + "#" + strconv.Itoa(i)
+}
+
+// ParseSegmentName splits a deployment name back into its chain name and
+// segment index (0 for the head and for unsplit chains).
+func ParseSegmentName(dep string) (chain string, seg int) {
+	i := strings.LastIndexByte(dep, '#')
+	if i < 0 {
+		return dep, 0
+	}
+	n, err := strconv.Atoi(dep[i+1:])
+	if err != nil || n <= 0 {
+		return dep, 0
+	}
+	return dep[:i], n
+}
 
 // Wire method names spoken between Manager and Agent. Methods prefixed
 // "agent." are served by the Agent (Manager calls down); "manager." methods
@@ -54,6 +82,13 @@ type NFSpec struct {
 	Kind   string    `json:"kind"`
 	Name   string    `json:"name"`
 	Params nf.Params `json:"params,omitempty"`
+	// Affinity tags where this function wants to run when its chain is
+	// split into per-station segments: "near-client" pins it to the
+	// client's current station (it roams with the client), "aggregate"
+	// anchors it on a stable aggregation station, "cloud-ok" permits a
+	// GNFC cloud site. Empty means "follow the chain" — a chain whose
+	// functions all carry the empty tag is never split.
+	Affinity string `json:"affinity,omitempty"`
 }
 
 // DeploySpec asks an Agent to run a chain for one client's traffic.
@@ -80,6 +115,18 @@ type DeploySpec struct {
 	// fail-closed (into the brownout buffer) the moment the client actually
 	// associates, so a mid-handoff frame is parked rather than leaked.
 	Standby bool `json:"standby,omitempty"`
+	// SegIndex/SegCount mark this deployment as one segment of a chain
+	// split across stations (SegCount > 1). The head segment (SegIndex 0)
+	// sits at the client's station and takes traffic straight off the
+	// client port; later segments receive it over the tunnel from PrevVia.
+	SegIndex int `json:"seg_index,omitempty"`
+	SegCount int `json:"seg_count,omitempty"`
+	// PrevVia names the station hosting the previous segment ("" for the
+	// head); frames arrive over its tunnel. NextVia names the station
+	// hosting the next segment ("" for the tail); egress frames are
+	// steered into its tunnel instead of the uplink.
+	PrevVia string `json:"prev_via,omitempty"`
+	NextVia string `json:"next_via,omitempty"`
 }
 
 // DeployResult reports what the agent built.
@@ -274,10 +321,15 @@ type UnsteerSpec struct {
 }
 
 // RetargetSpec re-points a remote deployment's tunnel rules at the tunnel
-// from Via (roaming an offloaded client).
+// from Via (roaming an offloaded client). For segment deployments the
+// optional PrevVia/NextVia pointers re-point the segment's neighbour legs
+// instead (nil leaves a leg untouched; pointing at "" makes the segment a
+// head/tail).
 type RetargetSpec struct {
-	Chain string `json:"chain"`
-	Via   string `json:"via"`
+	Chain   string  `json:"chain"`
+	Via     string  `json:"via"`
+	PrevVia *string `json:"prev_via,omitempty"`
+	NextVia *string `json:"next_via,omitempty"`
 }
 
 // Alert relays an NF notification with its origin station.

@@ -1,0 +1,209 @@
+// Split-chain segment steering: one chain, several stations.
+//
+// A chain whose functions carry placement affinities is split by the
+// manager into contiguous segments, each deployed on its own station
+// (DeploySpec.SegIndex/SegCount), with the inter-segment legs riding the
+// same shaped tunnels GNFC offload uses. The agent's share of the
+// mechanism is the per-segment rule table:
+//
+//   - Head (SegIndex 0): the client's access-port traffic enters the
+//     segment ingress; forward output is pushed into the tunnel toward
+//     NextVia; return traffic arriving from that tunnel enters the
+//     segment egress, and its processed output reaches the client through
+//     the pinned client MAC.
+//   - Middle: forward traffic arrives over the tunnel from PrevVia
+//     (matched by client source MAC, exactly like remote offload
+//     steering), continues into the tunnel toward NextVia; the reverse
+//     direction mirrors it.
+//   - Tail (NextVia ""): identical to GNFC remote steering with
+//     PrevVia as the delivering tunnel — forward output flows the normal
+//     uplink path, return traffic is matched at the uplink by client
+//     destination MAC.
+//
+// Consecutive segments may land on the same station (the client roams
+// onto the aggregation hub): such a leg is wired port-to-port instead of
+// through a tunnel, and its rules — both directions — are owned by the
+// upstream segment, whose deploy happens after the downstream one (the
+// manager deploys tail→head). The downstream segment installs no rules
+// for a local previous leg.
+package agent
+
+import (
+	"errors"
+	"fmt"
+
+	"gnf/internal/netem"
+	"gnf/internal/topology"
+)
+
+// ErrNotSegment rejects segment-only operations on unsplit deployments.
+var ErrNotSegment = errors.New("agent: chain is not a segment deployment")
+
+// installSegmentSteering programs the switch rules for one segment of a
+// split chain and returns their IDs. A head segment whose client has not
+// associated yet installs nothing (AttachClient/Activate re-arm on
+// arrival). On error every rule already installed is removed.
+func (a *Agent) installSegmentSteering(spec DeploySpec, inPort, outPort netem.PortID) (ids []int, err error) {
+	defer func() {
+		if err != nil {
+			for _, id := range ids {
+				a.sw.RemoveRule(id)
+			}
+			ids = nil
+		}
+	}()
+	src, dst := spec.ClientMAC, spec.ClientMAC
+	up := a.uplink
+	self := string(a.station)
+	add := func(r netem.Rule) { ids = append(ids, a.sw.AddRule(r)) }
+
+	// Previous leg: where the client's outbound frames arrive from, and
+	// where processed inbound frames are sent back toward the client.
+	switch {
+	case spec.SegIndex == 0:
+		a.mu.Lock()
+		ci, have := a.clients[topology.ClientID(spec.Client)]
+		a.mu.Unlock()
+		if !have {
+			// Standby head staged before the client's arrival: no rules at
+			// all, so the re-arm path's len(ruleIDs)==0 check stays truthful.
+			return nil, nil
+		}
+		// Inbound output emerging at the ingress side reaches the client
+		// through its pinned MAC entry; only the outbound divert needs a rule.
+		cp := ci.port
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &cp},
+			Action:   netem.ActionRedirect,
+			OutPort:  inPort,
+		})
+	case spec.PrevVia == self:
+		// Local previous segment: both directions of that leg are owned by
+		// the previous segment's next-leg rules (see below).
+	default:
+		tp, ok := a.TunnelTo(topology.StationID(spec.PrevVia))
+		if !ok {
+			return ids, fmt.Errorf("%w: %s", ErrNoTunnel, spec.PrevVia)
+		}
+		ptp, pin := tp, inPort
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &ptp, SrcMAC: &src},
+			Action:   netem.ActionRedirect,
+			OutPort:  inPort,
+		})
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &pin},
+			Action:   netem.ActionRedirect,
+			OutPort:  ptp,
+		})
+	}
+
+	// Next leg: where forward output continues, and where return traffic
+	// addressed to the client arrives.
+	switch {
+	case spec.NextVia == "":
+		// Tail: forward output flows the normal uplink path.
+		op := outPort
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &up, DstMAC: &dst},
+			Action:   netem.ActionRedirect,
+			OutPort:  op,
+		})
+	case spec.NextVia == self:
+		// Next segment hosted on this very station (already deployed — the
+		// manager deploys tail→head): wire the leg port-to-port.
+		base, _ := ParseSegmentName(spec.Chain)
+		nextName := SegmentDeployName(base, spec.SegIndex+1)
+		a.mu.Lock()
+		next, ok := a.deployments[nextName]
+		var nin netem.PortID
+		if ok && !next.building && next.shared == nil {
+			nin = next.ports[0]
+		} else {
+			ok = false
+		}
+		a.mu.Unlock()
+		if !ok {
+			return ids, fmt.Errorf("%w: %s (next segment of %s not deployed here)", ErrUnknownChain, nextName, spec.Chain)
+		}
+		op, nip := outPort, nin
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &op},
+			Action:   netem.ActionRedirect,
+			OutPort:  nip,
+		})
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &nip},
+			Action:   netem.ActionRedirect,
+			OutPort:  outPort,
+		})
+	default:
+		tp, ok := a.TunnelTo(topology.StationID(spec.NextVia))
+		if !ok {
+			return ids, fmt.Errorf("%w: %s", ErrNoTunnel, spec.NextVia)
+		}
+		ntp, op := tp, outPort
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &op},
+			Action:   netem.ActionRedirect,
+			OutPort:  ntp,
+		})
+		add(netem.Rule{
+			Priority: steerPriority,
+			Match:    netem.Match{InPort: &ntp, DstMAC: &dst},
+			Action:   netem.ActionRedirect,
+			OutPort:  op,
+		})
+	}
+	return ids, nil
+}
+
+// RetargetSegment re-points a split-chain segment's neighbour legs: a nil
+// via leaves that leg untouched, a pointed-at station name moves it, and
+// pointing at "" makes the segment a head/tail. The full rule set is
+// reinstalled before the old rules go, so there is no unsteered window.
+// It is how the anchored segments follow a roaming head (the downstream
+// segment's PrevVia chases the client) and how failover splices a revived
+// middle segment back between its neighbours.
+func (a *Agent) RetargetSegment(chain string, prevVia, nextVia *string) error {
+	a.mu.Lock()
+	dep, ok := a.deployments[chain]
+	if !ok || dep.building {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownChain, chain)
+	}
+	if dep.spec.SegCount <= 1 {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotSegment, chain)
+	}
+	spec := dep.spec
+	ports := dep.ports
+	a.mu.Unlock()
+
+	if prevVia != nil {
+		spec.PrevVia = *prevVia
+	}
+	if nextVia != nil {
+		spec.NextVia = *nextVia
+	}
+	newRules, err := a.installSegmentSteering(spec, ports[0], ports[1])
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	old := dep.ruleIDs
+	dep.ruleIDs = newRules
+	dep.spec = spec
+	a.mu.Unlock()
+	for _, id := range old {
+		a.sw.RemoveRule(id)
+	}
+	return nil
+}

@@ -140,7 +140,12 @@ func (s *System) Audit() []Violation {
 		}
 		// Convergence: an attached client is served where it is attached —
 		// at its station, or at its cloud site with the traffic detour
-		// installed at the station (offload).
+		// installed at the station (offload). Anchored segments of split
+		// chains (Segment > 0) are *meant* to sit away from the client;
+		// only the head segment must converge.
+		if pl.Segment != 0 {
+			continue
+		}
 		st, attached := s.Manager.ClientStation(pl.Client)
 		if !attached {
 			continue // chains may wait at the last station while out of coverage

@@ -86,48 +86,22 @@ func (s *System) AddCloudSite(cc CloudConfig) error {
 	}
 	s.mu.Lock()
 	s.stations[cc.ID] = node
-	peers := make([]*stationNode, 0, len(s.stations))
-	for _, sn := range s.stations {
+	peers := make([]topology.StationID, 0, len(s.stations))
+	for id, sn := range s.stations {
 		if !sn.cloud && sn != node {
-			peers = append(peers, sn)
+			peers = append(peers, id)
 		}
 	}
 	s.mu.Unlock()
 
+	// The site's cloud flag is set, so the registry shapes every one of
+	// these legs with the site's WAN parameters.
 	for _, edge := range peers {
-		s.connectTunnel(edge, node)
+		if err := s.EnsureTunnel(edge, cc.ID); err != nil {
+			return err
+		}
 	}
 	return nil
-}
-
-// connectTunnel provisions the WAN tunnel between an edge station and a
-// cloud site, shaped like the site's WAN uplink.
-func (s *System) connectTunnel(edge, cloud *stationNode) {
-	s.connectLink(edge, cloud, cloud.wan)
-}
-
-// connectLink wires a shaped veth between two station switches, attached
-// as *service* ports on both (no MAC learning, excluded from flooding —
-// the L2 topology stays loop-free) and registered with both agents as a
-// tunnel. Cloud WAN tunnels and modeled inter-station topology links both
-// come through here.
-func (s *System) connectLink(a, b *stationNode, link netem.LinkParams) {
-	aSide, bSide := netem.NewVethPair(
-		fmt.Sprintf("%s-tun-%s", a.cfg.ID, b.cfg.ID),
-		fmt.Sprintf("%s-tun-%s", b.cfg.ID, a.cfg.ID),
-		netem.WithClock(s.Clock), netem.WithLink(link),
-	)
-	ap, bp := a.allocPort(), b.allocPort()
-	a.sw.AttachService(ap, aSide)
-	b.sw.AttachService(bp, bSide)
-	a.ag.RegisterTunnel(b.cfg.ID, ap)
-	b.ag.RegisterTunnel(a.cfg.ID, bp)
-	a.mu.Lock()
-	a.tunnels = append(a.tunnels, aSide)
-	a.mu.Unlock()
-	b.mu.Lock()
-	b.tunnels = append(b.tunnels, bSide)
-	b.mu.Unlock()
 }
 
 // CloudSites lists attached cloud site IDs.

@@ -101,7 +101,6 @@ type stationNode struct {
 	wan    netem.LinkParams
 
 	mu       sync.Mutex
-	tunnels  []*netem.Endpoint // local ends of edge<->cloud tunnels
 	nextPort netem.PortID
 }
 
@@ -136,6 +135,7 @@ type System struct {
 
 	cfg      Config
 	backbone *netem.Switch
+	tun      tunnelRegistry
 
 	mu           sync.Mutex
 	stations     map[topology.StationID]*stationNode
@@ -222,6 +222,12 @@ func NewSystem(cfg Config) (*System, error) {
 		clients:      make(map[topology.ClientID]*clientNode),
 		nextCorePort: 1,
 	}
+	s.tun.links = make(map[tunnelPair]*tunnelEnds)
+	// Split chains ask the manager for inter-segment tunnels on demand;
+	// the registry makes the request idempotent with the pre-wired fabric.
+	mgr.SetTunnelProvisioner(func(a, b string) error {
+		return s.EnsureTunnel(topology.StationID(a), topology.StationID(b))
+	})
 
 	for _, sc := range cfg.Stations {
 		if err := s.addStation(sc); err != nil {
@@ -259,7 +265,7 @@ func (s *System) wireTopologyLinks() {
 		if a == nil || b == nil || a.cloud || b.cloud {
 			continue
 		}
-		s.connectLink(a, b, netem.LinkParams{Delay: l.Delay, RateBps: l.RateBps})
+		s.EnsureTunnel(l.A, l.B)
 	}
 }
 
@@ -309,16 +315,18 @@ func (s *System) addStation(sc StationConfig) error {
 	}
 	s.mu.Lock()
 	s.stations[sc.ID] = node
-	clouds := make([]*stationNode, 0, len(s.stations))
-	for _, sn := range s.stations {
+	clouds := make([]topology.StationID, 0, len(s.stations))
+	for id, sn := range s.stations {
 		if sn.cloud {
-			clouds = append(clouds, sn)
+			clouds = append(clouds, id)
 		}
 	}
 	s.mu.Unlock()
 	// Late-added stations tunnel to every existing cloud site.
 	for _, cl := range clouds {
-		s.connectTunnel(node, cl)
+		if err := s.EnsureTunnel(sc.ID, cl); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -549,11 +557,7 @@ func (s *System) Close() {
 	for _, sn := range stations {
 		sn.link.Close()
 		sn.uplink.Close()
-		sn.mu.Lock()
-		for _, t := range sn.tunnels {
-			t.Close()
-		}
-		sn.mu.Unlock()
 	}
+	s.closeTunnels()
 	s.Manager.Close()
 }

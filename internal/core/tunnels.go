@@ -1,0 +1,133 @@
+// Station-to-station tunnel registry. Three subsystems used to provision
+// inter-switch veths independently — cloud WAN tunnels (AddCloudSite and
+// late addStation), modeled topology links (wireTopologyLinks), and now
+// the manager's on-demand split-chain legs — each with its own bookkeeping
+// on stationNode. This file unifies them: every tunnel is created through
+// EnsureTunnel, recorded once under an order-independent station-pair key,
+// and torn down together in Close.
+//
+// EnsureTunnel is idempotent per pair, which is what lets the manager call
+// it eagerly on every migration and attach without double-wiring: the
+// registry lock is held across the lookup *and* the wiring, so two
+// concurrent calls for the same pair serialise and the loser sees the
+// winner's entry.
+//
+// Link shaping resolves in priority order:
+//
+//  1. either endpoint is a cloud site → that site's WAN shape (both
+//     directions of an offload detour should cost WAN latency);
+//  2. the pair appears in cfg.Topology → the modeled link's delay/rate;
+//  3. otherwise → cfg.BackhaulLink (same fabric ordinary traffic rides).
+//
+// There is no per-pair teardown: agents index tunnels by peer for steering
+// rule construction, and a chain segment may re-target onto a tunnel at
+// any time, so tunnels live as long as the System. Close closes them all.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gnf/internal/netem"
+	"gnf/internal/topology"
+)
+
+// tunnelPair keys a tunnel order-independently: EnsureTunnel(a, b) and
+// EnsureTunnel(b, a) name the same wire.
+type tunnelPair [2]topology.StationID
+
+func pairOf(a, b topology.StationID) tunnelPair {
+	if b < a {
+		a, b = b, a
+	}
+	return tunnelPair{a, b}
+}
+
+// tunnelEnds holds both endpoints of one provisioned tunnel veth for
+// teardown.
+type tunnelEnds struct {
+	a, b *netem.Endpoint
+}
+
+// tunnelRegistry is the System's table of provisioned tunnels.
+type tunnelRegistry struct {
+	mu    sync.Mutex
+	links map[tunnelPair]*tunnelEnds
+}
+
+// EnsureTunnel provisions a shaped tunnel veth between the two stations'
+// switches unless one already exists. Both ends attach as *service* ports
+// (no MAC learning, excluded from flooding — the L2 topology stays
+// loop-free) and register with both agents, so steering rules on either
+// side can detour traffic across it. Same-station and empty-ID calls are
+// no-ops; unknown stations are an error.
+func (s *System) EnsureTunnel(aID, bID topology.StationID) error {
+	if aID == bID || aID == "" || bID == "" {
+		return nil
+	}
+	s.tun.mu.Lock()
+	defer s.tun.mu.Unlock()
+	pair := pairOf(aID, bID)
+	if _, ok := s.tun.links[pair]; ok {
+		return nil
+	}
+
+	s.mu.Lock()
+	a, b := s.stations[aID], s.stations[bID]
+	s.mu.Unlock()
+	if a == nil || b == nil {
+		return fmt.Errorf("core: cannot tunnel %s<->%s: unknown station", aID, bID)
+	}
+
+	aSide, bSide := netem.NewVethPair(
+		fmt.Sprintf("%s-tun-%s", a.cfg.ID, b.cfg.ID),
+		fmt.Sprintf("%s-tun-%s", b.cfg.ID, a.cfg.ID),
+		netem.WithClock(s.Clock), netem.WithLink(s.tunnelShape(a, b)),
+	)
+	ap, bp := a.allocPort(), b.allocPort()
+	a.sw.AttachService(ap, aSide)
+	b.sw.AttachService(bp, bSide)
+	a.ag.RegisterTunnel(b.cfg.ID, ap)
+	b.ag.RegisterTunnel(a.cfg.ID, bp)
+	s.tun.links[pair] = &tunnelEnds{a: aSide, b: bSide}
+	return nil
+}
+
+// tunnelShape resolves the link parameters for a tunnel between two
+// stations: cloud WAN beats modeled topology link beats backhaul default.
+func (s *System) tunnelShape(a, b *stationNode) netem.LinkParams {
+	if a.cloud {
+		return a.wan
+	}
+	if b.cloud {
+		return b.wan
+	}
+	if s.cfg.Topology != nil {
+		for _, l := range s.cfg.Topology.Links() {
+			if (l.A == a.cfg.ID && l.B == b.cfg.ID) || (l.A == b.cfg.ID && l.B == a.cfg.ID) {
+				return netem.LinkParams{Delay: l.Delay, RateBps: l.RateBps}
+			}
+		}
+	}
+	return s.cfg.BackhaulLink
+}
+
+// HasTunnel reports whether a tunnel between the two stations has been
+// provisioned (tests and the audit use it; order-independent).
+func (s *System) HasTunnel(aID, bID topology.StationID) bool {
+	s.tun.mu.Lock()
+	defer s.tun.mu.Unlock()
+	_, ok := s.tun.links[pairOf(aID, bID)]
+	return ok
+}
+
+// closeTunnels tears down every provisioned tunnel. Called from Close.
+func (s *System) closeTunnels() {
+	s.tun.mu.Lock()
+	defer s.tun.mu.Unlock()
+	for _, t := range s.tun.links {
+		t.a.Close()
+		t.b.Close()
+	}
+	s.tun.links = make(map[tunnelPair]*tunnelEnds)
+}

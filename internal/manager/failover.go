@@ -134,6 +134,7 @@ func (m *Manager) failStation(station string) []FailoverReport {
 		client string
 		rec    *clientRec
 		spec   ChainSpec
+		seg    int // split-chain segment index (0 = head or unsplit)
 	}
 	type detour struct {
 		client, at string
@@ -152,9 +153,17 @@ func (m *Manager) failStation(station string) []FailoverReport {
 			}
 		}
 		for name, at := range rec.deployedOn {
-			if at == station {
-				jobs = append(jobs, job{client: client, rec: rec, spec: rec.chains[name]})
+			if at != station {
+				continue
 			}
+			// Deployment names carry the segment index for split chains;
+			// the spec lives under the base chain name.
+			base, seg := agent.ParseSegmentName(name)
+			spec, attached := rec.chains[base]
+			if !attached {
+				continue
+			}
+			jobs = append(jobs, job{client: client, rec: rec, spec: spec, seg: seg})
 		}
 		rec.mu.Unlock()
 	})
@@ -167,7 +176,12 @@ func (m *Manager) failStation(station string) []FailoverReport {
 
 	var reports []FailoverReport
 	for _, j := range jobs {
-		rep := m.reviveChain(station, j.client, j.rec, j.spec)
+		var rep FailoverReport
+		if j.seg > 0 {
+			rep = m.reviveSegment(station, j.client, j.rec, j.spec, j.seg)
+		} else {
+			rep = m.reviveChain(station, j.client, j.rec, j.spec)
+		}
 		m.mu.Lock()
 		m.failovers = append(m.failovers, rep)
 		m.mu.Unlock()
@@ -221,15 +235,42 @@ func (m *Manager) reviveChain(failed, client string, rec *clientRec, spec ChainS
 		rep.Err = err.Error()
 		return rep
 	}
-	err = h.call(agent.MethodDeploy, agent.DeploySpec{
+	deploy := agent.DeploySpec{
 		Chain:     spec.Name,
 		Client:    client,
 		Functions: spec.Functions,
 		Enabled:   true,
-	}, nil)
+	}
+	// A split chain's head revives head-only: the anchored segments
+	// survived the failure, so only the access-side functions redeploy and
+	// the downstream leg is re-spliced at the revival station.
+	segs := SegmentsOf(spec)
+	seg1At := ""
+	if len(segs) > 1 {
+		deploy.Functions = segs[0].Functions
+		deploy.SegIndex, deploy.SegCount = 0, len(segs)
+		rec.mu.Lock()
+		seg1At = rec.deployedOn[agent.SegmentDeployName(spec.Name, 1)]
+		deploy.ClientMAC, deploy.ClientIP = rec.mac, rec.ip
+		rec.mu.Unlock()
+		deploy.NextVia = seg1At
+		if err := m.ensureTunnel(to, seg1At); err != nil {
+			rep.Err = err.Error()
+			return rep
+		}
+	}
+	err = h.call(agent.MethodDeploy, deploy, nil)
 	if err != nil {
 		rep.Err = err.Error()
 		return rep
+	}
+	if len(segs) > 1 && seg1At != "" {
+		pv := to
+		if sh, serr := m.agentFor(seg1At); serr == nil {
+			sh.call(agent.MethodRetarget, agent.RetargetSpec{
+				Chain: agent.SegmentDeployName(spec.Name, 1), PrevVia: &pv,
+			}, nil)
+		}
 	}
 	rec.mu.Lock()
 	rec.deployedOn[spec.Name] = to

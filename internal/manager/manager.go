@@ -591,12 +591,18 @@ func (m *Manager) Notifications() []agent.Alert {
 
 // ChainPlacement is the manager's record of where one chain runs.
 type ChainPlacement struct {
-	Client  string `json:"client"`
+	Client string `json:"client"`
+	// Chain is the deployment name: the chain name itself for unsplit
+	// chains and split-chain heads, "name#i" for anchored segments.
 	Chain   string `json:"chain"`
 	Station string `json:"station"`
 	// Offload names the cloud site hosting the client's chains when the
 	// client is offloaded ("" at the edge).
 	Offload string `json:"offload,omitempty"`
+	// Segment is the split-chain segment index (0 for unsplit chains and
+	// heads). Convergence with the client's station only applies to
+	// segment 0 — anchored segments are legitimately elsewhere.
+	Segment int `json:"segment,omitempty"`
 }
 
 // Placements snapshots where the manager believes every attached chain is
@@ -612,6 +618,25 @@ func (m *Manager) Placements() []ChainPlacement {
 				Chain:   name,
 				Station: rec.deployedOn[name],
 				Offload: rec.offload,
+			})
+		}
+		// Anchored segments of split chains are placements in their own
+		// right: the auditor matches them against the agents' per-deployment
+		// reports, and convergence checking keys off Segment.
+		for dep, at := range rec.deployedOn {
+			base, seg := agent.ParseSegmentName(dep)
+			if seg == 0 {
+				continue
+			}
+			if _, attached := rec.chains[base]; !attached {
+				continue
+			}
+			out = append(out, ChainPlacement{
+				Client:  client,
+				Chain:   dep,
+				Station: at,
+				Offload: rec.offload,
+				Segment: seg,
 			})
 		}
 		rec.mu.Unlock()
@@ -732,13 +757,20 @@ func nfImagesFor(spec ChainSpec) []string {
 	return imgs
 }
 
-// chainConfigHashes computes the chain's canonical pool hash for placement
-// hints. Agents key shared instances on whole-chain configuration, so one
-// hash per chain is what SharingFirstPlacement matches on.
+// chainConfigHashes computes the chain's canonical pool hashes for
+// placement hints: the whole-chain key first (what agents key shared
+// instances on today), then every shorter prefix key. A station hosting a
+// pool for a chain that is a prefix of this one therefore also matches —
+// the placement-side half of prefix-level dedup.
 func chainConfigHashes(spec ChainSpec) []string {
 	fns := make([]share.FuncSpec, 0, len(spec.Functions))
 	for _, f := range spec.Functions {
 		fns = append(fns, share.FuncSpec{Kind: f.Kind, Params: f.Params})
 	}
-	return []string{share.ChainKey(fns).ConfigHash}
+	keys := share.PrefixKeys(fns, nil)
+	out := make([]string, 0, len(keys))
+	for i := len(keys) - 1; i >= 0; i-- {
+		out = append(out, keys[i].ConfigHash)
+	}
+	return out
 }

@@ -71,6 +71,15 @@ func (m *Manager) OffloadClient(client, site string) (OffloadReport, error) {
 	if station == "" {
 		return rep, fmt.Errorf("%w: %s", ErrNotAttached, client)
 	}
+	// Split chains already pin their segments per affinity; silently
+	// collapsing one onto a cloud site would discard that layout. Refuse
+	// loudly — the operator detaches and re-attaches without affinities if
+	// cloud hosting is really wanted.
+	for _, spec := range specs {
+		if len(SegmentsOf(spec)) > 1 {
+			return rep, fmt.Errorf("manager: cannot offload %s: chain %s is split across stations by affinity", client, spec.Name)
+		}
+	}
 
 	cloud, err := m.agentFor(site)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
 
 	"gnf/internal/agent"
 	"gnf/internal/clock"
@@ -44,6 +45,20 @@ func (m *Manager) AttachChain(client string, spec ChainSpec) error {
 	rec.mu.Unlock()
 	if station == "" {
 		return fmt.Errorf("%w: %s", ErrNotAttached, client)
+	}
+
+	// Chains with placement affinities split into per-station segments.
+	// Validation runs even for unsplit chains so a typoed affinity tag
+	// fails loudly instead of silently collapsing to one segment.
+	segs := SegmentsOf(spec)
+	if err := validateSplit(spec, segs); err != nil {
+		return err
+	}
+	if len(segs) > 1 {
+		if site != "" {
+			return fmt.Errorf("manager: cannot attach split chain %s: client %s is offloaded to %s", spec.Name, client, site)
+		}
+		return m.attachSegments(client, rec, spec, segs, station, mac, ip)
 	}
 
 	// Offloaded clients get new chains on their cloud site directly.
@@ -104,6 +119,16 @@ func (m *Manager) DetachChain(client, chainName string) error {
 	station := rec.deployedOn[chainName]
 	delete(rec.chains, chainName)
 	delete(rec.deployedOn, chainName)
+	// A split chain's anchored segments live under "name#i" deployments;
+	// collect them for removal alongside the head.
+	type segDep struct{ name, at string }
+	var segDeps []segDep
+	for dep, at := range rec.deployedOn {
+		if base, s := agent.ParseSegmentName(dep); base == chainName && s > 0 {
+			segDeps = append(segDeps, segDep{dep, at})
+			delete(rec.deployedOn, dep)
+		}
+	}
 	lastOffloaded := rec.offload != "" && len(rec.chains) == 0
 	steerOn := rec.steerOn
 	if lastOffloaded {
@@ -136,7 +161,17 @@ func (m *Manager) DetachChain(client, chainName string) error {
 	if err != nil {
 		return err
 	}
-	return h.call(agent.MethodRemove, agent.ChainRef{Chain: chainName}, nil)
+	err = h.call(agent.MethodRemove, agent.ChainRef{Chain: chainName}, nil)
+	// Anchored segments go best-effort after the head: with the head gone
+	// the client's traffic no longer enters the split path, so a segment
+	// whose station is unreachable merely lingers until rejoin GC.
+	sort.Slice(segDeps, func(i, j int) bool { return segDeps[i].name < segDeps[j].name })
+	for _, sd := range segDeps {
+		if sh, serr := m.agentFor(sd.at); serr == nil {
+			sh.call(agent.MethodRemove, agent.ChainRef{Chain: sd.name}, nil)
+		}
+	}
+	return err
 }
 
 // Chains lists a client's attached chain specs.
@@ -252,16 +287,21 @@ func (m *Manager) reconcileClient(client string, rec *clientRec, tctx trace.Cont
 		var spec ChainSpec
 		from := ""
 		found := false
+		split := false
 		if target != "" {
 			for name, s := range rec.chains {
 				at := rec.deployedOn[name]
 				if at == "" || at == target || settled[name] {
 					continue
 				}
-				if qos && withinBudget(st.topo, s, target, at) {
+				isSplit := len(SegmentsOf(s)) > 1
+				// Split chains: the head strictly chases the client (the
+				// stay-rule would strand the access leg); the anchored
+				// segments never move on a handoff.
+				if qos && !isSplit && withinBudget(st.topo, s, target, at) {
 					continue // the old station still meets the chain's budget
 				}
-				spec, from, found = s, at, true
+				spec, from, found, split = s, at, true, isSplit
 				break
 			}
 		}
@@ -274,7 +314,7 @@ func (m *Manager) reconcileClient(client string, rec *clientRec, tctx trace.Cont
 			return
 		}
 		to := target
-		if qos && spec.MaxRTT() > 0 {
+		if qos && spec.MaxRTT() > 0 && !split {
 			// Budget violated: re-place through the policy. The client's
 			// station is the usual answer (RTT 0), but a candidate that
 			// fits the budget may win on the policy's own ranking.
@@ -328,6 +368,11 @@ func (m *Manager) ChainSettled(spec ChainSpec, clientAt, at string) bool {
 	}
 	if at == clientAt {
 		return true
+	}
+	// A split chain's head strictly follows the client — the QoS stay-rule
+	// below never applies to it.
+	if len(SegmentsOf(spec)) > 1 {
+		return false
 	}
 	st := m.state()
 	if _, ok := st.placement.(rttAware); !ok {
@@ -458,6 +503,27 @@ func (m *Manager) migrateChain(tctx trace.Context, client string, spec ChainSpec
 		Functions: spec.Functions,
 	}
 
+	// Split chains migrate only their head segment: the deploy ships the
+	// head's functions alone (the bytes the migration moves shrink to the
+	// client-near state), points its next leg at the anchored segment-1
+	// station, and the downstream splice happens after the cutover.
+	segs := SegmentsOf(spec)
+	seg1At := ""
+	if len(segs) > 1 {
+		deploy.Functions = segs[0].Functions
+		deploy.SegIndex, deploy.SegCount = 0, len(segs)
+		if rec := m.clients.get(client); rec != nil {
+			rec.mu.Lock()
+			seg1At = rec.deployedOn[agent.SegmentDeployName(spec.Name, 1)]
+			deploy.ClientMAC, deploy.ClientIP = rec.mac, rec.ip
+			rec.mu.Unlock()
+		}
+		deploy.NextVia = seg1At
+		if err := m.ensureTunnel(to, seg1At); err != nil {
+			return fail(err)
+		}
+	}
+
 	switch {
 	case strategy == StrategyLive && source != nil:
 		m.liveMigrate(tctx, &rep, source, target, deploy)
@@ -554,6 +620,22 @@ func (m *Manager) migrateChain(tctx trace.Context, client string, spec ChainSpec
 		}
 		source.callT(tctx, agent.MethodRemove, agent.ChainRef{Chain: spec.Name}, nil)
 		rep.Downtime = 0
+	}
+	// Re-splice the downstream leg of a split chain: the anchored
+	// segment's previous-leg rules chase the head to its new station. A
+	// failed splice is a failed migration — the return path would ride a
+	// tunnel toward the station the head just left.
+	if len(segs) > 1 && seg1At != "" {
+		h, err := m.agentFor(seg1At)
+		if err != nil {
+			return fail(err)
+		}
+		pv := to
+		if err := h.callT(tctx, agent.MethodRetarget, agent.RetargetSpec{
+			Chain: agent.SegmentDeployName(spec.Name, 1), PrevVia: &pv,
+		}, nil); err != nil {
+			return fail(err)
+		}
 	}
 	rep.Total = totalWatch.Elapsed()
 	// If the source station re-registered while this migration ran (a
@@ -728,7 +810,10 @@ func (m *Manager) maybePrewarm(client string, rec *clientRec) {
 	station := rec.station
 	chains := make(map[string]ChainSpec)
 	for name, spec := range rec.chains {
-		if rec.deployedOn[name] == station {
+		// Split chains are excluded from prewarming: a standby head would
+		// need its downstream leg staged too, and the handoff only moves
+		// the head's (small) state anyway.
+		if rec.deployedOn[name] == station && len(SegmentsOf(spec)) <= 1 {
 			chains[name] = spec
 		}
 	}

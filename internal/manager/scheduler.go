@@ -252,6 +252,7 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 		client string
 		rec    *clientRec
 		spec   ChainSpec
+		seg    int // split-chain segment index (0 = head or unsplit)
 		to     string
 	}
 	var jobs []job
@@ -261,11 +262,18 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 			if at != station {
 				continue
 			}
+			base, seg := agent.ParseSegmentName(name)
+			spec, attached := rec.chains[base]
+			if !attached {
+				continue
+			}
 			to := rec.station
-			if to == station || to == "" {
+			// Anchored segments never follow the client; their target is
+			// resolved by the placement policy below.
+			if to == station || to == "" || seg > 0 {
 				to = "" // resolved below, outside the lock
 			}
-			jobs = append(jobs, job{client: client, rec: rec, spec: rec.chains[name], to: to})
+			jobs = append(jobs, job{client: client, rec: rec, spec: spec, seg: seg, to: to})
 		}
 		rec.mu.Unlock()
 	})
@@ -286,6 +294,12 @@ func (m *Manager) EvacuateStation(station string) ([]MigrationReport, error) {
 					ErrUnknownStation, j.client, j.spec.Name)
 			}
 			to = fallback
+		}
+		if j.seg > 0 {
+			// Segment moves own their locking and reporting.
+			rep, _ := m.MigrateSegment(j.client, j.spec.Name, j.seg, to)
+			reports = append(reports, rep)
+			continue
 		}
 		j.rec.migMu.Lock()
 		rep := m.migrateChain(trace.Context{}, j.client, j.spec, station, to, strategy)

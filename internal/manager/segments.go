@@ -1,0 +1,640 @@
+// Split-chain segment placement: one chain, several stations.
+//
+// A chain whose functions carry placement affinities is split into
+// contiguous segments, each deployed on its own station and stitched to
+// its neighbours over the same shaped tunnels GNFC offload uses. The
+// manager owns the split decision and the per-segment lifecycle:
+//
+//   - SegmentsOf partitions the function list into runs of equal
+//     effective affinity (an empty tag inherits its predecessor's).
+//   - The head segment (index 0) always sits at the client's current
+//     station and is the only segment roaming migrates: a handoff moves
+//     the head exactly like a whole-chain migration, then re-splices the
+//     downstream segment's tunnel leg (RetargetSegment) at the new
+//     station. Anchored segments never move on handoff.
+//   - "aggregate" segments anchor on the aggregation hub — the edge
+//     station minimising its worst-case RTT to every other edge station —
+//     and "cloud-ok" segments prefer a GNFC cloud site.
+//
+// Deployment naming: segment 0 reuses the chain name itself (so every
+// head-of-chain code path — schedules, standby bookkeeping, placement
+// records — keeps working unchanged), segment i>0 deploys as "name#i".
+//
+// Lock ordering is unchanged from shards.go: rec.migMu > shard.mu >
+// rec.mu, and rec.mu stays a leaf — segment planning reads the control
+// snapshot lock-free and all RPCs happen outside rec.mu.
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/clock"
+	"gnf/internal/packet"
+	"gnf/internal/topology"
+	"gnf/internal/trace"
+)
+
+// Segment placement affinities (agent.NFSpec.Affinity).
+const (
+	// AffinityNearClient pins a function to the client's current station;
+	// it roams with the client on every handoff.
+	AffinityNearClient = "near-client"
+	// AffinityAggregate anchors a function on a stable aggregation
+	// station; it stays put while the client roams.
+	AffinityAggregate = "aggregate"
+	// AffinityCloudOK permits a GNFC cloud site (falling back to the
+	// aggregation hub when no cloud is connected).
+	AffinityCloudOK = "cloud-ok"
+)
+
+// ValidAffinity reports whether a is a known affinity tag ("" = follow
+// the chain).
+func ValidAffinity(a string) bool {
+	switch a {
+	case "", AffinityNearClient, AffinityAggregate, AffinityCloudOK:
+		return true
+	}
+	return false
+}
+
+// ChainSegment is one contiguous run of a split chain's functions,
+// destined for a single station.
+type ChainSegment struct {
+	// Affinity is the run's effective placement tag.
+	Affinity string
+	// Functions is the run's slice of the chain's function list.
+	Functions []agent.NFSpec
+}
+
+// SegmentsOf partitions a chain's functions into contiguous segments by
+// effective affinity: an empty tag inherits the previous function's tag,
+// leading empty tags inherit the first non-empty one, and a chain whose
+// functions are all untagged is a single segment (never split).
+func SegmentsOf(spec ChainSpec) []ChainSegment {
+	fns := spec.Functions
+	if len(fns) == 0 {
+		return nil
+	}
+	eff := make([]string, len(fns))
+	cur := ""
+	for i, f := range fns {
+		if f.Affinity != "" {
+			cur = f.Affinity
+		}
+		eff[i] = cur
+	}
+	if eff[0] == "" {
+		first := ""
+		for _, e := range eff {
+			if e != "" {
+				first = e
+				break
+			}
+		}
+		if first == "" {
+			return []ChainSegment{{Functions: fns}}
+		}
+		for i := range eff {
+			if eff[i] != "" {
+				break
+			}
+			eff[i] = first
+		}
+	}
+	var segs []ChainSegment
+	for i, f := range fns {
+		if i == 0 || eff[i] != eff[i-1] {
+			segs = append(segs, ChainSegment{Affinity: eff[i]})
+		}
+		s := &segs[len(segs)-1]
+		s.Functions = append(s.Functions, f)
+	}
+	return segs
+}
+
+// validateSplit rejects split layouts the runtime cannot honour: unknown
+// affinity values, and near-client functions *behind* an anchored
+// segment — the head is the only segment roaming chases, so a trailing
+// near-client run would drift away from the client forever.
+func validateSplit(spec ChainSpec, segs []ChainSegment) error {
+	for _, f := range spec.Functions {
+		if !ValidAffinity(f.Affinity) {
+			return fmt.Errorf("manager: chain %s: function %s has unknown affinity %q", spec.Name, f.Name, f.Affinity)
+		}
+	}
+	for i, sg := range segs {
+		if i > 0 && sg.Affinity == AffinityNearClient {
+			return fmt.Errorf("manager: chain %s: near-client functions must precede anchored ones (segment %d)", spec.Name, i)
+		}
+	}
+	return nil
+}
+
+// ValidateSegments checks a chain's affinity layout without attaching
+// it: unknown tags and near-client-behind-anchor layouts are rejected
+// with the same errors AttachChain would raise. The declarative spec
+// layer validates documents with it before install.
+func ValidateSegments(spec ChainSpec) error {
+	return validateSplit(spec, SegmentsOf(spec))
+}
+
+// SetTunnelProvisioner installs the callback the manager uses to make
+// sure a shaped tunnel exists between two stations before steering an
+// inter-segment leg over it. The core layer wires its tunnel registry
+// here; without a provisioner the manager assumes tunnels pre-exist (the
+// agent's deploy fails loudly if one doesn't).
+func (m *Manager) SetTunnelProvisioner(fn func(a, b string) error) {
+	m.mutate(func(c *controlState) { c.tunneler = fn })
+}
+
+// ensureTunnel provisions the a<->b tunnel when a provisioner is wired;
+// same-station and half-empty pairs are no-ops.
+func (m *Manager) ensureTunnel(a, b string) error {
+	if a == "" || b == "" || a == b {
+		return nil
+	}
+	fn := m.state().tunneler
+	if fn == nil {
+		return nil
+	}
+	return fn(a, b)
+}
+
+// aggregationHub picks the station anchoring "aggregate" segments: the
+// non-cloud station minimising its worst-case RTT to every other
+// non-cloud station over the topology graph, ties broken by name. The
+// choice is client-independent, so every chain (and every revival after
+// a failover) converges on the same anchor. Without a topology graph the
+// lexicographically first edge station wins — still deterministic.
+func aggregationHub(st *controlState) (string, bool) {
+	var edges []string
+	for s, h := range st.agents {
+		if !h.Cloud {
+			edges = append(edges, s)
+		}
+	}
+	if len(edges) == 0 {
+		return "", false
+	}
+	sort.Strings(edges)
+	if st.topo == nil {
+		return edges[0], true
+	}
+	best, bestWorst := "", time.Duration(-1)
+	for _, c := range edges {
+		worst, feasible := time.Duration(0), true
+		for _, s := range edges {
+			if s == c {
+				continue
+			}
+			rtt, ok := st.topo.RTT(topology.StationID(c), topology.StationID(s))
+			if !ok {
+				feasible = false
+				break
+			}
+			if rtt > worst {
+				worst = rtt
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if bestWorst < 0 || worst < bestWorst {
+			best, bestWorst = c, worst
+		}
+	}
+	if best == "" {
+		return edges[0], true // disconnected graph: still deterministic
+	}
+	return best, true
+}
+
+// cloudAnchor picks the site hosting "cloud-ok" segments (first cloud
+// agent by name); ok is false when no cloud site is connected.
+func cloudAnchor(st *controlState) (string, bool) {
+	var clouds []string
+	for s, h := range st.agents {
+		if h.Cloud {
+			clouds = append(clouds, s)
+		}
+	}
+	if len(clouds) == 0 {
+		return "", false
+	}
+	sort.Strings(clouds)
+	return clouds[0], true
+}
+
+// segmentStations maps each segment to its hosting station for a client
+// currently at clientAt. The head is always client-local; anchored
+// segments resolve against the live agent registry.
+func (m *Manager) segmentStations(segs []ChainSegment, clientAt string) ([]string, error) {
+	st := m.state()
+	out := make([]string, len(segs))
+	for i, sg := range segs {
+		if i == 0 || sg.Affinity == "" || sg.Affinity == AffinityNearClient {
+			out[i] = clientAt
+			continue
+		}
+		if sg.Affinity == AffinityCloudOK {
+			if c, ok := cloudAnchor(st); ok {
+				out[i] = c
+				continue
+			}
+		}
+		hub, ok := aggregationHub(st)
+		if !ok {
+			return nil, fmt.Errorf("%w: no station to anchor segment %d", ErrUnknownStation, i)
+		}
+		out[i] = hub
+	}
+	return out, nil
+}
+
+// SegmentPlan reports a split chain's desired station per segment for the
+// client's current position. ok is false when the chain is not split or
+// the client is not attached anywhere; the reconciler uses this to tell
+// per-segment drift from legitimate placement.
+func (m *Manager) SegmentPlan(client string, spec ChainSpec) ([]string, bool) {
+	segs := SegmentsOf(spec)
+	if len(segs) < 2 {
+		return nil, false
+	}
+	rec := m.clients.get(client)
+	if rec == nil {
+		return nil, false
+	}
+	rec.mu.Lock()
+	at := rec.station
+	rec.mu.Unlock()
+	if at == "" {
+		return nil, false
+	}
+	stations, err := m.segmentStations(segs, at)
+	if err != nil {
+		return nil, false
+	}
+	return stations, true
+}
+
+// pathRTT sums the multi-leg round-trip of a split chain: the access leg
+// from the client's station to the head plus every inter-segment leg.
+// ok is false when any leg has no path in the graph.
+func pathRTT(topo *topology.Graph, clientAt string, stations []string) (time.Duration, bool) {
+	if topo == nil {
+		return 0, false
+	}
+	total := time.Duration(0)
+	prev := clientAt
+	for _, s := range stations {
+		if s != prev {
+			rtt, ok := topo.RTT(topology.StationID(prev), topology.StationID(s))
+			if !ok {
+				return 0, false
+			}
+			total += rtt
+		}
+		prev = s
+	}
+	return total, true
+}
+
+// attachSegments deploys a split chain tail→head across its segment
+// stations: each segment's steering may reference the next one (a local
+// next leg wires port-to-port against the already-present downstream
+// deployment), so the head — the segment that starts diverting client
+// traffic — lands last. Any failure rolls back every segment already
+// deployed.
+func (m *Manager) attachSegments(client string, rec *clientRec, spec ChainSpec, segs []ChainSegment, station string, mac packet.MAC, ip packet.IP) error {
+	stations, err := m.segmentStations(segs, station)
+	if err != nil {
+		return err
+	}
+	// Enforce the chain's QoS budget over the full multi-leg path, not
+	// just the access leg: a split that cannot meet its own budget is an
+	// operator error, surfaced at attach time rather than debugged off a
+	// silent RTT violation.
+	if budget := spec.MaxRTT(); budget > 0 {
+		if topo := m.state().topo; topo != nil {
+			if rtt, ok := pathRTT(topo, station, stations); ok && rtt > budget {
+				return fmt.Errorf("manager: chain %s: multi-leg path RTT %s exceeds budget %s (stations %v)",
+					spec.Name, rtt, budget, stations)
+			}
+		}
+	}
+	for i := 0; i+1 < len(stations); i++ {
+		if err := m.ensureTunnel(stations[i], stations[i+1]); err != nil {
+			return err
+		}
+	}
+
+	n := len(segs)
+	type done struct{ name, at string }
+	var deployed []done
+	rollback := func() {
+		for _, d := range deployed {
+			if h, err := m.agentFor(d.at); err == nil {
+				h.call(agent.MethodRemove, agent.ChainRef{Chain: d.name}, nil)
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		prevVia, nextVia := "", ""
+		if i > 0 {
+			prevVia = stations[i-1]
+		}
+		if i < n-1 {
+			nextVia = stations[i+1]
+		}
+		dep := agent.DeploySpec{
+			Chain:     agent.SegmentDeployName(spec.Name, i),
+			Client:    client,
+			ClientMAC: mac,
+			ClientIP:  ip,
+			Functions: segs[i].Functions,
+			Enabled:   true,
+			SegIndex:  i,
+			SegCount:  n,
+			PrevVia:   prevVia,
+			NextVia:   nextVia,
+		}
+		h, err := m.agentFor(stations[i])
+		if err != nil {
+			rollback()
+			return err
+		}
+		if err := h.call(agent.MethodDeploy, dep, nil); err != nil {
+			rollback()
+			return err
+		}
+		deployed = append(deployed, done{dep.Chain, stations[i]})
+	}
+
+	rec.mu.Lock()
+	rec.chains[spec.Name] = spec
+	for i, at := range stations {
+		rec.deployedOn[agent.SegmentDeployName(spec.Name, i)] = at
+	}
+	rec.mu.Unlock()
+	m.journal.Append(trace.Event{
+		Type: trace.EventAttach, Subject: spec.Name, Station: stations[0],
+		Detail: fmt.Sprintf("client=%s segments=%v", client, stations),
+	})
+	return nil
+}
+
+// MigrateSegment moves one segment of a split chain to another station,
+// preserving its state by stop-and-copy when the source is reachable and
+// re-splicing both neighbour legs at the new station. Segment 0 (the
+// head) delegates to MigrateChain, which owns the head's
+// migration-strategy machinery. to == "" re-derives the segment's anchor
+// from the current topology (how failover and the reconciler call it).
+func (m *Manager) MigrateSegment(client, chainName string, seg int, to string) (MigrationReport, error) {
+	if seg == 0 {
+		return m.MigrateChain(client, chainName, to)
+	}
+	rec := m.clients.get(client)
+	if rec == nil {
+		return MigrationReport{}, fmt.Errorf("%w: %s", ErrUnknownClient, client)
+	}
+	rec.mu.Lock()
+	spec, ok := rec.chains[chainName]
+	clientAt := rec.station
+	rec.mu.Unlock()
+	if !ok {
+		return MigrationReport{}, fmt.Errorf("%w: %s", ErrUnknownChain, chainName)
+	}
+	segs := SegmentsOf(spec)
+	if len(segs) < 2 || seg < 0 || seg >= len(segs) {
+		return MigrationReport{}, fmt.Errorf("manager: %s has no segment %d", chainName, seg)
+	}
+	if to == "" {
+		stations, err := m.segmentStations(segs, clientAt)
+		if err != nil {
+			return MigrationReport{}, err
+		}
+		to = stations[seg]
+	}
+
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+	depName := agent.SegmentDeployName(chainName, seg)
+	rec.mu.Lock()
+	from := rec.deployedOn[depName]
+	prevAt := rec.deployedOn[agent.SegmentDeployName(chainName, seg-1)]
+	nextAt := ""
+	if seg+1 < len(segs) {
+		nextAt = rec.deployedOn[agent.SegmentDeployName(chainName, seg+1)]
+	}
+	rec.mu.Unlock()
+	if from == to {
+		return MigrationReport{Client: client, Chain: depName, From: from, To: to}, nil
+	}
+
+	rep := m.moveSegment(rec, client, segs, seg, depName, from, to, prevAt, nextAt)
+	rec.mu.Lock()
+	if rep.Err == "" {
+		rec.deployedOn[depName] = to
+	}
+	rec.mu.Unlock()
+	m.recordMigration(rep)
+	if rep.Err != "" {
+		return rep, fmt.Errorf("manager: segment migration failed: %s", rep.Err)
+	}
+	return rep, nil
+}
+
+// moveSegment is the mechanism under MigrateSegment and failover's
+// segment revival: deploy the segment at the target (stop-and-copy from
+// a live source, cold otherwise), splice the neighbour legs onto the new
+// station, then remove the source copy. from == "" (or an unreachable
+// source) degrades to a cold deploy — failover's case, where the state
+// died with the station.
+func (m *Manager) moveSegment(rec *clientRec, client string, segs []ChainSegment, seg int, depName, from, to, prevAt, nextAt string) MigrationReport {
+	rep := MigrationReport{
+		Client: client, Chain: depName, From: from, To: to,
+		Strategy: StrategyStateful,
+	}
+	fail := func(err error) MigrationReport {
+		rep.Err = err.Error()
+		return rep
+	}
+	total := clock.NewStopwatch(m.clk)
+	if err := m.ensureTunnel(prevAt, to); err != nil {
+		return fail(err)
+	}
+	if err := m.ensureTunnel(to, nextAt); err != nil {
+		return fail(err)
+	}
+	target, err := m.agentFor(to)
+	if err != nil {
+		return fail(err)
+	}
+	var source *AgentHandle
+	if from != "" {
+		if source, err = m.agentFor(from); err != nil {
+			source = nil // source station gone: degrade to cold deploy
+		}
+	}
+	rec.mu.Lock()
+	mac, ip := rec.mac, rec.ip
+	rec.mu.Unlock()
+
+	deploy := agent.DeploySpec{
+		Chain:     depName,
+		Client:    client,
+		ClientMAC: mac,
+		ClientIP:  ip,
+		Functions: segs[seg].Functions,
+		SegIndex:  seg,
+		SegCount:  len(segs),
+		PrevVia:   prevAt,
+		NextVia:   nextAt,
+	}
+	target.call(agent.MethodPrefetch, agent.PrefetchSpec{Images: imagesOf(segs[seg].Functions)}, nil)
+
+	chain := agent.ChainRef{Chain: depName}
+	if source != nil {
+		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+			return fail(err)
+		}
+		down := clock.NewStopwatch(m.clk)
+		if err := source.call(agent.MethodDisable, chain, nil); err != nil {
+			target.call(agent.MethodRemove, chain, nil)
+			return fail(err)
+		}
+		var ckpt agent.CheckpointResult
+		if err := source.call(agent.MethodCheckpoint, chain, &ckpt); err != nil {
+			source.call(agent.MethodEnable, chain, nil)
+			target.call(agent.MethodRemove, chain, nil)
+			return fail(err)
+		}
+		rep.StateBytes = len(ckpt.State)
+		if err := target.call(agent.MethodRestore, agent.RestoreSpec{Chain: depName, State: ckpt.State}, nil); err != nil {
+			source.call(agent.MethodEnable, chain, nil)
+			target.call(agent.MethodRemove, chain, nil)
+			return fail(err)
+		}
+		if err := target.call(agent.MethodEnable, chain, nil); err != nil {
+			source.call(agent.MethodEnable, chain, nil)
+			target.call(agent.MethodRemove, chain, nil)
+			return fail(err)
+		}
+		rep.Downtime = down.Elapsed()
+	} else {
+		rep.Strategy = StrategyCold
+		deploy.Enabled = true
+		down := clock.NewStopwatch(m.clk)
+		if err := target.call(agent.MethodDeploy, deploy, nil); err != nil {
+			return fail(err)
+		}
+		rep.Downtime = down.Elapsed()
+	}
+
+	// Splice the neighbour legs onto the new station. Until both retargets
+	// land, in-flight frames still ride toward the old station — with a
+	// live source those arrive at a chain being removed and are dropped,
+	// the same transient every stop-and-copy migration has.
+	base, _ := agent.ParseSegmentName(depName)
+	if err := m.spliceNeighbors(base, seg, to, prevAt, nextAt); err != nil {
+		return fail(err)
+	}
+	if source != nil {
+		source.call(agent.MethodRemove, chain, nil)
+	}
+	rep.Total = total.Elapsed()
+	return rep
+}
+
+// spliceNeighbors re-points the segment's neighbour deployments at its
+// new station: the upstream segment's next leg and the downstream
+// segment's previous leg.
+func (m *Manager) spliceNeighbors(base string, seg int, to, prevAt, nextAt string) error {
+	if prevAt != "" {
+		h, err := m.agentFor(prevAt)
+		if err != nil {
+			return err
+		}
+		nv := to
+		if err := h.call(agent.MethodRetarget, agent.RetargetSpec{
+			Chain: agent.SegmentDeployName(base, seg-1), NextVia: &nv,
+		}, nil); err != nil {
+			return err
+		}
+	}
+	if nextAt != "" {
+		h, err := m.agentFor(nextAt)
+		if err != nil {
+			return err
+		}
+		pv := to
+		if err := h.call(agent.MethodRetarget, agent.RetargetSpec{
+			Chain: agent.SegmentDeployName(base, seg+1), PrevVia: &pv,
+		}, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reviveSegment cold-deploys one anchored segment lost with its station
+// and splices it back between its neighbours. The anchor is re-derived
+// over the surviving agents, so the segment lands wherever the hub (or
+// cloud) role now falls.
+func (m *Manager) reviveSegment(failed, client string, rec *clientRec, spec ChainSpec, seg int) FailoverReport {
+	depName := agent.SegmentDeployName(spec.Name, seg)
+	rep := FailoverReport{Station: failed, Client: client, Chain: depName}
+	watch := clock.NewStopwatch(m.clk)
+	segs := SegmentsOf(spec)
+	if seg >= len(segs) {
+		rep.Err = fmt.Sprintf("no segment %d in %s", seg, spec.Name)
+		return rep
+	}
+	rec.mu.Lock()
+	clientAt := rec.station
+	rec.mu.Unlock()
+	stations, err := m.segmentStations(segs, clientAt)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	to := stations[seg]
+
+	rec.migMu.Lock()
+	defer rec.migMu.Unlock()
+	rec.mu.Lock()
+	at := rec.deployedOn[depName]
+	prevAt := rec.deployedOn[agent.SegmentDeployName(spec.Name, seg-1)]
+	nextAt := ""
+	if seg+1 < len(segs) {
+		nextAt = rec.deployedOn[agent.SegmentDeployName(spec.Name, seg+1)]
+	}
+	rec.mu.Unlock()
+	// The segment may have been reconciled meanwhile; never double-deploy.
+	if at != failed {
+		rep.To, rep.Recovered = at, watch.Elapsed()
+		return rep
+	}
+	mig := m.moveSegment(rec, client, segs, seg, depName, "", to, prevAt, nextAt)
+	if mig.Err != "" {
+		rep.Err = mig.Err
+		return rep
+	}
+	rec.mu.Lock()
+	rec.deployedOn[depName] = to
+	rec.mu.Unlock()
+	rep.To, rep.Recovered = to, watch.Elapsed()
+	return rep
+}
+
+// imagesOf lists the repository images a function list needs.
+func imagesOf(fns []agent.NFSpec) []string {
+	imgs := make([]string, 0, len(fns))
+	for _, f := range fns {
+		imgs = append(imgs, agent.ImageForKind(f.Kind))
+	}
+	return imgs
+}

@@ -1,0 +1,159 @@
+package manager
+
+// Internal tests for the chain-partitioning primitives: segment
+// derivation, layout validation, anchor election, and the multi-leg RTT
+// walk. These run under -race in CI alongside the cross-process segment
+// scenarios; here they pin the pure logic the control plane builds on.
+
+import (
+	"testing"
+	"time"
+
+	"gnf/internal/agent"
+	"gnf/internal/topology"
+)
+
+func fns(affinities ...string) []agent.NFSpec {
+	out := make([]agent.NFSpec, len(affinities))
+	for i, a := range affinities {
+		out[i] = agent.NFSpec{Kind: "counter", Name: string(rune('a' + i)), Affinity: a}
+	}
+	return out
+}
+
+func TestSegmentsOfPartitioning(t *testing.T) {
+	cases := []struct {
+		name       string
+		affinities []string
+		wantSegs   int
+		wantSizes  []int
+		wantTags   []string
+	}{
+		{"all untagged: one segment", []string{"", "", ""}, 1, []int{3}, []string{""}},
+		{"single tag: one segment", []string{"near-client", "", ""}, 1, []int{3}, []string{"near-client"}},
+		{"empty inherits previous", []string{"near-client", "", "aggregate", ""}, 2, []int{2, 2}, []string{"near-client", "aggregate"}},
+		{"leading empties inherit first tag", []string{"", "near-client", "aggregate"}, 2, []int{2, 1}, []string{"near-client", "aggregate"}},
+		{"three-way split", []string{"near-client", "aggregate", "cloud-ok"}, 3, []int{1, 1, 1}, []string{"near-client", "aggregate", "cloud-ok"}},
+		{"adjacent equal tags merge", []string{"aggregate", "aggregate", "cloud-ok"}, 2, []int{2, 1}, []string{"aggregate", "cloud-ok"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			segs := SegmentsOf(ChainSpec{Name: "c", Functions: fns(tc.affinities...)})
+			if len(segs) != tc.wantSegs {
+				t.Fatalf("got %d segments, want %d: %+v", len(segs), tc.wantSegs, segs)
+			}
+			total := 0
+			for i, sg := range segs {
+				if len(sg.Functions) != tc.wantSizes[i] {
+					t.Errorf("segment %d has %d functions, want %d", i, len(sg.Functions), tc.wantSizes[i])
+				}
+				if sg.Affinity != tc.wantTags[i] {
+					t.Errorf("segment %d affinity %q, want %q", i, sg.Affinity, tc.wantTags[i])
+				}
+				total += len(sg.Functions)
+			}
+			if total != len(tc.affinities) {
+				t.Errorf("segments cover %d functions, want %d", total, len(tc.affinities))
+			}
+		})
+	}
+	if segs := SegmentsOf(ChainSpec{}); segs != nil {
+		t.Errorf("empty chain: got %+v, want nil", segs)
+	}
+}
+
+func TestValidateSegments(t *testing.T) {
+	ok := ChainSpec{Name: "ok", Functions: fns("near-client", "aggregate", "cloud-ok")}
+	if err := ValidateSegments(ok); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+	unknown := ChainSpec{Name: "typo", Functions: fns("near-clinet")}
+	if err := ValidateSegments(unknown); err == nil {
+		t.Error("unknown affinity accepted")
+	}
+	trailing := ChainSpec{Name: "trail", Functions: fns("aggregate", "near-client")}
+	if err := ValidateSegments(trailing); err == nil {
+		t.Error("near-client behind an anchored segment accepted")
+	}
+}
+
+// hubState builds a controlState with the given edge/cloud agents and
+// optional graph, the inputs anchor election reads.
+func hubState(topo *topology.Graph, edges []string, clouds ...string) *controlState {
+	st := &controlState{agents: map[string]*AgentHandle{}, topo: topo}
+	for _, e := range edges {
+		st.agents[e] = &AgentHandle{Station: e}
+	}
+	for _, c := range clouds {
+		st.agents[c] = &AgentHandle{Station: c, Cloud: true}
+	}
+	return st
+}
+
+func TestAggregationHubElection(t *testing.T) {
+	// A path a—b—c with a slow a—b leg: b minimises worst-case RTT.
+	g := topology.NewGraph()
+	g.SetLink(topology.Link{A: "st-a", B: "st-b", Delay: 10 * time.Millisecond})
+	g.SetLink(topology.Link{A: "st-b", B: "st-c", Delay: 2 * time.Millisecond})
+	hub, ok := aggregationHub(hubState(g, []string{"st-a", "st-b", "st-c"}, "nimbus"))
+	if !ok || hub != "st-b" {
+		t.Fatalf("hub = %q ok=%v, want st-b", hub, ok)
+	}
+
+	// Symmetric pair: tie broken by name — deterministic across restarts.
+	g2 := topology.NewGraph()
+	g2.SetLink(topology.Link{A: "st-x", B: "st-y", Delay: 5 * time.Millisecond})
+	if hub, _ := aggregationHub(hubState(g2, []string{"st-y", "st-x"})); hub != "st-x" {
+		t.Fatalf("tie broken to %q, want st-x", hub)
+	}
+
+	// No topology: lexicographically first edge, never a cloud.
+	if hub, _ := aggregationHub(hubState(nil, []string{"st-q", "st-p"}, "aa-cloud")); hub != "st-p" {
+		t.Fatalf("topo-less hub = %q, want st-p", hub)
+	}
+
+	// Cloud-only fleet: no anchor.
+	if _, ok := aggregationHub(hubState(nil, nil, "nimbus")); ok {
+		t.Fatal("cloud-only fleet elected a hub")
+	}
+}
+
+func TestCloudAnchor(t *testing.T) {
+	if c, ok := cloudAnchor(hubState(nil, []string{"st-a"}, "zeta", "alpha")); !ok || c != "alpha" {
+		t.Fatalf("cloud anchor = %q ok=%v, want alpha", c, ok)
+	}
+	if _, ok := cloudAnchor(hubState(nil, []string{"st-a"})); ok {
+		t.Fatal("anchored on a fleet with no cloud")
+	}
+}
+
+func TestPathRTT(t *testing.T) {
+	g := topology.NewGraph()
+	g.SetLink(topology.Link{A: "st-a", B: "st-b", Delay: 4 * time.Millisecond})
+	g.SetLink(topology.Link{A: "st-b", B: "st-c", Delay: 4 * time.Millisecond})
+
+	// Head co-located with the client, anchor two hops away: one 16ms
+	// multi-leg round trip (2 x 2 x 4ms), not the head leg alone.
+	rtt, ok := pathRTT(g, "st-a", []string{"st-a", "st-c"})
+	if !ok || rtt != 16*time.Millisecond {
+		t.Fatalf("rtt = %v ok=%v, want 16ms", rtt, ok)
+	}
+
+	// Same-station legs cost nothing.
+	if rtt, ok = pathRTT(g, "st-a", []string{"st-a", "st-a"}); !ok || rtt != 0 {
+		t.Fatalf("co-located rtt = %v ok=%v, want 0", rtt, ok)
+	}
+
+	// Head lagging one hop behind the client adds the access leg.
+	if rtt, _ = pathRTT(g, "st-a", []string{"st-b", "st-c"}); rtt != 16*time.Millisecond {
+		t.Fatalf("lagging-head rtt = %v, want 16ms", rtt)
+	}
+
+	// Unreachable leg: not feasible, never silently zero.
+	if _, ok = pathRTT(g, "st-a", []string{"st-a", "st-z"}); ok {
+		t.Fatal("path through unknown station reported feasible")
+	}
+	if _, ok = pathRTT(nil, "st-a", []string{"st-a"}); ok {
+		t.Fatal("nil graph reported feasible")
+	}
+}

@@ -42,6 +42,9 @@ type controlState struct {
 	topo      *topology.Graph
 	// hotspotCPU is the CPU percent threshold for hotspot detection.
 	hotspotCPU float64
+	// tunneler provisions a shaped tunnel between two stations on demand
+	// (split-chain inter-segment legs); nil means tunnels pre-exist.
+	tunneler func(a, b string) error
 
 	// Failover configuration and the set of stations declared dead.
 	failoverTimeout time.Duration

@@ -15,6 +15,7 @@ import (
 
 	"fmt"
 
+	"gnf/internal/agent"
 	"gnf/internal/clock"
 	"gnf/internal/manager"
 	"gnf/internal/spec"
@@ -133,8 +134,22 @@ func (r *Reconciler) statusLocked() Status {
 func Snapshot(mgr *manager.Manager, wantPools bool) *spec.Actual {
 	actual := &spec.Actual{Clients: make(map[string]spec.ActualClient)}
 
-	deployed := make(map[string]map[string]string) // client -> chain -> station
+	deployed := make(map[string]map[string]string)          // client -> chain -> station
+	segPlaced := make(map[string]map[string]map[int]string) // client -> base chain -> segment -> station
 	for _, p := range mgr.Placements() {
+		if p.Segment > 0 {
+			// Anchored split-chain segments: p.Chain is the deployment name
+			// ("web#1"); record under the base chain for per-segment drift.
+			base, seg := agent.ParseSegmentName(p.Chain)
+			if segPlaced[p.Client] == nil {
+				segPlaced[p.Client] = make(map[string]map[int]string)
+			}
+			if segPlaced[p.Client][base] == nil {
+				segPlaced[p.Client][base] = make(map[int]string)
+			}
+			segPlaced[p.Client][base][seg] = p.Station
+			continue
+		}
 		if deployed[p.Client] == nil {
 			deployed[p.Client] = make(map[string]string)
 		}
@@ -166,7 +181,14 @@ func Snapshot(mgr *manager.Manager, wantPools bool) *spec.Actual {
 			} else {
 				settled = mgr.ChainSettled(cs, station, at)
 			}
-			ac.Chains[cs.Name] = spec.ActualChain{Spec: cs, DeployedOn: at, Settled: settled}
+			ach := spec.ActualChain{Spec: cs, DeployedOn: at, Settled: settled}
+			if len(manager.SegmentsOf(cs)) > 1 {
+				ach.Segments = segPlaced[client][cs.Name]
+				if plan, ok := mgr.SegmentPlan(client, cs); ok {
+					ach.SegmentPlan = plan
+				}
+			}
+			ac.Chains[cs.Name] = ach
 		}
 		actual.Clients[client] = ac
 	}
@@ -344,6 +366,10 @@ func (r *Reconciler) apply(a spec.Action) error {
 	case spec.ActionDetach:
 		return r.mgr.DetachChain(a.Client, a.ChainName)
 	case spec.ActionMigrate:
+		if a.Segment > 0 {
+			_, err := r.mgr.MigrateSegment(a.Client, a.ChainName, a.Segment, a.Station)
+			return err
+		}
 		_, err := r.mgr.MigrateChain(a.Client, a.ChainName, a.Station)
 		return err
 	case spec.ActionSchedule:

@@ -24,7 +24,7 @@ func TestScenarioConformance(t *testing.T) {
 		"roaming": false, "failover": false, "chaining": false,
 		"cloud-offload": false, "density": false, "sharing": false,
 		"scheduling": false, "qos": false, "megascale": false,
-		"drift": false, "storm": false,
+		"drift": false, "storm": false, "splitchain": false,
 	}
 	for _, sp := range specs {
 		if _, ok := required[sp.Name]; ok {

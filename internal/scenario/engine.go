@@ -333,7 +333,7 @@ func toChainSpec(ch Chain) manager.ChainSpec {
 			name = fmt.Sprintf("%s-%d", fn.Kind, i)
 		}
 		spec.Functions = append(spec.Functions, agent.NFSpec{
-			Kind: fn.Kind, Name: name, Params: fn.Params,
+			Kind: fn.Kind, Name: name, Params: fn.Params, Affinity: fn.Affinity,
 		})
 	}
 	return spec
@@ -970,6 +970,19 @@ func (e *Engine) finish() {
 				fmt.Sprintf("offload site of %s: got %q, want %q", client, got, want))
 		}
 	}
+	if len(exp.Placements) > 0 {
+		at := map[string]string{}
+		for _, pl := range e.sys.Manager.Placements() {
+			at[pl.Client+"/"+pl.Chain] = pl.Station
+		}
+		for _, key := range sortedKeys(exp.Placements) {
+			want := exp.Placements[key]
+			if got := at[key]; got != want {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("placement of %s: got %q, want %q", key, got, want))
+			}
+		}
+	}
 	for _, key := range sortedKeys(exp.ChainEnabled) {
 		want := exp.ChainEnabled[key]
 		got, err := e.chainEnabled(key)
@@ -1021,34 +1034,76 @@ func (e *Engine) checkObservability() {
 // round-trip over the topology graph at scenario end and enforces the
 // expectation block's global max_rtt_ms cap plus each chain's own budget.
 // Without a topology block this is a no-op.
+//
+// For split chains the predicted RTT is the full multi-leg path: the
+// access leg to the head segment plus every inter-segment hop, exactly
+// as the manager's own budget check walks it. The old single-placement
+// walk silently scored a split chain on its head leg alone — a chain
+// could be "in budget" while its anchored tail sat a continent away —
+// so a chain whose segment placements the walk cannot resolve is now a
+// loud failure, never a skip.
 func (e *Engine) checkChainRTTs() {
 	if e.graph == nil {
 		return
 	}
 	res, exp := e.result, e.spec.Expect
+	// Group placements by (client, base chain): Placements reports each
+	// split-chain segment as its own entry named "chain#i".
+	segsOf := map[[2]string]map[int]string{}
 	for _, pl := range e.sys.Manager.Placements() {
-		at := res.FinalStations[pl.Client]
-		if at == "" || pl.Station == "" {
-			continue // out of coverage, or never deployed: no RTT to predict
+		base, seg := agent.ParseSegmentName(pl.Chain)
+		key := [2]string{pl.Client, base}
+		if segsOf[key] == nil {
+			segsOf[key] = map[int]string{}
 		}
-		key := pl.Client + "/" + pl.Chain
-		rtt, ok := e.graph.RTT(topology.StationID(at), topology.StationID(pl.Station))
-		if !ok {
-			res.Failures = append(res.Failures,
-				fmt.Sprintf("chain rtt %s: no path between %s and %s", key, at, pl.Station))
-			continue
-		}
-		if res.ChainRTTs == nil {
-			res.ChainRTTs = map[string]Duration{}
-		}
-		res.ChainRTTs[key] = Duration(rtt)
-		ms := float64(rtt.Microseconds()) / 1000
-		if exp.MaxChainRTTMs > 0 && ms > exp.MaxChainRTTMs {
-			res.Failures = append(res.Failures,
-				fmt.Sprintf("chain rtt %s: got %.3fms, want <= %.3fms", key, ms, exp.MaxChainRTTMs))
-		}
-		for _, spec := range e.sys.Manager.Chains(pl.Client) {
-			if spec.Name == pl.Chain && spec.MaxRTTMs > 0 && ms > spec.MaxRTTMs {
+		segsOf[key][seg] = pl.Station
+	}
+	for _, client := range e.sys.Manager.Clients() {
+		at := res.FinalStations[client]
+		for _, spec := range e.sys.Manager.Chains(client) {
+			key := client + "/" + spec.Name
+			placed := segsOf[[2]string{client, spec.Name}]
+			if at == "" || placed[0] == "" {
+				continue // out of coverage, or never deployed: no RTT to predict
+			}
+			nsegs := len(manager.SegmentsOf(spec))
+			if nsegs < 1 {
+				nsegs = 1
+			}
+			total, prev, bad := time.Duration(0), at, false
+			for i := 0; i < nsegs; i++ {
+				st, ok := placed[i]
+				if !ok || st == "" {
+					res.Failures = append(res.Failures,
+						fmt.Sprintf("chain rtt %s: segment %d of %d is not placed anywhere", key, i, nsegs))
+					bad = true
+					break
+				}
+				if st != prev {
+					leg, ok := e.graph.RTT(topology.StationID(prev), topology.StationID(st))
+					if !ok {
+						res.Failures = append(res.Failures,
+							fmt.Sprintf("chain rtt %s: no path between %s and %s (leg to segment %d)", key, prev, st, i))
+						bad = true
+						break
+					}
+					total += leg
+				}
+				prev = st
+			}
+			if bad {
+				continue
+			}
+			if res.ChainRTTs == nil {
+				res.ChainRTTs = map[string]Duration{}
+			}
+			res.ChainRTTs[key] = Duration(total)
+			ms := float64(total.Microseconds()) / 1000
+			if exp.MaxChainRTTMs > 0 && ms > exp.MaxChainRTTMs {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("chain rtt %s: got %.3fms, want <= %.3fms", key, ms, exp.MaxChainRTTMs))
+			}
+			if spec.MaxRTTMs > 0 && ms > spec.MaxRTTMs {
 				res.Failures = append(res.Failures,
 					fmt.Sprintf("chain rtt %s: got %.3fms, exceeds its %.3fms budget", key, ms, spec.MaxRTTMs))
 			}

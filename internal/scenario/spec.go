@@ -87,6 +87,12 @@ type Function struct {
 	Kind   string            `json:"kind"`
 	Name   string            `json:"name,omitempty"`
 	Params map[string]string `json:"params,omitempty"`
+	// Affinity tags the function's placement preference ("near-client",
+	// "aggregate", "cloud-ok"; empty inherits the previous function's
+	// tag). A chain whose functions carry more than one effective tag is
+	// split into per-station segments: the near-client head roams with
+	// the client while anchored segments stay put, linked over tunnels.
+	Affinity string `json:"affinity,omitempty"`
 }
 
 // Chain is a named NF chain.
@@ -253,6 +259,11 @@ type Expect struct {
 	MaxPoolReplicas map[string]int `json:"max_pool_replicas,omitempty"`
 	// FinalStations pins clients to stations at scenario end.
 	FinalStations map[string]string `json:"final_stations,omitempty"`
+	// Placements pins deployments to stations at scenario end. Keys are
+	// "client/chain"; a split chain's anchored segments are addressable
+	// as "client/chain#1" and so on — how the splitchain scenario proves
+	// its aggregation segment never moved while the head roamed.
+	Placements map[string]string `json:"placements,omitempty"`
 	// Offloaded pins clients to cloud sites at scenario end.
 	Offloaded map[string]string `json:"offloaded,omitempty"`
 	// ChainEnabled pins a chain's forwarding state at scenario end
@@ -553,6 +564,12 @@ func validChainBudget(sp *Spec, ch Chain) error {
 	}
 	if ch.MaxRTTMs > 0 && sp.Topology == nil {
 		return fmt.Errorf("scenario %s: chain %s declares max_rtt_ms but the scenario has no topology block", sp.Name, ch.Name)
+	}
+	for _, fn := range ch.Functions {
+		if !manager.ValidAffinity(fn.Affinity) {
+			return fmt.Errorf("scenario %s: chain %s function %s has unknown affinity %q",
+				sp.Name, ch.Name, fn.Kind, fn.Affinity)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,86 @@
+package share
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPrefixKeysCoverAllPrefixes: with every function shareable, one key
+// per prefix, and the whole-chain key equals ChainKey.
+func TestPrefixKeysCoverAllPrefixes(t *testing.T) {
+	fns := []FuncSpec{
+		{Kind: "firewall", Params: map[string]string{"policy": "accept"}},
+		{Kind: "ratelimit", Params: map[string]string{"rate_bps": "1000000"}},
+		{Kind: "counter"},
+	}
+	keys := PrefixKeys(fns, nil)
+	if len(keys) != 3 {
+		t.Fatalf("got %d keys, want 3", len(keys))
+	}
+	if keys[0].Kinds != "firewall" || keys[1].Kinds != "firewall+ratelimit" || keys[2].Kinds != "firewall+ratelimit+counter" {
+		t.Fatalf("kind signatures wrong: %v", keys)
+	}
+	if keys[2] != ChainKey(fns) {
+		t.Fatalf("whole-chain prefix key %v != ChainKey %v", keys[2], ChainKey(fns))
+	}
+	for i := range keys {
+		if keys[i] != ChainKey(fns[:i+1]) {
+			t.Fatalf("prefix %d key differs from ChainKey of the same slice", i)
+		}
+	}
+}
+
+// TestPrefixKeysStopAtNonShareable: enumeration must halt at the first
+// function the predicate rejects — a stateful NF in the middle makes the
+// whole remainder unshareable, including the functions after it.
+func TestPrefixKeysStopAtNonShareable(t *testing.T) {
+	fns := []FuncSpec{
+		{Kind: "firewall"},
+		{Kind: "nat"}, // per-client state: not shareable
+		{Kind: "counter"},
+	}
+	shareable := func(f FuncSpec) bool { return f.Kind != "nat" }
+	keys := PrefixKeys(fns, shareable)
+	if len(keys) != 1 {
+		t.Fatalf("got %d keys, want 1 (stop at nat)", len(keys))
+	}
+	if keys[0].Kinds != "firewall" {
+		t.Fatalf("surviving prefix = %q", keys[0].Kinds)
+	}
+	if got := PrefixKeys(fns, func(FuncSpec) bool { return false }); len(got) != 0 {
+		t.Fatalf("nothing shareable, got %d keys", len(got))
+	}
+}
+
+// TestPrefixKeyDensity is the dedup groundwork property: N chains that
+// agree on a common front produce byte-identical keys for every shared
+// prefix level, so a pool keyed on prefixes hosts the front once no
+// matter how many distinct tails exist. Distinct tails must still split
+// at the first level they diverge.
+func TestPrefixKeyDensity(t *testing.T) {
+	front := []FuncSpec{
+		{Kind: "firewall", Params: map[string]string{"policy": "accept"}},
+		{Kind: "ratelimit", Params: map[string]string{"rate_bps": "2000000"}},
+	}
+	const chains = 32
+	distinct := [3]map[Key]bool{{}, {}, {}}
+	for i := 0; i < chains; i++ {
+		fns := append(append([]FuncSpec{}, front...),
+			FuncSpec{Kind: "counter", Params: map[string]string{"tag": fmt.Sprintf("t%d", i)}})
+		keys := PrefixKeys(fns, nil)
+		if len(keys) != 3 {
+			t.Fatalf("chain %d: %d keys", i, len(keys))
+		}
+		for lvl, k := range keys {
+			distinct[lvl][k] = true
+		}
+	}
+	// Shared front: key density 1 at both prefix levels; unique tails: one
+	// key per chain at the full-chain level.
+	if len(distinct[0]) != 1 || len(distinct[1]) != 1 {
+		t.Fatalf("shared prefixes not dense: level0=%d level1=%d keys", len(distinct[0]), len(distinct[1]))
+	}
+	if len(distinct[2]) != chains {
+		t.Fatalf("distinct tails collided: %d keys for %d chains", len(distinct[2]), chains)
+	}
+}

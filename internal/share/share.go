@@ -102,6 +102,27 @@ func ChainKey(fns []FuncSpec) Key {
 	return Key{Kinds: kinds, ConfigHash: hex.EncodeToString(h.Sum(nil)[:16])}
 }
 
+// PrefixKeys returns the canonical Key of every chain prefix whose
+// members are all shareable: keys[0] covers fns[:1], keys[1] covers
+// fns[:2], and so on. Enumeration stops at the first function the
+// shareable predicate rejects (nil treats every function as shareable),
+// so for a fully shareable chain the last key equals ChainKey(fns).
+//
+// Two chains that agree on a prefix produce byte-identical keys for it —
+// the groundwork for prefix-level dedup, where a common "firewall →
+// ratelimit" front is hosted once and fanned out into the chains'
+// differing tails.
+func PrefixKeys(fns []FuncSpec, shareable func(FuncSpec) bool) []Key {
+	out := make([]Key, 0, len(fns))
+	for i := range fns {
+		if shareable != nil && !shareable(fns[i]) {
+			break
+		}
+		out = append(out, ChainKey(fns[:i+1]))
+	}
+	return out
+}
+
 // Instance is one live (or building) shared instance group. All mutable
 // fields are guarded by the owning Pool's mutex.
 type Instance struct {

@@ -29,7 +29,11 @@ type Action struct {
 	ChainName string     `json:"chain,omitempty"`
 	// Chain carries the full desired chain for attach (spec + schedule).
 	Chain *Chain `json:"chain_spec,omitempty"`
-	// Station is the migrate target (the client's current station).
+	// Segment selects a split-chain segment for migrate actions: 0 is the
+	// head (or a whole unsplit chain), >= 1 an anchored segment.
+	Segment int `json:"segment,omitempty"`
+	// Station is the migrate target (the client's current station for
+	// heads, the planned anchor for segments).
 	Station string `json:"station,omitempty"`
 	// Site is the offload target cloud site.
 	Site string `json:"site,omitempty"`
@@ -47,7 +51,7 @@ type Action struct {
 // Key is the action's identity for retry/backoff bookkeeping: stable
 // across reconcile passes as long as the same delta persists.
 func (a Action) Key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%s|%s|%d", a.Kind, a.Client, a.ChainName, a.Station, a.Site, a.ConfigHash, a.Replicas)
+	return fmt.Sprintf("%s|%s|%s|%d|%s|%s|%s|%d", a.Kind, a.Client, a.ChainName, a.Segment, a.Station, a.Site, a.ConfigHash, a.Replicas)
 }
 
 func (a Action) String() string {
@@ -59,6 +63,9 @@ func (a Action) String() string {
 	case ActionRecall:
 		return fmt.Sprintf("recall %s (%s)", a.Client, a.Reason)
 	case ActionMigrate:
+		if a.Segment > 0 {
+			return fmt.Sprintf("migrate %s/%s segment %d -> %s (%s)", a.Client, a.ChainName, a.Segment, a.Station, a.Reason)
+		}
 		return fmt.Sprintf("migrate %s/%s -> %s (%s)", a.Client, a.ChainName, a.Station, a.Reason)
 	default:
 		return fmt.Sprintf("%s %s/%s (%s)", a.Kind, a.Client, a.ChainName, a.Reason)
@@ -68,11 +75,18 @@ func (a Action) String() string {
 // ActualChain is one observed attached chain.
 type ActualChain struct {
 	Spec       manager.ChainSpec
-	DeployedOn string
+	DeployedOn string // head placement for split chains
 	// Settled reports whether the chain's current placement satisfies the
 	// desired invariant (co-located with the client, or within QoS budget
 	// under an RTT-aware policy, or on its offload site).
 	Settled bool
+	// Segments maps anchored segment index (>= 1) to its hosting station
+	// for split chains; nil otherwise.
+	Segments map[int]string
+	// SegmentPlan is the manager's desired station per segment at snapshot
+	// time (index 0 = head); nil when the chain is unsplit or the client
+	// is detached.
+	SegmentPlan []string
 }
 
 // ActualClient is one observed client: where it is attached, whether it
@@ -203,6 +217,17 @@ func diffClient(dc Client, ac ActualClient) []Action {
 			if !have.Settled {
 				out = append(out, Action{Kind: ActionMigrate, Client: dc.ID, ChainName: name,
 					Station: ac.Station, Reason: fmt.Sprintf("drifted to %s", have.DeployedOn)})
+			}
+			// Split chains: anchored segments drift independently of the
+			// head, so each is checked against the manager's segment plan
+			// (a lost or mis-placed anchor migrates back; MigrateSegment
+			// cold-deploys when the segment is gone entirely).
+			for i := 1; i < len(have.SegmentPlan); i++ {
+				if at := have.Segments[i]; at != have.SegmentPlan[i] {
+					out = append(out, Action{Kind: ActionMigrate, Client: dc.ID, ChainName: name,
+						Segment: i, Station: have.SegmentPlan[i],
+						Reason: fmt.Sprintf("segment %d drifted to %q", i, at)})
+				}
 			}
 		}
 	}

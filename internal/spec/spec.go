@@ -180,6 +180,12 @@ func (s *Spec) Validate() error {
 					return fmt.Errorf("spec: client %s: chain %s function %d has no kind", c.ID, ch.Name, i)
 				}
 			}
+			// Affinity tags: unknown values and layouts the segment runtime
+			// cannot honour (near-client behind an anchored segment) are
+			// spec errors, not attach-time surprises.
+			if err := manager.ValidateSegments(ch.ChainSpec); err != nil {
+				return fmt.Errorf("spec: client %s: %v", c.ID, err)
+			}
 			if ch.MaxRTTMs < 0 {
 				return fmt.Errorf("spec: client %s: chain %s has negative max_rtt_ms", c.ID, ch.Name)
 			}

@@ -116,6 +116,119 @@ func TestTreeAndFatEdgePresets(t *testing.T) {
 	}
 }
 
+// TestConcurrentSlowdownRemovalRebuilds races Latency/Path/RTT readers
+// against the *rebuild* path: every slowdown and removal forces a full
+// Floyd-Warshall recompute, the only mutation that can make previously
+// optimal entries worse. The ring keeps the graph connected throughout,
+// so every consistent snapshot satisfies tight latency bounds — readers
+// assert them on every query, and the test pins final convergence once
+// the churn stops. Run under -race.
+func TestConcurrentSlowdownRemovalRebuilds(t *testing.T) {
+	// Ring of 8 (a..h, 5ms hops) plus a flapping a-e shortcut. b->f is 4
+	// ring hops (20ms) either way, or 11ms via a fast shortcut
+	// (b-a 5ms + a-e 1ms + e-f 5ms). Whatever snapshot a reader catches —
+	// shortcut fast, slow (50ms, worse than the ring), or absent — the
+	// best b->f path stays within [11ms, 20ms] and must always resolve.
+	g := topology.Ring(ringIDs(8), hop, 0)
+	g.SetLink(topology.Link{A: "a", B: "e", Delay: time.Millisecond})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, ok := g.Latency("b", "f")
+				if !ok {
+					t.Error("b->f unreachable while the ring is intact")
+					return
+				}
+				if d < 11*time.Millisecond || d > 20*time.Millisecond {
+					t.Errorf("b->f = %v, outside [11ms, 20ms]", d)
+					return
+				}
+				if path, ok := g.Path("b", "f"); !ok || path[0] != "b" || path[len(path)-1] != "f" {
+					t.Errorf("path b->f = %v, %v", path, ok)
+					return
+				}
+				if rtt, ok := g.RTT("c", "g"); !ok || rtt <= 0 {
+					t.Errorf("rtt c<->g = %v, %v", rtt, ok)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 60 && !t.Failed(); i++ {
+		// Slow the shortcut past the ring (rebuild), drop it (rebuild),
+		// then restore it fast (incremental relax).
+		g.SetLink(topology.Link{A: "a", B: "e", Delay: 50 * time.Millisecond})
+		g.RemoveLink("a", "e")
+		g.SetLink(topology.Link{A: "a", B: "e", Delay: time.Millisecond})
+	}
+	close(stop)
+	wg.Wait()
+
+	// Churn over: the fast shortcut is live, routing must have converged.
+	if d, _ := g.Latency("a", "e"); d != time.Millisecond {
+		t.Fatalf("a->e = %v after churn, want 1ms shortcut", d)
+	}
+	if d, _ := g.Latency("b", "f"); d != 11*time.Millisecond {
+		t.Fatalf("b->f = %v after churn, want 11ms via shortcut", d)
+	}
+}
+
+// TestConcurrentBridgeFlap removes and restores a bridge link while
+// readers query across it: unlike the ring test there is no redundant
+// path, so a reader may legitimately catch a partitioned snapshot. What
+// it must never see is an inconsistent one — a resolved latency other
+// than the exact bridge cost, or a resolved path that doesn't walk
+// a-b-c. Run under -race.
+func TestConcurrentBridgeFlap(t *testing.T) {
+	g := topology.NewGraph()
+	g.SetLink(topology.Link{A: "a", B: "b", Delay: hop})
+	g.SetLink(topology.Link{A: "b", B: "c", Delay: hop})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d, ok := g.Latency("a", "c"); ok && d != 2*hop {
+					t.Errorf("a->c resolved to %v, want exactly 2 hops or unreachable", d)
+					return
+				}
+				if path, ok := g.Path("a", "c"); ok && !reflect.DeepEqual(path, []topology.StationID{"a", "b", "c"}) {
+					t.Errorf("a->c path = %v, want [a b c] or unreachable", path)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 60 && !t.Failed(); i++ {
+		g.RemoveLink("b", "c")
+		g.SetLink(topology.Link{A: "b", B: "c", Delay: hop})
+	}
+	close(stop)
+	wg.Wait()
+
+	if d, ok := g.Latency("a", "c"); !ok || d != 2*hop {
+		t.Fatalf("a->c = %v, %v after flap, want 2 hops", d, ok)
+	}
+}
+
 // TestConcurrentAccess interleaves mutation and queries; run under -race.
 func TestConcurrentAccess(t *testing.T) {
 	g := topology.Ring(ringIDs(8), hop, 0)

@@ -85,6 +85,7 @@ func New(mgr *manager.Manager) *Server {
 	s.mux.HandleFunc("GET /api/failovers", s.handleFailovers)
 	s.mux.HandleFunc("GET /api/placement", s.handlePlacement)
 	s.mux.HandleFunc("GET /api/pools", s.handlePools)
+	s.mux.HandleFunc("GET /api/segments", s.handleSegments)
 	s.mux.HandleFunc("GET /api/spec", s.handleGetSpec)
 	s.mux.HandleFunc("PUT /api/spec", s.handlePutSpec)
 	s.mux.HandleFunc("GET /api/diff", s.handleDiff)
@@ -231,6 +232,61 @@ func (s *Server) handleMigrations(w http.ResponseWriter, r *http.Request) {
 		Reports: s.mgr.Migrations(),
 		Summary: s.mgr.MetricsSnapshot(),
 	})
+}
+
+// SegmentView is one row of GET /api/segments: one segment of an
+// attached chain — its affinity class, the NFs it carries, where it
+// actually runs, and where the placement planner wants it. Unsplit
+// chains appear as a single segment-0 row, so the view doubles as a
+// complete placement table.
+type SegmentView struct {
+	Client   string `json:"client"`
+	Chain    string `json:"chain"`
+	Segment  int    `json:"segment"`
+	Affinity string `json:"affinity,omitempty"`
+	// Functions lists the NF kinds this segment hosts, in chain order.
+	Functions []string `json:"functions"`
+	// Station is where the segment's deployment currently sits ("" while
+	// in flight); Planned is the planner's target for split chains.
+	Station string `json:"station,omitempty"`
+	Planned string `json:"planned,omitempty"`
+}
+
+func (s *Server) handleSegments(w http.ResponseWriter, r *http.Request) {
+	placed := map[string]map[string]string{}
+	for _, p := range s.mgr.Placements() {
+		if placed[p.Client] == nil {
+			placed[p.Client] = map[string]string{}
+		}
+		placed[p.Client][p.Chain] = p.Station
+	}
+	out := []SegmentView{}
+	for _, client := range s.mgr.Clients() {
+		for _, cs := range s.mgr.Chains(client) {
+			segs := manager.SegmentsOf(cs)
+			var plan []string
+			if len(segs) > 1 {
+				plan, _ = s.mgr.SegmentPlan(client, cs)
+			}
+			for i, sg := range segs {
+				kinds := make([]string, len(sg.Functions))
+				for j, fn := range sg.Functions {
+					kinds[j] = fn.Kind
+				}
+				v := SegmentView{
+					Client: client, Chain: cs.Name, Segment: i,
+					Affinity:  sg.Affinity,
+					Functions: kinds,
+					Station:   placed[client][agent.SegmentDeployName(cs.Name, i)],
+				}
+				if i < len(plan) {
+					v.Planned = plan[i]
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	writeJSON(w, out)
 }
 
 // AttachRequest is the POST body for /api/chains/attach.

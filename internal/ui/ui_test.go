@@ -136,6 +136,51 @@ func TestAttachDetachOverAPI(t *testing.T) {
 	}
 }
 
+// TestSegmentsEndpoint attaches a split chain and checks the per-segment
+// placement view: one row per segment with its affinity class, NF kinds,
+// live station, and planner target.
+func TestSegmentsEndpoint(t *testing.T) {
+	sys, srv := uiFixture(t)
+	req := ui.AttachRequest{
+		Client: "phone",
+		Chain: manager.ChainSpec{
+			Name: "split",
+			Functions: []agent.NFSpec{
+				{Kind: "firewall", Name: "f0", Params: nf.Params{"policy": "accept"}, Affinity: "near-client"},
+				{Kind: "counter", Name: "c0", Affinity: "aggregate"},
+			},
+		},
+	}
+	if resp := postJSON(t, srv.URL+"/api/chains/attach", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("attach = %d", resp.StatusCode)
+	}
+	if err := sys.WaitChainOn("st-a", "split", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitChainOn("st-a", agent.SegmentDeployName("split", 1), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var segs []ui.SegmentView
+	getJSON(t, srv.URL+"/api/segments", &segs)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %+v, want 2 rows", segs)
+	}
+	head, anchor := segs[0], segs[1]
+	if head.Segment != 0 || head.Affinity != "near-client" || head.Station != "st-a" {
+		t.Fatalf("head row = %+v", head)
+	}
+	if anchor.Segment != 1 || anchor.Affinity != "aggregate" || anchor.Station != "st-a" {
+		t.Fatalf("anchor row = %+v", anchor)
+	}
+	if head.Planned != "st-a" || anchor.Planned != "st-a" {
+		t.Fatalf("planner targets = %q/%q, want st-a/st-a", head.Planned, anchor.Planned)
+	}
+	if len(head.Functions) != 1 || head.Functions[0] != "firewall" ||
+		len(anchor.Functions) != 1 || anchor.Functions[0] != "counter" {
+		t.Fatalf("segment functions = %v / %v", head.Functions, anchor.Functions)
+	}
+}
+
 // TestBadRequestBodies drives every POST route with malformed and empty
 // bodies: each must answer a structured {"error": ...} 400, never a
 // plain-text error or a silent success.
